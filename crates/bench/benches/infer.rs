@@ -1,0 +1,90 @@
+//! Benches for the inference algorithms: Fast-Infer (Algorithm 2, paper:
+//! ~1 ms per table) vs Infer (Algorithm 1), and the Fixes key computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn prepared(name: &str) -> bf4_ir::Cfg {
+    let p = bf4_corpus::by_name(name).unwrap();
+    let program = bf4_p4::frontend(p.source).unwrap();
+    bf4_core::driver::build_cfg(&program, &bf4_core::driver::VerifyOptions::default())
+        .unwrap()
+        .0
+}
+
+fn bench_fast_infer(c: &mut Criterion) {
+    let cfg = prepared("fabric_switch");
+    let mut g = c.benchmark_group("fast-infer");
+    // Per-table symbolic execution (the paper reports ~1 ms per table on
+    // switch.p4).
+    g.bench_function("per-table(fabric)", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for i in 0..cfg.tables.len() {
+                n += bf4_core::fast_infer::fast_infer(black_box(&cfg), i, &HashSet::new())
+                    .specs
+                    .len();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_infer(c: &mut Criterion) {
+    // Algorithm 1 on the running example's formulas.
+    let cfg = prepared("simple_nat");
+    let ra = bf4_core::reach::ReachAnalysis::new(&cfg);
+    let bugs = ra.found_bugs(&cfg);
+    let nat_idx = cfg.tables.iter().position(|t| t.table == "nat").unwrap();
+    let site = &cfg.tables[nat_idx];
+    let atoms = bf4_core::infer::atoms_for_site(site);
+    let bug_formula = bf4_smt::Term::or_all(
+        bugs.iter()
+            .filter(|b| b.assert_point == Some(nat_idx))
+            .map(|b| b.cond.clone())
+            .collect::<Vec<_>>(),
+    );
+    let ok = ra.ok.and(&ra.node_cond[site.entry_block]);
+    let mut g = c.benchmark_group("infer");
+    g.sample_size(20);
+    g.bench_function("algorithm1(nat)", |b| {
+        b.iter(|| {
+            let mut direct = bf4_smt::Z3Backend::new();
+            let mut dual = bf4_smt::Z3Backend::new();
+            bf4_core::infer::infer(
+                &mut direct,
+                &mut dual,
+                black_box(&ok),
+                black_box(&bug_formula),
+                &atoms,
+                64,
+            )
+            .iterations
+        })
+    });
+    g.finish();
+}
+
+fn bench_fixes(c: &mut Criterion) {
+    let cfg = prepared("simple_nat");
+    let ra = bf4_core::reach::ReachAnalysis::new(&cfg);
+    let bugs = ra.found_bugs(&cfg);
+    let ttl_bug = bugs
+        .iter()
+        .find(|b| {
+            b.info.kind == bf4_ir::BugKind::InvalidHeaderAccess
+                && b.info.description.contains("ipv4")
+        })
+        .unwrap()
+        .clone();
+    let mut g = c.benchmark_group("fixes");
+    g.bench_function("table-keys(nat-ttl)", |b| {
+        b.iter(|| bf4_core::fixes::fixes_for_bug(black_box(&cfg), &ttl_bug).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fast_infer, bench_infer, bench_fixes);
+criterion_main!(benches);

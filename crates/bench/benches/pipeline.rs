@@ -1,0 +1,92 @@
+//! Criterion benches for the compile-time pipeline stages (Table 1's
+//! runtime column, broken down): frontend, lowering+SSA+optimizations,
+//! reachability analysis, and the full verification run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    for name in ["simple_nat", "fabric_switch"] {
+        let p = bf4_corpus::by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| bf4_p4::frontend(black_box(p.source)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lower+ssa+opt");
+    for name in ["simple_nat", "fabric_switch"] {
+        let p = bf4_corpus::by_name(name).unwrap();
+        let program = bf4_p4::frontend(p.source).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = bf4_ir::lower(black_box(&program), &bf4_ir::LowerOptions::default())
+                    .unwrap()
+                    .cfg;
+                bf4_ir::ssa::to_ssa(&mut cfg);
+                bf4_ir::opt::optimize(&mut cfg);
+                cfg.num_instrs()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_find_bugs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("find-bugs");
+    g.sample_size(10);
+    for name in ["simple_nat", "fabric_switch"] {
+        let p = bf4_corpus::by_name(name).unwrap();
+        let program = bf4_p4::frontend(p.source).unwrap();
+        let (cfg, _) = bf4_core::driver::build_cfg(
+            &program,
+            &bf4_core::driver::VerifyOptions::default(),
+        )
+        .unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let ra = bf4_core::reach::ReachAnalysis::new(black_box(&cfg));
+                let mut bugs = ra.found_bugs(&cfg);
+                let mut z3 = bf4_smt::Z3Backend::new();
+                bf4_core::reach::check_bugs(
+                    &mut z3,
+                    &mut bugs,
+                    &[],
+                    bf4_core::BugStatus::Reachable,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full-verify");
+    g.sample_size(10);
+    for name in ["simple_nat", "ecmp_2", "netchain"] {
+        let p = bf4_corpus::by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                bf4_core::verify(
+                    black_box(p.source),
+                    &bf4_core::VerifyOptions::default(),
+                )
+                .unwrap()
+                .bugs_total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_transform,
+    bench_find_bugs,
+    bench_full_verify
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! §5.3 shim benches: per-update validation latency (the paper reports
+//! ≤2 ms p90 per assertion and 42 ms median per update through ONOS; our
+//! in-process shim measures the algorithmic cost alone).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn make_shim() -> (bf4_shim::Shim, Vec<bf4_shim::Update>) {
+    let p = bf4_corpus::largest();
+    let r = bf4_core::verify(p.source, &bf4_core::VerifyOptions::default()).unwrap();
+    let shim = bf4_shim::Shim::new(&r.annotations);
+    let mut ctrl = bf4_shim::controller::Controller::new(
+        &r.annotations,
+        bf4_shim::controller::WorkloadConfig {
+            updates: 2000,
+            delete_fraction: 0.0,
+            ..Default::default()
+        },
+    );
+    (shim, ctrl.workload())
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let (shim, workload) = make_shim();
+    let inserts: Vec<(String, bf4_shim::RuleUpdate)> = workload
+        .iter()
+        .filter_map(|u| match u {
+            bf4_shim::Update::Insert { table, rule } => Some((table.clone(), rule.clone())),
+            _ => None,
+        })
+        .collect();
+    let mut g = c.benchmark_group("shim");
+    let mut i = 0usize;
+    g.bench_function("validate-insert", |b| {
+        b.iter(|| {
+            let (t, r) = &inserts[i % inserts.len()];
+            i += 1;
+            black_box(shim.validate_insert(t, r).is_ok())
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shim-trace");
+    g.sample_size(10);
+    g.bench_function("2000-updates", |b| {
+        b.iter_with_setup(make_shim, |(mut shim, workload)| {
+            let mut accepted = 0usize;
+            for u in &workload {
+                if shim.apply(u).is_ok() {
+                    accepted += 1;
+                }
+            }
+            accepted
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_validate, bench_full_trace);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+use bf4_core::driver::{verify, VerifyOptions};
+fn main() {
+    for name in ["07-MultiProtocol", "fabric_switch"] {
+        let p = bf4_corpus::by_name(name).unwrap();
+        let r = verify(p.source, &VerifyOptions::default()).unwrap();
+        println!("== {name}: total={} infer={} fixes={}", r.bugs_total, r.bugs_after_infer, r.bugs_after_fixes);
+        for b in &r.bugs {
+            if b.status == bf4_core::BugStatus::Uncontrolled {
+                println!("  UNCONTROLLED {:?} line {} table {:?}: {}", b.kind, b.line, b.table, b.description);
+            }
+        }
+        for f in &r.fixes { println!("  fix {}.{} += {:?}", f.control, f.table, f.keys); }
+    }
+}

@@ -1,0 +1,150 @@
+//! `bf4` — command-line front end to the verifier, mirroring the paper's
+//! p4c-backend workflow: read a P4 program, run the full pipeline, and
+//! write the controller annotations plus the proposed fixes.
+//!
+//! ```text
+//! bf4 <program.p4> [options]
+//!   --annotations <file>   write the controller annotations (default: stdout)
+//!   --no-fixes             stop after inference (report-only mode)
+//!   --no-infer             only find reachable bugs (p4v-like mode)
+//!   --egress               also analyze the egress pipeline (in separation)
+//!   --dump-cfg <file>      write the instrumented CFG in Graphviz DOT form
+//!   --quiet                suppress the per-bug listing
+//! ```
+//!
+//! Exit code: 0 when every bug is controlled/fixed, 1 when dataplane bugs
+//! remain, 2 on usage or frontend errors.
+
+use bf4_core::driver::{verify, VerifyOptions};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut annotations_out: Option<String> = None;
+    let mut dump_cfg: Option<String> = None;
+    let mut quiet = false;
+    let mut options = VerifyOptions::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--annotations" => {
+                i += 1;
+                annotations_out = args.get(i).cloned();
+            }
+            "--dump-cfg" => {
+                i += 1;
+                dump_cfg = args.get(i).cloned();
+            }
+            "--no-fixes" => options.fixes = false,
+            "--no-infer" => {
+                options.fast_infer = false;
+                options.infer = false;
+                options.multi_table = false;
+                options.fixes = false;
+            }
+            "--egress" => options.include_egress = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: bf4 <program.p4> [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--quiet]");
+                std::process::exit(0);
+            }
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string())
+            }
+            other => {
+                eprintln!("bf4: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let Some(path) = path else {
+        eprintln!("bf4: missing input program (try --help)");
+        std::process::exit(2);
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bf4: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(dot_path) = &dump_cfg {
+        match dump_dot(&source, &options) {
+            Ok(dot) => {
+                if let Err(e) = std::fs::write(dot_path, dot) {
+                    eprintln!("bf4: cannot write {dot_path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            Err(e) => {
+                eprintln!("bf4: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = match verify(&source, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bf4: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "{path}: {} bug(s) with all rules possible; {} after annotations; {} after fixes",
+        report.bugs_total, report.bugs_after_infer, report.bugs_after_fixes
+    );
+    if !quiet {
+        for bug in &report.bugs {
+            println!(
+                "  [{}] line {:>4} {:?} {}",
+                bug.kind, bug.line, bug.status, bug.description
+            );
+        }
+    }
+    if report.keys_added > 0 {
+        println!(
+            "proposed fixes ({} key(s) across {} table(s)):",
+            report.keys_added, report.tables_modified
+        );
+        print!("{}", report.fix_description);
+    }
+    if report.egress_spec_fix {
+        println!("suggested fix: initialize egress_spec to drop at the start of ingress (§4.6)");
+    }
+
+    let text = report.annotations.to_string();
+    match annotations_out {
+        Some(f) => {
+            if let Err(e) = std::fs::write(&f, &text) {
+                eprintln!("bf4: cannot write {f}: {e}");
+                std::process::exit(2);
+            }
+            println!(
+                "wrote {} annotation(s) over {} table(s) to {f}",
+                report.annotations.specs.len(),
+                report.annotations.tables.len()
+            );
+        }
+        None => {
+            println!("--- controller annotations ---");
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(text.as_bytes());
+        }
+    }
+
+    std::process::exit(if report.bugs_after_fixes == 0 { 0 } else { 1 });
+}
+
+fn dump_dot(source: &str, options: &VerifyOptions) -> Result<String, String> {
+    let program = bf4_p4::frontend(source).map_err(|e| e.to_string())?;
+    let (cfg, _) =
+        bf4_core::driver::build_cfg(&program, options).map_err(|e| e.to_string())?;
+    Ok(bf4_ir::cfg::to_dot(&cfg))
+}

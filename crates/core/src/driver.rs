@@ -1,0 +1,641 @@
+//! The end-to-end bf4 pipeline (Fig. 3).
+//!
+//! ```text
+//! parse/typecheck → lower (expand tables, instrument) → SSA → optimize
+//!   → [slice wrt bug nodes] → reachability conditions → SAT per bug
+//!   → Fast-Infer per table → recheck → Infer for uncovered bugs
+//!   → multi-table heuristic → recheck
+//!   → Fixes for still-reachable bugs → apply keys → re-run once
+//!   → emit annotations + fix report
+//! ```
+//!
+//! The [`Report`] carries exactly the per-program quantities of the
+//! paper's Table 1 (`#bugs`, bugs after Infer, runtime, bugs after fixes,
+//! keys added) plus the ablation metrics of §4.1–§4.2 (instructions
+//! before/after slicing, Fast-Infer vs Infer time, spec origins).
+
+use crate::fast_infer::fast_infer;
+use crate::fixes::{apply_fixes, fixes_for_bug, Fix, Unfixable};
+use crate::infer::{atoms_for_site, infer};
+use crate::multi_table::{multi_table_specs, to_table_spec};
+use crate::reach::{check_bugs, BugStatus, FoundBug, ReachAnalysis};
+use crate::specs::{
+    ActionDescriptor, AnnotationFile, KeyDescriptor, SpecOrigin, TableDescriptor, TableSpec,
+};
+use bf4_ir::{lower, BugKind, Cfg, LowerOptions};
+use bf4_p4::typecheck::Program;
+use bf4_smt::{Solver, Term, Z3Backend};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Options for a verification run.
+#[derive(Clone, Debug)]
+pub struct VerifyOptions {
+    /// Lowering options (instrumentation toggles, pipeline part).
+    pub lower: LowerOptions,
+    /// Run the classic optimization pipeline (const/copy propagation, DCE)
+    /// after SSA (§4.1 "making verification faster").
+    pub optimize: bool,
+    /// Slice the CFG with respect to bug nodes before reachability (§4.1).
+    pub slicing: bool,
+    /// Run Fast-Infer (Algorithm 2) before Infer.
+    pub fast_infer: bool,
+    /// Run Infer (Algorithm 1) for bugs Fast-Infer leaves uncovered.
+    pub infer: bool,
+    /// Run the multi-table heuristic.
+    pub multi_table: bool,
+    /// Run Fixes and re-verify the fixed program.
+    pub fixes: bool,
+    /// Iteration cap for Algorithm 1.
+    pub infer_max_iterations: usize,
+    /// Also analyze the egress pipeline (in separation, §4.6) and merge
+    /// its results.
+    pub include_egress: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            lower: LowerOptions::default(),
+            optimize: true,
+            slicing: true,
+            fast_infer: true,
+            infer: true,
+            multi_table: true,
+            fixes: true,
+            infer_max_iterations: 256,
+            include_egress: false,
+        }
+    }
+}
+
+/// One bug in the final report.
+#[derive(Clone, Debug)]
+pub struct BugReport {
+    /// Bug class.
+    pub kind: BugKind,
+    /// Description from instrumentation.
+    pub description: String,
+    /// Source line.
+    pub line: u32,
+    /// Table whose expansion contains / dominates the bug.
+    pub table: Option<String>,
+    /// Final status.
+    pub status: BugStatus,
+}
+
+/// Phase timings.
+#[derive(Clone, Debug, Default)]
+pub struct Timings {
+    /// Frontend + lowering + SSA + optimizations.
+    pub transform: Duration,
+    /// Reachability-condition construction + per-bug SAT checks.
+    pub find_bugs: Duration,
+    /// Algorithm 2 across all tables.
+    pub fast_infer: Duration,
+    /// Algorithm 1 across residual assert points.
+    pub infer: Duration,
+    /// Multi-table heuristic.
+    pub multi_table: Duration,
+    /// Fixes + re-verification.
+    pub fixes: Duration,
+    /// Whole pipeline.
+    pub total: Duration,
+}
+
+/// Structural metrics (§4.1 slicing ablation).
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Instructions in the freshly lowered (instrumented, pre-SSA) CFG.
+    pub instrs_lowered: usize,
+    /// Instructions in the (optionally optimized) CFG before slicing.
+    pub instrs_before_slice: usize,
+    /// Instructions kept by the slice.
+    pub instrs_after_slice: usize,
+    /// Table sites expanded.
+    pub table_sites: usize,
+    /// Lines of P4 source.
+    pub loc: usize,
+}
+
+/// The result of verifying one program — one row of Table 1 plus detail.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Total bugs found reachable with all table rules possible.
+    pub bugs_total: usize,
+    /// Bugs still reachable after Infer/Fast-Infer/multi-table annotations.
+    pub bugs_after_infer: usize,
+    /// Bugs still reachable after applying the proposed fixes (and the
+    /// egress-spec special fix).
+    pub bugs_after_fixes: usize,
+    /// Number of keys added by Fixes.
+    pub keys_added: usize,
+    /// Tables modified by Fixes.
+    pub tables_modified: usize,
+    /// Proposed fixes.
+    pub fixes: Vec<Fix>,
+    /// Whether the egress-spec special fix (drop at pipeline start) was
+    /// suggested.
+    pub egress_spec_fix: bool,
+    /// Per-bug detail.
+    pub bugs: Vec<BugReport>,
+    /// The emitted annotation artifact.
+    pub annotations: AnnotationFile,
+    /// Phase timings.
+    pub timings: Timings,
+    /// Structural metrics.
+    pub metrics: Metrics,
+    /// Human-readable description of the proposed P4 changes.
+    pub fix_description: String,
+}
+
+/// Verify a P4 source program through the full bf4 pipeline.
+pub fn verify(source: &str, options: &VerifyOptions) -> Result<Report, bf4_p4::Error> {
+    let t_total = Instant::now();
+    let program = bf4_p4::frontend(source)?;
+    let mut report = verify_program(&program, options, source)?;
+    if options.include_egress {
+        let mut egress_opts = options.clone();
+        egress_opts.lower.part = bf4_ir::lower::PipelinePart::Egress;
+        egress_opts.include_egress = false;
+        let egress_report = verify_program(&program, &egress_opts, source)?;
+        merge_reports(&mut report, egress_report);
+    }
+    report.timings.total = t_total.elapsed();
+    Ok(report)
+}
+
+fn merge_reports(main: &mut Report, other: Report) {
+    main.bugs_total += other.bugs_total;
+    main.bugs_after_infer += other.bugs_after_infer;
+    main.bugs_after_fixes += other.bugs_after_fixes;
+    main.keys_added += other.keys_added;
+    main.tables_modified += other.tables_modified;
+    main.fixes.extend(other.fixes);
+    main.bugs.extend(other.bugs);
+    main.annotations.tables.extend(other.annotations.tables);
+    main.annotations.specs.extend(other.annotations.specs);
+    main
+        .annotations
+        .unsafe_defaults
+        .extend(other.annotations.unsafe_defaults);
+    main.metrics.instrs_before_slice += other.metrics.instrs_before_slice;
+    main.metrics.instrs_after_slice += other.metrics.instrs_after_slice;
+    main.metrics.table_sites += other.metrics.table_sites;
+}
+
+/// Build the transformed, optimized (and optionally sliced) CFG.
+pub fn build_cfg(
+    program: &Program,
+    options: &VerifyOptions,
+) -> Result<(Cfg, Metrics), bf4_p4::Error> {
+    let lowered = lower(program, &options.lower)?;
+    let mut cfg = lowered.cfg;
+    let instrs_lowered = cfg.num_instrs();
+    bf4_ir::ssa::to_ssa(&mut cfg);
+    if options.optimize {
+        bf4_ir::opt::optimize(&mut cfg);
+    }
+    let mut metrics = Metrics {
+        instrs_lowered,
+        instrs_before_slice: cfg.num_instrs(),
+        instrs_after_slice: cfg.num_instrs(),
+        table_sites: cfg.tables.len(),
+        loc: 0,
+    };
+    if options.slicing {
+        // Slice with respect to every bug node *and* the good terminals'
+        // support: bug reachability needs the bug-relevant instructions
+        // only. (OK formulas for Infer are built on the same sliced graph;
+        // the slice keeps all control dependences, preserving reachability
+        // conditions for terminals.)
+        let roots = cfg.bug_blocks();
+        if !roots.is_empty() {
+            let info = bf4_ir::slice::compute_slice(&cfg, &roots);
+            metrics.instrs_after_slice = info.instrs_after;
+            cfg = bf4_ir::slice::apply_slice(&cfg, &info);
+        }
+    }
+    Ok((cfg, metrics))
+}
+
+fn verify_program(
+    program: &Program,
+    options: &VerifyOptions,
+    source: &str,
+) -> Result<Report, bf4_p4::Error> {
+    let t_total = Instant::now();
+    let mut timings = Timings::default();
+    let mut program = program.clone();
+    let mut options = options.clone();
+    let mut fixes: Vec<Fix> = Vec::new();
+    let mut egress_spec_fix = false;
+    let mut fix_description = String::new();
+
+    // Round 1: original program. Round 2 (if fixes were proposed): the
+    // fixed program, re-verified from scratch (step 2 of §1's loop).
+    let mut round = 0usize;
+    let mut bugs_total = 0usize;
+    let mut bugs_after_infer = 0usize;
+    let mut first_round_bugs: Vec<BugReport> = Vec::new();
+    let mut metrics = Metrics::default();
+
+    loop {
+        round += 1;
+        let t0 = Instant::now();
+        let (cfg, m) = build_cfg(&program, &options)?;
+        if round == 1 {
+            metrics = m;
+            metrics.loc = source.lines().filter(|l| !l.trim().is_empty()).count();
+        }
+        timings.transform += t0.elapsed();
+
+        // ---- find reachable bugs ----
+        let t0 = Instant::now();
+        let ra = ReachAnalysis::new(&cfg);
+        let mut bugs = ra.found_bugs(&cfg);
+        let mut solver = Z3Backend::new();
+        let reachable_now = check_bugs(&mut solver, &mut bugs, &[], BugStatus::Reachable);
+        if round == 1 {
+            bugs_total = reachable_now;
+        }
+        timings.find_bugs += t0.elapsed();
+
+        // ---- inference (Fast-Infer, Infer, multi-table) ----
+        let (spec_terms, specs, inf_timings) =
+            run_inference(&cfg, &ra, &mut bugs, &mut solver, &options);
+        timings.fast_infer += inf_timings.0;
+        timings.infer += inf_timings.1;
+        timings.multi_table += inf_timings.2;
+        let reachable_bugs = recheck(&mut solver, &mut bugs, &spec_terms);
+        if round == 1 {
+            bugs_after_infer = reachable_bugs.len();
+            first_round_bugs = bug_reports(&cfg, &bugs);
+        } else {
+            // Refine first-round statuses: bugs gone in the fixed program
+            // are now controlled.
+            for bug in first_round_bugs.iter_mut() {
+                if bug.status == BugStatus::Uncontrolled {
+                    let still = reachable_bugs.iter().any(|&ri| {
+                        bugs[ri].info.kind == bug.kind && bugs[ri].info.line == bug.line
+                    });
+                    if !still {
+                        bug.status = BugStatus::Controlled;
+                    }
+                }
+            }
+        }
+
+        // ---- Fixes (round 1 only) ----
+        let run_fixes =
+            round == 1 && options.fixes && !reachable_bugs.is_empty();
+        if run_fixes {
+            let t0 = Instant::now();
+            for &bi in &reachable_bugs {
+                match fixes_for_bug(&cfg, &bugs[bi]) {
+                    Ok(fix) if !fix.keys.is_empty() => {
+                        if !fixes.contains(&fix) {
+                            fixes.push(fix);
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(Unfixable::EgressSpecSpecialCase) => egress_spec_fix = true,
+                    Err(_) => {}
+                }
+            }
+            // Merge fixes per table (a bug may propose a subset of another
+            // bug's keys for the same table).
+            let mut merged: Vec<Fix> = Vec::new();
+            for f in fixes.drain(..) {
+                if let Some(m) = merged
+                    .iter_mut()
+                    .find(|m| m.control == f.control && m.table == f.table)
+                {
+                    for k in f.keys {
+                        if !m.keys.contains(&k) {
+                            m.keys.push(k);
+                        }
+                    }
+                } else {
+                    merged.push(f);
+                }
+            }
+            for m in &mut merged {
+                m.keys.sort();
+            }
+            fixes = merged;
+            timings.fixes += t0.elapsed();
+            if !fixes.is_empty() || egress_spec_fix {
+                apply_fixes(&mut program, &fixes);
+                fix_description = crate::fixes::describe_fixes(&program, &fixes);
+                options.lower.egress_spec_default_drop = egress_spec_fix;
+                continue; // round 2
+            }
+        }
+
+        // Unsafe default actions: actions that participate in a reachable
+        // buggy run of their table (checked per §4.4 when a default rule is
+        // set).
+        let mut unsafe_defaults: Vec<(String, String)> = Vec::new();
+        {
+            let mut s2 = Z3Backend::new();
+            for bug in bugs.iter() {
+                if matches!(bug.status, BugStatus::Unreachable) {
+                    continue;
+                }
+                let Some(site_idx) = bug.assert_point else { continue };
+                let site = &cfg.tables[site_idx];
+                let qual = format!("{}.{}", site.control, site.table);
+                let run_var = Term::var(site.action_run_var.clone(), bf4_smt::Sort::Bv(8));
+                for (ai, a) in site.actions.iter().enumerate() {
+                    if unsafe_defaults.iter().any(|(t, n)| t == &qual && n == &a.name) {
+                        continue;
+                    }
+                    s2.push();
+                    s2.assert(&bug.cond);
+                    s2.assert(&run_var.eq_term(&Term::bv(8, ai as u128)));
+                    let sat = s2.check() == bf4_smt::SatResult::Sat;
+                    s2.pop();
+                    if sat {
+                        unsafe_defaults.push((qual.clone(), a.name.clone()));
+                    }
+                }
+            }
+        }
+
+        // ---- done: assemble the report from this round's artifacts ----
+        let keys_added: usize = fixes.iter().map(|f| f.keys.len()).sum();
+        let tables_modified = fixes.iter().filter(|f| !f.keys.is_empty()).count();
+        timings.total = t_total.elapsed();
+        return Ok(Report {
+            bugs_total,
+            bugs_after_infer,
+            bugs_after_fixes: reachable_bugs.len(),
+            keys_added,
+            tables_modified,
+            fixes,
+            egress_spec_fix,
+            bugs: first_round_bugs,
+            annotations: {
+                let mut ann = build_annotations(&cfg, &specs);
+                ann.unsafe_defaults = unsafe_defaults;
+                ann
+            },
+            timings,
+            metrics,
+            fix_description,
+        });
+    }
+}
+
+/// Shared inference phase: Fast-Infer on every table, Infer (Algorithm 1)
+/// for residual assert points, then the multi-table heuristic. Returns the
+/// spec terms, the packaged specs, and `(fast, infer, multi)` timings.
+fn run_inference(
+    cfg: &Cfg,
+    ra: &ReachAnalysis,
+    bugs: &mut [crate::reach::FoundBug],
+    solver: &mut Z3Backend,
+    options: &VerifyOptions,
+) -> (Vec<Term>, Vec<TableSpec>, (Duration, Duration, Duration)) {
+    let mut specs: Vec<TableSpec> = Vec::new();
+    let mut spec_terms: Vec<Term> = Vec::new();
+
+    let t0 = Instant::now();
+    if options.fast_infer {
+        for (i, site) in cfg.tables.iter().enumerate() {
+            let res = fast_infer(cfg, i, &HashSet::new());
+            for term in dedup_terms(res.specs) {
+                spec_terms.push(term.clone());
+                specs.push(TableSpec {
+                    control: site.control.clone(),
+                    table: site.table.clone(),
+                    with_table: None,
+                    formula: term,
+                    origin: SpecOrigin::FastInfer,
+                });
+            }
+        }
+    }
+    let fast_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    if options.infer {
+        let reachable_bugs = recheck(solver, bugs, &spec_terms);
+        let mut by_site: Vec<Vec<usize>> = vec![Vec::new(); cfg.tables.len()];
+        for &bi in &reachable_bugs {
+            // §4.6: egress-spec bugs are special-cased — Infer would block
+            // entire actions (any rule whose action leaves egress_spec
+            // unset), which is formally safe but destroys intended
+            // functionality; they take the drop fix instead.
+            if bugs[bi].info.kind == BugKind::EgressSpecNotSet {
+                continue;
+            }
+            if let Some(site) = bugs[bi].assert_point {
+                by_site[site].push(bi);
+            }
+        }
+        for (site_idx, bug_idxs) in by_site.iter().enumerate() {
+            if bug_idxs.is_empty() {
+                continue;
+            }
+            let site = &cfg.tables[site_idx];
+            let atoms = atoms_for_site(site);
+            if atoms.is_empty() {
+                continue;
+            }
+            let bug_formula = Term::or_all(
+                bug_idxs
+                    .iter()
+                    .map(|&bi| bugs[bi].cond.clone())
+                    .collect::<Vec<_>>(),
+            )
+            .and(&Term::and_all(spec_terms.clone()));
+            let ok_formula = ra
+                .ok
+                .and(&ra.node_cond[site.entry_block])
+                .and(&Term::and_all(spec_terms.clone()));
+            let mut direct = Z3Backend::new();
+            let mut dual = Z3Backend::new();
+            let res = infer(
+                &mut direct,
+                &mut dual,
+                &ok_formula,
+                &bug_formula,
+                &atoms,
+                options.infer_max_iterations,
+            );
+            if !res.phi.is_true() {
+                spec_terms.push(res.phi.clone());
+                specs.push(TableSpec {
+                    control: site.control.clone(),
+                    table: site.table.clone(),
+                    with_table: None,
+                    formula: res.phi,
+                    origin: SpecOrigin::Infer,
+                });
+            }
+        }
+    }
+    let infer_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    if options.multi_table {
+        let residual = recheck(solver, bugs, &spec_terms);
+        if !residual.is_empty() {
+            for m in multi_table_specs(cfg, &spec_terms) {
+                spec_terms.push(m.formula.clone());
+                specs.push(to_table_spec(cfg, &m));
+            }
+        }
+    }
+    let multi_time = t0.elapsed();
+
+    (spec_terms, specs, (fast_time, infer_time, multi_time))
+}
+
+/// Re-check reachability of every bug under the inferred specs; returns
+/// indices of bugs still reachable and updates statuses.
+fn recheck(solver: &mut dyn Solver, bugs: &mut [FoundBug], specs: &[Term]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, bug) in bugs.iter_mut().enumerate() {
+        if bug.status == BugStatus::Unreachable {
+            continue;
+        }
+        solver.push();
+        solver.assert(&bug.cond);
+        for s in specs {
+            solver.assert(s);
+        }
+        let r = solver.check();
+        solver.pop();
+        match r {
+            bf4_smt::SatResult::Unsat => bug.status = BugStatus::Controlled,
+            _ => {
+                bug.status = BugStatus::Uncontrolled;
+                out.push(i);
+            }
+        }
+    }
+    out
+}
+
+fn dedup_terms(terms: Vec<Term>) -> Vec<Term> {
+    let mut seen = HashSet::new();
+    terms
+        .into_iter()
+        .filter(|t| seen.insert(format!("{t}")))
+        .collect()
+}
+
+fn bug_reports(cfg: &Cfg, bugs: &[FoundBug]) -> Vec<BugReport> {
+    bugs.iter()
+        .map(|b| BugReport {
+            kind: b.info.kind,
+            description: b.info.description.clone(),
+            line: b.info.line,
+            table: b.assert_point.map(|s| cfg.tables[s].table.clone()),
+            status: b.status,
+        })
+        .collect()
+}
+
+fn build_annotations(cfg: &Cfg, specs: &[TableSpec]) -> AnnotationFile {
+    let tables = cfg
+        .tables
+        .iter()
+        .map(|site| TableDescriptor {
+            control: site.control.clone(),
+            table: site.table.clone(),
+            prefix: site.prefix.clone(),
+            keys: site
+                .keys
+                .iter()
+                .map(|k| KeyDescriptor {
+                    match_kind: k.match_kind.clone(),
+                    source: k.source.clone(),
+                    sort: k.expr.sort(),
+                })
+                .collect(),
+            actions: site
+                .actions
+                .iter()
+                .map(|a| ActionDescriptor {
+                    name: a.name.clone(),
+                    num_params: a.param_vars.len(),
+                })
+                .collect(),
+        })
+        .collect();
+    AnnotationFile {
+        tables,
+        specs: specs.to_vec(),
+        unsafe_defaults: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::NAT_SOURCE;
+
+    #[test]
+    fn nat_end_to_end() {
+        let report = verify(NAT_SOURCE, &VerifyOptions::default()).unwrap();
+        // The running example: bugs exist with all rules possible.
+        assert!(report.bugs_total >= 3, "bugs: {:#?}", report.bugs);
+        // Infer/Fast-Infer control some but not all (the ttl bug needs a
+        // key fix; egress-spec needs the special fix).
+        assert!(report.bugs_after_infer < report.bugs_total);
+        assert!(report.bugs_after_infer >= 1);
+        // After fixes everything is controlled.
+        assert_eq!(report.bugs_after_fixes, 0, "{:#?}", report.bugs);
+        assert!(report.keys_added >= 1);
+        assert!(report.egress_spec_fix);
+        assert!(report
+            .fixes
+            .iter()
+            .any(|f| f.table == "ipv4_lpm" && f.keys.contains(&"hdr.ipv4.$valid".to_string())));
+        // Annotations round-trip through the textual format.
+        let text = report.annotations.to_string();
+        let parsed = AnnotationFile::parse(&text).unwrap();
+        assert_eq!(parsed.specs.len(), report.annotations.specs.len());
+    }
+
+    #[test]
+    fn slicing_reduces_instructions() {
+        let report = verify(NAT_SOURCE, &VerifyOptions::default()).unwrap();
+        assert!(
+            report.metrics.instrs_after_slice < report.metrics.instrs_before_slice,
+            "{} vs {}",
+            report.metrics.instrs_after_slice,
+            report.metrics.instrs_before_slice
+        );
+    }
+
+    #[test]
+    fn disabling_inference_leaves_bugs() {
+        let opts = VerifyOptions {
+            fast_infer: false,
+            infer: false,
+            multi_table: false,
+            fixes: false,
+            ..VerifyOptions::default()
+        };
+        let report = verify(NAT_SOURCE, &opts).unwrap();
+        assert_eq!(report.bugs_after_infer, report.bugs_total);
+        assert_eq!(report.bugs_after_fixes, report.bugs_total);
+    }
+
+    #[test]
+    fn egress_analysis_merges() {
+        let opts = VerifyOptions {
+            include_egress: true,
+            ..VerifyOptions::default()
+        };
+        let report = verify(NAT_SOURCE, &opts).unwrap();
+        // NAT's egress is empty: no extra bugs, but the merge must not
+        // lose the ingress results.
+        assert!(report.bugs_total >= 3);
+    }
+}

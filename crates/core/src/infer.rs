@@ -1,0 +1,294 @@
+//! **Algorithm 1 — Infer** (§4.2): iterative inference of controlled
+//! necessary preconditions.
+//!
+//! Given the formula `OK` (good runs through the assert point), `BUG` (bad
+//! runs dominated by the assert point) and a set `P` of atoms over control
+//! variables, the algorithm repeatedly:
+//!
+//! 1. samples a bad run (a model of `BUG`),
+//! 2. abstracts it to the cube of `P`-atoms it satisfies (*assumptions*),
+//! 3. asks whether that cube intersects `OK`; if it does not, the solver's
+//!    **unsat core** yields a larger region (fewer literals) still disjoint
+//!    from `OK`, whose negation is added as a clause of the result;
+//!    otherwise the cube is blocked and sampling continues.
+//!
+//! The result `φ` is a CNF formula over `P` with `OK ⊨ φ` (Theorem 7.2 in
+//! the paper's appendix: no good run is ever excluded — safety), which
+//! minimizes the bad runs consistent with `φ` on a best-effort basis.
+
+use crate::specs::SpecAtom;
+use bf4_ir::TableSite;
+use bf4_smt::{eval, SatResult, Solver, Sort, Term, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Outcome of one Infer run.
+#[derive(Clone, Debug)]
+pub struct InferResult {
+    /// The inferred CNF predicate (conjunction of clauses); `true` when no
+    /// clause was inferred.
+    pub phi: Term,
+    /// Clauses as atom-literal lists `(atom index, positive)` — the
+    /// negation of each blocked cube.
+    pub clauses: Vec<Vec<(usize, bool)>>,
+    /// Iterations of the main loop.
+    pub iterations: usize,
+    /// True if the loop exhausted `BUG` (every bad run is now inconsistent
+    /// with `φ` or was blocked as uncontrollable).
+    pub converged: bool,
+}
+
+/// Generate the syntactic atom set P for a table site (§4.2): `hit`,
+/// `action == a` for every action, `key == true` for validity keys, and
+/// `mask == 0` for masked keys.
+pub fn atoms_for_site(site: &TableSite) -> Vec<SpecAtom> {
+    let mut out = Vec::new();
+    out.push(SpecAtom {
+        name: format!("{}.hit", site.table),
+        term: Term::var(site.hit_var.clone(), Sort::Bool),
+    });
+    let action = Term::var(site.action_var.clone(), Sort::Bv(8));
+    for (i, a) in site.actions.iter().enumerate() {
+        out.push(SpecAtom {
+            name: format!("{}.action == {}", site.table, a.name),
+            term: action.eq_term(&Term::bv(8, i as u128)),
+        });
+    }
+    for (i, k) in site.keys.iter().enumerate() {
+        let value_sort = match k.expr.sort() {
+            s => s,
+        };
+        if k.is_validity_key && value_sort == Sort::Bool {
+            out.push(SpecAtom {
+                name: format!("{}.key[{}] ({}) == true", site.table, i, k.source),
+                term: Term::var(k.value_var.clone(), Sort::Bool),
+            });
+        }
+        if let Some(m) = &k.mask_var {
+            if let Sort::Bv(w) = value_sort {
+                out.push(SpecAtom {
+                    name: format!("{}.key[{}] ({}) mask == 0", site.table, i, k.source),
+                    term: Term::var(m.clone(), Sort::Bv(w)).eq_term(&Term::bv(w, 0)),
+                });
+            }
+        }
+        // boolean exact keys that are not validity calls still yield a
+        // usable atom
+        if !k.is_validity_key && value_sort == Sort::Bool {
+            out.push(SpecAtom {
+                name: format!("{}.key[{}] ({}) == true", site.table, i, k.source),
+                term: Term::var(k.value_var.clone(), Sort::Bool),
+            });
+        }
+    }
+    out
+}
+
+/// Run Algorithm 1.
+///
+/// `direct` must be a fresh solver (it will hold `BUG` plus blocking
+/// clauses); `dual` likewise (it will hold `OK`). `max_iterations` bounds
+/// the loop; the result is sound regardless (every clause is implied by
+/// `OK`), only coverage suffers when the bound is hit.
+pub fn infer(
+    direct: &mut dyn Solver,
+    dual: &mut dyn Solver,
+    ok: &Term,
+    bug: &Term,
+    atoms: &[SpecAtom],
+    max_iterations: usize,
+) -> InferResult {
+    direct.assert(bug);
+    dual.assert(ok);
+
+    // Variables needed to evaluate atoms against a model.
+    let mut atom_vars: BTreeMap<Arc<str>, Sort> = BTreeMap::new();
+    for a in atoms {
+        for (v, s) in bf4_smt::free_vars(&a.term) {
+            atom_vars.insert(v, s);
+        }
+    }
+    let atom_vars: Vec<(Arc<str>, Sort)> = atom_vars.into_iter().collect();
+
+    let mut phi = Term::tt();
+    let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+    let mut iterations = 0;
+    let mut converged = false;
+
+    loop {
+        if iterations >= max_iterations {
+            break;
+        }
+        iterations += 1;
+        match direct.check() {
+            SatResult::Unsat => {
+                converged = true;
+                break;
+            }
+            SatResult::Unknown => break,
+            SatResult::Sat => {}
+        }
+        let Some(model) = direct.model(&atom_vars) else {
+            break;
+        };
+        // assumptions: the P-cube of the model (line 6).
+        let mut assumptions: Vec<Term> = Vec::with_capacity(atoms.len());
+        let mut signs: Vec<bool> = Vec::with_capacity(atoms.len());
+        for a in atoms {
+            let holds = matches!(eval(&a.term, &model), Ok(Value::Bool(true)));
+            signs.push(holds);
+            assumptions.push(if holds { a.term.clone() } else { a.term.not() });
+        }
+        match dual.check_assumptions(&assumptions) {
+            SatResult::Unsat => {
+                // Expand the cube to the unsat core (line 8) and block it.
+                let core = dual.unsat_core();
+                let core: Vec<usize> = if core.is_empty() {
+                    (0..assumptions.len()).collect()
+                } else {
+                    core
+                };
+                let cube = Term::and_all(core.iter().map(|&i| assumptions[i].clone()));
+                let clause = cube.not();
+                phi = phi.and(&clause);
+                clauses.push(core.iter().map(|&i| (i, signs[i])).collect());
+                direct.assert(&clause);
+            }
+            _ => {
+                // The cube contains good runs: block just this cube in the
+                // bad-run sampler (line 12) and move on.
+                let cube = Term::and_all(assumptions);
+                direct.assert(&cube.not());
+            }
+        }
+    }
+
+    InferResult {
+        phi,
+        clauses,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf4_smt::Z3Backend;
+
+    /// Build the paper's running example abstractly:
+    /// control vars: hit (bool), valid_key (bool = entry's isValid key),
+    /// mask (bv8); packet var: pkt_valid (bool).
+    /// match constraint: valid_key == pkt_valid.
+    /// BUG: hit && match && !(mask == 0 || pkt_valid)
+    /// OK:  !hit || (hit && match && (mask == 0 || pkt_valid))
+    fn nat_formulas() -> (Term, Term, Vec<SpecAtom>) {
+        let hit = Term::var("hit", Sort::Bool);
+        let valid_key = Term::var("valid_key", Sort::Bool);
+        let mask = Term::var("mask", Sort::Bv(8));
+        let pkt_valid = Term::var("pkt_valid", Sort::Bool);
+        let matches = valid_key.eq_term(&pkt_valid);
+        let key_safe = mask.eq_term(&Term::bv(8, 0)).or(&pkt_valid);
+        let bug = Term::and_all([hit.clone(), matches.clone(), key_safe.not()]);
+        let ok = hit.not().or(&Term::and_all([hit.clone(), matches, key_safe]));
+        let atoms = vec![
+            SpecAtom {
+                name: "hit".into(),
+                term: hit,
+            },
+            SpecAtom {
+                name: "valid_key".into(),
+                term: valid_key,
+            },
+            SpecAtom {
+                name: "mask == 0".into(),
+                term: mask.eq_term(&Term::bv(8, 0)),
+            },
+        ];
+        (ok, bug, atoms)
+    }
+
+    #[test]
+    fn infer_blocks_all_bad_runs_on_nat_example() {
+        let (ok, bug, atoms) = nat_formulas();
+        let mut direct = Z3Backend::new();
+        let mut dual = Z3Backend::new();
+        let res = infer(&mut direct, &mut dual, &ok, &bug, &atoms, 64);
+        assert!(res.converged, "did not converge in {} iters", res.iterations);
+        assert!(!res.clauses.is_empty());
+        // φ must make BUG unreachable:
+        let mut s = Z3Backend::new();
+        s.assert(&bug);
+        s.assert(&res.phi);
+        assert_eq!(s.check(), SatResult::Unsat);
+        // and must not exclude good runs: OK ∧ ¬φ unsat ⇔ OK ⊨ φ.
+        let mut s = Z3Backend::new();
+        s.assert(&ok);
+        s.assert(&res.phi.not());
+        assert_eq!(s.check(), SatResult::Unsat, "φ excludes a good run");
+    }
+
+    #[test]
+    fn infer_paper_predicate_shape() {
+        // The expected predicate is ¬(hit ∧ ¬valid_key ∧ ¬(mask==0)):
+        // rules matching invalid headers with non-zero mask are forbidden.
+        let (ok, bug, atoms) = nat_formulas();
+        let mut direct = Z3Backend::new();
+        let mut dual = Z3Backend::new();
+        let res = infer(&mut direct, &mut dual, &ok, &bug, &atoms, 64);
+        // Check semantic equivalence on all 8 atom valuations.
+        let expected = {
+            let hit = atoms[0].term.clone();
+            let vk = atoms[1].term.clone();
+            let m0 = atoms[2].term.clone();
+            Term::and_all([hit, vk.not(), m0.not()]).not()
+        };
+        let mut s = Z3Backend::new();
+        s.assert(&res.phi.iff(&expected).not());
+        assert_eq!(s.check(), SatResult::Unsat, "phi = {}", res.phi);
+        let _ = (ok, bug);
+    }
+
+    #[test]
+    fn infer_gives_true_when_bug_unreachable() {
+        let x = Term::var("x", Sort::Bool);
+        let mut direct = Z3Backend::new();
+        let mut dual = Z3Backend::new();
+        let res = infer(
+            &mut direct,
+            &mut dual,
+            &x.clone(),
+            &Term::ff(),
+            &[SpecAtom {
+                name: "x".into(),
+                term: x,
+            }],
+            16,
+        );
+        assert!(res.converged);
+        assert!(res.phi.is_true());
+    }
+
+    #[test]
+    fn infer_never_excludes_good_runs_when_uncoverable() {
+        // BUG and OK overlap on every atom cube: nothing can be inferred,
+        // but the loop must still terminate without harming OK.
+        let hit = Term::var("hit", Sort::Bool);
+        let secret = Term::var("secret", Sort::Bv(4)); // not an atom var
+        let bug = hit.clone().and(&secret.eq_term(&Term::bv(4, 5)));
+        let ok = hit.clone().and(&secret.eq_term(&Term::bv(4, 5)).not());
+        let atoms = vec![SpecAtom {
+            name: "hit".into(),
+            term: hit,
+        }];
+        let mut direct = Z3Backend::new();
+        let mut dual = Z3Backend::new();
+        let res = infer(&mut direct, &mut dual, &ok, &bug, &atoms, 64);
+        assert!(res.converged);
+        // Nothing controllable: φ must not constrain hit.
+        let mut s = Z3Backend::new();
+        s.assert(&ok);
+        s.assert(&res.phi.not());
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # bf4-core — the bf4 verification engine
+//!
+//! This crate implements the paper's primary contribution on top of the
+//! `bf4-p4` frontend, the `bf4-ir` transformation pipeline and the
+//! `bf4-smt` solver layer:
+//!
+//! * [`reach`] — forward reachability conditions over the acyclic SSA CFG
+//!   (the "weakest preconditions" of §4.1) and reachable-bug detection;
+//! * [`specs`] — the controller-annotation data model and its SQL-like
+//!   textual format (§4.4), shared with the runtime shim;
+//! * [`infer`] — **Algorithm 1 (Infer)**: iterative controlled necessary
+//!   preconditions via models and unsat cores;
+//! * [`fast_infer`] — **Algorithm 2 (Fast-Infer)**: per-table symbolic
+//!   execution producing necessary preconditions in milliseconds;
+//! * [`multi_table`] — the multi-table heuristic of §4.2;
+//! * [`fixes`] — **Algorithm 3 (Fixes)**: data-flow-based inference of
+//!   missing table keys, plus the `egress_spec` special-case fix (§4.6);
+//! * [`driver`] — the end-to-end pipeline of Fig. 3 (instrument → find
+//!   bugs → Fast-Infer → Infer → multi-table → Fixes → re-run), producing
+//!   a [`driver::Report`] with the per-program numbers of Table 1;
+//! * [`baselines`] — the §5.2 comparisons: a p4v approximation (single
+//!   monolithic reachability query) and a Vera approximation (symbolic
+//!   execution of a concrete snapshot).
+
+pub mod baselines;
+pub mod driver;
+pub mod fast_infer;
+pub mod fixes;
+pub mod infer;
+pub mod multi_table;
+pub mod reach;
+pub mod specs;
+#[doc(hidden)]
+pub mod testutil;
+
+pub use driver::{verify, Report, VerifyOptions};
+pub use reach::{BugStatus, FoundBug, ReachAnalysis};
+pub use specs::{SpecAtom, TableSpec};

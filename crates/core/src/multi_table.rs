@@ -1,0 +1,236 @@
+//! The multi-table heuristic of §4.2.
+//!
+//! Single-table preconditions cannot control a bug whose guarding state is
+//! written by an *earlier* table. When table `t2`'s keys are a superset of
+//! `t1`'s and every run through `t2` also went through `t1`
+//! (`reach(t2) ⊨ reach(t1)` — approximated by dominance), the variables
+//! `t1`'s actions compute from its own keys and action data are functions
+//! of `t2`'s keys too (Theorem 7.4), so Fast-Infer may treat them as
+//! controlled. A spec discovered this way mentions both tables' control
+//! variables and is enforced by the shim as a rule-combination constraint.
+
+use crate::fast_infer::fast_infer_region;
+use crate::specs::{SpecOrigin, TableSpec};
+use bf4_ir::{BlockId, Cfg, Instr, Terminator};
+use bf4_smt::{free_vars, Term};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A multi-table spec: primary site, upstream site, predicate.
+#[derive(Clone, Debug)]
+pub struct MultiTableSpec {
+    /// Site index of the table being asserted on.
+    pub primary: usize,
+    /// Site index of the upstream table whose outputs are borrowed.
+    pub upstream: usize,
+    /// The inferred predicate (over both sites' control variables and the
+    /// upstream outputs).
+    pub formula: Term,
+}
+
+/// Blocks belonging to a table site's expansion (entry to exit, exclusive).
+fn site_region(cfg: &Cfg, site_idx: usize) -> Vec<BlockId> {
+    let site = &cfg.tables[site_idx];
+    let mut seen = HashSet::new();
+    let mut stack = vec![site.entry_block];
+    let mut out = Vec::new();
+    while let Some(b) = stack.pop() {
+        if b == site.exit_block || !seen.insert(b) {
+            continue;
+        }
+        out.push(b);
+        match &cfg.blocks[b].term {
+            Terminator::Jump(t) => stack.push(*t),
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => {
+                stack.push(*then_to);
+                stack.push(*else_to);
+            }
+            Terminator::End => {}
+        }
+    }
+    out
+}
+
+/// Variables assigned inside `site`'s expansion whose value is a function
+/// of the site's control variables alone (the set `V_t` of Theorem 7.4).
+pub fn determined_outputs(cfg: &Cfg, site_idx: usize) -> HashSet<Arc<str>> {
+    let controlled: HashSet<Arc<str>> =
+        cfg.tables[site_idx].control_vars().into_iter().collect();
+    let mut determined: HashSet<Arc<str>> = HashSet::new();
+    // Region blocks in topological order so defs are seen before uses.
+    let order = cfg.topo_order();
+    let region: HashSet<BlockId> = site_region(cfg, site_idx).into_iter().collect();
+    for &b in order.iter().filter(|b| region.contains(b)) {
+        for ins in &cfg.blocks[b].instrs {
+            if let Instr::Assign { var, expr, .. } = ins {
+                let deps = free_vars(expr);
+                if deps
+                    .keys()
+                    .all(|v| controlled.contains(v) || determined.contains(v))
+                {
+                    determined.insert(var.clone());
+                }
+            }
+        }
+    }
+    determined
+}
+
+/// Does `sub`'s key-source set ⊆ `sup`'s key-source set?
+fn keys_subset(cfg: &Cfg, sub: usize, sup: usize) -> bool {
+    let sup_keys: HashSet<&str> = cfg.tables[sup]
+        .keys
+        .iter()
+        .map(|k| k.source.as_str())
+        .collect();
+    cfg.tables[sub]
+        .keys
+        .iter()
+        .all(|k| sup_keys.contains(k.source.as_str()))
+}
+
+/// Run the heuristic over all dominating table pairs. `already_known`
+/// filters out specs Fast-Infer found without upstream help.
+pub fn multi_table_specs(cfg: &Cfg, already_known: &[Term]) -> Vec<MultiTableSpec> {
+    let idom = cfg.dominators();
+    let known: HashSet<String> = already_known.iter().map(|t| format!("{t}")).collect();
+    let mut out = Vec::new();
+    for t2 in 0..cfg.tables.len() {
+        for t1 in 0..cfg.tables.len() {
+            if t1 == t2 {
+                continue;
+            }
+            // t1 upstream of t2 (every run through t2 passed t1).
+            if !Cfg::dominates(&idom, cfg.tables[t1].entry_block, cfg.tables[t2].entry_block) {
+                continue;
+            }
+            // keys(t1) ⊆ keys(t2).
+            if !keys_subset(cfg, t1, t2) {
+                continue;
+            }
+            let mut controlled: HashSet<Arc<str>> =
+                cfg.tables[t1].control_vars().into_iter().collect();
+            let t1_vars: HashSet<Arc<str>> = controlled.clone();
+            controlled.extend(cfg.tables[t2].control_vars());
+            let res = fast_infer_region(
+                cfg,
+                cfg.tables[t1].entry_block,
+                cfg.tables[t2].exit_block,
+                &controlled,
+            );
+            for spec in res.specs {
+                // Only keep genuinely multi-table specs that are new.
+                let uses_upstream = free_vars(&spec).keys().any(|v| t1_vars.contains(v));
+                if uses_upstream && !known.contains(&format!("{spec}")) {
+                    out.push(MultiTableSpec {
+                        primary: t2,
+                        upstream: t1,
+                        formula: spec,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Package a multi-table spec for the annotation file.
+pub fn to_table_spec(cfg: &Cfg, m: &MultiTableSpec) -> TableSpec {
+    let p = &cfg.tables[m.primary];
+    let u = &cfg.tables[m.upstream];
+    TableSpec {
+        control: p.control.clone(),
+        table: p.table.clone(),
+        with_table: Some(format!("{}.{}", u.control, u.table)),
+        formula: m.formula.clone(),
+        origin: SpecOrigin::MultiTable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf4_ir::{lower, LowerOptions};
+
+    /// The paper's §4.2 multi-table snippet: t1 may validate H, t2's
+    /// use_H action reads H. With e1=(k1=v, nop) in t1 and
+    /// e2=(k1=v, k2=*, use_H) in t2, every packet hitting e2 hits e1,
+    /// H stays invalid, and the bug fires — a rule-combination bug.
+    const MULTI: &str = r#"
+        header h_t { bit<8> f; }
+        header k_t { bit<8> k1; bit<8> k2; }
+        struct headers { h_t h; k_t k; }
+        struct meta_t { bit<8> x; }
+        parser P(packet_in pkt, out headers hdr, inout meta_t meta, inout standard_metadata_t sm) {
+            state start { pkt.extract(hdr.k); transition accept; }
+        }
+        control I(inout headers hdr, inout meta_t meta, inout standard_metadata_t sm) {
+            action validate_H() { hdr.h.setValid(); hdr.h.f = 8w0; }
+            action nop() { }
+            table t1 {
+                key = { hdr.k.k1: exact; }
+                actions = { validate_H; nop; }
+                default_action = nop();
+            }
+            action use_H(bit<9> p) { meta.x = hdr.h.f; sm.egress_spec = p; }
+            action skip() { sm.egress_spec = 9w0; }
+            table t2 {
+                key = { hdr.k.k1: exact; hdr.k.k2: exact; }
+                actions = { use_H; skip; }
+                default_action = skip();
+            }
+            apply {
+                t1.apply();
+                t2.apply();
+            }
+        }
+        control E(inout headers hdr, inout meta_t meta, inout standard_metadata_t sm) { apply {} }
+        control V(inout headers hdr, inout meta_t meta) { apply {} }
+        control C(inout headers hdr, inout meta_t meta) { apply {} }
+        control D(packet_out pkt, in headers hdr) { apply {} }
+        V1Switch(P(), V(), I(), E(), C(), D()) main;
+    "#;
+
+    #[test]
+    fn determined_outputs_track_action_params() {
+        let program = bf4_p4::frontend(MULTI).unwrap();
+        let mut cfg = lower(&program, &LowerOptions::default()).unwrap().cfg;
+        bf4_ir::ssa::to_ssa(&mut cfg);
+        let t1 = cfg.tables.iter().position(|t| t.table == "t1").unwrap();
+        let det = determined_outputs(&cfg, t1);
+        // validate_H sets hdr.h.$valid and hdr.h.f from constants — both
+        // determined by t1's rule.
+        assert!(
+            det.iter().any(|v| v.starts_with("hdr.h.$valid")),
+            "determined: {det:?}"
+        );
+    }
+
+    #[test]
+    fn heuristic_requires_key_subset() {
+        let program = bf4_p4::frontend(MULTI).unwrap();
+        let mut cfg = lower(&program, &LowerOptions::default()).unwrap().cfg;
+        bf4_ir::ssa::to_ssa(&mut cfg);
+        let t1 = cfg.tables.iter().position(|t| t.table == "t1").unwrap();
+        let t2 = cfg.tables.iter().position(|t| t.table == "t2").unwrap();
+        assert!(keys_subset(&cfg, t1, t2));
+        assert!(!keys_subset(&cfg, t2, t1));
+    }
+
+    #[test]
+    fn multi_table_spec_found_for_use_h_bug() {
+        let program = bf4_p4::frontend(MULTI).unwrap();
+        let mut cfg = lower(&program, &LowerOptions::default()).unwrap().cfg;
+        bf4_ir::ssa::to_ssa(&mut cfg);
+        bf4_ir::opt::optimize(&mut cfg);
+        let specs = multi_table_specs(&cfg, &[]);
+        assert!(
+            !specs.is_empty(),
+            "expected a multi-table spec for the use_H bug"
+        );
+        let t2 = cfg.tables.iter().position(|t| t.table == "t2").unwrap();
+        assert!(specs.iter().any(|s| s.primary == t2));
+    }
+}

@@ -1,0 +1,406 @@
+//! Controller annotations: the data model bf4 emits at compile time and
+//! the runtime shim enforces (§4.4).
+//!
+//! An annotation file has two sections, in a line-oriented SQL-like
+//! syntax:
+//!
+//! ```text
+//! TABLE ingress.nat SITE pcn.nat#0
+//!   KEY 0 exact hdr.ipv4.isValid() bool
+//!   KEY 1 ternary hdr.ipv4.srcAddr bv32
+//!   ACTION 0 drop_ 0
+//!   ACTION 1 nat_hit_int_to_ext 2
+//! ;
+//! ASSERT ON ingress.nat
+//!   WHERE (not (and (var pcn.nat#0.hit bool) ...))
+//! ;
+//! ```
+//!
+//! `TABLE` records describe the control variables of each table site so
+//! the shim can translate a rule insertion into a variable assignment;
+//! `ASSERT` records carry one predicate each, which every inserted rule
+//! must satisfy. Multi-table assertions name a secondary table whose
+//! shadow contents the shim joins against (`WITH`).
+
+use bf4_smt::{parse_sexpr, to_sexpr, Sort, Term};
+use std::fmt;
+
+/// Where a spec came from (reported in the evaluation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpecOrigin {
+    /// Algorithm 2.
+    FastInfer,
+    /// Algorithm 1.
+    Infer,
+    /// The §4.2 multi-table heuristic.
+    MultiTable,
+}
+
+impl fmt::Display for SpecOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SpecOrigin::FastInfer => "fast-infer",
+            SpecOrigin::Infer => "infer",
+            SpecOrigin::MultiTable => "multi-table",
+        })
+    }
+}
+
+/// An atom of the paper's predicate set P, kept with a printable name.
+#[derive(Clone, Debug)]
+pub struct SpecAtom {
+    /// Human-readable description (`hit`, `action == drop_`, ...).
+    pub name: String,
+    /// The atom as a term over control variables.
+    pub term: Term,
+}
+
+/// Key description within a [`TableDescriptor`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct KeyDescriptor {
+    /// Match kind.
+    pub match_kind: String,
+    /// Source text of the key expression.
+    pub source: String,
+    /// Sort of the key.
+    pub sort: Sort,
+}
+
+/// Action description within a [`TableDescriptor`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActionDescriptor {
+    /// Action name.
+    pub name: String,
+    /// Number of control-plane data parameters.
+    pub num_params: usize,
+}
+
+/// Everything the shim needs to know about one table site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableDescriptor {
+    /// Control name.
+    pub control: String,
+    /// Table name.
+    pub table: String,
+    /// Flow-entry variable prefix (`pcn.<table>#<site>`).
+    pub prefix: String,
+    /// Keys in order.
+    pub keys: Vec<KeyDescriptor>,
+    /// Actions in order (selector value = index).
+    pub actions: Vec<ActionDescriptor>,
+}
+
+impl TableDescriptor {
+    /// Qualified name `control.table`.
+    pub fn qualified(&self) -> String {
+        format!("{}.{}", self.control, self.table)
+    }
+
+    /// Variable name for a key value.
+    pub fn key_value_var(&self, i: usize) -> String {
+        format!("{}.key{}.value", self.prefix, i)
+    }
+
+    /// Variable name for a key mask.
+    pub fn key_mask_var(&self, i: usize) -> String {
+        format!("{}.key{}.mask", self.prefix, i)
+    }
+
+    /// Variable name for the hit flag.
+    pub fn hit_var(&self) -> String {
+        format!("{}.hit", self.prefix)
+    }
+
+    /// Variable name for the rule's action selector.
+    pub fn action_var(&self) -> String {
+        format!("{}.action", self.prefix)
+    }
+
+    /// Variable name for an action data parameter.
+    pub fn param_var(&self, action: &str, param_idx: usize, param_name: &str) -> String {
+        let _ = param_idx;
+        format!("{}.{}.{}", self.prefix, action, param_name)
+    }
+}
+
+/// One inferred controller annotation.
+#[derive(Clone, Debug)]
+pub struct TableSpec {
+    /// Control name of the primary (asserted-on) table.
+    pub control: String,
+    /// Primary table name.
+    pub table: String,
+    /// Secondary table for multi-table assertions.
+    pub with_table: Option<String>,
+    /// The predicate every rule (or rule combination) must satisfy,
+    /// over the control variables of the involved table sites.
+    pub formula: Term,
+    /// Origin algorithm.
+    pub origin: SpecOrigin,
+}
+
+impl TableSpec {
+    /// Qualified primary table name.
+    pub fn qualified(&self) -> String {
+        format!("{}.{}", self.control, self.table)
+    }
+}
+
+/// The complete compile-time artifact handed to the shim.
+#[derive(Clone, Debug, Default)]
+pub struct AnnotationFile {
+    /// Table descriptors.
+    pub tables: Vec<TableDescriptor>,
+    /// Inferred assertions.
+    pub specs: Vec<TableSpec>,
+    /// `(qualified table, action)` pairs where the action participates in a
+    /// reachable bug: the shim must refuse to install it as a default rule
+    /// (§4.4 "handling default rules").
+    pub unsafe_defaults: Vec<(String, String)>,
+}
+
+impl fmt::Display for AnnotationFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tables {
+            writeln!(f, "TABLE {} SITE {}", t.qualified(), t.prefix)?;
+            for (i, k) in t.keys.iter().enumerate() {
+                writeln!(f, "  KEY {i} {} {} {}", k.match_kind, k.source, k.sort)?;
+            }
+            for (i, a) in t.actions.iter().enumerate() {
+                writeln!(f, "  ACTION {i} {} {}", a.name, a.num_params)?;
+            }
+            writeln!(f, ";")?;
+        }
+        for (t, a) in &self.unsafe_defaults {
+            writeln!(f, "UNSAFE_DEFAULT {t} {a}")?;
+        }
+        for s in &self.specs {
+            write!(f, "ASSERT ON {}", s.qualified())?;
+            if let Some(w) = &s.with_table {
+                write!(f, " WITH {w}")?;
+            }
+            writeln!(f, " ORIGIN {}", s.origin)?;
+            writeln!(f, "  WHERE {}", to_sexpr(&s.formula))?;
+            writeln!(f, ";")?;
+        }
+        Ok(())
+    }
+}
+
+impl AnnotationFile {
+    /// Parse the textual format back (used by the shim).
+    pub fn parse(src: &str) -> Result<AnnotationFile, String> {
+        let mut out = AnnotationFile::default();
+        let mut lines = src.lines().map(str::trim).peekable();
+        while let Some(line) = lines.next() {
+            if line.is_empty() || line == ";" {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("TABLE ") {
+                let mut parts = rest.split_whitespace();
+                let qual = parts.next().ok_or("TABLE: missing name")?;
+                let (control, table) = qual
+                    .split_once('.')
+                    .ok_or("TABLE: name must be control.table")?;
+                let site_kw = parts.next();
+                if site_kw != Some("SITE") {
+                    return Err("TABLE: expected SITE".into());
+                }
+                let prefix = parts.next().ok_or("TABLE: missing prefix")?.to_string();
+                let mut desc = TableDescriptor {
+                    control: control.to_string(),
+                    table: table.to_string(),
+                    prefix,
+                    keys: vec![],
+                    actions: vec![],
+                };
+                for line in lines.by_ref() {
+                    let line = line.trim();
+                    if line == ";" {
+                        break;
+                    }
+                    if let Some(rest) = line.strip_prefix("KEY ") {
+                        let mut p = rest.split_whitespace();
+                        let _i: usize =
+                            p.next().ok_or("KEY: idx")?.parse().map_err(|_| "KEY idx")?;
+                        let match_kind = p.next().ok_or("KEY: kind")?.to_string();
+                        let source = p.next().ok_or("KEY: source")?.to_string();
+                        let sort = parse_sort(p.next().ok_or("KEY: sort")?)?;
+                        desc.keys.push(KeyDescriptor {
+                            match_kind,
+                            source,
+                            sort,
+                        });
+                    } else if let Some(rest) = line.strip_prefix("ACTION ") {
+                        let mut p = rest.split_whitespace();
+                        let _i: usize =
+                            p.next().ok_or("ACTION idx")?.parse().map_err(|_| "ACTION idx")?;
+                        let name = p.next().ok_or("ACTION name")?.to_string();
+                        let num_params: usize = p
+                            .next()
+                            .ok_or("ACTION params")?
+                            .parse()
+                            .map_err(|_| "ACTION params")?;
+                        desc.actions.push(ActionDescriptor { name, num_params });
+                    } else {
+                        return Err(format!("unexpected line in TABLE: {line}"));
+                    }
+                }
+                out.tables.push(desc);
+            } else if let Some(rest) = line.strip_prefix("UNSAFE_DEFAULT ") {
+                let mut p = rest.split_whitespace();
+                let t = p.next().ok_or("UNSAFE_DEFAULT table")?.to_string();
+                let a = p.next().ok_or("UNSAFE_DEFAULT action")?.to_string();
+                out.unsafe_defaults.push((t, a));
+            } else if let Some(rest) = line.strip_prefix("ASSERT ON ") {
+                let mut parts = rest.split_whitespace();
+                let qual = parts.next().ok_or("ASSERT: missing table")?;
+                let (control, table) = qual
+                    .split_once('.')
+                    .ok_or("ASSERT: name must be control.table")?;
+                let mut with_table = None;
+                let mut origin = SpecOrigin::FastInfer;
+                while let Some(kw) = parts.next() {
+                    match kw {
+                        "WITH" => {
+                            with_table =
+                                Some(parts.next().ok_or("ASSERT: WITH arg")?.to_string())
+                        }
+                        "ORIGIN" => {
+                            origin = match parts.next().ok_or("ASSERT: ORIGIN arg")? {
+                                "fast-infer" => SpecOrigin::FastInfer,
+                                "infer" => SpecOrigin::Infer,
+                                "multi-table" => SpecOrigin::MultiTable,
+                                o => return Err(format!("bad origin {o}")),
+                            }
+                        }
+                        o => return Err(format!("unexpected ASSERT keyword {o}")),
+                    }
+                }
+                let where_line = lines.next().ok_or("ASSERT: missing WHERE")?;
+                let formula_src = where_line
+                    .trim()
+                    .strip_prefix("WHERE ")
+                    .ok_or("ASSERT: expected WHERE")?;
+                let formula = parse_sexpr(formula_src)?;
+                out.specs.push(TableSpec {
+                    control: control.to_string(),
+                    table: table.to_string(),
+                    with_table,
+                    formula,
+                    origin,
+                });
+            } else {
+                return Err(format!("unexpected line: {line}"));
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn parse_sort(s: &str) -> Result<Sort, String> {
+    if s == "bool" {
+        return Ok(Sort::Bool);
+    }
+    if let Some(w) = s.strip_prefix("bv") {
+        return Ok(Sort::Bv(w.parse().map_err(|_| "bad sort")?));
+    }
+    Err(format!("bad sort {s}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AnnotationFile {
+        let hit = Term::var("pcn.nat#0.hit", Sort::Bool);
+        let kv = Term::var("pcn.nat#0.key0.value", Sort::Bool);
+        let mask = Term::var("pcn.nat#0.key1.mask", Sort::Bv(32));
+        let bad = hit
+            .and(&kv.not())
+            .and(&mask.eq_term(&Term::bv(32, 0)).not());
+        AnnotationFile {
+            tables: vec![TableDescriptor {
+                control: "ingress".into(),
+                table: "nat".into(),
+                prefix: "pcn.nat#0".into(),
+                keys: vec![
+                    KeyDescriptor {
+                        match_kind: "exact".into(),
+                        source: "hdr.ipv4.isValid()".into(),
+                        sort: Sort::Bool,
+                    },
+                    KeyDescriptor {
+                        match_kind: "ternary".into(),
+                        source: "hdr.ipv4.srcAddr".into(),
+                        sort: Sort::Bv(32),
+                    },
+                ],
+                actions: vec![
+                    ActionDescriptor {
+                        name: "drop_".into(),
+                        num_params: 0,
+                    },
+                    ActionDescriptor {
+                        name: "nat_hit_int_to_ext".into(),
+                        num_params: 2,
+                    },
+                ],
+            }],
+            specs: vec![TableSpec {
+                control: "ingress".into(),
+                table: "nat".into(),
+                with_table: None,
+                formula: bad.not(),
+                origin: SpecOrigin::FastInfer,
+            }],
+            unsafe_defaults: vec![],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = sample();
+        let text = f.to_string();
+        let back = AnnotationFile::parse(&text).unwrap();
+        assert_eq!(back.tables, f.tables);
+        assert_eq!(back.specs.len(), 1);
+        assert!(back.specs[0].formula.alpha_eq(&f.specs[0].formula));
+        assert_eq!(back.specs[0].origin, SpecOrigin::FastInfer);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(AnnotationFile::parse("NONSENSE foo").is_err());
+        assert!(AnnotationFile::parse("TABLE broken\n;").is_err());
+        assert!(AnnotationFile::parse("ASSERT ON a.b ORIGIN weird\n  WHERE true\n;").is_err());
+    }
+
+    #[test]
+    fn unsafe_default_roundtrip() {
+        let mut f = sample();
+        f.unsafe_defaults
+            .push(("ingress.nat".into(), "nat_miss_ext_to_int".into()));
+        let back = AnnotationFile::parse(&f.to_string()).unwrap();
+        assert_eq!(back.unsafe_defaults, f.unsafe_defaults);
+    }
+
+    #[test]
+    fn multi_table_with_clause() {
+        let mut f = sample();
+        f.specs[0].with_table = Some("ingress.t1".into());
+        f.specs[0].origin = SpecOrigin::MultiTable;
+        let back = AnnotationFile::parse(&f.to_string()).unwrap();
+        assert_eq!(back.specs[0].with_table.as_deref(), Some("ingress.t1"));
+        assert_eq!(back.specs[0].origin, SpecOrigin::MultiTable);
+    }
+
+    #[test]
+    fn descriptor_var_names() {
+        let t = &sample().tables[0];
+        assert_eq!(t.hit_var(), "pcn.nat#0.hit");
+        assert_eq!(t.key_value_var(1), "pcn.nat#0.key1.value");
+        assert_eq!(t.key_mask_var(1), "pcn.nat#0.key1.mask");
+        assert_eq!(t.param_var("nat_hit_int_to_ext", 0, "a"), "pcn.nat#0.nat_hit_int_to_ext.a");
+    }
+}

@@ -1,0 +1,62 @@
+//! Small embedded P4 programs used by unit tests and doc examples.
+//!
+//! The full evaluation corpus lives in `bf4-corpus`; this module holds just
+//! the paper's running example so the core crate's own tests are
+//! self-contained.
+
+/// The paper's running example (Fig. 1): a trimmed `simple_nat` with the
+/// three signature bugs — the ternary-mask/invalid-header key bug in
+/// `nat`, the unguarded TTL decrement in `ipv4_lpm.set_nhop`, and
+/// `egress_spec` left unset on the miss path.
+pub const NAT_SOURCE: &str = r#"
+    header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+    header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+    struct meta_inner_t { bit<1> do_forward; bit<32> ipv4_sa; bit<32> nhop_ipv4; }
+    struct metadata { meta_inner_t meta; }
+    struct headers { ethernet_t ethernet; ipv4_t ipv4; }
+    parser ParserImpl(packet_in packet, out headers hdr, inout metadata meta, inout standard_metadata_t standard_metadata) {
+        state start {
+            packet.extract(hdr.ethernet);
+            transition select(hdr.ethernet.etherType) {
+                0x800: parse_ipv4;
+                default: accept;
+            }
+        }
+        state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+    }
+    control ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t standard_metadata) {
+        action drop_() { mark_to_drop(standard_metadata); }
+        action nat_hit_int_to_ext(bit<32> a, bit<9> p) {
+            meta.meta.do_forward = 1w1;
+            meta.meta.ipv4_sa = a;
+            standard_metadata.egress_spec = p;
+        }
+        action nat_miss_ext_to_int() { meta.meta.do_forward = 1w0; }
+        table nat {
+            key = { hdr.ipv4.isValid(): exact; hdr.ipv4.srcAddr: ternary; }
+            actions = { drop_; nat_hit_int_to_ext; nat_miss_ext_to_int; }
+            default_action = drop_();
+        }
+        action set_nhop(bit<32> nhop_ipv4, bit<9> port) {
+            meta.meta.nhop_ipv4 = nhop_ipv4;
+            standard_metadata.egress_spec = port;
+            hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+        }
+        table ipv4_lpm {
+            key = { meta.meta.nhop_ipv4: lpm; }
+            actions = { set_nhop; drop_; }
+            default_action = drop_();
+        }
+        apply {
+            nat.apply();
+            if (meta.meta.do_forward == 1w1) {
+                ipv4_lpm.apply();
+            }
+        }
+    }
+    control egress(inout headers hdr, inout metadata meta, inout standard_metadata_t standard_metadata) { apply { } }
+    control verifyChecksum(inout headers hdr, inout metadata meta) { apply { } }
+    control computeChecksum(inout headers hdr, inout metadata meta) { apply { } }
+    control DeparserImpl(packet_out packet, in headers hdr) { apply { packet.emit(hdr.ethernet); packet.emit(hdr.ipv4); } }
+    V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;
+"#;

@@ -1,0 +1,56 @@
+// ARP responder. Every table matches on the validity of each header its
+// actions touch, so Infer controls all bugs with existing keys (Table 1:
+// arp — 0 bugs after Infer, 0 keys added).
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header arp_t { bit<16> htype; bit<16> ptype; bit<16> oper; bit<48> sha; bit<32> spa; bit<48> tha; bit<32> tpa; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+struct meta_t { bit<32> dst_ip; }
+struct headers { ethernet_t ethernet; arp_t arp; ipv4_t ipv4; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x806: parse_arp;
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_arp { packet.extract(hdr.arp); transition accept; }
+    state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    action drop_() { mark_to_drop(standard_metadata); }
+    action arp_reply(bit<48> my_mac) {
+        hdr.ethernet.dstAddr = hdr.ethernet.srcAddr;
+        hdr.ethernet.srcAddr = my_mac;
+        hdr.arp.oper = 2;
+        hdr.arp.tha = hdr.arp.sha;
+        hdr.arp.tpa = hdr.arp.spa;
+        hdr.arp.sha = my_mac;
+        standard_metadata.egress_spec = standard_metadata.ingress_port;
+    }
+    action forward_v4(bit<9> port) {
+        meta.dst_ip = hdr.ipv4.dstAddr;
+        standard_metadata.egress_spec = port;
+    }
+    table arp_resp {
+        key = {
+            hdr.arp.isValid(): exact;
+            hdr.ipv4.isValid(): exact;
+            hdr.arp.oper: ternary;
+            hdr.ipv4.dstAddr: ternary;
+        }
+        actions = { arp_reply; forward_v4; drop_; }
+        default_action = drop_();
+    }
+    apply { arp_resp.apply(); }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.arp); packet.emit(hdr.ipv4); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

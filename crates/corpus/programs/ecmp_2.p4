@@ -1,0 +1,52 @@
+// Two-stage ECMP. ecmp_nhop.set_nhop decrements the TTL of a possibly
+// invalid ipv4 header; neither table matches on its validity, so Fixes
+// must add hdr.ipv4.isValid() (Table 1: ecmp_2 — 1 key added).
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+struct meta_t { bit<16> ecmp_group; bit<16> ecmp_select; }
+struct headers { ethernet_t ethernet; ipv4_t ipv4; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    action drop_() { mark_to_drop(standard_metadata); }
+    action set_group(bit<16> gid, bit<16> sel) {
+        meta.ecmp_group = gid;
+        meta.ecmp_select = sel;
+    }
+    table ecmp_group {
+        key = { hdr.ipv4.dstAddr: lpm; }
+        actions = { set_group; drop_; }
+        default_action = drop_();
+    }
+    action set_nhop(bit<48> dmac, bit<9> port) {
+        hdr.ethernet.dstAddr = dmac;
+        standard_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table ecmp_nhop {
+        key = { meta.ecmp_group: exact; meta.ecmp_select: exact; }
+        actions = { set_nhop; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        ecmp_group.apply();
+        ecmp_nhop.apply();
+    }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.ipv4); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

@@ -1,0 +1,397 @@
+// fabric_switch.p4 — the switch.p4 stand-in: a datacenter fabric switch
+// with L2 validation, VLAN handling, fabric encapsulation, tunnel
+// termination, IPv4/IPv6 FIBs, ECMP, ACLs and rewrite stages.
+//
+// It reproduces the paper's §5.1 case studies structurally:
+//  * validate_outer_ethernet with a `doubletagged` action reading
+//    vlan_tag_[0]/vlan_tag_[1] while matching on both validity bits
+//    ("missing assumptions" — fully controllable by Infer);
+//  * fabric_ingress_dst_lkp matching hdr.fabric_header.dstDevice with NO
+//    validity key ("missing validity checks" — needs a key fix);
+//  * tunnel decap header copies (inner_ipv4 → ipv4) instrumented with the
+//    dontCare heuristic (§4.2 "increasing bug coverage").
+
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header vlan_tag_t { bit<3> pcp; bit<1> cfi; bit<12> vid; bit<16> etherType; }
+header fabric_header_t { bit<3> packetType; bit<2> headerVersion; bit<8> dstDevice; bit<16> dstPortOrGroup; bit<16> etherType; }
+header fabric_header_unicast_t { bit<1> routed; bit<1> outerRouted; bit<1> tunnelTerminate; bit<5> ingressTunnelType; bit<16> nexthopIndex; }
+header ipv4_t { bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> totalLen; bit<8> ttl; bit<8> protocol; bit<16> hdrChecksum; bit<32> srcAddr; bit<32> dstAddr; }
+header ipv6_t { bit<4> version; bit<8> trafficClass; bit<8> nextHdr; bit<8> hopLimit; bit<64> srcLow; bit<64> dstLow; }
+header tcp_t { bit<16> srcPort; bit<16> dstPort; bit<32> seqNo; bit<8> flags; }
+header udp_t { bit<16> srcPort; bit<16> dstPort; bit<16> length_; bit<16> checksum; }
+header vxlan_t { bit<8> flags; bit<24> vni; }
+header mpls_t { bit<20> label; bit<3> exp; bit<1> bos; bit<8> mplsTtl; }
+
+struct ingress_metadata_t {
+    bit<9> ifindex; bit<16> bd; bit<16> vrf; bit<1> l2_miss; bit<1> l3_routed;
+    bit<16> nexthop_index; bit<16> ecmp_group; bit<8> ecmp_offset;
+    bit<1> tunnel_terminate; bit<5> tunnel_type; bit<24> tunnel_vni;
+    bit<2> port_type; bit<8> drop_reason; bit<1> acl_deny;
+}
+struct l2_metadata_t {
+    bit<3> lkp_pkt_type; bit<16> lkp_mac_type; bit<3> lkp_pcp;
+    bit<48> lkp_mac_sa; bit<48> lkp_mac_da; bit<16> stp_group; bit<1> stp_blocked;
+}
+struct l3_metadata_t {
+    bit<32> lkp_ipv4_sa; bit<32> lkp_ipv4_da; bit<8> lkp_ip_proto; bit<8> lkp_ip_ttl;
+    bit<16> lkp_l4_sport; bit<16> lkp_l4_dport; bit<1> ipv4_unicast_enabled;
+}
+struct metadata {
+    ingress_metadata_t ingress_metadata;
+    l2_metadata_t l2_metadata;
+    l3_metadata_t l3_metadata;
+}
+struct headers {
+    ethernet_t ethernet;
+    vlan_tag_t[2] vlan_tag_;
+    fabric_header_t fabric_header;
+    fabric_header_unicast_t fabric_header_unicast;
+    ipv4_t ipv4;
+    ipv6_t ipv6;
+    tcp_t tcp;
+    udp_t udp;
+    vxlan_t vxlan;
+    ipv4_t inner_ipv4;
+    mpls_t[3] mpls;
+}
+
+parser ParserImpl(packet_in packet, out headers hdr, inout metadata meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x8100: parse_vlan;
+            0x9000: parse_fabric_header;
+            0x8847: parse_mpls;
+            0x800: parse_ipv4;
+            0x86dd: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        packet.extract(hdr.vlan_tag_.next);
+        transition select(hdr.vlan_tag_.last.etherType) {
+            0x8100: parse_vlan;
+            0x800: parse_ipv4;
+            0x86dd: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_fabric_header {
+        packet.extract(hdr.fabric_header);
+        transition select(hdr.fabric_header.packetType) {
+            1: parse_fabric_unicast;
+            default: accept;
+        }
+    }
+    state parse_fabric_unicast {
+        packet.extract(hdr.fabric_header_unicast);
+        transition select(hdr.fabric_header.etherType) {
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_mpls {
+        packet.extract(hdr.mpls.next);
+        transition select(hdr.mpls.last.bos) {
+            0: parse_mpls;
+            1: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        packet.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            6: parse_tcp;
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_ipv6 { packet.extract(hdr.ipv6); transition accept; }
+    state parse_tcp { packet.extract(hdr.tcp); transition accept; }
+    state parse_udp {
+        packet.extract(hdr.udp);
+        transition select(hdr.udp.dstPort) {
+            4789: parse_vxlan;
+            default: accept;
+        }
+    }
+    state parse_vxlan {
+        packet.extract(hdr.vxlan);
+        transition parse_inner_ipv4;
+    }
+    state parse_inner_ipv4 { packet.extract(hdr.inner_ipv4); transition accept; }
+}
+
+control ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t standard_metadata) {
+    action nop() { }
+    action drop_packet() { mark_to_drop(standard_metadata); }
+
+    // ---- port / interface mapping ----
+    action set_ifindex(bit<9> ifindex, bit<2> port_type) {
+        meta.ingress_metadata.ifindex = ifindex;
+        meta.ingress_metadata.port_type = port_type;
+    }
+    table ingress_port_mapping {
+        key = { standard_metadata.ingress_port: exact; }
+        actions = { set_ifindex; drop_packet; }
+        default_action = drop_packet();
+    }
+
+    // ---- §5.1 case study 1: validate_outer_ethernet ----
+    action malformed_outer_ethernet_packet(bit<8> reason) {
+        meta.ingress_metadata.drop_reason = reason;
+    }
+    action set_valid_outer_unicast_packet_untagged() {
+        meta.l2_metadata.lkp_pkt_type = 3w1;
+        meta.l2_metadata.lkp_mac_type = hdr.ethernet.etherType;
+        meta.l2_metadata.lkp_mac_sa = hdr.ethernet.srcAddr;
+        meta.l2_metadata.lkp_mac_da = hdr.ethernet.dstAddr;
+    }
+    action set_valid_outer_unicast_packet_single_tagged() {
+        meta.l2_metadata.lkp_pkt_type = 3w1;
+        meta.l2_metadata.lkp_mac_type = hdr.vlan_tag_[0].etherType;
+        meta.l2_metadata.lkp_pcp = hdr.vlan_tag_[0].pcp;
+    }
+    action set_valid_outer_unicast_packet_double_tagged() {
+        meta.l2_metadata.lkp_pkt_type = 3w1;
+        meta.l2_metadata.lkp_mac_type = hdr.vlan_tag_[1].etherType;
+        meta.l2_metadata.lkp_pcp = hdr.vlan_tag_[0].pcp;
+    }
+    table validate_outer_ethernet {
+        key = {
+            hdr.vlan_tag_[0].isValid(): exact;
+            hdr.vlan_tag_[1].isValid(): exact;
+            hdr.ethernet.srcAddr: ternary;
+        }
+        actions = {
+            malformed_outer_ethernet_packet;
+            set_valid_outer_unicast_packet_untagged;
+            set_valid_outer_unicast_packet_single_tagged;
+            set_valid_outer_unicast_packet_double_tagged;
+        }
+        default_action = malformed_outer_ethernet_packet(1);
+    }
+
+    // ---- spanning tree ----
+    action set_stp_state(bit<1> blocked) { meta.l2_metadata.stp_blocked = blocked; }
+    table spanning_tree {
+        key = { meta.ingress_metadata.ifindex: exact; meta.l2_metadata.stp_group: exact; }
+        actions = { set_stp_state; nop; }
+        default_action = nop();
+    }
+
+    // ---- port-vlan to BD mapping ----
+    action set_bd(bit<16> bd, bit<16> vrf) {
+        meta.ingress_metadata.bd = bd;
+        meta.ingress_metadata.vrf = vrf;
+        meta.l3_metadata.ipv4_unicast_enabled = 1;
+    }
+    table port_vlan_mapping {
+        key = {
+            meta.ingress_metadata.ifindex: exact;
+            hdr.vlan_tag_[0].isValid(): exact;
+            hdr.vlan_tag_[0].vid: ternary;
+        }
+        actions = { set_bd; nop; }
+        default_action = nop();
+    }
+
+    // ---- §5.1 case study 2: fabric_ingress_dst_lkp (missing validity) ----
+    action terminate_fabric_unicast_packet() {
+        standard_metadata.egress_spec = (bit<9>)hdr.fabric_header.dstPortOrGroup;
+        meta.ingress_metadata.tunnel_terminate = hdr.fabric_header_unicast.tunnelTerminate;
+        meta.l2_metadata.lkp_mac_type = hdr.fabric_header.etherType;
+    }
+    table fabric_ingress_dst_lkp {
+        key = { hdr.fabric_header.dstDevice: exact; }
+        actions = { terminate_fabric_unicast_packet; nop; }
+        default_action = nop();
+    }
+
+    // ---- tunnel termination (dontCare case study) ----
+    action decap_vxlan_inner_ipv4() {
+        hdr.ipv4 = hdr.inner_ipv4;
+        hdr.vxlan.setInvalid();
+        hdr.udp.setInvalid();
+        hdr.inner_ipv4.setInvalid();
+        meta.ingress_metadata.tunnel_terminate = 1;
+    }
+    action set_tunnel_vni(bit<24> vni) { meta.ingress_metadata.tunnel_vni = vni; }
+    table tunnel {
+        key = {
+            hdr.vxlan.isValid(): exact;
+            hdr.inner_ipv4.isValid(): exact;
+            hdr.vxlan.vni: ternary;
+        }
+        actions = { decap_vxlan_inner_ipv4; set_tunnel_vni; nop; }
+        default_action = nop();
+    }
+
+    // ---- MPLS ----
+    action pop_mpls_label() {
+        hdr.mpls.pop_front(1);
+        meta.l3_metadata.lkp_ip_proto = hdr.ipv4.protocol;
+    }
+    table mpls_table {
+        key = { hdr.mpls[0].isValid(): exact; hdr.mpls[0].label: ternary; }
+        actions = { pop_mpls_label; nop; }
+        default_action = nop();
+    }
+
+    // ---- L2 ----
+    action dmac_hit(bit<9> ifindex) {
+        meta.ingress_metadata.ifindex = ifindex;
+        standard_metadata.egress_spec = ifindex;
+    }
+    action dmac_miss() { meta.ingress_metadata.l2_miss = 1; }
+    table dmac {
+        key = { meta.ingress_metadata.bd: exact; meta.l2_metadata.lkp_mac_da: exact; }
+        actions = { dmac_hit; dmac_miss; }
+        default_action = dmac_miss();
+    }
+    action smac_learn() { meta.l2_metadata.stp_group = 1; }
+    table smac {
+        key = { meta.ingress_metadata.bd: exact; meta.l2_metadata.lkp_mac_sa: exact; }
+        actions = { smac_learn; nop; }
+        default_action = nop();
+    }
+
+    // ---- L3 source/dest lookups ----
+    action set_l3_lkp_fields() {
+        meta.l3_metadata.lkp_ipv4_sa = hdr.ipv4.srcAddr;
+        meta.l3_metadata.lkp_ipv4_da = hdr.ipv4.dstAddr;
+        meta.l3_metadata.lkp_ip_proto = hdr.ipv4.protocol;
+        meta.l3_metadata.lkp_ip_ttl = hdr.ipv4.ttl;
+    }
+    table validate_ipv4_packet {
+        key = { hdr.ipv4.isValid(): exact; hdr.ipv4.version: ternary; }
+        actions = { set_l3_lkp_fields; drop_packet; nop; }
+        default_action = nop();
+    }
+
+    action fib_hit_nexthop(bit<16> nexthop_index) {
+        meta.ingress_metadata.nexthop_index = nexthop_index;
+        meta.ingress_metadata.l3_routed = 1;
+    }
+    action fib_hit_ecmp(bit<16> ecmp_group) {
+        meta.ingress_metadata.ecmp_group = ecmp_group;
+        meta.ingress_metadata.l3_routed = 1;
+    }
+    table ipv4_fib {
+        key = { meta.ingress_metadata.vrf: exact; meta.l3_metadata.lkp_ipv4_da: lpm; }
+        actions = { fib_hit_nexthop; fib_hit_ecmp; nop; }
+        default_action = nop();
+    }
+    action set_ecmp_nexthop(bit<16> nexthop_index) {
+        meta.ingress_metadata.nexthop_index = nexthop_index;
+    }
+    table ecmp_group_tbl {
+        key = { meta.ingress_metadata.ecmp_group: exact; meta.ingress_metadata.ecmp_offset: exact; }
+        actions = { set_ecmp_nexthop; nop; }
+        default_action = nop();
+    }
+
+    // ---- nexthop → rewrite info ----
+    action set_nexthop_details(bit<9> port, bit<16> bd) {
+        standard_metadata.egress_spec = port;
+        meta.ingress_metadata.bd = bd;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table nexthop {
+        key = { meta.ingress_metadata.nexthop_index: exact; }
+        actions = { set_nexthop_details; drop_packet; }
+        default_action = drop_packet();
+    }
+
+    // ---- ACLs ----
+    action acl_deny() { meta.ingress_metadata.acl_deny = 1; mark_to_drop(standard_metadata); }
+    action acl_permit() { meta.ingress_metadata.acl_deny = 0; }
+    table ip_acl {
+        key = {
+            hdr.ipv4.isValid(): exact;
+            hdr.tcp.isValid(): exact;
+            hdr.ipv4.srcAddr: ternary;
+            hdr.ipv4.dstAddr: ternary;
+            hdr.tcp.dstPort: ternary;
+        }
+        actions = { acl_deny; acl_permit; nop; }
+        default_action = nop();
+    }
+    action set_copp(bit<8> reason) { meta.ingress_metadata.drop_reason = reason; }
+    table system_acl {
+        key = { meta.ingress_metadata.drop_reason: ternary; meta.ingress_metadata.acl_deny: exact; }
+        actions = { set_copp; drop_packet; nop; }
+        default_action = nop();
+    }
+
+    apply {
+        ingress_port_mapping.apply();
+        validate_outer_ethernet.apply();
+        if (meta.ingress_metadata.port_type == 0) {
+            spanning_tree.apply();
+            port_vlan_mapping.apply();
+        } else {
+            fabric_ingress_dst_lkp.apply();
+        }
+        tunnel.apply();
+        mpls_table.apply();
+        validate_ipv4_packet.apply();
+        dmac.apply();
+        smac.apply();
+        if (meta.ingress_metadata.l2_miss == 1 || meta.l3_metadata.ipv4_unicast_enabled == 1) {
+            ipv4_fib.apply();
+            if (meta.ingress_metadata.l3_routed == 1) {
+                ecmp_group_tbl.apply();
+                nexthop.apply();
+            }
+        }
+        ip_acl.apply();
+        system_acl.apply();
+    }
+}
+
+control egress(inout headers hdr, inout metadata meta, inout standard_metadata_t standard_metadata) {
+    action nop() { }
+    action rewrite_smac(bit<48> smac) { hdr.ethernet.srcAddr = smac; }
+    table egress_smac_rewrite {
+        key = { meta.ingress_metadata.bd: exact; }
+        actions = { rewrite_smac; nop; }
+        default_action = nop();
+    }
+    action push_vlan(bit<12> vid) {
+        hdr.vlan_tag_.push_front(1);
+        hdr.vlan_tag_[0].setValid();
+        hdr.vlan_tag_[0].vid = vid;
+        hdr.vlan_tag_[0].pcp = 0;
+        hdr.vlan_tag_[0].cfi = 0;
+        hdr.vlan_tag_[0].etherType = hdr.ethernet.etherType;
+        hdr.ethernet.etherType = 0x8100;
+    }
+    table egress_vlan_xlate {
+        key = { standard_metadata.egress_port: exact; meta.ingress_metadata.bd: exact; }
+        actions = { push_vlan; nop; }
+        default_action = nop();
+    }
+    apply {
+        egress_smac_rewrite.apply();
+        egress_vlan_xlate.apply();
+    }
+}
+control verifyChecksum(inout headers hdr, inout metadata meta) { apply { } }
+control computeChecksum(inout headers hdr, inout metadata meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply {
+        packet.emit(hdr.ethernet);
+        packet.emit(hdr.vlan_tag_[0]);
+        packet.emit(hdr.vlan_tag_[1]);
+        packet.emit(hdr.fabric_header);
+        packet.emit(hdr.fabric_header_unicast);
+        packet.emit(hdr.ipv4);
+        packet.emit(hdr.ipv6);
+        packet.emit(hdr.tcp);
+        packet.emit(hdr.udp);
+        packet.emit(hdr.vxlan);
+        packet.emit(hdr.inner_ipv4);
+    }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

@@ -1,0 +1,55 @@
+// Flowlet switching with register state. Register indexes come from a
+// table-provided flowlet id, so out-of-bounds accesses are controllable by
+// annotations on the action data; the TTL bug needs a validity key fix.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+struct meta_t { bit<16> flowlet_id; bit<32> flowlet_ts; bit<16> nhop_idx; }
+struct headers { ethernet_t ethernet; ipv4_t ipv4; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    register<bit<32>>(1024) flowlet_ts_reg;
+    register<bit<16>>(1024) flowlet_nhop_reg;
+    action drop_() { mark_to_drop(standard_metadata); }
+    action lookup_flowlet(bit<16> fid) {
+        meta.flowlet_id = fid;
+        flowlet_ts_reg.read(meta.flowlet_ts, (bit<32>)fid);
+        flowlet_nhop_reg.read(meta.nhop_idx, (bit<32>)fid);
+    }
+    table flowlet_map {
+        key = { hdr.ipv4.isValid(): exact; hdr.ipv4.srcAddr: ternary; hdr.ipv4.dstAddr: ternary; }
+        actions = { lookup_flowlet; drop_; }
+        default_action = drop_();
+    }
+    action set_nhop(bit<48> dmac, bit<9> port) {
+        hdr.ethernet.dstAddr = dmac;
+        standard_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table flowlet_nhop {
+        key = { meta.nhop_idx: exact; }
+        actions = { set_nhop; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        flowlet_map.apply();
+        flowlet_nhop.apply();
+    }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.ipv4); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

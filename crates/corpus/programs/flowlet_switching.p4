@@ -1,0 +1,42 @@
+// Variant of flowlet with registers smaller than the id domain: the
+// register index bug is reachable and controllable only via an annotation
+// on the action data (fid < 100).
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+struct meta_t { bit<16> flowlet_id; bit<32> flowlet_ts; }
+struct headers { ethernet_t ethernet; ipv4_t ipv4; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    register<bit<32>>(100) ts_reg;
+    action drop_() { mark_to_drop(standard_metadata); }
+    action pick_flowlet(bit<16> fid, bit<9> port) {
+        meta.flowlet_id = fid;
+        ts_reg.read(meta.flowlet_ts, (bit<32>)fid);
+        ts_reg.write((bit<32>)fid, meta.flowlet_ts + 1);
+        standard_metadata.egress_spec = port;
+    }
+    table flowlet {
+        key = { hdr.ipv4.isValid(): exact; hdr.ipv4.srcAddr: ternary; }
+        actions = { pick_flowlet; drop_; }
+        default_action = drop_();
+    }
+    apply { flowlet.apply(); }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.ipv4); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

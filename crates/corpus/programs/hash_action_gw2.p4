@@ -1,0 +1,41 @@
+// Gateway with a hash-indexed action: the hash output drives a register;
+// ipv4 field reads in the hash argument list need a validity key.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+struct meta_t { bit<16> hash_val; bit<32> cnt; }
+struct headers { ethernet_t ethernet; ipv4_t ipv4; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    register<bit<32>>(65536) counters;
+    action drop_() { mark_to_drop(standard_metadata); }
+    action gw_hit(bit<9> port) {
+        hash(meta.hash_val, 0, 0, hdr.ipv4.srcAddr, 65535);
+        counters.read(meta.cnt, (bit<32>)meta.hash_val);
+        counters.write((bit<32>)meta.hash_val, meta.cnt + 1);
+        standard_metadata.egress_spec = port;
+    }
+    table gw {
+        key = { hdr.ethernet.dstAddr: exact; }
+        actions = { gw_hit; drop_; }
+        default_action = drop_();
+    }
+    apply { gw.apply(); }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.ipv4); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

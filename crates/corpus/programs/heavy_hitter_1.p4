@@ -1,0 +1,53 @@
+// Heavy-hitter detection: count sketch registers indexed by a packet-derived
+// value. The index is not a function of any key, so the OOB bug needs a key
+// fix; the TTL bug needs a validity key.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+struct meta_t { bit<16> bucket; bit<32> count; }
+struct headers { ethernet_t ethernet; ipv4_t ipv4; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    register<bit<32>>(4096) sketch;
+    action drop_() { mark_to_drop(standard_metadata); }
+    action count_bucket(bit<16> bucket) {
+        meta.bucket = bucket;
+        sketch.read(meta.count, (bit<32>)bucket);
+        sketch.write((bit<32>)bucket, meta.count + 1);
+    }
+    table classify {
+        key = { hdr.ipv4.isValid(): exact; hdr.ipv4.srcAddr: ternary; }
+        actions = { count_bucket; drop_; }
+        default_action = drop_();
+    }
+    action route(bit<9> port) {
+        standard_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table forward {
+        key = { hdr.ipv4.dstAddr: lpm; }
+        actions = { route; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        classify.apply();
+        forward.apply();
+    }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.ipv4); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

@@ -1,0 +1,69 @@
+// Two-row sketch variant with registers sized below the index domain: both
+// register accesses can go out of bounds (annotations on action data), and
+// two header accesses need validity keys.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+header udp_t { bit<16> srcPort; bit<16> dstPort; }
+struct meta_t { bit<16> b0; bit<16> b1; bit<32> c0; bit<32> c1; }
+struct headers { ethernet_t ethernet; ipv4_t ipv4; udp_t udp; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        packet.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_udp { packet.extract(hdr.udp); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    register<bit<32>>(600) row0;
+    register<bit<32>>(600) row1;
+    action drop_() { mark_to_drop(standard_metadata); }
+    action sketch_update(bit<16> bucket0, bit<16> bucket1) {
+        meta.b0 = bucket0;
+        meta.b1 = bucket1;
+        row0.read(meta.c0, (bit<32>)bucket0);
+        row0.write((bit<32>)bucket0, meta.c0 + 1);
+        row1.read(meta.c1, (bit<32>)bucket1);
+        row1.write((bit<32>)bucket1, meta.c1 + 1);
+    }
+    table sketch_sel {
+        key = { hdr.ipv4.isValid(): exact; hdr.udp.isValid(): exact; hdr.ipv4.srcAddr: ternary; hdr.udp.dstPort: ternary; }
+        actions = { sketch_update; drop_; }
+        default_action = drop_();
+    }
+    action route(bit<9> port) {
+        standard_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    action mirror_udp(bit<9> port) {
+        standard_metadata.egress_spec = port;
+        hdr.udp.dstPort = hdr.udp.srcPort;
+    }
+    table forward {
+        key = { hdr.ipv4.dstAddr: lpm; }
+        actions = { route; mirror_udp; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        sketch_sel.apply();
+        forward.apply();
+    }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.ipv4); packet.emit(hdr.udp); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

@@ -1,0 +1,64 @@
+// HULA-style adaptive load balancing: probe packets update per-tor best-hop
+// registers; data packets follow them. Probe header accesses and register
+// indexes produce a mix of controllable and fixable bugs.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+header hula_t { bit<24> dst_tor; bit<8> path_util; bit<8> dir; }
+struct meta_t { bit<24> dst_tor; bit<8> best_util; bit<16> nhop_idx; }
+struct headers { ethernet_t ethernet; hula_t hula; ipv4_t ipv4; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x2345: parse_hula;
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_hula { packet.extract(hdr.hula); transition parse_ipv4; }
+    state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    register<bit<8>>(512) best_util_reg;
+    register<bit<16>>(512) best_hop_reg;
+    action drop_() { mark_to_drop(standard_metadata); }
+    action hula_probe(bit<16> tor_idx) {
+        best_util_reg.read(meta.best_util, (bit<32>)tor_idx);
+        if (hdr.hula.path_util < meta.best_util) {
+            best_util_reg.write((bit<32>)tor_idx, hdr.hula.path_util);
+            best_hop_reg.write((bit<32>)tor_idx, (bit<16>)standard_metadata.ingress_port);
+        }
+        standard_metadata.egress_spec = 1;
+    }
+    action hula_data(bit<16> tor_idx) {
+        best_hop_reg.read(meta.nhop_idx, (bit<32>)tor_idx);
+        standard_metadata.egress_spec = (bit<9>)meta.nhop_idx;
+    }
+    table hula_lookup {
+        key = { hdr.hula.isValid(): exact; hdr.ipv4.isValid(): exact; hdr.ipv4.dstAddr: ternary; }
+        actions = { hula_probe; hula_data; drop_; }
+        default_action = drop_();
+    }
+    action set_dmac(bit<48> dmac) {
+        hdr.ethernet.dstAddr = dmac;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table dmac_rewrite {
+        key = { meta.nhop_idx: exact; }
+        actions = { set_dmac; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        hula_lookup.apply();
+        dmac_rewrite.apply();
+    }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.hula); packet.emit(hdr.ipv4); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

@@ -1,0 +1,43 @@
+// Modeled on p4c issue 894: conditional header emit with accesses guarded
+// by the wrong header's validity.
+header h1_t { bit<8> a; bit<8> b; }
+header h2_t { bit<16> c; }
+struct meta_t { bit<8> x; }
+struct headers { h1_t h1; h2_t h2; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.h1);
+        transition select(hdr.h1.a) {
+            1: parse_h2;
+            default: accept;
+        }
+    }
+    state parse_h2 { packet.extract(hdr.h2); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    action drop_() { mark_to_drop(standard_metadata); }
+    action use_h2(bit<9> port) {
+        // BUG pattern: guarded by h1's validity, not h2's.
+        meta.x = (bit<8>)hdr.h2.c;
+        standard_metadata.egress_spec = port;
+    }
+    action use_h1(bit<9> port) {
+        meta.x = hdr.h1.b;
+        standard_metadata.egress_spec = port;
+    }
+    table dispatch {
+        key = { hdr.h1.isValid(): exact; hdr.h1.a: ternary; }
+        actions = { use_h1; use_h2; drop_; }
+        default_action = drop_();
+    }
+    apply { dispatch.apply(); }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.h1); packet.emit(hdr.h2); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

@@ -1,0 +1,89 @@
+// Linear Road toll benchmark (trimmed): position reports update per-segment
+// state; toll notifications and accident alerts are table-driven. Contains
+// one genuine dataplane bug (unguarded lr.speed read in the apply block
+// before any table) that survives Fixes, as in Table 1.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header lr_t { bit<8> msgtype; bit<16> vid; bit<8> speed; bit<8> lane; bit<16> seg; bit<8> dir; }
+header lr_toll_t { bit<16> toll; bit<32> balance; }
+struct meta_t { bit<32> seg_cnt; bit<32> seg_speed_sum; bit<8> accident; bit<16> toll; }
+struct headers { ethernet_t ethernet; lr_t lr; lr_toll_t lr_toll; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x5678: parse_lr;
+            default: accept;
+        }
+    }
+    state parse_lr {
+        packet.extract(hdr.lr);
+        transition select(hdr.lr.msgtype) {
+            2: parse_toll;
+            default: accept;
+        }
+    }
+    state parse_toll { packet.extract(hdr.lr_toll); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    register<bit<32>>(400) seg_count_reg;
+    register<bit<32>>(400) seg_speed_reg;
+    register<bit<8>>(400) accident_reg;
+    action drop_() { mark_to_drop(standard_metadata); }
+    action pos_report(bit<16> seg_slot) {
+        seg_count_reg.read(meta.seg_cnt, (bit<32>)seg_slot);
+        seg_count_reg.write((bit<32>)seg_slot, meta.seg_cnt + 1);
+        seg_speed_reg.read(meta.seg_speed_sum, (bit<32>)seg_slot);
+        seg_speed_reg.write((bit<32>)seg_slot, meta.seg_speed_sum + (bit<32>)hdr.lr.speed);
+        standard_metadata.egress_spec = 1;
+    }
+    action accident_alert(bit<16> seg_slot, bit<9> port) {
+        accident_reg.read(meta.accident, (bit<32>)seg_slot);
+        standard_metadata.egress_spec = port;
+    }
+    action mark_accident(bit<16> seg_slot) {
+        accident_reg.write((bit<32>)seg_slot, 1);
+        standard_metadata.egress_spec = 1;
+    }
+    table position {
+        key = { hdr.lr.isValid(): exact; hdr.lr.msgtype: ternary; hdr.lr.seg: ternary; }
+        actions = { pos_report; accident_alert; mark_accident; drop_; }
+        default_action = drop_();
+    }
+    action set_toll(bit<16> toll, bit<9> port) {
+        meta.toll = toll;
+        hdr.lr_toll.toll = toll;
+        standard_metadata.egress_spec = port;
+    }
+    table toll_tbl {
+        key = { meta.accident: exact; hdr.lr.seg: ternary; }
+        actions = { set_toll; drop_; }
+        default_action = drop_();
+    }
+    action balance_update(bit<32> delta) {
+        hdr.lr_toll.balance = hdr.lr_toll.balance + delta;
+    }
+    table balance_tbl {
+        key = { hdr.lr_toll.isValid(): exact; hdr.lr_toll.toll: ternary; }
+        actions = { balance_update; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        // Genuine dataplane bug: lr may be invalid here and no table
+        // dominates this read.
+        if (hdr.lr.speed > 100) {
+            meta.accident = 1;
+        }
+        position.apply();
+        toll_tbl.apply();
+        balance_tbl.apply();
+    }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.lr); packet.emit(hdr.lr_toll); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

@@ -1,0 +1,38 @@
+// Multicast NAT: rewrites the destination of multicast ipv4 packets.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+struct meta_t { bit<16> mcast_grp; }
+struct headers { ethernet_t ethernet; ipv4_t ipv4; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    action drop_() { mark_to_drop(standard_metadata); }
+    action set_mcast(bit<16> grp, bit<32> new_dst) {
+        standard_metadata.mcast_grp = grp;
+        hdr.ipv4.dstAddr = new_dst;
+        standard_metadata.egress_spec = 1;
+    }
+    table mc_nat_tbl {
+        key = { hdr.ipv4.dstAddr: exact; }
+        actions = { set_mcast; drop_; }
+        default_action = drop_();
+    }
+    apply { mc_nat_tbl.apply(); }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.ipv4); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

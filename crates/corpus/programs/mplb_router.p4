@@ -1,0 +1,56 @@
+// The paper's example of an *uncontrollable* dataplane bug: the ingress
+// apply block reads hdr.tcp.dstPort inside an if condition before any
+// table runs — no prior table can rescue it (Table 1: mplb_router —
+// 1 bug remains after Fixes).
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+header tcp_t { bit<16> srcPort; bit<16> dstPort; }
+struct meta_t { bit<16> service; }
+struct headers { ethernet_t ethernet; ipv4_t ipv4; tcp_t tcp; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        packet.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            6: parse_tcp;
+            default: accept;
+        }
+    }
+    state parse_tcp { packet.extract(hdr.tcp); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    action drop_() { mark_to_drop(standard_metadata); }
+    action to_service(bit<16> svc, bit<9> port) {
+        meta.service = svc;
+        standard_metadata.egress_spec = port;
+    }
+    table lb {
+        key = { meta.service: exact; }
+        actions = { to_service; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        // BUG: tcp may be invalid here; no table dominates this read.
+        if (hdr.tcp.dstPort == 80) {
+            meta.service = 1;
+        } else {
+            meta.service = 2;
+        }
+        lb.apply();
+    }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.ipv4); packet.emit(hdr.tcp); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

@@ -1,0 +1,40 @@
+// The paper's §4.2 multi-table snippet as a standalone program: table t1
+// (key k1) may validate header H; table t2 (keys k1,k2 ⊇ t1's keys) runs
+// use_H which reads H. The rule combination (k1=v, nop) ∈ t1 with
+// (k1=v, k2=*, use_H) ∈ t2 always triggers the bug — controllable only by
+// a multi-table assertion joining both tables' contents.
+header key_t { bit<8> k1; bit<8> k2; }
+header h_t { bit<16> f; }
+struct meta_t { bit<16> x; }
+struct headers { key_t keyh; h_t h; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start { packet.extract(hdr.keyh); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    action drop_() { mark_to_drop(standard_metadata); }
+    action validate_H() { hdr.h.setValid(); hdr.h.f = 0; }
+    action nop_() { }
+    table t1 {
+        key = { hdr.keyh.k1: exact; }
+        actions = { validate_H; nop_; }
+        default_action = nop_();
+    }
+    action use_H(bit<9> p) { meta.x = hdr.h.f; standard_metadata.egress_spec = p; }
+    action skip_(bit<9> p) { standard_metadata.egress_spec = p; }
+    table t2 {
+        key = { hdr.keyh.k1: exact; hdr.keyh.k2: exact; }
+        actions = { use_H; skip_; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        t1.apply();
+        t2.apply();
+    }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) { apply { packet.emit(hdr.keyh); packet.emit(hdr.h); } }
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

@@ -1,0 +1,60 @@
+// Multi-protocol parser exercise (tutorial 07-MultiProtocol): a VLAN stack
+// plus ipv4/ipv6 choice; stack accesses need validity key fixes.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header vlan_t { bit<3> pcp; bit<1> cfi; bit<12> vid; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+header ipv6_t { bit<8> hopLimit; bit<64> srcLow; bit<64> dstLow; }
+struct meta_t { bit<12> vlan_id; }
+struct headers { ethernet_t ethernet; vlan_t[2] vlan; ipv4_t ipv4; ipv6_t ipv6; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x8100: parse_vlan;
+            0x800: parse_ipv4;
+            0x86dd: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        packet.extract(hdr.vlan.next);
+        transition select(hdr.vlan.last.etherType) {
+            0x8100: parse_vlan;
+            0x800: parse_ipv4;
+            0x86dd: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+    state parse_ipv6 { packet.extract(hdr.ipv6); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    action drop_() { mark_to_drop(standard_metadata); }
+    action vlan_route(bit<9> port) {
+        meta.vlan_id = hdr.vlan[0].vid;
+        standard_metadata.egress_spec = port;
+    }
+    action v4_route(bit<9> port) {
+        standard_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    action v6_route(bit<9> port) {
+        standard_metadata.egress_spec = port;
+        hdr.ipv6.hopLimit = hdr.ipv6.hopLimit - 1;
+    }
+    table l2 {
+        key = { hdr.ethernet.dstAddr: exact; }
+        actions = { vlan_route; v4_route; v6_route; drop_; }
+        default_action = drop_();
+    }
+    apply { l2.apply(); }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.vlan[0]); packet.emit(hdr.vlan[1]); packet.emit(hdr.ipv4); packet.emit(hdr.ipv6); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

@@ -1,0 +1,59 @@
+// NDP-style router: priority-queue hints from an NDP header plus normal
+// ipv4 routing.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+header ndp_t { bit<8> flags; bit<16> seq; }
+struct meta_t { bit<1> is_ndp; bit<3> prio; }
+struct headers { ethernet_t ethernet; ipv4_t ipv4; ndp_t ndp; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        packet.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            199: parse_ndp;
+            default: accept;
+        }
+    }
+    state parse_ndp { packet.extract(hdr.ndp); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    action drop_() { mark_to_drop(standard_metadata); }
+    action mark_ndp() {
+        meta.is_ndp = 1;
+        meta.prio = (bit<3>)hdr.ndp.flags;
+        standard_metadata.egress_spec = 1;
+    }
+    action route(bit<9> port) {
+        standard_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table ndp_classify {
+        key = { hdr.ndp.isValid(): exact; hdr.ndp.flags: ternary; }
+        actions = { mark_ndp; drop_; }
+        default_action = drop_();
+    }
+    table ipv4_route {
+        key = { hdr.ipv4.dstAddr: lpm; }
+        actions = { route; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        ndp_classify.apply();
+        ipv4_route.apply();
+    }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.ipv4); packet.emit(hdr.ndp); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

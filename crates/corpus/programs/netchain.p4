@@ -1,0 +1,51 @@
+// NetChain-style in-network key-value chain replication: sequence and
+// value registers indexed by rule-provided slot ids.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header kv_t { bit<8> op; bit<32> key_; bit<32> value; bit<16> seq; }
+struct meta_t { bit<16> slot; bit<32> stored; bit<16> stored_seq; }
+struct headers { ethernet_t ethernet; kv_t kv; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x1234: parse_kv;
+            default: accept;
+        }
+    }
+    state parse_kv { packet.extract(hdr.kv); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    register<bit<32>>(1000) store;
+    register<bit<16>>(1000) seq_reg;
+    action drop_() { mark_to_drop(standard_metadata); }
+    action kv_read(bit<16> slot, bit<9> port) {
+        meta.slot = slot;
+        store.read(meta.stored, (bit<32>)slot);
+        hdr.kv.value = meta.stored;
+        standard_metadata.egress_spec = port;
+    }
+    action kv_write(bit<16> slot, bit<9> port) {
+        meta.slot = slot;
+        seq_reg.read(meta.stored_seq, (bit<32>)slot);
+        if (hdr.kv.seq > meta.stored_seq) {
+            store.write((bit<32>)slot, hdr.kv.value);
+            seq_reg.write((bit<32>)slot, hdr.kv.seq);
+        }
+        standard_metadata.egress_spec = port;
+    }
+    table chain {
+        key = { hdr.kv.isValid(): exact; hdr.kv.key_: ternary; hdr.kv.op: ternary; }
+        actions = { kv_read; kv_write; drop_; }
+        default_action = drop_();
+    }
+    apply { chain.apply(); }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.kv); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

@@ -1,0 +1,78 @@
+// P4-16 port of netchain with chain forwarding: adds a next-chain-hop
+// rewrite whose UDP access needs a validity key fix.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+header udp_t { bit<16> srcPort; bit<16> dstPort; }
+header kv_t { bit<8> op; bit<32> key_; bit<32> value; bit<16> seq; }
+struct meta_t { bit<16> slot; bit<32> stored; bit<16> stored_seq; }
+struct headers { ethernet_t ethernet; ipv4_t ipv4; udp_t udp; kv_t kv; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        packet.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_udp {
+        packet.extract(hdr.udp);
+        transition select(hdr.udp.dstPort) {
+            9000: parse_kv;
+            default: accept;
+        }
+    }
+    state parse_kv { packet.extract(hdr.kv); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    register<bit<32>>(700) store;
+    register<bit<16>>(700) seq_reg;
+    action drop_() { mark_to_drop(standard_metadata); }
+    action kv_read(bit<16> slot, bit<9> port) {
+        meta.slot = slot;
+        store.read(meta.stored, (bit<32>)slot);
+        hdr.kv.value = meta.stored;
+        standard_metadata.egress_spec = port;
+    }
+    action kv_write(bit<16> slot, bit<9> port) {
+        meta.slot = slot;
+        seq_reg.read(meta.stored_seq, (bit<32>)slot);
+        store.write((bit<32>)slot, hdr.kv.value);
+        seq_reg.write((bit<32>)slot, hdr.kv.seq);
+        standard_metadata.egress_spec = port;
+    }
+    table chain {
+        key = { hdr.kv.isValid(): exact; hdr.kv.key_: ternary; hdr.kv.op: ternary; }
+        actions = { kv_read; kv_write; drop_; }
+        default_action = drop_();
+    }
+    action next_chain_hop(bit<32> nhop, bit<9> port) {
+        hdr.ipv4.dstAddr = nhop;
+        hdr.udp.dstPort = 9000;
+        standard_metadata.egress_spec = port;
+    }
+    table chain_fwd {
+        key = { hdr.kv.op: exact; }
+        actions = { next_chain_hop; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        chain.apply();
+        chain_fwd.apply();
+    }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.ipv4); packet.emit(hdr.udp); packet.emit(hdr.kv); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

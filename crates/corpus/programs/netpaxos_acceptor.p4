@@ -1,0 +1,44 @@
+// NetPaxos acceptor: ballot comparison against register state, indexed by
+// rule-provided instance id.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header paxos_t { bit<16> inst; bit<16> ballot; bit<32> value; bit<8> msgtype; }
+struct meta_t { bit<16> stored_ballot; }
+struct headers { ethernet_t ethernet; paxos_t paxos; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x8888: parse_paxos;
+            default: accept;
+        }
+    }
+    state parse_paxos { packet.extract(hdr.paxos); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    register<bit<16>>(10000) ballot_reg;
+    register<bit<32>>(10000) value_reg;
+    action drop_() { mark_to_drop(standard_metadata); }
+    action phase1a(bit<16> inst_slot, bit<9> learner_port) {
+        ballot_reg.read(meta.stored_ballot, (bit<32>)inst_slot);
+        if (hdr.paxos.ballot > meta.stored_ballot) {
+            ballot_reg.write((bit<32>)inst_slot, hdr.paxos.ballot);
+            value_reg.write((bit<32>)inst_slot, hdr.paxos.value);
+        }
+        standard_metadata.egress_spec = learner_port;
+    }
+    table acceptor {
+        key = { hdr.paxos.isValid(): exact; hdr.paxos.msgtype: ternary; }
+        actions = { phase1a; drop_; }
+        default_action = drop_();
+    }
+    apply { acceptor.apply(); }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.paxos); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

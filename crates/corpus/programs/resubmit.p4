@@ -1,0 +1,39 @@
+// Minimal resubmit example; all bugs controllable with existing keys
+// (Table 1: resubmit — 0 after Infer, 0 keys).
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header probe_t { bit<8> hops; bit<8> max_hops; }
+struct meta_t { bit<8> resubmit_count; }
+struct headers { ethernet_t ethernet; probe_t probe; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x7777: parse_probe;
+            default: accept;
+        }
+    }
+    state parse_probe { packet.extract(hdr.probe); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    action drop_() { mark_to_drop(standard_metadata); }
+    action do_resubmit() {
+        meta.resubmit_count = meta.resubmit_count + 1;
+        hdr.probe.hops = hdr.probe.hops + 1;
+        resubmit_preserving_field_list(0);
+        standard_metadata.egress_spec = 0;
+    }
+    action forward(bit<9> port) { standard_metadata.egress_spec = port; }
+    table decide {
+        key = { hdr.probe.isValid(): exact; hdr.probe.hops: ternary; meta.resubmit_count: exact; }
+        actions = { do_resubmit; forward; drop_; }
+        default_action = drop_();
+    }
+    apply { decide.apply(); }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) { apply { packet.emit(hdr.ethernet); } }
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

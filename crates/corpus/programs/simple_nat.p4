@@ -1,0 +1,103 @@
+// The paper's running example (Fig. 1): a trimmed simple_nat.
+// Signature bugs: ternary-mask/invalid-header key read in `nat` (§2.1),
+// unguarded TTL decrement in ipv4_lpm.set_nhop, and egress_spec left
+// unset when nat_miss_ext_to_int runs.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+header tcp_t { bit<16> srcPort; bit<16> dstPort; }
+struct meta_inner_t { bit<1> do_forward; bit<32> ipv4_sa; bit<32> ipv4_da; bit<16> tcp_sp; bit<16> tcp_dp; bit<32> nhop_ipv4; bit<1> is_ext_if; }
+struct metadata { meta_inner_t meta; }
+struct headers { ethernet_t ethernet; ipv4_t ipv4; tcp_t tcp; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout metadata meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        packet.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            6: parse_tcp;
+            default: accept;
+        }
+    }
+    state parse_tcp { packet.extract(hdr.tcp); transition accept; }
+}
+
+control ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t standard_metadata) {
+    action drop_() { mark_to_drop(standard_metadata); }
+    action set_if_info(bit<1> is_ext) { meta.meta.is_ext_if = is_ext; }
+    table if_info {
+        key = { standard_metadata.ingress_port: exact; }
+        actions = { set_if_info; drop_; }
+        default_action = drop_();
+    }
+    action nat_hit_int_to_ext(bit<32> srcAddr, bit<9> p) {
+        meta.meta.do_forward = 1w1;
+        meta.meta.ipv4_sa = srcAddr;
+        meta.meta.nhop_ipv4 = hdr.ipv4.dstAddr;
+        standard_metadata.egress_spec = p;
+    }
+    action nat_hit_ext_to_int(bit<32> dstAddr, bit<9> p) {
+        meta.meta.do_forward = 1w1;
+        meta.meta.ipv4_da = dstAddr;
+        meta.meta.nhop_ipv4 = dstAddr;
+        standard_metadata.egress_spec = p;
+    }
+    action nat_miss_ext_to_int() { meta.meta.do_forward = 1w0; }
+    action nat_miss_int_to_ext() { meta.meta.do_forward = 1w0; mark_to_drop(standard_metadata); }
+    table nat {
+        key = {
+            meta.meta.is_ext_if: exact;
+            hdr.ipv4.isValid(): exact;
+            hdr.tcp.isValid(): exact;
+            hdr.ipv4.srcAddr: ternary;
+            hdr.ipv4.dstAddr: ternary;
+        }
+        actions = { drop_; nat_hit_int_to_ext; nat_hit_ext_to_int; nat_miss_ext_to_int; nat_miss_int_to_ext; }
+        default_action = drop_();
+    }
+    action set_nhop(bit<32> nhop_ipv4, bit<9> port) {
+        meta.meta.nhop_ipv4 = nhop_ipv4;
+        standard_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table ipv4_lpm {
+        key = { meta.meta.nhop_ipv4: lpm; }
+        actions = { set_nhop; drop_; }
+        default_action = drop_();
+    }
+    action set_dmac(bit<48> dmac) { hdr.ethernet.dstAddr = dmac; }
+    table forward {
+        key = { meta.meta.nhop_ipv4: exact; }
+        actions = { set_dmac; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        if_info.apply();
+        nat.apply();
+        if (meta.meta.do_forward == 1w1) {
+            ipv4_lpm.apply();
+            forward.apply();
+        }
+    }
+}
+control egress(inout headers hdr, inout metadata meta, inout standard_metadata_t standard_metadata) {
+    action rewrite_src(bit<48> smac) { hdr.ethernet.srcAddr = smac; }
+    action nop() { }
+    table send_frame {
+        key = { standard_metadata.egress_port: exact; }
+        actions = { rewrite_src; nop; }
+        default_action = nop();
+    }
+    apply { send_frame.apply(); }
+}
+control verifyChecksum(inout headers hdr, inout metadata meta) { apply { } }
+control computeChecksum(inout headers hdr, inout metadata meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.ipv4); packet.emit(hdr.tcp); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

@@ -1,0 +1,40 @@
+// Timestamp-based switching: per-port last-seen registers.
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+struct meta_t { bit<48> last_ts; }
+struct headers { ethernet_t ethernet; ipv4_t ipv4; }
+
+parser ParserImpl(packet_in packet, out headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    state start {
+        packet.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+}
+
+control ingress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) {
+    register<bit<48>>(512) last_seen;
+    action drop_() { mark_to_drop(standard_metadata); }
+    action record_and_route(bit<9> port) {
+        last_seen.read(meta.last_ts, (bit<32>)standard_metadata.ingress_port);
+        last_seen.write((bit<32>)standard_metadata.ingress_port, standard_metadata.ingress_global_timestamp);
+        standard_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table route {
+        key = { hdr.ipv4.dstAddr: lpm; }
+        actions = { record_and_route; drop_; }
+        default_action = drop_();
+    }
+    apply { route.apply(); }
+}
+control egress(inout headers hdr, inout meta_t meta, inout standard_metadata_t standard_metadata) { apply { } }
+control verifyChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control computeChecksum(inout headers hdr, inout meta_t meta) { apply { } }
+control DeparserImpl(packet_out packet, in headers hdr) {
+    apply { packet.emit(hdr.ethernet); packet.emit(hdr.ipv4); }
+}
+V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;

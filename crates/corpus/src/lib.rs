@@ -1,0 +1,439 @@
+#![warn(missing_docs)]
+
+//! # bf4-corpus — the evaluation program suite
+//!
+//! Stands in for the paper's 94 openly-available V1Model programs
+//! (Table 1). Each program is written from scratch in the P4-16 subset the
+//! frontend supports, reproducing the named program's *bug structure* —
+//! which bug classes appear, which are controllable with existing keys,
+//! which need key fixes, and which are genuine dataplane bugs:
+//!
+//! * `simple_nat` — the paper's running example (Fig. 1);
+//! * `fabric_switch` — the `switch.p4` stand-in with the §5.1 case
+//!   studies (validate_outer_ethernet double-tagging, fabric header
+//!   missing-validity, tunnel-decap `dontCare` copies);
+//! * `mplb_router`, `linearroad` — programs with genuine dataplane bugs
+//!   that survive Fixes, as in Table 1;
+//! * the remainder covers registers (netchain, heavy hitters, paxos),
+//!   header stacks (multiprotocol, fabric mpls/vlan), resubmit/clone
+//!   externs and multi-stage routing.
+
+use std::collections::BTreeMap;
+
+/// Expected verification shape of a corpus program — the qualitative
+/// content of one Table-1 row. Exact counts are asserted by the
+/// integration suite after being produced by the pipeline itself; the
+/// expectations here encode the *shape* that must hold for the
+/// reproduction to be faithful.
+#[derive(Clone, Copy, Debug)]
+pub struct Expected {
+    /// Exact bug count with all rules possible (regression lock; the
+    /// pipeline is deterministic).
+    pub bugs_total: usize,
+    /// Exact count of bugs still reachable after inference.
+    pub bugs_after_infer: usize,
+    /// Exact number of keys Fixes adds.
+    pub keys_added: usize,
+    /// At least this many bugs with all rules possible.
+    pub min_bugs: usize,
+    /// Inference must strictly reduce the reachable-bug count.
+    pub infer_reduces: bool,
+    /// Number of bugs that must remain after Fixes (genuine dataplane
+    /// bugs); `0` for fully fixable programs.
+    pub bugs_after_fixes: usize,
+    /// Whether Fixes must add at least one key.
+    pub adds_keys: bool,
+    /// Whether the egress-spec special fix is expected.
+    pub egress_spec_fix: bool,
+}
+
+/// One corpus entry.
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusProgram {
+    /// Program name (Table-1 row label).
+    pub name: &'static str,
+    /// Full P4 source.
+    pub source: &'static str,
+    /// Expected verification shape.
+    pub expect: Expected,
+}
+
+macro_rules! program {
+    ($name:literal, $file:literal, $expect:expr) => {
+        CorpusProgram {
+            name: $name,
+            source: include_str!(concat!("../programs/", $file)),
+            expect: $expect,
+        }
+    };
+}
+
+/// All corpus programs, in Table-1 order.
+pub fn all() -> Vec<CorpusProgram> {
+    vec![
+        program!(
+            "07-MultiProtocol",
+            "multiprotocol.p4",
+            Expected {
+                bugs_total: 3,
+                bugs_after_infer: 3,
+                keys_added: 3,
+                min_bugs: 2,
+                infer_reduces: false,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "arp",
+            "arp.p4",
+            Expected {
+                bugs_total: 3,
+                bugs_after_infer: 0,
+                keys_added: 0,
+                min_bugs: 1,
+                infer_reduces: true,
+                bugs_after_fixes: 0,
+                adds_keys: false,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "ecmp_2",
+            "ecmp_2.p4",
+            Expected {
+                bugs_total: 2,
+                bugs_after_infer: 2,
+                keys_added: 2,
+                min_bugs: 1,
+                infer_reduces: false,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "flowlet",
+            "flowlet.p4",
+            Expected {
+                bugs_total: 3,
+                bugs_after_infer: 1,
+                keys_added: 1,
+                min_bugs: 1,
+                infer_reduces: false,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "flowlet_switching",
+            "flowlet_switching.p4",
+            Expected {
+                bugs_total: 2,
+                bugs_after_infer: 0,
+                keys_added: 0,
+                min_bugs: 1,
+                infer_reduces: true,
+                bugs_after_fixes: 0,
+                adds_keys: false,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "hash_action_gw2",
+            "hash_action_gw2.p4",
+            Expected {
+                bugs_total: 1,
+                bugs_after_infer: 1,
+                keys_added: 1,
+                min_bugs: 1,
+                infer_reduces: false,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "heavy_hitter_1",
+            "heavy_hitter_1.p4",
+            Expected {
+                bugs_total: 4,
+                bugs_after_infer: 2,
+                keys_added: 1,
+                min_bugs: 1,
+                infer_reduces: false,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "heavy_hitter_2",
+            "heavy_hitter_2.p4",
+            Expected {
+                bugs_total: 6,
+                bugs_after_infer: 3,
+                keys_added: 2,
+                min_bugs: 2,
+                infer_reduces: true,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "hula",
+            "hula.p4",
+            Expected {
+                bugs_total: 5,
+                bugs_after_infer: 1,
+                keys_added: 1,
+                min_bugs: 2,
+                infer_reduces: true,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "issue894",
+            "issue894.p4",
+            Expected {
+                bugs_total: 1,
+                bugs_after_infer: 1,
+                keys_added: 1,
+                min_bugs: 1,
+                infer_reduces: false,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "linearroad",
+            "linearroad.p4",
+            Expected {
+                bugs_total: 7,
+                bugs_after_infer: 2,
+                keys_added: 2,
+                min_bugs: 3,
+                infer_reduces: true,
+                bugs_after_fixes: 1,
+                adds_keys: true,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "mc_nat",
+            "mc_nat.p4",
+            Expected {
+                bugs_total: 1,
+                bugs_after_infer: 1,
+                keys_added: 1,
+                min_bugs: 1,
+                infer_reduces: false,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "mplb_router",
+            "mplb_router.p4",
+            Expected {
+                bugs_total: 1,
+                bugs_after_infer: 1,
+                keys_added: 0,
+                min_bugs: 1,
+                infer_reduces: false,
+                bugs_after_fixes: 1,
+                adds_keys: false,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "ndp_router",
+            "ndp_router.p4",
+            Expected {
+                bugs_total: 4,
+                bugs_after_infer: 2,
+                keys_added: 1,
+                min_bugs: 2,
+                infer_reduces: true,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "netchain",
+            "netchain.p4",
+            Expected {
+                bugs_total: 5,
+                bugs_after_infer: 0,
+                keys_added: 0,
+                min_bugs: 1,
+                infer_reduces: true,
+                bugs_after_fixes: 0,
+                adds_keys: false,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "netchain_16",
+            "netchain_16.p4",
+            Expected {
+                bugs_total: 6,
+                bugs_after_infer: 1,
+                keys_added: 1,
+                min_bugs: 2,
+                infer_reduces: true,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "netpaxos_acceptor",
+            "netpaxos_acceptor.p4",
+            Expected {
+                bugs_total: 3,
+                bugs_after_infer: 0,
+                keys_added: 0,
+                min_bugs: 1,
+                infer_reduces: true,
+                bugs_after_fixes: 0,
+                adds_keys: false,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "resubmit",
+            "resubmit.p4",
+            Expected {
+                bugs_total: 2,
+                bugs_after_infer: 0,
+                keys_added: 0,
+                min_bugs: 0,
+                infer_reduces: false,
+                bugs_after_fixes: 0,
+                adds_keys: false,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "simple_nat",
+            "simple_nat.p4",
+            Expected {
+                bugs_total: 4,
+                bugs_after_infer: 2,
+                keys_added: 1,
+                min_bugs: 3,
+                infer_reduces: true,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: true,
+            }
+        ),
+        program!(
+            "fabric_switch",
+            "fabric_switch.p4",
+            Expected {
+                bugs_total: 14,
+                bugs_after_infer: 4,
+                keys_added: 3,
+                min_bugs: 8,
+                infer_reduces: true,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: true,
+            }
+        ),
+        program!(
+            "multi_tenant",
+            "multi_tenant.p4",
+            Expected {
+                bugs_total: 1,
+                bugs_after_infer: 0,
+                keys_added: 0,
+                min_bugs: 1,
+                infer_reduces: true,
+                bugs_after_fixes: 0,
+                adds_keys: false,
+                egress_spec_fix: false,
+            }
+        ),
+        program!(
+            "ts_switching",
+            "ts_switching.p4",
+            Expected {
+                bugs_total: 2,
+                bugs_after_infer: 2,
+                keys_added: 2,
+                min_bugs: 1,
+                infer_reduces: false,
+                bugs_after_fixes: 0,
+                adds_keys: true,
+                egress_spec_fix: false,
+            }
+        ),
+    ]
+}
+
+/// Look up a program by name.
+pub fn by_name(name: &str) -> Option<CorpusProgram> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+/// The largest program (the `switch.p4` stand-in).
+pub fn largest() -> CorpusProgram {
+    by_name("fabric_switch").expect("fabric_switch present")
+}
+
+/// Lines of code per program (non-empty lines, as in Table 1).
+pub fn loc_table() -> BTreeMap<&'static str, usize> {
+    all()
+        .into_iter()
+        .map(|p| {
+            (
+                p.name,
+                p.source.lines().filter(|l| !l.trim().is_empty()).count(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_nonempty_and_named_uniquely() {
+        let programs = all();
+        assert!(programs.len() >= 20);
+        let mut names: Vec<&str> = programs.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), programs.len());
+    }
+
+    #[test]
+    fn every_program_parses_and_typechecks() {
+        for p in all() {
+            if let Err(e) = bf4_p4::frontend(p.source) {
+                panic!("{}: {e}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn largest_is_fabric_switch() {
+        let l = largest();
+        assert_eq!(l.name, "fabric_switch");
+        let loc = loc_table();
+        let max = loc.iter().max_by_key(|(_, &v)| v).unwrap();
+        assert_eq!(*max.0, "fabric_switch");
+    }
+}

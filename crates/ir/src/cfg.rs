@@ -1,0 +1,672 @@
+//! The control-flow graph.
+//!
+//! Blocks hold straight-line [`Instr`] sequences over [`bf4_smt::Term`]
+//! expressions and end in a [`Terminator`]. Terminal blocks are classified
+//! by [`BlockKind`]: `Accept` (good run), `Bug` (bad run), `DontCare`
+//! (destructive-copy no-op branches excluded from the OK set, §4.2),
+//! `Infeasible` (table-entry mismatch sinks that no execution reaches) and
+//! `Reject` (clean parser rejection — a good run).
+//!
+//! The graph is guaranteed acyclic by construction (parser loops are
+//! unrolled during lowering), which the analyses exploit: topological
+//! ordering, single-pass dominators, and forward reachability-condition
+//! propagation.
+
+use bf4_smt::{Sort, Term};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Index of a block in its [`Cfg`].
+pub type BlockId = usize;
+
+/// A straight-line instruction.
+#[derive(Clone, Debug)]
+pub enum Instr {
+    /// `var := expr` — the only state change in the IR.
+    Assign {
+        /// Target variable (flat name, e.g. `hdr.ipv4.ttl`).
+        var: Arc<str>,
+        /// Sort of the variable.
+        sort: Sort,
+        /// Right-hand side.
+        expr: Term,
+    },
+    /// `var := *` — nondeterministic assignment (extern outputs, extracted
+    /// packet bytes, table-entry contents).
+    Havoc {
+        /// Target variable.
+        var: Arc<str>,
+        /// Sort of the variable.
+        sort: Sort,
+    },
+}
+
+impl Instr {
+    /// The written variable.
+    pub fn target(&self) -> &Arc<str> {
+        match self {
+            Instr::Assign { var, .. } | Instr::Havoc { var, .. } => var,
+        }
+    }
+
+    /// The sort of the written variable.
+    pub fn sort(&self) -> Sort {
+        match self {
+            Instr::Assign { sort, .. } | Instr::Havoc { sort, .. } => *sort,
+        }
+    }
+}
+
+/// Classification of a bug node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum BugKind {
+    /// Read or write of a field of an invalid header.
+    InvalidHeaderAccess,
+    /// A table key expression reads an invalid header during matching.
+    InvalidKeyAccess,
+    /// `standard_metadata.egress_spec` never assigned on an ingress path.
+    EgressSpecNotSet,
+    /// Register index out of bounds.
+    RegisterOutOfBounds,
+    /// Header-stack index out of bounds (incl. `.next` overflow and
+    /// pop-from-empty).
+    StackOutOfBounds,
+    /// Header-to-header copy whose source is invalid while the destination
+    /// is valid (destructive overwrite, §4.2 "Increasing bug coverage").
+    DestructiveHeaderCopy,
+    /// An explicit `assert(...)` extern whose condition can be false.
+    UserAssert,
+}
+
+impl std::fmt::Display for BugKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BugKind::InvalidHeaderAccess => "invalid-header-access",
+            BugKind::InvalidKeyAccess => "invalid-key-access",
+            BugKind::EgressSpecNotSet => "egress-spec-not-set",
+            BugKind::RegisterOutOfBounds => "register-out-of-bounds",
+            BugKind::StackOutOfBounds => "stack-out-of-bounds",
+            BugKind::DestructiveHeaderCopy => "destructive-header-copy",
+            BugKind::UserAssert => "user-assert",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Metadata attached to a bug node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BugInfo {
+    /// Bug class.
+    pub kind: BugKind,
+    /// Human-readable description (what was accessed, where).
+    pub description: String,
+    /// Source line in the P4 program, when known.
+    pub line: u32,
+    /// Index into [`Cfg::tables`] of the table whose expansion contains this
+    /// bug, if any (used to assign assert points).
+    pub table: Option<usize>,
+}
+
+/// What a block is.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BlockKind {
+    /// Ordinary block.
+    Normal,
+    /// Good terminal: packet leaves the pipeline with defined behavior.
+    Accept,
+    /// Good terminal: parser rejected the packet cleanly.
+    Reject,
+    /// Bad terminal.
+    Bug(BugInfo),
+    /// Terminal excluded from the OK set (§4.2 `dontCare`).
+    DontCare,
+    /// Terminal that no execution reaches (table-entry mismatch sink).
+    Infeasible,
+}
+
+/// Block terminator.
+#[derive(Clone, Debug)]
+pub enum Terminator {
+    /// Unconditional edge.
+    Jump(BlockId),
+    /// Two-way conditional edge.
+    Branch {
+        /// Boolean condition.
+        cond: Term,
+        /// Successor when true.
+        then_to: BlockId,
+        /// Successor when false.
+        else_to: BlockId,
+    },
+    /// No successors (terminal block).
+    End,
+}
+
+impl Terminator {
+    /// Successor block ids.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => vec![*then_to, *else_to],
+            Terminator::End => vec![],
+        }
+    }
+}
+
+/// A basic block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub instrs: Vec<Instr>,
+    /// Terminator.
+    pub term: Terminator,
+    /// Classification.
+    pub kind: BlockKind,
+    /// Debug label (state/table/action names).
+    pub label: String,
+}
+
+/// A table key in an expanded table site.
+#[derive(Clone, Debug)]
+pub struct TableKeyInfo {
+    /// Source text of the key expression (used in annotation output).
+    pub source: String,
+    /// Match kind (`exact`, `ternary`, `lpm`, ...).
+    pub match_kind: String,
+    /// Key expression over program variables, as lowered at the apply site.
+    pub expr: Term,
+    /// Flow-entry variable holding the entry's value for this key.
+    pub value_var: Arc<str>,
+    /// Flow-entry mask variable (ternary/lpm/optional); `None` for exact.
+    pub mask_var: Option<Arc<str>>,
+    /// Conjunction of validity bits of headers read by `expr` (`true` when
+    /// the key touches no header).
+    pub validity: Term,
+    /// True if the key expression is itself a `isValid()` call.
+    pub is_validity_key: bool,
+}
+
+/// An action bound to a table site.
+#[derive(Clone, Debug)]
+pub struct TableActionInfo {
+    /// Action name.
+    pub name: String,
+    /// Flow-entry variables carrying the action's data parameters.
+    pub param_vars: Vec<(Arc<str>, Sort)>,
+}
+
+/// One expanded `table.apply()` call site — the paper's *assert point*.
+#[derive(Clone, Debug)]
+pub struct TableSite {
+    /// Table name.
+    pub table: String,
+    /// Control the table belongs to.
+    pub control: String,
+    /// Site index (unique per apply site).
+    pub site: usize,
+    /// Flow-entry variable prefix (`pcn.<table>#<site>`).
+    pub prefix: String,
+    /// Block that begins the expansion (the assert point).
+    pub entry_block: BlockId,
+    /// Join block where execution continues after the table.
+    pub exit_block: BlockId,
+    /// `reach` meta-variable name.
+    pub reach_var: Arc<str>,
+    /// `hit` meta-variable name.
+    pub hit_var: Arc<str>,
+    /// Action-selector variable name (`Bv(8)`) — the *rule's* action, a
+    /// control variable havoc'd once at the site entry.
+    pub action_var: Arc<str>,
+    /// The *executed* action (`Bv(8)`): equals `action_var` on hit, the
+    /// default action index on miss. This is what `switch(action_run)`
+    /// scrutinizes.
+    pub action_run_var: Arc<str>,
+    /// Keys in declaration order.
+    pub keys: Vec<TableKeyInfo>,
+    /// Actions in declaration order (selector value = index).
+    pub actions: Vec<TableActionInfo>,
+    /// Index into `actions` of the default action.
+    pub default_action: usize,
+}
+
+impl TableSite {
+    /// All control variables of this site (keys, masks, hit, action
+    /// selector, action data) — the set Γ of the paper.
+    pub fn control_vars(&self) -> Vec<Arc<str>> {
+        let mut out = vec![self.hit_var.clone(), self.action_var.clone()];
+        for k in &self.keys {
+            out.push(k.value_var.clone());
+            if let Some(m) = &k.mask_var {
+                out.push(m.clone());
+            }
+        }
+        for a in &self.actions {
+            for (v, _) in &a.param_vars {
+                out.push(v.clone());
+            }
+        }
+        out
+    }
+}
+
+/// The control-flow graph of a lowered pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct Cfg {
+    /// Blocks; `blocks[entry]` is the entry block.
+    pub blocks: Vec<Block>,
+    /// Entry block id.
+    pub entry: BlockId,
+    /// Expanded table sites (assert points).
+    pub tables: Vec<TableSite>,
+    /// Sorts of all program variables ever written or read.
+    pub var_sorts: HashMap<Arc<str>, Sort>,
+    /// Pass-through blocks marked `dontCare` (§4.2): reaching one makes the
+    /// remainder of the run a no-op the OK set should not protect.
+    pub dontcare_marks: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Ids of all bug blocks.
+    pub fn bug_blocks(&self) -> Vec<BlockId> {
+        (0..self.blocks.len())
+            .filter(|&b| matches!(self.blocks[b].kind, BlockKind::Bug(_)))
+            .collect()
+    }
+
+    /// Ids of all good terminals (`Accept` and `Reject`).
+    pub fn good_blocks(&self) -> Vec<BlockId> {
+        (0..self.blocks.len())
+            .filter(|&b| matches!(self.blocks[b].kind, BlockKind::Accept | BlockKind::Reject))
+            .collect()
+    }
+
+    /// Ids of `DontCare` terminals.
+    pub fn dontcare_blocks(&self) -> Vec<BlockId> {
+        (0..self.blocks.len())
+            .filter(|&b| matches!(self.blocks[b].kind, BlockKind::DontCare))
+            .collect()
+    }
+
+    /// Predecessor lists.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for s in blk.term.successors() {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Topological order over blocks reachable from entry.
+    ///
+    /// Panics if the graph has a cycle — lowering guarantees acyclicity, so
+    /// a cycle is an internal invariant violation.
+    pub fn topo_order(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut order = Vec::with_capacity(n);
+        // Iterative DFS with explicit post-order.
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        state[self.entry] = 1;
+        while let Some(&mut (b, ref mut idx)) = stack.last_mut() {
+            let succs = self.blocks[b].term.successors();
+            if *idx < succs.len() {
+                let s = succs[*idx];
+                *idx += 1;
+                match state[s] {
+                    0 => {
+                        state[s] = 1;
+                        stack.push((s, 0));
+                    }
+                    1 => panic!("cycle in CFG involving blocks {b} and {s}"),
+                    _ => {}
+                }
+            } else {
+                state[b] = 2;
+                order.push(b);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        order
+    }
+
+    /// Immediate dominators over reachable blocks (entry maps to itself).
+    ///
+    /// Cooper–Harvey–Kennedy on the topological order; one pass suffices on
+    /// a DAG processed in topological order.
+    pub fn dominators(&self) -> HashMap<BlockId, BlockId> {
+        let order = self.topo_order();
+        let mut pos: HashMap<BlockId, usize> = HashMap::new();
+        for (i, &b) in order.iter().enumerate() {
+            pos.insert(b, i);
+        }
+        let preds = self.predecessors();
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(self.entry, self.entry);
+        let intersect = |idom: &HashMap<BlockId, BlockId>,
+                         pos: &HashMap<BlockId, usize>,
+                         mut a: BlockId,
+                         mut b: BlockId| {
+            while a != b {
+                while pos[&a] > pos[&b] {
+                    a = idom[&a];
+                }
+                while pos[&b] > pos[&a] {
+                    b = idom[&b];
+                }
+            }
+            a
+        };
+        for &b in order.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b] {
+                if !idom.contains_key(&p) {
+                    continue; // unreachable pred
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &pos, cur, p),
+                });
+            }
+            idom.insert(b, new_idom.expect("reachable block with no reachable preds"));
+        }
+        idom
+    }
+
+    /// `a` dominates `b`?
+    pub fn dominates(idom: &HashMap<BlockId, BlockId>, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = match idom.get(&cur) {
+                Some(&n) => n,
+                None => return false,
+            };
+            if next == cur {
+                return false; // reached entry
+            }
+            cur = next;
+        }
+    }
+
+    /// Immediate post-dominators, computed on the reversed graph against a
+    /// virtual exit joining all terminals.
+    ///
+    /// Returns `(ipostdom, virtual_exit_id)`; terminals post-dominated only
+    /// by the virtual exit map to `virtual_exit_id`.
+    pub fn postdominators(&self) -> (HashMap<BlockId, BlockId>, BlockId) {
+        let n = self.blocks.len();
+        let vexit = n;
+        // successors in the reversed graph = predecessors; terminals gain an
+        // edge to vexit.
+        let preds = self.predecessors();
+        let mut rev_succ: Vec<Vec<BlockId>> = vec![Vec::new(); n + 1];
+        let mut rev_pred: Vec<Vec<BlockId>> = vec![Vec::new(); n + 1];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            let succs = blk.term.successors();
+            if succs.is_empty() {
+                rev_succ[vexit].push(b);
+                rev_pred[b].push(vexit);
+            }
+            let _ = &preds;
+            for s in succs {
+                // reversed edge s -> b
+                rev_succ[s].push(b);
+                rev_pred[b].push(s);
+            }
+        }
+        // Topological order of the reversed graph from vexit (it is also a
+        // DAG). Restrict to blocks reachable from entry in the forward graph
+        // and from vexit in the reverse graph.
+        let mut order = Vec::new();
+        let mut state = vec![0u8; n + 1];
+        let mut stack: Vec<(BlockId, usize)> = vec![(vexit, 0)];
+        state[vexit] = 1;
+        while let Some(&mut (b, ref mut idx)) = stack.last_mut() {
+            if *idx < rev_succ[b].len() {
+                let s = rev_succ[b][*idx];
+                *idx += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b] = 2;
+                order.push(b);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        let mut pos: HashMap<BlockId, usize> = HashMap::new();
+        for (i, &b) in order.iter().enumerate() {
+            pos.insert(b, i);
+        }
+        let mut ipdom: HashMap<BlockId, BlockId> = HashMap::new();
+        ipdom.insert(vexit, vexit);
+        let intersect = |ipdom: &HashMap<BlockId, BlockId>,
+                         pos: &HashMap<BlockId, usize>,
+                         mut a: BlockId,
+                         mut b: BlockId| {
+            while a != b {
+                while pos[&a] > pos[&b] {
+                    a = ipdom[&a];
+                }
+                while pos[&b] > pos[&a] {
+                    b = ipdom[&b];
+                }
+            }
+            a
+        };
+        for &b in order.iter().skip(1) {
+            let mut new_ipdom: Option<BlockId> = None;
+            for &p in &rev_pred[b] {
+                if !ipdom.contains_key(&p) {
+                    continue;
+                }
+                new_ipdom = Some(match new_ipdom {
+                    None => p,
+                    Some(cur) => intersect(&ipdom, &pos, cur, p),
+                });
+            }
+            if let Some(d) = new_ipdom {
+                ipdom.insert(b, d);
+            }
+        }
+        (ipdom, vexit)
+    }
+
+    /// Total number of instructions (the metric the paper reports for the
+    /// slicing ablation).
+    pub fn num_instrs(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// Validate internal invariants; used by tests and debug assertions.
+    ///
+    /// Checks: terminator targets in range; terminal blocks have kind other
+    /// than `Normal`; non-terminal blocks are `Normal`; graph is acyclic.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                if s >= self.blocks.len() {
+                    return Err(format!("block {i} has out-of-range successor {s}"));
+                }
+            }
+            let terminal = b.term.successors().is_empty();
+            let normal = matches!(b.kind, BlockKind::Normal);
+            if terminal && normal {
+                return Err(format!("terminal block {i} ({}) is Normal", b.label));
+            }
+            if !terminal && !normal {
+                return Err(format!("non-terminal block {i} ({}) is {:?}", b.label, b.kind));
+            }
+        }
+        // topo_order panics on cycles; catch as error
+        let me = self.clone();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            me.topo_order();
+        }))
+        .map_err(|_| "cycle detected".to_string())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf4_smt::Sort;
+
+    fn blk(term: Terminator, kind: BlockKind) -> Block {
+        Block {
+            instrs: vec![],
+            term,
+            kind,
+            label: String::new(),
+        }
+    }
+
+    /// Diamond: 0 -> 1,2 -> 3(accept)
+    fn diamond() -> Cfg {
+        let c = Term::var("c", Sort::Bool);
+        Cfg {
+            blocks: vec![
+                blk(
+                    Terminator::Branch {
+                        cond: c,
+                        then_to: 1,
+                        else_to: 2,
+                    },
+                    BlockKind::Normal,
+                ),
+                blk(Terminator::Jump(3), BlockKind::Normal),
+                blk(Terminator::Jump(3), BlockKind::Normal),
+                blk(Terminator::End, BlockKind::Accept),
+            ],
+            entry: 0,
+            tables: vec![],
+            var_sorts: HashMap::new(),
+            dontcare_marks: vec![],
+        }
+    }
+
+    #[test]
+    fn topo_order_diamond() {
+        let cfg = diamond();
+        let order = cfg.topo_order();
+        let pos = |b: BlockId| order.iter().position(|&x| x == b).unwrap();
+        assert_eq!(order.len(), 4);
+        assert!(pos(0) < pos(1) && pos(0) < pos(2));
+        assert!(pos(1) < pos(3) && pos(2) < pos(3));
+    }
+
+    #[test]
+    fn dominators_diamond() {
+        let cfg = diamond();
+        let idom = cfg.dominators();
+        assert_eq!(idom[&1], 0);
+        assert_eq!(idom[&2], 0);
+        assert_eq!(idom[&3], 0); // join dominated by branch head only
+        assert!(Cfg::dominates(&idom, 0, 3));
+        assert!(!Cfg::dominates(&idom, 1, 3));
+    }
+
+    #[test]
+    fn postdominators_diamond() {
+        let cfg = diamond();
+        let (ipdom, _vexit) = cfg.postdominators();
+        assert_eq!(ipdom[&1], 3);
+        assert_eq!(ipdom[&2], 3);
+        assert_eq!(ipdom[&0], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_panics() {
+        let cfg = Cfg {
+            blocks: vec![
+                blk(Terminator::Jump(1), BlockKind::Normal),
+                blk(Terminator::Jump(0), BlockKind::Normal),
+            ],
+            entry: 0,
+            tables: vec![],
+            var_sorts: HashMap::new(),
+            dontcare_marks: vec![],
+        };
+        cfg.topo_order();
+    }
+
+    #[test]
+    fn validate_catches_normal_terminal() {
+        let cfg = Cfg {
+            blocks: vec![blk(Terminator::End, BlockKind::Normal)],
+            entry: 0,
+            tables: vec![],
+            var_sorts: HashMap::new(),
+            dontcare_marks: vec![],
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn unreachable_blocks_ignored_in_topo() {
+        let mut cfg = diamond();
+        cfg.blocks.push(blk(Terminator::End, BlockKind::Accept)); // unreachable
+        assert_eq!(cfg.topo_order().len(), 4);
+    }
+}
+
+/// Render a CFG in Graphviz DOT form (debugging aid; `bf4 --dump-cfg`).
+///
+/// Bug terminals are red, good terminals green, `dontCare` marks dashed;
+/// table-site entries (assert points) are drawn as boxes.
+pub fn to_dot(cfg: &Cfg) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("digraph bf4 {\n  node [fontname=\"monospace\"];\n");
+    let site_entries: std::collections::HashSet<BlockId> =
+        cfg.tables.iter().map(|t| t.entry_block).collect();
+    let reachable: std::collections::HashSet<BlockId> = cfg.topo_order().into_iter().collect();
+    for (i, b) in cfg.blocks.iter().enumerate() {
+        if !reachable.contains(&i) {
+            continue;
+        }
+        let (shape, color) = match &b.kind {
+            BlockKind::Bug(_) => ("ellipse", "red"),
+            BlockKind::Accept | BlockKind::Reject => ("ellipse", "green"),
+            BlockKind::Infeasible => ("ellipse", "gray"),
+            BlockKind::DontCare => ("ellipse", "orange"),
+            BlockKind::Normal if site_entries.contains(&i) => ("box", "blue"),
+            BlockKind::Normal => ("box", "black"),
+        };
+        let style = if cfg.dontcare_marks.contains(&i) {
+            ",style=dashed"
+        } else {
+            ""
+        };
+        let label = b.label.replace('"', "'");
+        let _ = writeln!(
+            out,
+            "  n{i} [shape={shape},color={color}{style},label=\"{i}: {label}\\n{} instr\"];",
+            b.instrs.len()
+        );
+        match &b.term {
+            Terminator::Jump(t) => {
+                let _ = writeln!(out, "  n{i} -> n{t};");
+            }
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => {
+                let _ = writeln!(out, "  n{i} -> n{then_to} [label=\"T\"];");
+                let _ = writeln!(out, "  n{i} -> n{else_to} [label=\"F\"];");
+            }
+            Terminator::End => {}
+        }
+    }
+    out.push_str("}\n");
+    out
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # bf4-ir — mid-level IR and analysis infrastructure for bf4
+//!
+//! This crate implements the program-transformation half of the paper's
+//! pipeline (Fig. 3):
+//!
+//! * [`cfg`] — the control-flow graph over [`bf4_smt::Term`] expressions,
+//!   with topological ordering, dominators and post-dominators;
+//! * [`lower`] — lowering from the type-checked P4 program to the CFG:
+//!   parser-state unrolling, **table-call expansion** into havoc'd abstract
+//!   flow entries (Fig. 4/5), and **bug instrumentation** (invalid header
+//!   access, `egress_spec` not set, out-of-bounds register / header-stack
+//!   access, destructive header copies with `dontCare` semantics);
+//! * [`ssa`] — conversion to static single assignment by passification
+//!   (edge copies instead of phi nodes), which keeps weakest-precondition
+//!   formulas compact (Flanagan–Saxe);
+//! * [`opt`] — constant/copy propagation and dead-code elimination;
+//! * [`slice`] — program slicing over the program dependence graph
+//!   (control + data dependences), used both to speed up verification
+//!   (§4.1) and by the Fixes algorithm (§4.3).
+
+pub mod cfg;
+pub mod lower;
+pub mod opt;
+pub mod slice;
+pub mod ssa;
+
+pub use cfg::{
+    BlockId, BlockKind, BugInfo, BugKind, Cfg, Instr, TableActionInfo, TableKeyInfo, TableSite,
+    Terminator,
+};
+pub use lower::{lower, LowerOptions, Lowered};

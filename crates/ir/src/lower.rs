@@ -1,0 +1,2613 @@
+//! Lowering from the type-checked P4 program to the [`Cfg`].
+//!
+//! This pass performs, in one walk, the first three boxes of the paper's
+//! pipeline (Fig. 3):
+//!
+//! 1. **Table-call expansion** (§4.1, Fig. 4/5): every `t.apply()` becomes a
+//!    havoc'd abstract flow entry `pcn.<t>` with `hit`, an action selector,
+//!    per-key value/mask variables and per-action data variables, plus the
+//!    hit-condition branch relating entry contents to the packet.
+//! 2. **Bug instrumentation**: validity checks before every header-field
+//!    read/write, key-validity checks inside table expansion, bounds checks
+//!    on registers and header stacks, the `egress_spec` shadow variable, and
+//!    `dontCare` marking of destructive-copy no-op branches (§4.2).
+//! 3. **Parser-loop unrolling**: parser states are inlined per visit
+//!    context, bounded by header-stack capacities, yielding an acyclic CFG.
+//!
+//! Variables are flat dotted names rooted at the canonical pipeline
+//! parameters: `hdr.*` (headers, with `.$valid` validity bits and `.N`
+//! stack elements), `meta.*` (user metadata, zero-initialized per bmv2),
+//! `standard_metadata.*`, plus `pcn.*` flow-entry variables and a few ghost
+//! variables (`$egress_set`, `<stack>.$next`).
+
+use crate::cfg::{
+    Block, BlockId, BlockKind, BugInfo, BugKind, Cfg, Instr, TableActionInfo, TableKeyInfo,
+    TableSite, Terminator,
+};
+use bf4_p4::ast::{
+    ActionDecl, BinOp, Block as AstBlock, Direction, Expr, Keyset, Param, Stmt, TableDecl,
+    Transition, UnOp,
+};
+use bf4_p4::typecheck::{switch_table_name, ControlDef, ParserDef, Program, Type};
+use bf4_p4::{Error, Span};
+use bf4_smt::{Sort, Term};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Which half of the V1Model pipeline to lower (§4.6: bf4 analyses ingress
+/// and egress in separation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PipelinePart {
+    /// Parser followed by the ingress control (default).
+    #[default]
+    Ingress,
+    /// The egress control alone, with fully havoc'd input state.
+    Egress,
+}
+
+/// Lowering options.
+#[derive(Clone, Debug)]
+pub struct LowerOptions {
+    /// Which pipeline part to lower.
+    pub part: PipelinePart,
+    /// Instrument invalid-header-access bugs.
+    pub check_validity: bool,
+    /// Instrument the `egress_spec`-not-set bug.
+    pub check_egress_spec: bool,
+    /// Instrument register/stack bounds bugs.
+    pub check_bounds: bool,
+    /// Mark destructive-copy no-op branches `dontCare` and instrument the
+    /// destructive-copy bug.
+    pub dontcare: bool,
+    /// Extra parser unroll slack beyond each stack's capacity.
+    pub unroll_slack: u32,
+    /// Apply the §4.6 egress-spec fix: explicitly initialize
+    /// `egress_spec` to the drop port at the beginning of ingress, making
+    /// every path's forwarding decision defined.
+    pub egress_spec_default_drop: bool,
+    /// Treat a parser extract past a stack's capacity as a bug node
+    /// instead of the P4-16 `error.StackOutOfBounds` → reject semantics.
+    /// Off by default: such overflows are packet-dependent and cannot be
+    /// controlled by any table rule.
+    pub strict_parser_overflow: bool,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions {
+            part: PipelinePart::Ingress,
+            check_validity: true,
+            check_egress_spec: true,
+            check_bounds: true,
+            dontcare: true,
+            unroll_slack: 1,
+            egress_spec_default_drop: false,
+            strict_parser_overflow: false,
+        }
+    }
+}
+
+/// Result of lowering.
+#[derive(Clone, Debug)]
+pub struct Lowered {
+    /// The acyclic CFG.
+    pub cfg: Cfg,
+}
+
+/// Lower a checked program.
+pub fn lower(program: &Program, options: &LowerOptions) -> Result<Lowered, Error> {
+    let mut lw = Lowerer::new(program, options.clone());
+    lw.run()?;
+    let cfg = lw.finish();
+    debug_assert_eq!(cfg.validate(), Ok(()));
+    Ok(Lowered { cfg })
+}
+
+/// The sort of the drop port value used when `mark_to_drop` is called.
+pub const DROP_PORT: u128 = 511;
+
+// ---------------------------------------------------------------------------
+
+/// Resolved place of an l-value / aggregate expression.
+#[derive(Clone, Debug)]
+enum Place {
+    /// A struct instance rooted at a canonical path (e.g. `hdr`, `meta.m`).
+    Struct { type_name: String, path: String },
+    /// A header instance with a static path.
+    Header { type_name: String, path: String },
+    /// A header stack.
+    Stack {
+        elem_type: String,
+        size: u32,
+        path: String,
+    },
+    /// A stack element with a dynamic index.
+    HeaderDyn {
+        elem_type: String,
+        size: u32,
+        path: String,
+        index: Term,
+    },
+    /// A scalar variable.
+    Scalar { var: Arc<str>, sort: Sort },
+}
+
+/// Everything an expression lowering produces besides the term.
+#[derive(Clone, Debug, Default)]
+struct Obligations {
+    /// Validity bits that must hold for the access to be defined.
+    validity: Vec<Arc<str>>,
+    /// `(index, size, what)` bounds obligations.
+    bounds: Vec<(Term, u32, String)>,
+    /// Raw boolean conditions that must hold (dynamic-element validity).
+    raw_checks: Vec<(Term, String)>,
+}
+
+impl Obligations {
+    fn merge(&mut self, other: Obligations) {
+        self.validity.extend(other.validity);
+        self.bounds.extend(other.bounds);
+        self.raw_checks.extend(other.raw_checks);
+    }
+}
+
+/// Identifier binding during lowering.
+#[derive(Clone, Debug)]
+enum Binding {
+    /// A place (struct/header/stack parameter or alias).
+    Place(Place),
+    /// A scalar program variable.
+    Var(Arc<str>, Sort),
+    /// A known term (action arguments, constants).
+    Value(Term),
+}
+
+type Env = HashMap<String, Binding>;
+
+struct Lowerer<'p> {
+    program: &'p Program,
+    options: LowerOptions,
+    blocks: Vec<Block>,
+    tables: Vec<TableSite>,
+    var_sorts: HashMap<Arc<str>, Sort>,
+    dontcare_marks: Vec<BlockId>,
+    entry: BlockId,
+    /// Jump target of `exit` statements (end of the current pipeline part).
+    exit_target: BlockId,
+    /// Table apply-site counter.
+    site_counter: usize,
+    /// Action-inline counter (for unique local names).
+    inline_counter: usize,
+    /// Parser unroll memo: (state, visit/stack context) → entry block.
+    parser_memo: HashMap<(String, Vec<(String, u32)>, Vec<(String, u32)>), BlockId>,
+}
+
+impl<'p> Lowerer<'p> {
+    fn new(program: &'p Program, options: LowerOptions) -> Self {
+        Lowerer {
+            program,
+            options,
+            blocks: Vec::new(),
+            tables: Vec::new(),
+            var_sorts: HashMap::new(),
+            dontcare_marks: Vec::new(),
+            entry: 0,
+            exit_target: 0,
+            site_counter: 0,
+            inline_counter: 0,
+            parser_memo: HashMap::new(),
+        }
+    }
+
+    fn finish(self) -> Cfg {
+        Cfg {
+            blocks: self.blocks,
+            entry: self.entry,
+            tables: self.tables,
+            var_sorts: self.var_sorts,
+            dontcare_marks: self.dontcare_marks,
+        }
+    }
+
+    // ---- block plumbing ----
+
+    fn new_block(&mut self, label: impl Into<String>) -> BlockId {
+        self.blocks.push(Block {
+            instrs: Vec::new(),
+            term: Terminator::End,
+            kind: BlockKind::Normal,
+            label: label.into(),
+        });
+        self.blocks.len() - 1
+    }
+
+    fn terminal(&mut self, kind: BlockKind, label: impl Into<String>) -> BlockId {
+        let b = self.new_block(label);
+        self.blocks[b].kind = kind;
+        b
+    }
+
+    fn seal(&mut self, b: BlockId, term: Terminator) {
+        self.blocks[b].term = term;
+    }
+
+    fn var(&mut self, name: impl Into<Arc<str>>, sort: Sort) -> Arc<str> {
+        let name: Arc<str> = name.into();
+        if let Some(prev) = self.var_sorts.insert(name.clone(), sort) {
+            debug_assert_eq!(prev, sort, "sort clash for {name}");
+        }
+        name
+    }
+
+    fn assign(&mut self, b: BlockId, var: impl Into<Arc<str>>, sort: Sort, expr: Term) {
+        let var = self.var(var, sort);
+        self.blocks[b].instrs.push(Instr::Assign { var, sort, expr });
+    }
+
+    fn havoc(&mut self, b: BlockId, var: impl Into<Arc<str>>, sort: Sort) {
+        let var = self.var(var, sort);
+        self.blocks[b].instrs.push(Instr::Havoc { var, sort });
+    }
+
+    /// Split `cur` on `cond`: if false, go to a bug terminal; if true,
+    /// continue in a fresh block that is returned.
+    fn guard(&mut self, cur: BlockId, cond: Term, bug: BugInfo) -> BlockId {
+        if cond.is_true() {
+            return cur;
+        }
+        let ok = self.new_block(format!("ok:{}", bug.description));
+        let bug_b = self.terminal(
+            BlockKind::Bug(bug.clone()),
+            format!("BUG:{}", bug.description),
+        );
+        self.seal(
+            cur,
+            Terminator::Branch {
+                cond,
+                then_to: ok,
+                else_to: bug_b,
+            },
+        );
+        ok
+    }
+
+    /// Discharge expression obligations as bug checks; returns the block
+    /// where safe execution continues.
+    fn discharge(
+        &mut self,
+        mut cur: BlockId,
+        ob: &Obligations,
+        line: u32,
+        table: Option<usize>,
+    ) -> BlockId {
+        if self.options.check_validity && !ob.validity.is_empty() {
+            let mut seen = HashSet::new();
+            let conj = Term::and_all(
+                ob.validity
+                    .iter()
+                    .filter(|v| seen.insert((*v).clone()))
+                    .map(|v| Term::var(v.clone(), Sort::Bool))
+                    .collect::<Vec<_>>(),
+            );
+            let what = ob
+                .validity
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            cur = self.guard(
+                cur,
+                conj,
+                BugInfo {
+                    kind: BugKind::InvalidHeaderAccess,
+                    description: format!("access to field of invalid header [{what}]"),
+                    line,
+                    table,
+                },
+            );
+        }
+        if self.options.check_validity {
+            for (cond, what) in &ob.raw_checks {
+                cur = self.guard(
+                    cur,
+                    cond.clone(),
+                    BugInfo {
+                        kind: BugKind::InvalidHeaderAccess,
+                        description: what.clone(),
+                        line,
+                        table,
+                    },
+                );
+            }
+        }
+        if self.options.check_bounds {
+            for (idx, size, what) in &ob.bounds {
+                let w = idx.width();
+                let cond = idx.bvult(&Term::bv(w, *size as u128));
+                let kind = if what.starts_with("register") {
+                    BugKind::RegisterOutOfBounds
+                } else {
+                    BugKind::StackOutOfBounds
+                };
+                cur = self.guard(
+                    cur,
+                    cond,
+                    BugInfo {
+                        kind,
+                        description: format!("{what} index out of bounds (size {size})"),
+                        line,
+                        table,
+                    },
+                );
+            }
+        }
+        cur
+    }
+
+    // ---- naming ----
+
+    fn valid_var(&mut self, header_path: &str) -> Arc<str> {
+        self.var(format!("{header_path}.$valid"), Sort::Bool)
+    }
+
+    fn field_var(&mut self, header_path: &str, field: &str, width: u32) -> Arc<str> {
+        self.var(format!("{header_path}.{field}"), Sort::Bv(width))
+    }
+
+    // ---- top level ----
+
+    fn run(&mut self) -> Result<(), Error> {
+        let pl = self.program.pipeline.clone().ok_or_else(|| {
+            Error::new(Span::default(), "program has no V1Switch instantiation")
+        })?;
+        match self.options.part {
+            PipelinePart::Ingress => {
+                let parser = self.program.parsers[&pl.parser].clone();
+                let ingress = self.program.controls[&pl.ingress].clone();
+                self.lower_ingress(&parser, &ingress)
+            }
+            PipelinePart::Egress => {
+                let egress = self.program.controls[&pl.egress].clone();
+                self.lower_egress(&egress)
+            }
+        }
+    }
+
+    /// All header instances reachable from the headers struct: returns
+    /// `(path, header_type)` pairs (stack elements enumerated).
+    fn enumerate_headers(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        // The headers struct is the type of the parser's `out` parameter /
+        // ingress first parameter; find it via the pipeline ingress control.
+        if let Some(pl) = &self.program.pipeline {
+            if let Some(ing) = self.program.controls.get(&pl.ingress) {
+                if let Some(p0) = ing.params.first() {
+                    if let Ok(Type::Struct(s)) = self.program.resolve_type(&p0.ty) {
+                        self.walk_struct(&s, "hdr", &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn walk_struct(&self, type_name: &str, path: &str, out: &mut Vec<(String, String)>) {
+        let Some(fields) = self.program.struct_fields(type_name) else {
+            return;
+        };
+        for (fname, fty) in fields {
+            let fpath = format!("{path}.{fname}");
+            match fty {
+                Type::Header(h) => out.push((fpath, h.clone())),
+                Type::Struct(s) => self.walk_struct(&s, &fpath, out),
+                Type::Stack(h, n) => {
+                    for i in 0..n {
+                        out.push((format!("{fpath}.{i}"), h.clone()));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Zero-initialize user metadata fields under `path` of struct type.
+    fn init_metadata(&mut self, b: BlockId, type_name: &str, path: &str) {
+        let Some(fields) = self.program.struct_fields(type_name) else {
+            return;
+        };
+        for (fname, fty) in fields {
+            let fpath = format!("{path}.{fname}");
+            match fty {
+                Type::Bit(w) => self.assign(b, fpath, Sort::Bv(w), Term::bv(w, 0)),
+                Type::Bool => self.assign(b, fpath, Sort::Bool, Term::ff()),
+                Type::Struct(s) => self.init_metadata(b, &s, &fpath),
+                _ => {}
+            }
+        }
+    }
+
+    fn base_env(&self, ctrl_params: &[Param]) -> Env {
+        // Canonical parameter mapping by position (V1Model convention):
+        // ignoring packet_in/packet_out params, [0]=hdr, [1]=meta, [2]=sm.
+        let mut env = Env::new();
+        let mut idx = 0;
+        for p in ctrl_params {
+            let t = self.program.resolve_type(&p.ty).unwrap();
+            if let Type::Struct(s) = &t {
+                if s == "packet_in" || s == "packet_out" {
+                    env.insert(p.name.clone(), Binding::Place(Place::Struct {
+                        type_name: s.clone(),
+                        path: p.name.clone(),
+                    }));
+                    continue;
+                }
+            }
+            let root = match idx {
+                0 => "hdr",
+                1 => "meta",
+                _ => "standard_metadata",
+            };
+            idx += 1;
+            let place = match t {
+                Type::Struct(s) => Place::Struct {
+                    type_name: s,
+                    path: root.to_string(),
+                },
+                Type::Header(h) => Place::Header {
+                    type_name: h,
+                    path: root.to_string(),
+                },
+                _ => continue,
+            };
+            env.insert(p.name.clone(), Binding::Place(place));
+        }
+        // constants
+        for (n, (t, v)) in &self.program.consts {
+            let term = match t {
+                Type::Bit(w) => Term::bv(*w, *v),
+                Type::Bool => Term::bool(*v != 0),
+                _ => continue,
+            };
+            env.entry(n.clone()).or_insert(Binding::Value(term));
+        }
+        env
+    }
+
+    fn lower_ingress(&mut self, parser: &ParserDef, ingress: &ControlDef) -> Result<(), Error> {
+        let entry = self.new_block("init");
+        self.entry = entry;
+
+        // Header validity bits start false.
+        for (path, _h) in self.enumerate_headers() {
+            let v = self.valid_var(&path);
+            self.assign(entry, v, Sort::Bool, Term::ff());
+        }
+        // Stack next-counters start at zero.
+        for stack in self.stack_paths() {
+            self.assign(entry, format!("{stack}.$next"), Sort::Bv(32), Term::bv(32, 0));
+        }
+        // Standard metadata: egress_spec zero-initialized (§5.1 "Egress spec
+        // not set"), the rest havoc'd inputs.
+        for (f, w) in bf4_p4::typecheck::STANDARD_METADATA {
+            let name = format!("standard_metadata.{f}");
+            if *f == "egress_spec" {
+                let init = if self.options.egress_spec_default_drop {
+                    Term::bv(*w, DROP_PORT)
+                } else {
+                    Term::bv(*w, 0)
+                };
+                self.assign(entry, name, Sort::Bv(*w), init);
+            } else {
+                self.havoc(entry, name, Sort::Bv(*w));
+            }
+        }
+        let egress_init = Term::bool(self.options.egress_spec_default_drop);
+        self.assign(entry, "$egress_set", Sort::Bool, egress_init);
+        // User metadata zero-initialized (bmv2 semantics).
+        if let Some(p1) = ingress.params.get(1) {
+            if let Ok(Type::Struct(s)) = self.program.resolve_type(&p1.ty) {
+                self.init_metadata(entry, &s, "meta");
+            }
+        }
+
+        // End of ingress: egress_spec check, then Accept.
+        let accept = self.terminal(BlockKind::Accept, "accept");
+        let end_of_ingress = self.new_block("end-of-ingress");
+        if self.options.check_egress_spec {
+            let bug = self.terminal(
+                BlockKind::Bug(BugInfo {
+                    kind: BugKind::EgressSpecNotSet,
+                    description: "egress_spec never set by end of ingress".into(),
+                    line: 0,
+                    table: None,
+                }),
+                "BUG:egress-spec-not-set",
+            );
+            self.seal(
+                end_of_ingress,
+                Terminator::Branch {
+                    cond: Term::var("$egress_set", Sort::Bool),
+                    then_to: accept,
+                    else_to: bug,
+                },
+            );
+        } else {
+            self.seal(end_of_ingress, Terminator::Jump(accept));
+        }
+        self.exit_target = end_of_ingress;
+
+        // Ingress body.
+        let env = self.base_env(&ingress.params);
+        let ingress_entry = self.new_block("ingress");
+        let mut env2 = env.clone();
+        let mut cur = ingress_entry;
+        // control-level locals
+        let ctrl = ingress.clone();
+        for (n, t, init) in &ctrl.locals {
+            cur = self.declare_local(cur, &ctrl.name, n, t, init.as_deref2(), &mut env2, &ctrl)?;
+        }
+        let body_end = self.lower_stmts(&ctrl.apply.stmts, cur, &mut env2, &ctrl)?;
+        self.seal(body_end, Terminator::Jump(end_of_ingress));
+
+        // Parser.
+        let reject = self.terminal(BlockKind::Reject, "reject");
+        let parser_env = self.parser_env(parser);
+        let start = self.lower_parser_state(
+            parser,
+            "start",
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            ingress_entry,
+            reject,
+            &parser_env,
+        )?;
+        self.seal(entry, Terminator::Jump(start));
+        Ok(())
+    }
+
+    fn lower_egress(&mut self, egress: &ControlDef) -> Result<(), Error> {
+        let entry = self.new_block("init-egress");
+        self.entry = entry;
+        // Everything havoc'd: validity bits, fields, metadata.
+        for (path, h) in self.enumerate_headers() {
+            let v = self.valid_var(&path);
+            self.havoc(entry, v, Sort::Bool);
+            for (f, w) in self.program.headers[&h].clone() {
+                let fv = self.field_var(&path, &f, w);
+                self.havoc(entry, fv, Sort::Bv(w));
+            }
+        }
+        for stack in self.stack_paths() {
+            self.havoc(entry, format!("{stack}.$next"), Sort::Bv(32));
+        }
+        for (f, w) in bf4_p4::typecheck::STANDARD_METADATA {
+            self.havoc(entry, format!("standard_metadata.{f}"), Sort::Bv(*w));
+        }
+        if let Some(p1) = egress.params.get(1) {
+            if let Ok(Type::Struct(s)) = self.program.resolve_type(&p1.ty) {
+                self.havoc_metadata(entry, &s, "meta");
+            }
+        }
+        let accept = self.terminal(BlockKind::Accept, "accept");
+        self.exit_target = accept;
+        let mut env = self.base_env(&egress.params);
+        let ctrl = egress.clone();
+        let mut cur = entry;
+        for (n, t, init) in &ctrl.locals {
+            cur = self.declare_local(cur, &ctrl.name, n, t, init.as_deref2(), &mut env, &ctrl)?;
+        }
+        let end = self.lower_stmts(&ctrl.apply.stmts, cur, &mut env, &ctrl)?;
+        self.seal(end, Terminator::Jump(accept));
+        Ok(())
+    }
+
+    fn havoc_metadata(&mut self, b: BlockId, type_name: &str, path: &str) {
+        let Some(fields) = self.program.struct_fields(type_name) else {
+            return;
+        };
+        for (fname, fty) in fields {
+            let fpath = format!("{path}.{fname}");
+            match fty {
+                Type::Bit(w) => self.havoc(b, fpath, Sort::Bv(w)),
+                Type::Bool => self.havoc(b, fpath, Sort::Bool),
+                Type::Struct(s) => self.havoc_metadata(b, &s, &fpath),
+                _ => {}
+            }
+        }
+    }
+
+    fn stack_paths(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(pl) = &self.program.pipeline {
+            if let Some(ing) = self.program.controls.get(&pl.ingress) {
+                if let Some(p0) = ing.params.first() {
+                    if let Ok(Type::Struct(s)) = self.program.resolve_type(&p0.ty) {
+                        self.walk_stacks(&s, "hdr", &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn walk_stacks(&self, type_name: &str, path: &str, out: &mut Vec<String>) {
+        let Some(fields) = self.program.struct_fields(type_name) else {
+            return;
+        };
+        for (fname, fty) in fields {
+            let fpath = format!("{path}.{fname}");
+            match fty {
+                Type::Stack(..) => out.push(fpath),
+                Type::Struct(s) => self.walk_stacks(&s, &fpath, out),
+                _ => {}
+            }
+        }
+    }
+
+    fn declare_local(
+        &mut self,
+        cur: BlockId,
+        ctrl_name: &str,
+        name: &str,
+        ty: &Type,
+        init: Option<&Expr>,
+        env: &mut Env,
+        ctrl: &ControlDef,
+    ) -> Result<BlockId, Error> {
+        let sort = match ty {
+            Type::Bit(w) => Sort::Bv(*w),
+            Type::Bool => Sort::Bool,
+            other => {
+                return Err(Error::new(
+                    Span::default(),
+                    format!("unsupported local type {other}"),
+                ))
+            }
+        };
+        let var = self.var(format!("{ctrl_name}.{name}"), sort);
+        let mut cur = cur;
+        if let Some(e) = init {
+            let (t, ob) = self.lower_value_expect(e, env, ctrl, Some(sort))?;
+            cur = self.discharge(cur, &ob, e.span().line, None);
+            let t = coerce(t, sort);
+            self.assign(cur, var.clone(), sort, t);
+        } else {
+            self.havoc(cur, var.clone(), sort);
+        }
+        env.insert(name.to_string(), Binding::Var(var, sort));
+        Ok(cur)
+    }
+
+    // ---- parser ----
+
+    fn parser_env(&self, parser: &ParserDef) -> Env {
+        // Parser params: (packet_in, out hdr, inout meta, inout sm).
+        self.base_env(&parser.params)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_parser_state(
+        &mut self,
+        parser: &ParserDef,
+        state: &str,
+        visits: &BTreeMap<String, u32>,
+        stack_next: &BTreeMap<String, u32>,
+        accept_to: BlockId,
+        reject_to: BlockId,
+        env: &Env,
+    ) -> Result<BlockId, Error> {
+        if state == "accept" {
+            return Ok(accept_to);
+        }
+        if state == "reject" {
+            return Ok(reject_to);
+        }
+        let key = (
+            state.to_string(),
+            visits.iter().map(|(k, v)| (k.clone(), *v)).collect::<Vec<_>>(),
+            stack_next
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect::<Vec<_>>(),
+        );
+        if let Some(&b) = self.parser_memo.get(&key) {
+            return Ok(b);
+        }
+        let visit_count = visits.get(state).copied().unwrap_or(0);
+        let limit = self.unroll_limit();
+        if visit_count >= limit {
+            // Hardware bounds parser loops; beyond the bound the packet is
+            // rejected (the stack-overflow bug is caught at extract).
+            return Ok(reject_to);
+        }
+        let st = parser
+            .states
+            .iter()
+            .find(|s| s.name == state)
+            .ok_or_else(|| Error::new(Span::default(), format!("unknown state {state}")))?
+            .clone();
+        let b = self.new_block(format!("parse:{state}"));
+        self.parser_memo.insert(key, b);
+        let mut visits2 = visits.clone();
+        *visits2.entry(state.to_string()).or_insert(0) += 1;
+        let mut stack_next2 = stack_next.clone();
+
+        let mut env2 = env.clone();
+        let mut cur = b;
+        for s in &st.stmts {
+            cur = self.lower_parser_stmt(s, cur, &mut env2, &mut stack_next2)?;
+        }
+        match &st.transition {
+            Transition::Direct(next) => {
+                let target = self.lower_parser_state(
+                    parser, next, &visits2, &stack_next2, accept_to, reject_to, &env2,
+                )?;
+                self.seal(cur, Terminator::Jump(target));
+            }
+            Transition::Select { exprs, cases } => {
+                // Evaluate selectors once.
+                let mut sel_terms = Vec::new();
+                for e in exprs {
+                    let (t, ob) = self.lower_value(e, &env2, &dummy_ctrl())?;
+                    cur = self.discharge(cur, &ob, e.span().line, None);
+                    sel_terms.push(t);
+                }
+                let mut next_else: BlockId = reject_to; // no arm matches → reject
+                // Build the chain back-to-front.
+                let mut chain: Vec<(Term, BlockId)> = Vec::new();
+                for case in cases {
+                    let target = self.lower_parser_state(
+                        parser,
+                        &case.next,
+                        &visits2,
+                        &stack_next2,
+                        accept_to,
+                        reject_to,
+                        &env2,
+                    )?;
+                    let cond = self.keyset_cond(&case.keyset, &sel_terms)?;
+                    chain.push((cond, target));
+                }
+                for (cond, target) in chain.into_iter().rev() {
+                    if cond.is_true() {
+                        next_else = target;
+                        continue;
+                    }
+                    let test = self.new_block("select-arm");
+                    self.seal(
+                        test,
+                        Terminator::Branch {
+                            cond,
+                            then_to: target,
+                            else_to: next_else,
+                        },
+                    );
+                    next_else = test;
+                }
+                self.seal(cur, Terminator::Jump(next_else));
+            }
+        }
+        Ok(b)
+    }
+
+    fn unroll_limit(&self) -> u32 {
+        let max_stack = self
+            .program
+            .structs
+            .values()
+            .flatten()
+            .filter_map(|(_, t)| match t {
+                Type::Stack(_, n) => Some(*n),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        (max_stack + self.options.unroll_slack).max(2)
+    }
+
+    fn keyset_cond(&mut self, keyset: &[Keyset], sels: &[Term]) -> Result<Term, Error> {
+        if keyset.len() == 1 && matches!(keyset[0], Keyset::Default) {
+            return Ok(Term::tt());
+        }
+        let mut parts = Vec::new();
+        for (k, sel) in keyset.iter().zip(sels) {
+            match k {
+                Keyset::Default => {}
+                Keyset::Value(e) => {
+                    let v = self.const_term(e, sel)?;
+                    parts.push(sel.eq_term(&v));
+                }
+                Keyset::Mask(e, m) => {
+                    let v = self.const_term(e, sel)?;
+                    let m = self.const_term(m, sel)?;
+                    parts.push(sel.bvand(&m).eq_term(&v.bvand(&m)));
+                }
+            }
+        }
+        Ok(Term::and_all(parts))
+    }
+
+    /// Evaluate a constant keyset expression at the selector's sort.
+    fn const_term(&self, e: &Expr, sel: &Term) -> Result<Term, Error> {
+        let v = const_eval(self.program, e)?;
+        Ok(match sel.sort() {
+            Sort::Bool => Term::bool(v != 0),
+            Sort::Bv(w) => Term::bv(w, v),
+        })
+    }
+
+    fn lower_parser_stmt(
+        &mut self,
+        s: &Stmt,
+        cur: BlockId,
+        env: &mut Env,
+        stack_next: &mut BTreeMap<String, u32>,
+    ) -> Result<BlockId, Error> {
+        match s {
+            Stmt::Call { call, span } => {
+                let Expr::Call { func, args, .. } = call else {
+                    unreachable!()
+                };
+                if let Expr::Member { base: _, member, .. } = func.as_ref() {
+                    // pkt.extract(...)
+                    if member == "extract" {
+                        return self.lower_extract(&args[0], cur, env, stack_next, span.line);
+                    }
+                    if member == "advance" || member == "lookahead" {
+                        return Ok(cur); // packet cursor not modeled
+                    }
+                    if member == "setValid" || member == "setInvalid" || member == "apply" {
+                        // fall through to generic statement lowering
+                    }
+                }
+                self.lower_stmt(s, cur, env, &dummy_ctrl())
+            }
+            _ => self.lower_stmt(s, cur, env, &dummy_ctrl()),
+        }
+    }
+
+    fn lower_extract(
+        &mut self,
+        target: &Expr,
+        cur: BlockId,
+        env: &Env,
+        stack_next: &mut BTreeMap<String, u32>,
+        line: u32,
+    ) -> Result<BlockId, Error> {
+        // Resolve target place; `.next` uses and bumps the static counter.
+        let (path, header_ty, mut cur) = match target {
+            Expr::Member { base, member, .. } if member == "next" => {
+                let place = self.resolve_place(base, env)?;
+                let Place::Stack {
+                    elem_type,
+                    size,
+                    path,
+                } = place
+                else {
+                    return Err(Error::new(target.span(), ".next on non-stack"));
+                };
+                let n = stack_next.entry(path.clone()).or_insert(0);
+                if *n >= size {
+                    // Extracting past capacity. P4-16 semantics: the parser
+                    // raises error.StackOutOfBounds and rejects the packet;
+                    // under `strict_parser_overflow` it is reported as a
+                    // bug node instead.
+                    let sink = if self.options.strict_parser_overflow {
+                        self.terminal(
+                            BlockKind::Bug(BugInfo {
+                                kind: BugKind::StackOutOfBounds,
+                                description: format!("extract into full stack {path}"),
+                                line,
+                                table: None,
+                            }),
+                            "BUG:stack-overflow",
+                        )
+                    } else {
+                        self.terminal(BlockKind::Reject, "reject:stack-overflow")
+                    };
+                    self.seal(cur, Terminator::Jump(sink));
+                    // continue lowering in an unreachable block
+                    let dead = self.new_block("after-overflow");
+                    return Ok(dead);
+                }
+                let idx = *n;
+                *n += 1;
+                let epath = format!("{path}.{idx}");
+                // track ghost counter for control-plane stack ops
+                let nv = self.var(format!("{path}.$next"), Sort::Bv(32));
+                let cur2 = cur;
+                self.assign(cur2, nv, Sort::Bv(32), Term::bv(32, (idx + 1) as u128));
+                (epath, elem_type, cur)
+            }
+            _ => {
+                let place = self.resolve_place(target, env)?;
+                match place {
+                    Place::Header { type_name, path } => (path, type_name, cur),
+                    Place::HeaderDyn { .. } => {
+                        return Err(Error::new(
+                            target.span(),
+                            "extract into dynamically-indexed stack element",
+                        ))
+                    }
+                    _ => return Err(Error::new(target.span(), "extract target not a header")),
+                }
+            }
+        };
+        // Fields come from the (symbolic) packet: havoc. Validity set.
+        let fields = self.program.headers[&header_ty].clone();
+        for (f, w) in fields {
+            let fv = self.field_var(&path, &f, w);
+            self.havoc(cur, fv, Sort::Bv(w));
+        }
+        let v = self.valid_var(&path);
+        self.assign(cur, v, Sort::Bool, Term::tt());
+        let _ = &mut cur;
+        Ok(cur)
+    }
+
+    // ---- statements ----
+
+    fn lower_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        mut cur: BlockId,
+        env: &mut Env,
+        ctrl: &ControlDef,
+    ) -> Result<BlockId, Error> {
+        for s in stmts {
+            cur = self.lower_stmt(s, cur, env, ctrl)?;
+        }
+        Ok(cur)
+    }
+
+    fn lower_stmt(
+        &mut self,
+        s: &Stmt,
+        cur: BlockId,
+        env: &mut Env,
+        ctrl: &ControlDef,
+    ) -> Result<BlockId, Error> {
+        match s {
+            Stmt::Assign { lhs, rhs, span } => self.lower_assign(lhs, rhs, cur, env, ctrl, span),
+            Stmt::Call { call, span } => self.lower_call_stmt(call, cur, env, ctrl, span),
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => {
+                // Table-apply conditions expand the table first.
+                let (cond_term, cur) = self.lower_condition(cond, cur, env, ctrl, span)?;
+                let then_b = self.new_block("then");
+                let else_b = self.new_block("else");
+                self.seal(
+                    cur,
+                    Terminator::Branch {
+                        cond: cond_term,
+                        then_to: then_b,
+                        else_to: else_b,
+                    },
+                );
+                let then_end = self.lower_stmts(&then_blk.stmts, then_b, &mut env.clone(), ctrl)?;
+                let else_end = self.lower_stmts(&else_blk.stmts, else_b, &mut env.clone(), ctrl)?;
+                let join = self.new_block("join");
+                self.seal(then_end, Terminator::Jump(join));
+                self.seal(else_end, Terminator::Jump(join));
+                Ok(join)
+            }
+            Stmt::Switch { expr, cases, span } => {
+                let table = switch_table_name(expr)
+                    .ok_or_else(|| Error::new(*span, "unsupported switch scrutinee"))?;
+                let tdecl = ctrl
+                    .table(&table)
+                    .ok_or_else(|| Error::new(*span, format!("unknown table {table}")))?
+                    .clone();
+                let (site_idx, after) = self.expand_table(&tdecl, cur, env, ctrl)?;
+                let site = self.tables[site_idx].clone();
+                let action_t = Term::var(site.action_run_var.clone(), Sort::Bv(8));
+                let join = self.new_block("switch-join");
+                // default case body (if any)
+                let mut default_block = join;
+                for (label, body) in cases {
+                    if label.is_none() {
+                        let b = self.new_block("switch-default");
+                        let e = self.lower_stmts(&body.stmts, b, &mut env.clone(), ctrl)?;
+                        self.seal(e, Terminator::Jump(join));
+                        default_block = b;
+                    }
+                }
+                let mut next_else = default_block;
+                for (label, body) in cases.iter().rev() {
+                    let Some(l) = label else { continue };
+                    let idx = site
+                        .actions
+                        .iter()
+                        .position(|a| &a.name == l)
+                        .ok_or_else(|| Error::new(*span, format!("unknown case {l}")))?;
+                    let b = self.new_block(format!("case:{l}"));
+                    let e = self.lower_stmts(&body.stmts, b, &mut env.clone(), ctrl)?;
+                    self.seal(e, Terminator::Jump(join));
+                    let test = self.new_block(format!("test:{l}"));
+                    self.seal(
+                        test,
+                        Terminator::Branch {
+                            cond: action_t.eq_term(&Term::bv(8, idx as u128)),
+                            then_to: b,
+                            else_to: next_else,
+                        },
+                    );
+                    next_else = test;
+                }
+                self.seal(after, Terminator::Jump(next_else));
+                Ok(join)
+            }
+            Stmt::Block(b) => self.lower_stmts(&b.stmts, cur, &mut env.clone(), ctrl),
+            Stmt::Var {
+                ty,
+                name,
+                init,
+                span: _,
+            } => {
+                let t = self.program.resolve_type(ty)?;
+                self.inline_counter += 1;
+                let unique = format!("{}.{}#{}", ctrl.name, name, self.inline_counter);
+                let sort = match t {
+                    Type::Bit(w) => Sort::Bv(w),
+                    Type::Bool => Sort::Bool,
+                    other => {
+                        return Err(Error::new(
+                            Span::default(),
+                            format!("unsupported local type {other}"),
+                        ))
+                    }
+                };
+                let var = self.var(unique, sort);
+                let mut cur = cur;
+                if let Some(e) = init {
+                    let (t, ob) = self.lower_value_expect(e, env, ctrl, Some(sort))?;
+                    cur = self.discharge(cur, &ob, e.span().line, None);
+                    self.assign(cur, var.clone(), sort, coerce(t, sort));
+                } else {
+                    self.havoc(cur, var.clone(), sort);
+                }
+                env.insert(name.clone(), Binding::Var(var, sort));
+                Ok(cur)
+            }
+            Stmt::Exit { .. } => {
+                self.seal(cur, Terminator::Jump(self.exit_target));
+                Ok(self.new_block("after-exit"))
+            }
+            Stmt::Return { .. } => {
+                // Only supported as the last statement of an action body.
+                Ok(cur)
+            }
+        }
+    }
+
+    /// Lower an `if` condition, expanding `t.apply().hit` / `.miss` forms.
+    fn lower_condition(
+        &mut self,
+        cond: &Expr,
+        cur: BlockId,
+        env: &mut Env,
+        ctrl: &ControlDef,
+        span: &Span,
+    ) -> Result<(Term, BlockId), Error> {
+        // !cond
+        if let Expr::Unary {
+            op: UnOp::Not,
+            arg,
+            ..
+        } = cond
+        {
+            if expr_mentions_apply(arg) {
+                let (t, b) = self.lower_condition(arg, cur, env, ctrl, span)?;
+                return Ok((t.not(), b));
+            }
+        }
+        if let Expr::Member { base, member, .. } = cond {
+            if member == "hit" || member == "miss" {
+                if let Expr::Call { func, .. } = base.as_ref() {
+                    if let Expr::Member { base, member: m2, .. } = func.as_ref() {
+                        if m2 == "apply" {
+                            if let Expr::Ident { name, .. } = base.as_ref() {
+                                let tdecl = ctrl
+                                    .table(name)
+                                    .ok_or_else(|| {
+                                        Error::new(*span, format!("unknown table {name}"))
+                                    })?
+                                    .clone();
+                                let (site_idx, after) =
+                                    self.expand_table(&tdecl, cur, env, ctrl)?;
+                                let hit =
+                                    Term::var(self.tables[site_idx].hit_var.clone(), Sort::Bool);
+                                let t = if member == "hit" { hit } else { hit.not() };
+                                return Ok((t, after));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let (t, ob) = self.lower_value(cond, env, ctrl)?;
+        let cur = self.discharge(cur, &ob, span.line, None);
+        Ok((t, cur))
+    }
+
+    fn lower_assign(
+        &mut self,
+        lhs: &Expr,
+        rhs: &Expr,
+        cur: BlockId,
+        env: &mut Env,
+        ctrl: &ControlDef,
+        span: &Span,
+    ) -> Result<BlockId, Error> {
+        let lplace = self.resolve_place(lhs, env)?;
+        // Header-to-header copy (encap/decap pattern).
+        if let Place::Header {
+            type_name: lt,
+            path: lpath,
+        } = &lplace
+        {
+            let rplace = self.resolve_place(rhs, env).ok();
+            if let Some(Place::Header {
+                type_name: rt,
+                path: rpath,
+            }) = rplace
+            {
+                if &rt == lt {
+                    return self.lower_header_copy(lt, lpath, &rpath, cur, span.line);
+                }
+            }
+        }
+        let expect = match &lplace {
+            Place::Scalar { sort, .. } => Some(*sort),
+            _ => None,
+        };
+        let (rterm, mut ob) = self.lower_value_expect(rhs, env, ctrl, expect)?;
+        match lplace {
+            Place::Scalar { var, sort } => {
+                // Writing a header field requires the header valid.
+                if let Some(hv) = header_validity_of_field(&var) {
+                    ob.validity.push(self.var(hv, Sort::Bool));
+                }
+                let cur = self.discharge(cur, &ob, span.line, None);
+                self.assign(cur, var.clone(), sort, coerce(rterm, sort));
+                if var.as_ref() == "standard_metadata.egress_spec" {
+                    self.assign(cur, "$egress_set", Sort::Bool, Term::tt());
+                }
+                Ok(cur)
+            }
+            Place::HeaderDyn {
+                elem_type,
+                size,
+                path,
+                index,
+            } => {
+                // Dynamic stack-element write is not a field write; only
+                // whole-header copies reach here — unsupported shape.
+                let _ = (elem_type, size, path, index);
+                Err(Error::new(
+                    *span,
+                    "assignment to dynamically-indexed stack element unsupported",
+                ))
+            }
+            _ => Err(Error::new(*span, "unsupported assignment target")),
+        }
+    }
+
+    /// The paper's instrumented header copy (§4.2 "Increasing bug coverage"):
+    ///
+    /// ```text
+    /// if (src.isValid()) { copy fields; dst.setValid(); }
+    /// else if (dst.isValid()) { BUG(destructive copy); }
+    /// else { dontCare(); }
+    /// ```
+    fn lower_header_copy(
+        &mut self,
+        header_ty: &str,
+        dst: &str,
+        src: &str,
+        cur: BlockId,
+        line: u32,
+    ) -> Result<BlockId, Error> {
+        let src_valid = Term::var(self.valid_var(src), Sort::Bool);
+        let dst_valid = Term::var(self.valid_var(dst), Sort::Bool);
+        let join = self.new_block("copy-join");
+
+        let copy_b = self.new_block(format!("copy {src} -> {dst}"));
+        for (f, w) in self.program.headers[header_ty].clone() {
+            let sv = self.field_var(src, &f, w);
+            let dv = self.field_var(dst, &f, w);
+            let t = Term::var(sv, Sort::Bv(w));
+            self.assign(copy_b, dv, Sort::Bv(w), t);
+        }
+        let dvv = self.valid_var(dst);
+        self.assign(copy_b, dvv, Sort::Bool, Term::tt());
+        self.seal(copy_b, Terminator::Jump(join));
+
+        if self.options.dontcare {
+            let bug_b = self.terminal(
+                BlockKind::Bug(BugInfo {
+                    kind: BugKind::DestructiveHeaderCopy,
+                    description: format!("copy of invalid {src} over valid {dst}"),
+                    line,
+                    table: None,
+                }),
+                "BUG:destructive-copy",
+            );
+            // no-op branch: marked dontCare, then continues
+            let noop = self.new_block("copy-noop(dontCare)");
+            self.dontcare_marks.push(noop);
+            self.seal(noop, Terminator::Jump(join));
+            let invalid_src = self.new_block("copy-invalid-src");
+            self.seal(
+                invalid_src,
+                Terminator::Branch {
+                    cond: dst_valid,
+                    then_to: bug_b,
+                    else_to: noop,
+                },
+            );
+            self.seal(
+                cur,
+                Terminator::Branch {
+                    cond: src_valid,
+                    then_to: copy_b,
+                    else_to: invalid_src,
+                },
+            );
+        } else {
+            // uninstrumented: invalid source copies garbage (still defined
+            // as a copy of unconstrained fields) — model as field copy of
+            // havoc: just copy fields and validity.
+            let alt = self.new_block("copy-any");
+            for (f, w) in self.program.headers[header_ty].clone() {
+                let sv = self.field_var(src, &f, w);
+                let dv = self.field_var(dst, &f, w);
+                let t = Term::var(sv, Sort::Bv(w));
+                self.assign(alt, dv, Sort::Bv(w), t);
+            }
+            let dvv = self.valid_var(dst);
+            let svv = self.valid_var(src);
+            let t = Term::var(svv, Sort::Bool);
+            self.assign(alt, dvv, Sort::Bool, t);
+            self.seal(alt, Terminator::Jump(join));
+            self.seal(cur, Terminator::Jump(alt));
+            // copy_b unreachable in this mode
+            let _ = copy_b;
+        }
+        Ok(join)
+    }
+
+    fn lower_call_stmt(
+        &mut self,
+        call: &Expr,
+        cur: BlockId,
+        env: &mut Env,
+        ctrl: &ControlDef,
+        span: &Span,
+    ) -> Result<BlockId, Error> {
+        let Expr::Call { func, args, .. } = call else {
+            unreachable!()
+        };
+        match func.as_ref() {
+            Expr::Ident { name, .. } => self.lower_free_call(name, args, cur, env, ctrl, span),
+            Expr::Member { base, member, .. } => {
+                self.lower_method_call(base, member, args, cur, env, ctrl, span)
+            }
+            _ => Err(Error::new(*span, "unsupported call")),
+        }
+    }
+
+    fn lower_free_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        mut cur: BlockId,
+        env: &mut Env,
+        ctrl: &ControlDef,
+        span: &Span,
+    ) -> Result<BlockId, Error> {
+        match name {
+            "mark_to_drop" | "drop" => {
+                self.assign(
+                    cur,
+                    "standard_metadata.egress_spec",
+                    Sort::Bv(9),
+                    Term::bv(9, DROP_PORT),
+                );
+                self.assign(cur, "$egress_set", Sort::Bool, Term::tt());
+                Ok(cur)
+            }
+            "random" => {
+                // random(out result, lo, hi) — havoc the destination.
+                let place = self.resolve_place(&args[0], env)?;
+                let Place::Scalar { var, sort } = place else {
+                    return Err(Error::new(*span, "random target not scalar"));
+                };
+                self.havoc(cur, var, sort);
+                Ok(cur)
+            }
+            "hash" => {
+                // hash(out result, algo, base, {fields}, max) — havoc result,
+                // but check validity of fields read.
+                let place = self.resolve_place(&args[0], env)?;
+                let Place::Scalar { var, sort } = place else {
+                    return Err(Error::new(*span, "hash target not scalar"));
+                };
+                let mut ob = Obligations::default();
+                for a in &args[1..] {
+                    if let Ok((_, o)) = self.lower_value(a, env, ctrl) {
+                        ob.merge(o);
+                    }
+                }
+                cur = self.discharge(cur, &ob, span.line, None);
+                self.havoc(cur, var, sort);
+                Ok(cur)
+            }
+            "assert" | "assume" => {
+                let (t, ob) = self.lower_value(&args[0], env, ctrl)?;
+                cur = self.discharge(cur, &ob, span.line, None);
+                cur = self.guard(
+                    cur,
+                    t,
+                    BugInfo {
+                        kind: BugKind::UserAssert,
+                        description: format!("user assertion at line {}", span.line),
+                        line: span.line,
+                        table: None,
+                    },
+                );
+                Ok(cur)
+            }
+            // Control-plane / mirroring externs: no dataplane state change
+            // we model.
+            "digest" | "clone" | "clone3" | "clone_preserving_field_list" | "resubmit"
+            | "resubmit_preserving_field_list" | "recirculate"
+            | "recirculate_preserving_field_list" | "truncate" | "log_msg"
+            | "verify_checksum" | "update_checksum" | "verify_checksum_with_payload"
+            | "update_checksum_with_payload" | "NoAction" => Ok(cur),
+            // direct action invocation
+            _ => {
+                if let Some(action) = ctrl.action(name).cloned() {
+                    let mut bindings = Vec::new();
+                    for (p, a) in action.params.iter().zip(args) {
+                        let psort = match self.program.resolve_type(&p.ty)? {
+                            Type::Bit(w) => Some(Sort::Bv(w)),
+                            Type::Bool => Some(Sort::Bool),
+                            _ => None,
+                        };
+                        let (t, ob) = self.lower_value_expect(a, env, ctrl, psort)?;
+                        cur = self.discharge(cur, &ob, span.line, None);
+                        bindings.push((p.name.clone(), Binding::Value(t)));
+                    }
+                    return self.inline_action(&action, bindings, cur, env, ctrl, None);
+                }
+                Err(Error::new(*span, format!("unknown call target {name}")))
+            }
+        }
+    }
+
+    fn lower_method_call(
+        &mut self,
+        base: &Expr,
+        method: &str,
+        args: &[Expr],
+        mut cur: BlockId,
+        env: &mut Env,
+        ctrl: &ControlDef,
+        span: &Span,
+    ) -> Result<BlockId, Error> {
+        // table.apply()
+        if let Expr::Ident { name, .. } = base {
+            if let Some(tdecl) = ctrl.table(name).cloned() {
+                if method == "apply" {
+                    let (_site, after) = self.expand_table(&tdecl, cur, env, ctrl)?;
+                    return Ok(after);
+                }
+            }
+            if let Some(reg) = ctrl.register(name).cloned() {
+                return self.lower_register_op(&reg, method, args, cur, env, ctrl, span);
+            }
+        }
+        match method {
+            "setValid" => {
+                let place = self.resolve_place(base, env)?;
+                let Place::Header { type_name, path } = place else {
+                    return Err(Error::new(*span, "setValid on non-header"));
+                };
+                // Fields become undefined per spec: havoc them.
+                for (f, w) in self.program.headers[&type_name].clone() {
+                    let fv = self.field_var(&path, &f, w);
+                    self.havoc(cur, fv, Sort::Bv(w));
+                }
+                let v = self.valid_var(&path);
+                self.assign(cur, v, Sort::Bool, Term::tt());
+                Ok(cur)
+            }
+            "setInvalid" => {
+                let place = self.resolve_place(base, env)?;
+                let Place::Header { path, .. } = place else {
+                    return Err(Error::new(*span, "setInvalid on non-header"));
+                };
+                let v = self.valid_var(&path);
+                self.assign(cur, v, Sort::Bool, Term::ff());
+                Ok(cur)
+            }
+            "push_front" | "pop_front" => {
+                let place = self.resolve_place(base, env)?;
+                let Place::Stack {
+                    elem_type,
+                    size,
+                    path,
+                } = place
+                else {
+                    return Err(Error::new(*span, "stack op on non-stack"));
+                };
+                let count = const_eval(self.program, &args[0])? as u32;
+                self.lower_stack_op(
+                    method == "push_front",
+                    &elem_type,
+                    size,
+                    &path,
+                    count,
+                    &mut cur,
+                    span.line,
+                );
+                Ok(cur)
+            }
+            "emit" => Ok(cur), // deparser emit: no state change we check
+            "extract" => {
+                // extract outside parser contexts is unusual; treat like
+                // parser extract without `.next` support.
+                let mut dummy = BTreeMap::new();
+                self.lower_extract(&args[0], cur, env, &mut dummy, span.line)
+            }
+            "count" | "execute_meter" | "read" | "write" => {
+                // opaque extern instance ops (counters/meters) — no-op
+                Ok(cur)
+            }
+            _ => Err(Error::new(*span, format!("unsupported method {method}"))),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_register_op(
+        &mut self,
+        reg: &bf4_p4::typecheck::RegisterDef,
+        method: &str,
+        args: &[Expr],
+        mut cur: BlockId,
+        env: &mut Env,
+        ctrl: &ControlDef,
+        span: &Span,
+    ) -> Result<BlockId, Error> {
+        let check_idx = |this: &mut Self, cur: BlockId, idx: &Term| -> BlockId {
+            if !this.options.check_bounds {
+                return cur;
+            }
+            let w = idx.width();
+            // If the register is at least as large as the index domain, the
+            // access cannot be out of bounds.
+            if (reg.size as u128) >= (1u128 << w.min(127)) {
+                return cur;
+            }
+            let cond = idx.bvult(&Term::bv(w, reg.size as u128));
+            this.guard(
+                cur,
+                cond,
+                BugInfo {
+                    kind: BugKind::RegisterOutOfBounds,
+                    description: format!("register {} index out of bounds", reg.name),
+                    line: span.line,
+                    table: None,
+                },
+            )
+        };
+        match method {
+            "read" => {
+                let (idx, ob) = self.lower_value_expect(&args[1], env, ctrl, Some(Sort::Bv(32)))?;
+                cur = self.discharge(cur, &ob, span.line, None);
+                cur = check_idx(self, cur, &idx);
+                let place = self.resolve_place(&args[0], env)?;
+                let Place::Scalar { var, sort } = place else {
+                    return Err(Error::new(*span, "register read target not scalar"));
+                };
+                // Register contents are controller/dataplane state we do not
+                // track: havoc the destination.
+                self.havoc(cur, var, sort);
+                Ok(cur)
+            }
+            "write" => {
+                let (idx, ob) = self.lower_value_expect(&args[0], env, ctrl, Some(Sort::Bv(32)))?;
+                cur = self.discharge(cur, &ob, span.line, None);
+                cur = check_idx(self, cur, &idx);
+                let (_val, ob2) =
+                    self.lower_value_expect(&args[1], env, ctrl, Some(Sort::Bv(reg.width)))?;
+                cur = self.discharge(cur, &ob2, span.line, None);
+                Ok(cur)
+            }
+            _ => Err(Error::new(
+                *span,
+                format!("register has no method {method}"),
+            )),
+        }
+    }
+
+    fn lower_stack_op(
+        &mut self,
+        push: bool,
+        elem_type: &str,
+        size: u32,
+        path: &str,
+        count: u32,
+        cur: &mut BlockId,
+        line: u32,
+    ) {
+        let next = Term::var(self.var(format!("{path}.$next"), Sort::Bv(32)), Sort::Bv(32));
+        if self.options.check_bounds {
+            let cond = if push {
+                // pushing onto a full stack
+                next.bvule(&Term::bv(32, (size - count.min(size)) as u128))
+            } else {
+                // popping from an empty stack
+                next.bvuge(&Term::bv(32, count as u128))
+            };
+            *cur = self.guard(
+                *cur,
+                cond,
+                BugInfo {
+                    kind: BugKind::StackOutOfBounds,
+                    description: format!(
+                        "{} {count} on stack {path}",
+                        if push { "push_front" } else { "pop_front" }
+                    ),
+                    line,
+                    table: None,
+                },
+            );
+        }
+        let fields = self.program.headers[elem_type].clone();
+        if push {
+            // shift up: elem[i] := elem[i-count]; front elements havoc+valid
+            for i in (count..size).rev() {
+                let dst = format!("{path}.{i}");
+                let src = format!("{path}.{}", i - count);
+                for (f, w) in &fields {
+                    let sv = self.field_var(&src, f, *w);
+                    let dv = self.field_var(&dst, f, *w);
+                    let t = Term::var(sv, Sort::Bv(*w));
+                    self.assign(*cur, dv, Sort::Bv(*w), t);
+                }
+                let sv = self.valid_var(&src);
+                let dv = self.valid_var(&dst);
+                let t = Term::var(sv, Sort::Bool);
+                self.assign(*cur, dv, Sort::Bool, t);
+            }
+            for i in 0..count.min(size) {
+                let dst = format!("{path}.{i}");
+                for (f, w) in &fields {
+                    let dv = self.field_var(&dst, f, *w);
+                    self.havoc(*cur, dv, Sort::Bv(*w));
+                }
+                let dv = self.valid_var(&dst);
+                // per P4-16 spec push_front inserts *invalid* elements
+                self.assign(*cur, dv, Sort::Bool, Term::ff());
+            }
+            let nv = self.var(format!("{path}.$next"), Sort::Bv(32));
+            let bumped = next.bvadd(&Term::bv(32, count as u128));
+            self.assign(*cur, nv, Sort::Bv(32), bumped);
+        } else {
+            // shift down
+            for i in 0..size.saturating_sub(count) {
+                let dst = format!("{path}.{i}");
+                let src = format!("{path}.{}", i + count);
+                for (f, w) in &fields {
+                    let sv = self.field_var(&src, f, *w);
+                    let dv = self.field_var(&dst, f, *w);
+                    let t = Term::var(sv, Sort::Bv(*w));
+                    self.assign(*cur, dv, Sort::Bv(*w), t);
+                }
+                let sv = self.valid_var(&src);
+                let dv = self.valid_var(&dst);
+                let t = Term::var(sv, Sort::Bool);
+                self.assign(*cur, dv, Sort::Bool, t);
+            }
+            for i in size.saturating_sub(count)..size {
+                let dv = self.valid_var(&format!("{path}.{i}"));
+                self.assign(*cur, dv, Sort::Bool, Term::ff());
+            }
+            let nv = self.var(format!("{path}.$next"), Sort::Bv(32));
+            let dec = next.bvsub(&Term::bv(32, count as u128));
+            self.assign(*cur, nv, Sort::Bv(32), dec);
+        }
+    }
+
+    // ---- table expansion ----
+
+    /// Expand a `t.apply()` call at `cur`. Returns `(site index, block where
+    /// execution continues after the table)`.
+    fn expand_table(
+        &mut self,
+        tdecl: &TableDecl,
+        cur: BlockId,
+        env: &mut Env,
+        ctrl: &ControlDef,
+    ) -> Result<(usize, BlockId), Error> {
+        let site = self.site_counter;
+        self.site_counter += 1;
+        let prefix = format!("pcn.{}#{}", tdecl.name, site);
+        let reach_var = self.var(format!("{prefix}.reach"), Sort::Bool);
+        let hit_var = self.var(format!("{prefix}.hit"), Sort::Bool);
+        let action_var = self.var(format!("{prefix}.action"), Sort::Bv(8));
+        let action_run_var = self.var(format!("{prefix}.action_run"), Sort::Bv(8));
+
+        let entry = self.new_block(format!("table:{} (site {site})", tdecl.name));
+        self.seal(cur, Terminator::Jump(entry));
+
+        // Keys.
+        let mut keys = Vec::new();
+        for (i, (kexpr, kind)) in tdecl.keys.iter().enumerate() {
+            let (expr, ob) = self.lower_value(kexpr, env, ctrl)?;
+            let is_validity_key = matches!(
+                kexpr,
+                Expr::Call { func, .. } if matches!(func.as_ref(), Expr::Member { member, .. } if member == "isValid")
+            );
+            let sort = expr.sort();
+            let value_var = self.var(format!("{prefix}.key{i}.value"), sort);
+            let mask_var = if kind == "ternary" || kind == "lpm" || kind == "optional"
+                || kind == "range"
+            {
+                Some(self.var(format!("{prefix}.key{i}.mask"), sort))
+            } else {
+                None
+            };
+            let mut seen = HashSet::new();
+            let validity = Term::and_all(
+                ob.validity
+                    .iter()
+                    .filter(|v| seen.insert((*v).clone()))
+                    .map(|v| Term::var(v.clone(), Sort::Bool))
+                    .collect::<Vec<_>>(),
+            );
+            keys.push(TableKeyInfo {
+                source: expr_source(kexpr),
+                match_kind: kind.clone(),
+                expr,
+                value_var,
+                mask_var,
+                validity,
+                is_validity_key,
+            });
+        }
+
+        // Actions: listed actions, plus default if not listed. NoAction is
+        // an implicit empty action.
+        let mut action_names: Vec<String> = tdecl.actions.clone();
+        let default_name = tdecl
+            .default_action
+            .as_ref()
+            .map(|(n, _)| n.clone())
+            .unwrap_or_else(|| "NoAction".to_string());
+        if !action_names.contains(&default_name) {
+            action_names.push(default_name.clone());
+        }
+        let default_action = action_names
+            .iter()
+            .position(|a| a == &default_name)
+            .unwrap();
+
+        let mut actions = Vec::new();
+        for aname in &action_names {
+            let mut param_vars = Vec::new();
+            if let Some(ad) = ctrl.action(aname) {
+                for p in &ad.params {
+                    if p.dir == Direction::None {
+                        let t = self.program.resolve_type(&p.ty)?;
+                        let sort = match t {
+                            Type::Bit(w) => Sort::Bv(w),
+                            Type::Bool => Sort::Bool,
+                            other => {
+                                return Err(Error::new(
+                                    ad.span,
+                                    format!("unsupported action parameter type {other}"),
+                                ))
+                            }
+                        };
+                        let v = self.var(format!("{prefix}.{aname}.{}", p.name), sort);
+                        param_vars.push((v, sort));
+                    }
+                }
+            }
+            actions.push(TableActionInfo {
+                name: aname.clone(),
+                param_vars,
+            });
+        }
+
+        // Entry block: havoc entry contents, set reach.
+        for k in &keys {
+            let kv = k.value_var.clone();
+            let sort = self.var_sorts[&kv];
+            self.havoc(entry, kv, sort);
+            if let Some(m) = &k.mask_var {
+                let sort = self.var_sorts[m];
+                self.havoc(entry, m.clone(), sort);
+            }
+        }
+        for a in &actions {
+            for (v, sort) in &a.param_vars {
+                self.havoc(entry, v.clone(), *sort);
+            }
+        }
+        self.havoc(entry, hit_var.clone(), Sort::Bool);
+        self.havoc(entry, action_var.clone(), Sort::Bv(8));
+        self.assign(entry, reach_var.clone(), Sort::Bool, Term::tt());
+
+        let join = self.new_block(format!("after:{}", tdecl.name));
+        let site_info = TableSite {
+            table: tdecl.name.clone(),
+            control: ctrl.name.clone(),
+            site,
+            prefix: prefix.clone(),
+            entry_block: entry,
+            exit_block: join,
+            reach_var: reach_var.clone(),
+            hit_var: hit_var.clone(),
+            action_var: action_var.clone(),
+            action_run_var: action_run_var.clone(),
+            keys: keys.clone(),
+            actions: actions.clone(),
+            default_action,
+        };
+        let site_idx = self.tables.len();
+        self.tables.push(site_info);
+
+        // Miss path: action := default; run default action with const args.
+        let miss_b = self.new_block(format!("miss:{}", tdecl.name));
+        self.assign(
+            miss_b,
+            action_run_var.clone(),
+            Sort::Bv(8),
+            Term::bv(8, default_action as u128),
+        );
+        let default_args: Vec<Term> = match &tdecl.default_action {
+            Some((name, args)) => {
+                let mut out = Vec::new();
+                if let Some(ad) = ctrl.action(name) {
+                    for (p, a) in ad.params.iter().zip(args) {
+                        let t = self.program.resolve_type(&p.ty)?;
+                        let v = const_eval(self.program, a)?;
+                        out.push(match t {
+                            Type::Bit(w) => Term::bv(w, v),
+                            Type::Bool => Term::bool(v != 0),
+                            _ => unreachable!(),
+                        });
+                    }
+                }
+                out
+            }
+            None => vec![],
+        };
+        let miss_end = {
+            let aname = &action_names[default_action];
+            if let Some(ad) = ctrl.action(aname).cloned() {
+                let bindings: Vec<(String, Binding)> = ad
+                    .params
+                    .iter()
+                    .zip(default_args.iter())
+                    .map(|(p, t)| (p.name.clone(), Binding::Value(t.clone())))
+                    .collect();
+                self.inline_action(&ad, bindings, miss_b, env, ctrl, Some(site_idx))?
+            } else {
+                miss_b // NoAction
+            }
+        };
+        self.seal(miss_end, Terminator::Jump(join));
+
+        // Hit path: key-match assumption, key-validity check, dispatch.
+        let infeasible = self.terminal(BlockKind::Infeasible, "no-matching-entry");
+        let mut match_cond = Vec::new();
+        let mut validity_cond = Vec::new();
+        for k in &keys {
+            let value = Term::var(k.value_var.clone(), k.expr.sort());
+            match k.match_kind.as_str() {
+                "exact" | "selector" => {
+                    match_cond.push(value.eq_term(&k.expr));
+                    validity_cond.push(k.validity.clone());
+                }
+                "range" => {
+                    let hi = Term::var(k.mask_var.clone().unwrap(), k.expr.sort());
+                    match_cond.push(value.bvule(&k.expr));
+                    match_cond.push(k.expr.bvule(&hi));
+                    validity_cond.push(k.validity.clone());
+                }
+                _ => {
+                    // ternary / lpm / optional: masked compare; key read only
+                    // happens when the mask is non-zero.
+                    let mask = Term::var(k.mask_var.clone().unwrap(), k.expr.sort());
+                    match_cond.push(k.expr.bvand(&mask).eq_term(&value.bvand(&mask)));
+                    let w = k.expr.width();
+                    let mask_zero = mask.eq_term(&Term::bv(w, 0));
+                    validity_cond.push(mask_zero.or(&k.validity));
+                }
+            }
+        }
+        let hit_b = self.new_block(format!("hit:{}", tdecl.name));
+        let dispatch_start = self.new_block(format!("dispatch:{}", tdecl.name));
+        let key_ok: BlockId = if self.options.check_validity
+            && !Term::and_all(validity_cond.clone()).is_true()
+        {
+            let bug = self.terminal(
+                BlockKind::Bug(BugInfo {
+                    kind: BugKind::InvalidKeyAccess,
+                    description: format!(
+                        "table {} matches on field of invalid header",
+                        tdecl.name
+                    ),
+                    line: tdecl.span.line,
+                    table: Some(site_idx),
+                }),
+                format!("BUG:key-validity:{}", tdecl.name),
+            );
+            let chk = self.new_block(format!("keycheck:{}", tdecl.name));
+            self.seal(
+                chk,
+                Terminator::Branch {
+                    cond: Term::and_all(validity_cond),
+                    then_to: dispatch_start,
+                    else_to: bug,
+                },
+            );
+            chk
+        } else {
+            dispatch_start
+        };
+        self.seal(
+            hit_b,
+            Terminator::Branch {
+                cond: Term::and_all(match_cond),
+                then_to: key_ok,
+                else_to: infeasible,
+            },
+        );
+
+        // Dispatch chain over actions (hit case).
+        let action_t = Term::var(action_var.clone(), Sort::Bv(8));
+        let mut next_else = infeasible; // selector out of range: impossible
+        for (idx, a) in actions.iter().enumerate().rev() {
+            let body = self.new_block(format!("action:{}", a.name));
+            let body_end = if let Some(ad) = ctrl.action(&a.name).cloned() {
+                let bindings: Vec<(String, Binding)> = ad
+                    .params
+                    .iter()
+                    .zip(a.param_vars.iter())
+                    .map(|(p, (v, sort))| {
+                        (p.name.clone(), Binding::Value(Term::var(v.clone(), *sort)))
+                    })
+                    .collect();
+                self.inline_action(&ad, bindings, body, env, ctrl, Some(site_idx))?
+            } else {
+                body // NoAction
+            };
+            self.seal(body_end, Terminator::Jump(join));
+            let test = self.new_block(format!("sel:{}", a.name));
+            self.seal(
+                test,
+                Terminator::Branch {
+                    cond: action_t.eq_term(&Term::bv(8, idx as u128)),
+                    then_to: body,
+                    else_to: next_else,
+                },
+            );
+            next_else = test;
+        }
+        self.assign(
+            dispatch_start,
+            action_run_var.clone(),
+            Sort::Bv(8),
+            Term::var(action_var.clone(), Sort::Bv(8)),
+        );
+        self.seal(dispatch_start, Terminator::Jump(next_else));
+
+        self.seal(
+            entry,
+            Terminator::Branch {
+                cond: Term::var(hit_var, Sort::Bool),
+                then_to: hit_b,
+                else_to: miss_b,
+            },
+        );
+        Ok((site_idx, join))
+    }
+
+    fn inline_action(
+        &mut self,
+        action: &ActionDecl,
+        bindings: Vec<(String, Binding)>,
+        cur: BlockId,
+        env: &Env,
+        ctrl: &ControlDef,
+        table: Option<usize>,
+    ) -> Result<BlockId, Error> {
+        self.inline_counter += 1;
+        let mut aenv = env.clone();
+        for (n, b) in bindings {
+            aenv.insert(n, b);
+        }
+        let _ = table;
+        self.lower_stmts(&action.body.stmts, cur, &mut aenv, ctrl)
+    }
+
+    // ---- places & expressions ----
+
+    fn resolve_place(&mut self, e: &Expr, env: &Env) -> Result<Place, Error> {
+        match e {
+            Expr::Ident { name, span } => match env.get(name) {
+                Some(Binding::Place(p)) => Ok(p.clone()),
+                Some(Binding::Var(v, s)) => Ok(Place::Scalar {
+                    var: v.clone(),
+                    sort: *s,
+                }),
+                Some(Binding::Value(_)) => Err(Error::new(
+                    *span,
+                    format!("`{name}` is not assignable here"),
+                )),
+                None => Err(Error::new(*span, format!("unknown identifier `{name}`"))),
+            },
+            Expr::Member { base, member, span } => {
+                let bp = self.resolve_place(base, env)?;
+                match bp {
+                    Place::Struct { type_name, path } => {
+                        let fields = self.program.struct_fields(&type_name).ok_or_else(|| {
+                            Error::new(*span, format!("unknown struct {type_name}"))
+                        })?;
+                        let (_, fty) = fields
+                            .iter()
+                            .find(|(n, _)| n == member)
+                            .ok_or_else(|| {
+                                Error::new(*span, format!("no field {member} in {type_name}"))
+                            })?
+                            .clone();
+                        let fpath = format!("{path}.{member}");
+                        Ok(match fty {
+                            Type::Bit(w) => Place::Scalar {
+                                var: self.var(fpath, Sort::Bv(w)),
+                                sort: Sort::Bv(w),
+                            },
+                            Type::Bool => Place::Scalar {
+                                var: self.var(fpath, Sort::Bool),
+                                sort: Sort::Bool,
+                            },
+                            Type::Header(h) => Place::Header {
+                                type_name: h,
+                                path: fpath,
+                            },
+                            Type::Struct(s) => Place::Struct {
+                                type_name: s,
+                                path: fpath,
+                            },
+                            Type::Stack(h, n) => Place::Stack {
+                                elem_type: h,
+                                size: n,
+                                path: fpath,
+                            },
+                            Type::Int => unreachable!(),
+                        })
+                    }
+                    Place::Header { type_name, path } => {
+                        let w = self
+                            .program
+                            .header_field_width(&type_name, member)
+                            .ok_or_else(|| {
+                                Error::new(*span, format!("no field {member} in {type_name}"))
+                            })?;
+                        Ok(Place::Scalar {
+                            var: self.var(format!("{path}.{member}"), Sort::Bv(w)),
+                            sort: Sort::Bv(w),
+                        })
+                    }
+                    Place::Stack {
+                        elem_type,
+                        size,
+                        path,
+                    } => match member.as_str() {
+                        "last" => {
+                            let next =
+                                Term::var(self.var(format!("{path}.$next"), Sort::Bv(32)), Sort::Bv(32));
+                            Ok(Place::HeaderDyn {
+                                elem_type,
+                                size,
+                                path,
+                                index: next.bvsub(&Term::bv(32, 1)),
+                            })
+                        }
+                        "next" => {
+                            let next =
+                                Term::var(self.var(format!("{path}.$next"), Sort::Bv(32)), Sort::Bv(32));
+                            Ok(Place::HeaderDyn {
+                                elem_type,
+                                size,
+                                path,
+                                index: next,
+                            })
+                        }
+                        _ => Err(Error::new(
+                            *span,
+                            format!("unsupported stack member {member}"),
+                        )),
+                    },
+                    Place::HeaderDyn { .. } => Err(Error::new(
+                        *span,
+                        "field of dynamically-indexed element is not a place",
+                    )),
+                    Place::Scalar { .. } => {
+                        Err(Error::new(*span, "member access on scalar"))
+                    }
+                }
+            }
+            Expr::Index { base, index, span } => {
+                let bp = self.resolve_place(base, env)?;
+                let Place::Stack {
+                    elem_type,
+                    size,
+                    path,
+                } = bp
+                else {
+                    return Err(Error::new(*span, "indexing non-stack"));
+                };
+                // Constant index resolves statically.
+                if let Ok(i) = const_eval(self.program, index) {
+                    if (i as u32) >= size {
+                        return Err(Error::new(
+                            *span,
+                            format!("constant index {i} out of bounds for {path}[{size}]"),
+                        ));
+                    }
+                    return Ok(Place::Header {
+                        type_name: elem_type,
+                        path: format!("{path}.{i}"),
+                    });
+                }
+                let (idx, _ob) = self.lower_value(index, env, &dummy_ctrl())?;
+                Ok(Place::HeaderDyn {
+                    elem_type,
+                    size,
+                    path,
+                    index: idx,
+                })
+            }
+            _ => Err(Error::new(e.span(), "expression is not a place")),
+        }
+    }
+
+    /// Lower a value expression to a term plus obligations.
+    fn lower_value(
+        &mut self,
+        e: &Expr,
+        env: &Env,
+        ctrl: &ControlDef,
+    ) -> Result<(Term, Obligations), Error> {
+        self.lower_value_expect(e, env, ctrl, None)
+    }
+
+    /// Lower a value with an optional expected sort, used to give unsized
+    /// integer literals (`64`, `1 << 3`) their width from context.
+    fn lower_value_expect(
+        &mut self,
+        e: &Expr,
+        env: &Env,
+        ctrl: &ControlDef,
+        expect: Option<Sort>,
+    ) -> Result<(Term, Obligations), Error> {
+        let mut ob = Obligations::default();
+        let t = self.lower_value_rec2(e, env, ctrl, &mut ob, expect)?;
+        Ok((t, ob))
+    }
+
+    /// Entry point keeping the historical 4-argument shape.
+    fn lower_value_rec(
+        &mut self,
+        e: &Expr,
+        env: &Env,
+        ctrl: &ControlDef,
+        ob: &mut Obligations,
+    ) -> Result<Term, Error> {
+        self.lower_value_rec2(e, env, ctrl, ob, None)
+    }
+
+    fn lower_value_rec2(
+        &mut self,
+        e: &Expr,
+        env: &Env,
+        ctrl: &ControlDef,
+        ob: &mut Obligations,
+        expect: Option<Sort>,
+    ) -> Result<Term, Error> {
+        match e {
+            Expr::Number { value, width, span } => match (width, expect) {
+                (Some(w), _) => Ok(Term::bv(*w, *value)),
+                (None, Some(Sort::Bv(w))) => Ok(Term::bv(w, *value)),
+                (None, Some(Sort::Bool)) => Ok(Term::bool(*value != 0)),
+                (None, None) => Err(Error::new(
+                    *span,
+                    "unsized literal in a context that needs a width",
+                )),
+            },
+            Expr::Bool { value, .. } => Ok(Term::bool(*value)),
+            Expr::Ident { name, span } => match env.get(name) {
+                Some(Binding::Var(v, s)) => Ok(Term::var(v.clone(), *s)),
+                Some(Binding::Value(t)) => Ok(t.clone()),
+                Some(Binding::Place(_)) => Err(Error::new(
+                    *span,
+                    format!("aggregate `{name}` used as value"),
+                )),
+                None => Err(Error::new(*span, format!("unknown identifier `{name}`"))),
+            },
+            Expr::Member { base, member, span } => {
+                // Field of a dynamically-indexed stack element: ite-chain
+                // over elements, with a bounds obligation.
+                if let Ok(Place::HeaderDyn {
+                    elem_type,
+                    size,
+                    path,
+                    index,
+                }) = self.resolve_place(base, env)
+                {
+                    let w = self
+                        .program
+                        .header_field_width(&elem_type, member)
+                        .ok_or_else(|| {
+                            Error::new(*span, format!("no field {member} in {elem_type}"))
+                        })?;
+                    ob.bounds
+                        .push((index.clone(), size, format!("stack {path}")));
+                    // validity of the selected element
+                    let valid = self.dyn_elem_bool(&path, size, &index, "$valid");
+                    // The validity obligation for dynamic elements cannot be
+                    // expressed as a single bit name; encode it as a bounds-
+                    // style conjunct by introducing a ghost: we instead fold
+                    // it into the returned obligations via a synthetic
+                    // variable assignment at check time. Simpler and sound:
+                    // check `valid` via a guard expressed through `bounds` by
+                    // the caller is not possible, so we extend Obligations
+                    // with a raw term list.
+                    ob.raw_checks.push((
+                        valid,
+                        format!("dynamic element of {path} invalid"),
+                    ));
+                    let mut out = Term::bv(w, 0);
+                    for i in (0..size).rev() {
+                        let fv = self.var(format!("{path}.{i}.{member}"), Sort::Bv(w));
+                        let v = Term::var(fv, Sort::Bv(w));
+                        let cond = index.eq_term(&Term::bv(index.width(), i as u128));
+                        out = cond.ite(&v, &out);
+                    }
+                    return Ok(out);
+                }
+                let place = self.resolve_place(e, env)?;
+                match place {
+                    Place::Scalar { var, sort } => {
+                        if let Some(hv) = header_validity_of_field(&var) {
+                            ob.validity.push(self.var(hv, Sort::Bool));
+                        }
+                        Ok(Term::var(var, sort))
+                    }
+                    _ => Err(Error::new(e.span(), "aggregate used as value")),
+                }
+            }
+            Expr::Index { .. } => {
+                let place = self.resolve_place(e, env)?;
+                match place {
+                    Place::Scalar { var, sort } => Ok(Term::var(var, sort)),
+                    _ => Err(Error::new(e.span(), "aggregate used as value")),
+                }
+            }
+            Expr::Slice { base, hi, lo, span } => {
+                let b = self.lower_value_rec(base, env, ctrl, ob)?;
+                if *hi >= b.width() || lo > hi {
+                    return Err(Error::new(*span, "slice out of range"));
+                }
+                Ok(b.extract(*hi, *lo))
+            }
+            Expr::Call { func, args: _, span } => {
+                if let Expr::Member { base, member, .. } = func.as_ref() {
+                    if member == "isValid" {
+                        let place = self.resolve_place(base, env)?;
+                        return match place {
+                            Place::Header { path, .. } => {
+                                Ok(Term::var(self.valid_var(&path), Sort::Bool))
+                            }
+                            Place::HeaderDyn {
+                                size, path, index, ..
+                            } => {
+                                ob.bounds.push((
+                                    index.clone(),
+                                    size,
+                                    format!("stack {path}"),
+                                ));
+                                Ok(self.dyn_elem_bool(&path, size, &index, "$valid"))
+                            }
+                            _ => Err(Error::new(*span, "isValid on non-header")),
+                        };
+                    }
+                }
+                // Field reads of dynamically indexed headers come through
+                // Member of HeaderDyn — handled in resolve_place as error;
+                // support them here:
+                Err(Error::new(*span, "call in value position unsupported"))
+            }
+            Expr::Unary { op, arg, span } => {
+                let sub_expect = match op {
+                    UnOp::Not => Some(Sort::Bool),
+                    _ => expect,
+                };
+                let a = self.lower_value_rec2(arg, env, ctrl, ob, sub_expect)?;
+                Ok(match op {
+                    UnOp::Not => {
+                        if a.sort() != Sort::Bool {
+                            return Err(Error::new(*span, "! on non-bool"));
+                        }
+                        a.not()
+                    }
+                    UnOp::BitNot => a.bvnot(),
+                    UnOp::Neg => a.bvneg(),
+                })
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let arith_expect = match op {
+                    BinOp::And | BinOp::Or => Some(Sort::Bool),
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => None,
+                    _ => expect,
+                };
+                // Lower whichever side has concrete width information first
+                // so an unsized literal on the other side inherits it.
+                let (a, b) = match self.lower_value_rec2(lhs, env, ctrl, ob, arith_expect) {
+                    Ok(a) => {
+                        let b = self.lower_value_rec2(rhs, env, ctrl, ob, Some(a.sort()))?;
+                        (a, b)
+                    }
+                    Err(first_err) => {
+                        let b = self
+                            .lower_value_rec2(rhs, env, ctrl, ob, arith_expect)
+                            .map_err(|_| first_err.clone())?;
+                        let a = self
+                            .lower_value_rec2(lhs, env, ctrl, ob, Some(b.sort()))
+                            .map_err(|_| first_err)?;
+                        (a, b)
+                    }
+                };
+                let (a, b) = unify_terms(a, b, lhs, rhs)?;
+                let _ = span;
+                Ok(match op {
+                    BinOp::Add => a.bvadd(&b),
+                    BinOp::Sub => a.bvsub(&b),
+                    BinOp::Mul => a.bvmul(&b),
+                    BinOp::Div => a.bvudiv(&b),
+                    BinOp::Mod => a.bvurem(&b),
+                    BinOp::BitAnd => a.bvand(&b),
+                    BinOp::BitOr => a.bvor(&b),
+                    BinOp::BitXor => a.bvxor(&b),
+                    BinOp::Shl => a.bvshl(&b.resize(a.width())),
+                    BinOp::Shr => a.bvlshr(&b.resize(a.width())),
+                    BinOp::Eq => a.eq_term(&b),
+                    BinOp::Ne => a.ne_term(&b),
+                    BinOp::Lt => a.bvult(&b),
+                    BinOp::Le => a.bvule(&b),
+                    BinOp::Gt => a.bvugt(&b),
+                    BinOp::Ge => a.bvuge(&b),
+                    BinOp::And => a.and(&b),
+                    BinOp::Or => a.or(&b),
+                    BinOp::Concat => a.concat(&b),
+                })
+            }
+            Expr::Ternary {
+                cond,
+                then_e,
+                else_e,
+                ..
+            } => {
+                let c = self.lower_value_rec2(cond, env, ctrl, ob, Some(Sort::Bool))?;
+                let (a, b) = match self.lower_value_rec2(then_e, env, ctrl, ob, expect) {
+                    Ok(a) => {
+                        let b = self.lower_value_rec2(else_e, env, ctrl, ob, Some(a.sort()))?;
+                        (a, b)
+                    }
+                    Err(first_err) => {
+                        let b = self
+                            .lower_value_rec2(else_e, env, ctrl, ob, expect)
+                            .map_err(|_| first_err.clone())?;
+                        let a = self
+                            .lower_value_rec2(then_e, env, ctrl, ob, Some(b.sort()))
+                            .map_err(|_| first_err)?;
+                        (a, b)
+                    }
+                };
+                let (a, b) = unify_terms(a, b, then_e, else_e)?;
+                Ok(c.ite(&a, &b))
+            }
+            Expr::Cast { ty, arg, span } => {
+                let t = self.program.resolve_type(ty)?;
+                let texpect = match &t {
+                    Type::Bit(w) => Some(Sort::Bv(*w)),
+                    Type::Bool => Some(Sort::Bool),
+                    _ => None,
+                };
+                let a = self.lower_value_rec2(arg, env, ctrl, ob, texpect)?;
+                match (t, a.sort()) {
+                    (Type::Bit(w), Sort::Bv(_)) => Ok(a.resize(w)),
+                    (Type::Bit(w), Sort::Bool) => {
+                        Ok(a.ite(&Term::bv(w, 1), &Term::bv(w, 0)))
+                    }
+                    (Type::Bool, Sort::Bv(1)) => Ok(a.eq_term(&Term::bv(1, 1))),
+                    _ => Err(Error::new(*span, "unsupported cast")),
+                }
+            }
+        }
+    }
+
+    /// ite-chain over stack elements for a boolean per-element attribute.
+    fn dyn_elem_bool(&mut self, path: &str, size: u32, index: &Term, attr: &str) -> Term {
+        let mut out = Term::ff();
+        for i in (0..size).rev() {
+            let v = Term::var(self.var(format!("{path}.{i}.{attr}"), Sort::Bool), Sort::Bool);
+            let cond = index.eq_term(&Term::bv(index.width(), i as u128));
+            out = cond.ite(&v, &out);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+
+/// A placeholder control for contexts with no tables/registers (parser).
+fn dummy_ctrl() -> ControlDef {
+    ControlDef {
+        name: "$parser".into(),
+        params: vec![],
+        actions: vec![],
+        tables: vec![],
+        registers: vec![],
+        locals: vec![],
+        apply: AstBlock::default(),
+    }
+}
+
+/// `hdr.ipv4.ttl` → `hdr.ipv4.$valid`, when the variable is a header field.
+///
+/// Recognized by shape: header fields live under `hdr.` and are not ghost
+/// (`$`-prefixed) components.
+fn header_validity_of_field(var: &str) -> Option<String> {
+    let (prefix, last) = var.rsplit_once('.')?;
+    if !var.starts_with("hdr.") || last.starts_with('$') {
+        return None;
+    }
+    Some(format!("{prefix}.$valid"))
+}
+
+fn coerce(t: Term, sort: Sort) -> Term {
+    match (t.sort(), sort) {
+        (a, b) if a == b => t,
+        (Sort::Bv(_), Sort::Bv(w)) => t.resize(w),
+        _ => panic!("cannot coerce {} to {}", t.sort(), sort),
+    }
+}
+
+fn unify_terms(
+    a: Term,
+    b: Term,
+    _ea: &Expr,
+    _eb: &Expr,
+) -> Result<(Term, Term), Error> {
+    match (a.sort(), b.sort()) {
+        (x, y) if x == y => Ok((a, b)),
+        (Sort::Bv(x), Sort::Bv(y)) => {
+            let w = x.max(y);
+            Ok((a.resize(w), b.resize(w)))
+        }
+        _ => Err(Error::new(
+            Span::default(),
+            format!("cannot unify {} and {}", a.sort(), b.sort()),
+        )),
+    }
+}
+
+/// Evaluate a compile-time constant expression (numbers, consts, arithmetic).
+pub fn const_eval(program: &Program, e: &Expr) -> Result<u128, Error> {
+    match e {
+        Expr::Number { value, .. } => Ok(*value),
+        Expr::Bool { value, .. } => Ok(u128::from(*value)),
+        Expr::Ident { name, span } => program
+            .consts
+            .get(name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| Error::new(*span, format!("not a constant: {name}"))),
+        Expr::Binary { op, lhs, rhs, span } => {
+            let a = const_eval(program, lhs)?;
+            let b = const_eval(program, rhs)?;
+            Ok(match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Shl => a << b,
+                BinOp::Shr => a >> b,
+                BinOp::BitAnd => a & b,
+                BinOp::BitOr => a | b,
+                BinOp::BitXor => a ^ b,
+                _ => return Err(Error::new(*span, "non-constant operator")),
+            })
+        }
+        Expr::Cast { arg, .. } => const_eval(program, arg),
+        other => Err(Error::new(other.span(), "not a constant expression")),
+    }
+}
+
+/// Best-effort source rendering of a key expression for annotations.
+fn expr_source(e: &Expr) -> String {
+    match e {
+        Expr::Number { value, .. } => value.to_string(),
+        Expr::Bool { value, .. } => value.to_string(),
+        Expr::Ident { name, .. } => name.clone(),
+        Expr::Member { base, member, .. } => format!("{}.{member}", expr_source(base)),
+        Expr::Index { base, index, .. } => {
+            format!("{}[{}]", expr_source(base), expr_source(index))
+        }
+        Expr::Slice { base, hi, lo, .. } => format!("{}[{hi}:{lo}]", expr_source(base)),
+        Expr::Call { func, .. } => format!("{}()", expr_source(func)),
+        Expr::Unary { arg, .. } => format!("op({})", expr_source(arg)),
+        Expr::Binary { lhs, rhs, .. } => {
+            format!("({} . {})", expr_source(lhs), expr_source(rhs))
+        }
+        Expr::Ternary { .. } => "(?:)".to_string(),
+        Expr::Cast { arg, .. } => format!("cast({})", expr_source(arg)),
+    }
+}
+
+/// Does the expression contain a `.apply()` call?
+fn expr_mentions_apply(e: &Expr) -> bool {
+    match e {
+        Expr::Call { func, args, .. } => {
+            if let Expr::Member { member, .. } = func.as_ref() {
+                if member == "apply" {
+                    return true;
+                }
+            }
+            expr_mentions_apply(func) || args.iter().any(expr_mentions_apply)
+        }
+        Expr::Member { base, .. } => expr_mentions_apply(base),
+        Expr::Unary { arg, .. } => expr_mentions_apply(arg),
+        Expr::Binary { lhs, rhs, .. } => expr_mentions_apply(lhs) || expr_mentions_apply(rhs),
+        Expr::Index { base, index, .. } => {
+            expr_mentions_apply(base) || expr_mentions_apply(index)
+        }
+        Expr::Slice { base, .. } => expr_mentions_apply(base),
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+            ..
+        } => {
+            expr_mentions_apply(cond)
+                || expr_mentions_apply(then_e)
+                || expr_mentions_apply(else_e)
+        }
+        Expr::Cast { arg, .. } => expr_mentions_apply(arg),
+        _ => false,
+    }
+}
+
+trait OptionExprExt {
+    fn as_deref2(&self) -> Option<&Expr>;
+}
+impl OptionExprExt for Option<Expr> {
+    fn as_deref2(&self) -> Option<&Expr> {
+        self.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::BlockKind;
+
+    pub(crate) const NAT: &str = r#"
+        header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+        header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> srcAddr; bit<32> dstAddr; }
+        struct meta_inner_t { bit<1> do_forward; bit<32> ipv4_sa; bit<32> nhop_ipv4; }
+        struct metadata { meta_inner_t meta; }
+        struct headers { ethernet_t ethernet; ipv4_t ipv4; }
+        parser ParserImpl(packet_in packet, out headers hdr, inout metadata meta, inout standard_metadata_t standard_metadata) {
+            state start {
+                packet.extract(hdr.ethernet);
+                transition select(hdr.ethernet.etherType) {
+                    0x800: parse_ipv4;
+                    default: accept;
+                }
+            }
+            state parse_ipv4 { packet.extract(hdr.ipv4); transition accept; }
+        }
+        control ingress(inout headers hdr, inout metadata meta, inout standard_metadata_t standard_metadata) {
+            action drop_() { mark_to_drop(standard_metadata); }
+            action nat_hit_int_to_ext(bit<32> a, bit<9> p) {
+                meta.meta.do_forward = 1w1;
+                meta.meta.ipv4_sa = a;
+                standard_metadata.egress_spec = p;
+            }
+            table nat {
+                key = { hdr.ipv4.isValid(): exact; hdr.ipv4.srcAddr: ternary; }
+                actions = { drop_; nat_hit_int_to_ext; }
+                default_action = drop_();
+            }
+            action set_nhop(bit<32> nhop_ipv4, bit<9> port) {
+                meta.meta.nhop_ipv4 = nhop_ipv4;
+                standard_metadata.egress_spec = port;
+                hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+            }
+            table ipv4_lpm {
+                key = { meta.meta.nhop_ipv4: lpm; }
+                actions = { set_nhop; drop_; }
+                default_action = drop_();
+            }
+            apply {
+                nat.apply();
+                if (meta.meta.do_forward == 1w1) {
+                    ipv4_lpm.apply();
+                }
+            }
+        }
+        control egress(inout headers hdr, inout metadata meta, inout standard_metadata_t standard_metadata) { apply { } }
+        control verifyChecksum(inout headers hdr, inout metadata meta) { apply { } }
+        control computeChecksum(inout headers hdr, inout metadata meta) { apply { } }
+        control DeparserImpl(packet_out packet, in headers hdr) { apply { packet.emit(hdr.ethernet); } }
+        V1Switch(ParserImpl(), verifyChecksum(), ingress(), egress(), computeChecksum(), DeparserImpl()) main;
+    "#;
+
+    #[test]
+    fn lower_nat_example() {
+        let program = bf4_p4::frontend(NAT).unwrap();
+        let lowered = lower(&program, &LowerOptions::default()).unwrap();
+        let cfg = &lowered.cfg;
+        assert_eq!(cfg.validate(), Ok(()));
+        // Two table sites.
+        assert_eq!(cfg.tables.len(), 2);
+        assert_eq!(cfg.tables[0].table, "nat");
+        assert_eq!(cfg.tables[1].table, "ipv4_lpm");
+        // nat has a ternary key with a mask var, and a validity key.
+        let nat = &cfg.tables[0];
+        assert!(nat.keys[0].is_validity_key);
+        assert!(nat.keys[1].mask_var.is_some());
+        // Bugs present: key validity on nat (ternary srcAddr of possibly
+        // invalid ipv4), ttl access in set_nhop, egress-spec-not-set.
+        let bug_kinds: Vec<BugKind> = cfg
+            .bug_blocks()
+            .into_iter()
+            .map(|b| match &cfg.blocks[b].kind {
+                BlockKind::Bug(info) => info.kind,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(bug_kinds.contains(&BugKind::InvalidKeyAccess), "{bug_kinds:?}");
+        assert!(bug_kinds.contains(&BugKind::InvalidHeaderAccess), "{bug_kinds:?}");
+        assert!(bug_kinds.contains(&BugKind::EgressSpecNotSet), "{bug_kinds:?}");
+        // SSA + optimize keep the CFG valid.
+        let mut cfg2 = cfg.clone();
+        let copies = crate::ssa::to_ssa(&mut cfg2);
+        assert_eq!(crate::ssa::ssa_violations(&cfg2), Vec::<std::sync::Arc<str>>::new());
+        assert!(copies > 0);
+        crate::opt::optimize(&mut cfg2);
+        assert_eq!(cfg2.validate(), Ok(()));
+    }
+
+    #[test]
+    fn lower_egress_part() {
+        let program = bf4_p4::frontend(NAT).unwrap();
+        let mut opts = LowerOptions::default();
+        opts.part = PipelinePart::Egress;
+        let lowered = lower(&program, &opts).unwrap();
+        assert_eq!(lowered.cfg.validate(), Ok(()));
+        assert!(lowered.cfg.tables.is_empty());
+    }
+}

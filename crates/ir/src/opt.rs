@@ -1,0 +1,361 @@
+//! Classic compiler optimizations over the SSA CFG (§4.1 "Making
+//! verification faster"): constant propagation, copy propagation and dead
+//! code elimination. All three shrink the equalities that end up in the
+//! reachability formulas.
+
+use crate::cfg::{Cfg, Instr, Terminator};
+use bf4_smt::{free_vars, substitute, Term, TermNode};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Constant + copy propagation. Requires SSA (each name defined once);
+/// propagates constants and variable copies into every later use, including
+/// branch conditions and table-site key expressions. Returns the number of
+/// propagated definitions.
+pub fn propagate(cfg: &mut Cfg) -> usize {
+    let order = cfg.topo_order();
+    // A global substitution map is sound only for single-definition names;
+    // merge variables (one definition per incoming edge block) must not be
+    // propagated through.
+    let mut def_count: HashMap<Arc<str>, usize> = HashMap::new();
+    for blk in &cfg.blocks {
+        for ins in &blk.instrs {
+            *def_count.entry(ins.target().clone()).or_insert(0) += 1;
+        }
+    }
+    let mut map: HashMap<Arc<str>, Term> = HashMap::new();
+    let mut count = 0usize;
+    for &b in &order {
+        let mut instrs = std::mem::take(&mut cfg.blocks[b].instrs);
+        for ins in &mut instrs {
+            if let Instr::Assign { var, expr, .. } = ins {
+                let rewritten = substitute(expr, &map);
+                *expr = rewritten.clone();
+                if def_count.get(var) == Some(&1) {
+                    match rewritten.node() {
+                        TermNode::Const(_) | TermNode::Var(..) => {
+                            map.insert(var.clone(), rewritten);
+                            count += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        cfg.blocks[b].instrs = instrs;
+        if let Terminator::Branch {
+            cond,
+            then_to,
+            else_to,
+        } = cfg.blocks[b].term.clone()
+        {
+            cfg.blocks[b].term = Terminator::Branch {
+                cond: substitute(&cond, &map),
+                then_to,
+                else_to,
+            };
+        }
+    }
+    for t in &mut cfg.tables {
+        for k in &mut t.keys {
+            k.expr = substitute(&k.expr, &map);
+            k.validity = substitute(&k.validity, &map);
+        }
+    }
+    count
+}
+
+/// Dead code elimination: drop assignments and havocs whose target is never
+/// read by any kept instruction, branch condition or table-site metadata.
+/// Returns the number of removed instructions.
+pub fn dce(cfg: &mut Cfg) -> usize {
+    // Roots: branch conditions, table key expressions / validity terms, and
+    // the control variables the verification core will reference.
+    let mut live: HashSet<Arc<str>> = HashSet::new();
+    let mut worklist: Vec<Arc<str>> = Vec::new();
+    let mark = |t: &Term, live: &mut HashSet<Arc<str>>, wl: &mut Vec<Arc<str>>| {
+        for (v, _) in free_vars(t) {
+            if live.insert(v.clone()) {
+                wl.push(v);
+            }
+        }
+    };
+    for b in &cfg.blocks {
+        if let Terminator::Branch { cond, .. } = &b.term {
+            mark(cond, &mut live, &mut worklist);
+        }
+    }
+    for t in &cfg.tables {
+        for k in &t.keys {
+            mark(&k.expr, &mut live, &mut worklist);
+            mark(&k.validity, &mut live, &mut worklist);
+        }
+        for v in t.control_vars() {
+            if live.insert(v.clone()) {
+                worklist.push(v);
+            }
+        }
+        for v in [&t.reach_var, &t.action_run_var] {
+            if live.insert(v.clone()) {
+                worklist.push(v.clone());
+            }
+        }
+    }
+    // Def map; merge variables have one RHS per incoming edge block.
+    let mut def_rhs: HashMap<Arc<str>, Vec<Term>> = HashMap::new();
+    for b in &cfg.blocks {
+        for i in &b.instrs {
+            if let Instr::Assign { var, expr, .. } = i {
+                def_rhs.entry(var.clone()).or_default().push(expr.clone());
+            }
+        }
+    }
+    // Transitive closure of reads.
+    while let Some(v) = worklist.pop() {
+        if let Some(rhss) = def_rhs.get(&v) {
+            for rhs in rhss {
+                for (u, _) in free_vars(rhs) {
+                    if live.insert(u.clone()) {
+                        worklist.push(u);
+                    }
+                }
+            }
+        }
+    }
+    // Drop dead instructions.
+    let mut removed = 0usize;
+    for b in &mut cfg.blocks {
+        let before = b.instrs.len();
+        b.instrs.retain(|i| live.contains(i.target()));
+        removed += before - b.instrs.len();
+    }
+    removed
+}
+
+/// Collapse branches whose two successors are identical into jumps, and
+/// thread through empty pass-through blocks. Purely structural cleanup;
+/// preserves all reachability conditions. Returns number of simplified
+/// terminators.
+pub fn simplify_cfg(cfg: &mut Cfg) -> usize {
+    let mut changed = 0usize;
+    // Branch with equal targets → jump.
+    for b in 0..cfg.blocks.len() {
+        if let Terminator::Branch {
+            then_to, else_to, ..
+        } = cfg.blocks[b].term
+        {
+            if then_to == else_to {
+                cfg.blocks[b].term = Terminator::Jump(then_to);
+                changed += 1;
+            }
+        }
+    }
+    // Thread jumps through empty normal blocks (that are not table entries
+    // or dontCare marks — those carry identity).
+    let protected: HashSet<usize> = cfg
+        .tables
+        .iter()
+        .map(|t| t.entry_block)
+        .chain(cfg.dontcare_marks.iter().copied())
+        .collect();
+    let target_of = |cfg: &Cfg, b: usize| -> Option<usize> {
+        if protected.contains(&b) {
+            return None;
+        }
+        let blk = &cfg.blocks[b];
+        if blk.instrs.is_empty() {
+            if let Terminator::Jump(t) = blk.term {
+                if t != b {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    };
+    for b in 0..cfg.blocks.len() {
+        let mut term = cfg.blocks[b].term.clone();
+        let mut local = 0;
+        match &mut term {
+            Terminator::Jump(t) => {
+                while let Some(nt) = target_of(cfg, *t) {
+                    *t = nt;
+                    local += 1;
+                    if local > cfg.blocks.len() {
+                        break;
+                    }
+                }
+            }
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => {
+                while let Some(nt) = target_of(cfg, *then_to) {
+                    *then_to = nt;
+                    local += 1;
+                    if local > cfg.blocks.len() {
+                        break;
+                    }
+                }
+                while let Some(nt) = target_of(cfg, *else_to) {
+                    *else_to = nt;
+                    local += 1;
+                    if local > cfg.blocks.len() {
+                        break;
+                    }
+                }
+            }
+            Terminator::End => {}
+        }
+        changed += local;
+        cfg.blocks[b].term = term;
+    }
+    changed
+}
+
+/// Run the standard optimization pipeline to a fixed point (bounded).
+pub fn optimize(cfg: &mut Cfg) {
+    for _ in 0..4 {
+        let a = propagate(cfg);
+        let b = dce(cfg);
+        let c = simplify_cfg(cfg);
+        if a + b + c == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{Block, BlockKind};
+    use bf4_smt::Sort;
+
+    fn assign(var: &str, expr: Term) -> Instr {
+        Instr::Assign {
+            var: Arc::from(var),
+            sort: expr.sort(),
+            expr,
+        }
+    }
+
+    fn linear(instrs: Vec<Instr>, cond: Term) -> Cfg {
+        let mut var_sorts = HashMap::new();
+        for i in &instrs {
+            var_sorts.insert(i.target().clone(), i.sort());
+        }
+        for (v, s) in free_vars(&cond) {
+            var_sorts.insert(v, s);
+        }
+        Cfg {
+            blocks: vec![
+                Block {
+                    instrs,
+                    term: Terminator::Branch {
+                        cond,
+                        then_to: 1,
+                        else_to: 2,
+                    },
+                    kind: BlockKind::Normal,
+                    label: "b0".into(),
+                },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::End,
+                    kind: BlockKind::Accept,
+                    label: "acc".into(),
+                },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::End,
+                    kind: BlockKind::Reject,
+                    label: "rej".into(),
+                },
+            ],
+            entry: 0,
+            tables: vec![],
+            var_sorts,
+            dontcare_marks: vec![],
+        }
+    }
+
+    #[test]
+    fn const_prop_folds_branch() {
+        // x := 5; y := x + 1; branch (y == 6) — must fold to true.
+        let x = Term::var("x", Sort::Bv(8));
+        let y = Term::var("y", Sort::Bv(8));
+        let cfg0 = linear(
+            vec![
+                assign("x", Term::bv(8, 5)),
+                assign("y", x.bvadd(&Term::bv(8, 1))),
+            ],
+            y.eq_term(&Term::bv(8, 6)),
+        );
+        let mut cfg = cfg0;
+        propagate(&mut cfg);
+        match &cfg.blocks[0].term {
+            Terminator::Branch { cond, .. } => assert!(cond.is_true()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn dce_removes_unread() {
+        let x = Term::var("x", Sort::Bv(8));
+        let mut cfg = linear(
+            vec![
+                assign("dead", Term::bv(8, 7)),
+                assign("x", Term::bv(8, 5)),
+            ],
+            x.eq_term(&Term::bv(8, 5)),
+        );
+        let removed = dce(&mut cfg);
+        assert_eq!(removed, 1);
+        assert_eq!(cfg.blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn dce_keeps_transitive_reads() {
+        let a = Term::var("a", Sort::Bv(8));
+        let b = Term::var("b", Sort::Bv(8));
+        let mut cfg = linear(
+            vec![
+                assign("a", Term::bv(8, 1)),
+                assign("b", a.bvadd(&Term::bv(8, 1))),
+            ],
+            b.eq_term(&Term::bv(8, 2)),
+        );
+        assert_eq!(dce(&mut cfg), 0);
+    }
+
+    #[test]
+    fn simplify_equal_branch() {
+        let c = Term::var("c", Sort::Bool);
+        let mut var_sorts = HashMap::new();
+        var_sorts.insert(Arc::from("c"), Sort::Bool);
+        let mut cfg = Cfg {
+            blocks: vec![
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Branch {
+                        cond: c,
+                        then_to: 1,
+                        else_to: 1,
+                    },
+                    kind: BlockKind::Normal,
+                    label: "b0".into(),
+                },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::End,
+                    kind: BlockKind::Accept,
+                    label: "acc".into(),
+                },
+            ],
+            entry: 0,
+            tables: vec![],
+            var_sorts,
+            dontcare_marks: vec![],
+        };
+        assert!(simplify_cfg(&mut cfg) >= 1);
+        assert!(matches!(cfg.blocks[0].term, Terminator::Jump(1)));
+    }
+}

@@ -1,0 +1,436 @@
+//! Static single assignment by passification.
+//!
+//! Instead of phi nodes, merge points get fresh versions with *edge copies*
+//! (`x@3 := x@1` inserted on the incoming edge), which keeps every
+//! instruction a plain assignment — exactly what the forward
+//! reachability-condition generator wants (each assignment contributes one
+//! equality to the path formula, à la Flanagan–Saxe).
+//!
+//! Versioned names are `<base>@<n>`; version 0 is the base name itself.
+//! Variables whose only definition is a `Havoc` keep their base name: a
+//! havoc definition is indistinguishable from the unconstrained version-0
+//! variable, and this stability is what lets the verification core refer to
+//! table-site control variables (`pcn.*`, havoc'd exactly once) by their
+//! original names in inferred annotations.
+
+use crate::cfg::{Block, BlockId, BlockKind, Cfg, Instr, Terminator};
+use bf4_smt::{substitute, Sort, Term};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Convert a CFG to SSA form in place. Returns the number of merge copies
+/// inserted (a useful metric and test hook).
+pub fn to_ssa(cfg: &mut Cfg) -> usize {
+    // Count definitions per base variable; single-def havocs stay stable.
+    let mut def_count: HashMap<Arc<str>, (usize, bool)> = HashMap::new(); // (count, all_havoc)
+    for b in &cfg.blocks {
+        for i in &b.instrs {
+            let e = def_count.entry(i.target().clone()).or_insert((0, true));
+            e.0 += 1;
+            if matches!(i, Instr::Assign { .. }) {
+                e.1 = false;
+            }
+        }
+    }
+    let stable = |v: &Arc<str>| -> bool {
+        match def_count.get(v) {
+            Some((1, true)) => true,
+            _ => false,
+        }
+    };
+
+    let order = cfg.topo_order();
+    let preds = cfg.predecessors();
+    let mut version_counter: HashMap<Arc<str>, u32> = HashMap::new();
+    let mut exit_envs: HashMap<BlockId, HashMap<Arc<str>, Arc<str>>> = HashMap::new();
+    let mut copies_inserted = 0usize;
+
+    // New sorts discovered for versioned names.
+    let mut new_sorts: Vec<(Arc<str>, Sort)> = Vec::new();
+
+    // Map base → fresh version name.
+    let fresh = |base: &Arc<str>,
+                     version_counter: &mut HashMap<Arc<str>, u32>|
+     -> Arc<str> {
+        let c = version_counter.entry(base.clone()).or_insert(0);
+        *c += 1;
+        Arc::from(format!("{base}@{c}"))
+    };
+
+    // Table-site metadata rewriting: entry-block env applied to key exprs.
+    let site_entries: Vec<(usize, BlockId)> = cfg
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i, t.entry_block))
+        .collect();
+
+    for &b in &order {
+        // Merge predecessor envs.
+        let mut env: HashMap<Arc<str>, Arc<str>> = HashMap::new();
+        let bpreds: Vec<BlockId> = preds[b]
+            .iter()
+            .copied()
+            .filter(|p| exit_envs.contains_key(p))
+            .collect();
+        match bpreds.len() {
+            0 => {}
+            1 => env = exit_envs[&bpreds[0]].clone(),
+            _ => {
+                // Union of keys.
+                let mut keys: Vec<Arc<str>> = Vec::new();
+                for p in &bpreds {
+                    for k in exit_envs[p].keys() {
+                        if !keys.contains(k) {
+                            keys.push(k.clone());
+                        }
+                    }
+                }
+                keys.sort();
+                let mut merge_copies: Vec<(Arc<str>, Arc<str>)> = Vec::new(); // (new, base)
+                for k in keys {
+                    let versions: Vec<Arc<str>> = bpreds
+                        .iter()
+                        .map(|p| exit_envs[p].get(&k).cloned().unwrap_or_else(|| k.clone()))
+                        .collect();
+                    if versions.windows(2).all(|w| w[0] == w[1]) {
+                        env.insert(k.clone(), versions[0].clone());
+                    } else {
+                        let nv = fresh(&k, &mut version_counter);
+                        let sort = cfg.var_sorts[&k];
+                        new_sorts.push((nv.clone(), sort));
+                        env.insert(k.clone(), nv.clone());
+                        merge_copies.push((nv, k.clone()));
+                    }
+                }
+                if !merge_copies.is_empty() {
+                    // One edge block per predecessor carrying the copies.
+                    for &p in &bpreds {
+                        let copies: Vec<Instr> = merge_copies
+                            .iter()
+                            .map(|(nv, base)| {
+                                let src = exit_envs[&p]
+                                    .get(base)
+                                    .cloned()
+                                    .unwrap_or_else(|| base.clone());
+                                let sort = cfg.var_sorts[base];
+                                copies_inserted += 1;
+                                Instr::Assign {
+                                    var: nv.clone(),
+                                    sort,
+                                    expr: Term::var(src, sort),
+                                }
+                            })
+                            .collect();
+                        let eb = cfg.blocks.len();
+                        cfg.blocks.push(Block {
+                            instrs: copies,
+                            term: Terminator::Jump(b),
+                            kind: BlockKind::Normal,
+                            label: format!("ssa-edge:{p}->{b}"),
+                        });
+                        retarget(&mut cfg.blocks[p].term, b, eb);
+                    }
+                }
+            }
+        }
+
+        // Rewrite table-site key expressions with the env at site entry.
+        for &(si, eb) in &site_entries {
+            if eb == b && !env.is_empty() {
+                let map = env_to_map(&env, &cfg.var_sorts);
+                for k in &mut cfg.tables[si].keys {
+                    k.expr = substitute(&k.expr, &map);
+                    k.validity = substitute(&k.validity, &map);
+                }
+            }
+        }
+
+        // Rewrite instructions.
+        let mut instrs = std::mem::take(&mut cfg.blocks[b].instrs);
+        for ins in &mut instrs {
+            match ins {
+                Instr::Assign { var, sort, expr } => {
+                    let map = env_to_map(&env, &cfg.var_sorts);
+                    *expr = substitute(expr, &map);
+                    if stable(var) {
+                        env.remove(var);
+                    } else {
+                        let nv = fresh(var, &mut version_counter);
+                        new_sorts.push((nv.clone(), *sort));
+                        env.insert(var.clone(), nv.clone());
+                        *var = nv;
+                    }
+                }
+                Instr::Havoc { var, sort } => {
+                    if stable(var) {
+                        env.remove(var);
+                    } else {
+                        let nv = fresh(var, &mut version_counter);
+                        new_sorts.push((nv.clone(), *sort));
+                        env.insert(var.clone(), nv.clone());
+                        *var = nv;
+                    }
+                }
+            }
+        }
+        cfg.blocks[b].instrs = instrs;
+
+        // Rewrite the branch condition.
+        let term = cfg.blocks[b].term.clone();
+        if let Terminator::Branch {
+            cond,
+            then_to,
+            else_to,
+        } = term
+        {
+            let map = env_to_map(&env, &cfg.var_sorts);
+            cfg.blocks[b].term = Terminator::Branch {
+                cond: substitute(&cond, &map),
+                then_to,
+                else_to,
+            };
+        }
+        exit_envs.insert(b, env);
+    }
+
+    for (v, s) in new_sorts {
+        cfg.var_sorts.insert(v, s);
+    }
+    // Unreachable blocks (dead continuations after `exit` or parser
+    // overflow) were never renamed; clear them so they cannot shadow SSA
+    // names. They contribute to no reachability condition. Reachability is
+    // recomputed because SSA edge blocks were appended during the pass.
+    let reachable: std::collections::HashSet<BlockId> =
+        cfg.topo_order().into_iter().collect();
+    for (i, b) in cfg.blocks.iter_mut().enumerate() {
+        if !reachable.contains(&i) {
+            b.instrs.clear();
+        }
+    }
+    copies_inserted
+}
+
+fn env_to_map(
+    env: &HashMap<Arc<str>, Arc<str>>,
+    sorts: &HashMap<Arc<str>, Sort>,
+) -> HashMap<Arc<str>, Term> {
+    env.iter()
+        .map(|(base, ver)| {
+            let sort = sorts[base];
+            (base.clone(), Term::var(ver.clone(), sort))
+        })
+        .collect()
+}
+
+fn retarget(term: &mut Terminator, from: BlockId, to: BlockId) {
+    match term {
+        Terminator::Jump(t) => {
+            if *t == from {
+                *t = to;
+            }
+        }
+        Terminator::Branch {
+            then_to, else_to, ..
+        } => {
+            if *then_to == from {
+                *then_to = to;
+            }
+            if *else_to == from {
+                *else_to = to;
+            }
+        }
+        Terminator::End => {}
+    }
+}
+
+/// Check the (dynamic) SSA invariant: every variable is defined at most
+/// once across the whole CFG, except merge variables, which are defined
+/// exactly once in *each* edge-copy block feeding their join (disjoint
+/// paths — dynamic single assignment). Returns offending names (empty =
+/// valid).
+pub fn ssa_violations(cfg: &Cfg) -> Vec<Arc<str>> {
+    let mut defs: HashMap<Arc<str>, usize> = HashMap::new();
+    let mut edge_defs: HashMap<Arc<str>, Vec<BlockId>> = HashMap::new();
+    let reachable: std::collections::HashSet<BlockId> = cfg.topo_order().into_iter().collect();
+    for (bid, b) in cfg.blocks.iter().enumerate() {
+        if !reachable.contains(&bid) {
+            continue;
+        }
+        let is_edge = b.label.starts_with("ssa-edge:");
+        for i in &b.instrs {
+            if is_edge {
+                edge_defs.entry(i.target().clone()).or_default().push(bid);
+            } else {
+                *defs.entry(i.target().clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out: Vec<Arc<str>> = defs
+        .iter()
+        .filter(|(v, c)| **c > 1 || (**c == 1 && edge_defs.contains_key(*v)))
+        .map(|(v, _)| v.clone())
+        .collect();
+    // Edge-copy defs of the same variable must all target the same join.
+    for (v, blocks) in &edge_defs {
+        let targets: Vec<BlockId> = blocks
+            .iter()
+            .filter_map(|&b| match cfg.blocks[b].term {
+                Terminator::Jump(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        if targets.windows(2).any(|w| w[0] != w[1]) {
+            out.push(v.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{Block, BlockKind};
+    use bf4_smt::Sort;
+
+    fn assign(var: &str, expr: Term) -> Instr {
+        Instr::Assign {
+            var: Arc::from(var),
+            sort: expr.sort(),
+            expr,
+        }
+    }
+
+    /// if (c) { x := 1 } else { x := 2 }; y := x
+    fn diamond_cfg() -> Cfg {
+        let c = Term::var("c", Sort::Bool);
+        let mut var_sorts = HashMap::new();
+        var_sorts.insert(Arc::from("c"), Sort::Bool);
+        var_sorts.insert(Arc::from("x"), Sort::Bv(8));
+        var_sorts.insert(Arc::from("y"), Sort::Bv(8));
+        Cfg {
+            blocks: vec![
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Branch {
+                        cond: c,
+                        then_to: 1,
+                        else_to: 2,
+                    },
+                    kind: BlockKind::Normal,
+                    label: "b0".into(),
+                },
+                Block {
+                    instrs: vec![assign("x", Term::bv(8, 1))],
+                    term: Terminator::Jump(3),
+                    kind: BlockKind::Normal,
+                    label: "b1".into(),
+                },
+                Block {
+                    instrs: vec![assign("x", Term::bv(8, 2))],
+                    term: Terminator::Jump(3),
+                    kind: BlockKind::Normal,
+                    label: "b2".into(),
+                },
+                Block {
+                    instrs: vec![assign("y", Term::var("x", Sort::Bv(8)))],
+                    term: Terminator::End,
+                    kind: BlockKind::Accept,
+                    label: "b3".into(),
+                },
+            ],
+            entry: 0,
+            tables: vec![],
+            var_sorts,
+            dontcare_marks: vec![],
+        }
+    }
+
+    #[test]
+    fn ssa_single_assignment_holds() {
+        let mut cfg = diamond_cfg();
+        let copies = to_ssa(&mut cfg);
+        assert!(copies >= 2, "expected edge copies for x at the join");
+        assert_eq!(ssa_violations(&cfg), Vec::<Arc<str>>::new());
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn ssa_merge_reads_merged_version() {
+        let mut cfg = diamond_cfg();
+        to_ssa(&mut cfg);
+        // y's RHS must reference a versioned x, not the base name.
+        let y_assign = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .find_map(|i| match i {
+                Instr::Assign { var, expr, .. } if var.starts_with("y") => Some(expr.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let fv = bf4_smt::free_vars(&y_assign);
+        assert_eq!(fv.len(), 1);
+        let name = fv.keys().next().unwrap();
+        assert!(name.starts_with("x@"), "y reads {name}");
+    }
+
+    #[test]
+    fn single_havoc_keeps_base_name() {
+        let mut var_sorts = HashMap::new();
+        var_sorts.insert(Arc::from("h"), Sort::Bv(4));
+        var_sorts.insert(Arc::from("o"), Sort::Bv(4));
+        let mut cfg = Cfg {
+            blocks: vec![Block {
+                instrs: vec![
+                    Instr::Havoc {
+                        var: Arc::from("h"),
+                        sort: Sort::Bv(4),
+                    },
+                    assign("o", Term::var("h", Sort::Bv(4))),
+                ],
+                term: Terminator::End,
+                kind: BlockKind::Accept,
+                label: "b".into(),
+            }],
+            entry: 0,
+            tables: vec![],
+            var_sorts,
+            dontcare_marks: vec![],
+        };
+        to_ssa(&mut cfg);
+        let i0 = &cfg.blocks[0].instrs[0];
+        assert_eq!(i0.target().as_ref(), "h");
+    }
+
+    #[test]
+    fn straightline_reassignment_versions() {
+        let mut var_sorts = HashMap::new();
+        var_sorts.insert(Arc::from("x"), Sort::Bv(8));
+        let x = || Term::var("x", Sort::Bv(8));
+        let mut cfg = Cfg {
+            blocks: vec![Block {
+                instrs: vec![
+                    assign("x", Term::bv(8, 1)),
+                    assign("x", x().bvadd(&Term::bv(8, 1))),
+                ],
+                term: Terminator::End,
+                kind: BlockKind::Accept,
+                label: "b".into(),
+            }],
+            entry: 0,
+            tables: vec![],
+            var_sorts,
+            dontcare_marks: vec![],
+        };
+        to_ssa(&mut cfg);
+        assert_eq!(ssa_violations(&cfg), Vec::<Arc<str>>::new());
+        // Second assignment must read the first version: x@2 := x@1 + 1.
+        let Instr::Assign { var, expr, .. } = &cfg.blocks[0].instrs[1] else {
+            panic!();
+        };
+        assert_eq!(var.as_ref(), "x@2");
+        let fv = bf4_smt::free_vars(expr);
+        assert_eq!(fv.keys().next().unwrap().as_ref(), "x@1");
+    }
+}

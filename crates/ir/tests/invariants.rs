@@ -1,0 +1,95 @@
+//! Whole-corpus IR invariants: lowering always yields a valid acyclic CFG;
+//! SSA establishes dynamic single assignment; the optimizer and slicer
+//! preserve the number of *reachable* bug terminals.
+
+use bf4_ir::{lower, BlockKind, LowerOptions};
+
+fn corpus_cfgs() -> Vec<(String, bf4_ir::Cfg)> {
+    bf4_corpus::all()
+        .into_iter()
+        .map(|p| {
+            let program = bf4_p4::frontend(p.source).unwrap();
+            (
+                p.name.to_string(),
+                lower(&program, &LowerOptions::default()).unwrap().cfg,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn lowering_yields_valid_cfgs() {
+    for (name, cfg) in corpus_cfgs() {
+        cfg.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!cfg.good_blocks().is_empty(), "{name}: no good terminal");
+    }
+}
+
+#[test]
+fn ssa_holds_on_all_corpus_programs() {
+    for (name, mut cfg) in corpus_cfgs() {
+        bf4_ir::ssa::to_ssa(&mut cfg);
+        let violations = bf4_ir::ssa::ssa_violations(&cfg);
+        assert!(violations.is_empty(), "{name}: {violations:?}");
+        cfg.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn optimizer_preserves_structure() {
+    for (name, mut cfg) in corpus_cfgs() {
+        bf4_ir::ssa::to_ssa(&mut cfg);
+        let bugs_before = cfg.bug_blocks().len();
+        let tables_before = cfg.tables.len();
+        bf4_ir::opt::optimize(&mut cfg);
+        assert_eq!(cfg.bug_blocks().len(), bugs_before, "{name}");
+        assert_eq!(cfg.tables.len(), tables_before, "{name}");
+        cfg.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn slicing_preserves_block_identities() {
+    for (name, mut cfg) in corpus_cfgs() {
+        bf4_ir::ssa::to_ssa(&mut cfg);
+        bf4_ir::opt::optimize(&mut cfg);
+        let roots = cfg.bug_blocks();
+        if roots.is_empty() {
+            continue;
+        }
+        let info = bf4_ir::slice::compute_slice(&cfg, &roots);
+        let sliced = bf4_ir::slice::apply_slice(&cfg, &info);
+        assert_eq!(sliced.blocks.len(), cfg.blocks.len(), "{name}");
+        assert!(info.instrs_after <= info.instrs_before, "{name}");
+        for (i, b) in sliced.blocks.iter().enumerate() {
+            assert_eq!(
+                matches!(b.kind, BlockKind::Bug(_)),
+                matches!(cfg.blocks[i].kind, BlockKind::Bug(_)),
+                "{name}: bug identity changed at block {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn egress_part_lowers_for_all_programs() {
+    for p in bf4_corpus::all() {
+        let program = bf4_p4::frontend(p.source).unwrap();
+        let mut opts = LowerOptions::default();
+        opts.part = bf4_ir::lower::PipelinePart::Egress;
+        let cfg = lower(&program, &opts)
+            .unwrap_or_else(|e| panic!("{}: egress lowering failed: {e}", p.name))
+            .cfg;
+        cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+    }
+}
+
+#[test]
+fn dot_export_is_wellformed() {
+    for (name, cfg) in corpus_cfgs().into_iter().take(3) {
+        let dot = bf4_ir::cfg::to_dot(&cfg);
+        assert!(dot.starts_with("digraph"), "{name}");
+        assert!(dot.trim_end().ends_with('}'), "{name}");
+        assert!(dot.matches("color=red").count() >= 1, "{name}: no bug nodes rendered");
+    }
+}

@@ -1,0 +1,461 @@
+//! Abstract syntax tree for the P4-16 subset.
+//!
+//! The AST is deliberately surface-level: name resolution and typing happen
+//! in [`crate::typecheck`], which produces the representation the rest of
+//! the pipeline consumes.
+
+use crate::error::Span;
+
+/// A whole compilation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Ast {
+    /// Top-level declarations in source order.
+    pub decls: Vec<Decl>,
+}
+
+/// Reference to a type as written in source.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeRef {
+    /// `bit<N>`.
+    Bit(u32),
+    /// `bool`.
+    Bool,
+    /// A named type (typedef, header or struct name, or a builtin like
+    /// `standard_metadata_t`).
+    Named(String),
+    /// A header stack `T[n]`.
+    Stack(Box<TypeRef>, u32),
+}
+
+/// Parameter direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// No direction (e.g. action data parameters).
+    None,
+    /// `in`.
+    In,
+    /// `out`.
+    Out,
+    /// `inout`.
+    InOut,
+}
+
+/// A parser/control/action parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Direction qualifier.
+    pub dir: Direction,
+    /// Declared type.
+    pub ty: TypeRef,
+    /// Name.
+    pub name: String,
+}
+
+/// A top-level declaration.
+#[derive(Clone, Debug)]
+pub enum Decl {
+    /// `typedef bit<32> ipv4_addr_t;`
+    Typedef {
+        /// New name.
+        name: String,
+        /// Aliased type.
+        ty: TypeRef,
+    },
+    /// `const bit<16> TYPE_IPV4 = 0x800;`
+    Const {
+        /// Name.
+        name: String,
+        /// Declared type.
+        ty: TypeRef,
+        /// Initializer (must be compile-time constant).
+        value: Expr,
+    },
+    /// `header h_t { ... }`
+    Header {
+        /// Type name.
+        name: String,
+        /// Ordered `(field, type)` pairs.
+        fields: Vec<(String, TypeRef)>,
+    },
+    /// `struct s_t { ... }`
+    Struct {
+        /// Type name.
+        name: String,
+        /// Ordered `(field, type)` pairs.
+        fields: Vec<(String, TypeRef)>,
+    },
+    /// A parser definition with states.
+    Parser {
+        /// Instance type name (e.g. `ParserImpl`).
+        name: String,
+        /// Parameters (packet_in, out headers, inout metadata, ...).
+        params: Vec<Param>,
+        /// States; execution starts at `start`.
+        states: Vec<ParserState>,
+    },
+    /// A control definition.
+    Control {
+        /// Control name (`ingress`, `egress`, `DeparserImpl`, ...).
+        name: String,
+        /// Parameters.
+        params: Vec<Param>,
+        /// Local declarations: actions, tables, registers, variables.
+        locals: Vec<CtrlLocal>,
+        /// The `apply { ... }` block.
+        apply: Block,
+    },
+    /// Package instantiation, e.g. `V1Switch(ParserImpl(), ...) main;`.
+    /// Recorded for pipeline ordering; arguments are constructor calls.
+    Instantiation {
+        /// Package type (`V1Switch`).
+        package: String,
+        /// Constructor-call argument names, in order.
+        args: Vec<String>,
+        /// Instance name (`main`).
+        name: String,
+    },
+}
+
+/// A parser state.
+#[derive(Clone, Debug)]
+pub struct ParserState {
+    /// State name.
+    pub name: String,
+    /// Body statements (extracts, assignments).
+    pub stmts: Vec<Stmt>,
+    /// Outgoing transition.
+    pub transition: Transition,
+}
+
+/// A parser transition.
+#[derive(Clone, Debug)]
+pub enum Transition {
+    /// `transition next_state;` (including `accept` / `reject`).
+    Direct(String),
+    /// `transition select(e1, e2) { ... }`.
+    Select {
+        /// Selector expressions.
+        exprs: Vec<Expr>,
+        /// Cases in order; first match wins.
+        cases: Vec<SelectCase>,
+    },
+}
+
+/// One arm of a `select`.
+#[derive(Clone, Debug)]
+pub struct SelectCase {
+    /// Keyset per selector expression (singleton for 1-ary selects).
+    pub keyset: Vec<Keyset>,
+    /// Target state.
+    pub next: String,
+}
+
+/// A keyset expression in a `select` arm.
+#[derive(Clone, Debug)]
+pub enum Keyset {
+    /// A constant expression.
+    Value(Expr),
+    /// `value &&& mask`. (Lexed as `& & &`; the parser reassembles it.)
+    Mask(Expr, Expr),
+    /// `default` / `_`.
+    Default,
+}
+
+/// Declarations local to a control.
+#[derive(Clone, Debug)]
+pub enum CtrlLocal {
+    /// An action definition.
+    Action(ActionDecl),
+    /// A table definition.
+    Table(TableDecl),
+    /// `register<bit<W>>(SIZE) name;`
+    Register {
+        /// Instance name.
+        name: String,
+        /// Element type.
+        elem: TypeRef,
+        /// Number of cells.
+        size: u64,
+    },
+    /// `counter(...) name;` / `meter(...) name;` and similar externs whose
+    /// state the verifier does not model; updates are no-ops.
+    OpaqueExtern {
+        /// Instance name.
+        name: String,
+        /// Extern type name.
+        kind: String,
+    },
+    /// A local variable declaration.
+    Var {
+        /// Declared type.
+        ty: TypeRef,
+        /// Name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+}
+
+/// An action definition.
+#[derive(Clone, Debug)]
+pub struct ActionDecl {
+    /// Action name.
+    pub name: String,
+    /// Parameters; directionless parameters are control-plane (action data).
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Block,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A table definition.
+#[derive(Clone, Debug)]
+pub struct TableDecl {
+    /// Table name.
+    pub name: String,
+    /// `(key expression, match kind)` pairs.
+    pub keys: Vec<(Expr, String)>,
+    /// Action names available to the control plane.
+    pub actions: Vec<String>,
+    /// Default action with constant arguments, if declared.
+    pub default_action: Option<(String, Vec<Expr>)>,
+    /// Declared size, if any.
+    pub size: Option<u64>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A block of statements.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `lhs = rhs;`
+    Assign {
+        /// Assignment target (l-value).
+        lhs: Expr,
+        /// Value.
+        rhs: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// An expression statement — always a call in P4 (`t.apply();`,
+    /// `mark_to_drop(stdmeta);`, `hdr.h.setValid();`, `reg.read(x, i);`).
+    Call {
+        /// The call expression.
+        call: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Else branch (empty block if absent).
+        else_blk: Block,
+        /// Location.
+        span: Span,
+    },
+    /// `switch (t.apply().action_run) { a: {..} default: {..} }`
+    Switch {
+        /// Scrutinee (must be `<table>.apply().action_run`).
+        expr: Expr,
+        /// Cases: label(s) and body. Label `None` is `default`.
+        cases: Vec<(Option<String>, Block)>,
+        /// Location.
+        span: Span,
+    },
+    /// A nested block.
+    Block(Block),
+    /// A local variable declaration inside a block.
+    Var {
+        /// Declared type.
+        ty: TypeRef,
+        /// Name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `exit;`
+    Exit {
+        /// Location.
+        span: Span,
+    },
+    /// `return;`
+    Return {
+        /// Location.
+        span: Span,
+    },
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Logical `!`.
+    Not,
+    /// Bitwise `~`.
+    BitNot,
+    /// Arithmetic `-`.
+    Neg,
+}
+
+/// Binary operators, named after their P4 surface syntax.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    /// `++` concatenation.
+    Concat,
+}
+
+/// An expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal, possibly width-annotated (`8w255`).
+    Number {
+        /// Value.
+        value: u128,
+        /// Explicit width, if any.
+        width: Option<u32>,
+        /// Location.
+        span: Span,
+    },
+    /// `true` / `false`.
+    Bool {
+        /// Value.
+        value: bool,
+        /// Location.
+        span: Span,
+    },
+    /// A bare identifier.
+    Ident {
+        /// Name.
+        name: String,
+        /// Location.
+        span: Span,
+    },
+    /// `base.member`.
+    Member {
+        /// Receiver.
+        base: Box<Expr>,
+        /// Member name.
+        member: String,
+        /// Location.
+        span: Span,
+    },
+    /// `base[index]` — header-stack indexing.
+    Index {
+        /// Stack expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `base[hi:lo]` — bit slice with constant bounds.
+    Slice {
+        /// Sliced value.
+        base: Box<Expr>,
+        /// High bit (inclusive).
+        hi: u32,
+        /// Low bit (inclusive).
+        lo: u32,
+        /// Location.
+        span: Span,
+    },
+    /// `func(args...)` — always a method/extern call in our subset.
+    Call {
+        /// Callee (an `Ident` or `Member`).
+        func: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        arg: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `cond ? a : b`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then value.
+        then_e: Box<Expr>,
+        /// Else value.
+        else_e: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `(bit<9>) e` — width cast.
+    Cast {
+        /// Target type.
+        ty: TypeRef,
+        /// Operand.
+        arg: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Source location of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Number { span, .. }
+            | Expr::Bool { span, .. }
+            | Expr::Ident { span, .. }
+            | Expr::Member { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Slice { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Ternary { span, .. }
+            | Expr::Cast { span, .. } => *span,
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Source spans and frontend errors.
+
+use std::fmt;
+
+/// A half-open byte range into the source, with a 1-based line for messages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// A span covering both inputs.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+/// A frontend error (lexing, parsing or type checking).
+#[derive(Clone, Debug)]
+pub struct Error {
+    /// Where the error occurred.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Error {
+    /// Construct an error at a span.
+    pub fn new(span: Span, message: impl Into<String>) -> Error {
+        Error {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Frontend result alias.
+pub type Result<T> = std::result::Result<T, Error>;

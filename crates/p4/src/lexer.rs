@@ -1,0 +1,477 @@
+//! Tokenizer for the P4-16 subset.
+//!
+//! Comments (`//`, `/* */`) and preprocessor lines (`#...`) are skipped.
+//! Width-prefixed literals (`8w255`, `4w0xF`) are recognized as single
+//! tokens; bare literals accept decimal, hex (`0x`), octal-free decimal
+//! and binary (`0b`) forms.
+
+use crate::error::{Error, Result, Span};
+
+/// A lexical token kind. Punctuation/operator variants are named after
+/// their symbol and carry no payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Integer literal, with an optional explicit width prefix.
+    Number {
+        /// The value (masked by the parser when a width applies).
+        value: u128,
+        /// Width from a `Nw` prefix, if present.
+        width: Option<u32>,
+    },
+    /// String literal (used only by a few externs; kept for completeness).
+    Str(String),
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Colon,
+    Comma,
+    Dot,
+    Question,
+    At,
+    // operators
+    Assign,     // =
+    Eq,         // ==
+    Ne,         // !=
+    Lt,         // <
+    Le,         // <=
+    Gt,         // >
+    Ge,         // >=
+    Not,        // !
+    AndAnd,     // &&
+    OrOr,       // ||
+    Amp,        // &
+    Pipe,       // |
+    Caret,      // ^
+    Tilde,      // ~
+    Shl,        // <<
+    Shr,        // >>
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    /// `++` (header-stack / bit concatenation; rarely used).
+    PlusPlus,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Location.
+    pub span: Span,
+}
+
+/// Tokenize a source string.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    macro_rules! span {
+        ($start:expr) => {
+            Span {
+                start: $start,
+                end: i,
+                line,
+            }
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'#' => {
+                // Preprocessor line: skip to end of line.
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(Error::new(span!(start), "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                while i < n && bytes[i] != b'"' {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                if i >= n {
+                    return Err(Error::new(span!(start), "unterminated string literal"));
+                }
+                i += 1;
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    span: span!(start),
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let (value, width) = lex_number(bytes, &mut i, line)?;
+                out.push(Token {
+                    tok: Tok::Number { value, width },
+                    span: span!(start),
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                out.push(Token {
+                    tok: Tok::Ident(word.to_string()),
+                    span: span!(start),
+                });
+            }
+            _ => {
+                let start = i;
+                let two = if i + 1 < n { &src[i..i + 2] } else { "" };
+                let tok = match two {
+                    "==" => {
+                        i += 2;
+                        Some(Tok::Eq)
+                    }
+                    "!=" => {
+                        i += 2;
+                        Some(Tok::Ne)
+                    }
+                    "<=" => {
+                        i += 2;
+                        Some(Tok::Le)
+                    }
+                    ">=" => {
+                        i += 2;
+                        Some(Tok::Ge)
+                    }
+                    "&&" => {
+                        i += 2;
+                        Some(Tok::AndAnd)
+                    }
+                    "||" => {
+                        i += 2;
+                        Some(Tok::OrOr)
+                    }
+                    "<<" => {
+                        i += 2;
+                        Some(Tok::Shl)
+                    }
+                    ">>" => {
+                        i += 2;
+                        Some(Tok::Shr)
+                    }
+                    "++" => {
+                        i += 2;
+                        Some(Tok::PlusPlus)
+                    }
+                    _ => None,
+                };
+                let tok = match tok {
+                    Some(t) => t,
+                    None => {
+                        i += 1;
+                        match c {
+                            b'(' => Tok::LParen,
+                            b')' => Tok::RParen,
+                            b'{' => Tok::LBrace,
+                            b'}' => Tok::RBrace,
+                            b'[' => Tok::LBracket,
+                            b']' => Tok::RBracket,
+                            b';' => Tok::Semi,
+                            b':' => Tok::Colon,
+                            b',' => Tok::Comma,
+                            b'.' => Tok::Dot,
+                            b'?' => Tok::Question,
+                            b'@' => Tok::At,
+                            b'=' => Tok::Assign,
+                            b'<' => Tok::Lt,
+                            b'>' => Tok::Gt,
+                            b'!' => Tok::Not,
+                            b'&' => Tok::Amp,
+                            b'|' => Tok::Pipe,
+                            b'^' => Tok::Caret,
+                            b'~' => Tok::Tilde,
+                            b'+' => Tok::Plus,
+                            b'-' => Tok::Minus,
+                            b'*' => Tok::Star,
+                            b'/' => Tok::Slash,
+                            b'%' => Tok::Percent,
+                            _ => {
+                                return Err(Error::new(
+                                    span!(start),
+                                    format!("unexpected character {:?}", c as char),
+                                ))
+                            }
+                        }
+                    }
+                };
+                out.push(Token {
+                    tok,
+                    span: span!(start),
+                });
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span {
+            start: n,
+            end: n,
+            line,
+        },
+    });
+    Ok(out)
+}
+
+/// Parse a numeric literal starting at `*i`; handles `Nw...` width prefixes
+/// and `Ns...` signed prefixes (treated as unsigned of the same width).
+fn lex_number(bytes: &[u8], i: &mut usize, line: u32) -> Result<(u128, Option<u32>)> {
+    let start = *i;
+    let first = lex_radix_number(bytes, i);
+    // width prefix? e.g. 8w255 / 4s7
+    if *i < bytes.len() && (bytes[*i] == b'w' || bytes[*i] == b's') {
+        // Only if the prefix is a plain decimal (radix numbers can't be widths).
+        *i += 1;
+        let value = lex_radix_number(bytes, i);
+        let width = u32::try_from(first).map_err(|_| {
+            Error::new(
+                Span {
+                    start,
+                    end: *i,
+                    line,
+                },
+                "width prefix too large",
+            )
+        })?;
+        if width == 0 || width > 128 {
+            return Err(Error::new(
+                Span {
+                    start,
+                    end: *i,
+                    line,
+                },
+                format!("unsupported bit width {width} (1..=128)"),
+            ));
+        }
+        let masked = if width == 128 {
+            value
+        } else {
+            value & ((1u128 << width) - 1)
+        };
+        Ok((masked, Some(width)))
+    } else {
+        Ok((first, None))
+    }
+}
+
+fn lex_radix_number(bytes: &[u8], i: &mut usize) -> u128 {
+    let n = bytes.len();
+    let mut value: u128 = 0;
+    if *i + 1 < n && bytes[*i] == b'0' && (bytes[*i + 1] == b'x' || bytes[*i + 1] == b'X') {
+        *i += 2;
+        while *i < n && (bytes[*i].is_ascii_hexdigit() || bytes[*i] == b'_') {
+            if bytes[*i] != b'_' {
+                value = value * 16 + (bytes[*i] as char).to_digit(16).unwrap() as u128;
+            }
+            *i += 1;
+        }
+    } else if *i + 1 < n && bytes[*i] == b'0' && (bytes[*i + 1] == b'b' || bytes[*i + 1] == b'B') {
+        *i += 2;
+        while *i < n && (bytes[*i] == b'0' || bytes[*i] == b'1' || bytes[*i] == b'_') {
+            if bytes[*i] != b'_' {
+                value = value * 2 + (bytes[*i] - b'0') as u128;
+            }
+            *i += 1;
+        }
+    } else {
+        while *i < n && (bytes[*i].is_ascii_ascii_digit_or_sep()) {
+            if bytes[*i] != b'_' {
+                value = value * 10 + (bytes[*i] - b'0') as u128;
+            }
+            *i += 1;
+        }
+    }
+    value
+}
+
+trait DigitSep {
+    fn is_ascii_ascii_digit_or_sep(&self) -> bool;
+}
+impl DigitSep for u8 {
+    fn is_ascii_ascii_digit_or_sep(&self) -> bool {
+        self.is_ascii_digit() || *self == b'_'
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let ts = kinds("control ingress() { }");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("control".into()),
+                Tok::Ident("ingress".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 0x2a 0b101010 8w255 4w0xF 1_000"),
+            vec![
+                Tok::Number {
+                    value: 42,
+                    width: None
+                },
+                Tok::Number {
+                    value: 42,
+                    width: None
+                },
+                Tok::Number {
+                    value: 42,
+                    width: None
+                },
+                Tok::Number {
+                    value: 255,
+                    width: Some(8)
+                },
+                Tok::Number {
+                    value: 15,
+                    width: Some(4)
+                },
+                Tok::Number {
+                    value: 1000,
+                    width: None
+                },
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn width_literal_masks() {
+        assert_eq!(
+            kinds("4w255"),
+            vec![
+                Tok::Number {
+                    value: 15,
+                    width: Some(4)
+                },
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("== != <= >= && || << >> ++ = < > ! & | ^ ~"),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::PlusPlus,
+                Tok::Assign,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Not,
+                Tok::Amp,
+                Tok::Pipe,
+                Tok::Caret,
+                Tok::Tilde,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_skipped() {
+        let ts = kinds("#include <core.p4>\n// line\nx /* block\nspanning */ y");
+        assert_eq!(
+            ts,
+            vec![Tok::Ident("x".into()), Tok::Ident("y".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n  c").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[2].span.line, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn bad_width_errors() {
+        assert!(lex("200w5").is_err());
+        assert!(lex("0w5").is_err());
+    }
+}

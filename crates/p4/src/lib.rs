@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # bf4-p4 — a P4-16 frontend for the bf4 verifier
+//!
+//! The paper implements bf4 as a backend to the `p4c` compiler suite. This
+//! crate replaces that dependency with a from-scratch frontend for the
+//! P4-16 fragment the verifier needs (the V1Model programs of the paper's
+//! evaluation):
+//!
+//! * [`lexer`] — tokenizer with source spans;
+//! * [`ast`] — the abstract syntax tree;
+//! * [`parser`] — recursive-descent parser producing the AST;
+//! * [`typecheck`] — symbol resolution and type checking, producing a
+//!   [`typecheck::Program`] with every expression annotated by its type.
+//!
+//! Supported P4-16 surface: `typedef`, `const`, `header`/`struct`
+//! declarations, header stacks, parsers with `select` transitions and
+//! loops, controls with actions / tables / `apply` blocks, `switch` on
+//! `table.apply().action_run`, registers and the V1Model extern primitives
+//! used by open-source programs (`mark_to_drop`, `hash`, `random`, clone
+//! and resubmit variants, checksum externs), arbitrary-width `bit<N>`
+//! arithmetic, casts, slices and `isValid()`.
+//!
+//! Not supported (not needed for the reproduced evaluation): `varbit`
+//! fields, PSA/TNA architectures (the paper also restricts itself to
+//! V1Model), type-parametric generics beyond the built-in externs, and the
+//! preprocessor (corpus programs are self-contained; `#include` lines are
+//! ignored).
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod typecheck;
+
+pub use error::{Error, Result, Span};
+pub use parser::parse_program;
+pub use typecheck::{check, Program};
+
+/// Parse and type-check a P4 source string in one call.
+pub fn frontend(source: &str) -> Result<Program> {
+    let ast = parse_program(source)?;
+    typecheck::check(&ast)
+}

@@ -1,0 +1,1185 @@
+//! Recursive-descent parser for the P4-16 subset.
+//!
+//! Grammar notes:
+//!
+//! * annotations (`@name`, `@name(...)`) are skipped wherever they appear;
+//! * `extern`, `error { ... }`, `match_kind { ... }` and `enum` top-level
+//!   declarations are accepted and ignored (they only name things our
+//!   semantic layer already knows);
+//! * casts are supported for `(bit<N>) e` and `(bool) e` — the only forms
+//!   that appear in the corpus — avoiding the classic cast/grouping
+//!   ambiguity for named types;
+//! * the `&&&` keyset mask operator is reassembled from `&&` `&` tokens.
+
+use crate::ast::*;
+use crate::error::{Error, Result, Span};
+use crate::lexer::{lex, Tok, Token};
+
+/// Parse a full program.
+pub fn parse_program(src: &str) -> Result<Ast> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Expect `>`; splits a `>>` token in two so `register<bit<32>>(..)`
+    /// parses (the classic nested-generic ambiguity).
+    fn expect_gt(&mut self) -> Result<()> {
+        if self.peek() == &Tok::Shr {
+            self.tokens[self.pos].tok = Tok::Gt;
+            Ok(())
+        } else {
+            self.expect(Tok::Gt).map(|_| ())
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Token> {
+        if self.peek() == &tok {
+            Ok(self.bump())
+        } else {
+            Err(Error::new(
+                self.span(),
+                format!("expected {:?}, found {:?}", tok, self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(Error::new(
+                self.span(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::new(
+                self.span(),
+                format!("expected `{kw}`, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    /// Skip a run of annotations: `@name` or `@name(...)`.
+    fn skip_annotations(&mut self) {
+        while self.eat(&Tok::At) {
+            let _ = self.ident();
+            if self.peek() == &Tok::LParen {
+                let mut depth = 0usize;
+                loop {
+                    match self.bump().tok {
+                        Tok::LParen => depth += 1,
+                        Tok::RParen => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Eof => break,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- program & declarations ----
+
+    fn program(&mut self) -> Result<Ast> {
+        let mut decls = Vec::new();
+        loop {
+            self.skip_annotations();
+            match self.peek().clone() {
+                Tok::Eof => break,
+                Tok::Ident(kw) => match kw.as_str() {
+                    "typedef" => decls.push(self.typedef()?),
+                    "const" => decls.push(self.const_decl()?),
+                    "header" => decls.push(self.header_or_struct(true)?),
+                    "struct" => decls.push(self.header_or_struct(false)?),
+                    "parser" => decls.push(self.parser_decl()?),
+                    "control" => decls.push(self.control_decl()?),
+                    "extern" | "action" => {
+                        // Top-level externs/prototypes: skip the declaration.
+                        self.skip_balanced_decl()?;
+                    }
+                    "error" | "match_kind" | "enum" => {
+                        self.skip_balanced_decl()?;
+                    }
+                    "package" => {
+                        self.skip_balanced_decl()?;
+                    }
+                    _ => decls.push(self.instantiation()?),
+                },
+                other => {
+                    return Err(Error::new(
+                        self.span(),
+                        format!("unexpected token at top level: {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(Ast { decls })
+    }
+
+    /// Skip a declaration we deliberately ignore: consume until a top-level
+    /// `;` or a balanced `{ ... }` group.
+    fn skip_balanced_decl(&mut self) -> Result<()> {
+        let mut depth = 0usize;
+        loop {
+            match self.peek().clone() {
+                Tok::Eof => return Ok(()),
+                Tok::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                Tok::RBrace => {
+                    self.bump();
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        // optional trailing semicolon
+                        self.eat(&Tok::Semi);
+                        return Ok(());
+                    }
+                }
+                Tok::Semi if depth == 0 => {
+                    self.bump();
+                    return Ok(());
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn type_ref(&mut self) -> Result<TypeRef> {
+        let base = if self.eat_kw("bit") {
+            if self.eat(&Tok::Lt) {
+                let w = self.const_u128()? as u32;
+                self.expect_gt()?;
+                TypeRef::Bit(w)
+            } else {
+                TypeRef::Bit(1)
+            }
+        } else if self.eat_kw("int") {
+            // Signed ints are treated as bit<N>; the verifier models them
+            // with unsigned bit-vectors plus signed comparison ops.
+            self.expect(Tok::Lt)?;
+            let w = self.const_u128()? as u32;
+            self.expect_gt()?;
+            TypeRef::Bit(w)
+        } else if self.eat_kw("bool") {
+            TypeRef::Bool
+        } else {
+            TypeRef::Named(self.ident()?)
+        };
+        if self.eat(&Tok::LBracket) {
+            let n = self.const_u128()? as u32;
+            self.expect(Tok::RBracket)?;
+            return Ok(TypeRef::Stack(Box::new(base), n));
+        }
+        Ok(base)
+    }
+
+    fn const_u128(&mut self) -> Result<u128> {
+        match self.peek().clone() {
+            Tok::Number { value, .. } => {
+                self.bump();
+                Ok(value)
+            }
+            other => Err(Error::new(
+                self.span(),
+                format!("expected number, found {other:?}"),
+            )),
+        }
+    }
+
+    fn typedef(&mut self) -> Result<Decl> {
+        self.expect_kw("typedef")?;
+        let ty = self.type_ref()?;
+        let name = self.ident()?;
+        self.expect(Tok::Semi)?;
+        Ok(Decl::Typedef { name, ty })
+    }
+
+    fn const_decl(&mut self) -> Result<Decl> {
+        self.expect_kw("const")?;
+        let ty = self.type_ref()?;
+        let name = self.ident()?;
+        self.expect(Tok::Assign)?;
+        let value = self.expr()?;
+        self.expect(Tok::Semi)?;
+        Ok(Decl::Const { name, ty, value })
+    }
+
+    fn header_or_struct(&mut self, is_header: bool) -> Result<Decl> {
+        self.bump(); // 'header' | 'struct'
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            self.skip_annotations();
+            let ty = self.type_ref()?;
+            let fname = self.ident()?;
+            self.expect(Tok::Semi)?;
+            fields.push((fname, ty));
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(if is_header {
+            Decl::Header { name, fields }
+        } else {
+            Decl::Struct { name, fields }
+        })
+    }
+
+    fn params(&mut self) -> Result<Vec<Param>> {
+        self.expect(Tok::LParen)?;
+        let mut out = Vec::new();
+        while self.peek() != &Tok::RParen {
+            self.skip_annotations();
+            let dir = if self.eat_kw("in") {
+                Direction::In
+            } else if self.eat_kw("out") {
+                Direction::Out
+            } else if self.eat_kw("inout") {
+                Direction::InOut
+            } else {
+                Direction::None
+            };
+            let ty = self.type_ref()?;
+            let name = self.ident()?;
+            out.push(Param { dir, ty, name });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(out)
+    }
+
+    fn parser_decl(&mut self) -> Result<Decl> {
+        self.expect_kw("parser")?;
+        let name = self.ident()?;
+        let params = self.params()?;
+        // A prototype (from architecture files) ends with `;`.
+        if self.eat(&Tok::Semi) {
+            return Ok(Decl::Parser {
+                name,
+                params,
+                states: Vec::new(),
+            });
+        }
+        self.expect(Tok::LBrace)?;
+        let mut states = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            self.skip_annotations();
+            self.expect_kw("state")?;
+            let sname = self.ident()?;
+            self.expect(Tok::LBrace)?;
+            let mut stmts = Vec::new();
+            let mut transition = Transition::Direct("reject".to_string());
+            loop {
+                if self.eat(&Tok::RBrace) {
+                    break;
+                }
+                if self.eat_kw("transition") {
+                    transition = self.transition()?;
+                    self.expect(Tok::RBrace)?;
+                    break;
+                }
+                stmts.push(self.statement()?);
+            }
+            states.push(ParserState {
+                name: sname,
+                stmts,
+                transition,
+            });
+        }
+        Ok(Decl::Parser {
+            name,
+            params,
+            states,
+        })
+    }
+
+    fn transition(&mut self) -> Result<Transition> {
+        if self.eat_kw("select") {
+            self.expect(Tok::LParen)?;
+            let mut exprs = vec![self.expr()?];
+            while self.eat(&Tok::Comma) {
+                exprs.push(self.expr()?);
+            }
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::LBrace)?;
+            let mut cases = Vec::new();
+            while !self.eat(&Tok::RBrace) {
+                let keyset = self.keyset_list()?;
+                self.expect(Tok::Colon)?;
+                let next = self.ident()?;
+                self.expect(Tok::Semi)?;
+                cases.push(SelectCase { keyset, next });
+            }
+            Ok(Transition::Select { exprs, cases })
+        } else {
+            let target = self.ident()?;
+            self.expect(Tok::Semi)?;
+            Ok(Transition::Direct(target))
+        }
+    }
+
+    fn keyset_list(&mut self) -> Result<Vec<Keyset>> {
+        // Either `(k1, k2, ...)` for tuple keysets or a single keyset.
+        if self.eat(&Tok::LParen) {
+            let mut out = vec![self.keyset()?];
+            while self.eat(&Tok::Comma) {
+                out.push(self.keyset()?);
+            }
+            self.expect(Tok::RParen)?;
+            Ok(out)
+        } else {
+            Ok(vec![self.keyset()?])
+        }
+    }
+
+    fn keyset(&mut self) -> Result<Keyset> {
+        if self.eat_kw("default") || self.eat_kw("_") {
+            return Ok(Keyset::Default);
+        }
+        // Parse at a precedence above `&&` so the `&&&` reassembly below
+        // sees its tokens unconsumed.
+        let value = self.expr_prec(PREC_OR + 2)?;
+        // `&&&` arrives as AndAnd Amp.
+        if self.peek() == &Tok::AndAnd && self.peek2() == &Tok::Amp {
+            self.bump();
+            self.bump();
+            let mask = self.expr_prec(PREC_OR + 2)?;
+            return Ok(Keyset::Mask(value, mask));
+        }
+        Ok(Keyset::Value(value))
+    }
+
+    fn control_decl(&mut self) -> Result<Decl> {
+        self.expect_kw("control")?;
+        let name = self.ident()?;
+        let params = self.params()?;
+        if self.eat(&Tok::Semi) {
+            return Ok(Decl::Control {
+                name,
+                params,
+                locals: Vec::new(),
+                apply: Block::default(),
+            });
+        }
+        self.expect(Tok::LBrace)?;
+        let mut locals = Vec::new();
+        let mut apply = Block::default();
+        while !self.eat(&Tok::RBrace) {
+            self.skip_annotations();
+            if self.at_kw("action") {
+                locals.push(CtrlLocal::Action(self.action_decl()?));
+            } else if self.at_kw("table") {
+                locals.push(CtrlLocal::Table(self.table_decl()?));
+            } else if self.at_kw("register") {
+                locals.push(self.register_decl()?);
+            } else if self.at_kw("counter")
+                || self.at_kw("meter")
+                || self.at_kw("direct_counter")
+                || self.at_kw("direct_meter")
+                || self.at_kw("action_profile")
+                || self.at_kw("action_selector")
+            {
+                let kind = self.ident()?;
+                // skip optional generic args and constructor args
+                if self.eat(&Tok::Lt) {
+                    while !self.eat(&Tok::Gt) {
+                        self.bump();
+                    }
+                }
+                if self.eat(&Tok::LParen) {
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match self.bump().tok {
+                            Tok::LParen => depth += 1,
+                            Tok::RParen => depth -= 1,
+                            Tok::Eof => break,
+                            _ => {}
+                        }
+                    }
+                }
+                let iname = self.ident()?;
+                self.expect(Tok::Semi)?;
+                locals.push(CtrlLocal::OpaqueExtern { name: iname, kind });
+            } else if self.at_kw("apply") {
+                self.bump();
+                apply = self.block()?;
+            } else {
+                // local variable declaration
+                let span = self.span();
+                let ty = self.type_ref()?;
+                let vname = self.ident()?;
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::Semi)?;
+                let _ = span;
+                locals.push(CtrlLocal::Var {
+                    ty,
+                    name: vname,
+                    init,
+                });
+            }
+        }
+        Ok(Decl::Control {
+            name,
+            params,
+            locals,
+            apply,
+        })
+    }
+
+    fn action_decl(&mut self) -> Result<ActionDecl> {
+        let span = self.span();
+        self.expect_kw("action")?;
+        let name = self.ident()?;
+        let params = self.params()?;
+        let body = self.block()?;
+        Ok(ActionDecl {
+            name,
+            params,
+            body,
+            span,
+        })
+    }
+
+    fn table_decl(&mut self) -> Result<TableDecl> {
+        let span = self.span();
+        self.expect_kw("table")?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut keys = Vec::new();
+        let mut actions = Vec::new();
+        let mut default_action = None;
+        let mut size = None;
+        while !self.eat(&Tok::RBrace) {
+            self.skip_annotations();
+            if self.eat_kw("key") {
+                self.expect(Tok::Assign)?;
+                self.expect(Tok::LBrace)?;
+                while !self.eat(&Tok::RBrace) {
+                    let e = self.expr()?;
+                    self.expect(Tok::Colon)?;
+                    let kind = self.ident()?;
+                    self.skip_annotations();
+                    self.expect(Tok::Semi)?;
+                    keys.push((e, kind));
+                }
+            } else if self.eat_kw("actions") {
+                self.expect(Tok::Assign)?;
+                self.expect(Tok::LBrace)?;
+                while !self.eat(&Tok::RBrace) {
+                    self.skip_annotations();
+                    let a = self.ident()?;
+                    // allow `a();` form
+                    if self.eat(&Tok::LParen) {
+                        self.expect(Tok::RParen)?;
+                    }
+                    self.expect(Tok::Semi)?;
+                    actions.push(a);
+                }
+            } else if self.at_kw("default_action")
+                || (self.at_kw("const") && matches!(self.peek2(), Tok::Ident(s) if s == "default_action"))
+            {
+                self.eat_kw("const");
+                self.expect_kw("default_action")?;
+                self.expect(Tok::Assign)?;
+                let a = self.ident()?;
+                let mut args = Vec::new();
+                if self.eat(&Tok::LParen) {
+                    while self.peek() != &Tok::RParen {
+                        args.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                }
+                self.expect(Tok::Semi)?;
+                default_action = Some((a, args));
+            } else if self.eat_kw("size") {
+                self.expect(Tok::Assign)?;
+                size = Some(self.const_u128()? as u64);
+                self.expect(Tok::Semi)?;
+            } else if self.eat_kw("support_timeout") || self.eat_kw("implementation")
+                || self.eat_kw("counters") || self.eat_kw("meters")
+            {
+                // properties we accept and ignore
+                self.expect(Tok::Assign)?;
+                while self.peek() != &Tok::Semi && self.peek() != &Tok::Eof {
+                    self.bump();
+                }
+                self.expect(Tok::Semi)?;
+            } else {
+                return Err(Error::new(
+                    self.span(),
+                    format!("unknown table property {:?}", self.peek()),
+                ));
+            }
+        }
+        Ok(TableDecl {
+            name,
+            keys,
+            actions,
+            default_action,
+            size,
+            span,
+        })
+    }
+
+    fn register_decl(&mut self) -> Result<CtrlLocal> {
+        self.expect_kw("register")?;
+        self.expect(Tok::Lt)?;
+        let elem = self.type_ref()?;
+        self.expect_gt()?;
+        self.expect(Tok::LParen)?;
+        let size = self.const_u128()? as u64;
+        self.expect(Tok::RParen)?;
+        let name = self.ident()?;
+        self.expect(Tok::Semi)?;
+        Ok(CtrlLocal::Register { name, elem, size })
+    }
+
+    fn instantiation(&mut self) -> Result<Decl> {
+        let package = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        while self.peek() != &Tok::RParen {
+            let a = self.ident()?;
+            if self.eat(&Tok::LParen) {
+                // constructor args: skip balanced
+                let mut depth = 1;
+                while depth > 0 {
+                    match self.bump().tok {
+                        Tok::LParen => depth += 1,
+                        Tok::RParen => depth -= 1,
+                        Tok::Eof => break,
+                        _ => {}
+                    }
+                }
+            }
+            args.push(a);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let name = self.ident()?;
+        self.expect(Tok::Semi)?;
+        Ok(Decl::Instantiation {
+            package,
+            args,
+            name,
+        })
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self) -> Result<Block> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            stmts.push(self.statement()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        self.skip_annotations();
+        let span = self.span();
+        if self.at_kw("if") {
+            self.bump();
+            self.expect(Tok::LParen)?;
+            let cond = self.expr()?;
+            self.expect(Tok::RParen)?;
+            let then_blk = self.stmt_as_block()?;
+            let else_blk = if self.eat_kw("else") {
+                self.stmt_as_block()?
+            } else {
+                Block::default()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            });
+        }
+        if self.at_kw("switch") {
+            self.bump();
+            self.expect(Tok::LParen)?;
+            let expr = self.expr()?;
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::LBrace)?;
+            let mut cases: Vec<(Option<String>, Block)> = Vec::new();
+            let mut pending: Vec<Option<String>> = Vec::new();
+            while !self.eat(&Tok::RBrace) {
+                let label = if self.eat_kw("default") {
+                    None
+                } else {
+                    Some(self.ident()?)
+                };
+                self.expect(Tok::Colon)?;
+                if self.peek() == &Tok::LBrace {
+                    let body = self.block()?;
+                    // fall-through labels share the body
+                    for l in pending.drain(..) {
+                        cases.push((l, body.clone()));
+                    }
+                    cases.push((label, body));
+                } else {
+                    // fall-through label without body
+                    pending.push(label);
+                }
+            }
+            if !pending.is_empty() {
+                return Err(Error::new(span, "switch labels with no body"));
+            }
+            return Ok(Stmt::Switch { expr, cases, span });
+        }
+        if self.at_kw("exit") {
+            self.bump();
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Exit { span });
+        }
+        if self.at_kw("return") {
+            self.bump();
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Return { span });
+        }
+        if self.peek() == &Tok::LBrace {
+            return Ok(Stmt::Block(self.block()?));
+        }
+        // Variable declaration: `bit<N> x = e;` / `bool b;` / `T x = e;`
+        if self.is_var_decl_start() {
+            let ty = self.type_ref()?;
+            let name = self.ident()?;
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Var {
+                ty,
+                name,
+                init,
+                span,
+            });
+        }
+        // Assignment or call.
+        let e = self.expr()?;
+        if self.eat(&Tok::Assign) {
+            let rhs = self.expr()?;
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Assign { lhs: e, rhs, span });
+        }
+        self.expect(Tok::Semi)?;
+        match e {
+            Expr::Call { .. } => Ok(Stmt::Call { call: e, span }),
+            _ => Err(Error::new(span, "expression statement must be a call")),
+        }
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Block> {
+        if self.peek() == &Tok::LBrace {
+            self.block()
+        } else {
+            Ok(Block {
+                stmts: vec![self.statement()?],
+            })
+        }
+    }
+
+    /// Lookahead: `bit`/`bool`/`int` always start declarations; `Ident
+    /// Ident` does too (`ipv4_t tmp`), but `Ident .`/`(`/`=` etc. do not.
+    fn is_var_decl_start(&self) -> bool {
+        match self.peek() {
+            Tok::Ident(s) if s == "bit" || s == "bool" || s == "int" => true,
+            Tok::Ident(_) => matches!(self.peek2(), Tok::Ident(_)),
+            _ => false,
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr> {
+        let cond = self.expr_prec(0)?;
+        if self.eat(&Tok::Question) {
+            let span = cond.span();
+            let then_e = self.ternary()?;
+            self.expect(Tok::Colon)?;
+            let else_e = self.ternary()?;
+            return Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_e: Box::new(then_e),
+                else_e: Box::new(else_e),
+                span,
+            });
+        }
+        Ok(cond)
+    }
+
+    fn expr_prec(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::OrOr => (BinOp::Or, PREC_OR),
+                Tok::AndAnd => (BinOp::And, PREC_AND),
+                Tok::Eq => (BinOp::Eq, PREC_EQ),
+                Tok::Ne => (BinOp::Ne, PREC_EQ),
+                Tok::Lt => (BinOp::Lt, PREC_REL),
+                Tok::Le => (BinOp::Le, PREC_REL),
+                Tok::Gt => (BinOp::Gt, PREC_REL),
+                Tok::Ge => (BinOp::Ge, PREC_REL),
+                Tok::Pipe => (BinOp::BitOr, PREC_BITOR),
+                Tok::Caret => (BinOp::BitXor, PREC_BITXOR),
+                Tok::Amp => (BinOp::BitAnd, PREC_BITAND),
+                Tok::Shl => (BinOp::Shl, PREC_SHIFT),
+                Tok::Shr => (BinOp::Shr, PREC_SHIFT),
+                Tok::Plus => (BinOp::Add, PREC_ADD),
+                Tok::Minus => (BinOp::Sub, PREC_ADD),
+                Tok::PlusPlus => (BinOp::Concat, PREC_ADD),
+                Tok::Star => (BinOp::Mul, PREC_MUL),
+                Tok::Slash => (BinOp::Div, PREC_MUL),
+                Tok::Percent => (BinOp::Mod, PREC_MUL),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.expr_prec(prec + 1)?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let span = self.span();
+        if self.eat(&Tok::Not) {
+            let arg = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                arg: Box::new(arg),
+                span,
+            });
+        }
+        if self.eat(&Tok::Tilde) {
+            let arg = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::BitNot,
+                arg: Box::new(arg),
+                span,
+            });
+        }
+        if self.eat(&Tok::Minus) {
+            let arg = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                arg: Box::new(arg),
+                span,
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            let span = self.span();
+            if self.eat(&Tok::Dot) {
+                let member = self.ident()?;
+                e = Expr::Member {
+                    base: Box::new(e),
+                    member,
+                    span,
+                };
+            } else if self.eat(&Tok::LBracket) {
+                let first = self.expr()?;
+                if self.eat(&Tok::Colon) {
+                    let lo = self.const_u128()? as u32;
+                    self.expect(Tok::RBracket)?;
+                    let hi = match first {
+                        Expr::Number { value, .. } => value as u32,
+                        _ => {
+                            return Err(Error::new(
+                                span,
+                                "slice bounds must be constant",
+                            ))
+                        }
+                    };
+                    e = Expr::Slice {
+                        base: Box::new(e),
+                        hi,
+                        lo,
+                        span,
+                    };
+                } else {
+                    self.expect(Tok::RBracket)?;
+                    e = Expr::Index {
+                        base: Box::new(e),
+                        index: Box::new(first),
+                        span,
+                    };
+                }
+            } else if self.peek() == &Tok::LParen {
+                self.bump();
+                let mut args = Vec::new();
+                while self.peek() != &Tok::RParen {
+                    args.push(self.expr()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                e = Expr::Call {
+                    func: Box::new(e),
+                    args,
+                    span,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Number { value, width } => {
+                self.bump();
+                Ok(Expr::Number { value, width, span })
+            }
+            Tok::Ident(s) if s == "true" => {
+                self.bump();
+                Ok(Expr::Bool { value: true, span })
+            }
+            Tok::Ident(s) if s == "false" => {
+                self.bump();
+                Ok(Expr::Bool { value: false, span })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Expr::Ident { name, span })
+            }
+            Tok::LParen => {
+                self.bump();
+                // Cast forms: `(bit<N>) e`, `(bool) e`.
+                if self.at_kw("bit") || self.at_kw("bool") || self.at_kw("int") {
+                    let ty = self.type_ref()?;
+                    self.expect(Tok::RParen)?;
+                    let arg = self.unary()?;
+                    return Ok(Expr::Cast {
+                        ty,
+                        arg: Box::new(arg),
+                        span,
+                    });
+                }
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(Error::new(
+                span,
+                format!("unexpected token in expression: {other:?}"),
+            )),
+        }
+    }
+}
+
+const PREC_OR: u8 = 1;
+const PREC_AND: u8 = 2;
+const PREC_EQ: u8 = 3;
+const PREC_REL: u8 = 4;
+const PREC_BITOR: u8 = 5;
+const PREC_BITXOR: u8 = 6;
+const PREC_BITAND: u8 = 7;
+const PREC_SHIFT: u8 = 8;
+const PREC_ADD: u8 = 9;
+const PREC_MUL: u8 = 10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_header_and_typedef() {
+        let src = r#"
+            typedef bit<32> ip4_addr_t;
+            header ipv4_t { bit<8> ttl; ip4_addr_t srcAddr; }
+        "#;
+        let ast = parse_program(src).unwrap();
+        assert_eq!(ast.decls.len(), 2);
+        match &ast.decls[1] {
+            Decl::Header { name, fields } => {
+                assert_eq!(name, "ipv4_t");
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[0].1, TypeRef::Bit(8));
+                assert_eq!(fields[1].1, TypeRef::Named("ip4_addr_t".into()));
+            }
+            d => panic!("wrong decl {d:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_control_with_table() {
+        let src = r#"
+            control ingress(inout headers hdr) {
+                action set_nhop(bit<32> nhop, bit<9> port) {
+                    hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+                }
+                table ipv4_lpm {
+                    key = { hdr.ipv4.dstAddr: lpm; }
+                    actions = { set_nhop; NoAction; }
+                    default_action = NoAction();
+                    size = 1024;
+                }
+                apply {
+                    if (hdr.ipv4.isValid()) {
+                        ipv4_lpm.apply();
+                    }
+                }
+            }
+        "#;
+        let ast = parse_program(src).unwrap();
+        let Decl::Control { locals, apply, .. } = &ast.decls[0] else {
+            panic!("expected control");
+        };
+        assert_eq!(locals.len(), 2);
+        let CtrlLocal::Table(t) = &locals[1] else {
+            panic!("expected table");
+        };
+        assert_eq!(t.keys.len(), 1);
+        assert_eq!(t.keys[0].1, "lpm");
+        assert_eq!(t.actions, vec!["set_nhop", "NoAction"]);
+        assert_eq!(t.size, Some(1024));
+        assert_eq!(apply.stmts.len(), 1);
+    }
+
+    #[test]
+    fn parse_parser_with_select() {
+        let src = r#"
+            parser P(packet_in pkt, out headers hdr) {
+                state start { transition parse_eth; }
+                state parse_eth {
+                    pkt.extract(hdr.eth);
+                    transition select(hdr.eth.etherType) {
+                        0x800: parse_ipv4;
+                        0x86dd &&& 0xffff: parse_ipv6;
+                        default: accept;
+                    }
+                }
+                state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+                state parse_ipv6 { transition accept; }
+            }
+        "#;
+        let ast = parse_program(src).unwrap();
+        let Decl::Parser { states, .. } = &ast.decls[0] else {
+            panic!();
+        };
+        assert_eq!(states.len(), 4);
+        let Transition::Select { cases, .. } = &states[1].transition else {
+            panic!();
+        };
+        assert_eq!(cases.len(), 3);
+        assert!(matches!(cases[1].keyset[0], Keyset::Mask(..)));
+        assert!(matches!(cases[2].keyset[0], Keyset::Default));
+    }
+
+    #[test]
+    fn parse_expressions_precedence() {
+        let src = "control c() { apply { x = a + b * c | d; } }";
+        let ast = parse_program(src).unwrap();
+        let Decl::Control { apply, .. } = &ast.decls[0] else {
+            panic!();
+        };
+        let Stmt::Assign { rhs, .. } = &apply.stmts[0] else {
+            panic!();
+        };
+        // Top must be BitOr.
+        let Expr::Binary { op, lhs, .. } = rhs else {
+            panic!();
+        };
+        assert_eq!(*op, BinOp::BitOr);
+        let Expr::Binary { op, .. } = lhs.as_ref() else {
+            panic!();
+        };
+        assert_eq!(*op, BinOp::Add);
+    }
+
+    #[test]
+    fn parse_cast_and_ternary() {
+        let src = "control c() { apply { x = (bit<9>) (y > 0 ? y : z); } }";
+        let ast = parse_program(src).unwrap();
+        let Decl::Control { apply, .. } = &ast.decls[0] else {
+            panic!();
+        };
+        let Stmt::Assign { rhs, .. } = &apply.stmts[0] else {
+            panic!();
+        };
+        assert!(matches!(rhs, Expr::Cast { ty: TypeRef::Bit(9), .. }));
+    }
+
+    #[test]
+    fn parse_switch_action_run() {
+        let src = r#"
+            control c() {
+                apply {
+                    switch (t.apply().action_run) {
+                        a1: { x = 1; }
+                        a2:
+                        a3: { x = 2; }
+                        default: { }
+                    }
+                }
+            }
+        "#;
+        let ast = parse_program(src).unwrap();
+        let Decl::Control { apply, .. } = &ast.decls[0] else {
+            panic!();
+        };
+        let Stmt::Switch { cases, .. } = &apply.stmts[0] else {
+            panic!();
+        };
+        assert_eq!(cases.len(), 4); // a1, a2 (shared body), a3, default
+        assert_eq!(cases[0].0.as_deref(), Some("a1"));
+        assert_eq!(cases[1].0.as_deref(), Some("a2"));
+        assert_eq!(cases[3].0, None);
+    }
+
+    #[test]
+    fn parse_register_and_instantiation() {
+        let src = r#"
+            control c() {
+                register<bit<32>>(1024) counts;
+                apply { counts.read(x, (bit<32>)ix); counts.write((bit<32>)ix, x + 1); }
+            }
+            V1Switch(P(), vc(), ingress(), egress(), cc(), D()) main;
+        "#;
+        let ast = parse_program(src).unwrap();
+        assert_eq!(ast.decls.len(), 2);
+        let Decl::Control { locals, .. } = &ast.decls[0] else {
+            panic!();
+        };
+        assert!(matches!(
+            locals[0],
+            CtrlLocal::Register { size: 1024, .. }
+        ));
+        let Decl::Instantiation { package, args, name } = &ast.decls[1] else {
+            panic!();
+        };
+        assert_eq!(package, "V1Switch");
+        assert_eq!(args.len(), 6);
+        assert_eq!(name, "main");
+    }
+
+    #[test]
+    fn parse_slice() {
+        let src = "control c() { apply { x = y[15:8]; } }";
+        let ast = parse_program(src).unwrap();
+        let Decl::Control { apply, .. } = &ast.decls[0] else {
+            panic!();
+        };
+        let Stmt::Assign { rhs, .. } = &apply.stmts[0] else {
+            panic!();
+        };
+        assert!(matches!(rhs, Expr::Slice { hi: 15, lo: 8, .. }));
+    }
+
+    #[test]
+    fn skipped_decls() {
+        let src = r#"
+            error { NoError, PacketTooShort }
+            match_kind { exact, ternary, lpm }
+            extern void mark_to_drop(inout standard_metadata_t std);
+            control c() { apply { } }
+        "#;
+        let ast = parse_program(src).unwrap();
+        assert_eq!(ast.decls.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "control c() {\n  apply {\n    x = ;\n  }\n}";
+        let err = parse_program(src).unwrap_err();
+        assert_eq!(err.span.line, 3);
+    }
+}

@@ -1,0 +1,1346 @@
+//! Name resolution and type checking.
+//!
+//! Produces a [`Program`]: symbol tables for headers/structs/constants, the
+//! parser and control definitions in pipeline order, and a type-query API
+//! ([`Program::type_of`], [`Program::resolve_type`]) that the IR lowering in
+//! `bf4-ir` uses. Every expression in every reachable body is checked here,
+//! so lowering can assume well-typedness.
+//!
+//! The V1Model architecture objects (`standard_metadata_t`, the extern
+//! primitives) are built in.
+
+use crate::ast::{
+    ActionDecl, Ast, BinOp, Block, CtrlLocal, Decl, Expr, Keyset, Param, ParserState,
+    Stmt, TableDecl, Transition, TypeRef, UnOp,
+};
+use crate::error::{Error, Result, Span};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A resolved type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Type {
+    /// Fixed-width unsigned bit-vector.
+    Bit(u32),
+    /// Boolean.
+    Bool,
+    /// Unsized integer literal (coerces to any `Bit`).
+    Int,
+    /// A header instance of the named header type.
+    Header(String),
+    /// A struct instance of the named struct type.
+    Struct(String),
+    /// A header stack: element header type and static size.
+    Stack(String, u32),
+}
+
+impl Type {
+    /// True if a value of type `self` can appear where `other` is expected.
+    pub fn coerces_to(&self, other: &Type) -> bool {
+        self == other
+            || matches!((self, other), (Type::Int, Type::Bit(_)) | (Type::Bit(_), Type::Int))
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Bit(w) => write!(f, "bit<{w}>"),
+            Type::Bool => write!(f, "bool"),
+            Type::Int => write!(f, "int"),
+            Type::Header(n) => write!(f, "header {n}"),
+            Type::Struct(n) => write!(f, "struct {n}"),
+            Type::Stack(n, s) => write!(f, "{n}[{s}]"),
+        }
+    }
+}
+
+/// A register declared in a control.
+#[derive(Clone, Debug)]
+pub struct RegisterDef {
+    /// Instance name.
+    pub name: String,
+    /// Element width in bits.
+    pub width: u32,
+    /// Number of cells.
+    pub size: u64,
+}
+
+/// A checked parser definition.
+#[derive(Clone, Debug)]
+pub struct ParserDef {
+    /// Parser type name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// States (`start` guaranteed present).
+    pub states: Vec<ParserState>,
+}
+
+/// A checked control definition.
+#[derive(Clone, Debug)]
+pub struct ControlDef {
+    /// Control name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Actions by definition order.
+    pub actions: Vec<ActionDecl>,
+    /// Tables by definition order.
+    pub tables: Vec<TableDecl>,
+    /// Registers.
+    pub registers: Vec<RegisterDef>,
+    /// Control-level variable declarations `(name, type, init)`.
+    pub locals: Vec<(String, Type, Option<Expr>)>,
+    /// The apply block.
+    pub apply: Block,
+}
+
+impl ControlDef {
+    /// Look up an action by name.
+    pub fn action(&self, name: &str) -> Option<&ActionDecl> {
+        self.actions.iter().find(|a| a.name == name)
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Option<&TableDecl> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Look up a register by name.
+    pub fn register(&self, name: &str) -> Option<&RegisterDef> {
+        self.registers.iter().find(|r| r.name == name)
+    }
+}
+
+/// The V1Switch pipeline binding (which control plays which role).
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    /// Parser type name.
+    pub parser: String,
+    /// verifyChecksum control.
+    pub verify: String,
+    /// Ingress control.
+    pub ingress: String,
+    /// Egress control.
+    pub egress: String,
+    /// computeChecksum control.
+    pub compute: String,
+    /// Deparser control.
+    pub deparser: String,
+}
+
+/// A checked program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Header types: name → ordered `(field, width)`.
+    pub headers: BTreeMap<String, Vec<(String, u32)>>,
+    /// Struct types: name → ordered `(field, type)`.
+    pub structs: BTreeMap<String, Vec<(String, Type)>>,
+    /// Compile-time constants: name → `(type, value)`.
+    pub consts: BTreeMap<String, (Type, u128)>,
+    /// Typedef table (fully resolved to base types).
+    pub typedefs: BTreeMap<String, Type>,
+    /// Parsers by name.
+    pub parsers: BTreeMap<String, ParserDef>,
+    /// Controls by name.
+    pub controls: BTreeMap<String, ControlDef>,
+    /// The V1Switch binding, if the program instantiates one.
+    pub pipeline: Option<Pipeline>,
+}
+
+/// V1Model `standard_metadata_t` fields (name, width).
+pub const STANDARD_METADATA: &[(&str, u32)] = &[
+    ("ingress_port", 9),
+    ("egress_spec", 9),
+    ("egress_port", 9),
+    ("instance_type", 32),
+    ("packet_length", 32),
+    ("enq_timestamp", 32),
+    ("enq_qdepth", 19),
+    ("deq_timedelta", 32),
+    ("deq_qdepth", 19),
+    ("ingress_global_timestamp", 48),
+    ("egress_global_timestamp", 48),
+    ("mcast_grp", 16),
+    ("egress_rid", 16),
+    ("checksum_error", 1),
+    ("priority", 3),
+];
+
+/// Extern functions accepted as statements (V1Model), with arity bounds.
+const EXTERN_FNS: &[(&str, usize, usize)] = &[
+    ("mark_to_drop", 0, 1),
+    ("drop", 0, 1),
+    ("hash", 4, 6),
+    ("random", 2, 3),
+    ("digest", 1, 2),
+    ("clone", 2, 2),
+    ("clone3", 3, 3),
+    ("clone_preserving_field_list", 3, 3),
+    ("resubmit", 0, 1),
+    ("resubmit_preserving_field_list", 0, 1),
+    ("recirculate", 0, 1),
+    ("recirculate_preserving_field_list", 0, 1),
+    ("truncate", 1, 1),
+    ("verify_checksum", 3, 5),
+    ("update_checksum", 3, 5),
+    ("verify_checksum_with_payload", 3, 5),
+    ("update_checksum_with_payload", 3, 5),
+    ("log_msg", 1, 2),
+    ("assert", 1, 1),
+    ("assume", 1, 1),
+];
+
+/// Match kinds accepted on table keys.
+pub const MATCH_KINDS: &[&str] = &["exact", "ternary", "lpm", "range", "selector", "optional"];
+
+/// Run name resolution and type checking over an AST.
+pub fn check(ast: &Ast) -> Result<Program> {
+    let mut ck = Checker::default();
+    ck.collect(ast)?;
+    ck.check_all()?;
+    Ok(ck.program)
+}
+
+#[derive(Default)]
+struct Checker {
+    program: Program,
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Program {
+            headers: BTreeMap::new(),
+            structs: BTreeMap::new(),
+            consts: BTreeMap::new(),
+            typedefs: BTreeMap::new(),
+            parsers: BTreeMap::new(),
+            controls: BTreeMap::new(),
+            pipeline: None,
+        }
+    }
+}
+
+impl Program {
+    /// Resolve a surface [`TypeRef`] to a [`Type`].
+    pub fn resolve_type(&self, ty: &TypeRef) -> Result<Type> {
+        match ty {
+            TypeRef::Bit(w) => {
+                if *w == 0 || *w > 128 {
+                    return Err(Error::new(
+                        Span::default(),
+                        format!("unsupported bit width {w}"),
+                    ));
+                }
+                Ok(Type::Bit(*w))
+            }
+            TypeRef::Bool => Ok(Type::Bool),
+            TypeRef::Named(n) => {
+                if n == "standard_metadata_t" {
+                    return Ok(Type::Struct("standard_metadata_t".into()));
+                }
+                if let Some(t) = self.typedefs.get(n) {
+                    return Ok(t.clone());
+                }
+                if self.headers.contains_key(n) {
+                    return Ok(Type::Header(n.clone()));
+                }
+                if self.structs.contains_key(n) {
+                    return Ok(Type::Struct(n.clone()));
+                }
+                // opaque architecture types we accept in parameter lists
+                if n == "packet_in" || n == "packet_out" {
+                    return Ok(Type::Struct(n.clone()));
+                }
+                Err(Error::new(
+                    Span::default(),
+                    format!("unknown type `{n}`"),
+                ))
+            }
+            TypeRef::Stack(inner, n) => {
+                let t = self.resolve_type(inner)?;
+                match t {
+                    Type::Header(h) => Ok(Type::Stack(h, *n)),
+                    other => Err(Error::new(
+                        Span::default(),
+                        format!("header stack of non-header type {other}"),
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Fields of a struct type (including the builtin standard metadata).
+    pub fn struct_fields(&self, name: &str) -> Option<Vec<(String, Type)>> {
+        if name == "standard_metadata_t" {
+            return Some(
+                STANDARD_METADATA
+                    .iter()
+                    .map(|(n, w)| (n.to_string(), Type::Bit(*w)))
+                    .collect(),
+            );
+        }
+        self.structs.get(name).cloned()
+    }
+
+    /// Width of a header field.
+    pub fn header_field_width(&self, header: &str, field: &str) -> Option<u32> {
+        self.headers
+            .get(header)?
+            .iter()
+            .find(|(n, _)| n == field)
+            .map(|(_, w)| *w)
+    }
+
+    /// Total width of a header in bits.
+    pub fn header_width(&self, header: &str) -> Option<u32> {
+        Some(self.headers.get(header)?.iter().map(|(_, w)| w).sum())
+    }
+}
+
+impl Checker {
+    fn collect(&mut self, ast: &Ast) -> Result<()> {
+        // Two passes: types first (headers/structs/typedefs/consts may be
+        // referenced before their textual position by our corpus layout),
+        // then parsers/controls.
+        for d in &ast.decls {
+            match d {
+                Decl::Typedef { name, ty } => {
+                    let t = self.program.resolve_type(ty)?;
+                    self.program.typedefs.insert(name.clone(), t);
+                }
+                Decl::Header { name, fields } => {
+                    let mut out = Vec::new();
+                    let mut seen = HashSet::new();
+                    for (fname, fty) in fields {
+                        if !seen.insert(fname.clone()) {
+                            return Err(Error::new(
+                                Span::default(),
+                                format!("duplicate field `{fname}` in header {name}"),
+                            ));
+                        }
+                        match self.program.resolve_type(fty)? {
+                            Type::Bit(w) => out.push((fname.clone(), w)),
+                            Type::Bool => out.push((fname.clone(), 1)),
+                            other => {
+                                return Err(Error::new(
+                                    Span::default(),
+                                    format!(
+                                        "header {name}: field {fname} has non-bit type {other}"
+                                    ),
+                                ))
+                            }
+                        }
+                    }
+                    self.program.headers.insert(name.clone(), out);
+                }
+                Decl::Struct { name, fields } => {
+                    let mut out = Vec::new();
+                    for (fname, fty) in fields {
+                        out.push((fname.clone(), self.program.resolve_type(fty)?));
+                    }
+                    self.program.structs.insert(name.clone(), out);
+                }
+                Decl::Const { name, ty, value } => {
+                    let t = self.program.resolve_type(ty)?;
+                    let v = self.const_eval(value)?;
+                    self.program.consts.insert(name.clone(), (t, v));
+                }
+                _ => {}
+            }
+        }
+        for d in &ast.decls {
+            match d {
+                Decl::Parser {
+                    name,
+                    params,
+                    states,
+                } => {
+                    if !states.is_empty() {
+                        self.program.parsers.insert(
+                            name.clone(),
+                            ParserDef {
+                                name: name.clone(),
+                                params: params.clone(),
+                                states: states.clone(),
+                            },
+                        );
+                    }
+                }
+                Decl::Control {
+                    name,
+                    params,
+                    locals,
+                    apply,
+                } => {
+                    let mut actions = Vec::new();
+                    let mut tables = Vec::new();
+                    let mut registers = Vec::new();
+                    let mut vars = Vec::new();
+                    for l in locals {
+                        match l {
+                            CtrlLocal::Action(a) => actions.push(a.clone()),
+                            CtrlLocal::Table(t) => tables.push(t.clone()),
+                            CtrlLocal::Register { name, elem, size } => {
+                                let width = match self.program.resolve_type(elem)? {
+                                    Type::Bit(w) => w,
+                                    other => {
+                                        return Err(Error::new(
+                                            Span::default(),
+                                            format!("register of non-bit type {other}"),
+                                        ))
+                                    }
+                                };
+                                registers.push(RegisterDef {
+                                    name: name.clone(),
+                                    width,
+                                    size: *size,
+                                });
+                            }
+                            CtrlLocal::OpaqueExtern { .. } => {}
+                            CtrlLocal::Var { ty, name, init } => {
+                                let t = self.program.resolve_type(ty)?;
+                                vars.push((name.clone(), t, init.clone()));
+                            }
+                        }
+                    }
+                    self.program.controls.insert(
+                        name.clone(),
+                        ControlDef {
+                            name: name.clone(),
+                            params: params.clone(),
+                            actions,
+                            tables,
+                            registers,
+                            locals: vars,
+                            apply: apply.clone(),
+                        },
+                    );
+                }
+                Decl::Instantiation {
+                    package,
+                    args,
+                    name: _,
+                } => {
+                    if package == "V1Switch" {
+                        if args.len() != 6 {
+                            return Err(Error::new(
+                                Span::default(),
+                                format!("V1Switch expects 6 arguments, got {}", args.len()),
+                            ));
+                        }
+                        self.program.pipeline = Some(Pipeline {
+                            parser: args[0].clone(),
+                            verify: args[1].clone(),
+                            ingress: args[2].clone(),
+                            egress: args[3].clone(),
+                            compute: args[4].clone(),
+                            deparser: args[5].clone(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate a compile-time constant expression.
+    fn const_eval(&self, e: &Expr) -> Result<u128> {
+        match e {
+            Expr::Number { value, .. } => Ok(*value),
+            Expr::Bool { value, .. } => Ok(u128::from(*value)),
+            Expr::Ident { name, span } => self
+                .program
+                .consts
+                .get(name)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| Error::new(*span, format!("unknown constant `{name}`"))),
+            Expr::Binary { op, lhs, rhs, span } => {
+                let a = self.const_eval(lhs)?;
+                let b = self.const_eval(rhs)?;
+                Ok(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Shl => a << b,
+                    BinOp::Shr => a >> b,
+                    BinOp::BitAnd => a & b,
+                    BinOp::BitOr => a | b,
+                    BinOp::BitXor => a ^ b,
+                    _ => {
+                        return Err(Error::new(
+                            *span,
+                            "unsupported operator in constant expression",
+                        ))
+                    }
+                })
+            }
+            Expr::Cast { arg, .. } => self.const_eval(arg),
+            other => Err(Error::new(
+                other.span(),
+                "expression is not compile-time constant",
+            )),
+        }
+    }
+
+    fn check_all(&mut self) -> Result<()> {
+        let parsers: Vec<ParserDef> = self.program.parsers.values().cloned().collect();
+        for p in &parsers {
+            self.check_parser(p)?;
+        }
+        let controls: Vec<ControlDef> = self.program.controls.values().cloned().collect();
+        for c in &controls {
+            self.check_control(c)?;
+        }
+        if let Some(pl) = self.program.pipeline.clone() {
+            for (role, n) in [
+                ("parser", &pl.parser),
+                ("verifyChecksum", &pl.verify),
+                ("ingress", &pl.ingress),
+                ("egress", &pl.egress),
+                ("computeChecksum", &pl.compute),
+                ("deparser", &pl.deparser),
+            ] {
+                let known = if role == "parser" {
+                    self.program.parsers.contains_key(n)
+                } else {
+                    self.program.controls.contains_key(n)
+                };
+                if !known {
+                    return Err(Error::new(
+                        Span::default(),
+                        format!("pipeline {role} `{n}` is not defined"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn base_env(&self, params: &[Param]) -> Result<HashMap<String, Type>> {
+        let mut env = HashMap::new();
+        for p in params {
+            let t = self.program.resolve_type(&p.ty)?;
+            env.insert(p.name.clone(), t);
+        }
+        for (n, (t, _)) in &self.program.consts {
+            env.entry(n.clone()).or_insert_with(|| t.clone());
+        }
+        Ok(env)
+    }
+
+    fn check_parser(&mut self, p: &ParserDef) -> Result<()> {
+        let env = self.base_env(&p.params)?;
+        let state_names: HashSet<&str> = p.states.iter().map(|s| s.name.as_str()).collect();
+        if !state_names.contains("start") {
+            return Err(Error::new(
+                Span::default(),
+                format!("parser {}: missing `start` state", p.name),
+            ));
+        }
+        for st in &p.states {
+            let mut local = env.clone();
+            for s in &st.stmts {
+                self.check_stmt(s, &mut local, None)?;
+            }
+            match &st.transition {
+                Transition::Direct(next) => {
+                    if next != "accept" && next != "reject" && !state_names.contains(next.as_str())
+                    {
+                        return Err(Error::new(
+                            Span::default(),
+                            format!("parser {}: unknown state `{next}`", p.name),
+                        ));
+                    }
+                }
+                Transition::Select { exprs, cases } => {
+                    for e in exprs {
+                        let t = self.type_of(e, &local)?;
+                        if !matches!(t, Type::Bit(_) | Type::Bool | Type::Int) {
+                            return Err(Error::new(
+                                e.span(),
+                                format!("select on non-scalar type {t}"),
+                            ));
+                        }
+                    }
+                    for c in cases {
+                        if c.keyset.len() != exprs.len() && !matches!(c.keyset[..], [Keyset::Default])
+                        {
+                            return Err(Error::new(
+                                Span::default(),
+                                "select arm arity mismatch",
+                            ));
+                        }
+                        if c.next != "accept"
+                            && c.next != "reject"
+                            && !state_names.contains(c.next.as_str())
+                        {
+                            return Err(Error::new(
+                                Span::default(),
+                                format!("parser {}: unknown state `{}`", p.name, c.next),
+                            ));
+                        }
+                        for k in &c.keyset {
+                            match k {
+                                Keyset::Value(e) | Keyset::Mask(e, _) => {
+                                    let _ = self.const_eval(e)?;
+                                }
+                                Keyset::Default => {}
+                            }
+                            if let Keyset::Mask(_, m) = k {
+                                let _ = self.const_eval(m)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_control(&mut self, c: &ControlDef) -> Result<()> {
+        let mut env = self.base_env(&c.params)?;
+        for (n, t, init) in &c.locals {
+            if let Some(e) = init {
+                let it = self.type_of(e, &env)?;
+                if !it.coerces_to(t) {
+                    return Err(Error::new(
+                        e.span(),
+                        format!("initializer type {it} does not match {t}"),
+                    ));
+                }
+            }
+            env.insert(n.clone(), t.clone());
+        }
+        // actions
+        for a in &c.actions {
+            let mut aenv = env.clone();
+            for p in &a.params {
+                let t = self.program.resolve_type(&p.ty)?;
+                aenv.insert(p.name.clone(), t);
+            }
+            let mut scoped = aenv;
+            self.check_block(&a.body, &mut scoped, Some(c))?;
+        }
+        // tables
+        for t in &c.tables {
+            for (e, kind) in &t.keys {
+                let kt = self.type_of(e, &env)?;
+                if !matches!(kt, Type::Bit(_) | Type::Bool) {
+                    return Err(Error::new(
+                        e.span(),
+                        format!("table {}: key has non-scalar type {kt}", t.name),
+                    ));
+                }
+                if !MATCH_KINDS.contains(&kind.as_str()) {
+                    return Err(Error::new(
+                        t.span,
+                        format!("table {}: unknown match kind `{kind}`", t.name),
+                    ));
+                }
+            }
+            for a in &t.actions {
+                if a != "NoAction" && c.action(a).is_none() {
+                    return Err(Error::new(
+                        t.span,
+                        format!("table {}: unknown action `{a}`", t.name),
+                    ));
+                }
+            }
+            if let Some((a, args)) = &t.default_action {
+                if a != "NoAction" && !t.actions.contains(a) {
+                    return Err(Error::new(
+                        t.span,
+                        format!("table {}: default action `{a}` not in actions list", t.name),
+                    ));
+                }
+                for arg in args {
+                    let _ = self.const_eval(arg)?;
+                }
+            }
+        }
+        let mut scoped = env;
+        self.check_block(&c.apply, &mut scoped, Some(c))?;
+        Ok(())
+    }
+
+    fn check_block(
+        &mut self,
+        b: &Block,
+        env: &mut HashMap<String, Type>,
+        ctrl: Option<&ControlDef>,
+    ) -> Result<()> {
+        for s in &b.stmts {
+            self.check_stmt(s, env, ctrl)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(
+        &mut self,
+        s: &Stmt,
+        env: &mut HashMap<String, Type>,
+        ctrl: Option<&ControlDef>,
+    ) -> Result<()> {
+        match s {
+            Stmt::Assign { lhs, rhs, span } => {
+                let lt = self.type_of(lhs, env)?;
+                let rt = self.type_of(rhs, env)?;
+                let compatible = rt.coerces_to(&lt)
+                    // header-to-header copy is allowed
+                    || matches!((&lt, &rt), (Type::Header(a), Type::Header(b)) if a == b);
+                if !compatible {
+                    return Err(Error::new(
+                        *span,
+                        format!("cannot assign {rt} to {lt}"),
+                    ));
+                }
+                self.check_lvalue(lhs)?;
+                Ok(())
+            }
+            Stmt::Call { call, span } => self.check_call_stmt(call, env, ctrl, *span),
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => {
+                let t = self.type_of(cond, env)?;
+                if t != Type::Bool {
+                    return Err(Error::new(*span, format!("if condition has type {t}")));
+                }
+                self.check_block(then_blk, &mut env.clone(), ctrl)?;
+                self.check_block(else_blk, &mut env.clone(), ctrl)?;
+                Ok(())
+            }
+            Stmt::Switch { expr, cases, span } => {
+                // Must be `<table>.apply().action_run`.
+                let table = switch_table_name(expr).ok_or_else(|| {
+                    Error::new(*span, "switch scrutinee must be table.apply().action_run")
+                })?;
+                let ctrl = ctrl.ok_or_else(|| Error::new(*span, "switch outside control"))?;
+                let tdecl = ctrl
+                    .table(&table)
+                    .ok_or_else(|| Error::new(*span, format!("unknown table `{table}`")))?
+                    .clone();
+                for (label, body) in cases {
+                    if let Some(l) = label {
+                        if !tdecl.actions.contains(l) {
+                            return Err(Error::new(
+                                *span,
+                                format!("switch case `{l}` is not an action of `{table}`"),
+                            ));
+                        }
+                    }
+                    self.check_block(body, &mut env.clone(), Some(ctrl))?;
+                }
+                Ok(())
+            }
+            Stmt::Block(b) => self.check_block(b, &mut env.clone(), ctrl),
+            Stmt::Var {
+                ty,
+                name,
+                init,
+                span,
+            } => {
+                let t = self.program.resolve_type(ty)?;
+                if let Some(e) = init {
+                    let it = self.type_of(e, env)?;
+                    if !it.coerces_to(&t) {
+                        return Err(Error::new(
+                            *span,
+                            format!("initializer type {it} does not match {t}"),
+                        ));
+                    }
+                }
+                env.insert(name.clone(), t);
+                Ok(())
+            }
+            Stmt::Exit { .. } | Stmt::Return { .. } => Ok(()),
+        }
+    }
+
+    fn check_lvalue(&self, e: &Expr) -> Result<()> {
+        match e {
+            Expr::Ident { .. } | Expr::Member { .. } | Expr::Index { .. } | Expr::Slice { .. } => {
+                Ok(())
+            }
+            other => Err(Error::new(other.span(), "not an l-value")),
+        }
+    }
+
+    fn check_call_stmt(
+        &mut self,
+        call: &Expr,
+        env: &mut HashMap<String, Type>,
+        ctrl: Option<&ControlDef>,
+        span: Span,
+    ) -> Result<()> {
+        let Expr::Call { func, args, .. } = call else {
+            return Err(Error::new(span, "expected call"));
+        };
+        match func.as_ref() {
+            // free function: extern
+            Expr::Ident { name, .. } => {
+                if let Some((_, lo, hi)) = EXTERN_FNS.iter().find(|(n, _, _)| n == name) {
+                    if args.len() < *lo || args.len() > *hi {
+                        return Err(Error::new(
+                            span,
+                            format!("extern `{name}` arity {} not in {lo}..={hi}", args.len()),
+                        ));
+                    }
+                    for a in args {
+                        let _ = self.type_of(a, env)?;
+                    }
+                    return Ok(());
+                }
+                // direct action invocation inside apply
+                if let Some(c) = ctrl {
+                    if let Some(ad) = c.action(name) {
+                        if ad.params.len() != args.len() {
+                            return Err(Error::new(
+                                span,
+                                format!(
+                                    "action `{name}` expects {} arguments, got {}",
+                                    ad.params.len(),
+                                    args.len()
+                                ),
+                            ));
+                        }
+                        for (p, a) in ad.params.iter().zip(args) {
+                            let pt = self.program.resolve_type(&p.ty)?;
+                            let at = self.type_of(a, env)?;
+                            if !at.coerces_to(&pt) {
+                                return Err(Error::new(
+                                    a.span(),
+                                    format!("argument type {at} does not match {pt}"),
+                                ));
+                            }
+                        }
+                        return Ok(());
+                    }
+                    if name == "NoAction" {
+                        return Ok(());
+                    }
+                }
+                Err(Error::new(span, format!("unknown function `{name}`")))
+            }
+            // method call: receiver.method(args)
+            Expr::Member { base, member, .. } => {
+                self.check_method(base, member, args, env, ctrl, span)
+            }
+            _ => Err(Error::new(span, "unsupported call form")),
+        }
+    }
+
+    fn check_method(
+        &mut self,
+        base: &Expr,
+        method: &str,
+        args: &[Expr],
+        env: &mut HashMap<String, Type>,
+        ctrl: Option<&ControlDef>,
+        span: Span,
+    ) -> Result<()> {
+        // table.apply()
+        if let Expr::Ident { name, .. } = base {
+            if let Some(c) = ctrl {
+                if c.table(name).is_some() {
+                    if method != "apply" || !args.is_empty() {
+                        return Err(Error::new(
+                            span,
+                            format!("table `{name}` only supports .apply()"),
+                        ));
+                    }
+                    return Ok(());
+                }
+                if let Some(r) = c.register(name) {
+                    match method {
+                        "read" => {
+                            if args.len() != 2 {
+                                return Err(Error::new(span, "register.read(dst, index)"));
+                            }
+                            let dt = self.type_of(&args[0], env)?;
+                            if !dt.coerces_to(&Type::Bit(r.width)) {
+                                return Err(Error::new(
+                                    args[0].span(),
+                                    format!("register read target {dt} != bit<{}>", r.width),
+                                ));
+                            }
+                            self.check_lvalue(&args[0])?;
+                            let _ = self.type_of(&args[1], env)?;
+                            return Ok(());
+                        }
+                        "write" => {
+                            if args.len() != 2 {
+                                return Err(Error::new(span, "register.write(index, value)"));
+                            }
+                            let _ = self.type_of(&args[0], env)?;
+                            let vt = self.type_of(&args[1], env)?;
+                            if !vt.coerces_to(&Type::Bit(r.width)) {
+                                return Err(Error::new(
+                                    args[1].span(),
+                                    format!("register write value {vt} != bit<{}>", r.width),
+                                ));
+                            }
+                            return Ok(());
+                        }
+                        _ => {
+                            return Err(Error::new(
+                                span,
+                                format!("register `{name}` has no method `{method}`"),
+                            ))
+                        }
+                    }
+                }
+            }
+            // packet_in / packet_out methods
+            if let Some(Type::Struct(s)) = env.get(name) {
+                if s == "packet_in" {
+                    match method {
+                        "extract" => {
+                            if args.len() != 1 {
+                                return Err(Error::new(span, "extract takes one argument"));
+                            }
+                            let t = self.type_of(&args[0], env)?;
+                            if !matches!(t, Type::Header(_)) {
+                                return Err(Error::new(
+                                    args[0].span(),
+                                    format!("extract target must be a header, got {t}"),
+                                ));
+                            }
+                            return Ok(());
+                        }
+                        "advance" | "lookahead" => {
+                            for a in args {
+                                let _ = self.type_of(a, env)?;
+                            }
+                            return Ok(());
+                        }
+                        _ => {
+                            return Err(Error::new(
+                                span,
+                                format!("packet_in has no method `{method}`"),
+                            ))
+                        }
+                    }
+                }
+                if s == "packet_out" {
+                    if method == "emit" {
+                        for a in args {
+                            let _ = self.type_of(a, env)?;
+                        }
+                        return Ok(());
+                    }
+                    return Err(Error::new(
+                        span,
+                        format!("packet_out has no method `{method}`"),
+                    ));
+                }
+            }
+        }
+        // header methods
+        let bt = self.type_of(base, env)?;
+        match (&bt, method) {
+            (Type::Header(_), "setValid") | (Type::Header(_), "setInvalid") => {
+                if !args.is_empty() {
+                    return Err(Error::new(span, format!("{method} takes no arguments")));
+                }
+                Ok(())
+            }
+            (Type::Stack(..), "push_front") | (Type::Stack(..), "pop_front") => {
+                if args.len() != 1 {
+                    return Err(Error::new(span, format!("{method} takes one argument")));
+                }
+                let _ = self.const_eval(&args[0])?;
+                Ok(())
+            }
+            _ => Err(Error::new(
+                span,
+                format!("type {bt} has no method `{method}`"),
+            )),
+        }
+    }
+
+    /// Type of an expression under an environment.
+    fn type_of(&self, e: &Expr, env: &HashMap<String, Type>) -> Result<Type> {
+        match e {
+            Expr::Number { width, .. } => Ok(match width {
+                Some(w) => Type::Bit(*w),
+                None => Type::Int,
+            }),
+            Expr::Bool { .. } => Ok(Type::Bool),
+            Expr::Ident { name, span } => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| Error::new(*span, format!("unknown identifier `{name}`"))),
+            Expr::Member { base, member, span } => {
+                // calls like x.isValid() are handled at Call; here plain field access
+                let bt = self.type_of(base, env)?;
+                match &bt {
+                    Type::Header(h) => self
+                        .program
+                        .header_field_width(h, member)
+                        .map(Type::Bit)
+                        .ok_or_else(|| {
+                            Error::new(*span, format!("header {h} has no field `{member}`"))
+                        }),
+                    Type::Struct(s) => {
+                        let fields = self.program.struct_fields(s).ok_or_else(|| {
+                            Error::new(*span, format!("unknown struct `{s}`"))
+                        })?;
+                        fields
+                            .iter()
+                            .find(|(n, _)| n == member)
+                            .map(|(_, t)| t.clone())
+                            .ok_or_else(|| {
+                                Error::new(*span, format!("struct {s} has no field `{member}`"))
+                            })
+                    }
+                    Type::Stack(h, n) => match member.as_str() {
+                        "next" | "last" => Ok(Type::Header(h.clone())),
+                        "lastIndex" => Ok(Type::Bit(32)),
+                        "size" => {
+                            let _ = n;
+                            Ok(Type::Bit(32))
+                        }
+                        _ => Err(Error::new(
+                            *span,
+                            format!("stack has no member `{member}`"),
+                        )),
+                    },
+                    other => Err(Error::new(
+                        *span,
+                        format!("member access on non-aggregate type {other}"),
+                    )),
+                }
+            }
+            Expr::Index { base, index, span } => {
+                let bt = self.type_of(base, env)?;
+                let it = self.type_of(index, env)?;
+                if !matches!(it, Type::Bit(_) | Type::Int) {
+                    return Err(Error::new(*span, format!("index has type {it}")));
+                }
+                match bt {
+                    Type::Stack(h, _) => Ok(Type::Header(h)),
+                    other => Err(Error::new(
+                        *span,
+                        format!("indexing non-stack type {other}"),
+                    )),
+                }
+            }
+            Expr::Slice { base, hi, lo, span } => {
+                let bt = self.type_of(base, env)?;
+                match bt {
+                    Type::Bit(w) if *hi < w && lo <= hi => Ok(Type::Bit(hi - lo + 1)),
+                    Type::Bit(w) => Err(Error::new(
+                        *span,
+                        format!("slice [{hi}:{lo}] out of bit<{w}>"),
+                    )),
+                    other => Err(Error::new(*span, format!("slicing type {other}"))),
+                }
+            }
+            Expr::Call { func, args, span } => {
+                // isValid() is the only call producing a value in our subset
+                // (plus table.apply().hit/action_run handled structurally).
+                if let Expr::Member { base, member, .. } = func.as_ref() {
+                    if member == "isValid" {
+                        if !args.is_empty() {
+                            return Err(Error::new(*span, "isValid takes no arguments"));
+                        }
+                        let bt = self.type_of(base, env)?;
+                        if !matches!(bt, Type::Header(_)) {
+                            return Err(Error::new(
+                                *span,
+                                format!("isValid on non-header {bt}"),
+                            ));
+                        }
+                        return Ok(Type::Bool);
+                    }
+                    if member == "apply" {
+                        // table.apply() used in expression position: returns a
+                        // pseudo-struct with `.hit`/`.miss`/`.action_run`.
+                        return Ok(Type::Struct("!apply_result".into()));
+                    }
+                    if member == "lookahead" {
+                        return Ok(Type::Bit(32));
+                    }
+                }
+                Err(Error::new(*span, "call does not produce a value"))
+            }
+            Expr::Unary { op, arg, span } => {
+                let t = self.type_of(arg, env)?;
+                match op {
+                    UnOp::Not => {
+                        if t == Type::Bool {
+                            Ok(Type::Bool)
+                        } else {
+                            Err(Error::new(*span, format!("! on non-bool {t}")))
+                        }
+                    }
+                    UnOp::BitNot | UnOp::Neg => match t {
+                        Type::Bit(w) => Ok(Type::Bit(w)),
+                        Type::Int => Ok(Type::Int),
+                        other => Err(Error::new(*span, format!("bit op on {other}"))),
+                    },
+                }
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let lt = self.type_of(lhs, env)?;
+                let rt = self.type_of(rhs, env)?;
+                let unified = unify(&lt, &rt).ok_or_else(|| {
+                    Error::new(*span, format!("operands {lt} and {rt} do not unify"))
+                })?;
+                match op {
+                    BinOp::And | BinOp::Or => {
+                        if unified == Type::Bool {
+                            Ok(Type::Bool)
+                        } else {
+                            Err(Error::new(*span, format!("logical op on {unified}")))
+                        }
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        // headers compare by validity+fields; we allow scalars
+                        // and bools here.
+                        Ok(Type::Bool)
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match unified {
+                        Type::Bit(_) | Type::Int => Ok(Type::Bool),
+                        other => Err(Error::new(*span, format!("comparison on {other}"))),
+                    },
+                    BinOp::Concat => match (&lt, &rt) {
+                        (Type::Bit(a), Type::Bit(b)) => Ok(Type::Bit(a + b)),
+                        _ => Err(Error::new(*span, "++ requires sized operands")),
+                    },
+                    _ => match unified {
+                        Type::Bit(w) => Ok(Type::Bit(w)),
+                        Type::Int => Ok(Type::Int),
+                        other => Err(Error::new(*span, format!("arithmetic on {other}"))),
+                    },
+                }
+            }
+            Expr::Ternary {
+                cond,
+                then_e,
+                else_e,
+                span,
+            } => {
+                let ct = self.type_of(cond, env)?;
+                if ct != Type::Bool {
+                    return Err(Error::new(*span, format!("?: condition has type {ct}")));
+                }
+                let tt = self.type_of(then_e, env)?;
+                let et = self.type_of(else_e, env)?;
+                unify(&tt, &et)
+                    .ok_or_else(|| Error::new(*span, format!("?: branches {tt} vs {et}")))
+            }
+            Expr::Cast { ty, arg, span } => {
+                let t = self.program.resolve_type(ty)?;
+                let at = self.type_of(arg, env)?;
+                match (&t, &at) {
+                    (Type::Bit(_), Type::Bit(_))
+                    | (Type::Bit(_), Type::Int)
+                    | (Type::Bit(_), Type::Bool)
+                    | (Type::Bool, Type::Bit(1)) => Ok(t),
+                    _ => Err(Error::new(*span, format!("cannot cast {at} to {t}"))),
+                }
+            }
+        }
+    }
+}
+
+/// If `e` is `<table>.apply().action_run`, return the table name.
+pub fn switch_table_name(e: &Expr) -> Option<String> {
+    let Expr::Member { base, member, .. } = e else {
+        return None;
+    };
+    if member != "action_run" {
+        return None;
+    }
+    let Expr::Call { func, .. } = base.as_ref() else {
+        return None;
+    };
+    let Expr::Member { base, member, .. } = func.as_ref() else {
+        return None;
+    };
+    if member != "apply" {
+        return None;
+    }
+    let Expr::Ident { name, .. } = base.as_ref() else {
+        return None;
+    };
+    Some(name.clone())
+}
+
+/// Unify two scalar types (Int coerces to Bit).
+fn unify(a: &Type, b: &Type) -> Option<Type> {
+    if a == b {
+        return Some(a.clone());
+    }
+    match (a, b) {
+        (Type::Int, Type::Bit(w)) | (Type::Bit(w), Type::Int) => Some(Type::Bit(*w)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn ck(src: &str) -> Result<Program> {
+        check(&parse_program(src).unwrap())
+    }
+
+    const SMALL: &str = r#"
+        typedef bit<32> ip4_t;
+        const bit<16> TYPE_IPV4 = 0x800;
+        header eth_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+        header ipv4_t { bit<8> ttl; ip4_t srcAddr; ip4_t dstAddr; }
+        struct headers { eth_t eth; ipv4_t ipv4; }
+        struct meta_t { bit<8> x; }
+        parser P(packet_in pkt, out headers hdr, inout meta_t meta, inout standard_metadata_t sm) {
+            state start {
+                pkt.extract(hdr.eth);
+                transition select(hdr.eth.etherType) {
+                    TYPE_IPV4: parse_ipv4;
+                    default: accept;
+                }
+            }
+            state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+        }
+        control I(inout headers hdr, inout meta_t meta, inout standard_metadata_t sm) {
+            action set_ttl(bit<8> t) { hdr.ipv4.ttl = t; }
+            action nop() { }
+            table t1 {
+                key = { hdr.ipv4.dstAddr: lpm; hdr.ipv4.isValid(): exact; }
+                actions = { set_ttl; nop; }
+                default_action = nop();
+            }
+            apply {
+                if (hdr.ipv4.isValid()) { t1.apply(); }
+                sm.egress_spec = 9w1;
+            }
+        }
+        control E(inout headers hdr, inout meta_t meta, inout standard_metadata_t sm) { apply {} }
+        control V(inout headers hdr, inout meta_t meta) { apply {} }
+        control C(inout headers hdr, inout meta_t meta) { apply {} }
+        control D(packet_out pkt, in headers hdr) { apply { pkt.emit(hdr.eth); } }
+        V1Switch(P(), V(), I(), E(), C(), D()) main;
+    "#;
+
+    #[test]
+    fn small_program_checks() {
+        let p = ck(SMALL).unwrap();
+        assert_eq!(p.headers.len(), 2);
+        assert_eq!(p.headers["ipv4_t"].len(), 3);
+        assert_eq!(p.headers["ipv4_t"][1], ("srcAddr".to_string(), 32));
+        assert!(p.pipeline.is_some());
+        let pl = p.pipeline.as_ref().unwrap();
+        assert_eq!(pl.ingress, "I");
+        assert_eq!(p.consts["TYPE_IPV4"].1, 0x800);
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let src = SMALL.replace("hdr.ipv4.ttl = t;", "hdr.ipv4.bogus = t;");
+        let err = ck(&src).unwrap_err();
+        assert!(err.message.contains("no field"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_state_rejected() {
+        let src = SMALL.replace("transition select", "transition bogus; } state dead { transition select");
+        assert!(ck(&src).is_err());
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let src = SMALL.replace("sm.egress_spec = 9w1;", "sm.egress_spec = 16w1;");
+        let err = ck(&src).unwrap_err();
+        assert!(err.message.contains("assign"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_action_in_table_rejected() {
+        let src = SMALL.replace("actions = { set_ttl; nop; }", "actions = { set_ttl; ghost; }");
+        let err = ck(&src).unwrap_err();
+        assert!(err.message.contains("unknown action"), "{}", err.message);
+    }
+
+    #[test]
+    fn bad_match_kind_rejected() {
+        let src = SMALL.replace("dstAddr: lpm;", "dstAddr: fuzzy;");
+        let err = ck(&src).unwrap_err();
+        assert!(err.message.contains("match kind"), "{}", err.message);
+    }
+
+    #[test]
+    fn if_on_non_bool_rejected() {
+        let src = SMALL.replace("if (hdr.ipv4.isValid())", "if (hdr.ipv4.ttl)");
+        assert!(ck(&src).is_err());
+    }
+
+    #[test]
+    fn missing_start_state_rejected() {
+        let src = SMALL.replace("state start", "state begin");
+        let err = ck(&src).unwrap_err();
+        assert!(err.message.contains("start"), "{}", err.message);
+    }
+
+    #[test]
+    fn int_literal_coerces() {
+        // `hdr.ipv4.ttl = 64;` — unsized literal into bit<8>.
+        let src = SMALL.replace("hdr.ipv4.ttl = t;", "hdr.ipv4.ttl = 64;");
+        assert!(ck(&src).is_ok());
+    }
+
+    #[test]
+    fn const_expression_folding() {
+        let src = "const bit<16> A = 0x10 + 0x2; const bit<16> B = A << 1;";
+        let p = ck(src).unwrap();
+        assert_eq!(p.consts["A"].1, 0x12);
+        assert_eq!(p.consts["B"].1, 0x24);
+    }
+
+    #[test]
+    fn register_ops_check() {
+        let src = r#"
+            struct h {} struct m { bit<32> idx; bit<32> val; }
+            control I(inout h hdr, inout m meta, inout standard_metadata_t sm) {
+                register<bit<32>>(128) r;
+                apply {
+                    r.read(meta.val, meta.idx);
+                    r.write(meta.idx, meta.val + 1);
+                }
+            }
+        "#;
+        assert!(ck(src).is_ok());
+        let bad = src.replace("r.read(meta.val, meta.idx);", "r.read(meta.idx);");
+        assert!(ck(&bad).is_err());
+    }
+
+    #[test]
+    fn stack_member_access() {
+        let src = r#"
+            header vlan_t { bit<3> pcp; bit<1> cfi; bit<12> vid; bit<16> etherType; }
+            struct h { vlan_t[2] vlan; }
+            struct m {}
+            control I(inout h hdr, inout m meta, inout standard_metadata_t sm) {
+                apply {
+                    if (hdr.vlan[0].isValid()) {
+                        hdr.vlan[1].pcp = hdr.vlan[0].pcp;
+                    }
+                }
+            }
+        "#;
+        assert!(ck(src).is_ok());
+    }
+
+    #[test]
+    fn v1switch_role_must_exist() {
+        let src = "control I(inout standard_metadata_t sm) { apply {} } V1Switch(P(), V(), I(), E(), C(), D()) main;";
+        assert!(ck(src).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Frontend robustness: the lexer/parser/typechecker must return errors —
+//! never panic — on arbitrarily mutated inputs. Seeds come from a real
+//! program so mutations explore near-valid syntax.
+
+use proptest::prelude::*;
+
+const SEED: &str = r#"
+    header h_t { bit<8> f; }
+    struct headers { h_t h; }
+    struct meta_t { bit<8> m; }
+    parser P(packet_in pkt, out headers hdr, inout meta_t meta, inout standard_metadata_t sm) {
+        state start { pkt.extract(hdr.h); transition accept; }
+    }
+    control I(inout headers hdr, inout meta_t meta, inout standard_metadata_t sm) {
+        action a(bit<9> p) { sm.egress_spec = p; }
+        table t { key = { hdr.h.f: exact; } actions = { a; } default_action = a(0); }
+        apply { t.apply(); }
+    }
+    control E(inout headers hdr, inout meta_t meta, inout standard_metadata_t sm) { apply {} }
+    control V(inout headers hdr, inout meta_t meta) { apply {} }
+    control C(inout headers hdr, inout meta_t meta) { apply {} }
+    control D(packet_out pkt, in headers hdr) { apply {} }
+    V1Switch(P(), V(), I(), E(), C(), D()) main;
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn truncation_never_panics(cut in 0usize..SEED.len()) {
+        // Cut at a char boundary.
+        let mut cut = cut;
+        while !SEED.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = bf4_p4::frontend(&SEED[..cut]);
+    }
+
+    #[test]
+    fn byte_flips_never_panic(pos in 0usize..SEED.len(), repl in proptest::char::range('!', '~')) {
+        let mut s: Vec<char> = SEED.chars().collect();
+        if pos < s.len() {
+            s[pos] = repl;
+        }
+        let mutated: String = s.into_iter().collect();
+        let _ = bf4_p4::frontend(&mutated);
+    }
+
+    #[test]
+    fn token_deletion_never_panics(skip in 0usize..64) {
+        // Delete the skip-th whitespace-separated token.
+        let tokens: Vec<&str> = SEED.split_whitespace().collect();
+        let mutated: String = tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip % tokens.len())
+            .map(|(_, t)| *t)
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = bf4_p4::frontend(&mutated);
+    }
+
+    #[test]
+    fn random_ascii_never_panics(s in "[ -~\\n]{0,400}") {
+        let _ = bf4_p4::frontend(&s);
+    }
+}
+
+#[test]
+fn seed_itself_is_valid() {
+    bf4_p4::frontend(SEED).unwrap();
+}

@@ -1,0 +1,188 @@
+//! A simulated ONOS-like controller generating dataplane-update workloads.
+//!
+//! Stands in for the paper's "production traces containing 2000 updates to
+//! the dataplane" (§5.3): a seeded generator produces a stream of
+//! P4Runtime-style updates across the asserted tables, with a configurable
+//! fraction of *faulty* rules (rules that violate an inferred annotation,
+//! e.g. the §2.1 invalid-validity/non-zero-mask combination) so benchmarks
+//! exercise both the accept and the reject paths.
+
+use crate::{RuleUpdate, Update};
+use bf4_core::specs::{AnnotationFile, TableDescriptor};
+use bf4_smt::Sort;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Workload configuration.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of updates to generate.
+    pub updates: usize,
+    /// Probability of intentionally generating a faulty rule
+    /// (`0.0..=1.0`).
+    pub faulty_fraction: f64,
+    /// Probability of a delete (of a previously issued insert).
+    pub delete_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            updates: 2000,
+            faulty_fraction: 0.1,
+            delete_fraction: 0.1,
+            seed: 0xbf4,
+        }
+    }
+}
+
+/// The simulated controller.
+pub struct Controller {
+    tables: Vec<TableDescriptor>,
+    rng: StdRng,
+    config: WorkloadConfig,
+    issued: Vec<(String, usize)>,
+    next_id: usize,
+    counter: u64,
+}
+
+impl Controller {
+    /// Build a controller over the tables of an annotation file.
+    pub fn new(annotations: &AnnotationFile, config: WorkloadConfig) -> Controller {
+        Controller {
+            tables: annotations.tables.clone(),
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            issued: Vec::new(),
+            next_id: 0,
+            counter: 0,
+        }
+    }
+
+    /// Generate the full workload.
+    pub fn workload(&mut self) -> Vec<Update> {
+        (0..self.config.updates).map(|_| self.next_update()).collect()
+    }
+
+    /// Generate one update.
+    pub fn next_update(&mut self) -> Update {
+        if !self.issued.is_empty() && self.rng.random::<f64>() < self.config.delete_fraction {
+            let i = (self.rng.random::<u64>() as usize) % self.issued.len();
+            let (table, rule_id) = self.issued.swap_remove(i);
+            return Update::Delete { table, rule_id };
+        }
+        let ti = (self.rng.random::<u64>() as usize) % self.tables.len().max(1);
+        let desc = self.tables[ti].clone();
+        let faulty = self.rng.random::<f64>() < self.config.faulty_fraction;
+        let rule = self.generate_rule(&desc, faulty);
+        let table = desc.qualified();
+        // Track for possible deletion (assume acceptance; the driver of the
+        // workload records real ids).
+        self.issued.push((table.clone(), self.next_id));
+        self.next_id += 1;
+        Update::Insert { table, rule }
+    }
+
+    /// Generate a rule; when `faulty`, zero out every validity key while
+    /// keeping masks non-zero — the §2.1 bug pattern the annotations block.
+    fn generate_rule(&mut self, desc: &TableDescriptor, faulty: bool) -> RuleUpdate {
+        self.counter += 1;
+        let mut key_values = Vec::new();
+        let mut key_masks = Vec::new();
+        for k in &desc.keys {
+            let w = match k.sort {
+                Sort::Bool => 1,
+                Sort::Bv(w) => w,
+            };
+            let maxval = if w >= 128 { u128::MAX } else { (1u128 << w) - 1 };
+            let is_validity = k.source.ends_with(".isValid()");
+            let value = if is_validity {
+                u128::from(!faulty)
+            } else {
+                // unique-ish values keep duplicates rare
+                (self.counter as u128 * 0x9e3779b97f4a7c15) & maxval
+            };
+            let mask = match k.match_kind.as_str() {
+                "exact" | "selector" => maxval,
+                "range" => maxval, // hi = max: match-everything range
+                _ => {
+                    if faulty {
+                        maxval // non-zero mask: reads the (invalid) field
+                    } else if self.rng.random::<bool>() {
+                        0
+                    } else {
+                        maxval
+                    }
+                }
+            };
+            key_values.push(value);
+            key_masks.push(mask);
+        }
+        let ai = (self.rng.random::<u64>() as usize) % desc.actions.len().max(1);
+        let action = desc.actions[ai].clone();
+        let params = (0..action.num_params)
+            .map(|_| self.rng.random::<u64>() as u128)
+            .collect();
+        RuleUpdate {
+            key_values,
+            key_masks,
+            action: action.name,
+            params,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shim;
+    use bf4_core::driver::{verify, VerifyOptions};
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let report =
+            verify(bf4_core::testutil::NAT_SOURCE, &VerifyOptions::default()).unwrap();
+        let mk = || {
+            Controller::new(
+                &report.annotations,
+                WorkloadConfig {
+                    updates: 50,
+                    ..WorkloadConfig::default()
+                },
+            )
+            .workload()
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn faulty_rules_get_rejected_benign_mostly_accepted() {
+        let report =
+            verify(bf4_core::testutil::NAT_SOURCE, &VerifyOptions::default()).unwrap();
+        let mut shim = Shim::new(&report.annotations);
+        let mut ctrl = Controller::new(
+            &report.annotations,
+            WorkloadConfig {
+                updates: 300,
+                faulty_fraction: 0.3,
+                delete_fraction: 0.0,
+                seed: 7,
+            },
+        );
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for u in ctrl.workload() {
+            match shim.apply(&u) {
+                Ok(_) => accepted += 1,
+                Err(crate::ShimError::AssertionViolated { .. }) => rejected += 1,
+                Err(crate::ShimError::Duplicate) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(accepted > 0, "no update accepted");
+        assert!(rejected > 0, "no faulty update rejected");
+    }
+}

@@ -1,0 +1,82 @@
+//! Latency statistics for the §5.3 evaluation: median / p90 / max over
+//! per-update validation times.
+
+use std::time::Duration;
+
+/// Aggregated latency percentiles.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Median.
+    pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Maximum.
+    pub max: Duration,
+    /// Mean.
+    pub mean: Duration,
+}
+
+/// Compute percentiles over a set of latency samples.
+pub fn latency_stats(samples: &[Duration]) -> LatencyStats {
+    if samples.is_empty() {
+        return LatencyStats::default();
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let pct = |p: f64| -> Duration {
+        let idx = ((sorted.len() as f64 - 1.0) * p).floor() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+    let total: Duration = sorted.iter().sum();
+    LatencyStats {
+        count: sorted.len(),
+        p50: pct(0.50),
+        p90: pct(0.90),
+        p99: pct(0.99),
+        max: *sorted.last().unwrap(),
+        mean: total / (sorted.len() as u32),
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} p50={:?} p90={:?} p99={:?} max={:?} mean={:?}",
+            self.count, self.p50, self.p90, self.p99, self.max, self.mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = latency_stats(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, Duration::from_millis(50));
+        assert_eq!(s.p90, Duration::from_millis(90));
+        assert_eq!(s.max, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let s = latency_stats(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = latency_stats(&[Duration::from_micros(42)]);
+        assert_eq!(s.p50, Duration::from_micros(42));
+        assert_eq!(s.p90, Duration::from_micros(42));
+    }
+}

@@ -1,0 +1,622 @@
+#![warn(missing_docs)]
+
+//! # bf4-sim — a concrete V1Model dataplane interpreter
+//!
+//! Executes a lowered (pre-SSA) [`bf4_ir::Cfg`] on concrete state: packets
+//! are assignments to the variables the parser extracts, tables hold
+//! concrete [`Rule`]s matched with real `exact`/`ternary`/`lpm`/`range`
+//! semantics, and every instrumented bug check runs for real — reaching a
+//! `Bug` terminal *is* the dynamic bug detector.
+//!
+//! This substitutes for the paper's hardware/bmv2 targets. Its roles:
+//!
+//! * **counterexample replay** — a model from the static verifier is
+//!   turned into a packet + single-rule snapshot and re-executed, which
+//!   must reach the same bug;
+//! * **differential oracle** — the global-correctness theorem (Thm 7.5)
+//!   states that any snapshot accepted by the shim has no bug-reaching
+//!   packet; integration tests fuzz packets against accepted snapshots and
+//!   assert the interpreter never hits a bug terminal;
+//! * **examples** — the quickstart runs packets through `simple_nat`.
+
+use bf4_ir::{BlockId, BlockKind, BugInfo, Cfg, Instr, TableSite, Terminator};
+use bf4_smt::{eval, Assignment, Sort, Term, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A concrete table rule.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Key values, one per table key, in declaration order.
+    pub key_values: Vec<u128>,
+    /// Key masks: ignored for `exact`; `ternary`/`lpm` bitmasks; for
+    /// `range` this is the *high* bound.
+    pub key_masks: Vec<u128>,
+    /// Action name (must be one of the table's actions).
+    pub action: String,
+    /// Action data in parameter order.
+    pub params: Vec<u128>,
+}
+
+/// Concrete table contents: rules in priority order (first match wins).
+pub type RuleSet = HashMap<String, Vec<Rule>>;
+
+/// Where nondeterministic values come from.
+pub enum HavocSource {
+    /// Seeded RNG (packet fuzzing).
+    Rng(Box<StdRng>),
+    /// Replay a static-verifier model: a havoc of `v` consumes the next
+    /// unconsumed SSA version of `v` present in the model (`v`, `v@1`,
+    /// `v@2`, ... in ascending order), falling back to zero.
+    Replay {
+        /// The model.
+        model: Assignment,
+        /// Per-base-name consumption cursor.
+        cursors: HashMap<Arc<str>, u32>,
+    },
+    /// Everything zero (deterministic baseline).
+    Zero,
+}
+
+impl HavocSource {
+    /// Seeded RNG source.
+    pub fn rng(seed: u64) -> HavocSource {
+        HavocSource::Rng(Box::new(StdRng::seed_from_u64(seed)))
+    }
+
+    /// Replay source from a model.
+    pub fn replay(model: Assignment) -> HavocSource {
+        HavocSource::Replay {
+            model,
+            cursors: HashMap::new(),
+        }
+    }
+
+    fn draw(&mut self, var: &Arc<str>, sort: Sort) -> Value {
+        match self {
+            HavocSource::Rng(rng) => match sort {
+                Sort::Bool => Value::Bool(rng.random()),
+                Sort::Bv(w) => {
+                    let raw: u128 = ((rng.random::<u64>() as u128) << 64) | rng.random::<u64>() as u128;
+                    Value::bv(w, raw)
+                }
+            },
+            HavocSource::Replay { model, cursors } => {
+                let cur = cursors.entry(var.clone()).or_insert(0);
+                // try versions >= *cur, starting with the bare name at 0
+                loop {
+                    let name: Arc<str> = if *cur == 0 {
+                        var.clone()
+                    } else {
+                        Arc::from(format!("{var}@{cur}"))
+                    };
+                    *cur += 1;
+                    if let Some(v) = model.get(&name) {
+                        if v.sort() == sort {
+                            return *v;
+                        }
+                    }
+                    if *cur > 64 {
+                        return default_value(sort);
+                    }
+                }
+            }
+            HavocSource::Zero => default_value(sort),
+        }
+    }
+}
+
+fn default_value(sort: Sort) -> Value {
+    match sort {
+        Sort::Bool => Value::Bool(false),
+        Sort::Bv(w) => Value::bv(w, 0),
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Packet accepted (left the pipeline with defined behavior).
+    Accept,
+    /// Parser rejected the packet.
+    Reject,
+    /// A bug was triggered.
+    Bug(BugInfo),
+    /// A `dontCare` no-op branch was crossed and the run then ended well.
+    DontCareAccept,
+    /// Internal: an infeasible sink was reached (indicates an interpreter
+    /// or lowering inconsistency — tests assert this never happens).
+    Infeasible,
+}
+
+/// Result of interpreting one packet.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Final outcome.
+    pub outcome: Outcome,
+    /// Block trace (block ids in execution order).
+    pub trace: Vec<BlockId>,
+    /// Final variable state.
+    pub state: Assignment,
+    /// `egress_spec` value at the end, when set.
+    pub egress_spec: Option<u128>,
+}
+
+/// The interpreter.
+pub struct Interpreter<'c> {
+    cfg: &'c Cfg,
+    site_by_entry: HashMap<BlockId, usize>,
+    /// Table rules.
+    pub rules: RuleSet,
+    max_steps: usize,
+}
+
+impl<'c> Interpreter<'c> {
+    /// Create an interpreter over a lowered (pre-SSA) CFG.
+    pub fn new(cfg: &'c Cfg, rules: RuleSet) -> Interpreter<'c> {
+        let site_by_entry = cfg
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.entry_block, i))
+            .collect();
+        Interpreter {
+            cfg,
+            site_by_entry,
+            rules,
+            max_steps: 100_000,
+        }
+    }
+
+    /// Run one packet. `inputs` pre-pins variables (packet fields, ports);
+    /// all other havocs draw from `source`.
+    ///
+    /// Variables read before any write (fields of never-extracted headers,
+    /// register contents) are materialized lazily from `inputs`/`source` —
+    /// modeling the "stale residue from previous packets" semantics that
+    /// makes invalid-header reads exploitable on real targets.
+    pub fn run(&self, inputs: &Assignment, source: &mut HavocSource) -> RunResult {
+        let mut state: Assignment = Assignment::new();
+        let mut trace = Vec::new();
+        let mut crossed_dontcare = false;
+        let mut block = self.cfg.entry;
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            assert!(steps < self.max_steps, "interpreter ran away");
+            trace.push(block);
+            // Table lookup pinning.
+            let mut pinned: HashMap<Arc<str>, Value> = HashMap::new();
+            if let Some(&site_idx) = self.site_by_entry.get(&block) {
+                let site = &self.cfg.tables[site_idx];
+                for k in &site.keys {
+                    self.materialize(&k.expr, &mut state, inputs, source);
+                }
+                self.lookup(site, &state, &mut pinned);
+            }
+            for ins in &self.cfg.blocks[block].instrs {
+                match ins {
+                    Instr::Assign { var, expr, .. } => {
+                        self.materialize(expr, &mut state, inputs, source);
+                        let v = eval(expr, &state).unwrap_or_else(|e| {
+                            panic!("eval {expr} in block {block}: {e}")
+                        });
+                        state.insert(var.clone(), v);
+                    }
+                    Instr::Havoc { var, sort } => {
+                        let v = if let Some(p) = pinned.get(var) {
+                            *p
+                        } else if let Some(i) = inputs.get(var) {
+                            *i
+                        } else {
+                            source.draw(var, *sort)
+                        };
+                        state.insert(var.clone(), v);
+                    }
+                }
+            }
+            if self.cfg.dontcare_marks.contains(&block) {
+                crossed_dontcare = true;
+            }
+            match &self.cfg.blocks[block].term {
+                Terminator::End => {
+                    let outcome = match &self.cfg.blocks[block].kind {
+                        BlockKind::Accept => {
+                            if crossed_dontcare {
+                                Outcome::DontCareAccept
+                            } else {
+                                Outcome::Accept
+                            }
+                        }
+                        BlockKind::Reject => Outcome::Reject,
+                        BlockKind::Bug(info) => Outcome::Bug(info.clone()),
+                        BlockKind::Infeasible => Outcome::Infeasible,
+                        BlockKind::DontCare => Outcome::DontCareAccept,
+                        BlockKind::Normal => unreachable!("normal terminal"),
+                    };
+                    let egress_spec = state
+                        .get("standard_metadata.egress_spec" as &str)
+                        .map(|v| v.as_bits());
+                    return RunResult {
+                        outcome,
+                        trace,
+                        state,
+                        egress_spec,
+                    };
+                }
+                Terminator::Jump(t) => block = *t,
+                Terminator::Branch {
+                    cond,
+                    then_to,
+                    else_to,
+                } => {
+                    self.materialize(cond, &mut state, inputs, source);
+                    let c = eval(cond, &state)
+                        .unwrap_or_else(|e| panic!("branch eval {cond}: {e}"))
+                        .as_bool();
+                    block = if c { *then_to } else { *else_to };
+                }
+            }
+        }
+    }
+
+    /// Bind any unbound free variables of `t`, preferring `inputs` over
+    /// the havoc source (lazy stale-residue materialization).
+    fn materialize(
+        &self,
+        t: &Term,
+        state: &mut Assignment,
+        inputs: &Assignment,
+        source: &mut HavocSource,
+    ) {
+        for (v, sort) in bf4_smt::free_vars(t) {
+            if !state.contains_key(&v) {
+                let val = inputs.get(&v).copied().unwrap_or_else(|| source.draw(&v, sort));
+                state.insert(v, val);
+            }
+        }
+    }
+
+    /// Match the current state against a table's rules; pin the flow-entry
+    /// variables accordingly.
+    fn lookup(&self, site: &TableSite, state: &Assignment, pinned: &mut HashMap<Arc<str>, Value>) {
+        let rules = self.rules.get(&site.table).cloned().unwrap_or_default();
+        // Evaluate key expressions.
+        let key_vals: Vec<Value> = site
+            .keys
+            .iter()
+            .map(|k| eval(&k.expr, state).unwrap_or(default_value(k.expr.sort())))
+            .collect();
+        let mut hit: Option<&Rule> = None;
+        'rules: for r in &rules {
+            for (i, k) in site.keys.iter().enumerate() {
+                let pkt = match key_vals[i] {
+                    Value::Bool(b) => u128::from(b),
+                    Value::Bv { bits, .. } => bits,
+                };
+                let rv = r.key_values.get(i).copied().unwrap_or(0);
+                let rm = r.key_masks.get(i).copied().unwrap_or(u128::MAX);
+                let matches = match k.match_kind.as_str() {
+                    "exact" | "selector" => pkt == rv,
+                    "range" => rv <= pkt && pkt <= rm,
+                    _ => (pkt & rm) == (rv & rm),
+                };
+                if !matches {
+                    continue 'rules;
+                }
+            }
+            hit = Some(r);
+            break;
+        }
+        let hit_var = site.hit_var.clone();
+        match hit {
+            Some(r) => {
+                pinned.insert(hit_var, Value::Bool(true));
+                let action_idx = site
+                    .actions
+                    .iter()
+                    .position(|a| a.name == r.action)
+                    .unwrap_or(site.default_action);
+                pinned.insert(site.action_var.clone(), Value::bv(8, action_idx as u128));
+                for (i, k) in site.keys.iter().enumerate() {
+                    let sort = k.expr.sort();
+                    let rv = r.key_values.get(i).copied().unwrap_or(0);
+                    let val = match sort {
+                        Sort::Bool => Value::Bool(rv != 0),
+                        Sort::Bv(w) => Value::bv(w, rv),
+                    };
+                    pinned.insert(k.value_var.clone(), val);
+                    if let Some(mv) = &k.mask_var {
+                        if let Sort::Bv(w) = sort {
+                            let rm = r.key_masks.get(i).copied().unwrap_or(u128::MAX);
+                            pinned.insert(mv.clone(), Value::bv(w, rm));
+                        }
+                    }
+                }
+                let act = &site.actions[action_idx];
+                for (pi, (pv, psort)) in act.param_vars.iter().enumerate() {
+                    let raw = r.params.get(pi).copied().unwrap_or(0);
+                    let val = match psort {
+                        Sort::Bool => Value::Bool(raw != 0),
+                        Sort::Bv(w) => Value::bv(*w, raw),
+                    };
+                    pinned.insert(pv.clone(), val);
+                }
+            }
+            None => {
+                pinned.insert(hit_var, Value::Bool(false));
+                // Key/action variables on the miss path are never read in a
+                // meaningful way, but pin them to zero for determinism.
+                pinned.insert(site.action_var.clone(), Value::bv(8, site.default_action as u128));
+                for k in &site.keys {
+                    pinned.insert(k.value_var.clone(), default_value(k.expr.sort()));
+                    if let Some(mv) = &k.mask_var {
+                        pinned.insert(mv.clone(), default_value(k.expr.sort()));
+                    }
+                }
+                for a in &site.actions {
+                    for (pv, psort) in &a.param_vars {
+                        pinned.insert(pv.clone(), default_value(*psort));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Build a packet (input assignment) that makes the parser take a chosen
+/// path: convenience used by examples — maps `field name -> value` onto the
+/// extract-havoc'd variables.
+pub fn packet(fields: &[(&str, Sort, u128)]) -> Assignment {
+    fields
+        .iter()
+        .map(|(n, s, v)| {
+            let val = match s {
+                Sort::Bool => Value::Bool(*v != 0),
+                Sort::Bv(w) => Value::bv(*w, *v),
+            };
+            (Arc::from(*n), val)
+        })
+        .collect()
+}
+
+/// Construct a single-rule snapshot and input packet from a static
+/// verifier model over the (pre-SSA-stable) `pcn.*` variables: the model's
+/// entry contents become one rule per hit table.
+pub fn snapshot_from_model(cfg: &Cfg, model: &Assignment) -> RuleSet {
+    let mut rules = RuleSet::new();
+    for site in &cfg.tables {
+        let hit = matches!(model.get(&site.hit_var), Some(Value::Bool(true)));
+        if !hit {
+            continue;
+        }
+        let action_idx = model
+            .get(&site.action_var)
+            .map(|v| v.as_bits() as usize)
+            .unwrap_or(site.default_action)
+            .min(site.actions.len().saturating_sub(1));
+        let action = &site.actions[action_idx];
+        let key_values: Vec<u128> = site
+            .keys
+            .iter()
+            .map(|k| model.get(&k.value_var).map(value_bits).unwrap_or(0))
+            .collect();
+        let key_masks: Vec<u128> = site
+            .keys
+            .iter()
+            .map(|k| {
+                k.mask_var
+                    .as_ref()
+                    .and_then(|m| model.get(m).map(value_bits))
+                    .unwrap_or(u128::MAX)
+            })
+            .collect();
+        let params: Vec<u128> = action
+            .param_vars
+            .iter()
+            .map(|(pv, _)| model.get(pv).map(value_bits).unwrap_or(0))
+            .collect();
+        rules.entry(site.table.clone()).or_default().push(Rule {
+            key_values,
+            key_masks,
+            action: action.name.clone(),
+            params,
+        });
+    }
+    rules
+}
+
+fn value_bits(v: &Value) -> u128 {
+    match v {
+        Value::Bool(b) => u128::from(*b),
+        Value::Bv { bits, .. } => *bits,
+    }
+}
+
+/// The term type re-exported for downstream convenience.
+pub use bf4_smt::Term as SimTerm;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf4_ir::{lower, BugKind, LowerOptions};
+
+    fn nat_cfg() -> Cfg {
+        let program = bf4_p4::frontend(bf4_core::testutil::NAT_SOURCE).unwrap();
+        lower(&program, &LowerOptions::default()).unwrap().cfg
+    }
+
+    fn eth_ipv4_packet() -> Assignment {
+        packet(&[
+            ("hdr.ethernet.etherType", Sort::Bv(16), 0x800),
+            ("hdr.ethernet.dstAddr", Sort::Bv(48), 0x1111),
+            ("hdr.ethernet.srcAddr", Sort::Bv(48), 0x2222),
+            ("hdr.ipv4.ttl", Sort::Bv(8), 64),
+            ("hdr.ipv4.protocol", Sort::Bv(8), 6),
+            ("hdr.ipv4.srcAddr", Sort::Bv(32), 0x0a000001),
+            ("hdr.ipv4.dstAddr", Sort::Bv(32), 0x0a000002),
+        ])
+    }
+
+    #[test]
+    fn empty_tables_miss_runs_default_drop() {
+        let cfg = nat_cfg();
+        let interp = Interpreter::new(&cfg, RuleSet::new());
+        let mut src = HavocSource::Zero;
+        let r = interp.run(&eth_ipv4_packet(), &mut src);
+        // nat misses → default drop_ → egress_spec = 511 → accept.
+        assert_eq!(r.outcome, Outcome::Accept, "trace: {:?}", r.trace);
+        assert_eq!(r.egress_spec, Some(511));
+    }
+
+    #[test]
+    fn benign_nat_hit_forwards() {
+        let cfg = nat_cfg();
+        let mut rules = RuleSet::new();
+        rules.insert(
+            "nat".into(),
+            vec![Rule {
+                key_values: vec![1, 0x0a000001],
+                key_masks: vec![u128::MAX, 0xffffffff],
+                action: "nat_hit_int_to_ext".into(),
+                params: vec![0xC0A80001, 7],
+            }],
+        );
+        rules.insert(
+            "ipv4_lpm".into(),
+            vec![Rule {
+                key_values: vec![0],
+                key_masks: vec![0], // match-all lpm
+                action: "set_nhop".into(),
+                params: vec![0x0a000002, 3],
+            }],
+        );
+        let interp = Interpreter::new(&cfg, rules);
+        let mut src = HavocSource::Zero;
+        let r = interp.run(&eth_ipv4_packet(), &mut src);
+        assert_eq!(r.outcome, Outcome::Accept, "trace: {:?}", r.trace);
+        assert_eq!(r.egress_spec, Some(3));
+        // ttl decremented
+        assert_eq!(
+            r.state.get("hdr.ipv4.ttl" as &str),
+            Some(&Value::bv(8, 63))
+        );
+    }
+
+    #[test]
+    fn faulty_rule_triggers_key_validity_bug() {
+        // A nat rule claiming ipv4-invalid with a non-zero srcAddr mask:
+        // the §2.1 bug. A non-IPv4 packet matching it must hit the bug
+        // terminal.
+        let cfg = nat_cfg();
+        let mut rules = RuleSet::new();
+        rules.insert(
+            "nat".into(),
+            vec![Rule {
+                key_values: vec![0, 0xC0000000],
+                key_masks: vec![u128::MAX, 0xff000000],
+                action: "nat_hit_int_to_ext".into(),
+                params: vec![0, 1],
+            }],
+        );
+        let interp = Interpreter::new(&cfg, rules);
+        let mut src = HavocSource::Zero;
+        // non-IPv4 packet whose (undefined) srcAddr reads 0xC0xxxxxx:
+        let pkt = packet(&[
+            ("hdr.ethernet.etherType", Sort::Bv(16), 0x1234),
+            ("hdr.ipv4.srcAddr", Sort::Bv(32), 0xC0A80101),
+        ]);
+        let r = interp.run(&pkt, &mut src);
+        match r.outcome {
+            Outcome::Bug(info) => assert_eq!(info.kind, BugKind::InvalidKeyAccess),
+            other => panic!("expected bug, got {other:?} (trace {:?})", r.trace),
+        }
+    }
+
+    #[test]
+    fn set_nhop_on_non_ipv4_triggers_ttl_bug() {
+        // Force do_forward=1 via a nat rule that matches the invalid-ipv4
+        // packet with mask 0 (no srcAddr read — legal), then ipv4_lpm's
+        // set_nhop decrements ttl of the invalid header: the §2.1 bug.
+        let cfg = nat_cfg();
+        let mut rules = RuleSet::new();
+        rules.insert(
+            "nat".into(),
+            vec![Rule {
+                key_values: vec![0, 0],
+                key_masks: vec![u128::MAX, 0],
+                action: "nat_hit_int_to_ext".into(),
+                params: vec![0, 1],
+            }],
+        );
+        rules.insert(
+            "ipv4_lpm".into(),
+            vec![Rule {
+                key_values: vec![0],
+                key_masks: vec![0],
+                action: "set_nhop".into(),
+                params: vec![0x0a000002, 3],
+            }],
+        );
+        let interp = Interpreter::new(&cfg, rules);
+        let mut src = HavocSource::Zero;
+        let pkt = packet(&[("hdr.ethernet.etherType", Sort::Bv(16), 0x1234)]);
+        let r = interp.run(&pkt, &mut src);
+        match r.outcome {
+            Outcome::Bug(info) => assert_eq!(info.kind, BugKind::InvalidHeaderAccess),
+            other => panic!("expected ttl bug, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn miss_on_ext_to_int_leaves_egress_unset() {
+        let cfg = nat_cfg();
+        let mut rules = RuleSet::new();
+        rules.insert(
+            "nat".into(),
+            vec![Rule {
+                key_values: vec![1, 0],
+                key_masks: vec![u128::MAX, 0],
+                action: "nat_miss_ext_to_int".into(),
+                params: vec![],
+            }],
+        );
+        let interp = Interpreter::new(&cfg, rules);
+        let mut src = HavocSource::Zero;
+        let r = interp.run(&eth_ipv4_packet(), &mut src);
+        match r.outcome {
+            Outcome::Bug(info) => assert_eq!(info.kind, BugKind::EgressSpecNotSet),
+            other => panic!("expected egress-spec bug, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counterexample_replay_hits_same_bug_kind() {
+        // Static verifier model → snapshot + packet → interpreter reaches
+        // a bug of the same kind.
+        let program = bf4_p4::frontend(bf4_core::testutil::NAT_SOURCE).unwrap();
+        let mut vcfg = lower(&program, &LowerOptions::default()).unwrap().cfg;
+        bf4_ir::ssa::to_ssa(&mut vcfg);
+        let ra = bf4_core::reach::ReachAnalysis::new(&vcfg);
+        let bugs = ra.found_bugs(&vcfg);
+        let mut z3 = bf4_smt::Z3Backend::new();
+        let key_bug = bugs
+            .iter()
+            .find(|b| b.info.kind == BugKind::InvalidKeyAccess)
+            .unwrap();
+        let model = bf4_core::reach::bug_model(&mut z3, key_bug, &[]).expect("model");
+        // Interpreter runs on the *pre-SSA* CFG; pcn.* names are stable.
+        let icfg = lower(&program, &LowerOptions::default()).unwrap().cfg;
+        let rules = snapshot_from_model(&icfg, &model);
+        assert!(!rules.is_empty(), "model should pin a hit rule");
+        let interp = Interpreter::new(&icfg, rules);
+        let mut src = HavocSource::replay(model);
+        let r = interp.run(&Assignment::new(), &mut src);
+        match r.outcome {
+            Outcome::Bug(info) => assert_eq!(info.kind, BugKind::InvalidKeyAccess),
+            other => panic!("replay diverged: {other:?} (trace {:?})", r.trace),
+        }
+    }
+}

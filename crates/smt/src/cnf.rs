@@ -1,0 +1,244 @@
+//! CNF representation shared by the bit-blaster and the CDCL solver.
+
+/// A literal: a variable index with a sign. Variables are numbered from 1;
+/// the literal for variable `v` is `v` (positive) or `-v` (negated),
+/// packed as `2*v + sign` internally.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Lit(pub i32);
+
+impl Lit {
+    /// Positive literal of variable `v` (v >= 1).
+    pub fn pos(v: u32) -> Lit {
+        Lit(v as i32)
+    }
+
+    /// Negative literal of variable `v`.
+    pub fn neg(v: u32) -> Lit {
+        Lit(-(v as i32))
+    }
+
+    /// The underlying variable index.
+    pub fn var(self) -> u32 {
+        self.0.unsigned_abs()
+    }
+
+    /// True if this is a positive literal.
+    pub fn is_pos(self) -> bool {
+        self.0 > 0
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(-self.0)
+    }
+}
+
+/// A disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula under construction, with a fresh-variable allocator and
+/// Tseitin-style gate encoders.
+#[derive(Default, Clone, Debug)]
+pub struct CnfBuilder {
+    /// Highest allocated variable index.
+    pub num_vars: u32,
+    /// The clause database.
+    pub clauses: Vec<Clause>,
+}
+
+impl CnfBuilder {
+    /// Empty formula.
+    pub fn new() -> CnfBuilder {
+        CnfBuilder::default()
+    }
+
+    /// Allocate a fresh variable and return its positive literal.
+    pub fn fresh(&mut self) -> Lit {
+        self.num_vars += 1;
+        Lit::pos(self.num_vars)
+    }
+
+    /// A literal constrained to be true (the constant `true`).
+    pub fn true_lit(&mut self) -> Lit {
+        let l = self.fresh();
+        self.add(vec![l]);
+        l
+    }
+
+    /// Add a clause.
+    pub fn add(&mut self, clause: Clause) {
+        self.clauses.push(clause);
+    }
+
+    /// `out <-> !a`: encoded by returning the negated literal (free).
+    pub fn not_gate(&mut self, a: Lit) -> Lit {
+        a.negate()
+    }
+
+    /// Tseitin AND gate: returns `out` with `out <-> a & b`.
+    pub fn and_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        let out = self.fresh();
+        self.add(vec![out.negate(), a]);
+        self.add(vec![out.negate(), b]);
+        self.add(vec![out, a.negate(), b.negate()]);
+        out
+    }
+
+    /// Tseitin OR gate.
+    pub fn or_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and_gate(a.negate(), b.negate()).negate()
+    }
+
+    /// Tseitin XOR gate: `out <-> a ^ b`.
+    pub fn xor_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        let out = self.fresh();
+        self.add(vec![out.negate(), a, b]);
+        self.add(vec![out.negate(), a.negate(), b.negate()]);
+        self.add(vec![out, a.negate(), b]);
+        self.add(vec![out, a, b.negate()]);
+        out
+    }
+
+    /// N-ary AND.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.true_lit(),
+            [l] => *l,
+            _ => {
+                let out = self.fresh();
+                let mut long = Vec::with_capacity(lits.len() + 1);
+                long.push(out);
+                for &l in lits {
+                    self.add(vec![out.negate(), l]);
+                    long.push(l.negate());
+                }
+                self.add(long);
+                out
+            }
+        }
+    }
+
+    /// N-ary OR.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        let negs: Vec<Lit> = lits.iter().map(|l| l.negate()).collect();
+        self.and_many(&negs).negate()
+    }
+
+    /// Multiplexer: `out <-> if c then a else b`.
+    pub fn mux_gate(&mut self, c: Lit, a: Lit, b: Lit) -> Lit {
+        let out = self.fresh();
+        self.add(vec![out.negate(), c.negate(), a]);
+        self.add(vec![out, c.negate(), a.negate()]);
+        self.add(vec![out.negate(), c, b]);
+        self.add(vec![out, c, b.negate()]);
+        out
+    }
+
+    /// Full adder: returns (sum, carry_out).
+    pub fn full_adder(&mut self, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let ab = self.xor_gate(a, b);
+        let sum = self.xor_gate(ab, cin);
+        let c1 = self.and_gate(a, b);
+        let c2 = self.and_gate(ab, cin);
+        let cout = self.or_gate(c1, c2);
+        (sum, cout)
+    }
+
+    /// `out <-> (a == b)` bitwise over equal-length slices.
+    pub fn eq_gate(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        assert_eq!(a.len(), b.len());
+        let bits: Vec<Lit> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| self.xor_gate(x, y).negate())
+            .collect();
+        self.and_many(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force a small CNF over its first `n` vars, treating the rest as
+    /// existentially quantified (checked by trying every full assignment).
+    fn models(cnf: &CnfBuilder) -> Vec<Vec<bool>> {
+        let n = cnf.num_vars as usize;
+        assert!(n <= 16, "brute force limit");
+        let mut out = Vec::new();
+        for m in 0u32..(1 << n) {
+            let assign = |l: Lit| {
+                let v = ((m >> (l.var() - 1)) & 1) == 1;
+                if l.is_pos() {
+                    v
+                } else {
+                    !v
+                }
+            };
+            if cnf.clauses.iter().all(|c| c.iter().any(|&l| assign(l))) {
+                out.push((0..n).map(|i| ((m >> i) & 1) == 1).collect());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn and_gate_truth_table() {
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.fresh();
+        let b = cnf.fresh();
+        let o = cnf.and_gate(a, b);
+        for m in models(&cnf) {
+            let (av, bv, ov) = (m[0], m[1], m[2]);
+            assert_eq!(ov, av && bv);
+        }
+        assert_eq!(models(&cnf).len(), 4);
+        let _ = o;
+    }
+
+    #[test]
+    fn xor_gate_truth_table() {
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.fresh();
+        let b = cnf.fresh();
+        let _o = cnf.xor_gate(a, b);
+        for m in models(&cnf) {
+            assert_eq!(m[2], m[0] ^ m[1]);
+        }
+    }
+
+    #[test]
+    fn mux_gate_truth_table() {
+        let mut cnf = CnfBuilder::new();
+        let c = cnf.fresh();
+        let a = cnf.fresh();
+        let b = cnf.fresh();
+        let _o = cnf.mux_gate(c, a, b);
+        for m in models(&cnf) {
+            let expect = if m[0] { m[1] } else { m[2] };
+            assert_eq!(m[3], expect);
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.fresh();
+        let b = cnf.fresh();
+        let cin = cnf.fresh();
+        let (sum, cout) = cnf.full_adder(a, b, cin);
+        for m in models(&cnf) {
+            let lit = |l: Lit| {
+                let v = m[(l.var() - 1) as usize];
+                if l.is_pos() {
+                    v
+                } else {
+                    !v
+                }
+            };
+            let total = m[0] as u8 + m[1] as u8 + m[2] as u8;
+            assert_eq!(lit(sum), total & 1 == 1);
+            assert_eq!(lit(cout), total >= 2);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # bf4-smt — SMT terms and solver backends for the bf4 verifier
+//!
+//! This crate provides the logical substrate used by the rest of the bf4
+//! pipeline:
+//!
+//! * a DAG-shared **term language** over booleans and fixed-width
+//!   bit-vectors ([`Term`], [`Sort`]), with constant folding and light
+//!   algebraic simplification applied at construction time;
+//! * **analyses** over terms: free variables, substitution, size metrics,
+//!   and a concrete evaluator ([`eval`]) used by the dataplane interpreter
+//!   and the differential test harness;
+//! * a [`Z3Backend`] that lowers terms to Z3 ASTs (preserving DAG sharing)
+//!   and exposes the solver operations the paper's algorithms rely on:
+//!   incremental `check`, models, assumption-based checking and unsat cores
+//!   (Algorithm 1 of the paper is built directly on these);
+//! * an **internal bit-blasting CDCL solver** ([`sat`], [`bitblast`]) used as
+//!   an independent oracle in differential tests so that the Z3 lowering
+//!   itself is covered by tests that do not trust Z3 blindly.
+//!
+//! The term language is deliberately small: the P4 fragment bf4 analyses
+//! compiles to quantifier-free bit-vector logic (QF_BV) only.
+
+pub mod bitblast;
+pub mod cnf;
+pub mod eval;
+pub mod sat;
+pub mod sexpr;
+pub mod simplify;
+pub mod solver;
+pub mod term;
+pub mod visit;
+pub mod z3backend;
+
+pub use eval::{eval, Assignment, EvalError};
+pub use sexpr::{parse_sexpr, to_sexpr};
+pub use solver::{SatResult, SolveOutcome, Solver};
+pub use term::{Sort, Term, TermNode, Value};
+pub use visit::{free_vars, substitute, term_size};
+pub use z3backend::Z3Backend;

@@ -1,0 +1,605 @@
+//! A CDCL SAT solver with two-watched-literal propagation, first-UIP clause
+//! learning, VSIDS-style activities, phase saving and Luby restarts.
+//!
+//! This solver backs the internal [`crate::bitblast::BitBlastSolver`] used
+//! as an independent oracle against Z3 in differential tests. It is a
+//! complete, dependency-free implementation — not a toy DPLL — but it is
+//! tuned for the modest formula sizes that role requires.
+
+use crate::cnf::{Clause, Lit};
+
+/// Ternary assignment value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Val {
+    True,
+    False,
+    Undef,
+}
+
+impl Val {
+    fn negate(self) -> Val {
+        match self {
+            Val::True => Val::False,
+            Val::False => Val::True,
+            Val::Undef => Val::Undef,
+        }
+    }
+}
+
+/// Result of a solve call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// Satisfiable; a model is available via [`CdclSolver::value`].
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+}
+
+const CLAUSE_UNDEF: usize = usize::MAX;
+
+struct VarState {
+    val: Val,
+    level: u32,
+    reason: usize, // clause index or CLAUSE_UNDEF
+    activity: f64,
+    phase: bool,
+    seen: bool,
+}
+
+/// The CDCL solver.
+pub struct CdclSolver {
+    vars: Vec<VarState>, // index 0 unused
+    clauses: Vec<Clause>,
+    /// For each literal code, the clauses watching it.
+    watches: Vec<Vec<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    var_inc: f64,
+    num_original: usize,
+    conflicts_since_restart: u64,
+    restart_idx: u64,
+    /// Failed assumptions from the last unsat assumption solve.
+    failed_assumptions: Vec<Lit>,
+    /// False once a top-level conflict makes the formula trivially unsat.
+    ok: bool,
+}
+
+fn lit_code(l: Lit) -> usize {
+    let v = l.var() as usize;
+    2 * v + usize::from(!l.is_pos())
+}
+
+/// Luby restart sequence (unit 64 conflicts).
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing i and its position.
+    let mut k = 1u64;
+    while (1u64 << (k + 1)) - 1 <= i {
+        k += 1;
+    }
+    loop {
+        if i == (1 << k) - 1 {
+            return 1 << (k - 1);
+        }
+        i -= (1 << (k - 1)) - 1 + 1;
+        k = 1;
+        while (1u64 << (k + 1)) - 1 <= i {
+            k += 1;
+        }
+    }
+}
+
+impl CdclSolver {
+    /// Create a solver for `num_vars` variables with the given clauses.
+    pub fn new(num_vars: u32, clauses: Vec<Clause>) -> CdclSolver {
+        let mut s = CdclSolver {
+            vars: (0..=num_vars)
+                .map(|_| VarState {
+                    val: Val::Undef,
+                    level: 0,
+                    reason: CLAUSE_UNDEF,
+                    activity: 0.0,
+                    phase: false,
+                    seen: false,
+                })
+                .collect(),
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * (num_vars as usize + 1)],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            var_inc: 1.0,
+            num_original: 0,
+            conflicts_since_restart: 0,
+            restart_idx: 1,
+            failed_assumptions: Vec::new(),
+            ok: true,
+        };
+        for c in clauses {
+            if !s.add_clause(c) {
+                s.ok = false;
+            }
+        }
+        s.num_original = s.clauses.len();
+        s
+    }
+
+    fn value_lit(&self, l: Lit) -> Val {
+        let v = self.vars[l.var() as usize].val;
+        if l.is_pos() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    /// Add a clause; returns false if the formula became trivially unsat.
+    fn add_clause(&mut self, mut c: Clause) -> bool {
+        c.sort();
+        c.dedup();
+        // tautology?
+        for w in c.windows(2) {
+            if w[0].var() == w[1].var() {
+                return true;
+            }
+        }
+        match c.len() {
+            0 => false,
+            1 => {
+                // Unit at level 0.
+                match self.value_lit(c[0]) {
+                    Val::True => true,
+                    Val::False => false,
+                    Val::Undef => {
+                        self.enqueue(c[0], CLAUSE_UNDEF);
+                        true
+                    }
+                }
+            }
+            _ => {
+                let ci = self.clauses.len();
+                self.watches[lit_code(c[0])].push(ci);
+                self.watches[lit_code(c[1])].push(ci);
+                self.clauses.push(c);
+                true
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: usize) {
+        let v = l.var() as usize;
+        debug_assert_eq!(self.vars[v].val, Val::Undef);
+        self.vars[v].val = if l.is_pos() { Val::True } else { Val::False };
+        self.vars[v].level = self.decision_level();
+        self.vars[v].reason = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns a conflicting clause index or CLAUSE_UNDEF.
+    fn propagate(&mut self) -> usize {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = p.negate();
+            let code = lit_code(false_lit);
+            let mut i = 0;
+            'watches: while i < self.watches[code].len() {
+                let ci = self.watches[code][i];
+                // Ensure the false literal is at position 1.
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                let first = self.clauses[ci][0];
+                if self.value_lit(first) == Val::True {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new watch.
+                for k in 2..self.clauses[ci].len() {
+                    let lk = self.clauses[ci][k];
+                    if self.value_lit(lk) != Val::False {
+                        self.clauses[ci].swap(1, k);
+                        self.watches[code].swap_remove(i);
+                        self.watches[lit_code(lk)].push(ci);
+                        continue 'watches;
+                    }
+                }
+                // Clause is unit or conflicting.
+                if self.value_lit(first) == Val::False {
+                    self.qhead = self.trail.len();
+                    return ci;
+                }
+                self.enqueue(first, ci);
+                i += 1;
+            }
+        }
+        CLAUSE_UNDEF
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.vars[v].activity += self.var_inc;
+        if self.vars[v].activity > 1e100 {
+            for vs in self.vars.iter_mut() {
+                vs.activity *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backtrack level).
+    fn analyze(&mut self, mut conflict: usize) -> (Clause, u32) {
+        let mut learnt: Clause = vec![Lit(0)]; // slot 0 = asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut to_clear: Vec<usize> = Vec::new();
+
+        loop {
+            debug_assert_ne!(conflict, CLAUSE_UNDEF);
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[conflict].len() {
+                let q = self.clauses[conflict][k];
+                let v = q.var() as usize;
+                if !self.vars[v].seen && self.vars[v].level > 0 {
+                    self.vars[v].seen = true;
+                    to_clear.push(v);
+                    self.bump_var(v);
+                    if self.vars[v].level == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal from the trail.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.vars[l.var() as usize].seen {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.unwrap().var() as usize;
+            self.vars[pv].seen = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = p.unwrap().negate();
+                break;
+            }
+            conflict = self.vars[pv].reason;
+        }
+        for v in to_clear {
+            self.vars[v].seen = false;
+        }
+        // Backtrack level: second-highest level in the learnt clause.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.vars[learnt[i].var() as usize].level
+                    > self.vars[learnt[max_i].var() as usize].level
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.vars[learnt[1].var() as usize].level
+        };
+        self.var_inc *= 1.05;
+        (learnt, bt)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = l.var() as usize;
+                self.vars[v].phase = self.vars[v].val == Val::True;
+                self.vars[v].val = Val::Undef;
+                self.vars[v].reason = CLAUSE_UNDEF;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&self) -> Option<Lit> {
+        let mut best: Option<usize> = None;
+        for v in 1..self.vars.len() {
+            if self.vars[v].val == Val::Undef
+                && best.is_none_or(|b| self.vars[v].activity > self.vars[b].activity)
+            {
+                best = Some(v);
+            }
+        }
+        best.map(|v| {
+            if self.vars[v].phase {
+                Lit::pos(v as u32)
+            } else {
+                Lit::neg(v as u32)
+            }
+        })
+    }
+
+    fn learn(&mut self, learnt: Clause) {
+        if learnt.len() == 1 {
+            self.enqueue(learnt[0], CLAUSE_UNDEF);
+            return;
+        }
+        let ci = self.clauses.len();
+        self.watches[lit_code(learnt[0])].push(ci);
+        self.watches[lit_code(learnt[1])].push(ci);
+        let assert_lit = learnt[0];
+        self.clauses.push(learnt);
+        self.enqueue(assert_lit, ci);
+    }
+
+    /// Solve under assumptions. On `Unsat`, [`CdclSolver::failed_assumptions`]
+    /// holds the subset of assumptions involved in the conflict.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.backtrack(0);
+        self.failed_assumptions.clear();
+        if !self.ok || self.propagate() != CLAUSE_UNDEF {
+            return SolveResult::Unsat;
+        }
+        loop {
+            let conflict = self.propagate();
+            if conflict != CLAUSE_UNDEF {
+                self.conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    return SolveResult::Unsat;
+                }
+                // If the conflict is at or below the assumption levels, the
+                // assumptions are jointly inconsistent with the formula.
+                if self.decision_level() <= assumptions.len() as u32 {
+                    self.collect_failed(assumptions, conflict);
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(conflict);
+                // Never backtrack into the assumption prefix with a learnt
+                // clause whose asserting literal would flip an assumption.
+                self.backtrack(bt.max(0));
+                self.learn(learnt);
+                if self.conflicts_since_restart >= 64 * luby(self.restart_idx) {
+                    self.conflicts_since_restart = 0;
+                    self.restart_idx += 1;
+                    self.backtrack(0);
+                }
+            } else {
+                // Place assumptions as the first decisions.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.value_lit(a) {
+                        Val::True => {
+                            // Already satisfied: open an empty level so the
+                            // index keeps advancing.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Val::False => {
+                            // Conflicting assumption.
+                            self.analyze_final(assumptions, a);
+                            return SolveResult::Unsat;
+                        }
+                        Val::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, CLAUSE_UNDEF);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => return SolveResult::Sat,
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, CLAUSE_UNDEF);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Conservative failed-assumption set from a conflict in the assumption
+    /// prefix: every assumption assigned on the trail.
+    fn collect_failed(&mut self, assumptions: &[Lit], _conflict: usize) {
+        self.failed_assumptions = assumptions
+            .iter()
+            .copied()
+            .filter(|&a| self.value_lit(a) != Val::Undef)
+            .collect();
+    }
+
+    fn analyze_final(&mut self, assumptions: &[Lit], failing: Lit) {
+        // The failing assumption plus everything before it.
+        let mut out = Vec::new();
+        for &a in assumptions {
+            out.push(a);
+            if a == failing {
+                break;
+            }
+        }
+        self.failed_assumptions = out;
+    }
+
+    /// Failed assumptions after an unsat assumption solve (superset of a
+    /// minimal core).
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed_assumptions
+    }
+
+    /// Model value of a variable after `Sat` (unassigned vars default to
+    /// false).
+    pub fn value(&self, var: u32) -> bool {
+        self.vars[var as usize].val == Val::True
+    }
+
+    /// Number of clauses including learnt ones.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(num_vars: u32, clauses: &[&[i32]]) -> SolveResult {
+        let cs: Vec<Clause> = clauses
+            .iter()
+            .map(|c| c.iter().map(|&l| Lit(l)).collect())
+            .collect();
+        CdclSolver::new(num_vars, cs).solve(&[])
+    }
+
+    #[test]
+    fn trivial_sat() {
+        assert_eq!(solve(1, &[&[1]]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        assert_eq!(solve(1, &[&[1], &[-1]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        assert_eq!(solve(1, &[&[]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn chain_implication() {
+        // x1 & (x1->x2) & ... & (x9->x10) & !x10 : unsat
+        let mut cs: Vec<Vec<i32>> = vec![vec![1]];
+        for i in 1..10 {
+            cs.push(vec![-i, i + 1]);
+        }
+        cs.push(vec![-10]);
+        let refs: Vec<&[i32]> = cs.iter().map(|c| c.as_slice()).collect();
+        assert_eq!(solve(10, &refs), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j. vars 1..=6 = (i,j) row-major.
+        let v = |i: i32, j: i32| (i - 1) * 2 + j;
+        let mut cs: Vec<Vec<i32>> = Vec::new();
+        for i in 1..=3 {
+            cs.push(vec![v(i, 1), v(i, 2)]);
+        }
+        for j in 1..=2 {
+            for a in 1..=3 {
+                for b in (a + 1)..=3 {
+                    cs.push(vec![-v(a, j), -v(b, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = cs.iter().map(|c| c.as_slice()).collect();
+        assert_eq!(solve(6, &refs), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_clauses() {
+        let clauses: Vec<Clause> = vec![
+            vec![Lit(1), Lit(2)],
+            vec![Lit(-1), Lit(3)],
+            vec![Lit(-2), Lit(-3)],
+            vec![Lit(2), Lit(3)],
+        ];
+        let mut s = CdclSolver::new(3, clauses.clone());
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        for c in &clauses {
+            assert!(c.iter().any(|&l| {
+                let v = s.value(l.var());
+                if l.is_pos() {
+                    v
+                } else {
+                    !v
+                }
+            }));
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        // (x1 | x2) with assumption !x1 forces x2.
+        let mut s = CdclSolver::new(2, vec![vec![Lit(1), Lit(2)]]);
+        assert_eq!(s.solve(&[Lit(-1)]), SolveResult::Sat);
+        assert!(s.value(2));
+        // assumption x1 & !x1 style conflict through clauses
+        let mut s = CdclSolver::new(2, vec![vec![Lit(-1), Lit(2)], vec![Lit(-1), Lit(-2)]]);
+        assert_eq!(s.solve(&[Lit(1)]), SolveResult::Unsat);
+        assert!(!s.failed_assumptions().is_empty());
+        // still sat without assumptions
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn random_3sat_cross_check_bruteforce() {
+        // Deterministic LCG-generated instances, cross-checked by brute force.
+        let mut seed = 0x12345678u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _case in 0..30 {
+            let nv = 8;
+            let nc = 4 + (rng() % 30) as usize;
+            let clauses: Vec<Clause> = (0..nc)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = 1 + (rng() % nv);
+                            if rng() % 2 == 0 {
+                                Lit::pos(v)
+                            } else {
+                                Lit::neg(v)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            // Brute force.
+            let mut brute_sat = false;
+            for m in 0u32..(1 << nv) {
+                if clauses.iter().all(|c| {
+                    c.iter().any(|&l| {
+                        let v = ((m >> (l.var() - 1)) & 1) == 1;
+                        if l.is_pos() {
+                            v
+                        } else {
+                            !v
+                        }
+                    })
+                }) {
+                    brute_sat = true;
+                    break;
+                }
+            }
+            let mut s = CdclSolver::new(nv, clauses.clone());
+            let got = s.solve(&[]);
+            assert_eq!(
+                got == SolveResult::Sat,
+                brute_sat,
+                "mismatch on {clauses:?}"
+            );
+            if got == SolveResult::Sat {
+                for c in &clauses {
+                    assert!(c.iter().any(|&l| {
+                        let v = s.value(l.var());
+                        if l.is_pos() {
+                            v
+                        } else {
+                            !v
+                        }
+                    }));
+                }
+            }
+        }
+    }
+}

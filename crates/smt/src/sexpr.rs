@@ -1,0 +1,359 @@
+//! S-expression serialization for [`Term`]s.
+//!
+//! The controller shim loads the annotations bf4 emits at compile time;
+//! predicates travel as S-expressions in an SMT-LIB-flavoured dialect:
+//!
+//! ```text
+//! (and (var pcn.nat#0.hit bool) (not (= (var pcn.nat#0.key1.mask bv32) (bv 32 0))))
+//! ```
+//!
+//! Variables carry their sort inline so the reader needs no symbol table.
+//! `to_sexpr ∘ parse_sexpr` is the identity on the printed form and
+//! `parse_sexpr ∘ to_sexpr` is structurally the identity on terms (checked
+//! by tests and the crate's property suite).
+
+use crate::term::{BvOp, CmpOp, Sort, Term, TermNode};
+
+/// Render a term as an S-expression.
+pub fn to_sexpr(t: &Term) -> String {
+    let mut out = String::new();
+    write_sexpr(t, &mut out);
+    out
+}
+
+fn sort_name(s: Sort) -> String {
+    match s {
+        Sort::Bool => "bool".into(),
+        Sort::Bv(w) => format!("bv{w}"),
+    }
+}
+
+fn write_sexpr(t: &Term, out: &mut String) {
+    use TermNode::*;
+    match t.node() {
+        Const(crate::term::Value::Bool(b)) => out.push_str(if *b { "true" } else { "false" }),
+        Const(crate::term::Value::Bv { width, bits }) => {
+            out.push_str(&format!("(bv {width} {bits})"))
+        }
+        Var(n, s) => out.push_str(&format!("(var {} {})", n, sort_name(*s))),
+        Not(a) => nary("not", &[a.clone()], out),
+        And(xs) => nary("and", xs, out),
+        Or(xs) => nary("or", xs, out),
+        Implies(a, b) => nary("=>", &[a.clone(), b.clone()], out),
+        Ite(c, a, b) => nary("ite", &[c.clone(), a.clone(), b.clone()], out),
+        Eq(a, b) => nary("=", &[a.clone(), b.clone()], out),
+        Bv(op, a, b) => nary(bv_op_name(*op), &[a.clone(), b.clone()], out),
+        Cmp(op, a, b) => nary(cmp_op_name(*op), &[a.clone(), b.clone()], out),
+        BvNot(a) => nary("bvnot", &[a.clone()], out),
+        BvNeg(a) => nary("bvneg", &[a.clone()], out),
+        Concat(a, b) => nary("concat", &[a.clone(), b.clone()], out),
+        Extract { hi, lo, arg } => {
+            out.push_str(&format!("(extract {hi} {lo} "));
+            write_sexpr(arg, out);
+            out.push(')');
+        }
+        ZeroExt { add, arg } => {
+            out.push_str(&format!("(zext {add} "));
+            write_sexpr(arg, out);
+            out.push(')');
+        }
+        SignExt { add, arg } => {
+            out.push_str(&format!("(sext {add} "));
+            write_sexpr(arg, out);
+            out.push(')');
+        }
+    }
+}
+
+fn nary(op: &str, args: &[Term], out: &mut String) {
+    out.push('(');
+    out.push_str(op);
+    for a in args {
+        out.push(' ');
+        write_sexpr(a, out);
+    }
+    out.push(')');
+}
+
+fn bv_op_name(op: BvOp) -> &'static str {
+    match op {
+        BvOp::Add => "bvadd",
+        BvOp::Sub => "bvsub",
+        BvOp::Mul => "bvmul",
+        BvOp::UDiv => "bvudiv",
+        BvOp::URem => "bvurem",
+        BvOp::And => "bvand",
+        BvOp::Or => "bvor",
+        BvOp::Xor => "bvxor",
+        BvOp::Shl => "bvshl",
+        BvOp::LShr => "bvlshr",
+        BvOp::AShr => "bvashr",
+    }
+}
+
+fn cmp_op_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Ult => "bvult",
+        CmpOp::Ule => "bvule",
+        CmpOp::Ugt => "bvugt",
+        CmpOp::Uge => "bvuge",
+        CmpOp::Slt => "bvslt",
+        CmpOp::Sle => "bvsle",
+        CmpOp::Sgt => "bvsgt",
+        CmpOp::Sge => "bvsge",
+    }
+}
+
+/// Parse an S-expression back into a term.
+pub fn parse_sexpr(src: &str) -> Result<Term, String> {
+    let tokens = tokenize(src)?;
+    let mut pos = 0;
+    let t = parse(&tokens, &mut pos)?;
+    if pos != tokens.len() {
+        return Err(format!("trailing tokens at {pos}"));
+    }
+    Ok(t)
+}
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    L,
+    R,
+    Atom(String),
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in src.chars() {
+        match c {
+            '(' | ')' => {
+                if !cur.is_empty() {
+                    out.push(Tok::Atom(std::mem::take(&mut cur)));
+                }
+                out.push(if c == '(' { Tok::L } else { Tok::R });
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    out.push(Tok::Atom(std::mem::take(&mut cur)));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(Tok::Atom(cur));
+    }
+    Ok(out)
+}
+
+fn parse(tokens: &[Tok], pos: &mut usize) -> Result<Term, String> {
+    match tokens.get(*pos) {
+        Some(Tok::Atom(a)) => {
+            *pos += 1;
+            match a.as_str() {
+                "true" => Ok(Term::tt()),
+                "false" => Ok(Term::ff()),
+                other => Err(format!("unexpected atom `{other}`")),
+            }
+        }
+        Some(Tok::L) => {
+            *pos += 1;
+            let Some(Tok::Atom(head)) = tokens.get(*pos) else {
+                return Err("expected operator".into());
+            };
+            let head = head.clone();
+            *pos += 1;
+            let t = parse_form(&head, tokens, pos)?;
+            match tokens.get(*pos) {
+                Some(Tok::R) => {
+                    *pos += 1;
+                    Ok(t)
+                }
+                _ => Err(format!("expected `)` after {head}")),
+            }
+        }
+        other => Err(format!("unexpected token {other:?}")),
+    }
+}
+
+fn parse_sort(s: &str) -> Result<Sort, String> {
+    if s == "bool" {
+        return Ok(Sort::Bool);
+    }
+    if let Some(w) = s.strip_prefix("bv") {
+        let w: u32 = w.parse().map_err(|_| format!("bad sort {s}"))?;
+        return Ok(Sort::Bv(w));
+    }
+    Err(format!("bad sort {s}"))
+}
+
+fn atom(tokens: &[Tok], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(Tok::Atom(a)) => {
+            *pos += 1;
+            Ok(a.clone())
+        }
+        other => Err(format!("expected atom, got {other:?}")),
+    }
+}
+
+fn parse_args(tokens: &[Tok], pos: &mut usize) -> Result<Vec<Term>, String> {
+    let mut out = Vec::new();
+    while !matches!(tokens.get(*pos), Some(Tok::R) | None) {
+        out.push(parse(tokens, pos)?);
+    }
+    Ok(out)
+}
+
+fn parse_form(head: &str, tokens: &[Tok], pos: &mut usize) -> Result<Term, String> {
+    match head {
+        "bv" => {
+            let w: u32 = atom(tokens, pos)?.parse().map_err(|_| "bad width")?;
+            let v: u128 = atom(tokens, pos)?.parse().map_err(|_| "bad value")?;
+            Ok(Term::bv(w, v))
+        }
+        "var" => {
+            let name = atom(tokens, pos)?;
+            let sort = parse_sort(&atom(tokens, pos)?)?;
+            Ok(Term::var(name, sort))
+        }
+        "extract" | "zext" | "sext" => {
+            let a: u32 = atom(tokens, pos)?.parse().map_err(|_| "bad index")?;
+            match head {
+                "extract" => {
+                    let lo: u32 = atom(tokens, pos)?.parse().map_err(|_| "bad index")?;
+                    let arg = parse(tokens, pos)?;
+                    Ok(arg.extract(a, lo))
+                }
+                "zext" => Ok(parse(tokens, pos)?.zero_ext(a)),
+                _ => Ok(parse(tokens, pos)?.sign_ext(a)),
+            }
+        }
+        _ => {
+            let args = parse_args(tokens, pos)?;
+            let need = |n: usize| -> Result<(), String> {
+                if args.len() == n {
+                    Ok(())
+                } else {
+                    Err(format!("{head}: expected {n} args, got {}", args.len()))
+                }
+            };
+            match head {
+                "not" => {
+                    need(1)?;
+                    Ok(args[0].not())
+                }
+                "and" => Ok(Term::and_all(args)),
+                "or" => Ok(Term::or_all(args)),
+                "=>" => {
+                    need(2)?;
+                    Ok(args[0].implies(&args[1]))
+                }
+                "ite" => {
+                    need(3)?;
+                    Ok(args[0].ite(&args[1], &args[2]))
+                }
+                "=" => {
+                    need(2)?;
+                    Ok(args[0].eq_term(&args[1]))
+                }
+                "concat" => {
+                    need(2)?;
+                    Ok(args[0].concat(&args[1]))
+                }
+                "bvnot" => {
+                    need(1)?;
+                    Ok(args[0].bvnot())
+                }
+                "bvneg" => {
+                    need(1)?;
+                    Ok(args[0].bvneg())
+                }
+                "bvadd" | "bvsub" | "bvmul" | "bvudiv" | "bvurem" | "bvand" | "bvor"
+                | "bvxor" | "bvshl" | "bvlshr" | "bvashr" => {
+                    need(2)?;
+                    let (a, b) = (&args[0], &args[1]);
+                    Ok(match head {
+                        "bvadd" => a.bvadd(b),
+                        "bvsub" => a.bvsub(b),
+                        "bvmul" => a.bvmul(b),
+                        "bvudiv" => a.bvudiv(b),
+                        "bvurem" => a.bvurem(b),
+                        "bvand" => a.bvand(b),
+                        "bvor" => a.bvor(b),
+                        "bvxor" => a.bvxor(b),
+                        "bvshl" => a.bvshl(b),
+                        "bvlshr" => a.bvlshr(b),
+                        _ => a.bvashr(b),
+                    })
+                }
+                "bvult" | "bvule" | "bvugt" | "bvuge" | "bvslt" | "bvsle" | "bvsgt"
+                | "bvsge" => {
+                    need(2)?;
+                    let (a, b) = (&args[0], &args[1]);
+                    Ok(match head {
+                        "bvult" => a.bvult(b),
+                        "bvule" => a.bvule(b),
+                        "bvugt" => a.bvugt(b),
+                        "bvuge" => a.bvuge(b),
+                        "bvslt" => a.bvslt(b),
+                        "bvsle" => a.bvsle(b),
+                        "bvsgt" => a.bvsgt(b),
+                        _ => a.bvsge(b),
+                    })
+                }
+                other => Err(format!("unknown operator `{other}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(t: &Term) {
+        let s = to_sexpr(t);
+        let back = parse_sexpr(&s).unwrap_or_else(|e| panic!("parse `{s}`: {e}"));
+        assert!(t.alpha_eq(&back), "{t} != {back} (via {s})");
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        let x = Term::var("pcn.nat#0.hit", Sort::Bool);
+        let m = Term::var("pcn.nat#0.key1.mask", Sort::Bv(32));
+        roundtrip(&x);
+        roundtrip(&m.eq_term(&Term::bv(32, 0)).not().and(&x));
+        roundtrip(&Term::bv(9, 511));
+        roundtrip(&Term::tt());
+    }
+
+    #[test]
+    fn roundtrip_bv_ops() {
+        let a = Term::var("a", Sort::Bv(16));
+        let b = Term::var("b", Sort::Bv(16));
+        roundtrip(&a.bvadd(&b).bvmul(&a).bvxor(&b));
+        roundtrip(&a.bvslt(&b).ite(&a.bvnot(), &b.bvneg()));
+        roundtrip(&a.extract(7, 0).zero_ext(4).concat(&b.extract(3, 0)));
+    }
+
+    #[test]
+    fn roundtrip_folding_stability() {
+        // Constructors fold at parse time; the parsed term is equivalent
+        // even when folding collapses it.
+        let t = Term::bv(8, 3).bvadd(&Term::bv(8, 4));
+        let s = "(bvadd (bv 8 3) (bv 8 4))";
+        let parsed = parse_sexpr(s).unwrap();
+        assert!(t.alpha_eq(&parsed));
+        assert_eq!(parsed.as_bv_const(), Some(7));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_sexpr("(bogus 1 2)").is_err());
+        assert!(parse_sexpr("(and true").is_err());
+        assert!(parse_sexpr("xyz").is_err());
+        assert!(parse_sexpr("(= (bv 8 1))").is_err());
+    }
+}

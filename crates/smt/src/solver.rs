@@ -1,0 +1,78 @@
+//! The solver abstraction used by the verification core.
+//!
+//! Two implementations exist: [`crate::Z3Backend`] (the production backend,
+//! as in the paper) and [`crate::bitblast::BitBlastSolver`] (an internal
+//! CDCL solver over bit-blasted formulas, used as an independent oracle in
+//! differential tests).
+
+use crate::term::{Sort, Term};
+use crate::Assignment;
+use std::sync::Arc;
+
+/// Result of a satisfiability check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// A satisfying assignment exists.
+    Sat,
+    /// No satisfying assignment exists.
+    Unsat,
+    /// The solver could not decide (resource limits).
+    Unknown,
+}
+
+/// A satisfiability result bundled with a model when available.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// Sat/Unsat/Unknown.
+    pub result: SatResult,
+    /// Model for the requested variables, on `Sat`.
+    pub model: Option<Assignment>,
+}
+
+/// Incremental solver interface over [`Term`] formulas.
+///
+/// The interface mirrors exactly the Z3 features Algorithm 1 (Infer)
+/// depends on: incremental assertion, models, assumption-based checking and
+/// unsat cores over the assumptions of the *most recent*
+/// [`Solver::check_assumptions`] call.
+pub trait Solver {
+    /// Permanently assert a boolean term.
+    fn assert(&mut self, t: &Term);
+
+    /// Push a backtracking point.
+    fn push(&mut self);
+
+    /// Pop the most recent backtracking point.
+    fn pop(&mut self);
+
+    /// Check satisfiability of the asserted formulas.
+    fn check(&mut self) -> SatResult;
+
+    /// Check satisfiability under additional boolean assumptions.
+    fn check_assumptions(&mut self, assumptions: &[Term]) -> SatResult;
+
+    /// After an `Unsat` from [`Solver::check_assumptions`]: indices (into the
+    /// assumption slice) of a small inconsistent subset.
+    fn unsat_core(&mut self) -> Vec<usize>;
+
+    /// After a `Sat`: concrete values for the requested variables. Variables
+    /// the solver never saw get default values (false / zero), matching Z3's
+    /// model-completion semantics.
+    fn model(&mut self, vars: &[(Arc<str>, Sort)]) -> Option<Assignment>;
+
+    /// Convenience: one-shot satisfiability of a single formula,
+    /// returning a model over its free variables.
+    fn solve(&mut self, t: &Term) -> SolveOutcome {
+        self.push();
+        self.assert(t);
+        let result = self.check();
+        let model = if result == SatResult::Sat {
+            let fv: Vec<(Arc<str>, Sort)> = crate::free_vars(t).into_iter().collect();
+            self.model(&fv)
+        } else {
+            None
+        };
+        self.pop();
+        SolveOutcome { result, model }
+    }
+}

@@ -1,0 +1,1119 @@
+//! The QF_BV term language.
+//!
+//! Terms are immutable, reference-counted DAG nodes. Every [`Term`] carries a
+//! process-unique id so that analyses (lowering, substitution, free
+//! variables) can memoize on identity instead of re-walking shared
+//! sub-DAGs — this is what keeps weakest-precondition formulas, which share
+//! heavily across CFG join points, tractable.
+//!
+//! Constructors perform constant folding and cheap algebraic rewrites
+//! (identity/absorbing elements, double negation, trivial `ite`). Deeper
+//! simplification lives in [`crate::simplify`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Maximum supported bit-vector width. P4 allows arbitrary widths; every
+/// program in our corpus (and, to our knowledge, every practical P4 header
+/// field) fits in 128 bits, which lets us store literals in a `u128`.
+pub const MAX_WIDTH: u32 = 128;
+
+/// The sort (type) of a term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Sort {
+    /// Boolean.
+    Bool,
+    /// Bit-vector of the given width (1..=[`MAX_WIDTH`]).
+    Bv(u32),
+}
+
+impl Sort {
+    /// Width of a bit-vector sort; panics on `Bool`.
+    pub fn width(self) -> u32 {
+        match self {
+            Sort::Bv(w) => w,
+            Sort::Bool => panic!("Sort::width called on Bool"),
+        }
+    }
+
+    /// True if this is a bit-vector sort.
+    pub fn is_bv(self) -> bool {
+        matches!(self, Sort::Bv(_))
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "bool"),
+            Sort::Bv(w) => write!(f, "bv{w}"),
+        }
+    }
+}
+
+/// A concrete value: the result of evaluating a term, or a literal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// Boolean value.
+    Bool(bool),
+    /// Bit-vector value; `bits` is always masked to `width` bits.
+    Bv {
+        /// Width in bits (1..=[`MAX_WIDTH`]).
+        width: u32,
+        /// The payload, masked to `width`.
+        bits: u128,
+    },
+}
+
+impl Value {
+    /// Construct a bit-vector value, masking `bits` to `width`.
+    pub fn bv(width: u32, bits: u128) -> Value {
+        assert!(width >= 1 && width <= MAX_WIDTH, "bad bv width {width}");
+        Value::Bv {
+            width,
+            bits: mask(width, bits),
+        }
+    }
+
+    /// Sort of this value.
+    pub fn sort(&self) -> Sort {
+        match self {
+            Value::Bool(_) => Sort::Bool,
+            Value::Bv { width, .. } => Sort::Bv(*width),
+        }
+    }
+
+    /// The boolean payload; panics if this is a bit-vector.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            _ => panic!("as_bool on {self:?}"),
+        }
+    }
+
+    /// The bit-vector payload; panics if this is a boolean.
+    pub fn as_bits(&self) -> u128 {
+        match self {
+            Value::Bv { bits, .. } => *bits,
+            _ => panic!("as_bits on {self:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Bv { width, bits } => write!(f, "{bits}w{width}"),
+        }
+    }
+}
+
+/// Mask `bits` down to the low `width` bits.
+pub fn mask(width: u32, bits: u128) -> u128 {
+    if width >= 128 {
+        bits
+    } else {
+        bits & ((1u128 << width) - 1)
+    }
+}
+
+/// Binary bit-vector operators (`Bv x Bv -> Bv`, same width), with
+/// SMT-LIB semantics (see [`fold_bv`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum BvOp {
+    Add,
+    Sub,
+    Mul,
+    UDiv,
+    URem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    LShr,
+    AShr,
+}
+
+/// Bit-vector comparison operators (`Bv x Bv -> Bool`); `U`/`S` prefixes
+/// select unsigned/signed interpretation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+}
+
+/// A term-DAG node. Construct via the methods on [`Term`]; the enum is public
+/// so that backends and analyses can pattern-match.
+#[derive(Debug)]
+pub enum TermNode {
+    /// Literal constant.
+    Const(Value),
+    /// Free variable with a name and sort.
+    Var(Arc<str>, Sort),
+    /// Boolean negation.
+    Not(Term),
+    /// N-ary conjunction (flattened, no literal `true` members).
+    And(Vec<Term>),
+    /// N-ary disjunction (flattened, no literal `false` members).
+    Or(Vec<Term>),
+    /// Implication.
+    Implies(Term, Term),
+    /// If-then-else; branches share any sort.
+    Ite(Term, Term, Term),
+    /// Equality over any shared sort.
+    Eq(Term, Term),
+    /// Binary bit-vector arithmetic/bitwise op.
+    Bv(BvOp, Term, Term),
+    /// Bit-vector comparison producing a boolean.
+    Cmp(CmpOp, Term, Term),
+    /// Bitwise complement.
+    BvNot(Term),
+    /// Two's-complement negation.
+    BvNeg(Term),
+    /// Concatenation: `hi ++ lo` (width = sum).
+    Concat(Term, Term),
+    /// Bit extraction `arg[hi:lo]` inclusive (width = hi-lo+1).
+    Extract {
+        /// High bit (inclusive).
+        hi: u32,
+        /// Low bit (inclusive).
+        lo: u32,
+        /// Extracted operand.
+        arg: Term,
+    },
+    /// Zero-extension by `add` bits.
+    ZeroExt {
+        /// Bits added.
+        add: u32,
+        /// Extended operand.
+        arg: Term,
+    },
+    /// Sign-extension by `add` bits.
+    SignExt {
+        /// Bits added.
+        add: u32,
+        /// Extended operand.
+        arg: Term,
+    },
+}
+
+struct Inner {
+    id: u64,
+    sort: Sort,
+    node: TermNode,
+}
+
+/// A reference-counted, immutable QF_BV term.
+///
+/// Cloning is cheap (an `Arc` bump). Equality (`==`) is *identity* equality —
+/// two structurally equal terms built separately compare unequal; use
+/// [`Term::alpha_eq`] for structural comparison where needed. Identity
+/// equality is the right default for memoized analyses and is what all
+/// internal maps key on.
+#[derive(Clone)]
+pub struct Term(Arc<Inner>);
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+impl PartialEq for Term {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.id == other.0.id
+    }
+}
+impl Eq for Term {}
+impl std::hash::Hash for Term {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.id.hash(state);
+    }
+}
+
+impl Term {
+    fn mk(sort: Sort, node: TermNode) -> Term {
+        Term(Arc::new(Inner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            sort,
+            node,
+        }))
+    }
+
+    /// Process-unique id of this node; stable for the node's lifetime.
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// The node payload.
+    pub fn node(&self) -> &TermNode {
+        &self.0.node
+    }
+
+    /// The sort of this term.
+    pub fn sort(&self) -> Sort {
+        self.0.sort
+    }
+
+    /// Width shortcut for bit-vector terms.
+    pub fn width(&self) -> u32 {
+        self.0.sort.width()
+    }
+
+    // ---- leaves ----
+
+    /// Boolean literal.
+    pub fn bool(b: bool) -> Term {
+        Term::mk(Sort::Bool, TermNode::Const(Value::Bool(b)))
+    }
+
+    /// The literal `true`.
+    pub fn tt() -> Term {
+        Term::bool(true)
+    }
+
+    /// The literal `false`.
+    pub fn ff() -> Term {
+        Term::bool(false)
+    }
+
+    /// Bit-vector literal (masked to `width`).
+    pub fn bv(width: u32, bits: u128) -> Term {
+        Term::mk(Sort::Bv(width), TermNode::Const(Value::bv(width, bits)))
+    }
+
+    /// Literal from a [`Value`].
+    pub fn value(v: Value) -> Term {
+        Term::mk(v.sort(), TermNode::Const(v))
+    }
+
+    /// Free variable.
+    pub fn var(name: impl Into<Arc<str>>, sort: Sort) -> Term {
+        Term::mk(sort, TermNode::Var(name.into(), sort))
+    }
+
+    /// If this term is a literal, its value.
+    pub fn as_const(&self) -> Option<Value> {
+        match self.node() {
+            TermNode::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// If this term is a boolean literal, its value.
+    pub fn as_bool_const(&self) -> Option<bool> {
+        match self.as_const() {
+            Some(Value::Bool(b)) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// If this term is a bit-vector literal, its bits.
+    pub fn as_bv_const(&self) -> Option<u128> {
+        match self.as_const() {
+            Some(Value::Bv { bits, .. }) => Some(bits),
+            _ => None,
+        }
+    }
+
+    /// True if this term is the literal `true`.
+    pub fn is_true(&self) -> bool {
+        self.as_bool_const() == Some(true)
+    }
+
+    /// True if this term is the literal `false`.
+    pub fn is_false(&self) -> bool {
+        self.as_bool_const() == Some(false)
+    }
+
+    // ---- boolean connectives ----
+
+    /// Logical negation with double-negation and literal folding.
+    pub fn not(&self) -> Term {
+        assert_eq!(self.sort(), Sort::Bool, "not: non-bool operand");
+        match self.node() {
+            TermNode::Const(Value::Bool(b)) => Term::bool(!b),
+            TermNode::Not(inner) => inner.clone(),
+            _ => Term::mk(Sort::Bool, TermNode::Not(self.clone())),
+        }
+    }
+
+    /// N-ary conjunction; flattens one level, drops `true`, folds `false`.
+    pub fn and_all(terms: impl IntoIterator<Item = Term>) -> Term {
+        let mut out: Vec<Term> = Vec::new();
+        for t in terms {
+            assert_eq!(t.sort(), Sort::Bool, "and: non-bool operand");
+            if t.is_true() {
+                continue;
+            }
+            if t.is_false() {
+                return Term::ff();
+            }
+            if let TermNode::And(inner) = t.node() {
+                // Only flatten small nests: unbounded flattening destroys
+                // the DAG sharing that keeps WP formulas compact.
+                if inner.len() <= 4 {
+                    out.extend(inner.iter().cloned());
+                    continue;
+                }
+            }
+            out.push(t);
+        }
+        match out.len() {
+            0 => Term::tt(),
+            1 => out.pop().unwrap(),
+            _ => Term::mk(Sort::Bool, TermNode::And(out)),
+        }
+    }
+
+    /// Binary conjunction.
+    pub fn and(&self, other: &Term) -> Term {
+        Term::and_all([self.clone(), other.clone()])
+    }
+
+    /// N-ary disjunction; flattens one level, drops `false`, folds `true`.
+    pub fn or_all(terms: impl IntoIterator<Item = Term>) -> Term {
+        let mut out: Vec<Term> = Vec::new();
+        for t in terms {
+            assert_eq!(t.sort(), Sort::Bool, "or: non-bool operand");
+            if t.is_false() {
+                continue;
+            }
+            if t.is_true() {
+                return Term::tt();
+            }
+            if let TermNode::Or(inner) = t.node() {
+                if inner.len() <= 4 {
+                    out.extend(inner.iter().cloned());
+                    continue;
+                }
+            }
+            out.push(t);
+        }
+        match out.len() {
+            0 => Term::ff(),
+            1 => out.pop().unwrap(),
+            _ => Term::mk(Sort::Bool, TermNode::Or(out)),
+        }
+    }
+
+    /// Binary disjunction.
+    pub fn or(&self, other: &Term) -> Term {
+        Term::or_all([self.clone(), other.clone()])
+    }
+
+    /// Implication `self => other`.
+    pub fn implies(&self, other: &Term) -> Term {
+        assert_eq!(self.sort(), Sort::Bool);
+        assert_eq!(other.sort(), Sort::Bool);
+        if self.is_false() || other.is_true() {
+            return Term::tt();
+        }
+        if self.is_true() {
+            return other.clone();
+        }
+        if other.is_false() {
+            return self.not();
+        }
+        Term::mk(Sort::Bool, TermNode::Implies(self.clone(), other.clone()))
+    }
+
+    /// Logical equivalence, expressed through [`Term::eq_term`].
+    pub fn iff(&self, other: &Term) -> Term {
+        self.eq_term(other)
+    }
+
+    /// If-then-else over any sort.
+    pub fn ite(&self, then_t: &Term, else_t: &Term) -> Term {
+        assert_eq!(self.sort(), Sort::Bool, "ite: non-bool condition");
+        assert_eq!(then_t.sort(), else_t.sort(), "ite: branch sort mismatch");
+        if self.is_true() {
+            return then_t.clone();
+        }
+        if self.is_false() {
+            return else_t.clone();
+        }
+        if then_t == else_t {
+            return then_t.clone();
+        }
+        // ite(c, true, false) = c;  ite(c, false, true) = !c
+        if then_t.sort() == Sort::Bool {
+            if then_t.is_true() && else_t.is_false() {
+                return self.clone();
+            }
+            if then_t.is_false() && else_t.is_true() {
+                return self.not();
+            }
+        }
+        Term::mk(
+            then_t.sort(),
+            TermNode::Ite(self.clone(), then_t.clone(), else_t.clone()),
+        )
+    }
+
+    /// Equality over a shared sort (booleans or same-width bit-vectors).
+    pub fn eq_term(&self, other: &Term) -> Term {
+        assert_eq!(
+            self.sort(),
+            other.sort(),
+            "eq: sort mismatch {} vs {}",
+            self.sort(),
+            other.sort()
+        );
+        if self == other {
+            return Term::tt();
+        }
+        if let (Some(a), Some(b)) = (self.as_const(), other.as_const()) {
+            return Term::bool(a == b);
+        }
+        // bool-side folds: (x == true) -> x, (x == false) -> !x
+        if self.sort() == Sort::Bool {
+            if let Some(b) = other.as_bool_const() {
+                return if b { self.clone() } else { self.not() };
+            }
+            if let Some(b) = self.as_bool_const() {
+                return if b { other.clone() } else { other.not() };
+            }
+        }
+        Term::mk(Sort::Bool, TermNode::Eq(self.clone(), other.clone()))
+    }
+
+    /// Disequality.
+    pub fn ne_term(&self, other: &Term) -> Term {
+        self.eq_term(other).not()
+    }
+
+    // ---- bit-vector ops ----
+
+    fn bvbin(&self, op: BvOp, other: &Term) -> Term {
+        let w = self.width();
+        assert_eq!(
+            w,
+            other.width(),
+            "bv {op:?}: width mismatch {} vs {}",
+            w,
+            other.width()
+        );
+        if let (Some(a), Some(b)) = (self.as_bv_const(), other.as_bv_const()) {
+            return Term::bv(w, fold_bv(op, w, a, b));
+        }
+        // identity / absorbing rewrites
+        match op {
+            BvOp::Add | BvOp::Or | BvOp::Xor | BvOp::Shl | BvOp::LShr | BvOp::AShr => {
+                if other.as_bv_const() == Some(0) {
+                    return self.clone();
+                }
+                if matches!(op, BvOp::Add | BvOp::Or | BvOp::Xor) && self.as_bv_const() == Some(0)
+                {
+                    return other.clone();
+                }
+            }
+            BvOp::Sub => {
+                if other.as_bv_const() == Some(0) {
+                    return self.clone();
+                }
+                if self == other {
+                    return Term::bv(w, 0);
+                }
+            }
+            BvOp::And => {
+                if other.as_bv_const() == Some(0) || self.as_bv_const() == Some(0) {
+                    return Term::bv(w, 0);
+                }
+                let ones = mask(w, u128::MAX);
+                if other.as_bv_const() == Some(ones) {
+                    return self.clone();
+                }
+                if self.as_bv_const() == Some(ones) {
+                    return other.clone();
+                }
+                if self == other {
+                    return self.clone();
+                }
+            }
+            BvOp::Mul => {
+                if other.as_bv_const() == Some(1) {
+                    return self.clone();
+                }
+                if self.as_bv_const() == Some(1) {
+                    return other.clone();
+                }
+                if other.as_bv_const() == Some(0) || self.as_bv_const() == Some(0) {
+                    return Term::bv(w, 0);
+                }
+            }
+            _ => {}
+        }
+        Term::mk(Sort::Bv(w), TermNode::Bv(op, self.clone(), other.clone()))
+    }
+
+    /// Addition (wrap-around).
+    pub fn bvadd(&self, o: &Term) -> Term {
+        self.bvbin(BvOp::Add, o)
+    }
+    /// Subtraction (wrap-around).
+    pub fn bvsub(&self, o: &Term) -> Term {
+        self.bvbin(BvOp::Sub, o)
+    }
+    /// Multiplication (truncating).
+    pub fn bvmul(&self, o: &Term) -> Term {
+        self.bvbin(BvOp::Mul, o)
+    }
+    /// Unsigned division (per SMT-LIB, `x / 0` is all-ones).
+    pub fn bvudiv(&self, o: &Term) -> Term {
+        self.bvbin(BvOp::UDiv, o)
+    }
+    /// Unsigned remainder (per SMT-LIB, `x % 0` is `x`).
+    pub fn bvurem(&self, o: &Term) -> Term {
+        self.bvbin(BvOp::URem, o)
+    }
+    /// Bitwise and.
+    pub fn bvand(&self, o: &Term) -> Term {
+        self.bvbin(BvOp::And, o)
+    }
+    /// Bitwise or.
+    pub fn bvor(&self, o: &Term) -> Term {
+        self.bvbin(BvOp::Or, o)
+    }
+    /// Bitwise xor.
+    pub fn bvxor(&self, o: &Term) -> Term {
+        self.bvbin(BvOp::Xor, o)
+    }
+    /// Left shift (shift amount is the second operand, same width).
+    pub fn bvshl(&self, o: &Term) -> Term {
+        self.bvbin(BvOp::Shl, o)
+    }
+    /// Logical right shift.
+    pub fn bvlshr(&self, o: &Term) -> Term {
+        self.bvbin(BvOp::LShr, o)
+    }
+    /// Arithmetic right shift.
+    pub fn bvashr(&self, o: &Term) -> Term {
+        self.bvbin(BvOp::AShr, o)
+    }
+
+    /// Bitwise complement.
+    pub fn bvnot(&self) -> Term {
+        let w = self.width();
+        if let Some(a) = self.as_bv_const() {
+            return Term::bv(w, !a);
+        }
+        if let TermNode::BvNot(inner) = self.node() {
+            return inner.clone();
+        }
+        Term::mk(Sort::Bv(w), TermNode::BvNot(self.clone()))
+    }
+
+    /// Two's-complement negation.
+    pub fn bvneg(&self) -> Term {
+        let w = self.width();
+        if let Some(a) = self.as_bv_const() {
+            return Term::bv(w, a.wrapping_neg());
+        }
+        Term::mk(Sort::Bv(w), TermNode::BvNeg(self.clone()))
+    }
+
+    fn cmp(&self, op: CmpOp, other: &Term) -> Term {
+        let w = self.width();
+        assert_eq!(w, other.width(), "cmp {op:?}: width mismatch");
+        if let (Some(a), Some(b)) = (self.as_bv_const(), other.as_bv_const()) {
+            return Term::bool(fold_cmp(op, w, a, b));
+        }
+        if self == other {
+            return Term::bool(matches!(op, CmpOp::Ule | CmpOp::Uge | CmpOp::Sle | CmpOp::Sge));
+        }
+        Term::mk(Sort::Bool, TermNode::Cmp(op, self.clone(), other.clone()))
+    }
+
+    /// Unsigned `<`.
+    pub fn bvult(&self, o: &Term) -> Term {
+        self.cmp(CmpOp::Ult, o)
+    }
+    /// Unsigned `<=`.
+    pub fn bvule(&self, o: &Term) -> Term {
+        self.cmp(CmpOp::Ule, o)
+    }
+    /// Unsigned `>`.
+    pub fn bvugt(&self, o: &Term) -> Term {
+        self.cmp(CmpOp::Ugt, o)
+    }
+    /// Unsigned `>=`.
+    pub fn bvuge(&self, o: &Term) -> Term {
+        self.cmp(CmpOp::Uge, o)
+    }
+    /// Signed `<`.
+    pub fn bvslt(&self, o: &Term) -> Term {
+        self.cmp(CmpOp::Slt, o)
+    }
+    /// Signed `<=`.
+    pub fn bvsle(&self, o: &Term) -> Term {
+        self.cmp(CmpOp::Sle, o)
+    }
+    /// Signed `>`.
+    pub fn bvsgt(&self, o: &Term) -> Term {
+        self.cmp(CmpOp::Sgt, o)
+    }
+    /// Signed `>=`.
+    pub fn bvsge(&self, o: &Term) -> Term {
+        self.cmp(CmpOp::Sge, o)
+    }
+
+    /// Concatenation `self ++ low` — `self` supplies the high bits.
+    pub fn concat(&self, low: &Term) -> Term {
+        let w = self.width() + low.width();
+        assert!(w <= MAX_WIDTH, "concat width {w} exceeds {MAX_WIDTH}");
+        if let (Some(a), Some(b)) = (self.as_bv_const(), low.as_bv_const()) {
+            return Term::bv(w, (a << low.width()) | b);
+        }
+        Term::mk(Sort::Bv(w), TermNode::Concat(self.clone(), low.clone()))
+    }
+
+    /// Extract bits `hi..=lo`.
+    pub fn extract(&self, hi: u32, lo: u32) -> Term {
+        let w = self.width();
+        assert!(hi >= lo && hi < w, "extract [{hi}:{lo}] out of bv{w}");
+        let nw = hi - lo + 1;
+        if nw == w {
+            return self.clone();
+        }
+        if let Some(a) = self.as_bv_const() {
+            return Term::bv(nw, a >> lo);
+        }
+        Term::mk(
+            Sort::Bv(nw),
+            TermNode::Extract {
+                hi,
+                lo,
+                arg: self.clone(),
+            },
+        )
+    }
+
+    /// Zero-extend by `add` bits.
+    pub fn zero_ext(&self, add: u32) -> Term {
+        if add == 0 {
+            return self.clone();
+        }
+        let w = self.width() + add;
+        assert!(w <= MAX_WIDTH);
+        if let Some(a) = self.as_bv_const() {
+            return Term::bv(w, a);
+        }
+        Term::mk(
+            Sort::Bv(w),
+            TermNode::ZeroExt {
+                add,
+                arg: self.clone(),
+            },
+        )
+    }
+
+    /// Sign-extend by `add` bits.
+    pub fn sign_ext(&self, add: u32) -> Term {
+        if add == 0 {
+            return self.clone();
+        }
+        let ow = self.width();
+        let w = ow + add;
+        assert!(w <= MAX_WIDTH);
+        if let Some(a) = self.as_bv_const() {
+            let sign = (a >> (ow - 1)) & 1;
+            let ext = if sign == 1 {
+                mask(w, u128::MAX) & !mask(ow, u128::MAX)
+            } else {
+                0
+            };
+            return Term::bv(w, a | ext);
+        }
+        Term::mk(
+            Sort::Bv(w),
+            TermNode::SignExt {
+                add,
+                arg: self.clone(),
+            },
+        )
+    }
+
+    /// Resize to `new_width`: truncate or zero-extend as needed. This is the
+    /// semantics P4 gives to width casts between unsigned bit types.
+    pub fn resize(&self, new_width: u32) -> Term {
+        let w = self.width();
+        if new_width == w {
+            self.clone()
+        } else if new_width < w {
+            self.extract(new_width - 1, 0)
+        } else {
+            self.zero_ext(new_width - w)
+        }
+    }
+
+    /// Structural (deep) equality; used only in tests and on small atoms.
+    pub fn alpha_eq(&self, other: &Term) -> bool {
+        if self == other {
+            return true;
+        }
+        if self.sort() != other.sort() {
+            return false;
+        }
+        use TermNode::*;
+        match (self.node(), other.node()) {
+            (Const(a), Const(b)) => a == b,
+            (Var(a, sa), Var(b, sb)) => a == b && sa == sb,
+            (Not(a), Not(b)) => a.alpha_eq(b),
+            (And(a), And(b)) | (Or(a), Or(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.alpha_eq(y))
+            }
+            (Implies(a1, a2), Implies(b1, b2)) | (Eq(a1, a2), Eq(b1, b2)) => {
+                a1.alpha_eq(b1) && a2.alpha_eq(b2)
+            }
+            (Ite(a1, a2, a3), Ite(b1, b2, b3)) => {
+                a1.alpha_eq(b1) && a2.alpha_eq(b2) && a3.alpha_eq(b3)
+            }
+            (Bv(oa, a1, a2), Bv(ob, b1, b2)) => oa == ob && a1.alpha_eq(b1) && a2.alpha_eq(b2),
+            (Cmp(oa, a1, a2), Cmp(ob, b1, b2)) => oa == ob && a1.alpha_eq(b1) && a2.alpha_eq(b2),
+            (BvNot(a), BvNot(b)) | (BvNeg(a), BvNeg(b)) => a.alpha_eq(b),
+            (Concat(a1, a2), Concat(b1, b2)) => a1.alpha_eq(b1) && a2.alpha_eq(b2),
+            (
+                Extract {
+                    hi: h1,
+                    lo: l1,
+                    arg: a,
+                },
+                Extract {
+                    hi: h2,
+                    lo: l2,
+                    arg: b,
+                },
+            ) => h1 == h2 && l1 == l2 && a.alpha_eq(b),
+            (ZeroExt { add: x, arg: a }, ZeroExt { add: y, arg: b })
+            | (SignExt { add: x, arg: a }, SignExt { add: y, arg: b }) => {
+                x == y && a.alpha_eq(b)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Fold a binary bit-vector operation on constants (SMT-LIB semantics).
+pub fn fold_bv(op: BvOp, w: u32, a: u128, b: u128) -> u128 {
+    let m = |x| mask(w, x);
+    match op {
+        BvOp::Add => m(a.wrapping_add(b)),
+        BvOp::Sub => m(a.wrapping_sub(b)),
+        BvOp::Mul => m(a.wrapping_mul(b)),
+        BvOp::UDiv => {
+            if b == 0 {
+                m(u128::MAX)
+            } else {
+                m(a / b)
+            }
+        }
+        BvOp::URem => {
+            if b == 0 {
+                a
+            } else {
+                m(a % b)
+            }
+        }
+        BvOp::And => a & b,
+        BvOp::Or => a | b,
+        BvOp::Xor => a ^ b,
+        BvOp::Shl => {
+            if b >= w as u128 {
+                0
+            } else {
+                m(a << b)
+            }
+        }
+        BvOp::LShr => {
+            if b >= w as u128 {
+                0
+            } else {
+                a >> b
+            }
+        }
+        BvOp::AShr => {
+            let sign = (a >> (w - 1)) & 1;
+            if b >= w as u128 {
+                if sign == 1 {
+                    mask(w, u128::MAX)
+                } else {
+                    0
+                }
+            } else {
+                let shifted = a >> b;
+                if sign == 1 {
+                    let fill = mask(w, u128::MAX) & !(mask(w, u128::MAX) >> b);
+                    m(shifted | fill)
+                } else {
+                    shifted
+                }
+            }
+        }
+    }
+}
+
+/// Signed interpretation of a `w`-bit value.
+pub fn to_signed(w: u32, a: u128) -> i128 {
+    if w == 128 {
+        return a as i128; // two's-complement reinterpretation
+    }
+    let sign = (a >> (w - 1)) & 1;
+    if sign == 1 {
+        (a as i128) - (1i128 << w)
+    } else {
+        a as i128
+    }
+}
+
+/// Fold a bit-vector comparison on constants.
+pub fn fold_cmp(op: CmpOp, w: u32, a: u128, b: u128) -> bool {
+    match op {
+        CmpOp::Ult => a < b,
+        CmpOp::Ule => a <= b,
+        CmpOp::Ugt => a > b,
+        CmpOp::Uge => a >= b,
+        CmpOp::Slt => to_signed(w, a) < to_signed(w, b),
+        CmpOp::Sle => to_signed(w, a) <= to_signed(w, b),
+        CmpOp::Sgt => to_signed(w, a) > to_signed(w, b),
+        CmpOp::Sge => to_signed(w, a) >= to_signed(w, b),
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Depth-limited printer: WP formulas can be enormous.
+        fn go(t: &Term, f: &mut fmt::Formatter<'_>, depth: u32) -> fmt::Result {
+            if depth > 12 {
+                return write!(f, "…");
+            }
+            use TermNode::*;
+            match t.node() {
+                Const(v) => write!(f, "{v}"),
+                Var(n, _) => write!(f, "{n}"),
+                Not(a) => {
+                    write!(f, "!(")?;
+                    go(a, f, depth + 1)?;
+                    write!(f, ")")
+                }
+                And(xs) | Or(xs) => {
+                    let sep = if matches!(t.node(), And(_)) { " && " } else { " || " };
+                    write!(f, "(")?;
+                    for (i, x) in xs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "{sep}")?;
+                        }
+                        go(x, f, depth + 1)?;
+                    }
+                    write!(f, ")")
+                }
+                Implies(a, b) => {
+                    write!(f, "(")?;
+                    go(a, f, depth + 1)?;
+                    write!(f, " => ")?;
+                    go(b, f, depth + 1)?;
+                    write!(f, ")")
+                }
+                Ite(c, a, b) => {
+                    write!(f, "ite(")?;
+                    go(c, f, depth + 1)?;
+                    write!(f, ", ")?;
+                    go(a, f, depth + 1)?;
+                    write!(f, ", ")?;
+                    go(b, f, depth + 1)?;
+                    write!(f, ")")
+                }
+                Eq(a, b) => {
+                    write!(f, "(")?;
+                    go(a, f, depth + 1)?;
+                    write!(f, " == ")?;
+                    go(b, f, depth + 1)?;
+                    write!(f, ")")
+                }
+                Bv(op, a, b) => {
+                    write!(f, "({op:?} ")?;
+                    go(a, f, depth + 1)?;
+                    write!(f, " ")?;
+                    go(b, f, depth + 1)?;
+                    write!(f, ")")
+                }
+                Cmp(op, a, b) => {
+                    write!(f, "({op:?} ")?;
+                    go(a, f, depth + 1)?;
+                    write!(f, " ")?;
+                    go(b, f, depth + 1)?;
+                    write!(f, ")")
+                }
+                BvNot(a) => {
+                    write!(f, "~(")?;
+                    go(a, f, depth + 1)?;
+                    write!(f, ")")
+                }
+                BvNeg(a) => {
+                    write!(f, "-(")?;
+                    go(a, f, depth + 1)?;
+                    write!(f, ")")
+                }
+                Concat(a, b) => {
+                    write!(f, "(")?;
+                    go(a, f, depth + 1)?;
+                    write!(f, " ++ ")?;
+                    go(b, f, depth + 1)?;
+                    write!(f, ")")
+                }
+                Extract { hi, lo, arg } => {
+                    go(arg, f, depth + 1)?;
+                    write!(f, "[{hi}:{lo}]")
+                }
+                ZeroExt { add, arg } => {
+                    write!(f, "zext{add}(")?;
+                    go(arg, f, depth + 1)?;
+                    write!(f, ")")
+                }
+                SignExt { add, arg } => {
+                    write!(f, "sext{add}(")?;
+                    go(arg, f, depth + 1)?;
+                    write!(f, ")")
+                }
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_folding_add() {
+        let t = Term::bv(8, 250).bvadd(&Term::bv(8, 10));
+        assert_eq!(t.as_bv_const(), Some(4)); // wraps mod 256
+    }
+
+    #[test]
+    fn and_identities() {
+        let x = Term::var("x", Sort::Bool);
+        assert_eq!(x.and(&Term::tt()), x);
+        assert!(x.and(&Term::ff()).is_false());
+        assert!(Term::and_all([]).is_true());
+    }
+
+    #[test]
+    fn or_identities() {
+        let x = Term::var("x", Sort::Bool);
+        assert_eq!(x.or(&Term::ff()), x);
+        assert!(x.or(&Term::tt()).is_true());
+        assert!(Term::or_all([]).is_false());
+    }
+
+    #[test]
+    fn double_negation() {
+        let x = Term::var("x", Sort::Bool);
+        assert_eq!(x.not().not(), x);
+    }
+
+    #[test]
+    fn eq_same_node_is_true() {
+        let x = Term::var("x", Sort::Bv(4));
+        assert!(x.eq_term(&x).is_true());
+    }
+
+    #[test]
+    fn eq_bool_const_folds_to_operand() {
+        let x = Term::var("x", Sort::Bool);
+        assert_eq!(x.eq_term(&Term::tt()), x);
+        assert!(matches!(x.eq_term(&Term::ff()).node(), TermNode::Not(_)));
+    }
+
+    #[test]
+    fn ite_folds() {
+        let x = Term::var("x", Sort::Bv(8));
+        let y = Term::var("y", Sort::Bv(8));
+        let c = Term::var("c", Sort::Bool);
+        assert_eq!(Term::tt().ite(&x, &y), x);
+        assert_eq!(Term::ff().ite(&x, &y), y);
+        assert_eq!(c.ite(&x, &x), x);
+        assert_eq!(c.ite(&Term::tt(), &Term::ff()), c);
+    }
+
+    #[test]
+    fn sub_self_is_zero() {
+        let x = Term::var("x", Sort::Bv(16));
+        assert_eq!(x.bvsub(&x).as_bv_const(), Some(0));
+    }
+
+    #[test]
+    fn and_with_ones_and_zero() {
+        let x = Term::var("x", Sort::Bv(8));
+        assert_eq!(x.bvand(&Term::bv(8, 0xff)), x);
+        assert_eq!(x.bvand(&Term::bv(8, 0)).as_bv_const(), Some(0));
+    }
+
+    #[test]
+    fn extract_and_concat_fold() {
+        let t = Term::bv(16, 0xabcd);
+        assert_eq!(t.extract(15, 8).as_bv_const(), Some(0xab));
+        assert_eq!(t.extract(7, 0).as_bv_const(), Some(0xcd));
+        let c = Term::bv(8, 0xab).concat(&Term::bv(8, 0xcd));
+        assert_eq!(c.as_bv_const(), Some(0xabcd));
+        assert_eq!(c.width(), 16);
+    }
+
+    #[test]
+    fn sign_ext_fold() {
+        assert_eq!(Term::bv(4, 0b1000).sign_ext(4).as_bv_const(), Some(0xf8));
+        assert_eq!(Term::bv(4, 0b0100).sign_ext(4).as_bv_const(), Some(0x04));
+    }
+
+    #[test]
+    fn resize_semantics() {
+        let t = Term::bv(16, 0xabcd);
+        assert_eq!(t.resize(8).as_bv_const(), Some(0xcd));
+        assert_eq!(t.resize(32).as_bv_const(), Some(0xabcd));
+        assert_eq!(t.resize(16), t);
+    }
+
+    #[test]
+    fn signed_compare_folds() {
+        // -1 < 0 signed, but 0xff > 0 unsigned
+        let a = Term::bv(8, 0xff);
+        let b = Term::bv(8, 0);
+        assert!(a.bvslt(&b).is_true());
+        assert!(a.bvult(&b).is_false());
+    }
+
+    #[test]
+    fn udiv_urem_by_zero_smtlib() {
+        assert_eq!(fold_bv(BvOp::UDiv, 8, 7, 0), 0xff);
+        assert_eq!(fold_bv(BvOp::URem, 8, 7, 0), 7);
+    }
+
+    #[test]
+    fn shift_semantics() {
+        assert_eq!(fold_bv(BvOp::Shl, 8, 1, 9), 0);
+        assert_eq!(fold_bv(BvOp::LShr, 8, 0x80, 7), 1);
+        assert_eq!(fold_bv(BvOp::AShr, 8, 0x80, 7), 0xff);
+        assert_eq!(fold_bv(BvOp::AShr, 8, 0x40, 6), 1);
+    }
+
+    #[test]
+    fn identity_vs_structural_equality() {
+        let a = Term::var("v", Sort::Bv(8)).bvadd(&Term::var("w", Sort::Bv(8)));
+        let b = Term::var("v", Sort::Bv(8)).bvadd(&Term::var("w", Sort::Bv(8)));
+        assert_ne!(a, b); // identity
+        assert!(a.alpha_eq(&b)); // structure
+    }
+}

@@ -1,0 +1,212 @@
+//! Memoized traversals over term DAGs: free variables, substitution and
+//! size metrics. All traversals key their memo tables on [`Term::id`] so
+//! shared sub-DAGs are visited once.
+
+use crate::term::{Sort, Term, TermNode};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Collect the free variables of `t` as a `name -> sort` map.
+///
+/// The result is a `BTreeMap` so iteration order is deterministic, which
+/// keeps inferred annotations and counterexample dumps stable across runs.
+pub fn free_vars(t: &Term) -> BTreeMap<Arc<str>, Sort> {
+    let mut out = BTreeMap::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut stack = vec![t.clone()];
+    while let Some(cur) = stack.pop() {
+        if !seen.insert(cur.id()) {
+            continue;
+        }
+        match cur.node() {
+            TermNode::Const(_) => {}
+            TermNode::Var(name, sort) => {
+                out.insert(name.clone(), *sort);
+            }
+            TermNode::Not(a) | TermNode::BvNot(a) | TermNode::BvNeg(a) => stack.push(a.clone()),
+            TermNode::And(xs) | TermNode::Or(xs) => stack.extend(xs.iter().cloned()),
+            TermNode::Implies(a, b)
+            | TermNode::Eq(a, b)
+            | TermNode::Bv(_, a, b)
+            | TermNode::Cmp(_, a, b)
+            | TermNode::Concat(a, b) => {
+                stack.push(a.clone());
+                stack.push(b.clone());
+            }
+            TermNode::Ite(c, a, b) => {
+                stack.push(c.clone());
+                stack.push(a.clone());
+                stack.push(b.clone());
+            }
+            TermNode::Extract { arg, .. }
+            | TermNode::ZeroExt { arg, .. }
+            | TermNode::SignExt { arg, .. } => stack.push(arg.clone()),
+        }
+    }
+    out
+}
+
+/// Number of distinct DAG nodes in `t`.
+pub fn term_size(t: &Term) -> usize {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut stack = vec![t.clone()];
+    while let Some(cur) = stack.pop() {
+        if !seen.insert(cur.id()) {
+            continue;
+        }
+        for c in children(&cur) {
+            stack.push(c);
+        }
+    }
+    seen.len()
+}
+
+/// Children of a node, in order.
+pub fn children(t: &Term) -> Vec<Term> {
+    match t.node() {
+        TermNode::Const(_) | TermNode::Var(..) => vec![],
+        TermNode::Not(a) | TermNode::BvNot(a) | TermNode::BvNeg(a) => vec![a.clone()],
+        TermNode::And(xs) | TermNode::Or(xs) => xs.clone(),
+        TermNode::Implies(a, b)
+        | TermNode::Eq(a, b)
+        | TermNode::Bv(_, a, b)
+        | TermNode::Cmp(_, a, b)
+        | TermNode::Concat(a, b) => vec![a.clone(), b.clone()],
+        TermNode::Ite(c, a, b) => vec![c.clone(), a.clone(), b.clone()],
+        TermNode::Extract { arg, .. }
+        | TermNode::ZeroExt { arg, .. }
+        | TermNode::SignExt { arg, .. } => vec![arg.clone()],
+    }
+}
+
+/// Substitute variables by name: every `Var(n, _)` with `n` in `map` is
+/// replaced by `map[n]` (which must have the same sort). Rebuilding goes
+/// through the smart constructors, so substitution re-triggers folding —
+/// substituting constants typically collapses large sub-DAGs.
+pub fn substitute(t: &Term, map: &HashMap<Arc<str>, Term>) -> Term {
+    let mut memo: HashMap<u64, Term> = HashMap::new();
+    subst_rec(t, map, &mut memo)
+}
+
+fn subst_rec(t: &Term, map: &HashMap<Arc<str>, Term>, memo: &mut HashMap<u64, Term>) -> Term {
+    if let Some(r) = memo.get(&t.id()) {
+        return r.clone();
+    }
+    let result = match t.node() {
+        TermNode::Const(_) => t.clone(),
+        TermNode::Var(name, sort) => match map.get(name) {
+            Some(r) => {
+                assert_eq!(r.sort(), *sort, "substitute: sort mismatch for {name}");
+                r.clone()
+            }
+            None => t.clone(),
+        },
+        TermNode::Not(a) => subst_rec(a, map, memo).not(),
+        TermNode::And(xs) => {
+            Term::and_all(xs.iter().map(|x| subst_rec(x, map, memo)).collect::<Vec<_>>())
+        }
+        TermNode::Or(xs) => {
+            Term::or_all(xs.iter().map(|x| subst_rec(x, map, memo)).collect::<Vec<_>>())
+        }
+        TermNode::Implies(a, b) => subst_rec(a, map, memo).implies(&subst_rec(b, map, memo)),
+        TermNode::Ite(c, a, b) => {
+            subst_rec(c, map, memo).ite(&subst_rec(a, map, memo), &subst_rec(b, map, memo))
+        }
+        TermNode::Eq(a, b) => subst_rec(a, map, memo).eq_term(&subst_rec(b, map, memo)),
+        TermNode::Bv(op, a, b) => {
+            let a = subst_rec(a, map, memo);
+            let b = subst_rec(b, map, memo);
+            use crate::term::BvOp::*;
+            match op {
+                Add => a.bvadd(&b),
+                Sub => a.bvsub(&b),
+                Mul => a.bvmul(&b),
+                UDiv => a.bvudiv(&b),
+                URem => a.bvurem(&b),
+                And => a.bvand(&b),
+                Or => a.bvor(&b),
+                Xor => a.bvxor(&b),
+                Shl => a.bvshl(&b),
+                LShr => a.bvlshr(&b),
+                AShr => a.bvashr(&b),
+            }
+        }
+        TermNode::Cmp(op, a, b) => {
+            let a = subst_rec(a, map, memo);
+            let b = subst_rec(b, map, memo);
+            use crate::term::CmpOp::*;
+            match op {
+                Ult => a.bvult(&b),
+                Ule => a.bvule(&b),
+                Ugt => a.bvugt(&b),
+                Uge => a.bvuge(&b),
+                Slt => a.bvslt(&b),
+                Sle => a.bvsle(&b),
+                Sgt => a.bvsgt(&b),
+                Sge => a.bvsge(&b),
+            }
+        }
+        TermNode::BvNot(a) => subst_rec(a, map, memo).bvnot(),
+        TermNode::BvNeg(a) => subst_rec(a, map, memo).bvneg(),
+        TermNode::Concat(a, b) => subst_rec(a, map, memo).concat(&subst_rec(b, map, memo)),
+        TermNode::Extract { hi, lo, arg } => subst_rec(arg, map, memo).extract(*hi, *lo),
+        TermNode::ZeroExt { add, arg } => subst_rec(arg, map, memo).zero_ext(*add),
+        TermNode::SignExt { add, arg } => subst_rec(arg, map, memo).sign_ext(*add),
+    };
+    memo.insert(t.id(), result.clone());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    #[test]
+    fn free_vars_shared_dag_counted_once() {
+        let x = Term::var("x", Sort::Bv(8));
+        let sum = x.bvadd(&x);
+        let t = sum.eq_term(&Term::bv(8, 4)).and(&sum.bvult(&Term::bv(8, 9)));
+        let fv = free_vars(&t);
+        assert_eq!(fv.len(), 1);
+        assert_eq!(fv.get("x" as &str), Some(&Sort::Bv(8)));
+    }
+
+    #[test]
+    fn term_size_counts_distinct_nodes() {
+        let x = Term::var("x", Sort::Bv(8));
+        let sum = x.bvadd(&x); // x counted once
+        assert_eq!(term_size(&sum), 2);
+    }
+
+    #[test]
+    fn substitute_folds_constants() {
+        let x = Term::var("x", Sort::Bv(8));
+        let y = Term::var("y", Sort::Bv(8));
+        let t = x.bvadd(&y).eq_term(&Term::bv(8, 10));
+        let mut m = HashMap::new();
+        m.insert(Arc::from("x"), Term::bv(8, 4));
+        m.insert(Arc::from("y"), Term::bv(8, 6));
+        assert!(substitute(&t, &m).is_true());
+    }
+
+    #[test]
+    fn substitute_leaves_unmapped_vars() {
+        let x = Term::var("x", Sort::Bool);
+        let y = Term::var("y", Sort::Bool);
+        let t = x.and(&y);
+        let mut m = HashMap::new();
+        m.insert(Arc::from("x"), Term::tt());
+        let r = substitute(&t, &m);
+        assert!(r.alpha_eq(&y));
+    }
+
+    #[test]
+    #[should_panic(expected = "sort mismatch")]
+    fn substitute_checks_sorts() {
+        let x = Term::var("x", Sort::Bv(8));
+        let mut m = HashMap::new();
+        m.insert(Arc::from("x"), Term::tt());
+        substitute(&x.eq_term(&Term::bv(8, 0)), &m);
+    }
+}

@@ -1,0 +1,363 @@
+//! Z3 backend: lowers [`Term`] DAGs to Z3 ASTs and implements [`Solver`].
+//!
+//! Lowering memoizes on [`Term::id`], so DAG sharing in our term language is
+//! preserved in the Z3 AST — without this, weakest-precondition formulas for
+//! programs with many join points would blow up exponentially when lowered
+//! (the classic problem addressed by Flanagan & Saxe, which the paper cites).
+//!
+//! Unsat cores: Z3 reports cores as a subset of the assumption literals.
+//! Arbitrary boolean terms are therefore wrapped in fresh named tracking
+//! literals (`bf4!a!<n>`) implied by the real assumption; the core is mapped
+//! back to assumption indices by name.
+
+use crate::solver::{SatResult, Solver};
+use crate::term::{BvOp, CmpOp, Sort, Term, TermNode, Value};
+use crate::Assignment;
+use std::collections::HashMap;
+use std::sync::Arc;
+use z3::ast::{Bool, BV};
+
+/// Lowered Z3 AST, typed.
+#[derive(Clone)]
+enum Z {
+    B(Bool),
+    V(BV),
+}
+
+impl Z {
+    fn b(self) -> Bool {
+        match self {
+            Z::B(b) => b,
+            Z::V(_) => panic!("expected Bool, got BV"),
+        }
+    }
+    fn v(self) -> BV {
+        match self {
+            Z::V(v) => v,
+            Z::B(_) => panic!("expected BV, got Bool"),
+        }
+    }
+}
+
+/// A [`Solver`] implementation backed by Z3.
+///
+/// Note: the `z3` crate uses a thread-local context, so a `Z3Backend` (and
+/// any `Term` lowered through it) must stay on the thread that created it.
+pub struct Z3Backend {
+    solver: z3::Solver,
+    memo: HashMap<u64, Z>,
+    consts: HashMap<Arc<str>, Z>,
+    /// Tracking literals for the most recent `check_assumptions` call.
+    last_trackers: Vec<Bool>,
+    fresh: u64,
+}
+
+impl Default for Z3Backend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Z3Backend {
+    /// Create a fresh solver.
+    pub fn new() -> Z3Backend {
+        Z3Backend {
+            solver: z3::Solver::new(),
+            memo: HashMap::new(),
+            consts: HashMap::new(),
+            last_trackers: Vec::new(),
+            fresh: 0,
+        }
+    }
+
+    fn lower(&mut self, t: &Term) -> Z {
+        if let Some(z) = self.memo.get(&t.id()) {
+            return z.clone();
+        }
+        let z = match t.node() {
+            TermNode::Const(Value::Bool(b)) => Z::B(Bool::from_bool(*b)),
+            TermNode::Const(Value::Bv { width, bits }) => Z::V(lower_bv_lit(*width, *bits)),
+            TermNode::Var(name, sort) => {
+                if let Some(z) = self.consts.get(name) {
+                    z.clone()
+                } else {
+                    let z = match sort {
+                        Sort::Bool => Z::B(Bool::new_const(name.to_string())),
+                        Sort::Bv(w) => Z::V(BV::new_const(name.to_string(), *w)),
+                    };
+                    self.consts.insert(name.clone(), z.clone());
+                    z
+                }
+            }
+            TermNode::Not(a) => Z::B(self.lower(a).b().not()),
+            TermNode::And(xs) => {
+                let parts: Vec<Bool> = xs.iter().map(|x| self.lower(x).b()).collect();
+                Z::B(Bool::and(&parts))
+            }
+            TermNode::Or(xs) => {
+                let parts: Vec<Bool> = xs.iter().map(|x| self.lower(x).b()).collect();
+                Z::B(Bool::or(&parts))
+            }
+            TermNode::Implies(a, b) => {
+                let a = self.lower(a).b();
+                let b = self.lower(b).b();
+                Z::B(a.implies(&b))
+            }
+            TermNode::Ite(c, a, b) => {
+                let c = self.lower(c).b();
+                match (self.lower(a), self.lower(b)) {
+                    (Z::B(a), Z::B(b)) => Z::B(c.ite(&a, &b)),
+                    (Z::V(a), Z::V(b)) => Z::V(c.ite(&a, &b)),
+                    _ => panic!("ite branch sort mismatch"),
+                }
+            }
+            TermNode::Eq(a, b) => match (self.lower(a), self.lower(b)) {
+                (Z::B(a), Z::B(b)) => Z::B(a.iff(&b)),
+                (Z::V(a), Z::V(b)) => Z::B(a.eq(&b)),
+                _ => panic!("eq sort mismatch"),
+            },
+            TermNode::Bv(op, a, b) => {
+                let a = self.lower(a).v();
+                let b = self.lower(b).v();
+                Z::V(match op {
+                    BvOp::Add => a.bvadd(&b),
+                    BvOp::Sub => a.bvsub(&b),
+                    BvOp::Mul => a.bvmul(&b),
+                    BvOp::UDiv => a.bvudiv(&b),
+                    BvOp::URem => a.bvurem(&b),
+                    BvOp::And => a.bvand(&b),
+                    BvOp::Or => a.bvor(&b),
+                    BvOp::Xor => a.bvxor(&b),
+                    BvOp::Shl => a.bvshl(&b),
+                    BvOp::LShr => a.bvlshr(&b),
+                    BvOp::AShr => a.bvashr(&b),
+                })
+            }
+            TermNode::Cmp(op, a, b) => {
+                let a = self.lower(a).v();
+                let b = self.lower(b).v();
+                Z::B(match op {
+                    CmpOp::Ult => a.bvult(&b),
+                    CmpOp::Ule => a.bvule(&b),
+                    CmpOp::Ugt => a.bvugt(&b),
+                    CmpOp::Uge => a.bvuge(&b),
+                    CmpOp::Slt => a.bvslt(&b),
+                    CmpOp::Sle => a.bvsle(&b),
+                    CmpOp::Sgt => a.bvsgt(&b),
+                    CmpOp::Sge => a.bvsge(&b),
+                })
+            }
+            TermNode::BvNot(a) => Z::V(self.lower(a).v().bvnot()),
+            TermNode::BvNeg(a) => Z::V(self.lower(a).v().bvneg()),
+            TermNode::Concat(a, b) => {
+                let a = self.lower(a).v();
+                let b = self.lower(b).v();
+                Z::V(a.concat(&b))
+            }
+            TermNode::Extract { hi, lo, arg } => Z::V(self.lower(arg).v().extract(*hi, *lo)),
+            TermNode::ZeroExt { add, arg } => Z::V(self.lower(arg).v().zero_ext(*add)),
+            TermNode::SignExt { add, arg } => Z::V(self.lower(arg).v().sign_ext(*add)),
+        };
+        self.memo.insert(t.id(), z.clone());
+        z
+    }
+
+    fn bv_value(model: &z3::Model, ast: &BV) -> Option<u128> {
+        let w = ast.get_size();
+        if w <= 64 {
+            let v = model.eval(ast, true)?;
+            v.as_u64().map(|x| x as u128)
+        } else {
+            // Evaluate halves separately; `as_u64` only handles <= 64 bits.
+            let hi = model.eval(&ast.extract(w - 1, 64), true)?.as_u64()? as u128;
+            let lo = model.eval(&ast.extract(63, 0), true)?.as_u64()? as u128;
+            Some((hi << 64) | lo)
+        }
+    }
+}
+
+/// Build a Z3 BV literal of any width up to 128 bits.
+fn lower_bv_lit(width: u32, bits: u128) -> BV {
+    if width <= 64 {
+        BV::from_u64(bits as u64, width)
+    } else {
+        let hi = BV::from_u64((bits >> 64) as u64, width - 64);
+        let lo = BV::from_u64(bits as u64, 64);
+        hi.concat(&lo)
+    }
+}
+
+impl Solver for Z3Backend {
+    fn assert(&mut self, t: &Term) {
+        let b = self.lower(t).b();
+        self.solver.assert(&b);
+    }
+
+    fn push(&mut self) {
+        self.solver.push();
+    }
+
+    fn pop(&mut self) {
+        self.solver.pop(1);
+    }
+
+    fn check(&mut self) -> SatResult {
+        match self.solver.check() {
+            z3::SatResult::Sat => SatResult::Sat,
+            z3::SatResult::Unsat => SatResult::Unsat,
+            z3::SatResult::Unknown => SatResult::Unknown,
+        }
+    }
+
+    fn check_assumptions(&mut self, assumptions: &[Term]) -> SatResult {
+        // Each assumption `f` is wrapped in a fresh tracking literal `p`
+        // with a permanent assertion `p => f`. A tracker is only ever
+        // assumed in this one call, so leftover implications from earlier
+        // calls are vacuous and need no scope management.
+        self.last_trackers.clear();
+        let mut trackers = Vec::with_capacity(assumptions.len());
+        for a in assumptions {
+            let name = format!("bf4!a!{}", self.fresh);
+            self.fresh += 1;
+            let p = Bool::new_const(name);
+            let lowered = self.lower(a).b();
+            self.solver.assert(p.implies(&lowered));
+            trackers.push(p);
+        }
+        let r = self.solver.check_assumptions(&trackers);
+        self.last_trackers = trackers;
+        match r {
+            z3::SatResult::Sat => SatResult::Sat,
+            z3::SatResult::Unsat => SatResult::Unsat,
+            z3::SatResult::Unknown => SatResult::Unknown,
+        }
+    }
+
+    fn unsat_core(&mut self) -> Vec<usize> {
+        let core = self.solver.get_unsat_core();
+        let names: Vec<String> = core.iter().map(|b| format!("{b}")).collect();
+        let mut out = Vec::new();
+        for (i, t) in self.last_trackers.iter().enumerate() {
+            let tn = format!("{t}");
+            if names.iter().any(|n| *n == tn) {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    fn model(&mut self, vars: &[(Arc<str>, Sort)]) -> Option<Assignment> {
+        let model = self.solver.get_model()?;
+        let mut out = Assignment::new();
+        for (name, sort) in vars {
+            let z = self.consts.get(name);
+            let v = match (z, sort) {
+                (Some(Z::B(b)), Sort::Bool) => {
+                    Value::Bool(model.eval(b, true).and_then(|x| x.as_bool()).unwrap_or(false))
+                }
+                (Some(Z::V(bv)), Sort::Bv(w)) => {
+                    Value::bv(*w, Self::bv_value(&model, bv).unwrap_or(0))
+                }
+                // Variable never reached the solver: default per model
+                // completion semantics.
+                (None, Sort::Bool) => Value::Bool(false),
+                (None, Sort::Bv(w)) => Value::bv(*w, 0),
+                _ => panic!("model: sort mismatch for {name}"),
+            };
+            out.insert(name.clone(), v);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::term::Sort;
+
+    #[test]
+    fn sat_with_model_roundtrip() {
+        let x = Term::var("x", Sort::Bv(8));
+        let y = Term::var("y", Sort::Bv(8));
+        let f = x.bvadd(&y).eq_term(&Term::bv(8, 10)).and(&x.bvugt(&y));
+        let mut s = Z3Backend::new();
+        let out = s.solve(&f);
+        assert_eq!(out.result, SatResult::Sat);
+        let m = out.model.unwrap();
+        // model must actually satisfy the formula
+        assert_eq!(eval(&f, &m).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn unsat_simple() {
+        let x = Term::var("x", Sort::Bool);
+        let mut s = Z3Backend::new();
+        s.assert(&x);
+        s.assert(&x.not());
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn push_pop_restores() {
+        let x = Term::var("x", Sort::Bool);
+        let mut s = Z3Backend::new();
+        s.assert(&x);
+        s.push();
+        s.assert(&x.not());
+        assert_eq!(s.check(), SatResult::Unsat);
+        s.pop();
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn assumptions_and_core() {
+        // x && !x via two assumptions plus an irrelevant third.
+        let x = Term::var("x", Sort::Bool);
+        let z = Term::var("z", Sort::Bool);
+        let mut s = Z3Backend::new();
+        let assumptions = vec![x.clone(), x.not(), z.clone()];
+        assert_eq!(s.check_assumptions(&assumptions), SatResult::Unsat);
+        let core = s.unsat_core();
+        assert!(core.contains(&0));
+        assert!(core.contains(&1));
+        assert!(!core.contains(&2), "irrelevant assumption in core");
+        // solver state restored
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn wide_bv_literals() {
+        let x = Term::var("x", Sort::Bv(100));
+        let big: u128 = (1u128 << 99) | 12345;
+        let f = x.eq_term(&Term::bv(100, big));
+        let mut s = Z3Backend::new();
+        let out = s.solve(&f);
+        assert_eq!(out.result, SatResult::Sat);
+        let m = out.model.unwrap();
+        assert_eq!(m.get("x" as &str), Some(&Value::bv(100, big)));
+    }
+
+    #[test]
+    fn ite_lowering() {
+        let c = Term::var("c", Sort::Bool);
+        let t = c
+            .ite(&Term::bv(8, 1), &Term::bv(8, 2))
+            .eq_term(&Term::bv(8, 2));
+        let mut s = Z3Backend::new();
+        let out = s.solve(&t);
+        let m = out.model.unwrap();
+        assert_eq!(m.get("c" as &str), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn model_defaults_for_unseen_vars() {
+        let mut s = Z3Backend::new();
+        s.assert(&Term::tt());
+        assert_eq!(s.check(), SatResult::Sat);
+        let m = s
+            .model(&[(Arc::from("ghost"), Sort::Bv(8))])
+            .unwrap();
+        assert_eq!(m.get("ghost" as &str), Some(&Value::bv(8, 0)));
+    }
+}

@@ -1,0 +1,14 @@
+//! Runnable examples exercising the bf4 public API end to end:
+//!
+//! * `quickstart` — verify the paper's running example and print the
+//!   found bugs, inferred annotations and proposed fixes;
+//! * `nat_fix_roundtrip` — apply the proposed key fixes and show the
+//!   re-verified program is bug-free;
+//! * `shim_filter` — load the emitted annotations into the runtime shim
+//!   and filter a stream of controller updates (the §2.1 faulty rule gets
+//!   rejected with an exception);
+//! * `counterexample_replay` — turn a static counterexample model into a
+//!   concrete packet + snapshot and replay it on the dataplane
+//!   interpreter, hitting the same bug.
+//!
+//! Run with `cargo run -p bf4-examples --example <name>`.

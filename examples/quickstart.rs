@@ -1,0 +1,43 @@
+//! Quickstart: verify a P4 program and inspect bf4's outputs.
+//!
+//! ```text
+//! cargo run -p bf4-examples --example quickstart
+//! ```
+
+use bf4_core::{verify, VerifyOptions};
+
+fn main() {
+    // The paper's running example (Fig. 1): a small NAT with three
+    // signature bugs.
+    let program = bf4_corpus::by_name("simple_nat").expect("corpus program");
+
+    let report = verify(program.source, &VerifyOptions::default()).expect("verification");
+
+    println!("=== bf4 quickstart: {} ===\n", program.name);
+    println!("bugs with all table rules possible : {}", report.bugs_total);
+    println!("bugs after inferred annotations    : {}", report.bugs_after_infer);
+    println!("bugs after proposed fixes          : {}", report.bugs_after_fixes);
+    println!();
+
+    println!("--- per-bug detail ---");
+    for bug in &report.bugs {
+        println!(
+            "  [{}] line {:>3} {:?} — {}",
+            bug.kind,
+            bug.line,
+            bug.status,
+            bug.description
+        );
+    }
+    println!();
+
+    println!("--- proposed fixes (added table keys) ---");
+    print!("{}", report.fix_description);
+    if report.egress_spec_fix {
+        println!("  + initialize egress_spec to drop at the start of ingress (§4.6)");
+    }
+    println!();
+
+    println!("--- inferred controller annotations ---");
+    print!("{}", report.annotations);
+}

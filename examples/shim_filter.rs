@@ -1,0 +1,76 @@
+//! Runtime filtering: compile-time annotations feed the shim, which then
+//! vets controller updates in microseconds (§4.4/§5.3). The §2.1 faulty
+//! rule — "ipv4 invalid but srcAddr mask non-zero" — throws an exception.
+
+use bf4_core::{verify, VerifyOptions};
+use bf4_shim::{RuleUpdate, Shim, ShimError, Update};
+
+fn main() {
+    let program = bf4_corpus::by_name("simple_nat").unwrap();
+    let report = verify(program.source, &VerifyOptions::default()).unwrap();
+
+    // The annotation artifact round-trips through its SQL-like text form,
+    // exactly as it would be shipped to the controller host.
+    let text = report.annotations.to_string();
+    let mut shim = Shim::from_text(&text).expect("parse annotations");
+    let nat = shim
+        .table_names()
+        .into_iter()
+        .find(|t| t.ends_with(".nat"))
+        .unwrap();
+
+    println!("=== shim filtering on {} ===", nat);
+
+    // A sane NAT rule: matches valid ipv4+tcp, full masks.
+    let good = Update::Insert {
+        table: nat.clone(),
+        rule: RuleUpdate {
+            key_values: vec![0, 1, 1, 0x0a00_0001, 0x0a00_0002],
+            key_masks: vec![u128::MAX, u128::MAX, u128::MAX, 0xffff_ffff, 0xffff_ffff],
+            action: "nat_hit_int_to_ext".into(),
+            params: vec![0xC0A8_0001, 7],
+        },
+    };
+    match shim.apply(&good) {
+        Ok(d) => println!(
+            "good rule accepted as id {:?} in {:?} ({} assertions checked)",
+            d.rule_id, d.latency, d.assertions_checked
+        ),
+        Err(e) => panic!("good rule rejected: {e}"),
+    }
+
+    // The paper's faulty rule: ipv4.isValid key = 0 with a non-zero
+    // srcAddr mask — every matching packet would read an invalid header.
+    let faulty = Update::Insert {
+        table: nat.clone(),
+        rule: RuleUpdate {
+            key_values: vec![0, 0, 0, 0xC000_0000, 0],
+            key_masks: vec![u128::MAX, u128::MAX, u128::MAX, 0xff00_0000, 0],
+            action: "nat_hit_int_to_ext".into(),
+            params: vec![0, 1],
+        },
+    };
+    match shim.apply(&faulty) {
+        Err(ShimError::AssertionViolated { assertion, .. }) => {
+            println!("faulty rule rejected — exception raised to the controller:");
+            println!("  violated: {assertion}");
+        }
+        other => panic!("faulty rule was not filtered: {other:?}"),
+    }
+
+    // A mask-zero rule on an invalid header never reads the field: safe,
+    // and the annotations are maximally permissive about it.
+    let safe_mask_zero = Update::Insert {
+        table: nat,
+        rule: RuleUpdate {
+            key_values: vec![0, 0, 0, 0, 0],
+            key_masks: vec![u128::MAX, u128::MAX, u128::MAX, 0, 0],
+            action: "drop_".into(),
+            params: vec![],
+        },
+    };
+    match shim.apply(&safe_mask_zero) {
+        Ok(_) => println!("mask-0 rule on invalid header accepted (no good run blocked)"),
+        Err(e) => panic!("over-restrictive annotation: {e}"),
+    }
+}

@@ -1,0 +1,157 @@
+//! The compile-time annotation artifact must survive its textual round
+//! trip bit-for-bit in meaning for every corpus program, and a shim built
+//! from the parsed text must agree with one built from the in-memory
+//! artifact on a shared workload.
+
+use bf4_core::specs::AnnotationFile;
+use bf4_core::{verify, VerifyOptions};
+use bf4_shim::controller::{Controller, WorkloadConfig};
+use bf4_shim::Shim;
+
+#[test]
+fn all_corpus_annotations_roundtrip() {
+    for p in bf4_corpus::all() {
+        let r = verify(p.source, &VerifyOptions::default()).unwrap();
+        let text = r.annotations.to_string();
+        let parsed = AnnotationFile::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: parse error {e}\n{text}", p.name));
+        assert_eq!(parsed.tables, r.annotations.tables, "{}", p.name);
+        assert_eq!(parsed.specs.len(), r.annotations.specs.len(), "{}", p.name);
+        for (a, b) in parsed.specs.iter().zip(&r.annotations.specs) {
+            assert!(
+                a.formula.alpha_eq(&b.formula),
+                "{}: formula drift\n {} \n {}",
+                p.name,
+                a.formula,
+                b.formula
+            );
+            assert_eq!(a.with_table, b.with_table, "{}", p.name);
+            assert_eq!(a.origin, b.origin, "{}", p.name);
+        }
+        assert_eq!(
+            parsed.unsafe_defaults, r.annotations.unsafe_defaults,
+            "{}",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn parsed_and_inmemory_shims_agree() {
+    let p = bf4_corpus::by_name("simple_nat").unwrap();
+    let r = verify(p.source, &VerifyOptions::default()).unwrap();
+    let mut shim_mem = Shim::new(&r.annotations);
+    let mut shim_txt = Shim::from_text(&r.annotations.to_string()).unwrap();
+    let mut ctrl = Controller::new(
+        &r.annotations,
+        WorkloadConfig {
+            updates: 400,
+            faulty_fraction: 0.4,
+            delete_fraction: 0.1,
+            seed: 99,
+        },
+    );
+    for u in ctrl.workload() {
+        let a = shim_mem.apply(&u).map(|d| d.rule_id);
+        let b = shim_txt.apply(&u).map(|d| d.rule_id);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            other => panic!("shims disagree on {u:?}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn emitted_artifact_is_sql_like_per_section_4_4() {
+    // Structural sanity of the SQL-like format: every assertion carries a
+    // header (table + variables via the TABLE record) and a body (WHERE).
+    let p = bf4_corpus::by_name("simple_nat").unwrap();
+    let r = verify(p.source, &VerifyOptions::default()).unwrap();
+    let text = r.annotations.to_string();
+    assert!(text.contains("TABLE ingress.nat SITE "));
+    assert!(text.contains("KEY "));
+    assert!(text.contains("ACTION "));
+    assert!(text.contains("ASSERT ON ingress."));
+    assert!(text.contains("WHERE ("));
+}
+
+#[test]
+fn shim_enforces_multi_table_assertion() {
+    // The §4.2 scenario end to end: verify multi_tenant, load the shim,
+    // install (k1=7, nop_) in t1; then the combination rule
+    // (k1=7, k2=*, use_H) in t2 must be rejected — every packet hitting it
+    // would read the invalid header H — while (k1=7, k2=*, skip_) passes,
+    // and use_H under a *validating* t1 rule passes too.
+    use bf4_shim::{RuleUpdate, ShimError, Update};
+    let p = bf4_corpus::by_name("multi_tenant").unwrap();
+    let r = verify(p.source, &VerifyOptions::default()).unwrap();
+    assert!(
+        r.annotations.specs.iter().any(|s| s.with_table.is_some()),
+        "expected a multi-table annotation"
+    );
+    let mut shim = Shim::new(&r.annotations);
+    let t1 = "ingress.t1".to_string();
+    let t2 = "ingress.t2".to_string();
+    // t1: k1=7 → nop_ (leaves H invalid).
+    shim.apply(&Update::Insert {
+        table: t1.clone(),
+        rule: RuleUpdate {
+            key_values: vec![7],
+            key_masks: vec![u128::MAX],
+            action: "nop_".into(),
+            params: vec![],
+        },
+    })
+    .expect("t1 nop rule is fine on its own");
+    // t2: k1=7 + use_H → must be rejected as a combination.
+    let err = shim
+        .apply(&Update::Insert {
+            table: t2.clone(),
+            rule: RuleUpdate {
+                key_values: vec![7, 1],
+                key_masks: vec![u128::MAX, u128::MAX],
+                action: "use_H".into(),
+                params: vec![3],
+            },
+        })
+        .expect_err("combination must be rejected");
+    match err {
+        ShimError::AssertionViolated { partner, .. } => {
+            assert_eq!(partner.map(|(t, _)| t), Some(t1.clone()));
+        }
+        other => panic!("wrong rejection: {other:?}"),
+    }
+    // Same keys but the harmless action: accepted.
+    shim.apply(&Update::Insert {
+        table: t2.clone(),
+        rule: RuleUpdate {
+            key_values: vec![7, 1],
+            key_masks: vec![u128::MAX, u128::MAX],
+            action: "skip_".into(),
+            params: vec![4],
+        },
+    })
+    .expect("skip_ is safe");
+    // use_H under a validating upstream rule: accepted.
+    shim.apply(&Update::Insert {
+        table: t1,
+        rule: RuleUpdate {
+            key_values: vec![9],
+            key_masks: vec![u128::MAX],
+            action: "validate_H".into(),
+            params: vec![],
+        },
+    })
+    .unwrap();
+    shim.apply(&Update::Insert {
+        table: t2,
+        rule: RuleUpdate {
+            key_values: vec![9, 2],
+            key_masks: vec![u128::MAX, u128::MAX],
+            action: "use_H".into(),
+            params: vec![5],
+        },
+    })
+    .expect("use_H with validated H is safe");
+}
