@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, runnable offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "==> fault-injection controller smoke test"
+# Drives the simulated controller's fault-injection mode through every
+# ShimError path and the journal crash-recovery property, by name, so a
+# filtered-out or renamed test fails loudly here.
+cargo test -q -p bf4-shim --offline \
+    fault_injection_exercises_every_shim_error_path \
+    -- --exact controller::tests::fault_injection_exercises_every_shim_error_path
+cargo test -q -p bf4-shim --offline \
+    recovered_shim_decides_like_uninterrupted_run \
+    -- --exact journal::tests::recovered_shim_decides_like_uninterrupted_run
+
+echo "==> CLI solver-governance smoke test"
+# A hard per-query budget must terminate and degrade, never hang or
+# report bug-free: exit code 1 (bugs remain) or 0, not 2/101.
+out=$(cargo run -q --release --offline -p bf4-core --bin bf4 -- \
+    crates/corpus/programs/simple_nat.p4 --timeout-ms 2000 --quiet) || [ $? -eq 1 ]
+echo "$out" | head -2
+
+echo "CI OK"

@@ -51,8 +51,8 @@ fn bench_infer(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("algorithm1(nat)", |b| {
         b.iter(|| {
-            let mut direct = bf4_smt::Z3Backend::new();
-            let mut dual = bf4_smt::Z3Backend::new();
+            let mut direct = bf4_smt::default_solver();
+            let mut dual = bf4_smt::default_solver();
             bf4_core::infer::infer(
                 &mut direct,
                 &mut dual,

@@ -50,9 +50,9 @@ fn bench_find_bugs(c: &mut Criterion) {
             b.iter(|| {
                 let ra = bf4_core::reach::ReachAnalysis::new(black_box(&cfg));
                 let mut bugs = ra.found_bugs(&cfg);
-                let mut z3 = bf4_smt::Z3Backend::new();
+                let mut solver = bf4_smt::default_solver();
                 bf4_core::reach::check_bugs(
-                    &mut z3,
+                    &mut solver,
                     &mut bugs,
                     &[],
                     bf4_core::BugStatus::Reachable,

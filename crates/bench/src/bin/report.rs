@@ -15,7 +15,7 @@
 //! report all           everything above
 //! ```
 
-use bf4_core::driver::{verify, VerifyOptions};
+use bf4_core::driver::{verify_isolated, VerifyOptions};
 use std::time::Instant;
 
 fn main() {
@@ -60,21 +60,29 @@ fn table1() {
     );
     for p in bf4_corpus::all() {
         let t0 = Instant::now();
-        match verify(p.source, &VerifyOptions::default()) {
-            Ok(r) => {
-                println!(
-                    "{:<20} {:>5} {:>6} {:>12} {:>11.3} {:>11} {:>10}{}",
-                    p.name,
-                    r.metrics.loc,
-                    r.bugs_total,
-                    r.bugs_after_infer,
-                    t0.elapsed().as_secs_f64(),
-                    r.bugs_after_fixes,
-                    r.keys_added,
-                    if r.egress_spec_fix { " +drop-fix" } else { "" },
-                );
-            }
-            Err(e) => println!("{:<20} ERROR: {e}", p.name),
+        // Isolated per program: a panic or frontend error in one program
+        // degrades its row but the rest of the table still prints.
+        let r = verify_isolated(p.source, &VerifyOptions::default());
+        let flag = if !r.degraded.is_empty() {
+            " DEGRADED"
+        } else if r.egress_spec_fix {
+            " +drop-fix"
+        } else {
+            ""
+        };
+        println!(
+            "{:<20} {:>5} {:>6} {:>12} {:>11.3} {:>11} {:>10}{}",
+            p.name,
+            r.metrics.loc,
+            r.bugs_total,
+            r.bugs_after_infer,
+            t0.elapsed().as_secs_f64(),
+            r.bugs_after_fixes,
+            r.keys_added,
+            flag,
+        );
+        for d in &r.degraded {
+            println!("{:<20}   degraded[{}]: {}", "", d.stage, d.error);
         }
     }
     println!();
@@ -104,7 +112,7 @@ fn slicing() {
             ..VerifyOptions::default()
         };
         let t0 = Instant::now();
-        let r = verify(src, &opts).expect("verify");
+        let r = verify_isolated(src, &opts);
         let instrs = if slicing {
             r.metrics.instrs_after_slice
         } else {
@@ -134,7 +142,7 @@ fn infer_cmp() {
             ..VerifyOptions::default()
         };
         let t0 = Instant::now();
-        let r = verify(src, &opts).expect("verify");
+        let r = verify_isolated(src, &opts);
         println!(
             "{label:<18} specs={:>3} bugs-after={:>3} time={:?} (phase fast={:?} infer={:?})",
             r.annotations.specs.len(),
@@ -162,8 +170,8 @@ fn multitable() {
             fixes: false,
             ..VerifyOptions::default()
         };
-        let r0 = verify(p.source, &without).expect("verify");
-        let r1 = verify(p.source, &with).expect("verify");
+        let r0 = verify_isolated(p.source, &without);
+        let r1 = verify_isolated(p.source, &with);
         println!(
             "{name}: bugs after single-table inference={} after multi-table={} (controlled by multi-table: {})",
             r0.bugs_after_infer,
@@ -184,7 +192,7 @@ fn dontcare() {
             ..VerifyOptions::default()
         };
         opts.lower.dontcare = dc;
-        let r = verify(p.source, &opts).expect("verify");
+        let r = verify_isolated(p.source, &opts);
         println!(
             "{label:<18} bugs={} after inference={}",
             r.bugs_total, r.bugs_after_infer
@@ -197,7 +205,7 @@ fn dontcare() {
 fn keyoverhead() {
     println!("== §5 key-addition overhead ({}) ==", bf4_corpus::largest().name);
     let p = bf4_corpus::largest();
-    let r = verify(p.source, &VerifyOptions::default()).expect("verify");
+    let r = verify_isolated(p.source, &VerifyOptions::default());
     let program = bf4_p4::frontend(p.source).unwrap();
     let total_keys: usize = program
         .controls
@@ -281,7 +289,7 @@ fn vera() {
 fn shim() {
     println!("== §5.3 shim validation latency ==");
     let p = bf4_corpus::largest();
-    let r = verify(p.source, &VerifyOptions::default()).expect("verify");
+    let r = verify_isolated(p.source, &VerifyOptions::default());
     println!(
         "{}: {} assertions over {} asserted tables",
         p.name,
@@ -314,7 +322,7 @@ fn shim() {
 fn casestudies() {
     println!("== §5.1 case studies (fabric_switch) ==");
     let p = bf4_corpus::largest();
-    let r = verify(p.source, &VerifyOptions::default()).expect("verify");
+    let r = verify_isolated(p.source, &VerifyOptions::default());
     // 1. missing assumptions: validate_outer_ethernet bugs controlled by
     //    Infer with existing keys.
     let voe_controlled = r

@@ -15,7 +15,7 @@
 
 use crate::reach::ReachAnalysis;
 use bf4_ir::{BlockId, BlockKind, Cfg, Instr, Terminator};
-use bf4_smt::{SatResult, Solver, Term, Z3Backend};
+use bf4_smt::{SatResult, Solver, Term};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -39,7 +39,7 @@ pub fn p4v_check(cfg: &Cfg, blocked: &[Term]) -> P4vResult {
     let bugs = ra.found_bugs(cfg);
     let combined = Term::or_all(bugs.iter().map(|b| b.cond.clone()).collect::<Vec<_>>());
     let t0 = Instant::now();
-    let mut solver = Z3Backend::new();
+    let mut solver = bf4_smt::default_solver();
     solver.assert(&combined);
     for b in blocked {
         solver.assert(b);
@@ -141,7 +141,7 @@ pub fn vera_explore(cfg: &Cfg, snapshot: Option<&Snapshot>, max_paths: usize) ->
         }
     }
 
-    let mut solver = Z3Backend::new();
+    let mut solver = bf4_smt::default_solver();
     for c in &entry_constraints {
         solver.assert(c);
     }

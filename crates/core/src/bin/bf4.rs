@@ -9,6 +9,9 @@
 //!   --no-infer             only find reachable bugs (p4v-like mode)
 //!   --egress               also analyze the egress pipeline (in separation)
 //!   --dump-cfg <file>      write the instrumented CFG in Graphviz DOT form
+//!   --timeout-ms <n>       per-query solver deadline in milliseconds
+//!   --solver-fallback <n|off>  max formula size routed to the internal
+//!                          fallback solver (`off` disables the fallback)
 //!   --quiet                suppress the per-bug listing
 //! ```
 //!
@@ -37,6 +40,37 @@ fn main() {
                 i += 1;
                 dump_cfg = args.get(i).cloned();
             }
+            "--timeout-ms" => {
+                i += 1;
+                let ms: u64 = match args.get(i).map(|v| v.parse()) {
+                    Some(Ok(ms)) => ms,
+                    _ => {
+                        eprintln!("bf4: --timeout-ms expects a number of milliseconds");
+                        std::process::exit(2);
+                    }
+                };
+                options.solver.budget.timeout =
+                    Some(std::time::Duration::from_millis(ms));
+            }
+            "--solver-fallback" => {
+                i += 1;
+                match args.get(i).map(|s| s.as_str()) {
+                    Some("off") => options.solver.budget.fallback_max_size = 0,
+                    Some(v) => match v.parse::<usize>() {
+                        Ok(n) => options.solver.budget.fallback_max_size = n,
+                        Err(_) => {
+                            eprintln!(
+                                "bf4: --solver-fallback expects a formula-size limit or `off`"
+                            );
+                            std::process::exit(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("bf4: --solver-fallback expects a value");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--no-fixes" => options.fixes = false,
             "--no-infer" => {
                 options.fast_infer = false;
@@ -47,7 +81,7 @@ fn main() {
             "--egress" => options.include_egress = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
-                eprintln!("usage: bf4 <program.p4> [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--quiet]");
+                eprintln!("usage: bf4 <program.p4> [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--timeout-ms N] [--solver-fallback N|off] [--quiet]");
                 std::process::exit(0);
             }
             other if path.is_none() && !other.starts_with('-') => {
@@ -117,6 +151,18 @@ fn main() {
     }
     if report.egress_spec_fix {
         println!("suggested fix: initialize egress_spec to drop at the start of ingress (§4.6)");
+    }
+    if report.bugs_undecided > 0 {
+        println!(
+            "warning: {} bug(s) undecided within the solver budget (counted as potential bugs)",
+            report.bugs_undecided
+        );
+    }
+    for d in &report.degraded {
+        println!(
+            "warning: stage `{}` degraded after {:?} ({} solver queries): {}",
+            d.stage, d.duration, d.queries_used, d.error
+        );
     }
 
     let text = report.annotations.to_string();

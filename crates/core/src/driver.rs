@@ -24,8 +24,9 @@ use crate::specs::{
 };
 use bf4_ir::{lower, BugKind, Cfg, LowerOptions};
 use bf4_p4::typecheck::Program;
-use bf4_smt::{Solver, Term, Z3Backend};
+use bf4_smt::{new_solver, SatResult, Solver, SolverConfig, Term};
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Options for a verification run.
@@ -51,6 +52,9 @@ pub struct VerifyOptions {
     /// Also analyze the egress pipeline (in separation, §4.6) and merge
     /// its results.
     pub include_egress: bool,
+    /// Solver backend and resource budget: every SMT query in the pipeline
+    /// goes through a governed solver built from this config.
+    pub solver: SolverConfig,
 }
 
 impl Default for VerifyOptions {
@@ -65,8 +69,25 @@ impl Default for VerifyOptions {
             fixes: true,
             infer_max_iterations: 256,
             include_egress: false,
+            solver: SolverConfig::default(),
         }
     }
+}
+
+/// One pipeline stage that failed or degraded instead of completing.
+/// The run as a whole still produces a [`Report`]; these entries say which
+/// results are partial and why.
+#[derive(Clone, Debug)]
+pub struct StageFailure {
+    /// Stage name (`frontend`, `find-bugs`, `inference`, `fixes`,
+    /// `pipeline` for a panic that escaped a whole program run).
+    pub stage: String,
+    /// Human-readable cause: budget kind, panic payload, or frontend error.
+    pub error: String,
+    /// Solver queries issued before the failure (0 when not applicable).
+    pub queries_used: u64,
+    /// Wall-clock time consumed by the failing stage.
+    pub duration: Duration,
 }
 
 /// One bug in the final report.
@@ -147,6 +168,70 @@ pub struct Report {
     pub metrics: Metrics,
     /// Human-readable description of the proposed P4 changes.
     pub fix_description: String,
+    /// Bugs the solver could not decide within its resource budget. These
+    /// are *included* in `bugs_total`/`bugs_after_fixes` (an undecided bug
+    /// is a potential bug, never "no bug"); this count says how many of
+    /// those totals are undecided rather than proved.
+    pub bugs_undecided: usize,
+    /// Stages that failed or ran out of budget; empty for a clean run.
+    pub degraded: Vec<StageFailure>,
+}
+
+impl Report {
+    /// An empty report representing a run that could not produce results:
+    /// everything zero except the recorded failure. Used by
+    /// [`verify_isolated`] when the frontend rejects the program or the
+    /// pipeline panics.
+    pub fn failed(stage: &str, error: String, duration: Duration) -> Report {
+        Report {
+            bugs_total: 0,
+            bugs_after_infer: 0,
+            bugs_after_fixes: 0,
+            keys_added: 0,
+            tables_modified: 0,
+            fixes: Vec::new(),
+            egress_spec_fix: false,
+            bugs: Vec::new(),
+            annotations: AnnotationFile::default(),
+            timings: Timings {
+                total: duration,
+                ..Timings::default()
+            },
+            metrics: Metrics::default(),
+            fix_description: String::new(),
+            bugs_undecided: 0,
+            degraded: vec![StageFailure {
+                stage: stage.to_string(),
+                error,
+                queries_used: 0,
+                duration,
+            }],
+        }
+    }
+}
+
+/// Extract a printable message from a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Verify a program without letting any internal panic escape: a panicking
+/// pipeline (or a frontend error) yields a degraded [`Report`] instead of
+/// unwinding into the caller. This is what corpus-wide drivers use so one
+/// bad program cannot take down a whole batch run.
+pub fn verify_isolated(source: &str, options: &VerifyOptions) -> Report {
+    let t0 = Instant::now();
+    match catch_unwind(AssertUnwindSafe(|| verify(source, options))) {
+        Ok(Ok(report)) => report,
+        Ok(Err(e)) => Report::failed("frontend", e.to_string(), t0.elapsed()),
+        Err(payload) => Report::failed("pipeline", panic_message(&*payload), t0.elapsed()),
+    }
 }
 
 /// Verify a P4 source program through the full bf4 pipeline.
@@ -182,6 +267,8 @@ fn merge_reports(main: &mut Report, other: Report) {
     main.metrics.instrs_before_slice += other.metrics.instrs_before_slice;
     main.metrics.instrs_after_slice += other.metrics.instrs_after_slice;
     main.metrics.table_sites += other.metrics.table_sites;
+    main.bugs_undecided += other.bugs_undecided;
+    main.degraded.extend(other.degraded);
 }
 
 /// Build the transformed, optimized (and optionally sliced) CFG.
@@ -239,6 +326,7 @@ fn verify_program(
     let mut bugs_after_infer = 0usize;
     let mut first_round_bugs: Vec<BugReport> = Vec::new();
     let mut metrics = Metrics::default();
+    let mut degraded: Vec<StageFailure> = Vec::new();
 
     loop {
         round += 1;
@@ -254,19 +342,58 @@ fn verify_program(
         let t0 = Instant::now();
         let ra = ReachAnalysis::new(&cfg);
         let mut bugs = ra.found_bugs(&cfg);
-        let mut solver = Z3Backend::new();
-        let reachable_now = check_bugs(&mut solver, &mut bugs, &[], BugStatus::Reachable);
+        let mut solver = new_solver(&options.solver);
+        let reach_stats = check_bugs(&mut solver, &mut bugs, &[], BugStatus::Reachable);
         if round == 1 {
-            bugs_total = reachable_now;
+            // An undecided bug counts as a potential bug: the total is the
+            // conservative over-approximation, never an undercount.
+            bugs_total = reach_stats.potential();
+        }
+        if reach_stats.undecided > 0 {
+            degraded.push(StageFailure {
+                stage: "find-bugs".to_string(),
+                error: format!(
+                    "{} bug(s) undecided within the solver budget{}",
+                    reach_stats.undecided,
+                    solver
+                        .last_error()
+                        .map(|e| format!(" ({e})"))
+                        .unwrap_or_default()
+                ),
+                queries_used: solver.stats().queries,
+                duration: t0.elapsed(),
+            });
         }
         timings.find_bugs += t0.elapsed();
 
         // ---- inference (Fast-Infer, Infer, multi-table) ----
-        let (spec_terms, specs, inf_timings) =
-            run_inference(&cfg, &ra, &mut bugs, &mut solver, &options);
-        timings.fast_infer += inf_timings.0;
-        timings.infer += inf_timings.1;
-        timings.multi_table += inf_timings.2;
+        // Isolated: a panic inside inference degrades the run to "no
+        // annotations inferred" instead of taking down the whole pipeline.
+        let t_inf = Instant::now();
+        let inference = catch_unwind(AssertUnwindSafe(|| {
+            run_inference(&cfg, &ra, &mut bugs, &mut solver, &options)
+        }));
+        let (spec_terms, specs) = match inference {
+            Ok((spec_terms, specs, inf_timings, inf_degraded)) => {
+                timings.fast_infer += inf_timings.0;
+                timings.infer += inf_timings.1;
+                timings.multi_table += inf_timings.2;
+                degraded.extend(inf_degraded);
+                (spec_terms, specs)
+            }
+            Err(payload) => {
+                degraded.push(StageFailure {
+                    stage: "inference".to_string(),
+                    error: panic_message(&*payload),
+                    queries_used: solver.stats().queries,
+                    duration: t_inf.elapsed(),
+                });
+                // The solver may hold a half-mutated assertion stack;
+                // rebuild it before the recheck below.
+                solver = new_solver(&options.solver);
+                (Vec::new(), Vec::new())
+            }
+        };
         let reachable_bugs = recheck(&mut solver, &mut bugs, &spec_terms);
         if round == 1 {
             bugs_after_infer = reachable_bugs.len();
@@ -291,39 +418,60 @@ fn verify_program(
             round == 1 && options.fixes && !reachable_bugs.is_empty();
         if run_fixes {
             let t0 = Instant::now();
-            for &bi in &reachable_bugs {
-                match fixes_for_bug(&cfg, &bugs[bi]) {
-                    Ok(fix) if !fix.keys.is_empty() => {
-                        if !fixes.contains(&fix) {
-                            fixes.push(fix);
+            // Isolated like inference: a panic while computing fixes means
+            // "no fixes proposed", not a crashed run.
+            let proposed = catch_unwind(AssertUnwindSafe(|| {
+                let mut fixes: Vec<Fix> = Vec::new();
+                let mut egress_spec_fix = false;
+                for &bi in &reachable_bugs {
+                    match fixes_for_bug(&cfg, &bugs[bi]) {
+                        Ok(fix) if !fix.keys.is_empty() => {
+                            if !fixes.contains(&fix) {
+                                fixes.push(fix);
+                            }
                         }
+                        Ok(_) => {}
+                        Err(Unfixable::EgressSpecSpecialCase) => egress_spec_fix = true,
+                        Err(_) => {}
                     }
-                    Ok(_) => {}
-                    Err(Unfixable::EgressSpecSpecialCase) => egress_spec_fix = true,
-                    Err(_) => {}
+                }
+                // Merge fixes per table (a bug may propose a subset of
+                // another bug's keys for the same table).
+                let mut merged: Vec<Fix> = Vec::new();
+                for f in fixes {
+                    if let Some(m) = merged
+                        .iter_mut()
+                        .find(|m| m.control == f.control && m.table == f.table)
+                    {
+                        for k in f.keys {
+                            if !m.keys.contains(&k) {
+                                m.keys.push(k);
+                            }
+                        }
+                    } else {
+                        merged.push(f);
+                    }
+                }
+                for m in &mut merged {
+                    m.keys.sort();
+                }
+                (merged, egress_spec_fix)
+            }));
+            match proposed {
+                Ok((merged, egress)) => {
+                    fixes = merged;
+                    egress_spec_fix |= egress;
+                }
+                Err(payload) => {
+                    degraded.push(StageFailure {
+                        stage: "fixes".to_string(),
+                        error: panic_message(&*payload),
+                        queries_used: 0,
+                        duration: t0.elapsed(),
+                    });
+                    fixes = Vec::new();
                 }
             }
-            // Merge fixes per table (a bug may propose a subset of another
-            // bug's keys for the same table).
-            let mut merged: Vec<Fix> = Vec::new();
-            for f in fixes.drain(..) {
-                if let Some(m) = merged
-                    .iter_mut()
-                    .find(|m| m.control == f.control && m.table == f.table)
-                {
-                    for k in f.keys {
-                        if !m.keys.contains(&k) {
-                            m.keys.push(k);
-                        }
-                    }
-                } else {
-                    merged.push(f);
-                }
-            }
-            for m in &mut merged {
-                m.keys.sort();
-            }
-            fixes = merged;
             timings.fixes += t0.elapsed();
             if !fixes.is_empty() || egress_spec_fix {
                 apply_fixes(&mut program, &fixes);
@@ -338,7 +486,7 @@ fn verify_program(
         // set).
         let mut unsafe_defaults: Vec<(String, String)> = Vec::new();
         {
-            let mut s2 = Z3Backend::new();
+            let mut s2 = new_solver(&options.solver);
             for bug in bugs.iter() {
                 if matches!(bug.status, BugStatus::Unreachable) {
                     continue;
@@ -364,6 +512,10 @@ fn verify_program(
         }
 
         // ---- done: assemble the report from this round's artifacts ----
+        let bugs_undecided = first_round_bugs
+            .iter()
+            .filter(|b| b.status == BugStatus::Undecided)
+            .count();
         let keys_added: usize = fixes.iter().map(|f| f.keys.len()).sum();
         let tables_modified = fixes.iter().filter(|f| !f.keys.is_empty()).count();
         timings.total = t_total.elapsed();
@@ -384,22 +536,35 @@ fn verify_program(
             timings,
             metrics,
             fix_description,
+            bugs_undecided,
+            degraded,
         });
     }
 }
 
+/// Result of the inference phase: spec terms, packaged specs,
+/// `(fast, infer, multi)` timings, and any degradations.
+type InferencePhase = (
+    Vec<Term>,
+    Vec<TableSpec>,
+    (Duration, Duration, Duration),
+    Vec<StageFailure>,
+);
+
 /// Shared inference phase: Fast-Infer on every table, Infer (Algorithm 1)
 /// for residual assert points, then the multi-table heuristic. Returns the
-/// spec terms, the packaged specs, and `(fast, infer, multi)` timings.
+/// spec terms, the packaged specs, `(fast, infer, multi)` timings, and any
+/// degradations (Infer runs cut short by the solver budget).
 fn run_inference(
     cfg: &Cfg,
     ra: &ReachAnalysis,
     bugs: &mut [crate::reach::FoundBug],
-    solver: &mut Z3Backend,
+    solver: &mut dyn Solver,
     options: &VerifyOptions,
-) -> (Vec<Term>, Vec<TableSpec>, (Duration, Duration, Duration)) {
+) -> InferencePhase {
     let mut specs: Vec<TableSpec> = Vec::new();
     let mut spec_terms: Vec<Term> = Vec::new();
+    let mut degraded: Vec<StageFailure> = Vec::new();
 
     let t0 = Instant::now();
     if options.fast_infer {
@@ -455,8 +620,9 @@ fn run_inference(
                 .ok
                 .and(&ra.node_cond[site.entry_block])
                 .and(&Term::and_all(spec_terms.clone()));
-            let mut direct = Z3Backend::new();
-            let mut dual = Z3Backend::new();
+            let t_site = Instant::now();
+            let mut direct = new_solver(&options.solver);
+            let mut dual = new_solver(&options.solver);
             let res = infer(
                 &mut direct,
                 &mut dual,
@@ -465,6 +631,17 @@ fn run_inference(
                 &atoms,
                 options.infer_max_iterations,
             );
+            if res.undecided {
+                degraded.push(StageFailure {
+                    stage: "inference".to_string(),
+                    error: format!(
+                        "Infer on table {} stopped early: solver undecided after {} iteration(s)",
+                        site.table, res.iterations
+                    ),
+                    queries_used: direct.stats().queries + dual.stats().queries,
+                    duration: t_site.elapsed(),
+                });
+            }
             if !res.phi.is_true() {
                 spec_terms.push(res.phi.clone());
                 specs.push(TableSpec {
@@ -491,11 +668,18 @@ fn run_inference(
     }
     let multi_time = t0.elapsed();
 
-    (spec_terms, specs, (fast_time, infer_time, multi_time))
+    (
+        spec_terms,
+        specs,
+        (fast_time, infer_time, multi_time),
+        degraded,
+    )
 }
 
 /// Re-check reachability of every bug under the inferred specs; returns
-/// indices of bugs still reachable and updates statuses.
+/// indices of bugs still *potentially* reachable and updates statuses.
+/// `Unknown` is kept in the returned list as [`BugStatus::Undecided`] —
+/// a timed-out query must never demote a bug to "controlled".
 fn recheck(solver: &mut dyn Solver, bugs: &mut [FoundBug], specs: &[Term]) -> Vec<usize> {
     let mut out = Vec::new();
     for (i, bug) in bugs.iter_mut().enumerate() {
@@ -510,9 +694,13 @@ fn recheck(solver: &mut dyn Solver, bugs: &mut [FoundBug], specs: &[Term]) -> Ve
         let r = solver.check();
         solver.pop();
         match r {
-            bf4_smt::SatResult::Unsat => bug.status = BugStatus::Controlled,
-            _ => {
+            SatResult::Unsat => bug.status = BugStatus::Controlled,
+            SatResult::Sat => {
                 bug.status = BugStatus::Uncontrolled;
+                out.push(i);
+            }
+            SatResult::Unknown => {
+                bug.status = BugStatus::Undecided;
                 out.push(i);
             }
         }
@@ -625,6 +813,56 @@ mod tests {
         let report = verify(NAT_SOURCE, &opts).unwrap();
         assert_eq!(report.bugs_after_infer, report.bugs_total);
         assert_eq!(report.bugs_after_fixes, report.bugs_total);
+    }
+
+    #[test]
+    fn exhausted_budget_reports_undecided_never_no_bug() {
+        // A budget of zero queries makes every solver call come back
+        // Unknown. The report must surface that as undecided/degraded —
+        // the one thing it must never do is claim the program clean.
+        let opts = VerifyOptions {
+            solver: SolverConfig {
+                budget: bf4_smt::ResourceBudget {
+                    max_queries: Some(0),
+                    ..bf4_smt::ResourceBudget::default()
+                },
+                ..SolverConfig::default()
+            },
+            ..VerifyOptions::default()
+        };
+        let report = verify(NAT_SOURCE, &opts).unwrap();
+        assert!(report.bugs_undecided > 0, "{report:#?}");
+        assert!(report.bugs_total >= report.bugs_undecided);
+        assert!(
+            report.degraded.iter().any(|f| f.stage == "find-bugs"),
+            "degraded: {:?}",
+            report.degraded
+        );
+        // No bug may be demoted to a definite "safe" status by a timeout.
+        for bug in &report.bugs {
+            assert!(
+                !matches!(bug.status, BugStatus::Unreachable | BugStatus::Controlled),
+                "undecidable run produced a definite safe verdict: {bug:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_isolated_turns_frontend_errors_into_degraded_reports() {
+        let report = verify_isolated("control garbage {", &VerifyOptions::default());
+        assert_eq!(report.bugs_total, 0);
+        assert_eq!(report.degraded.len(), 1);
+        assert_eq!(report.degraded[0].stage, "frontend");
+        assert!(!report.degraded[0].error.is_empty());
+    }
+
+    #[test]
+    fn verify_isolated_matches_verify_on_clean_runs() {
+        let direct = verify(NAT_SOURCE, &VerifyOptions::default()).unwrap();
+        let isolated = verify_isolated(NAT_SOURCE, &VerifyOptions::default());
+        assert_eq!(isolated.bugs_total, direct.bugs_total);
+        assert_eq!(isolated.bugs_after_fixes, direct.bugs_after_fixes);
+        assert!(isolated.degraded.is_empty(), "{:?}", isolated.degraded);
     }
 
     #[test]

@@ -256,7 +256,7 @@ fn harvest_equalities(
 mod tests {
     use super::*;
     use bf4_ir::{lower, LowerOptions};
-    use bf4_smt::{SatResult, Solver, Z3Backend};
+    use bf4_smt::{SatResult, Solver};
 
     fn nat_cfg() -> Cfg {
         let program = bf4_p4::frontend(crate::testutil::NAT_SOURCE).unwrap();
@@ -292,7 +292,7 @@ mod tests {
                 b.info.kind == bf4_ir::BugKind::InvalidKeyAccess && b.info.table == Some(nat_idx)
             })
             .expect("nat key bug");
-        let mut s = Z3Backend::new();
+        let mut s = bf4_smt::default_solver();
         s.assert(&key_bug.cond);
         for spec in &res.specs {
             s.assert(spec);
@@ -317,7 +317,7 @@ mod tests {
                     && b.info.description.contains("ipv4")
             })
             .expect("ttl bug");
-        let mut s = Z3Backend::new();
+        let mut s = bf4_smt::default_solver();
         s.assert(&ttl_bug.cond);
         for spec in &res.specs {
             s.assert(spec);
@@ -340,7 +340,7 @@ mod tests {
             all_specs.extend(fast_infer(&cfg, i, &HashSet::new()).specs);
         }
         // A run that misses every table is good and must survive.
-        let mut s = Z3Backend::new();
+        let mut s = bf4_smt::default_solver();
         s.assert(&ra.ok);
         for spec in &all_specs {
             s.assert(spec);

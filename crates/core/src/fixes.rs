@@ -307,14 +307,11 @@ pub fn describe_fixes(program: &Program, fixes: &[Fix]) -> String {
     out
 }
 
-/// Re-exported term type used in the module body.
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::reach::{check_bugs, BugStatus, ReachAnalysis};
     use bf4_ir::{lower, LowerOptions};
-    use bf4_smt::Z3Backend;
 
     #[test]
     fn fixes_add_validity_key_to_lpm() {
@@ -378,7 +375,7 @@ mod tests {
         let res = crate::fast_infer::fast_infer(&cfg, lpm_idx, &Default::default());
         let ra = ReachAnalysis::new(&cfg);
         let mut bugs = ra.found_bugs(&cfg);
-        let mut z3 = Z3Backend::new();
+        let mut z3 = bf4_smt::default_solver();
         let n_controlled = {
             let specs: Vec<bf4_smt::Term> = res.specs.clone();
             check_bugs(&mut z3, &mut bugs, &specs, BugStatus::Uncontrolled);

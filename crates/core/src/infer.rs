@@ -36,6 +36,12 @@ pub struct InferResult {
     /// True if the loop exhausted `BUG` (every bad run is now inconsistent
     /// with `φ` or was blocked as uncontrollable).
     pub converged: bool,
+    /// True if the loop stopped because the solver answered `Unknown` (or
+    /// failed to produce a model) rather than by convergence or the
+    /// iteration cap. The partial `phi` is still sound; callers must
+    /// report the degradation instead of presenting the result as
+    /// complete.
+    pub undecided: bool,
 }
 
 /// Generate the syntactic atom set P for a table site (§4.2): `hit`,
@@ -55,9 +61,7 @@ pub fn atoms_for_site(site: &TableSite) -> Vec<SpecAtom> {
         });
     }
     for (i, k) in site.keys.iter().enumerate() {
-        let value_sort = match k.expr.sort() {
-            s => s,
-        };
+        let value_sort = k.expr.sort();
         if k.is_validity_key && value_sort == Sort::Bool {
             out.push(SpecAtom {
                 name: format!("{}.key[{}] ({}) == true", site.table, i, k.source),
@@ -114,6 +118,7 @@ pub fn infer(
     let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
     let mut iterations = 0;
     let mut converged = false;
+    let mut undecided = false;
 
     loop {
         if iterations >= max_iterations {
@@ -125,10 +130,16 @@ pub fn infer(
                 converged = true;
                 break;
             }
-            SatResult::Unknown => break,
+            SatResult::Unknown => {
+                // Budget exhausted mid-inference: stop with a sound partial
+                // result, but tell the caller loudly.
+                undecided = true;
+                break;
+            }
             SatResult::Sat => {}
         }
-        let Some(model) = direct.model(&atom_vars) else {
+        let Ok(model) = direct.model(&atom_vars) else {
+            undecided = true;
             break;
         };
         // assumptions: the P-cube of the model (line 6).
@@ -154,9 +165,14 @@ pub fn infer(
                 clauses.push(core.iter().map(|&i| (i, signs[i])).collect());
                 direct.assert(&clause);
             }
-            _ => {
-                // The cube contains good runs: block just this cube in the
-                // bad-run sampler (line 12) and move on.
+            verdict => {
+                // `Sat`: the cube contains good runs — block just this
+                // cube in the bad-run sampler (line 12) and move on.
+                // `Unknown`: treated identically (no clause is added, so
+                // soundness holds), but flagged as degraded coverage.
+                if verdict == SatResult::Unknown {
+                    undecided = true;
+                }
                 let cube = Term::and_all(assumptions);
                 direct.assert(&cube.not());
             }
@@ -168,13 +184,13 @@ pub fn infer(
         clauses,
         iterations,
         converged,
+        undecided,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bf4_smt::Z3Backend;
 
     /// Build the paper's running example abstractly:
     /// control vars: hit (bool), valid_key (bool = entry's isValid key),
@@ -211,18 +227,18 @@ mod tests {
     #[test]
     fn infer_blocks_all_bad_runs_on_nat_example() {
         let (ok, bug, atoms) = nat_formulas();
-        let mut direct = Z3Backend::new();
-        let mut dual = Z3Backend::new();
+        let mut direct = bf4_smt::default_solver();
+        let mut dual = bf4_smt::default_solver();
         let res = infer(&mut direct, &mut dual, &ok, &bug, &atoms, 64);
         assert!(res.converged, "did not converge in {} iters", res.iterations);
         assert!(!res.clauses.is_empty());
         // φ must make BUG unreachable:
-        let mut s = Z3Backend::new();
+        let mut s = bf4_smt::default_solver();
         s.assert(&bug);
         s.assert(&res.phi);
         assert_eq!(s.check(), SatResult::Unsat);
         // and must not exclude good runs: OK ∧ ¬φ unsat ⇔ OK ⊨ φ.
-        let mut s = Z3Backend::new();
+        let mut s = bf4_smt::default_solver();
         s.assert(&ok);
         s.assert(&res.phi.not());
         assert_eq!(s.check(), SatResult::Unsat, "φ excludes a good run");
@@ -233,8 +249,8 @@ mod tests {
         // The expected predicate is ¬(hit ∧ ¬valid_key ∧ ¬(mask==0)):
         // rules matching invalid headers with non-zero mask are forbidden.
         let (ok, bug, atoms) = nat_formulas();
-        let mut direct = Z3Backend::new();
-        let mut dual = Z3Backend::new();
+        let mut direct = bf4_smt::default_solver();
+        let mut dual = bf4_smt::default_solver();
         let res = infer(&mut direct, &mut dual, &ok, &bug, &atoms, 64);
         // Check semantic equivalence on all 8 atom valuations.
         let expected = {
@@ -243,7 +259,7 @@ mod tests {
             let m0 = atoms[2].term.clone();
             Term::and_all([hit, vk.not(), m0.not()]).not()
         };
-        let mut s = Z3Backend::new();
+        let mut s = bf4_smt::default_solver();
         s.assert(&res.phi.iff(&expected).not());
         assert_eq!(s.check(), SatResult::Unsat, "phi = {}", res.phi);
         let _ = (ok, bug);
@@ -252,8 +268,8 @@ mod tests {
     #[test]
     fn infer_gives_true_when_bug_unreachable() {
         let x = Term::var("x", Sort::Bool);
-        let mut direct = Z3Backend::new();
-        let mut dual = Z3Backend::new();
+        let mut direct = bf4_smt::default_solver();
+        let mut dual = bf4_smt::default_solver();
         let res = infer(
             &mut direct,
             &mut dual,
@@ -281,12 +297,12 @@ mod tests {
             name: "hit".into(),
             term: hit,
         }];
-        let mut direct = Z3Backend::new();
-        let mut dual = Z3Backend::new();
+        let mut direct = bf4_smt::default_solver();
+        let mut dual = bf4_smt::default_solver();
         let res = infer(&mut direct, &mut dual, &ok, &bug, &atoms, 64);
         assert!(res.converged);
         // Nothing controllable: φ must not constrain hit.
-        let mut s = Z3Backend::new();
+        let mut s = bf4_smt::default_solver();
         s.assert(&ok);
         s.assert(&res.phi.not());
         assert_eq!(s.check(), SatResult::Unsat);

@@ -25,6 +25,29 @@ pub enum BugStatus {
     /// Still reachable after annotations and fixes — a dataplane bug the
     /// programmer must fix.
     Uncontrolled,
+    /// The solver could not decide reachability within its resource
+    /// budget. Reported distinctly — never silently treated as "no bug" —
+    /// and counted as a potential bug everywhere totals are formed.
+    Undecided,
+}
+
+/// Counts from one [`check_bugs`] pass. `Undecided` is deliberately kept
+/// separate from `reachable` so callers cannot conflate "solver timed out"
+/// with either "bug" or "no bug".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BugCheckStats {
+    /// Bugs proved reachable (`Sat`).
+    pub reachable: usize,
+    /// Bugs the solver could not decide within budget (`Unknown`).
+    pub undecided: usize,
+}
+
+impl BugCheckStats {
+    /// Bugs that must be treated as potentially present: proved reachable
+    /// plus undecided.
+    pub fn potential(&self) -> usize {
+        self.reachable + self.undecided
+    }
 }
 
 /// A bug node with its metadata and reachability condition.
@@ -156,16 +179,18 @@ impl ReachAnalysis {
     }
 }
 
-/// Decide reachability of each bug with Z3, optionally under extra
-/// assumptions (inferred specs). Updates `status` in place and returns the
-/// count of reachable bugs.
+/// Decide reachability of each bug, optionally under extra assumptions
+/// (inferred specs). Updates `status` in place and returns separate counts
+/// of proved-reachable and undecided bugs — an `Unknown` from the solver
+/// becomes [`BugStatus::Undecided`], never `reachable_status` and never
+/// "unreachable".
 pub fn check_bugs(
     solver: &mut dyn Solver,
     bugs: &mut [FoundBug],
     assumptions: &[Term],
     reachable_status: BugStatus,
-) -> usize {
-    let mut count = 0;
+) -> BugCheckStats {
+    let mut stats = BugCheckStats::default();
     for bug in bugs.iter_mut() {
         solver.push();
         solver.assert(&bug.cond);
@@ -175,9 +200,13 @@ pub fn check_bugs(
         let r = solver.check();
         solver.pop();
         match r {
-            SatResult::Sat | SatResult::Unknown => {
+            SatResult::Sat => {
                 bug.status = reachable_status;
-                count += 1;
+                stats.reachable += 1;
+            }
+            SatResult::Unknown => {
+                bug.status = BugStatus::Undecided;
+                stats.undecided += 1;
             }
             SatResult::Unsat => {
                 // keep the previous (more specific) status unless this is
@@ -188,7 +217,7 @@ pub fn check_bugs(
             }
         }
     }
-    count
+    stats
 }
 
 /// Produce a counterexample model for a bug (assignment over the free
@@ -206,7 +235,7 @@ pub fn bug_model(
     let r = solver.check();
     let model = if r == SatResult::Sat {
         let fv: Vec<(Arc<str>, Sort)> = bf4_smt::free_vars(&bug.cond).into_iter().collect();
-        solver.model(&fv)
+        solver.model(&fv).ok()
     } else {
         None
     };
@@ -218,7 +247,6 @@ pub fn bug_model(
 mod tests {
     use super::*;
     use bf4_ir::{lower, LowerOptions};
-    use bf4_smt::Z3Backend;
 
     const GUARDED: &str = r#"
         header e_t { bit<8> t; }
@@ -257,9 +285,10 @@ mod tests {
         bf4_ir::opt::optimize(&mut cfg);
         let ra = ReachAnalysis::new(&cfg);
         let mut bugs = ra.found_bugs(&cfg);
-        let mut z3 = Z3Backend::new();
-        let n = check_bugs(&mut z3, &mut bugs, &[], BugStatus::Reachable);
-        (cfg, bugs, n)
+        let mut solver = bf4_smt::default_solver();
+        let n = check_bugs(&mut solver, &mut bugs, &[], BugStatus::Reachable);
+        assert_eq!(n.undecided, 0, "test formulas must be decidable");
+        (cfg, bugs, n.reachable)
     }
 
     #[test]
@@ -309,12 +338,12 @@ mod tests {
         bf4_ir::opt::optimize(&mut cfg);
         let ra = ReachAnalysis::new(&cfg);
         let bugs = ra.found_bugs(&cfg);
-        let mut z3 = Z3Backend::new();
+        let mut solver = bf4_smt::default_solver();
         let bug = bugs
             .iter()
             .find(|b| b.info.kind == bf4_ir::BugKind::InvalidHeaderAccess)
             .unwrap();
-        let model = bug_model(&mut z3, bug, &[]).expect("model");
+        let model = bug_model(&mut solver, bug, &[]).expect("model");
         let v = bf4_smt::eval(&bug.cond, &model).unwrap();
         assert_eq!(v, bf4_smt::Value::Bool(true));
     }

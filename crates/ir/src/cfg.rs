@@ -517,6 +517,56 @@ impl Cfg {
     }
 }
 
+/// Render a CFG in Graphviz DOT form (debugging aid; `bf4 --dump-cfg`).
+///
+/// Bug terminals are red, good terminals green, `dontCare` marks dashed;
+/// table-site entries (assert points) are drawn as boxes.
+pub fn to_dot(cfg: &Cfg) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("digraph bf4 {\n  node [fontname=\"monospace\"];\n");
+    let site_entries: std::collections::HashSet<BlockId> =
+        cfg.tables.iter().map(|t| t.entry_block).collect();
+    let reachable: std::collections::HashSet<BlockId> = cfg.topo_order().into_iter().collect();
+    for (i, b) in cfg.blocks.iter().enumerate() {
+        if !reachable.contains(&i) {
+            continue;
+        }
+        let (shape, color) = match &b.kind {
+            BlockKind::Bug(_) => ("ellipse", "red"),
+            BlockKind::Accept | BlockKind::Reject => ("ellipse", "green"),
+            BlockKind::Infeasible => ("ellipse", "gray"),
+            BlockKind::DontCare => ("ellipse", "orange"),
+            BlockKind::Normal if site_entries.contains(&i) => ("box", "blue"),
+            BlockKind::Normal => ("box", "black"),
+        };
+        let style = if cfg.dontcare_marks.contains(&i) {
+            ",style=dashed"
+        } else {
+            ""
+        };
+        let label = b.label.replace('"', "'");
+        let _ = writeln!(
+            out,
+            "  n{i} [shape={shape},color={color}{style},label=\"{i}: {label}\\n{} instr\"];",
+            b.instrs.len()
+        );
+        match &b.term {
+            Terminator::Jump(t) => {
+                let _ = writeln!(out, "  n{i} -> n{t};");
+            }
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => {
+                let _ = writeln!(out, "  n{i} -> n{then_to} [label=\"T\"];");
+                let _ = writeln!(out, "  n{i} -> n{else_to} [label=\"F\"];");
+            }
+            Terminator::End => {}
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,54 +669,4 @@ mod tests {
         cfg.blocks.push(blk(Terminator::End, BlockKind::Accept)); // unreachable
         assert_eq!(cfg.topo_order().len(), 4);
     }
-}
-
-/// Render a CFG in Graphviz DOT form (debugging aid; `bf4 --dump-cfg`).
-///
-/// Bug terminals are red, good terminals green, `dontCare` marks dashed;
-/// table-site entries (assert points) are drawn as boxes.
-pub fn to_dot(cfg: &Cfg) -> String {
-    use std::fmt::Write;
-    let mut out = String::from("digraph bf4 {\n  node [fontname=\"monospace\"];\n");
-    let site_entries: std::collections::HashSet<BlockId> =
-        cfg.tables.iter().map(|t| t.entry_block).collect();
-    let reachable: std::collections::HashSet<BlockId> = cfg.topo_order().into_iter().collect();
-    for (i, b) in cfg.blocks.iter().enumerate() {
-        if !reachable.contains(&i) {
-            continue;
-        }
-        let (shape, color) = match &b.kind {
-            BlockKind::Bug(_) => ("ellipse", "red"),
-            BlockKind::Accept | BlockKind::Reject => ("ellipse", "green"),
-            BlockKind::Infeasible => ("ellipse", "gray"),
-            BlockKind::DontCare => ("ellipse", "orange"),
-            BlockKind::Normal if site_entries.contains(&i) => ("box", "blue"),
-            BlockKind::Normal => ("box", "black"),
-        };
-        let style = if cfg.dontcare_marks.contains(&i) {
-            ",style=dashed"
-        } else {
-            ""
-        };
-        let label = b.label.replace('"', "'");
-        let _ = writeln!(
-            out,
-            "  n{i} [shape={shape},color={color}{style},label=\"{i}: {label}\\n{} instr\"];",
-            b.instrs.len()
-        );
-        match &b.term {
-            Terminator::Jump(t) => {
-                let _ = writeln!(out, "  n{i} -> n{t};");
-            }
-            Terminator::Branch {
-                then_to, else_to, ..
-            } => {
-                let _ = writeln!(out, "  n{i} -> n{then_to} [label=\"T\"];");
-                let _ = writeln!(out, "  n{i} -> n{else_to} [label=\"F\"];");
-            }
-            Terminator::End => {}
-        }
-    }
-    out.push_str("}\n");
-    out
 }

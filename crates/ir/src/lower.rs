@@ -162,6 +162,10 @@ enum Binding {
     Value(Term),
 }
 
+/// Memo key for parser-state expansion: state name plus the (header,
+/// next-index) stack cursors at entry.
+type ParserMemoKey = (String, Vec<(String, u32)>, Vec<(String, u32)>);
+
 type Env = HashMap<String, Binding>;
 
 struct Lowerer<'p> {
@@ -179,7 +183,7 @@ struct Lowerer<'p> {
     /// Action-inline counter (for unique local names).
     inline_counter: usize,
     /// Parser unroll memo: (state, visit/stack context) → entry block.
-    parser_memo: HashMap<(String, Vec<(String, u32)>, Vec<(String, u32)>), BlockId>,
+    parser_memo: HashMap<ParserMemoKey, BlockId>,
 }
 
 impl<'p> Lowerer<'p> {
@@ -644,6 +648,7 @@ impl<'p> Lowerer<'p> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn declare_local(
         &mut self,
         cur: BlockId,
@@ -1390,6 +1395,7 @@ impl<'p> Lowerer<'p> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn lower_method_call(
         &mut self,
         base: &Expr,
@@ -1536,6 +1542,7 @@ impl<'p> Lowerer<'p> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn lower_stack_op(
         &mut self,
         push: bool,
@@ -2604,8 +2611,10 @@ mod tests {
     #[test]
     fn lower_egress_part() {
         let program = bf4_p4::frontend(NAT).unwrap();
-        let mut opts = LowerOptions::default();
-        opts.part = PipelinePart::Egress;
+        let opts = LowerOptions {
+            part: PipelinePart::Egress,
+            ..Default::default()
+        };
         let lowered = lower(&program, &opts).unwrap();
         assert_eq!(lowered.cfg.validate(), Ok(()));
         assert!(lowered.cfg.tables.is_empty());

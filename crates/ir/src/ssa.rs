@@ -33,10 +33,7 @@ pub fn to_ssa(cfg: &mut Cfg) -> usize {
         }
     }
     let stable = |v: &Arc<str>| -> bool {
-        match def_count.get(v) {
-            Some((1, true)) => true,
-            _ => false,
-        }
+        matches!(def_count.get(v), Some((1, true)))
     };
 
     let order = cfg.topo_order();

@@ -75,8 +75,10 @@ fn slicing_preserves_block_identities() {
 fn egress_part_lowers_for_all_programs() {
     for p in bf4_corpus::all() {
         let program = bf4_p4::frontend(p.source).unwrap();
-        let mut opts = LowerOptions::default();
-        opts.part = bf4_ir::lower::PipelinePart::Egress;
+        let opts = LowerOptions {
+            part: bf4_ir::lower::PipelinePart::Egress,
+            ..Default::default()
+        };
         let cfg = lower(&program, &opts)
             .unwrap_or_else(|e| panic!("{}: egress lowering failed: {e}", p.name))
             .cfg;

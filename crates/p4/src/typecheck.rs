@@ -130,7 +130,7 @@ pub struct Pipeline {
 }
 
 /// A checked program.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Program {
     /// Header types: name → ordered `(field, width)`.
     pub headers: BTreeMap<String, Vec<(String, u32)>>,
@@ -207,19 +207,7 @@ struct Checker {
     program: Program,
 }
 
-impl Default for Program {
-    fn default() -> Self {
-        Program {
-            headers: BTreeMap::new(),
-            structs: BTreeMap::new(),
-            consts: BTreeMap::new(),
-            typedefs: BTreeMap::new(),
-            parsers: BTreeMap::new(),
-            controls: BTreeMap::new(),
-            pipeline: None,
-        }
-    }
-}
+
 
 impl Program {
     /// Resolve a surface [`TypeRef`] to a [`Type`].
@@ -355,17 +343,15 @@ impl Checker {
                     name,
                     params,
                     states,
-                } => {
-                    if !states.is_empty() {
-                        self.program.parsers.insert(
-                            name.clone(),
-                            ParserDef {
-                                name: name.clone(),
-                                params: params.clone(),
-                                states: states.clone(),
-                            },
-                        );
-                    }
+                } if !states.is_empty() => {
+                    self.program.parsers.insert(
+                        name.clone(),
+                        ParserDef {
+                            name: name.clone(),
+                            params: params.clone(),
+                            states: states.clone(),
+                        },
+                    );
                 }
                 Decl::Control {
                     name,
@@ -421,23 +407,21 @@ impl Checker {
                     package,
                     args,
                     name: _,
-                } => {
-                    if package == "V1Switch" {
-                        if args.len() != 6 {
-                            return Err(Error::new(
-                                Span::default(),
-                                format!("V1Switch expects 6 arguments, got {}", args.len()),
-                            ));
-                        }
-                        self.program.pipeline = Some(Pipeline {
-                            parser: args[0].clone(),
-                            verify: args[1].clone(),
-                            ingress: args[2].clone(),
-                            egress: args[3].clone(),
-                            compute: args[4].clone(),
-                            deparser: args[5].clone(),
-                        });
+                } if package == "V1Switch" => {
+                    if args.len() != 6 {
+                        return Err(Error::new(
+                            Span::default(),
+                            format!("V1Switch expects 6 arguments, got {}", args.len()),
+                        ));
                     }
+                    self.program.pipeline = Some(Pipeline {
+                        parser: args[0].clone(),
+                        verify: args[1].clone(),
+                        ingress: args[2].clone(),
+                        egress: args[3].clone(),
+                        compute: args[4].clone(),
+                        deparser: args[5].clone(),
+                    });
                 }
                 _ => {}
             }

@@ -1,0 +1,592 @@
+//! Append-only journal of accepted updates with crash recovery.
+//!
+//! The shim of §4.4 keeps shadow copies of every asserted table; if the
+//! shim process dies, the shadow state is gone while the dataplane still
+//! holds the accepted rules — every later multi-table check would run
+//! against an empty shadow and silently accept violating rules. To make
+//! the shim restartable, every *accepted* update is appended to a journal
+//! before the decision is returned:
+//!
+//! * one record per line, self-delimiting, with a per-line FNV-1a
+//!   checksum — a crash half-way through a write leaves a truncated or
+//!   corrupt tail that parsing detects and drops instead of choking on;
+//! * recovery replays the valid prefix into a fresh [`Shim`]. Replay is
+//!   idempotent: an insert already present reads back as
+//!   [`ShimError::Duplicate`] and a delete of an already-dead rule as
+//!   [`ShimError::NoSuchRule`]; both are skipped, so recovering twice (or
+//!   from a journal that double-logged an entry) converges to the same
+//!   state;
+//! * insert records carry the rule id the original run assigned, and
+//!   recovery cross-checks that replay reproduces it — a mismatch means
+//!   the journal does not match the annotation file it is replayed under
+//!   and is reported rather than papered over.
+//!
+//! The journal is plain bytes ([`Journal::bytes`]); callers persist it
+//! wherever they like ([`Journal::persist`] writes it to a file) and hand
+//! the bytes back to [`JournaledShim::recover`] after a crash.
+
+use crate::{Decision, RuleUpdate, Shim, ShimError, Update};
+use bf4_core::specs::AnnotationFile;
+
+/// One journaled (accepted) update.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalEntry {
+    /// The accepted update.
+    pub update: Update,
+    /// Rule id the shim assigned (inserts only).
+    pub rule_id: Option<usize>,
+}
+
+/// In-memory append-only journal. The byte representation is the journal;
+/// persistence is just writing those bytes out.
+#[derive(Clone, Debug, Default)]
+pub struct Journal {
+    buf: Vec<u8>,
+}
+
+/// Result of parsing journal bytes.
+#[derive(Clone, Debug)]
+pub struct ParsedJournal {
+    /// Entries of the valid prefix, in append order.
+    pub entries: Vec<JournalEntry>,
+    /// Bytes of the valid prefix (safe to continue appending to).
+    pub valid_len: usize,
+    /// Whether a truncated or corrupt tail was dropped.
+    pub truncated: bool,
+}
+
+impl Journal {
+    /// Empty journal.
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// Append one accepted update.
+    pub fn append(&mut self, update: &Update, rule_id: Option<usize>) {
+        let line = encode(update, rule_id);
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+    }
+
+    /// The raw journal bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of journaled entries (assumes `buf` holds only valid lines,
+    /// which `append` guarantees).
+    pub fn len(&self) -> usize {
+        self.buf.iter().filter(|&&b| b == b'\n').count()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write the journal to a file (full rewrite; callers appending
+    /// incrementally can write `bytes()` deltas themselves).
+    pub fn persist(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, &self.buf)
+    }
+
+    /// Parse journal bytes, tolerating a truncated or corrupt tail: the
+    /// first line that fails its checksum or does not decode ends the
+    /// valid prefix, and everything after it is dropped.
+    pub fn parse(bytes: &[u8]) -> ParsedJournal {
+        let mut entries = Vec::new();
+        let mut valid_len = 0usize;
+        let mut pos = 0usize;
+        let mut truncated = false;
+        while pos < bytes.len() {
+            let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+                // no terminating newline: the write was cut short
+                truncated = true;
+                break;
+            };
+            let line = &bytes[pos..pos + nl];
+            match std::str::from_utf8(line).ok().and_then(decode) {
+                Some(entry) => {
+                    entries.push(entry);
+                    pos += nl + 1;
+                    valid_len = pos;
+                }
+                None => {
+                    truncated = true;
+                    break;
+                }
+            }
+        }
+        ParsedJournal {
+            entries,
+            valid_len,
+            truncated,
+        }
+    }
+}
+
+/// What recovery did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Entries re-applied into the fresh shadow state.
+    pub replayed: usize,
+    /// Entries skipped as already applied (idempotent replay).
+    pub skipped: usize,
+    /// Entries whose replay outcome contradicted the journal (rejected
+    /// update, or an insert that came back with a different rule id):
+    /// the journal does not match the annotations it was replayed under.
+    pub mismatched: usize,
+    /// A truncated/corrupt journal tail was dropped.
+    pub truncated_tail: bool,
+}
+
+/// A [`Shim`] that journals every accepted update so it can be rebuilt
+/// after a crash.
+pub struct JournaledShim {
+    shim: Shim,
+    journal: Journal,
+}
+
+impl JournaledShim {
+    /// Fresh shim with an empty journal.
+    pub fn new(annotations: &AnnotationFile) -> JournaledShim {
+        JournaledShim {
+            shim: Shim::new(annotations),
+            journal: Journal::new(),
+        }
+    }
+
+    /// Validate and apply one update; accepted updates are journaled.
+    pub fn apply(&mut self, update: &Update) -> Result<Decision, ShimError> {
+        let decision = self.shim.apply(update)?;
+        self.journal.append(update, decision.rule_id);
+        Ok(decision)
+    }
+
+    /// The wrapped shim (read access for digests/exports).
+    pub fn shim(&self) -> &Shim {
+        &self.shim
+    }
+
+    /// The journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Rebuild shadow state from journal bytes after a crash. The
+    /// recovered shim keeps the valid journal prefix, so accepting more
+    /// updates continues the same journal.
+    pub fn recover(
+        annotations: &AnnotationFile,
+        journal_bytes: &[u8],
+    ) -> (JournaledShim, RecoveryReport) {
+        let parsed = Journal::parse(journal_bytes);
+        let mut shim = Shim::new(annotations);
+        let mut report = RecoveryReport {
+            truncated_tail: parsed.truncated,
+            ..RecoveryReport::default()
+        };
+        for entry in &parsed.entries {
+            // An insert whose recorded id already holds this exact rule
+            // (live or tombstoned) was applied before: re-applying it would
+            // mint a fresh id — e.g. a doubled journal replaying the insert
+            // of a since-deleted rule. Skip it instead.
+            if let (Update::Insert { table, rule }, Some(id)) = (&entry.update, entry.rule_id) {
+                if shim.stored_rule(table, id) == Some(rule) {
+                    report.skipped += 1;
+                    continue;
+                }
+            }
+            match shim.apply(&entry.update) {
+                Ok(d) => {
+                    if d.rule_id == entry.rule_id {
+                        report.replayed += 1;
+                    } else {
+                        report.mismatched += 1;
+                    }
+                }
+                // Already present / already gone: the entry had been
+                // applied before the snapshot this journal extends.
+                Err(ShimError::Duplicate) | Err(ShimError::NoSuchRule) => report.skipped += 1,
+                Err(_) => report.mismatched += 1,
+            }
+        }
+        let journal = Journal {
+            buf: journal_bytes[..parsed.valid_len].to_vec(),
+        };
+        (JournaledShim { shim, journal }, report)
+    }
+}
+
+// ---------------------------------------------------------------------
+// record encoding
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over `bytes` — also used for [`Shim::state_digest`].
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn csv(vals: &[u128]) -> String {
+    if vals.is_empty() {
+        return "-".into();
+    }
+    vals.iter()
+        .map(|v| format!("{v:x}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_csv(s: &str) -> Option<Vec<u128>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split(',').map(|v| u128::from_str_radix(v, 16).ok()).collect()
+}
+
+fn encode(update: &Update, rule_id: Option<usize>) -> String {
+    let payload = match update {
+        Update::Insert { table, rule } => format!(
+            "I {table} {} {} {} {} {}",
+            rule_id.unwrap_or(usize::MAX),
+            rule.action,
+            csv(&rule.key_values),
+            csv(&rule.key_masks),
+            csv(&rule.params),
+        ),
+        Update::Delete { table, rule_id } => format!("D {table} {rule_id}"),
+        Update::SetDefault { table, action } => format!("S {table} {action}"),
+    };
+    format!("{payload} #{:016x}", fnv1a(payload.as_bytes()))
+}
+
+fn decode(line: &str) -> Option<JournalEntry> {
+    let (payload, sum) = line.rsplit_once(" #")?;
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    if sum != fnv1a(payload.as_bytes()) {
+        return None;
+    }
+    let mut p = payload.split(' ');
+    match p.next()? {
+        "I" => {
+            let table = p.next()?.to_string();
+            let id: usize = p.next()?.parse().ok()?;
+            let action = p.next()?.to_string();
+            let key_values = parse_csv(p.next()?)?;
+            let key_masks = parse_csv(p.next()?)?;
+            let params = parse_csv(p.next()?)?;
+            if p.next().is_some() {
+                return None;
+            }
+            Some(JournalEntry {
+                update: Update::Insert {
+                    table,
+                    rule: RuleUpdate {
+                        key_values,
+                        key_masks,
+                        action,
+                        params,
+                    },
+                },
+                rule_id: (id != usize::MAX).then_some(id),
+            })
+        }
+        "D" => {
+            let table = p.next()?.to_string();
+            let rule_id: usize = p.next()?.parse().ok()?;
+            if p.next().is_some() {
+                return None;
+            }
+            Some(JournalEntry {
+                update: Update::Delete { table, rule_id },
+                rule_id: None,
+            })
+        }
+        "S" => {
+            let table = p.next()?.to_string();
+            let action = p.next()?.to_string();
+            if p.next().is_some() {
+                return None;
+            }
+            Some(JournalEntry {
+                update: Update::SetDefault { table, action },
+                rule_id: None,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{Controller, WorkloadConfig};
+    use bf4_core::driver::{verify, VerifyOptions};
+
+    fn nat_annotations() -> AnnotationFile {
+        verify(bf4_core::testutil::NAT_SOURCE, &VerifyOptions::default())
+            .unwrap()
+            .annotations
+    }
+
+    fn workload(annotations: &AnnotationFile, n: usize, seed: u64) -> Vec<Update> {
+        Controller::new(
+            annotations,
+            WorkloadConfig {
+                updates: n,
+                faulty_fraction: 0.2,
+                delete_fraction: 0.2,
+                seed,
+                ..WorkloadConfig::default()
+            },
+        )
+        .workload()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cases = vec![
+            (
+                Update::Insert {
+                    table: "ingress.nat".into(),
+                    rule: RuleUpdate {
+                        key_values: vec![1, 0x0a000001],
+                        key_masks: vec![u128::MAX, 0xffffffff],
+                        action: "nat_hit_int_to_ext".into(),
+                        params: vec![0xC0A80001, 7],
+                    },
+                },
+                Some(3),
+            ),
+            (
+                Update::Insert {
+                    table: "ingress.t".into(),
+                    rule: RuleUpdate {
+                        key_values: vec![],
+                        key_masks: vec![],
+                        action: "a".into(),
+                        params: vec![],
+                    },
+                },
+                Some(0),
+            ),
+            (
+                Update::Delete {
+                    table: "ingress.nat".into(),
+                    rule_id: 12,
+                },
+                None,
+            ),
+            (
+                Update::SetDefault {
+                    table: "ingress.nat".into(),
+                    action: "drop_".into(),
+                },
+                None,
+            ),
+        ];
+        for (u, id) in cases {
+            let line = encode(&u, id);
+            let back = decode(&line).expect(&line);
+            assert_eq!(format!("{:?}", back.update), format!("{u:?}"));
+            assert_eq!(back.rule_id, id);
+        }
+    }
+
+    #[test]
+    fn corrupt_line_rejected() {
+        let good = encode(
+            &Update::Delete {
+                table: "a.b".into(),
+                rule_id: 1,
+            },
+            None,
+        );
+        assert!(decode(&good).is_some());
+        let mut bad = good.clone();
+        bad.replace_range(0..1, "X");
+        assert!(decode(&bad).is_none(), "checksum must catch edits");
+        assert!(decode(&good[..good.len() - 3]).is_none());
+    }
+
+    #[test]
+    fn parse_drops_truncated_tail() {
+        let mut j = Journal::new();
+        j.append(
+            &Update::Delete {
+                table: "a.b".into(),
+                rule_id: 0,
+            },
+            None,
+        );
+        j.append(
+            &Update::SetDefault {
+                table: "a.b".into(),
+                action: "x".into(),
+            },
+            None,
+        );
+        let full = j.bytes();
+        // cut inside the second line
+        let cut = &full[..full.len() - 5];
+        let parsed = Journal::parse(cut);
+        assert_eq!(parsed.entries.len(), 1);
+        assert!(parsed.truncated);
+        // the valid prefix is exactly the first line
+        let first_line_len = full.iter().position(|&b| b == b'\n').unwrap() + 1;
+        assert_eq!(parsed.valid_len, first_line_len);
+        let clean = Journal::parse(full);
+        assert_eq!(clean.entries.len(), 2);
+        assert!(!clean.truncated);
+    }
+
+    #[test]
+    fn recovery_rebuilds_identical_state_at_every_entry_prefix() {
+        let annotations = nat_annotations();
+        let mut shim = JournaledShim::new(&annotations);
+        // digest after each accepted update, indexed by journal length
+        let mut digests = vec![shim.shim().state_digest()];
+        for u in workload(&annotations, 200, 11) {
+            if shim.apply(&u).is_ok() {
+                digests.push(shim.shim().state_digest());
+            }
+        }
+        let bytes = shim.journal().bytes().to_vec();
+        assert_eq!(shim.journal().len() + 1, digests.len());
+        // newline offsets = crash points right after a flushed entry
+        let mut offsets = vec![0usize];
+        offsets.extend(
+            bytes
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b == b'\n')
+                .map(|(i, _)| i + 1),
+        );
+        for (k, &off) in offsets.iter().enumerate() {
+            let (rec, report) = JournaledShim::recover(&annotations, &bytes[..off]);
+            assert_eq!(
+                rec.shim().state_digest(),
+                digests[k],
+                "prefix of {k} entries must reconstruct the same state"
+            );
+            assert_eq!(report.replayed, k);
+            assert_eq!(report.mismatched, 0);
+            assert!(!report.truncated_tail);
+        }
+    }
+
+    #[test]
+    fn recovery_from_mid_line_crash_equals_last_flushed_entry() {
+        let annotations = nat_annotations();
+        let mut shim = JournaledShim::new(&annotations);
+        let mut digests = vec![shim.shim().state_digest()];
+        for u in workload(&annotations, 120, 5) {
+            if shim.apply(&u).is_ok() {
+                digests.push(shim.shim().state_digest());
+            }
+        }
+        let bytes = shim.journal().bytes().to_vec();
+        // crash at EVERY byte position: state must equal the digest after
+        // the last fully flushed entry
+        for cut in 0..=bytes.len() {
+            let prefix = &bytes[..cut];
+            let flushed = prefix.iter().filter(|&&b| b == b'\n').count();
+            let (rec, _) = JournaledShim::recover(&annotations, prefix);
+            assert_eq!(
+                rec.shim().state_digest(),
+                digests[flushed],
+                "crash at byte {cut} ({flushed} entries flushed)"
+            );
+        }
+    }
+
+    #[test]
+    fn recovered_shim_decides_like_uninterrupted_run() {
+        let annotations = nat_annotations();
+        let updates = workload(&annotations, 300, 77);
+        for crash_at in [0, 1, 37, 150, 299, 300] {
+            let mut straight = JournaledShim::new(&annotations);
+            let mut crashed = JournaledShim::new(&annotations);
+            for u in &updates[..crash_at] {
+                let a = straight.apply(u).map(|d| d.rule_id);
+                let b = crashed.apply(u).map(|d| d.rule_id);
+                assert_eq!(a.is_ok(), b.is_ok());
+            }
+            let (mut recovered, report) =
+                JournaledShim::recover(&annotations, crashed.journal().bytes());
+            assert_eq!(report.mismatched, 0);
+            assert_eq!(
+                recovered.shim().state_digest(),
+                straight.shim().state_digest()
+            );
+            for u in &updates[crash_at..] {
+                let a = straight.apply(u).map(|d| d.rule_id);
+                let b = recovered.apply(u).map(|d| d.rule_id);
+                match (&a, &b) {
+                    (Ok(x), Ok(y)) => assert_eq!(x, y),
+                    (Err(x), Err(y)) => assert_eq!(x, y),
+                    other => panic!("decisions diverge after recovery at {crash_at}: {other:?}"),
+                }
+            }
+            assert_eq!(
+                straight.journal().bytes(),
+                recovered.journal().bytes(),
+                "continued journal must match the uninterrupted one"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let annotations = nat_annotations();
+        let mut shim = JournaledShim::new(&annotations);
+        for u in workload(&annotations, 100, 3) {
+            let _ = shim.apply(&u);
+        }
+        // double the journal: second half replays as Duplicate/NoSuchRule
+        let mut doubled = shim.journal().bytes().to_vec();
+        doubled.extend_from_slice(shim.journal().bytes());
+        let (rec, report) = JournaledShim::recover(&annotations, &doubled);
+        assert_eq!(rec.shim().state_digest(), shim.shim().state_digest());
+        assert_eq!(report.replayed, shim.journal().len());
+        assert!(report.skipped > 0);
+    }
+
+    #[test]
+    fn journal_under_wrong_annotations_reports_mismatch() {
+        let annotations = nat_annotations();
+        let mut shim = JournaledShim::new(&annotations);
+        for u in workload(&annotations, 60, 9) {
+            let _ = shim.apply(&u);
+        }
+        // replaying under empty annotations: every table is unknown
+        let (rec, report) = JournaledShim::recover(&AnnotationFile::default(), shim.journal().bytes());
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.mismatched, shim.journal().len());
+        assert_eq!(rec.shim().table_names().len(), 0);
+    }
+
+    #[test]
+    fn persist_and_reload() {
+        let annotations = nat_annotations();
+        let mut shim = JournaledShim::new(&annotations);
+        for u in workload(&annotations, 50, 21) {
+            let _ = shim.apply(&u);
+        }
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("bf4-journal-test-{}.log", std::process::id()));
+        shim.journal().persist(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let (rec, _) = JournaledShim::recover(&annotations, &bytes);
+        assert_eq!(rec.shim().state_digest(), shim.shim().state_digest());
+    }
+}

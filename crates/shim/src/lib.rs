@@ -23,7 +23,10 @@
 //! [`stats`] computes the reported percentiles.
 
 pub mod controller;
+pub mod journal;
 pub mod stats;
+
+pub use journal::{Journal, JournaledShim, RecoveryReport};
 
 use bf4_core::specs::{AnnotationFile, TableDescriptor, TableSpec};
 use bf4_smt::{eval, Assignment, Sort, Value};
@@ -45,7 +48,7 @@ pub struct RuleUpdate {
 }
 
 /// An update request.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Update {
     /// Insert a rule into a table.
     Insert {
@@ -460,6 +463,41 @@ impl Shim {
         let mut v: Vec<String> = self.tables.keys().cloned().collect();
         v.sort();
         v
+    }
+
+    /// Rule stored at `(table, id)` — includes tombstones. Used by journal
+    /// recovery to recognize entries that are already applied.
+    pub(crate) fn stored_rule(&self, table: &str, id: usize) -> Option<&RuleUpdate> {
+        self.tables
+            .get(table)
+            .and_then(|s| s.rules.get(id))
+            .map(|r| &r.rule)
+    }
+
+    /// Deterministic digest of the full shadow state (rules including
+    /// tombstones — rule ids are positional — plus default actions). Two
+    /// shims with equal digests decide every future update identically.
+    pub fn state_digest(&self) -> u64 {
+        use std::fmt::Write;
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort();
+        let mut render = String::new();
+        for name in names {
+            let shadow = &self.tables[name];
+            let _ = writeln!(
+                render,
+                "T {name} default={}",
+                shadow.default_action.as_deref().unwrap_or("-")
+            );
+            for (id, r) in shadow.rules.iter().enumerate() {
+                let _ = writeln!(
+                    render,
+                    "R {id} {} {} {:x?} {:x?} {:x?}",
+                    r.live, r.rule.action, r.rule.key_values, r.rule.key_masks, r.rule.params
+                );
+            }
+        }
+        journal::fnv1a(render.as_bytes())
     }
 }
 

@@ -108,12 +108,43 @@ impl HavocSource {
     }
 }
 
+/// Wrap an interpreter failure into a terminal [`RunResult`].
+fn error_result(msg: String, trace: Vec<BlockId>, state: Assignment) -> RunResult {
+    let egress_spec = state
+        .get("standard_metadata.egress_spec" as &str)
+        .map(|v| v.as_bits());
+    RunResult {
+        outcome: Outcome::Error(SimError::Eval(msg)),
+        trace,
+        state,
+        egress_spec,
+    }
+}
+
 fn default_value(sort: Sort) -> Value {
     match sort {
         Sort::Bool => Value::Bool(false),
         Sort::Bv(w) => Value::bv(w, 0),
     }
 }
+
+/// An internal interpreter failure, reported as an [`Outcome`] instead of
+/// a panic so corpus-wide sweeps survive one bad program or snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// Expression evaluation failed (sort mismatch, malformed term, ...).
+    Eval(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// How a run ended.
 #[derive(Clone, Debug, PartialEq)]
@@ -129,6 +160,9 @@ pub enum Outcome {
     /// Internal: an infeasible sink was reached (indicates an interpreter
     /// or lowering inconsistency — tests assert this never happens).
     Infeasible,
+    /// The interpreter itself failed; the trace and state cover the run up
+    /// to the failing instruction.
+    Error(SimError),
 }
 
 /// Result of interpreting one packet.
@@ -200,9 +234,16 @@ impl<'c> Interpreter<'c> {
                 match ins {
                     Instr::Assign { var, expr, .. } => {
                         self.materialize(expr, &mut state, inputs, source);
-                        let v = eval(expr, &state).unwrap_or_else(|e| {
-                            panic!("eval {expr} in block {block}: {e}")
-                        });
+                        let v = match eval(expr, &state) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                return error_result(
+                                    format!("eval {expr} in block {block}: {e}"),
+                                    trace,
+                                    state,
+                                )
+                            }
+                        };
                         state.insert(var.clone(), v);
                     }
                     Instr::Havoc { var, sort } => {
@@ -253,9 +294,16 @@ impl<'c> Interpreter<'c> {
                     else_to,
                 } => {
                     self.materialize(cond, &mut state, inputs, source);
-                    let c = eval(cond, &state)
-                        .unwrap_or_else(|e| panic!("branch eval {cond}: {e}"))
-                        .as_bool();
+                    let c = match eval(cond, &state) {
+                        Ok(v) => v.as_bool(),
+                        Err(e) => {
+                            return error_result(
+                                format!("branch eval {cond}: {e}"),
+                                trace,
+                                state,
+                            )
+                        }
+                    };
                     block = if c { *then_to } else { *else_to };
                 }
             }
@@ -272,9 +320,12 @@ impl<'c> Interpreter<'c> {
         source: &mut HavocSource,
     ) {
         for (v, sort) in bf4_smt::free_vars(t) {
-            if !state.contains_key(&v) {
-                let val = inputs.get(&v).copied().unwrap_or_else(|| source.draw(&v, sort));
-                state.insert(v, val);
+            if let std::collections::hash_map::Entry::Vacant(e) = state.entry(v) {
+                let val = inputs
+                    .get(e.key())
+                    .copied()
+                    .unwrap_or_else(|| source.draw(e.key(), sort));
+                e.insert(val);
             }
         }
     }
@@ -593,6 +644,25 @@ mod tests {
     }
 
     #[test]
+    fn wrong_sorted_input_is_an_error_outcome_not_a_panic() {
+        // A controller handing the interpreter a mis-sorted input used to
+        // panic mid-run; it must now surface as `Outcome::Error`.
+        let cfg = nat_cfg();
+        let interp = Interpreter::new(&cfg, RuleSet::new());
+        let mut src = HavocSource::Zero;
+        let mut pkt = eth_ipv4_packet();
+        pkt.insert(Arc::from("hdr.ethernet.etherType"), Value::Bool(true));
+        let r = interp.run(&pkt, &mut src);
+        match r.outcome {
+            Outcome::Error(SimError::Eval(msg)) => {
+                assert!(msg.contains("etherType"), "unexpected message: {msg}")
+            }
+            other => panic!("expected eval error, got {other:?}"),
+        }
+        assert!(!r.trace.is_empty(), "trace up to the failure is kept");
+    }
+
+    #[test]
     fn counterexample_replay_hits_same_bug_kind() {
         // Static verifier model → snapshot + packet → interpreter reaches
         // a bug of the same kind.
@@ -601,12 +671,12 @@ mod tests {
         bf4_ir::ssa::to_ssa(&mut vcfg);
         let ra = bf4_core::reach::ReachAnalysis::new(&vcfg);
         let bugs = ra.found_bugs(&vcfg);
-        let mut z3 = bf4_smt::Z3Backend::new();
+        let mut solver = bf4_smt::default_solver();
         let key_bug = bugs
             .iter()
             .find(|b| b.info.kind == BugKind::InvalidKeyAccess)
             .unwrap();
-        let model = bf4_core::reach::bug_model(&mut z3, key_bug, &[]).expect("model");
+        let model = bf4_core::reach::bug_model(&mut solver, key_bug, &[]).expect("model");
         // Interpreter runs on the *pre-SSA* CFG; pcn.* names are stable.
         let icfg = lower(&program, &LowerOptions::default()).unwrap().cfg;
         let rules = snapshot_from_model(&icfg, &model);

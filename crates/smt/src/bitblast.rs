@@ -13,12 +13,13 @@
 //! a cross-checking oracle.
 
 use crate::cnf::{CnfBuilder, Lit};
-use crate::sat::{CdclSolver, SolveResult};
-use crate::solver::{SatResult, Solver};
+use crate::sat::{CdclSolver, SolveLimits, SolveResult};
+use crate::solver::{BudgetKind, ResourceBudget, SatResult, Solver, SolverError};
 use crate::term::{BvOp, CmpOp, Sort, Term, TermNode, Value};
 use crate::Assignment;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A lowered term: one literal per bit (LSB first) or a single boolean.
 #[derive(Clone, Debug)]
@@ -156,14 +157,14 @@ impl Blaster {
         let mut cur: Vec<Lit> = a.to_vec();
         // Barrel shifter over the meaningful stage bits.
         let stages = 32 - (w as u32).leading_zeros(); // ceil(log2(w))+..
-        for s in 0..amt.len() {
+        for (s, &amt_s) in amt.iter().enumerate() {
             let shift_by = 1usize << s.min(63);
             if s as u32 >= stages {
                 // Shifting by >= w zeroes (or sign-fills) everything when the
                 // bit is set.
                 let mut next = Vec::with_capacity(w);
-                for i in 0..w {
-                    next.push(self.cnf.mux_gate(amt[s], fill, cur[i]));
+                for &c in cur.iter().take(w) {
+                    next.push(self.cnf.mux_gate(amt_s, fill, c));
                 }
                 cur = next;
                 continue;
@@ -364,6 +365,10 @@ pub struct BitBlastSolver {
     frames: Vec<Vec<Term>>,
     /// Artifacts of the last `check`, for `model`/`unsat_core`.
     last: Option<LastSolve>,
+    /// Resource limits applied to every check (default: unlimited).
+    budget: ResourceBudget,
+    /// Why the last check returned `Unknown`, when it did.
+    last_error: Option<SolverError>,
 }
 
 struct LastSolve {
@@ -380,10 +385,34 @@ impl BitBlastSolver {
         BitBlastSolver {
             frames: vec![Vec::new()],
             last: None,
+            budget: ResourceBudget::default(),
+            last_error: None,
         }
     }
 
+    /// Current formula size (term DAG nodes over the assertion stack plus
+    /// the given assumptions) — the quantity checked against
+    /// [`ResourceBudget::max_formula_size`] before blasting.
+    fn formula_size(&self, assumptions: &[Term]) -> usize {
+        self.frames
+            .iter()
+            .flatten()
+            .chain(assumptions)
+            .map(crate::term_size)
+            .sum()
+    }
+
     fn run(&mut self, assumptions: &[Term]) -> SatResult {
+        self.last_error = None;
+        if let Some(cap) = self.budget.max_formula_size {
+            let size = self.formula_size(assumptions);
+            if size > cap {
+                self.last = None;
+                self.last_error = Some(SolverError::Budget(BudgetKind::FormulaSize));
+                return SatResult::Unknown;
+            }
+        }
+        let deadline = self.budget.timeout.map(|t| Instant::now() + t);
         let mut blaster = Blaster::new();
         for frame in &self.frames {
             for t in frame {
@@ -393,10 +422,23 @@ impl BitBlastSolver {
         }
         let assumption_lits: Vec<Lit> =
             assumptions.iter().map(|t| blaster.blast(t).b()).collect();
+        let limits = SolveLimits {
+            deadline,
+            max_conflicts: self.budget.max_conflicts,
+        };
         let mut solver = CdclSolver::new(blaster.cnf.num_vars, blaster.cnf.clauses.clone());
-        let result = match solver.solve(&assumption_lits) {
+        let result = match solver.solve_limited(&assumption_lits, &limits) {
             SolveResult::Sat => SatResult::Sat,
             SolveResult::Unsat => SatResult::Unsat,
+            SolveResult::Unknown => {
+                let kind = if deadline.is_some_and(|d| Instant::now() >= d) {
+                    BudgetKind::Timeout
+                } else {
+                    BudgetKind::Conflicts
+                };
+                self.last_error = Some(SolverError::Budget(kind));
+                SatResult::Unknown
+            }
         };
         self.last = Some(LastSolve {
             solver,
@@ -438,6 +480,12 @@ impl Solver for BitBlastSolver {
             Some(l) if l.result == SatResult::Unsat => l,
             _ => return Vec::new(),
         };
+        // The whole minimization shares one deadline; an inconclusive trial
+        // keeps its assumption (a non-minimal core is still a valid core).
+        let limits = SolveLimits {
+            deadline: self.budget.timeout.map(|t| Instant::now() + t),
+            max_conflicts: self.budget.max_conflicts,
+        };
         let all = last.assumption_lits.clone();
         let mut kept: Vec<usize> = (0..all.len()).collect();
         let mut i = 0;
@@ -449,7 +497,7 @@ impl Solver for BitBlastSolver {
                 .map(|(_, &k)| all[k])
                 .collect();
             let solver = &mut self.last.as_mut().unwrap().solver;
-            if solver.solve(&trial) == SolveResult::Unsat {
+            if solver.solve_limited(&trial, &limits) == SolveResult::Unsat {
                 kept.remove(i);
             } else {
                 i += 1;
@@ -459,10 +507,10 @@ impl Solver for BitBlastSolver {
         kept
     }
 
-    fn model(&mut self, vars: &[(Arc<str>, Sort)]) -> Option<Assignment> {
-        let last = self.last.as_ref()?;
+    fn model(&mut self, vars: &[(Arc<str>, Sort)]) -> Result<Assignment, SolverError> {
+        let last = self.last.as_ref().ok_or(SolverError::NoModel)?;
         if last.result != SatResult::Sat {
-            return None;
+            return Err(SolverError::NoModel);
         }
         let mut out = Assignment::new();
         for (name, sort) in vars {
@@ -484,11 +532,25 @@ impl Solver for BitBlastSolver {
                 }
                 (None, Sort::Bool) => Value::Bool(false),
                 (None, Sort::Bv(w)) => Value::bv(*w, 0),
-                _ => panic!("model: sort mismatch for {name}"),
+                (Some(_), _) => {
+                    let err = SolverError::SortMismatch(format!(
+                        "model extraction: stored bits for `{name}` disagree with requested sort {sort:?}"
+                    ));
+                    self.last_error = Some(err.clone());
+                    return Err(err);
+                }
             };
             out.insert(name.clone(), v);
         }
-        Some(out)
+        Ok(out)
+    }
+
+    fn set_budget(&mut self, budget: ResourceBudget) {
+        self.budget = budget;
+    }
+
+    fn last_error(&self) -> Option<&SolverError> {
+        self.last_error.as_ref()
     }
 }
 

@@ -1,0 +1,497 @@
+//! Solver governance: budgets, retries and fallback around any [`Solver`].
+//!
+//! [`GovernedSolver`] wraps a backend and enforces a [`ResourceBudget`] on
+//! every query:
+//!
+//! * a per-query wall-clock deadline and a lifetime query cap;
+//! * on a transient `Unknown`, bounded retries on a **fresh context** with
+//!   the assertion stack re-asserted in simplified form (stale learnt
+//!   state and lowering memos are the classic cause of flaky `Unknown`s);
+//! * if the primary backend still cannot decide and the formula is small
+//!   enough, a last-resort **fallback** to the internal bit-blasting CDCL
+//!   solver, which is complete on the QF_BV fragment bf4 emits;
+//! * `Unknown` that survives all of that is returned as `Unknown`, with
+//!   [`Solver::last_error`] explaining which limit fired — callers must
+//!   treat it as "possible bug, undecided", never as "no bug".
+//!
+//! The wrapper mirrors the assertion stack itself, so it can rebuild any
+//! backend from scratch at any time; this is also what makes the fresh
+//! context retries and the fallback possible at all.
+
+use crate::bitblast::BitBlastSolver;
+use crate::simplify::simplify;
+use crate::solver::{BudgetKind, ResourceBudget, SatResult, Solver, SolverError};
+use crate::term::{Sort, Term};
+use crate::Assignment;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which backend a [`GovernedSolver`] (or the [`new_solver`] factory) runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Z3 when the crate is built with the `z3` feature, otherwise the
+    /// internal bit-blasting CDCL solver.
+    #[default]
+    Auto,
+    /// The internal bit-blasting CDCL solver.
+    Internal,
+    /// The Z3 backend (requires the `z3` feature; [`new_solver`] falls
+    /// back to `Internal` when the feature is off).
+    Z3,
+}
+
+impl BackendKind {
+    fn resolve(self) -> BackendKind {
+        match self {
+            BackendKind::Auto | BackendKind::Z3 => {
+                #[cfg(feature = "z3")]
+                {
+                    BackendKind::Z3
+                }
+                #[cfg(not(feature = "z3"))]
+                {
+                    BackendKind::Internal
+                }
+            }
+            BackendKind::Internal => BackendKind::Internal,
+        }
+    }
+
+    fn build(self) -> Box<dyn Solver> {
+        match self.resolve() {
+            BackendKind::Internal => Box::new(BitBlastSolver::new()),
+            #[cfg(feature = "z3")]
+            BackendKind::Z3 => Box::new(crate::z3backend::Z3Backend::new()),
+            #[cfg(not(feature = "z3"))]
+            BackendKind::Z3 => unreachable!("resolve() maps Z3 to Internal without the feature"),
+            BackendKind::Auto => unreachable!("resolve() never returns Auto"),
+        }
+    }
+}
+
+/// Configuration for [`new_solver`].
+#[derive(Clone, Debug, Default)]
+pub struct SolverConfig {
+    /// Backend selection.
+    pub backend: BackendKind,
+    /// Budget enforced by the governing wrapper.
+    pub budget: ResourceBudget,
+}
+
+impl SolverConfig {
+    /// Config with the default backend and the given per-query timeout.
+    pub fn with_timeout(timeout: Duration) -> SolverConfig {
+        SolverConfig {
+            backend: BackendKind::Auto,
+            budget: ResourceBudget {
+                timeout: Some(timeout),
+                ..ResourceBudget::bounded_default()
+            },
+        }
+    }
+}
+
+/// Build the standard governed solver for the pipeline: the configured
+/// backend wrapped in a [`GovernedSolver`] enforcing the configured budget.
+pub fn new_solver(config: &SolverConfig) -> GovernedSolver {
+    let mut s = GovernedSolver::with_backend(config.backend);
+    s.set_budget(config.budget.clone());
+    s
+}
+
+/// Build a governed solver with default backend and the bounded default
+/// budget — the drop-in replacement for bare backend construction.
+pub fn default_solver() -> GovernedSolver {
+    new_solver(&SolverConfig::default())
+}
+
+/// Counters describing what governance had to do; useful in reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GovernanceStats {
+    /// Queries issued through this solver.
+    pub queries: u64,
+    /// Fresh-context retries performed after transient `Unknown`s.
+    pub retries: u64,
+    /// Queries answered by the internal fallback solver.
+    pub fallbacks: u64,
+    /// Queries refused or aborted because a budget limit fired.
+    pub budget_exhausted: u64,
+}
+
+/// A [`Solver`] wrapper enforcing [`ResourceBudget`] with retry and
+/// fallback. See the module docs for the exact policy.
+pub struct GovernedSolver {
+    kind: BackendKind,
+    primary: Box<dyn Solver>,
+    /// Fallback solver that answered the most recent query, if any. Kept
+    /// until the next state mutation so `model`/`unsat_core` read from the
+    /// solver that actually produced the result.
+    fallback: Option<BitBlastSolver>,
+    /// Mirrored assertion stack (source of truth for rebuilds).
+    frames: Vec<Vec<Term>>,
+    budget: ResourceBudget,
+    stats: GovernanceStats,
+    last_error: Option<SolverError>,
+}
+
+impl Default for GovernedSolver {
+    fn default() -> Self {
+        Self::with_backend(BackendKind::Auto)
+    }
+}
+
+impl GovernedSolver {
+    /// Governed solver over the given backend with the bounded default
+    /// budget.
+    pub fn with_backend(kind: BackendKind) -> GovernedSolver {
+        GovernedSolver {
+            kind,
+            primary: kind.build(),
+            fallback: None,
+            frames: vec![Vec::new()],
+            budget: ResourceBudget::bounded_default(),
+            stats: GovernanceStats::default(),
+            last_error: None,
+        }
+    }
+
+    /// Counters for reporting.
+    pub fn stats(&self) -> GovernanceStats {
+        self.stats
+    }
+
+    /// The backend actually in use after feature resolution.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.kind.resolve()
+    }
+
+    fn formula_size(&self, assumptions: &[Term]) -> usize {
+        self.frames
+            .iter()
+            .flatten()
+            .chain(assumptions)
+            .map(crate::term_size)
+            .sum()
+    }
+
+    /// Budget handed to a backend for one query, with the per-query
+    /// deadline converted to whatever time remains.
+    fn query_budget(&self, deadline: Option<Instant>) -> ResourceBudget {
+        ResourceBudget {
+            timeout: deadline.map(|d| d.saturating_duration_since(Instant::now())),
+            ..self.budget.clone()
+        }
+    }
+
+    /// Rebuild a backend of the primary kind from the mirrored stack,
+    /// optionally with simplified assertions.
+    fn rebuilt_primary(&self, simplified: bool) -> Box<dyn Solver> {
+        let mut s = self.kind.build();
+        for frame in &self.frames {
+            s.push();
+            for t in frame {
+                if simplified {
+                    s.assert(&simplify(t));
+                } else {
+                    s.assert(t);
+                }
+            }
+        }
+        s
+    }
+
+    /// Rebuild the internal fallback solver from the mirrored stack.
+    fn rebuilt_fallback(&self) -> BitBlastSolver {
+        let mut s = BitBlastSolver::new();
+        for frame in &self.frames {
+            s.push();
+            for t in frame {
+                s.assert(&simplify(t));
+            }
+        }
+        s
+    }
+
+    /// Any state mutation invalidates the fallback result of the previous
+    /// query.
+    fn invalidate_fallback(&mut self) {
+        self.fallback = None;
+    }
+
+    fn governed_check(&mut self, assumptions: &[Term]) -> SatResult {
+        self.invalidate_fallback();
+        self.last_error = None;
+        self.stats.queries += 1;
+        if self
+            .budget
+            .max_queries
+            .is_some_and(|cap| self.stats.queries > cap)
+        {
+            self.stats.budget_exhausted += 1;
+            self.last_error = Some(SolverError::Budget(BudgetKind::Queries));
+            return SatResult::Unknown;
+        }
+        let size = self.formula_size(assumptions);
+        if self.budget.max_formula_size.is_some_and(|cap| size > cap) {
+            self.stats.budget_exhausted += 1;
+            self.last_error = Some(SolverError::Budget(BudgetKind::FormulaSize));
+            return SatResult::Unknown;
+        }
+        let deadline = self.budget.timeout.map(|t| Instant::now() + t);
+
+        self.primary.set_budget(self.query_budget(deadline));
+        let mut result = if assumptions.is_empty() {
+            self.primary.check()
+        } else {
+            self.primary.check_assumptions(assumptions)
+        };
+
+        // Bounded fresh-context retries with simplified formulas. Backoff
+        // between attempts is deliberately tiny: the point is to yield and
+        // decorrelate, not to wait for an external service.
+        let mut retries = 0;
+        while result == SatResult::Unknown
+            && retries < self.budget.max_retries
+            && deadline.is_none_or(|d| Instant::now() < d)
+        {
+            retries += 1;
+            self.stats.retries += 1;
+            std::thread::sleep(Duration::from_millis(2 * retries as u64));
+            let mut fresh = self.rebuilt_primary(true);
+            fresh.set_budget(self.query_budget(deadline));
+            result = if assumptions.is_empty() {
+                fresh.check()
+            } else {
+                fresh.check_assumptions(assumptions)
+            };
+            if result != SatResult::Unknown {
+                // The fresh context decided it; keep it as the answering
+                // solver so model/unsat_core are consistent with `result`.
+                self.primary = fresh;
+            }
+        }
+
+        // Last resort: the internal solver is complete on QF_BV, so hand
+        // it small formulas the primary could not decide. Pointless when
+        // the primary *is* the internal solver.
+        if result == SatResult::Unknown
+            && self.backend_kind() != BackendKind::Internal
+            && size <= self.budget.fallback_max_size
+            && deadline.is_none_or(|d| Instant::now() < d)
+        {
+            self.stats.fallbacks += 1;
+            let mut fb = self.rebuilt_fallback();
+            fb.set_budget(self.query_budget(deadline));
+            result = if assumptions.is_empty() {
+                fb.check()
+            } else {
+                fb.check_assumptions(assumptions)
+            };
+            self.fallback = Some(fb);
+        }
+
+        if result == SatResult::Unknown {
+            self.stats.budget_exhausted += 1;
+            // Prefer the answering backend's own reason; otherwise report
+            // the deadline, the usual cause.
+            self.last_error = self
+                .fallback
+                .as_ref()
+                .and_then(|f| Solver::last_error(f).cloned())
+                .or_else(|| self.primary.last_error().cloned())
+                .or(Some(SolverError::Budget(BudgetKind::Timeout)));
+        }
+        result
+    }
+}
+
+impl Solver for GovernedSolver {
+    fn assert(&mut self, t: &Term) {
+        self.invalidate_fallback();
+        self.frames.last_mut().expect("frame stack non-empty").push(t.clone());
+        self.primary.assert(t);
+    }
+
+    fn push(&mut self) {
+        self.invalidate_fallback();
+        self.frames.push(Vec::new());
+        self.primary.push();
+    }
+
+    fn pop(&mut self) {
+        self.invalidate_fallback();
+        if self.frames.len() > 1 {
+            self.frames.pop();
+        }
+        self.primary.pop();
+    }
+
+    fn check(&mut self) -> SatResult {
+        self.governed_check(&[])
+    }
+
+    fn check_assumptions(&mut self, assumptions: &[Term]) -> SatResult {
+        self.governed_check(assumptions)
+    }
+
+    fn unsat_core(&mut self) -> Vec<usize> {
+        match &mut self.fallback {
+            Some(fb) => fb.unsat_core(),
+            None => self.primary.unsat_core(),
+        }
+    }
+
+    fn model(&mut self, vars: &[(Arc<str>, Sort)]) -> Result<Assignment, SolverError> {
+        match &mut self.fallback {
+            Some(fb) => Solver::model(fb, vars),
+            None => self.primary.model(vars),
+        }
+    }
+
+    fn set_budget(&mut self, budget: ResourceBudget) {
+        self.budget = budget;
+    }
+
+    fn last_error(&self) -> Option<&SolverError> {
+        self.last_error.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::term::Value;
+
+    fn governed() -> GovernedSolver {
+        default_solver()
+    }
+
+    #[test]
+    fn decides_like_the_backend() {
+        let x = Term::var("x", Sort::Bv(8));
+        let f = x.bvmul(&Term::bv(8, 3)).eq_term(&Term::bv(8, 30));
+        let mut s = governed();
+        let out = s.solve(&f);
+        assert_eq!(out.result, SatResult::Sat);
+        let m = out.model.unwrap();
+        assert_eq!(eval(&f, &m).unwrap(), Value::Bool(true));
+
+        let g = x.bvmul(&Term::bv(8, 2)).eq_term(&Term::bv(8, 1));
+        assert_eq!(s.solve(&g).result, SatResult::Unsat);
+    }
+
+    #[test]
+    fn query_cap_fires_and_is_reported() {
+        let x = Term::var("x", Sort::Bool);
+        let mut s = governed();
+        s.set_budget(ResourceBudget {
+            max_queries: Some(2),
+            ..ResourceBudget::default()
+        });
+        s.assert(&x);
+        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check(), SatResult::Unknown);
+        assert_eq!(
+            s.last_error(),
+            Some(&SolverError::Budget(BudgetKind::Queries))
+        );
+        assert_eq!(s.stats().budget_exhausted, 1);
+    }
+
+    #[test]
+    fn oversized_formula_is_refused_not_run() {
+        // A formula over the size cap must come back Unknown quickly, not
+        // get blasted for minutes.
+        let x = Term::var("x", Sort::Bv(64));
+        let mut f = x.clone();
+        for i in 0..64 {
+            f = f.bvmul(&x.bvadd(&Term::bv(64, i)));
+        }
+        let big = f.eq_term(&Term::bv(64, 1));
+        let mut s = governed();
+        s.set_budget(ResourceBudget {
+            max_formula_size: Some(16),
+            ..ResourceBudget::default()
+        });
+        let start = Instant::now();
+        assert_eq!(s.solve(&big).result, SatResult::Unknown);
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(
+            s.last_error(),
+            Some(&SolverError::Budget(BudgetKind::FormulaSize))
+        );
+    }
+
+    #[test]
+    fn deadline_terminates_hard_query() {
+        // 64-bit factoring-flavored constraint: far beyond what the CDCL
+        // solver decides in 50ms, so the deadline must fire.
+        let x = Term::var("x", Sort::Bv(64));
+        let y = Term::var("y", Sort::Bv(64));
+        let f = x
+            .bvmul(&y)
+            .eq_term(&Term::bv(64, 0xdead_beef_cafe_f00d))
+            .and(&x.bvugt(&Term::bv(64, 1)))
+            .and(&y.bvugt(&Term::bv(64, 1)));
+        let mut s = governed();
+        s.set_budget(ResourceBudget {
+            timeout: Some(Duration::from_millis(50)),
+            max_retries: 0,
+            ..ResourceBudget::default()
+        });
+        let start = Instant::now();
+        let r = s.solve(&f).result;
+        // Must terminate promptly; CDCL may occasionally get lucky, so only
+        // the time bound is strict.
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "deadline did not bound the query"
+        );
+        if r == SatResult::Unknown {
+            assert!(matches!(
+                s.last_error(),
+                Some(SolverError::Budget(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn push_pop_mirrored_across_rebuilds() {
+        let x = Term::var("x", Sort::Bool);
+        let mut s = governed();
+        s.assert(&x);
+        s.push();
+        s.assert(&x.not());
+        assert_eq!(s.check(), SatResult::Unsat);
+        s.pop();
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn unsat_core_still_works_under_governance() {
+        let x = Term::var("x", Sort::Bool);
+        let y = Term::var("y", Sort::Bool);
+        let mut s = governed();
+        let assumptions = vec![x.clone(), y.clone(), x.not()];
+        assert_eq!(s.check_assumptions(&assumptions), SatResult::Unsat);
+        let core = s.unsat_core();
+        assert!(core.contains(&0));
+        assert!(core.contains(&2));
+    }
+
+    #[cfg(feature = "z3")]
+    #[test]
+    fn z3_stub_unknown_falls_back_to_internal() {
+        // With the vendored z3 stub every check is Unknown, so governance
+        // must route small formulas to the internal solver and still
+        // produce real answers.
+        let x = Term::var("x", Sort::Bv(8));
+        let f = x.bvadd(&Term::bv(8, 1)).eq_term(&Term::bv(8, 0));
+        let mut s = GovernedSolver::with_backend(BackendKind::Z3);
+        let out = s.solve(&f);
+        assert_eq!(out.result, SatResult::Sat);
+        assert!(s.stats().fallbacks > 0);
+    }
+}

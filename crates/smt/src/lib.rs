@@ -11,13 +11,20 @@
 //! * **analyses** over terms: free variables, substitution, size metrics,
 //!   and a concrete evaluator ([`eval`]) used by the dataplane interpreter
 //!   and the differential test harness;
-//! * a [`Z3Backend`] that lowers terms to Z3 ASTs (preserving DAG sharing)
-//!   and exposes the solver operations the paper's algorithms rely on:
-//!   incremental `check`, models, assumption-based checking and unsat cores
-//!   (Algorithm 1 of the paper is built directly on these);
-//! * an **internal bit-blasting CDCL solver** ([`sat`], [`bitblast`]) used as
-//!   an independent oracle in differential tests so that the Z3 lowering
-//!   itself is covered by tests that do not trust Z3 blindly.
+//! * an **internal bit-blasting CDCL solver** ([`sat`], [`bitblast`]): the
+//!   default, dependency-free backend exposing the solver operations the
+//!   paper's algorithms rely on — incremental `check`, models,
+//!   assumption-based checking and unsat cores (Algorithm 1 of the paper is
+//!   built directly on these);
+//! * a `Z3Backend` (behind the `z3` feature) lowering terms to Z3 ASTs
+//!   while preserving DAG sharing; without a real libz3 the vendored stub
+//!   answers `Unknown` to everything, which the governance layer absorbs;
+//! * a **governance layer** ([`governed`]): [`GovernedSolver`] enforces
+//!   [`ResourceBudget`]s (deadlines, query counts, formula-size caps) on
+//!   any backend, retries transient `Unknown`s on a fresh context and
+//!   falls back to the internal solver for small formulas. Pipelines
+//!   construct solvers through [`new_solver`]/[`default_solver`] so every
+//!   query in the system is budgeted.
 //!
 //! The term language is deliberately small: the P4 fragment bf4 analyses
 //! compiles to quantifier-free bit-vector logic (QF_BV) only.
@@ -25,17 +32,23 @@
 pub mod bitblast;
 pub mod cnf;
 pub mod eval;
+pub mod governed;
 pub mod sat;
 pub mod sexpr;
 pub mod simplify;
 pub mod solver;
 pub mod term;
 pub mod visit;
+#[cfg(feature = "z3")]
 pub mod z3backend;
 
 pub use eval::{eval, Assignment, EvalError};
+pub use governed::{default_solver, new_solver, BackendKind, GovernedSolver, SolverConfig};
 pub use sexpr::{parse_sexpr, to_sexpr};
-pub use solver::{SatResult, SolveOutcome, Solver};
+pub use solver::{
+    BudgetKind, ResourceBudget, SatResult, SolveOutcome, Solver, SolverError,
+};
 pub use term::{Sort, Term, TermNode, Value};
 pub use visit::{free_vars, substitute, term_size};
+#[cfg(feature = "z3")]
 pub use z3backend::Z3Backend;

@@ -7,6 +7,7 @@
 //! tuned for the modest formula sizes that role requires.
 
 use crate::cnf::{Clause, Lit};
+use std::time::Instant;
 
 /// Ternary assignment value.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -33,6 +34,19 @@ pub enum SolveResult {
     Sat,
     /// Unsatisfiable.
     Unsat,
+    /// A resource limit in [`SolveLimits`] was hit before a decision.
+    Unknown,
+}
+
+/// Resource limits for a single [`CdclSolver::solve_limited`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveLimits {
+    /// Abort with [`SolveResult::Unknown`] once this instant passes. The
+    /// clock is polled every few hundred conflicts/decisions, so overshoot
+    /// is bounded by one propagation burst, not by formula size.
+    pub deadline: Option<Instant>,
+    /// Abort with [`SolveResult::Unknown`] after this many conflicts.
+    pub max_conflicts: Option<u64>,
 }
 
 const CLAUSE_UNDEF: usize = usize::MAX;
@@ -343,15 +357,45 @@ impl CdclSolver {
     /// Solve under assumptions. On `Unsat`, [`CdclSolver::failed_assumptions`]
     /// holds the subset of assumptions involved in the conflict.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, &SolveLimits::default())
+    }
+
+    /// [`CdclSolver::solve`] with resource limits: returns
+    /// [`SolveResult::Unknown`] when a limit fires, leaving the solver
+    /// reusable for further calls.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], limits: &SolveLimits) -> SolveResult {
         self.backtrack(0);
+        // Re-propagate the whole level-0 trail: units enqueued by
+        // `add_clause` have never been through `propagate`, and
+        // `backtrack(0)` advances `qhead` past them.
+        self.qhead = 0;
         self.failed_assumptions.clear();
         if !self.ok || self.propagate() != CLAUSE_UNDEF {
+            self.ok = false;
             return SolveResult::Unsat;
         }
+        let mut conflicts_total: u64 = 0;
+        let mut ticks: u32 = 0;
         loop {
+            // Poll limits cheaply: the clock only every 256 loop rounds,
+            // the conflict cap on every conflict below.
+            ticks = ticks.wrapping_add(1);
+            if ticks.is_multiple_of(256) {
+                if let Some(deadline) = limits.deadline {
+                    if Instant::now() >= deadline {
+                        self.backtrack(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+            }
             let conflict = self.propagate();
             if conflict != CLAUSE_UNDEF {
                 self.conflicts_since_restart += 1;
+                conflicts_total += 1;
+                if limits.max_conflicts.is_some_and(|cap| conflicts_total > cap) {
+                    self.backtrack(0);
+                    return SolveResult::Unknown;
+                }
                 if self.decision_level() == 0 {
                     return SolveResult::Unsat;
                 }
@@ -362,9 +406,7 @@ impl CdclSolver {
                     return SolveResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(conflict);
-                // Never backtrack into the assumption prefix with a learnt
-                // clause whose asserting literal would flip an assumption.
-                self.backtrack(bt.max(0));
+                self.backtrack(bt);
                 self.learn(learnt);
                 if self.conflicts_since_restart >= 64 * luby(self.restart_idx) {
                     self.conflicts_since_restart = 0;
@@ -537,6 +579,48 @@ mod tests {
         assert!(!s.failed_assumptions().is_empty());
         // still sat without assumptions
         assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn conflict_limit_yields_unknown_and_solver_stays_usable() {
+        // Pigeonhole 5-into-4: hard enough to need many conflicts.
+        let v = |i: i32, j: i32| (i - 1) * 4 + j;
+        let mut cs: Vec<Clause> = Vec::new();
+        for i in 1..=5 {
+            cs.push((1..=4).map(|j| Lit(v(i, j))).collect());
+        }
+        for j in 1..=4 {
+            for a in 1..=5 {
+                for b in (a + 1)..=5 {
+                    cs.push(vec![Lit(-v(a, j)), Lit(-v(b, j))]);
+                }
+            }
+        }
+        let mut s = CdclSolver::new(20, cs);
+        let limited = SolveLimits {
+            max_conflicts: Some(3),
+            ..SolveLimits::default()
+        };
+        assert_eq!(s.solve_limited(&[], &limited), SolveResult::Unknown);
+        // The same solver, unlimited, still reaches the right answer.
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_yields_unknown() {
+        let mut cs: Vec<Clause> = vec![vec![Lit(1), Lit(2)]];
+        for i in 1..=8i32 {
+            cs.push(vec![Lit(i), Lit(-(i % 8 + 1))]);
+        }
+        let mut s = CdclSolver::new(8, cs);
+        let limits = SolveLimits {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            max_conflicts: None,
+        };
+        // An already-expired deadline must abort (possibly after one cheap
+        // propagation burst) rather than hang or panic.
+        let r = s.solve_limited(&[], &limits);
+        assert!(r == SolveResult::Unknown || r == SolveResult::Sat);
     }
 
     #[test]

@@ -36,7 +36,7 @@ fn write_sexpr(t: &Term, out: &mut String) {
             out.push_str(&format!("(bv {width} {bits})"))
         }
         Var(n, s) => out.push_str(&format!("(var {} {})", n, sort_name(*s))),
-        Not(a) => nary("not", &[a.clone()], out),
+        Not(a) => nary("not", std::slice::from_ref(a), out),
         And(xs) => nary("and", xs, out),
         Or(xs) => nary("or", xs, out),
         Implies(a, b) => nary("=>", &[a.clone(), b.clone()], out),
@@ -44,8 +44,8 @@ fn write_sexpr(t: &Term, out: &mut String) {
         Eq(a, b) => nary("=", &[a.clone(), b.clone()], out),
         Bv(op, a, b) => nary(bv_op_name(*op), &[a.clone(), b.clone()], out),
         Cmp(op, a, b) => nary(cmp_op_name(*op), &[a.clone(), b.clone()], out),
-        BvNot(a) => nary("bvnot", &[a.clone()], out),
-        BvNeg(a) => nary("bvneg", &[a.clone()], out),
+        BvNot(a) => nary("bvnot", std::slice::from_ref(a), out),
+        BvNeg(a) => nary("bvneg", std::slice::from_ref(a), out),
         Concat(a, b) => nary("concat", &[a.clone(), b.clone()], out),
         Extract { hi, lo, arg } => {
             out.push_str(&format!("(extract {hi} {lo} "));

@@ -1,13 +1,18 @@
-//! The solver abstraction used by the verification core.
+//! The solver abstraction used by the verification core, plus the resource
+//! governance vocabulary ([`ResourceBudget`], [`SolverError`]) shared by all
+//! backends.
 //!
-//! Two implementations exist: [`crate::Z3Backend`] (the production backend,
-//! as in the paper) and [`crate::bitblast::BitBlastSolver`] (an internal
-//! CDCL solver over bit-blasted formulas, used as an independent oracle in
-//! differential tests).
+//! Three implementations exist: [`crate::bitblast::BitBlastSolver`] (the
+//! internal CDCL solver over bit-blasted formulas, the default backend),
+//! `Z3Backend` (behind the `z3` feature), and
+//! [`crate::governed::GovernedSolver`], which wraps either and enforces
+//! budgets, retries transient `Unknown`s and falls back to the internal
+//! solver.
 
 use crate::term::{Sort, Term};
 use crate::Assignment;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Result of a satisfiability check.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -18,6 +23,118 @@ pub enum SatResult {
     Unsat,
     /// The solver could not decide (resource limits).
     Unknown,
+}
+
+/// Which resource limit a query ran into.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BudgetKind {
+    /// Per-query wall-clock deadline expired.
+    Timeout,
+    /// The query counter hit [`ResourceBudget::max_queries`].
+    Queries,
+    /// The formula exceeded [`ResourceBudget::max_formula_size`] nodes.
+    FormulaSize,
+    /// The CDCL engine hit [`ResourceBudget::max_conflicts`].
+    Conflicts,
+}
+
+impl std::fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BudgetKind::Timeout => "timeout",
+            BudgetKind::Queries => "query count",
+            BudgetKind::FormulaSize => "formula size",
+            BudgetKind::Conflicts => "conflict limit",
+        })
+    }
+}
+
+/// Why a solver operation could not produce a definite answer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SolverError {
+    /// A term had the wrong sort for its position (e.g. a bit-vector where
+    /// a boolean was required). Indicates a lowering bug upstream; reported
+    /// instead of panicking so one bad formula cannot kill a corpus run.
+    SortMismatch(String),
+    /// A resource budget was exhausted before the query was decided.
+    Budget(BudgetKind),
+    /// `model` was called without a preceding `Sat`, or the backend could
+    /// not produce a model.
+    NoModel,
+    /// Backend-specific failure.
+    Backend(String),
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::SortMismatch(what) => write!(f, "sort mismatch: {what}"),
+            SolverError::Budget(kind) => write!(f, "budget exhausted: {kind}"),
+            SolverError::NoModel => write!(f, "no model available"),
+            SolverError::Backend(what) => write!(f, "backend error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Resource limits for solver queries.
+///
+/// The default budget is unlimited, matching the historical behavior of the
+/// raw backends; [`crate::governed::GovernedSolver`] installs a bounded
+/// default so nothing it runs can hang the pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Per-query wall-clock deadline.
+    pub timeout: Option<Duration>,
+    /// Total queries a governed solver may issue over its lifetime.
+    pub max_queries: Option<u64>,
+    /// Maximum formula size (term DAG nodes summed over the assertion
+    /// stack) a query may involve — the memory proxy: bit-blasting cost is
+    /// linear-ish in this number.
+    pub max_formula_size: Option<usize>,
+    /// Conflict cap for the internal CDCL engine.
+    pub max_conflicts: Option<u64>,
+    /// How many times a governed solver retries a transient `Unknown` on a
+    /// fresh context with a simplified formula.
+    pub max_retries: u32,
+    /// Largest formula size the governed solver will hand to the internal
+    /// bit-blaster as a fallback after the primary backend gave `Unknown`.
+    pub fallback_max_size: usize,
+}
+
+impl Default for ResourceBudget {
+    fn default() -> ResourceBudget {
+        ResourceBudget {
+            timeout: None,
+            max_queries: None,
+            max_formula_size: None,
+            max_conflicts: None,
+            max_retries: 1,
+            fallback_max_size: 200_000,
+        }
+    }
+}
+
+impl ResourceBudget {
+    /// The bounded budget [`crate::governed::GovernedSolver`] uses unless
+    /// told otherwise: generous enough for every corpus program, small
+    /// enough that a degenerate query cannot hang a run.
+    pub fn bounded_default() -> ResourceBudget {
+        ResourceBudget {
+            timeout: Some(Duration::from_secs(30)),
+            max_formula_size: Some(2_000_000),
+            ..ResourceBudget::default()
+        }
+    }
+
+    /// Budget with only a per-query timeout set.
+    pub fn with_timeout(timeout: Duration) -> ResourceBudget {
+        ResourceBudget {
+            timeout: Some(timeout),
+            ..ResourceBudget::default()
+        }
+    }
 }
 
 /// A satisfiability result bundled with a model when available.
@@ -31,10 +148,15 @@ pub struct SolveOutcome {
 
 /// Incremental solver interface over [`Term`] formulas.
 ///
-/// The interface mirrors exactly the Z3 features Algorithm 1 (Infer)
+/// The interface mirrors exactly the solver features Algorithm 1 (Infer)
 /// depends on: incremental assertion, models, assumption-based checking and
 /// unsat cores over the assumptions of the *most recent*
 /// [`Solver::check_assumptions`] call.
+///
+/// Robustness contract: implementations must not panic on malformed input.
+/// Sort mismatches and resource exhaustion surface as
+/// [`SatResult::Unknown`] from checks (with [`Solver::last_error`]
+/// explaining why) or as [`SolverError`] from [`Solver::model`].
 pub trait Solver {
     /// Permanently assert a boolean term.
     fn assert(&mut self, t: &Term);
@@ -58,7 +180,17 @@ pub trait Solver {
     /// After a `Sat`: concrete values for the requested variables. Variables
     /// the solver never saw get default values (false / zero), matching Z3's
     /// model-completion semantics.
-    fn model(&mut self, vars: &[(Arc<str>, Sort)]) -> Option<Assignment>;
+    fn model(&mut self, vars: &[(Arc<str>, Sort)]) -> Result<Assignment, SolverError>;
+
+    /// Install a resource budget. Backends that cannot enforce a given
+    /// limit ignore it; the default implementation ignores everything.
+    fn set_budget(&mut self, _budget: ResourceBudget) {}
+
+    /// Why the most recent check returned [`SatResult::Unknown`] (or the
+    /// most recent operation failed), if the backend recorded a reason.
+    fn last_error(&self) -> Option<&SolverError> {
+        None
+    }
 
     /// Convenience: one-shot satisfiability of a single formula,
     /// returning a model over its free variables.
@@ -68,7 +200,7 @@ pub trait Solver {
         let result = self.check();
         let model = if result == SatResult::Sat {
             let fv: Vec<(Arc<str>, Sort)> = crate::free_vars(t).into_iter().collect();
-            self.model(&fv)
+            self.model(&fv).ok()
         } else {
             None
         };

@@ -69,7 +69,7 @@ pub enum Value {
 impl Value {
     /// Construct a bit-vector value, masking `bits` to `width`.
     pub fn bv(width: u32, bits: u128) -> Value {
-        assert!(width >= 1 && width <= MAX_WIDTH, "bad bv width {width}");
+        assert!((1..=MAX_WIDTH).contains(&width), "bad bv width {width}");
         Value::Bv {
             width,
             bits: mask(width, bits),
@@ -807,13 +807,7 @@ pub fn fold_bv(op: BvOp, w: u32, a: u128, b: u128) -> u128 {
         BvOp::Add => m(a.wrapping_add(b)),
         BvOp::Sub => m(a.wrapping_sub(b)),
         BvOp::Mul => m(a.wrapping_mul(b)),
-        BvOp::UDiv => {
-            if b == 0 {
-                m(u128::MAX)
-            } else {
-                m(a / b)
-            }
-        }
+        BvOp::UDiv => m(a.checked_div(b).unwrap_or(u128::MAX)),
         BvOp::URem => {
             if b == 0 {
                 a

@@ -6,13 +6,14 @@
 use bf4_core::reach::{bug_model, ReachAnalysis};
 use bf4_ir::{lower, BugKind, LowerOptions};
 use bf4_sim::{snapshot_from_model, HavocSource, Interpreter, Outcome};
-use bf4_smt::{Assignment, Z3Backend};
+use bf4_smt::Assignment;
 
 fn main() {
     let program_src = bf4_corpus::by_name("simple_nat").unwrap().source;
     let program = bf4_p4::frontend(program_src).unwrap();
 
-    // Static side: find the §2.1 invalid-key bug and ask Z3 for a witness.
+    // Static side: find the §2.1 invalid-key bug and ask the solver for a
+    // witness.
     let mut vcfg = lower(&program, &LowerOptions::default()).unwrap().cfg;
     bf4_ir::ssa::to_ssa(&mut vcfg);
     let ra = ReachAnalysis::new(&vcfg);
@@ -21,8 +22,8 @@ fn main() {
         .iter()
         .find(|b| b.info.kind == BugKind::InvalidKeyAccess)
         .expect("nat key bug");
-    let mut z3 = Z3Backend::new();
-    let model = bug_model(&mut z3, key_bug, &[]).expect("witness model");
+    let mut solver = bf4_smt::default_solver();
+    let model = bug_model(&mut solver, key_bug, &[]).expect("witness model");
     println!("static verifier: bug '{}' is reachable", key_bug.info.description);
 
     // Dynamic side: extract the faulty rule from the model and replay.

@@ -6,7 +6,6 @@ use bf4_core::driver::build_cfg;
 use bf4_core::fixes::apply_fixes;
 use bf4_core::reach::{check_bugs, BugStatus, ReachAnalysis};
 use bf4_core::{verify, VerifyOptions};
-use bf4_smt::Z3Backend;
 
 fn main() {
     let program = bf4_corpus::by_name("simple_nat").unwrap();
@@ -37,12 +36,12 @@ fn main() {
     let (cfg, _) = build_cfg(&checked, &opts2).unwrap();
     let ra = ReachAnalysis::new(&cfg);
     let mut bugs = ra.found_bugs(&cfg);
-    let mut z3 = Z3Backend::new();
-    let raw_reachable = check_bugs(&mut z3, &mut bugs, &[], BugStatus::Reachable);
+    let mut solver = bf4_smt::default_solver();
+    let stats = check_bugs(&mut solver, &mut bugs, &[], BugStatus::Reachable);
     println!(
         "\nfixed program: {} bug(s) reachable with unconstrained rules \
          (controlled by the {} emitted annotations at runtime)",
-        raw_reachable,
+        stats.potential(),
         after.annotations.specs.len()
     );
     println!("bugs after fixes + annotations: {}", after.bugs_after_fixes);

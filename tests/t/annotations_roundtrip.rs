@@ -49,6 +49,7 @@ fn parsed_and_inmemory_shims_agree() {
             faulty_fraction: 0.4,
             delete_fraction: 0.1,
             seed: 99,
+            ..WorkloadConfig::default()
         },
     );
     for u in ctrl.workload() {

@@ -26,8 +26,10 @@ fn fuzz_program(name: &str, updates: usize, packets: u64) {
     // Build the *fixed* program exactly as the driver did.
     let mut program = bf4_p4::frontend(p.source).unwrap();
     apply_fixes(&mut program, &report.fixes);
-    let mut lopts = bf4_ir::LowerOptions::default();
-    lopts.egress_spec_default_drop = report.egress_spec_fix;
+    let lopts = bf4_ir::LowerOptions {
+        egress_spec_default_drop: report.egress_spec_fix,
+        ..Default::default()
+    };
     let cfg = bf4_ir::lower(&program, &lopts).unwrap().cfg;
 
     // Controller → shim.
@@ -39,6 +41,7 @@ fn fuzz_program(name: &str, updates: usize, packets: u64) {
             faulty_fraction: 0.3,
             delete_fraction: 0.0,
             seed: 0x5eed ^ name.len() as u64,
+            ..WorkloadConfig::default()
         },
     );
     let mut accepted = 0usize;

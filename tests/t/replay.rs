@@ -7,7 +7,7 @@
 use bf4_core::reach::{bug_model, BugStatus, ReachAnalysis};
 use bf4_ir::{lower, BugKind, LowerOptions};
 use bf4_sim::{snapshot_from_model, HavocSource, Interpreter, Outcome};
-use bf4_smt::{Assignment, Z3Backend};
+use bf4_smt::Assignment;
 
 fn replay_program(name: &str) -> (usize, usize) {
     let p = bf4_corpus::by_name(name).unwrap();
@@ -16,14 +16,14 @@ fn replay_program(name: &str) -> (usize, usize) {
     bf4_ir::ssa::to_ssa(&mut vcfg);
     let ra = ReachAnalysis::new(&vcfg);
     let mut bugs = ra.found_bugs(&vcfg);
-    let mut z3 = Z3Backend::new();
-    bf4_core::reach::check_bugs(&mut z3, &mut bugs, &[], BugStatus::Reachable);
+    let mut solver = bf4_smt::default_solver();
+    bf4_core::reach::check_bugs(&mut solver, &mut bugs, &[], BugStatus::Reachable);
 
     let icfg = lower(&program, &LowerOptions::default()).unwrap().cfg;
     let mut attempted = 0;
     let mut reproduced = 0;
     for bug in bugs.iter().filter(|b| b.status == BugStatus::Reachable) {
-        let Some(model) = bug_model(&mut z3, bug, &[]) else {
+        let Some(model) = bug_model(&mut solver, bug, &[]) else {
             continue;
         };
         attempted += 1;
@@ -86,8 +86,8 @@ fn replayed_key_bug_matches_paper_scenario() {
         .iter()
         .find(|b| b.info.kind == BugKind::InvalidKeyAccess)
         .unwrap();
-    let mut z3 = Z3Backend::new();
-    let model = bug_model(&mut z3, key_bug, &[]).unwrap();
+    let mut solver = bf4_smt::default_solver();
+    let model = bug_model(&mut solver, key_bug, &[]).unwrap();
     let icfg = lower(&program, &LowerOptions::default()).unwrap().cfg;
     let rules = snapshot_from_model(&icfg, &model);
     let nat_rules = rules.get("nat").expect("nat rule in model");

@@ -1,11 +1,12 @@
-//! Differential testing of the solver layer: the Z3 backend and the
+//! Differential testing of the solver layer: the governed solver (with
+//! its budget enforcement, retries, and fallback routing) and the raw
 //! internal CDCL bit-blaster must agree on satisfiability for random
 //! QF_BV formulas, and every `Sat` model must actually evaluate to true.
 //! The same harness cross-checks the simplifier and the S-expression
 //! codec (semantics preservation).
 
 use bf4_smt::bitblast::BitBlastSolver;
-use bf4_smt::{eval, SatResult, Solver, Sort, Term, Value, Z3Backend};
+use bf4_smt::{default_solver, eval, SatResult, Solver, Sort, Term, Value};
 use proptest::prelude::*;
 
 /// A tiny random-term generator over a fixed variable pool.
@@ -65,14 +66,14 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
-    fn z3_and_internal_solver_agree(f in arb_term(4)) {
-        let mut z3 = Z3Backend::new();
-        let z3_out = z3.solve(&f);
+    fn governed_and_internal_solver_agree(f in arb_term(4)) {
+        let mut governed = default_solver();
+        let gov_out = governed.solve(&f);
         let mut internal = BitBlastSolver::new();
         let int_out = internal.solve(&f);
-        prop_assert_eq!(z3_out.result, int_out.result, "formula: {}", f);
+        prop_assert_eq!(gov_out.result, int_out.result, "formula: {}", f);
         // Models must satisfy the formula.
-        for (name, out) in [("z3", &z3_out), ("internal", &int_out)] {
+        for (name, out) in [("governed", &gov_out), ("internal", &int_out)] {
             if out.result == SatResult::Sat {
                 let m = out.model.as_ref().unwrap();
                 prop_assert_eq!(
@@ -87,7 +88,7 @@ proptest! {
     #[test]
     fn simplifier_preserves_equivalence(f in arb_term(4)) {
         let simplified = bf4_smt::simplify::simplify(&f);
-        let mut s = Z3Backend::new();
+        let mut s = default_solver();
         s.assert(&f.iff(&simplified).not());
         prop_assert_eq!(s.check(), SatResult::Unsat, "{} != {}", f, simplified);
     }
@@ -96,7 +97,7 @@ proptest! {
     fn sexpr_roundtrip_preserves_semantics(f in arb_term(4)) {
         let text = bf4_smt::to_sexpr(&f);
         let parsed = bf4_smt::parse_sexpr(&text).unwrap();
-        let mut s = Z3Backend::new();
+        let mut s = default_solver();
         s.assert(&f.iff(&parsed).not());
         prop_assert_eq!(s.check(), SatResult::Unsat, "{} vs {}", f, parsed);
     }

@@ -1,0 +1,169 @@
+//! Offline vendored mini-criterion.
+//!
+//! The build container cannot reach crates.io, so this crate provides a
+//! tiny, API-compatible stand-in for the slice of criterion the bf4
+//! benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function` with `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs a short warm-up plus a
+//! fixed number of timed iterations and prints the mean wall-clock time
+//! per iteration — no statistical analysis, outlier detection, or HTML
+//! reports.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export so older `criterion::black_box` imports keep working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 50,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total_nanos: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters == 0 {
+            0
+        } else {
+            b.total_nanos / b.iters as u128
+        };
+        println!("{}/{}: {} iters, mean {}", self.name, id, b.iters, fmt_nanos(mean));
+        self
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`: a small untimed warm-up, then `sample_size` timed
+    /// iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..2 {
+            std_black_box(routine());
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    /// Like [`Bencher::iter`], but runs `setup` untimed before each timed
+    /// call and passes its output to `routine`.
+    pub fn iter_with_setup<S, I, O, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..2 {
+            std_black_box(routine(setup()));
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+fn fmt_nanos(n: u128) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2} s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2} ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.2} us", n as f64 / 1e3)
+    } else {
+        format!("{n} ns")
+    }
+}
+
+/// Collect benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Produce `main()` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("group");
+        g.sample_size(5);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

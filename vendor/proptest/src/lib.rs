@@ -1,0 +1,528 @@
+//! Offline vendored mini-proptest.
+//!
+//! The build container cannot reach crates.io, so this crate reimplements
+//! the *generation-only* slice of proptest's API that the bf4 test suites
+//! use: the [`proptest!`] macro, `prop_assert*`, [`prop_oneof!`],
+//! [`strategy::Strategy`] with `prop_map`/`prop_recursive`, ranges and
+//! tuples as strategies, [`char::range`], and simple `[class]{m,n}`
+//! string-regex strategies.
+//!
+//! Differences from upstream, by design:
+//!
+//! * no shrinking — a failing case reports its seed and inputs via the
+//!   normal assertion message instead of a minimized counterexample;
+//! * deterministic seeding per (test name, case index), so failures are
+//!   reproducible without a persistence file;
+//! * string "regex" strategies support only the `[class]{m,n}` shape the
+//!   test suites use.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Test-runner configuration (`ProptestConfig` in upstream naming).
+pub mod test_runner {
+    /// Number of random cases to run per property.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 128 }
+        }
+    }
+
+    pub use super::TestRng;
+}
+
+/// Deterministic RNG handed to strategies by the [`proptest!`] macro.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// RNG for one (property, case) pair: seed is a stable hash of both.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        h = (h ^ case as u64).wrapping_mul(0x100000001b3);
+        TestRng {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng.random::<u64>()
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform `u128`.
+    pub fn bits128(&mut self) -> u128 {
+        self.rng.random::<u128>()
+    }
+
+    /// Uniform `bool`.
+    pub fn flip(&mut self) -> bool {
+        self.rng.random::<bool>()
+    }
+}
+
+/// Strategies: typed random-value generators.
+pub mod strategy {
+    use super::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of values of an associated type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Recursive strategy: `self` is the leaf; `recurse` builds one
+        /// extra layer from the strategy for the layer below. `depth`
+        /// layers are stacked (the size hints are accepted for API
+        /// compatibility and ignored).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut cur = self.boxed();
+            for _ in 0..depth {
+                cur = recurse(cur).boxed();
+            }
+            cur
+        }
+
+        /// Type-erase into a clonable boxed strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            let inner = self;
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| inner.generate(rng)))
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (built by [`prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Choose uniformly among `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for std::ops::Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end as u128) - (self.start as u128);
+                        let off = rng.bits128() % span;
+                        ((self.start as u128) + off) as $t
+                    }
+                }
+                impl Strategy for std::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        let (lo, hi) = (*self.start() as u128, *self.end() as u128);
+                        assert!(lo <= hi, "empty range strategy");
+                        let span = hi - lo + 1;
+                        let off = if span == 0 { rng.bits128() } else { rng.bits128() % span };
+                        (lo + off) as $t
+                    }
+                }
+            )*
+        };
+    }
+    int_range_strategy!(u8, u16, u32, u64, u128, usize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $i:tt),+))*) => {
+            $(
+                impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                    type Value = ($($s::Value,)+);
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$i.generate(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+    tuple_strategy! {
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy for a type with a canonical uniform distribution.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    /// `any::<T>()`: the canonical strategy for `T`.
+    pub fn any<T>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    macro_rules! any_uint {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Any<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.bits128() as $t
+                    }
+                }
+            )*
+        };
+    }
+    any_uint!(u8, u16, u32, u64, u128, usize);
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Any<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.bits128() as $t
+                    }
+                }
+            )*
+        };
+    }
+    any_int!(i8, i16, i32, i64, i128, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.flip()
+        }
+    }
+
+    /// `"[class]{m,n}"` string literals as strategies (see [`crate::string`]).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+/// Character strategies.
+pub mod char {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Uniform character in `[lo, hi]` (inclusive, by code point).
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// Strategy over the inclusive character range `[lo, hi]`.
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            // Rejection-sample around the surrogate gap.
+            loop {
+                let span = (self.hi - self.lo + 1) as u64;
+                let c = self.lo + rng.below(span) as u32;
+                if let Some(c) = char::from_u32(c) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// Minimal `[class]{m,n}` pattern generator backing `&str` strategies.
+pub mod string {
+    use super::TestRng;
+
+    /// Generate a string for the supported pattern subset:
+    /// `[chars...]{min,max}` where the class may contain literal
+    /// characters, `a-z` ranges and `\n`/`\t`/`\\` escapes.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let (class, min, max) = parse(pattern)
+            .unwrap_or_else(|| panic!("unsupported string pattern for mini-proptest: {pattern:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| class[rng.below(class.len() as u64) as usize])
+            .collect()
+    }
+
+    fn parse(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let (class_src, tail) = rest.split_at(close);
+        let tail = tail.strip_prefix(']')?;
+        let tail = tail.strip_prefix('{')?;
+        let tail = tail.strip_suffix('}')?;
+        let (min_s, max_s) = tail.split_once(',')?;
+        let min: usize = min_s.trim().parse().ok()?;
+        let max: usize = max_s.trim().parse().ok()?;
+        if max < min {
+            return None;
+        }
+        let mut class = Vec::new();
+        let chars: Vec<char> = class_src.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\\' && i + 1 < chars.len() {
+                class.push(match chars[i + 1] {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                });
+                i += 2;
+            } else if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (lo, hi) = (c as u32, chars[i + 2] as u32);
+                for cp in lo..=hi {
+                    if let Some(ch) = char::from_u32(cp) {
+                        class.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                class.push(c);
+                i += 1;
+            }
+        }
+        if class.is_empty() {
+            return None;
+        }
+        Some((class, min, max))
+    }
+}
+
+/// The `proptest!` macro: runs each property over `Config::cases` random
+/// cases with a deterministic per-case RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg); $($rest)*);
+    };
+    (@funcs ($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut proptest_rng =
+                        $crate::TestRng::for_case(stringify!($name), case);
+                    $crate::proptest!(@bind proptest_rng; $($params)*);
+                    $body
+                }
+            }
+        )*
+    };
+    (@bind $rng:ident;) => {};
+    (@bind $rng:ident; $p:pat in $s:expr) => {
+        let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+    };
+    (@bind $rng:ident; $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (@bind $rng:ident; $i:ident : $t:ty) => {
+        let $i: $t = $crate::strategy::Strategy::generate(
+            &$crate::strategy::any::<$t>(), &mut $rng);
+    };
+    (@bind $rng:ident; $i:ident : $t:ty, $($rest:tt)*) => {
+        let $i: $t = $crate::strategy::Strategy::generate(
+            &$crate::strategy::any::<$t>(), &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// `prop_assert!`: plain assertion (no shrinking in the mini framework).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!`: plain equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!`: plain inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// The glob-import surface tests use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(w in 1u32..64, a: u64) {
+            prop_assert!((1..64).contains(&w));
+            let _ = a;
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![
+            (0u32..10).prop_map(|v| v * 2),
+            (100u32..110).prop_map(|v| v + 1),
+        ]) {
+            prop_assert!(x % 2 == 0 || (101..111).contains(&x));
+        }
+
+        #[test]
+        fn string_pattern(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn char_range(c in crate::char::range('!', '~')) {
+            prop_assert!(('!'..='~').contains(&c));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        let leaf = (0u32..4).prop_map(|v| v as u64);
+        let strat = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        });
+        let mut rng = crate::TestRng::for_case("recursive", 0);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v < 4 * 16);
+        }
+    }
+}

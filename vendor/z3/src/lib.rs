@@ -1,0 +1,314 @@
+//! Offline API stub for the `z3` crate.
+//!
+//! The build container has neither network access nor a libz3
+//! installation, so this crate mirrors the exact API surface that
+//! `bf4_smt::z3backend` uses — enough for the backend to *compile* when
+//! the `z3` feature is enabled. Semantics are deliberately degenerate:
+//! every `check` returns [`SatResult::Unknown`], `get_model` returns
+//! `None`, and unsat cores are empty. The governed solver layer treats
+//! these exactly like a real solver timing out, so enabling the feature
+//! against this stub simply exercises the Unknown/fallback paths.
+//!
+//! AST values track sorts and widths faithfully (and panic on width
+//! mismatches like the real bindings), so lowering bugs still surface.
+
+/// Result of a satisfiability check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    Sat,
+    Unsat,
+    Unknown,
+}
+
+/// Solver stub: records nothing, decides nothing.
+pub struct Solver {
+    _private: (),
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    pub fn new() -> Solver {
+        Solver { _private: () }
+    }
+
+    pub fn assert<T: std::borrow::Borrow<ast::Bool>>(&self, _t: T) {}
+
+    pub fn push(&self) {}
+
+    pub fn pop(&self, _n: u32) {}
+
+    pub fn check(&self) -> SatResult {
+        SatResult::Unknown
+    }
+
+    pub fn check_assumptions(&self, _assumptions: &[ast::Bool]) -> SatResult {
+        SatResult::Unknown
+    }
+
+    pub fn get_unsat_core(&self) -> Vec<ast::Bool> {
+        Vec::new()
+    }
+
+    pub fn get_model(&self) -> Option<Model> {
+        None
+    }
+}
+
+/// Model stub: unobtainable (`Solver::get_model` always returns `None`),
+/// but the type and its methods exist so call sites compile.
+pub struct Model {
+    _private: (),
+}
+
+impl Model {
+    pub fn eval<T: ast::Ast>(&self, ast: &T, _model_completion: bool) -> Option<T> {
+        Some(ast.clone())
+    }
+}
+
+/// AST node types mirroring `z3::ast`.
+pub mod ast {
+    use std::fmt;
+
+    /// Implemented by stub AST sorts so `Bool::ite` and `Model::eval` can
+    /// be generic like the real bindings.
+    pub trait Ast: Clone {
+        fn ite_node(cond: &Bool, then: &Self, els: &Self) -> Self;
+    }
+
+    /// Boolean AST stub: keeps a textual form for `Display` parity.
+    #[derive(Clone, Debug)]
+    pub struct Bool {
+        repr: String,
+    }
+
+    impl Bool {
+        fn mk(repr: String) -> Bool {
+            Bool { repr }
+        }
+
+        pub fn from_bool(b: bool) -> Bool {
+            Bool::mk(if b { "true".into() } else { "false".into() })
+        }
+
+        pub fn new_const(name: impl Into<String>) -> Bool {
+            Bool::mk(name.into())
+        }
+
+        pub fn not(&self) -> Bool {
+            Bool::mk(format!("(not {})", self.repr))
+        }
+
+        pub fn and(parts: &[Bool]) -> Bool {
+            let inner: Vec<&str> = parts.iter().map(|p| p.repr.as_str()).collect();
+            Bool::mk(format!("(and {})", inner.join(" ")))
+        }
+
+        pub fn or(parts: &[Bool]) -> Bool {
+            let inner: Vec<&str> = parts.iter().map(|p| p.repr.as_str()).collect();
+            Bool::mk(format!("(or {})", inner.join(" ")))
+        }
+
+        pub fn implies(&self, other: &Bool) -> Bool {
+            Bool::mk(format!("(=> {} {})", self.repr, other.repr))
+        }
+
+        pub fn iff(&self, other: &Bool) -> Bool {
+            Bool::mk(format!("(= {} {})", self.repr, other.repr))
+        }
+
+        pub fn ite<T: Ast>(&self, then: &T, els: &T) -> T {
+            T::ite_node(self, then, els)
+        }
+
+        /// No model ever exists in the stub, so no concrete value either.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self.repr.as_str() {
+                "true" => Some(true),
+                "false" => Some(false),
+                _ => None,
+            }
+        }
+    }
+
+    impl Ast for Bool {
+        fn ite_node(cond: &Bool, then: &Bool, els: &Bool) -> Bool {
+            Bool::mk(format!("(ite {} {} {})", cond.repr, then.repr, els.repr))
+        }
+    }
+
+    impl fmt::Display for Bool {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.repr)
+        }
+    }
+
+    /// Bit-vector AST stub: tracks width (panicking on mismatches, like
+    /// the real bindings) plus a textual form.
+    #[derive(Clone, Debug)]
+    pub struct BV {
+        repr: String,
+        width: u32,
+    }
+
+    macro_rules! bv_binops {
+        ($($method:ident => $op:literal),* $(,)?) => {
+            $(
+                pub fn $method(&self, other: &BV) -> BV {
+                    self.same_width(other, $op);
+                    BV::mk(format!("({} {} {})", $op, self.repr, other.repr), self.width)
+                }
+            )*
+        };
+    }
+
+    macro_rules! bv_cmps {
+        ($($method:ident => $op:literal),* $(,)?) => {
+            $(
+                pub fn $method(&self, other: &BV) -> Bool {
+                    self.same_width(other, $op);
+                    Bool::mk(format!("({} {} {})", $op, self.repr, other.repr))
+                }
+            )*
+        };
+    }
+
+    impl BV {
+        fn mk(repr: String, width: u32) -> BV {
+            BV { repr, width }
+        }
+
+        fn same_width(&self, other: &BV, op: &str) {
+            assert_eq!(
+                self.width, other.width,
+                "z3 stub: width mismatch in {op}: {} vs {}",
+                self.width, other.width
+            );
+        }
+
+        pub fn new_const(name: impl Into<String>, width: u32) -> BV {
+            BV::mk(name.into(), width)
+        }
+
+        pub fn from_u64(value: u64, width: u32) -> BV {
+            BV::mk(format!("#x{value:x}[{width}]"), width)
+        }
+
+        bv_binops! {
+            bvadd => "bvadd", bvsub => "bvsub", bvmul => "bvmul",
+            bvudiv => "bvudiv", bvurem => "bvurem",
+            bvand => "bvand", bvor => "bvor", bvxor => "bvxor",
+            bvshl => "bvshl", bvlshr => "bvlshr", bvashr => "bvashr",
+        }
+
+        bv_cmps! {
+            bvult => "bvult", bvule => "bvule", bvugt => "bvugt", bvuge => "bvuge",
+            bvslt => "bvslt", bvsle => "bvsle", bvsgt => "bvsgt", bvsge => "bvsge",
+        }
+
+        pub fn bvnot(&self) -> BV {
+            BV::mk(format!("(bvnot {})", self.repr), self.width)
+        }
+
+        pub fn bvneg(&self) -> BV {
+            BV::mk(format!("(bvneg {})", self.repr), self.width)
+        }
+
+        pub fn concat(&self, other: &BV) -> BV {
+            BV::mk(
+                format!("(concat {} {})", self.repr, other.repr),
+                self.width + other.width,
+            )
+        }
+
+        pub fn extract(&self, hi: u32, lo: u32) -> BV {
+            assert!(hi >= lo && hi < self.width, "z3 stub: bad extract bounds");
+            BV::mk(format!("((_ extract {hi} {lo}) {})", self.repr), hi - lo + 1)
+        }
+
+        pub fn zero_ext(&self, add: u32) -> BV {
+            BV::mk(
+                format!("((_ zero_extend {add}) {})", self.repr),
+                self.width + add,
+            )
+        }
+
+        pub fn sign_ext(&self, add: u32) -> BV {
+            BV::mk(
+                format!("((_ sign_extend {add}) {})", self.repr),
+                self.width + add,
+            )
+        }
+
+        pub fn get_size(&self) -> u32 {
+            self.width
+        }
+
+        #[allow(clippy::should_implement_trait)]
+        pub fn eq(&self, other: &BV) -> Bool {
+            self.same_width(other, "=");
+            Bool::mk(format!("(= {} {})", self.repr, other.repr))
+        }
+
+        /// No model ever exists in the stub, so no concrete value either.
+        pub fn as_u64(&self) -> Option<u64> {
+            None
+        }
+    }
+
+    impl Ast for BV {
+        fn ite_node(cond: &Bool, then: &BV, els: &BV) -> BV {
+            then.same_width(els, "ite");
+            BV::mk(
+                format!("(ite {} {} {})", cond, then.repr, els.repr),
+                then.width,
+            )
+        }
+    }
+
+    impl fmt::Display for BV {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.repr)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ast::{Bool, BV};
+    use super::{SatResult, Solver};
+
+    #[test]
+    fn every_check_is_unknown() {
+        let s = Solver::new();
+        s.assert(Bool::from_bool(true));
+        assert_eq!(s.check(), SatResult::Unknown);
+        assert_eq!(s.check_assumptions(&[]), SatResult::Unknown);
+        assert!(s.get_model().is_none());
+        assert!(s.get_unsat_core().is_empty());
+    }
+
+    #[test]
+    fn widths_tracked() {
+        let x = BV::new_const("x", 8);
+        let y = BV::new_const("y", 8);
+        assert_eq!(x.concat(&y).get_size(), 16);
+        assert_eq!(x.extract(7, 4).get_size(), 4);
+        assert_eq!(x.zero_ext(24).get_size(), 32);
+        let c = Bool::new_const("c");
+        assert_eq!(c.ite(&x, &y).get_size(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let x = BV::new_const("x", 8);
+        let y = BV::new_const("y", 16);
+        let _ = x.bvadd(&y);
+    }
+}
