@@ -26,8 +26,37 @@ cargo test -q -p bf4-shim --offline \
 echo "==> CLI solver-governance smoke test"
 # A hard per-query budget must terminate and degrade, never hang or
 # report bug-free: exit code 1 (bugs remain) or 0, not 2/101.
-out=$(cargo run -q --release --offline -p bf4-core --bin bf4 -- \
+out=$(cargo run -q --release --offline -p bf4-engine --bin bf4 -- \
     crates/corpus/programs/simple_nat.p4 --timeout-ms 2000 --quiet) || [ $? -eq 1 ]
 echo "$out" | head -2
+
+echo "==> CLI parallel smoke test (--jobs 2)"
+# The engine path must terminate with the same exit-code contract.
+out=$(cargo run -q --release --offline -p bf4-engine --bin bf4 -- \
+    crates/corpus/programs/simple_nat.p4 --jobs 2 --cache-cap 4096 --quiet) \
+    || [ $? -eq 1 ]
+echo "$out" | head -2
+
+echo "==> engine test suite under --jobs 2"
+# The engine's own differential/panic/eviction tests exercise the
+# parallel scheduler; run them by name so a rename fails loudly here.
+cargo test -q -p bf4-engine --offline --test engine_integration \
+    parallel_reports_match_sequential_reports \
+    -- --exact parallel_reports_match_sequential_reports
+cargo test -q -p bf4-engine --offline --test engine_integration \
+    panicking_job_degrades_one_program_without_wedging_the_pool \
+    -- --exact panicking_job_degrades_one_program_without_wedging_the_pool
+
+echo "==> sequential-vs-parallel corpus differential"
+# Normalized corpus reports (sorted bug/degraded lines, no timings) must
+# be byte-identical between --jobs 1 and a parallel cached run.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q --release --offline -p bf4-bench --bin report -- corpus \
+    > "$tmpdir/seq.txt" 2>/dev/null
+cargo run -q --release --offline -p bf4-bench --bin report -- corpus \
+    --jobs 4 --cache-cap 65536 > "$tmpdir/par.txt" 2>/dev/null
+diff -u "$tmpdir/seq.txt" "$tmpdir/par.txt"
+echo "differential OK ($(wc -l < "$tmpdir/seq.txt") report lines identical)"
 
 echo "CI OK"

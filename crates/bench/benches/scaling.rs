@@ -1,0 +1,69 @@
+//! `scaling` — corpus wall-clock at jobs ∈ {1, 2, 4} with the query
+//! cache off and on, emitted as JSON (`BENCH_scaling.json` plus stdout)
+//! so future PRs have a perf trajectory to compare against.
+//!
+//! The numbers are honest wall-clock measurements on the current host;
+//! the `cores` field records how much hardware parallelism was actually
+//! available, since speedup at `jobs > cores` is not physically possible.
+
+use bf4_core::driver::VerifyOptions;
+use bf4_engine::{verify_corpus, EngineConfig};
+use std::fmt::Write as _;
+
+fn main() {
+    // Criterion-style CLI compatibility: `cargo bench` passes `--bench`.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let programs: Vec<(String, String)> = bf4_corpus::all()
+        .into_iter()
+        .map(|p| (p.name.to_string(), p.source.to_string()))
+        .collect();
+    let options = VerifyOptions::default();
+
+    let mut rows = String::new();
+    let mut first = true;
+    for jobs in [1usize, 2, 4] {
+        for cache_cap in [0usize, 1 << 16] {
+            let config = EngineConfig {
+                jobs,
+                cache_cap,
+                ..EngineConfig::default()
+            };
+            let (reports, stats) = verify_corpus(&programs, &options, &config);
+            let degraded: usize = reports.iter().filter(|r| !r.degraded.is_empty()).count();
+            if !first {
+                rows.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                rows,
+                "    {{\"jobs\": {jobs}, \"cache_cap\": {cache_cap}, \
+                 \"wall_seconds\": {:.6}, \"programs\": {}, \"degraded\": {degraded}, \
+                 \"jobs_run\": {}, \"steals\": {}, \"cache_hits\": {}, \
+                 \"cache_misses\": {}, \"cache_evictions\": {}, \"cache_hit_rate\": {:.4}}}",
+                stats.wall.as_secs_f64(),
+                reports.len(),
+                stats.jobs_run,
+                stats.steals,
+                stats.cache.hits,
+                stats.cache.misses,
+                stats.cache.evictions,
+                stats.cache.hit_rate(),
+            );
+            eprintln!(
+                "scaling: jobs={jobs} cache_cap={cache_cap} wall={:?} hit-rate={:.1}%",
+                stats.wall,
+                100.0 * stats.cache.hit_rate()
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"scaling\",\n  \"cores\": {cores},\n  \"runs\": [\n{rows}\n  ]\n}}\n"
+    );
+    print!("{json}");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => eprintln!("scaling: wrote {out}"),
+        Err(e) => eprintln!("scaling: cannot write {out}: {e}"),
+    }
+}

@@ -12,10 +12,17 @@
 //! report vera          §5.2: Vera-approximation concrete vs symbolic entries
 //! report shim          §5.3: shim validation latency over a 2000-update trace
 //! report casestudies   §5.1: the three interesting-bug case studies
-//! report all           everything above
+//! report corpus [--jobs N] [--cache-cap N]
+//!                      normalized corpus reports on stdout (stable across
+//!                      worker counts; engine stats go to stderr) — the
+//!                      basis of ci.sh's sequential-vs-parallel diff
+//! report engine        speedup-vs-jobs table (jobs ∈ {1,2,4}, cache
+//!                      on/off) with per-stage latencies and cache stats
+//! report all           everything above except `corpus`
 //! ```
 
 use bf4_core::driver::{verify_isolated, VerifyOptions};
+use bf4_engine::{normalized_report, verify_corpus, EngineConfig};
 use std::time::Instant;
 
 fn main() {
@@ -31,6 +38,8 @@ fn main() {
         "vera" => vera(),
         "shim" => shim(),
         "casestudies" => casestudies(),
+        "corpus" => corpus(),
+        "engine" => engine(),
         "all" => {
             table1();
             slicing();
@@ -42,6 +51,7 @@ fn main() {
             vera();
             shim();
             casestudies();
+            engine();
         }
         other => {
             eprintln!("unknown mode `{other}`");
@@ -315,6 +325,95 @@ fn shim() {
     let stats = bf4_shim::stats::latency_stats(&latencies);
     println!("updates: {} accepted, {} rejected", accepted, rejected);
     println!("per-update validation latency: {stats}");
+    println!();
+}
+
+fn corpus_programs() -> Vec<(String, String)> {
+    bf4_corpus::all()
+        .into_iter()
+        .map(|p| (p.name.to_string(), p.source.to_string()))
+        .collect()
+}
+
+/// Normalized corpus reports: stdout is identical for any `--jobs` /
+/// `--cache-cap` combination (ci.sh diffs it); engine stats go to stderr.
+fn corpus() {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut config = EngineConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                config.jobs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("report corpus: --jobs expects a count >= 1");
+                        std::process::exit(2);
+                    });
+            }
+            "--cache-cap" => {
+                i += 1;
+                config.cache_cap = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("report corpus: --cache-cap expects a number of entries");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("report corpus: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let programs = corpus_programs();
+    let (reports, stats) = verify_corpus(&programs, &VerifyOptions::default(), &config);
+    for ((name, _), report) in programs.iter().zip(&reports) {
+        print!("{}", normalized_report(name, report));
+    }
+    eprint!("{stats}");
+}
+
+/// Speedup-vs-jobs table over the corpus, with per-stage latencies and
+/// cache statistics from the engine.
+fn engine() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== engine scaling: corpus wall-clock vs worker count ==");
+    println!("(host has {cores} core(s); speedup beyond that is not expected)");
+    let programs = corpus_programs();
+    let options = VerifyOptions::default();
+    let mut base = None;
+    let mut last_stats = None;
+    for jobs in [1usize, 2, 4] {
+        for cache_cap in [0usize, 1 << 16] {
+            let config = EngineConfig {
+                jobs,
+                cache_cap,
+                ..EngineConfig::default()
+            };
+            let (_, stats) = verify_corpus(&programs, &options, &config);
+            let wall = stats.wall.as_secs_f64();
+            if jobs == 1 && cache_cap == 0 {
+                base = Some(wall);
+            }
+            let speedup = base.map_or(1.0, |b| b / wall.max(1e-9));
+            println!(
+                "jobs={jobs} cache={:<5} wall={wall:>7.3}s speedup={speedup:>5.2}x cache-hit-rate={:>5.1}% steals={}",
+                if cache_cap == 0 { "off" } else { "on" },
+                100.0 * stats.cache.hit_rate(),
+                stats.steals,
+            );
+            if jobs == 4 && cache_cap != 0 {
+                last_stats = Some(stats);
+            }
+        }
+    }
+    if let Some(stats) = last_stats {
+        println!("-- engine stats at jobs=4, cache on --");
+        print!("{stats}");
+    }
     println!();
 }
 

@@ -18,7 +18,7 @@ use crate::fast_infer::fast_infer;
 use crate::fixes::{apply_fixes, fixes_for_bug, Fix, Unfixable};
 use crate::infer::{atoms_for_site, infer};
 use crate::multi_table::{multi_table_specs, to_table_spec};
-use crate::reach::{check_bugs, BugStatus, FoundBug, ReachAnalysis};
+use crate::reach::{check_bugs, BugCheckStats, BugStatus, FoundBug, ReachAnalysis};
 use crate::specs::{
     ActionDescriptor, AnnotationFile, KeyDescriptor, SpecOrigin, TableDescriptor, TableSpec,
 };
@@ -238,19 +238,26 @@ pub fn verify_isolated(source: &str, options: &VerifyOptions) -> Report {
 pub fn verify(source: &str, options: &VerifyOptions) -> Result<Report, bf4_p4::Error> {
     let t_total = Instant::now();
     let program = bf4_p4::frontend(source)?;
-    let mut report = verify_program(&program, options, source)?;
+    let solver_cfg = options.solver.clone();
+    let factory: &SolverFactory =
+        &move || Box::new(new_solver(&solver_cfg)) as Box<dyn Solver>;
+    let mut report = verify_program_with(&program, options, source, factory)?;
     if options.include_egress {
         let mut egress_opts = options.clone();
         egress_opts.lower.part = bf4_ir::lower::PipelinePart::Egress;
         egress_opts.include_egress = false;
-        let egress_report = verify_program(&program, &egress_opts, source)?;
+        let egress_report = verify_program_with(&program, &egress_opts, source, factory)?;
         merge_reports(&mut report, egress_report);
     }
     report.timings.total = t_total.elapsed();
     Ok(report)
 }
 
-fn merge_reports(main: &mut Report, other: Report) {
+/// Fold an egress-pipeline report into the ingress report (§4.6: the two
+/// pipeline parts are analyzed in separation and their counts summed).
+/// Public so corpus drivers other than [`verify`] — notably the parallel
+/// engine — can merge per-part reports the same way.
+pub fn merge_reports(main: &mut Report, other: Report) {
     main.bugs_total += other.bugs_total;
     main.bugs_after_infer += other.bugs_after_infer;
     main.bugs_after_fixes += other.bugs_after_fixes;
@@ -306,239 +313,416 @@ pub fn build_cfg(
     Ok((cfg, metrics))
 }
 
-fn verify_program(
+/// Builds the solver that reachability checks, rechecks and the
+/// unsafe-default analysis run on. The sequential driver builds governed
+/// solvers directly; the parallel engine injects caching wrappers. Infer's
+/// direct/dual solvers are *not* built through this (they rely on models
+/// and unsat cores, which a result cache cannot answer).
+pub type SolverFactory<'a> = dyn Fn() -> Box<dyn Solver> + Sync + 'a;
+
+/// Artifacts of one verification round up to — but not including — the
+/// per-bug reachability checks: the transformed CFG, the reachability
+/// analysis and the bug list with all statuses still undetermined.
+///
+/// Produced by [`prepare_round`]; the caller decides how to run the
+/// reachability checks (one solver sequentially, or one job per bug in the
+/// parallel engine) and then hands everything to [`finish_round`].
+pub struct RoundPrep {
+    /// Transformed, optimized, sliced CFG.
+    pub cfg: Cfg,
+    /// Structural metrics of the transformation.
+    pub metrics: Metrics,
+    /// Reachability conditions over `cfg`.
+    pub ra: ReachAnalysis,
+    /// Bug nodes found in `cfg`, reachability not yet checked.
+    pub bugs: Vec<FoundBug>,
+    /// Time spent in `build_cfg`.
+    pub transform_time: Duration,
+    /// Time spent building the reachability analysis and bug list.
+    pub analysis_time: Duration,
+}
+
+/// Build everything a verification round needs before any SMT query runs.
+pub fn prepare_round(
+    program: &Program,
+    options: &VerifyOptions,
+) -> Result<RoundPrep, bf4_p4::Error> {
+    let t0 = Instant::now();
+    let (cfg, metrics) = build_cfg(program, options)?;
+    let transform_time = t0.elapsed();
+    let t0 = Instant::now();
+    let ra = ReachAnalysis::new(&cfg);
+    let bugs = ra.found_bugs(&cfg);
+    Ok(RoundPrep {
+        cfg,
+        metrics,
+        ra,
+        bugs,
+        transform_time,
+        analysis_time: t0.elapsed(),
+    })
+}
+
+/// The degradation entry for undecided reachability checks, if any.
+/// `detail` is the solver's last error rendered with [`std::fmt::Display`]
+/// (absent when no solver recorded one).
+pub fn find_bugs_degradation(
+    stats: &BugCheckStats,
+    detail: Option<String>,
+    queries_used: u64,
+    duration: Duration,
+) -> Option<StageFailure> {
+    if stats.undecided == 0 {
+        return None;
+    }
+    Some(StageFailure {
+        stage: "find-bugs".to_string(),
+        error: format!(
+            "{} bug(s) undecided within the solver budget{}",
+            stats.undecided,
+            detail.map(|e| format!(" ({e})")).unwrap_or_default()
+        ),
+        queries_used,
+        duration,
+    })
+}
+
+/// Verification state carried across rounds (round 1: original program;
+/// round 2, if fixes were proposed: the fixed program re-verified from
+/// scratch — step 2 of §1's loop).
+pub struct RoundState {
+    /// The program being verified; mutated when fixes are applied.
+    pub program: Program,
+    /// Options for the current round; `lower.egress_spec_default_drop` is
+    /// switched on when the egress-spec special fix is taken.
+    pub options: VerifyOptions,
+    /// 1-based round counter ([`RoundState::begin_round`] increments).
+    pub round: usize,
+    /// Total bugs found reachable in round 1.
+    pub bugs_total: usize,
+    /// Bugs still reachable after inference in round 1.
+    pub bugs_after_infer: usize,
+    /// Per-bug detail from round 1; statuses refined by round 2.
+    pub first_round_bugs: Vec<BugReport>,
+    /// Structural metrics from round 1.
+    pub metrics: Metrics,
+    /// Accumulated stage failures across rounds.
+    pub degraded: Vec<StageFailure>,
+    /// Fixes proposed in round 1.
+    pub fixes: Vec<Fix>,
+    /// Whether the egress-spec special fix was taken.
+    pub egress_spec_fix: bool,
+    /// Human-readable description of the applied fixes.
+    pub fix_description: String,
+    /// Accumulated phase timings.
+    pub timings: Timings,
+    /// Non-empty lines of source (becomes `metrics.loc`).
+    loc: usize,
+    started: Instant,
+}
+
+impl RoundState {
+    /// Fresh state for verifying `program`.
+    pub fn new(program: &Program, options: &VerifyOptions, source: &str) -> RoundState {
+        RoundState {
+            program: program.clone(),
+            options: options.clone(),
+            round: 0,
+            bugs_total: 0,
+            bugs_after_infer: 0,
+            first_round_bugs: Vec::new(),
+            metrics: Metrics::default(),
+            degraded: Vec::new(),
+            fixes: Vec::new(),
+            egress_spec_fix: false,
+            fix_description: String::new(),
+            timings: Timings::default(),
+            loc: source.lines().filter(|l| !l.trim().is_empty()).count(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Account a freshly prepared round: bumps the round counter, records
+    /// transform timing, and adopts the structural metrics on round 1.
+    pub fn begin_round(&mut self, prep: &RoundPrep) {
+        self.round += 1;
+        if self.round == 1 {
+            self.metrics = prep.metrics.clone();
+            self.metrics.loc = self.loc;
+        }
+        self.timings.transform += prep.transform_time;
+    }
+}
+
+/// What the caller's reachability checks over [`RoundPrep::bugs`]
+/// produced, for totals and degradation reporting.
+pub struct ReachInfo {
+    /// Aggregated per-bug check outcomes.
+    pub stats: BugCheckStats,
+    /// Solver queries the checks issued.
+    pub queries_used: u64,
+    /// Rendered solver error accompanying an undecided check, if any.
+    pub detail: Option<String>,
+    /// Wall-clock (or summed per-bug) time of the checks.
+    pub duration: Duration,
+}
+
+/// What [`finish_round`] decided.
+pub enum RoundResult {
+    /// Fixes were applied to `state.program`; prepare and run another
+    /// round.
+    Continue,
+    /// Verification finished with this report.
+    Done(Box<Report>),
+}
+
+/// Everything after the per-bug reachability checks of one round:
+/// inference (Fast-Infer, Infer, multi-table), fix proposal (round 1
+/// only), the unsafe-default analysis and report assembly.
+///
+/// `reach` describes the reachability checks the caller already ran over
+/// `prep.bugs`; `solver` is the solver they ran on (or a fresh
+/// equivalent — every query is a self-contained push/assert/check/pop, so
+/// no assertion state carries over) and `factory` rebuilds it after a
+/// panic.
+pub fn finish_round(
+    state: &mut RoundState,
+    prep: RoundPrep,
+    reach: ReachInfo,
+    mut solver: Box<dyn Solver>,
+    factory: &SolverFactory,
+) -> RoundResult {
+    let RoundPrep {
+        cfg,
+        ra,
+        mut bugs,
+        analysis_time,
+        ..
+    } = prep;
+    let find_bugs_time = reach.duration + analysis_time;
+    if state.round == 1 {
+        // An undecided bug counts as a potential bug: the total is the
+        // conservative over-approximation, never an undercount.
+        state.bugs_total = reach.stats.potential();
+    }
+    if let Some(failure) = find_bugs_degradation(
+        &reach.stats,
+        reach.detail,
+        reach.queries_used,
+        find_bugs_time,
+    ) {
+        state.degraded.push(failure);
+    }
+    state.timings.find_bugs += find_bugs_time;
+
+    // ---- inference (Fast-Infer, Infer, multi-table) ----
+    // Isolated: a panic inside inference degrades the run to "no
+    // annotations inferred" instead of taking down the whole pipeline.
+    let t_inf = Instant::now();
+    let inference = catch_unwind(AssertUnwindSafe(|| {
+        run_inference(&cfg, &ra, &mut bugs, solver.as_mut(), &state.options)
+    }));
+    let (spec_terms, specs) = match inference {
+        Ok((spec_terms, specs, inf_timings, inf_degraded)) => {
+            state.timings.fast_infer += inf_timings.0;
+            state.timings.infer += inf_timings.1;
+            state.timings.multi_table += inf_timings.2;
+            state.degraded.extend(inf_degraded);
+            (spec_terms, specs)
+        }
+        Err(payload) => {
+            state.degraded.push(StageFailure {
+                stage: "inference".to_string(),
+                error: panic_message(&*payload),
+                queries_used: solver.queries_used(),
+                duration: t_inf.elapsed(),
+            });
+            // The solver may hold a half-mutated assertion stack;
+            // rebuild it before the recheck below.
+            solver = factory();
+            (Vec::new(), Vec::new())
+        }
+    };
+    let reachable_bugs = recheck(solver.as_mut(), &mut bugs, &spec_terms);
+    if state.round == 1 {
+        state.bugs_after_infer = reachable_bugs.len();
+        state.first_round_bugs = bug_reports(&cfg, &bugs);
+    } else {
+        // Refine first-round statuses: bugs gone in the fixed program
+        // are now controlled.
+        for bug in state.first_round_bugs.iter_mut() {
+            if bug.status == BugStatus::Uncontrolled {
+                let still = reachable_bugs.iter().any(|&ri| {
+                    bugs[ri].info.kind == bug.kind && bugs[ri].info.line == bug.line
+                });
+                if !still {
+                    bug.status = BugStatus::Controlled;
+                }
+            }
+        }
+    }
+
+    // ---- Fixes (round 1 only) ----
+    let run_fixes =
+        state.round == 1 && state.options.fixes && !reachable_bugs.is_empty();
+    if run_fixes {
+        let t0 = Instant::now();
+        // Isolated like inference: a panic while computing fixes means
+        // "no fixes proposed", not a crashed run.
+        let proposed = catch_unwind(AssertUnwindSafe(|| {
+            let mut fixes: Vec<Fix> = Vec::new();
+            let mut egress_spec_fix = false;
+            for &bi in &reachable_bugs {
+                match fixes_for_bug(&cfg, &bugs[bi]) {
+                    Ok(fix) if !fix.keys.is_empty() => {
+                        if !fixes.contains(&fix) {
+                            fixes.push(fix);
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(Unfixable::EgressSpecSpecialCase) => egress_spec_fix = true,
+                    Err(_) => {}
+                }
+            }
+            // Merge fixes per table (a bug may propose a subset of
+            // another bug's keys for the same table).
+            let mut merged: Vec<Fix> = Vec::new();
+            for f in fixes {
+                if let Some(m) = merged
+                    .iter_mut()
+                    .find(|m| m.control == f.control && m.table == f.table)
+                {
+                    for k in f.keys {
+                        if !m.keys.contains(&k) {
+                            m.keys.push(k);
+                        }
+                    }
+                } else {
+                    merged.push(f);
+                }
+            }
+            for m in &mut merged {
+                m.keys.sort();
+            }
+            (merged, egress_spec_fix)
+        }));
+        match proposed {
+            Ok((merged, egress)) => {
+                state.fixes = merged;
+                state.egress_spec_fix |= egress;
+            }
+            Err(payload) => {
+                state.degraded.push(StageFailure {
+                    stage: "fixes".to_string(),
+                    error: panic_message(&*payload),
+                    queries_used: 0,
+                    duration: t0.elapsed(),
+                });
+                state.fixes = Vec::new();
+            }
+        }
+        state.timings.fixes += t0.elapsed();
+        if !state.fixes.is_empty() || state.egress_spec_fix {
+            apply_fixes(&mut state.program, &state.fixes);
+            state.fix_description =
+                crate::fixes::describe_fixes(&state.program, &state.fixes);
+            state.options.lower.egress_spec_default_drop = state.egress_spec_fix;
+            return RoundResult::Continue; // round 2
+        }
+    }
+
+    // Unsafe default actions: actions that participate in a reachable
+    // buggy run of their table (checked per §4.4 when a default rule is
+    // set).
+    let mut unsafe_defaults: Vec<(String, String)> = Vec::new();
+    {
+        let mut s2 = factory();
+        for bug in bugs.iter() {
+            if matches!(bug.status, BugStatus::Unreachable) {
+                continue;
+            }
+            let Some(site_idx) = bug.assert_point else { continue };
+            let site = &cfg.tables[site_idx];
+            let qual = format!("{}.{}", site.control, site.table);
+            let run_var = Term::var(site.action_run_var.clone(), bf4_smt::Sort::Bv(8));
+            for (ai, a) in site.actions.iter().enumerate() {
+                if unsafe_defaults.iter().any(|(t, n)| t == &qual && n == &a.name) {
+                    continue;
+                }
+                s2.push();
+                s2.assert(&bug.cond);
+                s2.assert(&run_var.eq_term(&Term::bv(8, ai as u128)));
+                let sat = s2.check() == bf4_smt::SatResult::Sat;
+                s2.pop();
+                if sat {
+                    unsafe_defaults.push((qual.clone(), a.name.clone()));
+                }
+            }
+        }
+    }
+
+    // ---- done: assemble the report from this round's artifacts ----
+    let bugs_undecided = state
+        .first_round_bugs
+        .iter()
+        .filter(|b| b.status == BugStatus::Undecided)
+        .count();
+    let keys_added: usize = state.fixes.iter().map(|f| f.keys.len()).sum();
+    let tables_modified = state.fixes.iter().filter(|f| !f.keys.is_empty()).count();
+    state.timings.total = state.started.elapsed();
+    RoundResult::Done(Box::new(Report {
+        bugs_total: state.bugs_total,
+        bugs_after_infer: state.bugs_after_infer,
+        bugs_after_fixes: reachable_bugs.len(),
+        keys_added,
+        tables_modified,
+        fixes: std::mem::take(&mut state.fixes),
+        egress_spec_fix: state.egress_spec_fix,
+        bugs: std::mem::take(&mut state.first_round_bugs),
+        annotations: {
+            let mut ann = build_annotations(&cfg, &specs);
+            ann.unsafe_defaults = unsafe_defaults;
+            ann
+        },
+        timings: state.timings.clone(),
+        metrics: state.metrics.clone(),
+        fix_description: std::mem::take(&mut state.fix_description),
+        bugs_undecided,
+        degraded: std::mem::take(&mut state.degraded),
+    }))
+}
+
+/// Verify a parsed program, constructing every reachability/recheck/
+/// unsafe-default solver through `factory`. This is the sequential
+/// reference path; the parallel engine drives the same building blocks
+/// ([`prepare_round`], [`check_bugs`], [`finish_round`]) under its own
+/// scheduling and caching, and the two must produce identical reports
+/// (timings aside).
+pub fn verify_program_with(
     program: &Program,
     options: &VerifyOptions,
     source: &str,
+    factory: &SolverFactory,
 ) -> Result<Report, bf4_p4::Error> {
-    let t_total = Instant::now();
-    let mut timings = Timings::default();
-    let mut program = program.clone();
-    let mut options = options.clone();
-    let mut fixes: Vec<Fix> = Vec::new();
-    let mut egress_spec_fix = false;
-    let mut fix_description = String::new();
-
-    // Round 1: original program. Round 2 (if fixes were proposed): the
-    // fixed program, re-verified from scratch (step 2 of §1's loop).
-    let mut round = 0usize;
-    let mut bugs_total = 0usize;
-    let mut bugs_after_infer = 0usize;
-    let mut first_round_bugs: Vec<BugReport> = Vec::new();
-    let mut metrics = Metrics::default();
-    let mut degraded: Vec<StageFailure> = Vec::new();
-
+    let mut state = RoundState::new(program, options, source);
     loop {
-        round += 1;
+        let prep = prepare_round(&state.program, &state.options)?;
+        state.begin_round(&prep);
+        let mut prep = prep;
         let t0 = Instant::now();
-        let (cfg, m) = build_cfg(&program, &options)?;
-        if round == 1 {
-            metrics = m;
-            metrics.loc = source.lines().filter(|l| !l.trim().is_empty()).count();
-        }
-        timings.transform += t0.elapsed();
-
-        // ---- find reachable bugs ----
-        let t0 = Instant::now();
-        let ra = ReachAnalysis::new(&cfg);
-        let mut bugs = ra.found_bugs(&cfg);
-        let mut solver = new_solver(&options.solver);
-        let reach_stats = check_bugs(&mut solver, &mut bugs, &[], BugStatus::Reachable);
-        if round == 1 {
-            // An undecided bug counts as a potential bug: the total is the
-            // conservative over-approximation, never an undercount.
-            bugs_total = reach_stats.potential();
-        }
-        if reach_stats.undecided > 0 {
-            degraded.push(StageFailure {
-                stage: "find-bugs".to_string(),
-                error: format!(
-                    "{} bug(s) undecided within the solver budget{}",
-                    reach_stats.undecided,
-                    solver
-                        .last_error()
-                        .map(|e| format!(" ({e})"))
-                        .unwrap_or_default()
-                ),
-                queries_used: solver.stats().queries,
-                duration: t0.elapsed(),
-            });
-        }
-        timings.find_bugs += t0.elapsed();
-
-        // ---- inference (Fast-Infer, Infer, multi-table) ----
-        // Isolated: a panic inside inference degrades the run to "no
-        // annotations inferred" instead of taking down the whole pipeline.
-        let t_inf = Instant::now();
-        let inference = catch_unwind(AssertUnwindSafe(|| {
-            run_inference(&cfg, &ra, &mut bugs, &mut solver, &options)
-        }));
-        let (spec_terms, specs) = match inference {
-            Ok((spec_terms, specs, inf_timings, inf_degraded)) => {
-                timings.fast_infer += inf_timings.0;
-                timings.infer += inf_timings.1;
-                timings.multi_table += inf_timings.2;
-                degraded.extend(inf_degraded);
-                (spec_terms, specs)
-            }
-            Err(payload) => {
-                degraded.push(StageFailure {
-                    stage: "inference".to_string(),
-                    error: panic_message(&*payload),
-                    queries_used: solver.stats().queries,
-                    duration: t_inf.elapsed(),
-                });
-                // The solver may hold a half-mutated assertion stack;
-                // rebuild it before the recheck below.
-                solver = new_solver(&options.solver);
-                (Vec::new(), Vec::new())
-            }
+        let mut solver = factory();
+        let reach_stats =
+            check_bugs(solver.as_mut(), &mut prep.bugs, &[], BugStatus::Reachable);
+        let reach = ReachInfo {
+            stats: reach_stats,
+            queries_used: solver.queries_used(),
+            detail: solver.last_error().map(|e| e.to_string()),
+            duration: t0.elapsed(),
         };
-        let reachable_bugs = recheck(&mut solver, &mut bugs, &spec_terms);
-        if round == 1 {
-            bugs_after_infer = reachable_bugs.len();
-            first_round_bugs = bug_reports(&cfg, &bugs);
-        } else {
-            // Refine first-round statuses: bugs gone in the fixed program
-            // are now controlled.
-            for bug in first_round_bugs.iter_mut() {
-                if bug.status == BugStatus::Uncontrolled {
-                    let still = reachable_bugs.iter().any(|&ri| {
-                        bugs[ri].info.kind == bug.kind && bugs[ri].info.line == bug.line
-                    });
-                    if !still {
-                        bug.status = BugStatus::Controlled;
-                    }
-                }
-            }
+        match finish_round(&mut state, prep, reach, solver, factory) {
+            RoundResult::Continue => continue,
+            RoundResult::Done(report) => return Ok(*report),
         }
-
-        // ---- Fixes (round 1 only) ----
-        let run_fixes =
-            round == 1 && options.fixes && !reachable_bugs.is_empty();
-        if run_fixes {
-            let t0 = Instant::now();
-            // Isolated like inference: a panic while computing fixes means
-            // "no fixes proposed", not a crashed run.
-            let proposed = catch_unwind(AssertUnwindSafe(|| {
-                let mut fixes: Vec<Fix> = Vec::new();
-                let mut egress_spec_fix = false;
-                for &bi in &reachable_bugs {
-                    match fixes_for_bug(&cfg, &bugs[bi]) {
-                        Ok(fix) if !fix.keys.is_empty() => {
-                            if !fixes.contains(&fix) {
-                                fixes.push(fix);
-                            }
-                        }
-                        Ok(_) => {}
-                        Err(Unfixable::EgressSpecSpecialCase) => egress_spec_fix = true,
-                        Err(_) => {}
-                    }
-                }
-                // Merge fixes per table (a bug may propose a subset of
-                // another bug's keys for the same table).
-                let mut merged: Vec<Fix> = Vec::new();
-                for f in fixes {
-                    if let Some(m) = merged
-                        .iter_mut()
-                        .find(|m| m.control == f.control && m.table == f.table)
-                    {
-                        for k in f.keys {
-                            if !m.keys.contains(&k) {
-                                m.keys.push(k);
-                            }
-                        }
-                    } else {
-                        merged.push(f);
-                    }
-                }
-                for m in &mut merged {
-                    m.keys.sort();
-                }
-                (merged, egress_spec_fix)
-            }));
-            match proposed {
-                Ok((merged, egress)) => {
-                    fixes = merged;
-                    egress_spec_fix |= egress;
-                }
-                Err(payload) => {
-                    degraded.push(StageFailure {
-                        stage: "fixes".to_string(),
-                        error: panic_message(&*payload),
-                        queries_used: 0,
-                        duration: t0.elapsed(),
-                    });
-                    fixes = Vec::new();
-                }
-            }
-            timings.fixes += t0.elapsed();
-            if !fixes.is_empty() || egress_spec_fix {
-                apply_fixes(&mut program, &fixes);
-                fix_description = crate::fixes::describe_fixes(&program, &fixes);
-                options.lower.egress_spec_default_drop = egress_spec_fix;
-                continue; // round 2
-            }
-        }
-
-        // Unsafe default actions: actions that participate in a reachable
-        // buggy run of their table (checked per §4.4 when a default rule is
-        // set).
-        let mut unsafe_defaults: Vec<(String, String)> = Vec::new();
-        {
-            let mut s2 = new_solver(&options.solver);
-            for bug in bugs.iter() {
-                if matches!(bug.status, BugStatus::Unreachable) {
-                    continue;
-                }
-                let Some(site_idx) = bug.assert_point else { continue };
-                let site = &cfg.tables[site_idx];
-                let qual = format!("{}.{}", site.control, site.table);
-                let run_var = Term::var(site.action_run_var.clone(), bf4_smt::Sort::Bv(8));
-                for (ai, a) in site.actions.iter().enumerate() {
-                    if unsafe_defaults.iter().any(|(t, n)| t == &qual && n == &a.name) {
-                        continue;
-                    }
-                    s2.push();
-                    s2.assert(&bug.cond);
-                    s2.assert(&run_var.eq_term(&Term::bv(8, ai as u128)));
-                    let sat = s2.check() == bf4_smt::SatResult::Sat;
-                    s2.pop();
-                    if sat {
-                        unsafe_defaults.push((qual.clone(), a.name.clone()));
-                    }
-                }
-            }
-        }
-
-        // ---- done: assemble the report from this round's artifacts ----
-        let bugs_undecided = first_round_bugs
-            .iter()
-            .filter(|b| b.status == BugStatus::Undecided)
-            .count();
-        let keys_added: usize = fixes.iter().map(|f| f.keys.len()).sum();
-        let tables_modified = fixes.iter().filter(|f| !f.keys.is_empty()).count();
-        timings.total = t_total.elapsed();
-        return Ok(Report {
-            bugs_total,
-            bugs_after_infer,
-            bugs_after_fixes: reachable_bugs.len(),
-            keys_added,
-            tables_modified,
-            fixes,
-            egress_spec_fix,
-            bugs: first_round_bugs,
-            annotations: {
-                let mut ann = build_annotations(&cfg, &specs);
-                ann.unsafe_defaults = unsafe_defaults;
-                ann
-            },
-            timings,
-            metrics,
-            fix_description,
-            bugs_undecided,
-            degraded,
-        });
     }
 }
 

@@ -35,6 +35,9 @@ pub mod specs;
 #[doc(hidden)]
 pub mod testutil;
 
-pub use driver::{verify, Report, VerifyOptions};
-pub use reach::{BugStatus, FoundBug, ReachAnalysis};
+pub use driver::{
+    verify, verify_program_with, ReachInfo, Report, RoundPrep, RoundResult, RoundState,
+    SolverFactory, VerifyOptions,
+};
+pub use reach::{BugCheckStats, BugStatus, FoundBug, ReachAnalysis};
 pub use specs::{SpecAtom, TableSpec};

@@ -12,13 +12,20 @@
 //!   --timeout-ms <n>       per-query solver deadline in milliseconds
 //!   --solver-fallback <n|off>  max formula size routed to the internal
 //!                          fallback solver (`off` disables the fallback)
+//!   --jobs <n>             worker threads (default 1: the sequential path)
+//!   --cache-cap <n>        SMT query-cache capacity in entries (default 0: off)
 //!   --quiet                suppress the per-bug listing
 //! ```
+//!
+//! With `--jobs 1` and `--cache-cap 0` (the defaults) verification runs
+//! the classic sequential pipeline; any other combination routes through
+//! the parallel engine (identical results, plus engine statistics).
 //!
 //! Exit code: 0 when every bug is controlled/fixed, 1 when dataplane bugs
 //! remain, 2 on usage or frontend errors.
 
 use bf4_core::driver::{verify, VerifyOptions};
+use bf4_engine::{verify_one, EngineConfig};
 use std::io::Write;
 
 fn main() {
@@ -28,6 +35,7 @@ fn main() {
     let mut dump_cfg: Option<String> = None;
     let mut quiet = false;
     let mut options = VerifyOptions::default();
+    let mut engine = EngineConfig::default();
 
     let mut i = 0;
     while i < args.len() {
@@ -71,6 +79,26 @@ fn main() {
                     }
                 }
             }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 1 => engine.jobs = n,
+                    _ => {
+                        eprintln!("bf4: --jobs expects a worker count >= 1");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--cache-cap" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) => engine.cache_cap = n,
+                    _ => {
+                        eprintln!("bf4: --cache-cap expects a number of entries");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--no-fixes" => options.fixes = false,
             "--no-infer" => {
                 options.fast_infer = false;
@@ -81,7 +109,7 @@ fn main() {
             "--egress" => options.include_egress = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
-                eprintln!("usage: bf4 <program.p4> [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--timeout-ms N] [--solver-fallback N|off] [--quiet]");
+                eprintln!("usage: bf4 <program.p4> [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--timeout-ms N] [--solver-fallback N|off] [--jobs N] [--cache-cap N] [--quiet]");
                 std::process::exit(0);
             }
             other if path.is_none() && !other.starts_with('-') => {
@@ -122,11 +150,30 @@ fn main() {
         }
     }
 
-    let report = match verify(&source, &options) {
-        Ok(r) => r,
-        Err(e) => {
+    let use_engine = engine.jobs > 1 || engine.cache_cap > 0;
+    let (report, engine_stats) = if use_engine {
+        // Frontend errors become degraded reports inside the engine; parse
+        // here first so they keep the classic exit-code-2 CLI behavior.
+        if let Err(e) = bf4_p4::frontend(&source) {
             eprintln!("bf4: {path}: {e}");
             std::process::exit(2);
+        }
+        let (report, stats) = verify_one(&path, &source, &options, &engine);
+        if report.bugs.is_empty() && report.degraded.iter().any(|d| d.stage == "frontend") {
+            eprintln!(
+                "bf4: {path}: {}",
+                report.degraded.first().map(|d| d.error.as_str()).unwrap_or("frontend error")
+            );
+            std::process::exit(2);
+        }
+        (report, Some(stats))
+    } else {
+        match verify(&source, &options) {
+            Ok(r) => (r, None),
+            Err(e) => {
+                eprintln!("bf4: {path}: {e}");
+                std::process::exit(2);
+            }
         }
     };
 
@@ -163,6 +210,11 @@ fn main() {
             "warning: stage `{}` degraded after {:?} ({} solver queries): {}",
             d.stage, d.duration, d.queries_used, d.error
         );
+    }
+    if let Some(stats) = &engine_stats {
+        if !quiet {
+            print!("{stats}");
+        }
     }
 
     let text = report.annotations.to_string();

@@ -1,0 +1,368 @@
+//! The normalized SMT query cache and the [`Solver`] wrapper that consults
+//! it.
+//!
+//! Queries are keyed by [`bf4_smt::query_key`] — a canonical 128-bit hash
+//! invariant under assertion order, commutative operand order and (best
+//! effort) variable renaming — so structurally equal queries from
+//! different bugs, rounds or *programs* share one entry. Only definite
+//! `Sat`/`Unsat` answers are cached: an `Unknown` is a budget artifact of
+//! one particular run and must never be replayed.
+
+use crate::stats::CacheStats;
+use bf4_smt::{query_key, Assignment, ResourceBudget, SatResult, Solver, SolverError, Sort, Term};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+struct Entry {
+    result: SatResult,
+    last_used: u64,
+}
+
+/// Concurrent result cache for satisfiability checks, shared by every
+/// worker of an engine run. Bounded: beyond `cap` entries the least
+/// recently used entry is evicted. Capacity 0 disables the cache.
+pub struct QueryCache {
+    cap: usize,
+    map: Mutex<HashMap<u128, Entry>>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl QueryCache {
+    /// A cache holding at most `cap` entries (0 disables caching).
+    pub fn new(cap: usize) -> Arc<QueryCache> {
+        Arc::new(QueryCache {
+            cap,
+            map: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// Capacity this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Look up a canonical key; counts a hit or miss.
+    pub fn get(&self, key: u128) -> Option<SatResult> {
+        if self.cap == 0 {
+            return None;
+        }
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        match map.get_mut(&key) {
+            Some(e) => {
+                e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.result)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a definite answer. `Unknown` is silently dropped.
+    pub fn insert(&self, key: u128, result: SatResult) {
+        if self.cap == 0 || result == SatResult::Unknown {
+            return;
+        }
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        if !map.contains_key(&key) && map.len() >= self.cap {
+            // Evict the least recently used entry. Linear scan: the cache
+            // is bounded and eviction only happens at capacity.
+            if let Some(&victim) = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        if map
+            .insert(
+                key,
+                Entry {
+                    result,
+                    last_used: tick,
+                },
+            )
+            .is_none()
+        {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .map
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
+        }
+    }
+}
+
+enum Inner<'a> {
+    Owned(Box<dyn Solver>),
+    Borrowed(&'a mut dyn Solver),
+}
+
+/// A [`Solver`] that mirrors the assertion stack and answers `check` from
+/// the shared [`QueryCache`] when the canonical key of the current stack
+/// has a stored verdict.
+///
+/// Soundness rules:
+///
+/// * only `check` consults the cache; `check_assumptions` always runs the
+///   inner solver (its follow-up `unsat_core` needs real solver state);
+/// * only `Sat`/`Unsat` are stored;
+/// * `model` after a cache-answered `check` first re-runs the inner check
+///   so the model comes from real solver state, never from a stale one.
+pub struct CachedSolver<'a> {
+    inner: Inner<'a>,
+    cache: Arc<QueryCache>,
+    /// Mirrored assertion stack; index 0 is the permanent frame.
+    frames: Vec<Vec<Term>>,
+    /// The last `check` was answered from the cache, so the inner solver
+    /// never ran it.
+    answered_from_cache: bool,
+}
+
+impl<'a> CachedSolver<'a> {
+    /// Wrap an owned solver (used for the inference/finish stages).
+    pub fn owned(inner: Box<dyn Solver>, cache: Arc<QueryCache>) -> CachedSolver<'static> {
+        CachedSolver {
+            inner: Inner::Owned(inner),
+            cache,
+            frames: vec![Vec::new()],
+            answered_from_cache: false,
+        }
+    }
+
+    /// Wrap a worker's long-lived solver for the duration of one job.
+    pub fn borrowed(inner: &'a mut dyn Solver, cache: Arc<QueryCache>) -> CachedSolver<'a> {
+        CachedSolver {
+            inner: Inner::Borrowed(inner),
+            cache,
+            frames: vec![Vec::new()],
+            answered_from_cache: false,
+        }
+    }
+
+    fn inner(&mut self) -> &mut dyn Solver {
+        match &mut self.inner {
+            Inner::Owned(s) => s.as_mut(),
+            Inner::Borrowed(s) => *s,
+        }
+    }
+
+    fn stack_key(&self) -> u128 {
+        let terms: Vec<Term> = self.frames.iter().flatten().cloned().collect();
+        query_key(&terms)
+    }
+}
+
+impl Solver for CachedSolver<'_> {
+    fn assert(&mut self, t: &Term) {
+        self.answered_from_cache = false;
+        self.frames
+            .last_mut()
+            .expect("permanent frame always present")
+            .push(t.clone());
+        self.inner().assert(t);
+    }
+
+    fn push(&mut self) {
+        self.frames.push(Vec::new());
+        self.inner().push();
+    }
+
+    fn pop(&mut self) {
+        self.answered_from_cache = false;
+        if self.frames.len() > 1 {
+            self.frames.pop();
+        }
+        self.inner().pop();
+    }
+
+    fn check(&mut self) -> SatResult {
+        let key = self.stack_key();
+        if let Some(r) = self.cache.get(key) {
+            self.answered_from_cache = true;
+            return r;
+        }
+        let r = self.inner().check();
+        self.answered_from_cache = false;
+        self.cache.insert(key, r);
+        r
+    }
+
+    fn check_assumptions(&mut self, assumptions: &[Term]) -> SatResult {
+        self.answered_from_cache = false;
+        self.inner().check_assumptions(assumptions)
+    }
+
+    fn unsat_core(&mut self) -> Vec<usize> {
+        self.inner().unsat_core()
+    }
+
+    fn model(&mut self, vars: &[(Arc<str>, Sort)]) -> Result<Assignment, SolverError> {
+        if self.answered_from_cache {
+            // The cached verdict skipped the real check; the inner solver
+            // holds the same assertions, so re-run it to get real state.
+            let _ = self.inner().check();
+            self.answered_from_cache = false;
+        }
+        self.inner().model(vars)
+    }
+
+    fn set_budget(&mut self, budget: ResourceBudget) {
+        self.inner().set_budget(budget);
+    }
+
+    fn last_error(&self) -> Option<&SolverError> {
+        match &self.inner {
+            Inner::Owned(s) => s.last_error(),
+            Inner::Borrowed(s) => s.last_error(),
+        }
+    }
+
+    fn queries_used(&self) -> u64 {
+        match &self.inner {
+            Inner::Owned(s) => s.queries_used(),
+            Inner::Borrowed(s) => s.queries_used(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf4_smt::bitblast::BitBlastSolver;
+
+    fn v(name: &str) -> Term {
+        Term::var(name, Sort::Bool)
+    }
+
+    fn cached(cache: &Arc<QueryCache>) -> CachedSolver<'static> {
+        CachedSolver::owned(Box::new(BitBlastSolver::new()), cache.clone())
+    }
+
+    #[test]
+    fn second_identical_query_hits() {
+        let cache = QueryCache::new(16);
+        for _ in 0..2 {
+            let mut s = cached(&cache);
+            s.push();
+            s.assert(&v("p").and(&v("q")));
+            assert_eq!(s.check(), SatResult::Sat);
+            s.pop();
+        }
+        let st = cache.stats();
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.insertions, 1);
+    }
+
+    #[test]
+    fn alpha_renamed_query_hits_across_solvers() {
+        // A non-commutative term keeps the canonical operand order (and
+        // with it the alpha numbering) independent of the variable
+        // names; commutative nodes sort operands by their named hash,
+        // so renaming invariance is only best-effort there.
+        let cache = QueryCache::new(16);
+        let bv = |n: &str| Term::var(n, Sort::Bv(8));
+        let mut s1 = cached(&cache);
+        s1.assert(&bv("a").bvult(&bv("b")));
+        assert_eq!(s1.check(), SatResult::Sat);
+        let mut s2 = cached(&cache);
+        s2.assert(&bv("x").bvult(&bv("y")));
+        assert_eq!(s2.check(), SatResult::Sat);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn unknown_is_never_cached() {
+        let cache = QueryCache::new(16);
+        cache.insert(42, SatResult::Unknown);
+        assert_eq!(cache.get(42), None);
+        assert_eq!(cache.stats().insertions, 0);
+    }
+
+    #[test]
+    fn model_after_cached_answer_comes_from_real_state() {
+        let cache = QueryCache::new(16);
+        let p = v("p");
+        let mut s1 = cached(&cache);
+        s1.assert(&p);
+        assert_eq!(s1.check(), SatResult::Sat);
+        let mut s2 = cached(&cache);
+        s2.assert(&p);
+        assert_eq!(s2.check(), SatResult::Sat); // cache hit
+        let m = s2.model(&[(Arc::from("p"), Sort::Bool)]).unwrap();
+        assert_eq!(m.get("p"), Some(&bf4_smt::Value::Bool(true)));
+    }
+
+    #[test]
+    fn eviction_under_tiny_capacity() {
+        let cache = QueryCache::new(2);
+        let names = ["n0", "n1", "n2", "n3"];
+        for (i, n) in names.iter().enumerate() {
+            // Distinct shapes: i+1-way conjunction of one fresh variable
+            // with itself is collapsed, so use chains of distinct vars.
+            let t = (0..=i)
+                .map(|k| v(&format!("{n}_{k}")))
+                .reduce(|a, b| a.and(&b))
+                .unwrap();
+            let mut s = cached(&cache);
+            s.assert(&t);
+            s.check();
+        }
+        let st = cache.stats();
+        assert_eq!(st.insertions, 4);
+        assert_eq!(st.evictions, 2);
+        assert_eq!(st.entries, 2);
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let cache = QueryCache::new(0);
+        let mut s = cached(&cache);
+        s.assert(&v("p"));
+        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check(), SatResult::Sat);
+        let st = cache.stats();
+        assert_eq!(st.hits + st.misses + st.insertions, 0);
+        assert_eq!(st.entries, 0);
+    }
+
+    #[test]
+    fn push_pop_changes_the_key() {
+        let cache = QueryCache::new(16);
+        let mut s = cached(&cache);
+        s.assert(&v("p"));
+        s.push();
+        s.assert(&v("p").not());
+        assert_eq!(s.check(), SatResult::Unsat);
+        s.pop();
+        // Different stack, different key: must not replay the Unsat.
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+}

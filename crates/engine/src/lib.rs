@@ -1,0 +1,186 @@
+#![warn(missing_docs)]
+
+//! # bf4-engine — parallel verification engine for bf4
+//!
+//! Verifies whole corpora (or single programs) by decomposing the bf4
+//! pipeline into typed jobs on a fixed worker pool:
+//!
+//! * [`scheduler`] — a ready-queue DAG scheduler with per-worker deques
+//!   and work stealing; every worker owns a governed solver;
+//! * [`cache`] — a normalized SMT query cache keyed on the canonical
+//!   128-bit hash of the assertion stack ([`bf4_smt::query_key`]), shared
+//!   across bugs, rounds and programs; only definite `Sat`/`Unsat`
+//!   verdicts are stored;
+//! * [`pipeline`] — the job decomposition (frontend → per-round prepare →
+//!   per-bug reachability → finish) built on the sequential driver's own
+//!   building blocks (`prepare_round`/`check_bugs`/`finish_round`), so
+//!   parallel and sequential runs produce identical reports (timings
+//!   aside);
+//! * [`stats`] — scheduler/cache/latency observability ([`EngineStats`]).
+//!
+//! Determinism: every quantity in a [`Report`] is derived from per-bug
+//! solver verdicts, and `Sat`/`Unsat` verdicts are independent of solver
+//! assertion history, worker assignment and cache state (`Unknown`, which
+//! is budget-dependent, is never cached). Scheduling order therefore
+//! cannot change any report field other than wall-clock timings.
+
+pub mod cache;
+pub mod pipeline;
+pub mod scheduler;
+pub mod stats;
+
+pub use cache::{CachedSolver, QueryCache};
+pub use scheduler::{JobId, Pool, PoolStats, WorkerCtx};
+pub use stats::{CacheStats, EngineStats, Histogram};
+
+use bf4_core::driver::{verify_isolated, Report, VerifyOptions};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// How an engine run is sized.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads. `1` with the cache disabled is the exact
+    /// sequential driver path ([`bf4_core::driver::verify_isolated`] per
+    /// program, no pool).
+    pub jobs: usize,
+    /// Query-cache capacity in entries; `0` disables caching.
+    pub cache_cap: usize,
+    /// Test hook: panic inside the named `(program, stage)` job, where
+    /// stage is one of `frontend`, `prepare`, `reach`, `finish`.
+    #[doc(hidden)]
+    pub inject_panic: Option<(String, String)>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            jobs: 1,
+            cache_cap: 0,
+            inject_panic: None,
+        }
+    }
+}
+
+/// Verify a corpus of `(name, source)` programs. Reports come back in
+/// input order and are identical to what [`verify_isolated`] produces per
+/// program, modulo timings.
+pub fn verify_corpus(
+    programs: &[(String, String)],
+    options: &VerifyOptions,
+    config: &EngineConfig,
+) -> (Vec<Report>, EngineStats) {
+    let started = Instant::now();
+    if config.jobs <= 1 && config.cache_cap == 0 && config.inject_panic.is_none() {
+        // The preserved sequential path.
+        let reports: Vec<Report> = programs
+            .iter()
+            .map(|(_, source)| verify_isolated(source, options))
+            .collect();
+        let stats = EngineStats {
+            workers: 1,
+            jobs_run: programs.len() as u64,
+            wall: started.elapsed(),
+            ..EngineStats::default()
+        };
+        return (reports, stats);
+    }
+
+    let cache = QueryCache::new(config.cache_cap);
+    let pool = Pool::new(config.jobs, options.solver.clone(), cache.clone());
+    let results: Arc<Mutex<Vec<Option<Report>>>> =
+        Arc::new(Mutex::new(vec![None; programs.len()]));
+    for (i, (name, source)) in programs.iter().enumerate() {
+        pipeline::spawn_program(
+            &pool,
+            i,
+            name.clone(),
+            source.clone(),
+            options,
+            config,
+            &results,
+        );
+    }
+    let pool_stats = pool.run();
+
+    let reports = results
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .drain(..)
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                // Unreachable by construction (every chain completes); a
+                // degraded report beats a crash if it ever happens.
+                Report::failed("pipeline", "no result produced".into(), started.elapsed())
+            })
+        })
+        .collect();
+    let stats = EngineStats {
+        workers: config.jobs.max(1),
+        jobs_run: pool_stats.jobs_run,
+        steals: pool_stats.steals,
+        panics: pool_stats.panics,
+        cache: cache.stats(),
+        stages: pool_stats.stages,
+        wall: started.elapsed(),
+    };
+    (reports, stats)
+}
+
+/// Render every report field except timings as stable text: bug and
+/// degraded lines are sorted, and no wall-clock or query counts appear.
+/// Sequential and parallel runs of the same corpus must render
+/// byte-identically — `ci.sh` diffs exactly this output.
+pub fn normalized_report(name: &str, r: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{name}: totals {}/{}/{} undecided {} keys {} tables {} egress_fix {}",
+        r.bugs_total,
+        r.bugs_after_infer,
+        r.bugs_after_fixes,
+        r.bugs_undecided,
+        r.keys_added,
+        r.tables_modified,
+        r.egress_spec_fix
+    );
+    let mut bugs: Vec<String> = r
+        .bugs
+        .iter()
+        .map(|b| {
+            format!(
+                "  bug [{}] line {} {:?} {:?} {}",
+                b.kind, b.line, b.table, b.status, b.description
+            )
+        })
+        .collect();
+    bugs.sort();
+    for line in bugs {
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "  annotations: {}", r.annotations);
+    let _ = writeln!(out, "  fixes: {}", r.fix_description);
+    let mut degraded: Vec<String> = r
+        .degraded
+        .iter()
+        .map(|d| format!("  degraded [{}] {}", d.stage, d.error))
+        .collect();
+    degraded.sort();
+    for line in degraded {
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Verify a single program through the engine.
+pub fn verify_one(
+    name: &str,
+    source: &str,
+    options: &VerifyOptions,
+    config: &EngineConfig,
+) -> (Report, EngineStats) {
+    let (mut reports, stats) =
+        verify_corpus(&[(name.to_string(), source.to_string())], options, config);
+    (reports.remove(0), stats)
+}

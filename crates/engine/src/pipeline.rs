@@ -1,0 +1,419 @@
+//! Decomposition of the bf4 pipeline into scheduler jobs.
+//!
+//! Per program: one **frontend** job (parse/typecheck), then per pipeline
+//! part (ingress, plus egress under `include_egress`) a *chain* of rounds.
+//! Each round is a **prepare** job (lower/SSA/optimize/slice + reachability
+//! analysis), a fan-out of per-bug **reach** jobs (one SAT query each,
+//! through the worker's cached solver), and a **finish** job (inference,
+//! fixes, report assembly) that either completes the chain or spawns the
+//! next round on the fixed program. Chains of one program and of different
+//! programs all interleave freely across the worker pool.
+//!
+//! Failure semantics mirror [`bf4_core::driver::verify_isolated`]: a
+//! frontend/lowering error yields a `frontend`-failed report, and a panic
+//! anywhere in a chain yields a `pipeline`-failed report for that program
+//! while every other program continues.
+
+use crate::cache::CachedSolver;
+use crate::scheduler::{JobId, Pool, WorkerCtx};
+use crate::EngineConfig;
+use bf4_core::driver::{
+    finish_round, merge_reports, prepare_round, ReachInfo, Report, RoundPrep, RoundResult,
+    RoundState, VerifyOptions,
+};
+use bf4_core::reach::{check_bugs, BugCheckStats, BugStatus};
+use bf4_p4::typecheck::Program;
+use bf4_smt::{new_solver, Solver};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Extract a printable message from a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// One program of the corpus being verified.
+struct Prog {
+    index: usize,
+    name: String,
+    source: String,
+    config: EngineConfig,
+    results: Arc<Mutex<Vec<Option<Report>>>>,
+    started: Instant,
+}
+
+impl Prog {
+    fn inject_panic(&self, stage: &str) {
+        if let Some((p, s)) = &self.config.inject_panic {
+            if p == &self.name && s == stage {
+                panic!("injected panic in stage `{stage}` of `{p}`");
+            }
+        }
+    }
+}
+
+/// The per-part chains of one program and the merge of their reports.
+struct ProgTask {
+    prog: Arc<Prog>,
+    remaining: AtomicUsize,
+    /// Slot-ordered part results; the bool marks a failed (degraded-only)
+    /// report that must replace — not merge into — the final report.
+    parts: Mutex<Vec<Option<(Report, bool)>>>,
+}
+
+/// One pipeline part (ingress or egress) verified over rounds.
+struct Chain {
+    program: Arc<Program>,
+    options: VerifyOptions,
+    task: Arc<ProgTask>,
+    slot: usize,
+    state: Mutex<ChainState>,
+}
+
+#[derive(Default)]
+struct ChainState {
+    round: Option<RoundState>,
+    prep: Option<RoundPrep>,
+    stats: BugCheckStats,
+    queries: u64,
+    /// `(bug index, rendered error)` for undecided checks; the finish job
+    /// deterministically reports the highest-index one, matching the
+    /// sequential solver's "last error wins".
+    details: Vec<(usize, String)>,
+    reach_time: Duration,
+    failed: Option<Report>,
+    completed: bool,
+}
+
+fn lock(chain: &Chain) -> MutexGuard<'_, ChainState> {
+    chain.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Run `f`; a panic becomes this chain's `pipeline`-failed report (the
+/// [`bf4_core::driver::verify_isolated`] semantics) and the worker solver
+/// is rebuilt in case the panic left it mid-query.
+fn guarded(ctx: &mut WorkerCtx, chain: &Arc<Chain>, f: impl FnOnce(&mut WorkerCtx)) {
+    match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
+        Ok(()) => {}
+        Err(payload) => {
+            ctx.reset_solver();
+            ctx.record_panic();
+            let msg = panic_message(&*payload);
+            {
+                let mut st = lock(chain);
+                if st.failed.is_none() && !st.completed {
+                    st.failed = Some(Report::failed(
+                        "pipeline",
+                        msg,
+                        chain.task.prog.started.elapsed(),
+                    ));
+                }
+            }
+            complete_chain_failed(chain);
+        }
+    }
+}
+
+/// Spawn the whole job graph for one program onto the pool.
+pub(crate) fn spawn_program(
+    pool: &Pool,
+    index: usize,
+    name: String,
+    source: String,
+    options: &VerifyOptions,
+    config: &EngineConfig,
+    results: &Arc<Mutex<Vec<Option<Report>>>>,
+) {
+    let prog = Arc::new(Prog {
+        index,
+        name,
+        source,
+        config: config.clone(),
+        results: results.clone(),
+        started: Instant::now(),
+    });
+    let options = options.clone();
+    pool.spawn(&[], move |ctx| frontend_job(ctx, prog, options));
+}
+
+fn frontend_job(ctx: &mut WorkerCtx, prog: Arc<Prog>, options: VerifyOptions) {
+    let t0 = Instant::now();
+    let parsed = catch_unwind(AssertUnwindSafe(|| {
+        prog.inject_panic("frontend");
+        bf4_p4::frontend(&prog.source)
+    }));
+    let report = match parsed {
+        Ok(Ok(program)) => {
+            let program = Arc::new(program);
+            // One chain per pipeline part, exactly like the sequential
+            // driver: ingress always, egress in separation when asked.
+            let mut part_options = vec![VerifyOptions {
+                include_egress: false,
+                ..options.clone()
+            }];
+            if options.include_egress {
+                let mut egress = options.clone();
+                egress.lower.part = bf4_ir::lower::PipelinePart::Egress;
+                egress.include_egress = false;
+                part_options.push(egress);
+            }
+            let task = Arc::new(ProgTask {
+                prog: prog.clone(),
+                remaining: AtomicUsize::new(part_options.len()),
+                parts: Mutex::new(vec![None; part_options.len()]),
+            });
+            for (slot, opts) in part_options.into_iter().enumerate() {
+                let chain = Arc::new(Chain {
+                    program: program.clone(),
+                    options: opts,
+                    task: task.clone(),
+                    slot,
+                    state: Mutex::new(ChainState::default()),
+                });
+                ctx.spawn(&[], move |ctx| round_job(ctx, chain));
+            }
+            None
+        }
+        Ok(Err(e)) => Some(Report::failed(
+            "frontend",
+            e.to_string(),
+            prog.started.elapsed(),
+        )),
+        Err(payload) => Some(Report::failed(
+            "pipeline",
+            panic_message(&*payload),
+            prog.started.elapsed(),
+        )),
+    };
+    if let Some(report) = report {
+        store_result(&prog, report);
+    }
+    ctx.record("frontend", t0);
+}
+
+/// Prepare one round and fan out its reachability checks.
+fn round_job(ctx: &mut WorkerCtx, chain: Arc<Chain>) {
+    let c = chain.clone();
+    guarded(ctx, &c, move |ctx| {
+        let t0 = Instant::now();
+        chain.task.prog.inject_panic("prepare");
+        let mut round = {
+            let mut st = lock(&chain);
+            if st.round.is_none() {
+                st.round = Some(RoundState::new(
+                    &chain.program,
+                    &chain.options,
+                    &chain.task.prog.source,
+                ));
+            }
+            st.round.take().expect("round state present")
+        };
+        match prepare_round(&round.program, &round.options) {
+            Ok(prep) => {
+                round.begin_round(&prep);
+                let num_bugs = prep.bugs.len();
+                {
+                    let mut st = lock(&chain);
+                    st.round = Some(round);
+                    st.prep = Some(prep);
+                }
+                ctx.record("prepare", t0);
+                let deps: Vec<JobId> = (0..num_bugs)
+                    .map(|i| {
+                        let c = chain.clone();
+                        ctx.spawn(&[], move |ctx| bug_job(ctx, c, i))
+                    })
+                    .collect();
+                let c = chain.clone();
+                ctx.spawn(&deps, move |ctx| finish_job(ctx, c));
+            }
+            Err(e) => {
+                {
+                    let mut st = lock(&chain);
+                    st.failed = Some(Report::failed(
+                        "frontend",
+                        e.to_string(),
+                        chain.task.prog.started.elapsed(),
+                    ));
+                }
+                complete_chain_failed(&chain);
+                ctx.record("prepare", t0);
+            }
+        }
+    });
+}
+
+/// One reachability query: check a single bug through the worker's cached
+/// solver and fold the outcome into the chain.
+fn bug_job(ctx: &mut WorkerCtx, chain: Arc<Chain>, i: usize) {
+    let c = chain.clone();
+    guarded(ctx, &c, move |ctx| {
+        let t0 = Instant::now();
+        let bug = {
+            let st = lock(&chain);
+            if st.failed.is_some() || st.completed {
+                return;
+            }
+            st.prep.as_ref().expect("prep present").bugs[i].clone()
+        };
+        chain.task.prog.inject_panic("reach");
+        let queries_before = ctx.solver.stats().queries;
+        let mut slice = [bug];
+        let (stats, detail) = {
+            let mut cached = CachedSolver::borrowed(&mut ctx.solver, ctx.cache.clone());
+            let stats = check_bugs(&mut cached, &mut slice, &[], BugStatus::Reachable);
+            let detail = if stats.undecided > 0 {
+                cached.last_error().map(|e| e.to_string())
+            } else {
+                None
+            };
+            (stats, detail)
+        };
+        let queries = ctx.solver.stats().queries - queries_before;
+        let [bug] = slice;
+        {
+            let mut st = lock(&chain);
+            if let Some(prep) = st.prep.as_mut() {
+                prep.bugs[i] = bug;
+            }
+            st.stats.reachable += stats.reachable;
+            st.stats.undecided += stats.undecided;
+            st.queries += queries;
+            if let Some(d) = detail {
+                st.details.push((i, d));
+            }
+            st.reach_time += t0.elapsed();
+        }
+        ctx.record("reach", t0);
+    });
+}
+
+/// Inference, fixes and report assembly for one round; either completes
+/// the chain or spawns the next round on the fixed program.
+fn finish_job(ctx: &mut WorkerCtx, chain: Arc<Chain>) {
+    let c = chain.clone();
+    guarded(ctx, &c, move |ctx| {
+        let t0 = Instant::now();
+        chain.task.prog.inject_panic("finish");
+        let (mut round, prep, reach) = {
+            let mut st = lock(&chain);
+            if st.failed.is_some() || st.completed {
+                drop(st);
+                complete_chain_failed(&chain);
+                return;
+            }
+            let round = st.round.take().expect("round state present");
+            let prep = st.prep.take().expect("prep present");
+            let mut details = std::mem::take(&mut st.details);
+            details.sort_by_key(|d| d.0);
+            let reach = ReachInfo {
+                stats: std::mem::take(&mut st.stats),
+                queries_used: std::mem::take(&mut st.queries),
+                detail: details.pop().map(|d| d.1),
+                duration: std::mem::take(&mut st.reach_time),
+            };
+            (round, prep, reach)
+        };
+        let solver_cfg = ctx.solver_cfg.clone();
+        let cache = ctx.cache.clone();
+        let factory = move || -> Box<dyn Solver> {
+            Box::new(CachedSolver::owned(
+                Box::new(new_solver(&solver_cfg)),
+                cache.clone(),
+            ))
+        };
+        let solver = factory();
+        match finish_round(&mut round, prep, reach, solver, &factory) {
+            RoundResult::Continue => {
+                {
+                    let mut st = lock(&chain);
+                    st.round = Some(round);
+                }
+                let c = chain.clone();
+                ctx.spawn(&[], move |ctx| round_job(ctx, c));
+            }
+            RoundResult::Done(report) => {
+                complete_chain(&chain, *report, false);
+            }
+        }
+        ctx.record("finish", t0);
+    });
+}
+
+/// Complete the chain with the failure report recorded in its state (the
+/// caller must have set one). No-op if the chain already completed.
+fn complete_chain_failed(chain: &Arc<Chain>) {
+    let report = {
+        let mut st = lock(chain);
+        if st.completed {
+            return;
+        }
+        match st.failed.take() {
+            Some(r) => {
+                st.completed = true;
+                r
+            }
+            None => return,
+        }
+    };
+    finish_part(chain, report, true);
+}
+
+fn complete_chain(chain: &Arc<Chain>, report: Report, failed: bool) {
+    {
+        let mut st = lock(chain);
+        if st.completed {
+            return;
+        }
+        st.completed = true;
+    }
+    finish_part(chain, report, failed);
+}
+
+/// Record one part's report; the last part to finish merges and publishes
+/// the program's final report.
+fn finish_part(chain: &Arc<Chain>, report: Report, failed: bool) {
+    let task = &chain.task;
+    {
+        let mut parts = task.parts.lock().unwrap_or_else(PoisonError::into_inner);
+        parts[chain.slot] = Some((report, failed));
+    }
+    if task.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
+        return;
+    }
+    let parts: Vec<(Report, bool)> = task
+        .parts
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .drain(..)
+        .map(|p| p.expect("all parts finished"))
+        .collect();
+    // Sequential `verify` bails out on the first failing part, so a failed
+    // part's report (in slot order) *is* the program's report.
+    let final_report = match parts.iter().position(|(_, f)| *f) {
+        Some(i) => parts.into_iter().nth(i).expect("index in range").0,
+        None => {
+            let mut it = parts.into_iter();
+            let (mut main, _) = it.next().expect("at least one part");
+            for (other, _) in it {
+                merge_reports(&mut main, other);
+            }
+            main.timings.total = task.prog.started.elapsed();
+            main
+        }
+    };
+    store_result(&task.prog, final_report);
+}
+
+fn store_result(prog: &Prog, report: Report) {
+    let mut results = prog.results.lock().unwrap_or_else(PoisonError::into_inner);
+    results[prog.index] = Some(report);
+}

@@ -1,0 +1,429 @@
+//! The ready-queue DAG scheduler behind the parallel engine.
+//!
+//! Jobs form a dependency DAG built dynamically: any job may spawn
+//! further jobs (with dependencies on existing jobs) while it runs. Each
+//! worker owns a deque; a worker pops from the back of its own deque
+//! (LIFO — freshly spawned work stays hot) and steals from the front of
+//! other workers' deques (FIFO — steals take the oldest, largest-grained
+//! work). All queues live behind one mutex paired with a condvar: jobs in
+//! this system are solver queries and pipeline stages, milliseconds and
+//! up, so queue contention is noise while the single-lock design rules
+//! out lost-wakeup bugs by construction.
+//!
+//! Every worker owns a [`GovernedSolver`] built once from the run's
+//! [`SolverConfig`]; jobs reach it (and the shared [`QueryCache`]) through
+//! [`WorkerCtx`]. A panic that escapes a job is absorbed: the job is
+//! marked complete (dependents still run — they must tolerate missing
+//! producer output), the worker's solver is rebuilt in case the panic
+//! left a half-mutated assertion stack, and a counter records the event.
+
+use crate::cache::QueryCache;
+use crate::stats::Histogram;
+use bf4_smt::{new_solver, GovernedSolver, SolverConfig};
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Identifier of a spawned job, usable as a dependency.
+pub type JobId = usize;
+
+type Task = Box<dyn FnOnce(&mut WorkerCtx) + Send + 'static>;
+
+struct Node {
+    task: Option<Task>,
+    deps_left: usize,
+    dependents: Vec<JobId>,
+    done: bool,
+}
+
+struct State {
+    nodes: Vec<Node>,
+    queues: Vec<VecDeque<JobId>>,
+    /// Jobs spawned but not yet completed.
+    pending: usize,
+    /// Round-robin cursor for spawns from outside the pool.
+    next_queue: usize,
+    steals: u64,
+    jobs_run: u64,
+    panics: u64,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Register a job; `home` is the queue a ready job lands on.
+    fn spawn(&self, deps: &[JobId], task: Task, home: Option<usize>) -> JobId {
+        let mut st = self.lock();
+        let id = st.nodes.len();
+        let deps_left = deps.iter().filter(|&&d| !st.nodes[d].done).count();
+        for &d in deps {
+            if !st.nodes[d].done {
+                st.nodes[d].dependents.push(id);
+            }
+        }
+        st.nodes.push(Node {
+            task: Some(task),
+            deps_left,
+            dependents: Vec::new(),
+            done: false,
+        });
+        st.pending += 1;
+        if deps_left == 0 {
+            let q = match home {
+                Some(w) => w,
+                None => {
+                    let q = st.next_queue;
+                    st.next_queue = (st.next_queue + 1) % st.queues.len();
+                    q
+                }
+            };
+            st.queues[q].push_back(id);
+        }
+        drop(st);
+        self.cv.notify_all();
+        id
+    }
+}
+
+/// What one run of the pool observed.
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// Jobs executed.
+    pub jobs_run: u64,
+    /// Jobs taken from another worker's deque.
+    pub steals: u64,
+    /// Panics absorbed by the scheduler backstop or the pipeline guard.
+    pub panics: u64,
+    /// Per-stage latency histograms merged across workers.
+    pub stages: BTreeMap<String, Histogram>,
+}
+
+/// Per-worker context handed to every job.
+pub struct WorkerCtx {
+    /// This worker's index in the pool.
+    pub worker: usize,
+    /// The worker-owned governed solver. Long-lived: jobs use it directly
+    /// or wrap it in a [`crate::CachedSolver`] for the duration of a job.
+    /// Queries must leave its assertion stack balanced.
+    pub solver: GovernedSolver,
+    /// Config the solver was built from (used to rebuild after panics).
+    pub solver_cfg: SolverConfig,
+    /// The run-wide query cache.
+    pub cache: Arc<QueryCache>,
+    shared: Arc<Shared>,
+    stages: BTreeMap<String, Histogram>,
+}
+
+impl WorkerCtx {
+    /// Spawn a job that runs once every job in `deps` has completed.
+    /// Ready jobs land on this worker's own deque.
+    pub fn spawn(
+        &self,
+        deps: &[JobId],
+        job: impl FnOnce(&mut WorkerCtx) + Send + 'static,
+    ) -> JobId {
+        self.shared.spawn(deps, Box::new(job), Some(self.worker))
+    }
+
+    /// Record a latency sample under a stage name.
+    pub fn record(&mut self, stage: &str, started: Instant) {
+        self.stages
+            .entry(stage.to_string())
+            .or_default()
+            .record(started.elapsed());
+    }
+
+    /// Replace the worker solver with a fresh one (after a panic may have
+    /// left the old one with an unbalanced assertion stack).
+    pub fn reset_solver(&mut self) {
+        self.solver = new_solver(&self.solver_cfg);
+    }
+
+    /// Record a panic absorbed above the scheduler (e.g. by the pipeline
+    /// guard) so it still shows up in [`PoolStats::panics`].
+    pub fn record_panic(&self) {
+        self.shared.lock().panics += 1;
+    }
+}
+
+/// A fixed-size worker pool executing a dynamic job DAG.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: usize,
+    solver_cfg: SolverConfig,
+    cache: Arc<QueryCache>,
+}
+
+impl Pool {
+    /// A pool with `workers` threads (clamped to at least 1). Workers are
+    /// not started until [`Pool::run`].
+    pub fn new(workers: usize, solver_cfg: SolverConfig, cache: Arc<QueryCache>) -> Pool {
+        let workers = workers.max(1);
+        Pool {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    nodes: Vec::new(),
+                    queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                    pending: 0,
+                    next_queue: 0,
+                    steals: 0,
+                    jobs_run: 0,
+                    panics: 0,
+                }),
+                cv: Condvar::new(),
+            }),
+            workers,
+            solver_cfg,
+            cache,
+        }
+    }
+
+    /// Spawn a job from outside the pool (before or during `run`). Ready
+    /// jobs are distributed round-robin over the worker deques.
+    pub fn spawn(
+        &self,
+        deps: &[JobId],
+        job: impl FnOnce(&mut WorkerCtx) + Send + 'static,
+    ) -> JobId {
+        self.shared.spawn(deps, Box::new(job), None)
+    }
+
+    /// Run workers until every spawned job (including ones spawned while
+    /// running) has completed. Returns merged statistics.
+    pub fn run(&self) -> PoolStats {
+        let handles: Vec<_> = (0..self.workers)
+            .map(|w| {
+                let shared = self.shared.clone();
+                let cfg = self.solver_cfg.clone();
+                let cache = self.cache.clone();
+                std::thread::spawn(move || worker_loop(w, shared, cfg, cache))
+            })
+            .collect();
+        let mut stats = PoolStats::default();
+        for h in handles {
+            let worker_stages = h.join().expect("worker thread never panics");
+            for (name, hist) in worker_stages {
+                stats.stages.entry(name).or_default().merge(&hist);
+            }
+        }
+        let st = self.shared.lock();
+        stats.jobs_run = st.jobs_run;
+        stats.steals = st.steals;
+        stats.panics = st.panics;
+        stats
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    shared: Arc<Shared>,
+    solver_cfg: SolverConfig,
+    cache: Arc<QueryCache>,
+) -> BTreeMap<String, Histogram> {
+    let mut ctx = WorkerCtx {
+        worker,
+        solver: new_solver(&solver_cfg),
+        solver_cfg,
+        cache,
+        shared: shared.clone(),
+        stages: BTreeMap::new(),
+    };
+    loop {
+        // Find a job: own deque from the back, then steal from the front
+        // of the others; otherwise sleep unless everything is done.
+        let (id, task) = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(id) = st.queues[worker].pop_back() {
+                    break (id, st.nodes[id].task.take().expect("queued job has task"));
+                }
+                let n = st.queues.len();
+                let stolen = (1..n)
+                    .map(|k| (worker + k) % n)
+                    .find_map(|v| st.queues[v].pop_front());
+                if let Some(id) = stolen {
+                    st.steals += 1;
+                    break (id, st.nodes[id].task.take().expect("queued job has task"));
+                }
+                if st.pending == 0 {
+                    return ctx.stages;
+                }
+                st = shared
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+
+        if catch_unwind(AssertUnwindSafe(|| (task)(&mut ctx))).is_err() {
+            // Backstop: pipeline jobs catch their own panics; a raw job
+            // that panicked may have wedged the worker solver.
+            ctx.reset_solver();
+            shared.lock().panics += 1;
+        }
+
+        // Complete the node and release dependents onto our own deque.
+        let mut st = shared.lock();
+        st.jobs_run += 1;
+        st.nodes[id].done = true;
+        st.pending -= 1;
+        let dependents = std::mem::take(&mut st.nodes[id].dependents);
+        for d in dependents {
+            st.nodes[d].deps_left -= 1;
+            if st.nodes[d].deps_left == 0 {
+                st.queues[worker].push_back(d);
+            }
+        }
+        drop(st);
+        shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool(workers: usize) -> Pool {
+        Pool::new(workers, SolverConfig::default(), QueryCache::new(0))
+    }
+
+    #[test]
+    fn runs_all_jobs_single_worker() {
+        let p = pool(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = counter.clone();
+            p.spawn(&[], move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let stats = p.run();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        assert_eq!(stats.jobs_run, 10);
+        assert_eq!(stats.steals, 0, "one worker has nobody to steal from");
+    }
+
+    #[test]
+    fn more_workers_than_jobs_terminates() {
+        let p = pool(8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        p.spawn(&[], move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let stats = p.run();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        assert_eq!(stats.jobs_run, 1);
+    }
+
+    #[test]
+    fn dependencies_order_execution() {
+        let p = pool(4);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (l1, l2, l3) = (log.clone(), log.clone(), log.clone());
+        let a = p.spawn(&[], move |_| l1.lock().unwrap().push("a"));
+        let b = p.spawn(&[a], move |_| l2.lock().unwrap().push("b"));
+        let _c = p.spawn(&[a, b], move |_| l3.lock().unwrap().push("c"));
+        p.run();
+        assert_eq!(*log.lock().unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn jobs_spawned_from_jobs_run() {
+        let p = pool(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        p.spawn(&[], move |ctx| {
+            for _ in 0..5 {
+                let c2 = c.clone();
+                let follow = ctx.spawn(&[], move |_| {
+                    c2.fetch_add(1, Ordering::SeqCst);
+                });
+                let c3 = c.clone();
+                ctx.spawn(&[follow], move |_| {
+                    c3.fetch_add(10, Ordering::SeqCst);
+                });
+            }
+        });
+        p.run();
+        assert_eq!(counter.load(Ordering::SeqCst), 55);
+    }
+
+    #[test]
+    fn panicking_job_does_not_wedge_the_pool() {
+        let p = pool(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let bad = p.spawn(&[], |_| panic!("injected"));
+        let c = counter.clone();
+        // A dependent of the panicking job still runs.
+        p.spawn(&[bad], move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let c = counter.clone();
+        p.spawn(&[], move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let stats = p.run();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.jobs_run, 3);
+    }
+
+    #[test]
+    fn worker_solver_survives_a_panicking_job() {
+        use bf4_smt::{SatResult, Solver, Sort, Term};
+        let p = pool(1);
+        let ok = Arc::new(AtomicUsize::new(0));
+        p.spawn(&[], |ctx| {
+            // Unbalanced push then panic: the backstop must rebuild the
+            // solver so the next job sees a clean assertion stack.
+            ctx.solver.push();
+            ctx.solver.assert(&Term::var("x", Sort::Bool).not());
+            panic!("injected mid-query");
+        });
+        let ok2 = ok.clone();
+        p.spawn(&[], move |ctx| {
+            ctx.solver.push();
+            ctx.solver.assert(&Term::var("x", Sort::Bool));
+            if ctx.solver.check() == SatResult::Sat {
+                ok2.fetch_add(1, Ordering::SeqCst);
+            }
+            ctx.solver.pop();
+        });
+        p.run();
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stealing_happens_under_imbalance() {
+        // All jobs land on worker 0's deque (spawned round-robin over 1
+        // initial job that fans out); worker 1 must steal to help.
+        let p = pool(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c0 = counter.clone();
+        p.spawn(&[], move |ctx| {
+            for _ in 0..32 {
+                let c = c0.clone();
+                ctx.spawn(&[], move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                });
+            }
+        });
+        let stats = p.run();
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+        assert!(
+            stats.steals > 0,
+            "second worker should have stolen from the fan-out deque"
+        );
+    }
+}

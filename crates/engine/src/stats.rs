@@ -1,0 +1,214 @@
+//! Observability for the parallel engine: per-stage latency histograms,
+//! cache counters, and the roll-up [`EngineStats`] printed by the report
+//! binary.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A log2-bucketed latency histogram over microseconds: bucket `i` counts
+/// samples with `2^i <= micros < 2^(i+1)` (bucket 0 also takes sub-µs
+/// samples). 40 buckets cover up to ~12 days, far beyond any stage.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 40],
+    count: u64,
+    total_micros: u128,
+    max_micros: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 40],
+            count: 0,
+            total_micros: 0,
+            max_micros: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        let micros = d.as_micros();
+        let idx = (128 - u128::leading_zeros(micros.max(1)) - 1).min(39) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_micros += micros;
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_micros += other.total_micros;
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> Duration {
+        Duration::from_micros(self.total_micros.min(u64::MAX as u128) as u64)
+    }
+
+    /// Mean sample, zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros((self.total_micros / self.count as u128) as u64)
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_micros.min(u64::MAX as u128) as u64)
+    }
+
+    /// Upper bound (exclusive, in µs) of the smallest bucket prefix holding
+    /// at least `q` (0..=1) of the samples — a coarse quantile.
+    pub fn quantile_bound_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return 1u64 << (i as u32 + 1).min(63);
+            }
+        }
+        1u64 << 40
+    }
+}
+
+/// Counters of the normalized SMT query cache.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Checks answered from the cache.
+    pub hits: u64,
+    /// Checks that went to a real solver.
+    pub misses: u64,
+    /// Results stored.
+    pub insertions: u64,
+    /// Entries dropped to stay under the capacity.
+    pub evictions: u64,
+    /// Entries resident when the stats were taken.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Everything one engine run can tell about itself.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Jobs executed (including panicked ones).
+    pub jobs_run: u64,
+    /// Jobs a worker took from another worker's deque.
+    pub steals: u64,
+    /// Panics the scheduler backstop absorbed (pipeline jobs catch their
+    /// own panics; nonzero here means a raw job escaped).
+    pub panics: u64,
+    /// Query-cache counters.
+    pub cache: CacheStats,
+    /// Per-stage latency histograms, keyed by stage name
+    /// (`frontend`, `prepare`, `reach`, `finish`).
+    pub stages: BTreeMap<String, Histogram>,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+}
+
+impl EngineStats {
+    /// Fold per-worker stage histograms into this roll-up.
+    pub fn merge_stages(&mut self, stages: &BTreeMap<String, Histogram>) {
+        for (name, h) in stages {
+            self.stages.entry(name.clone()).or_default().merge(h);
+        }
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "engine: {} worker(s), {} job(s), {} steal(s), {} panic(s), wall {:?}",
+            self.workers, self.jobs_run, self.steals, self.panics, self.wall
+        )?;
+        writeln!(
+            f,
+            "cache: {} hit(s) / {} miss(es) ({:.1}% hit rate), {} insertion(s), {} eviction(s), {} resident",
+            self.cache.hits,
+            self.cache.misses,
+            100.0 * self.cache.hit_rate(),
+            self.cache.insertions,
+            self.cache.evictions,
+            self.cache.entries
+        )?;
+        for (name, h) in &self.stages {
+            writeln!(
+                f,
+                "stage {:<9} n={:<5} mean={:?} p90<={}us max={:?} total={:?}",
+                name,
+                h.count(),
+                h.mean(),
+                h.quantile_bound_micros(0.9),
+                h.max(),
+                h.total()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::default();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_micros(1000));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.total(), Duration::from_micros(1008));
+        assert_eq!(h.mean(), Duration::from_micros(336));
+        assert_eq!(h.max(), Duration::from_micros(1000));
+        // Two of three samples are <= 8us.
+        assert!(h.quantile_bound_micros(0.5) <= 8);
+        let mut h2 = Histogram::default();
+        h2.record(Duration::from_micros(7));
+        h.merge(&h2);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,331 @@
+//! Canonical hashing of queries for the engine's SMT query cache.
+//!
+//! A *query* is a set of boolean terms checked for joint satisfiability.
+//! Two queries that differ only in
+//!
+//! * the order of the asserted terms,
+//! * the order of operands under commutative operators (`and`, `or`, `=`,
+//!   `bvadd`, `bvmul`, `bvand`, `bvor`, `bvxor`), or
+//! * a consistent (bijective) renaming of their free variables
+//!
+//! are equisatisfiable, so they may share one cache entry. [`query_key`]
+//! maps a query to a 128-bit canonical hash that is invariant under the
+//! first two transformations always, and under variable renaming whenever
+//! the renaming does not change the pass-1 operand ordering (a renaming
+//! that does merely costs a cache miss — never a wrong answer, because
+//! any two queries with the same key are alpha-equivalent modulo
+//! commutativity and therefore have the same `Sat`/`Unsat` verdict, up to
+//! the vanishing probability of a 128-bit hash collision).
+//!
+//! The construction is two hashing passes over the term DAG:
+//!
+//! 1. **Named pass** — a structural hash that includes variable *names*.
+//!    Commutative operators combine child hashes order-insensitively
+//!    (children sorted by hash). This pass pins a deterministic traversal
+//!    order.
+//! 2. **Numbering** — walking the query in pass-1 order (terms sorted by
+//!    named hash; commutative children visited in named-hash order), each
+//!    variable gets a dense index at first occurrence. This is the alpha
+//!    renaming: names are replaced by occurrence indices.
+//! 3. **Canonical pass** — the pass-1 hash recomputed with variables
+//!    hashed by `(index, sort)` instead of name, commutative children
+//!    sorted by *canonical* child hash. The query key combines the sorted
+//!    canonical hashes of all asserted terms under two seeds.
+//!
+//! Both passes memoize on [`Term::id`], so shared sub-DAGs are hashed
+//! once and the whole computation is linear in DAG size.
+
+use crate::term::{BvOp, Sort, Term, TermNode, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// splitmix64 finalizer: cheap, well-mixed, dependency-free.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn combine(h: u64, x: u64) -> u64 {
+    mix(h ^ x.wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+fn hash_str(s: &str, seed: u64) -> u64 {
+    let mut h = seed;
+    for b in s.as_bytes() {
+        h = combine(h, *b as u64);
+    }
+    mix(h)
+}
+
+fn hash_sort(s: Sort) -> u64 {
+    match s {
+        Sort::Bool => mix(1),
+        Sort::Bv(w) => mix(2 ^ ((w as u64) << 8)),
+    }
+}
+
+fn hash_value(v: &Value) -> u64 {
+    match v {
+        Value::Bool(b) => mix(3 ^ (*b as u64) << 8),
+        Value::Bv { width, bits } => {
+            let mut h = mix(4 ^ ((*width as u64) << 8));
+            h = combine(h, *bits as u64);
+            combine(h, (*bits >> 64) as u64)
+        }
+    }
+}
+
+/// Operator tags. Distinct per node kind so e.g. `and` and `or` with the
+/// same children hash differently.
+fn tag(node: &TermNode) -> u64 {
+    match node {
+        TermNode::Const(_) => 10,
+        TermNode::Var(..) => 11,
+        TermNode::Not(_) => 12,
+        TermNode::And(_) => 13,
+        TermNode::Or(_) => 14,
+        TermNode::Implies(..) => 15,
+        TermNode::Ite(..) => 16,
+        TermNode::Eq(..) => 17,
+        TermNode::Bv(op, ..) => 100 + *op as u64,
+        TermNode::Cmp(op, ..) => 200 + *op as u64,
+        TermNode::BvNot(_) => 18,
+        TermNode::BvNeg(_) => 19,
+        TermNode::Concat(..) => 20,
+        TermNode::Extract { hi, lo, .. } => mix(21 ^ ((*hi as u64) << 8) ^ ((*lo as u64) << 40)),
+        TermNode::ZeroExt { add, .. } => mix(22 ^ ((*add as u64) << 8)),
+        TermNode::SignExt { add, .. } => mix(23 ^ ((*add as u64) << 8)),
+    }
+}
+
+/// Is operand order irrelevant for this node?
+fn commutative(node: &TermNode) -> bool {
+    matches!(
+        node,
+        TermNode::And(_)
+            | TermNode::Or(_)
+            | TermNode::Eq(..)
+            | TermNode::Bv(BvOp::Add | BvOp::Mul | BvOp::And | BvOp::Or | BvOp::Xor, ..)
+    )
+}
+
+fn children_of(t: &Term) -> Vec<Term> {
+    crate::visit::children(t)
+}
+
+/// Pass 1: structural hash including variable names; commutative children
+/// combined order-insensitively.
+fn named_hash(t: &Term, memo: &mut HashMap<u64, u64>) -> u64 {
+    if let Some(&h) = memo.get(&t.id()) {
+        return h;
+    }
+    let mut h = combine(tag(t.node()), hash_sort(t.sort()));
+    match t.node() {
+        TermNode::Const(v) => h = combine(h, hash_value(v)),
+        TermNode::Var(name, sort) => {
+            h = combine(h, hash_str(name, 7));
+            h = combine(h, hash_sort(*sort));
+        }
+        _ => {
+            let mut child_hashes: Vec<u64> = children_of(t)
+                .iter()
+                .map(|c| named_hash(c, memo))
+                .collect();
+            if commutative(t.node()) {
+                child_hashes.sort_unstable();
+            }
+            for ch in child_hashes {
+                h = combine(h, ch);
+            }
+        }
+    }
+    memo.insert(t.id(), h);
+    h
+}
+
+/// Pass 2 (numbering): assign dense indices to variables at first
+/// occurrence, walking in the deterministic pass-1 order.
+fn number_vars(
+    t: &Term,
+    named: &mut HashMap<u64, u64>,
+    vars: &mut HashMap<Arc<str>, u64>,
+    visited: &mut HashMap<u64, ()>,
+) {
+    if visited.insert(t.id(), ()).is_some() {
+        return;
+    }
+    if let TermNode::Var(name, _) = t.node() {
+        let next = vars.len() as u64;
+        vars.entry(name.clone()).or_insert(next);
+        return;
+    }
+    let mut kids = children_of(t);
+    if commutative(t.node()) {
+        kids.sort_by_cached_key(|c| named_hash(c, named));
+    }
+    for c in &kids {
+        number_vars(c, named, vars, visited);
+    }
+}
+
+/// Pass 3: canonical hash with alpha-renamed variables; commutative
+/// children sorted by canonical child hash.
+fn canon_hash(
+    t: &Term,
+    vars: &HashMap<Arc<str>, u64>,
+    memo: &mut HashMap<u64, u64>,
+    seed: u64,
+) -> u64 {
+    if let Some(&h) = memo.get(&t.id()) {
+        return h;
+    }
+    let mut h = combine(combine(seed, tag(t.node())), hash_sort(t.sort()));
+    match t.node() {
+        TermNode::Const(v) => h = combine(h, hash_value(v)),
+        TermNode::Var(name, sort) => {
+            let idx = vars.get(name).copied().unwrap_or(u64::MAX);
+            h = combine(h, mix(idx.wrapping_add(41)));
+            h = combine(h, hash_sort(*sort));
+        }
+        _ => {
+            let mut child_hashes: Vec<u64> = children_of(t)
+                .iter()
+                .map(|c| canon_hash(c, vars, memo, seed))
+                .collect();
+            if commutative(t.node()) {
+                child_hashes.sort_unstable();
+            }
+            for ch in child_hashes {
+                h = combine(h, ch);
+            }
+        }
+    }
+    memo.insert(t.id(), h);
+    h
+}
+
+/// Canonical 128-bit key of a query (a conjunction of boolean terms).
+///
+/// Invariant under assertion order, commutative operand order, and
+/// (best-effort, always soundly) bijective variable renaming. Two queries
+/// with equal keys are equisatisfiable.
+pub fn query_key(terms: &[Term]) -> u128 {
+    let mut named = HashMap::new();
+    // Deterministic term order: by named hash, stable on ties.
+    let mut order: Vec<usize> = (0..terms.len()).collect();
+    order.sort_by_key(|&i| named_hash(&terms[i], &mut named));
+
+    // Alpha renaming shared across the whole query: a variable appearing
+    // in several asserted terms must map to one index.
+    let mut vars = HashMap::new();
+    let mut visited = HashMap::new();
+    for &i in &order {
+        number_vars(&terms[i], &mut named, &mut vars, &mut visited);
+    }
+
+    let mut key = 0u128;
+    for seed in [0x51ed_270b_u64, 0xc2b2_ae35_u64] {
+        let mut memo = HashMap::new();
+        let mut hashes: Vec<u64> = terms
+            .iter()
+            .map(|t| canon_hash(t, &vars, &mut memo, seed))
+            .collect();
+        hashes.sort_unstable();
+        let mut h = mix(seed ^ (terms.len() as u64) << 32);
+        for x in hashes {
+            h = combine(h, x);
+        }
+        key = (key << 64) | h as u128;
+    }
+    key
+}
+
+/// Canonical key of a single term — [`query_key`] on a one-element query.
+pub fn canon_key(t: &Term) -> u128 {
+    query_key(std::slice::from_ref(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(name: &str) -> Term {
+        Term::var(name, Sort::Bool)
+    }
+
+    fn v(name: &str) -> Term {
+        Term::var(name, Sort::Bv(8))
+    }
+
+    #[test]
+    fn assertion_order_is_irrelevant() {
+        let (p, q) = (b("p"), b("q"));
+        let t1 = p.or(&q);
+        let t2 = q.implies(&p);
+        assert_eq!(
+            query_key(&[t1.clone(), t2.clone()]),
+            query_key(&[t2, t1])
+        );
+    }
+
+    #[test]
+    fn commutative_operands_sorted() {
+        let (x, y) = (v("x"), v("y"));
+        assert_eq!(canon_key(&x.bvadd(&y)), canon_key(&y.bvadd(&x)));
+        assert_eq!(
+            canon_key(&x.eq_term(&y)),
+            canon_key(&y.eq_term(&x))
+        );
+        let (p, q, r) = (b("p"), b("q"), b("r"));
+        assert_eq!(
+            canon_key(&Term::and_all([p.clone(), q.clone(), r.clone()])),
+            canon_key(&Term::and_all([r, p, q]))
+        );
+    }
+
+    #[test]
+    fn noncommutative_operands_are_ordered() {
+        // NB `x - y` vs `y - x` over fresh variables are alpha-equivalent
+        // (swap x and y), so a key collision there is sound. Break the
+        // symmetry with a constant: `x - 3` and `3 - x` must not collide.
+        let x = v("x");
+        let c = Term::bv(8, 3);
+        assert_ne!(canon_key(&x.bvsub(&c)), canon_key(&c.bvsub(&x)));
+        assert_ne!(canon_key(&x.bvult(&c)), canon_key(&c.bvult(&x)));
+    }
+
+    #[test]
+    fn alpha_renaming_hits() {
+        // Same shape, different names: one cache entry.
+        let t1 = v("a").bvadd(&v("b")).eq_term(&Term::bv(8, 7));
+        let t2 = v("p").bvadd(&v("q")).eq_term(&Term::bv(8, 7));
+        assert_eq!(canon_key(&t1), canon_key(&t2));
+    }
+
+    #[test]
+    fn shared_variables_distinguished_from_distinct() {
+        // x+x and x+y must not collide.
+        let t1 = v("x").bvadd(&v("x"));
+        let t2 = v("x").bvadd(&v("y"));
+        assert_ne!(canon_key(&t1), canon_key(&t2));
+    }
+
+    #[test]
+    fn renaming_is_consistent_across_terms() {
+        // {p, !p} (unsat shape) must differ from {p, !q} (sat shape).
+        let (p, q) = (b("p"), b("q"));
+        let k1 = query_key(&[p.clone(), p.not()]);
+        let k2 = query_key(&[p.clone(), q.not()]);
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn distinct_constants_distinct_keys() {
+        assert_ne!(
+            canon_key(&v("x").eq_term(&Term::bv(8, 1))),
+            canon_key(&v("x").eq_term(&Term::bv(8, 2)))
+        );
+    }
+}

@@ -256,7 +256,15 @@ impl GovernedSolver {
         {
             retries += 1;
             self.stats.retries += 1;
-            std::thread::sleep(Duration::from_millis(2 * retries as u64));
+            // Backoff capped to the remaining deadline: a pooled worker
+            // must never sleep past its query budget just to retry.
+            let mut backoff = Duration::from_millis(2 * retries as u64);
+            if let Some(d) = deadline {
+                backoff = backoff.min(d.saturating_duration_since(Instant::now()));
+            }
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
             let mut fresh = self.rebuilt_primary(true);
             fresh.set_budget(self.query_budget(deadline));
             result = if assumptions.is_empty() {
@@ -354,6 +362,10 @@ impl Solver for GovernedSolver {
 
     fn last_error(&self) -> Option<&SolverError> {
         self.last_error.as_ref()
+    }
+
+    fn queries_used(&self) -> u64 {
+        self.stats.queries
     }
 }
 
@@ -455,6 +467,45 @@ mod tests {
                 Some(SolverError::Budget(_))
             ));
         }
+    }
+
+    #[test]
+    fn retry_backoff_never_sleeps_past_the_deadline() {
+        // Force every attempt to come back Unknown fast (conflict cap 0 on
+        // pigeonhole 5-into-4, whose refutation needs search, not just
+        // propagation) and allow a huge retry count: the retry backoff must
+        // stay inside the per-query deadline instead of sleeping
+        // unconditionally between attempts.
+        let p = |i: usize, j: usize| Term::var(format!("p{i}_{j}"), Sort::Bool);
+        let mut clauses = Vec::new();
+        for i in 0..5 {
+            clauses.push(Term::or_all((0..4).map(|j| p(i, j))));
+        }
+        for j in 0..4 {
+            for i in 0..5 {
+                for k in (i + 1)..5 {
+                    clauses.push(p(i, j).and(&p(k, j)).not());
+                }
+            }
+        }
+        let f = Term::and_all(clauses);
+        let timeout = Duration::from_millis(150);
+        let mut s = governed();
+        s.set_budget(ResourceBudget {
+            timeout: Some(timeout),
+            max_conflicts: Some(0),
+            max_retries: 1_000_000,
+            ..ResourceBudget::default()
+        });
+        let start = Instant::now();
+        let r = s.solve(&f).result;
+        let elapsed = start.elapsed();
+        assert_eq!(r, SatResult::Unknown);
+        assert!(
+            elapsed < timeout + Duration::from_millis(150),
+            "retry backoff overshot the deadline: {elapsed:?}"
+        );
+        assert!(s.stats().retries > 0, "retries must actually have run");
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! compiles to quantifier-free bit-vector logic (QF_BV) only.
 
 pub mod bitblast;
+pub mod canon;
 pub mod cnf;
 pub mod eval;
 pub mod governed;
@@ -42,6 +43,7 @@ pub mod visit;
 #[cfg(feature = "z3")]
 pub mod z3backend;
 
+pub use canon::{canon_key, query_key};
 pub use eval::{eval, Assignment, EvalError};
 pub use governed::{default_solver, new_solver, BackendKind, GovernedSolver, SolverConfig};
 pub use sexpr::{parse_sexpr, to_sexpr};

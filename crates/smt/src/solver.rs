@@ -192,6 +192,12 @@ pub trait Solver {
         None
     }
 
+    /// Queries issued through this solver so far, when the implementation
+    /// counts them (governed and cached solvers do; raw backends report 0).
+    fn queries_used(&self) -> u64 {
+        0
+    }
+
     /// Convenience: one-shot satisfiability of a single formula,
     /// returning a model over its free variables.
     fn solve(&mut self, t: &Term) -> SolveOutcome {

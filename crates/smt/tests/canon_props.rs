@@ -1,0 +1,200 @@
+//! Soundness of query canonicalization (`bf4_smt::canon`): whenever two
+//! random small terms receive the same canonical key, they must be
+//! equivalid — the bit-blast solver gives the same Sat/Unsat verdict for
+//! both. The cache built on these keys returns one query's verdict for
+//! the other, so key equality claiming more than equisatisfiability would
+//! silently corrupt verification results.
+
+use bf4_smt::bitblast::BitBlastSolver;
+use bf4_smt::{query_key, SatResult, Solver, Sort, Term, TermNode};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Tiny deterministic RNG so each proptest case is reproducible from its
+/// seed argument alone.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const BOOL_VARS: [&str; 3] = ["p", "q", "r"];
+const BV_VARS: [&str; 3] = ["x", "y", "z"];
+
+fn gen_bv(rng: &mut Rng, depth: u32) -> Term {
+    if depth == 0 || rng.below(4) == 0 {
+        return if rng.below(2) == 0 {
+            Term::var(BV_VARS[rng.below(3) as usize], Sort::Bv(8))
+        } else {
+            Term::bv(8, rng.below(256) as u128)
+        };
+    }
+    let a = gen_bv(rng, depth - 1);
+    let b = gen_bv(rng, depth - 1);
+    match rng.below(7) {
+        0 => a.bvadd(&b),
+        1 => a.bvmul(&b),
+        2 => a.bvand(&b),
+        3 => a.bvor(&b),
+        4 => a.bvxor(&b),
+        5 => a.bvsub(&b),
+        _ => gen_bool(rng, depth - 1).ite(&a, &b),
+    }
+}
+
+fn gen_bool(rng: &mut Rng, depth: u32) -> Term {
+    if depth == 0 || rng.below(5) == 0 {
+        return Term::var(BOOL_VARS[rng.below(3) as usize], Sort::Bool);
+    }
+    match rng.below(8) {
+        0 => gen_bool(rng, depth - 1).not(),
+        1 => gen_bool(rng, depth - 1).and(&gen_bool(rng, depth - 1)),
+        2 => gen_bool(rng, depth - 1).or(&gen_bool(rng, depth - 1)),
+        3 => gen_bool(rng, depth - 1).implies(&gen_bool(rng, depth - 1)),
+        4 => gen_bv(rng, depth - 1).eq_term(&gen_bv(rng, depth - 1)),
+        5 => gen_bv(rng, depth - 1).bvult(&gen_bv(rng, depth - 1)),
+        6 => gen_bv(rng, depth - 1).bvslt(&gen_bv(rng, depth - 1)),
+        _ => Term::and_all([
+            gen_bool(rng, depth - 1),
+            gen_bool(rng, depth - 1),
+            gen_bool(rng, depth - 1),
+        ]),
+    }
+}
+
+/// Rebuild `t` with every commutative operand list reversed. Key equality
+/// with the original is *guaranteed* by construction of the canonical
+/// hash, making the soundness check below non-vacuous.
+fn reverse_commutative(t: &Term) -> Term {
+    match t.node() {
+        TermNode::Const(_) | TermNode::Var(..) => t.clone(),
+        TermNode::Not(a) => reverse_commutative(a).not(),
+        TermNode::And(xs) => {
+            Term::and_all(xs.iter().rev().map(reverse_commutative).collect::<Vec<_>>())
+        }
+        TermNode::Or(xs) => {
+            Term::or_all(xs.iter().rev().map(reverse_commutative).collect::<Vec<_>>())
+        }
+        TermNode::Implies(a, b) => reverse_commutative(a).implies(&reverse_commutative(b)),
+        TermNode::Ite(c, a, b) => {
+            reverse_commutative(c).ite(&reverse_commutative(a), &reverse_commutative(b))
+        }
+        TermNode::Eq(a, b) => reverse_commutative(b).eq_term(&reverse_commutative(a)),
+        TermNode::Bv(op, a, b) => {
+            use bf4_smt::term::BvOp::*;
+            let (ra, rb) = (reverse_commutative(a), reverse_commutative(b));
+            match op {
+                Add => rb.bvadd(&ra),
+                Mul => rb.bvmul(&ra),
+                And => rb.bvand(&ra),
+                Or => rb.bvor(&ra),
+                Xor => rb.bvxor(&ra),
+                Sub => ra.bvsub(&rb),
+                UDiv => ra.bvudiv(&rb),
+                URem => ra.bvurem(&rb),
+                Shl => ra.bvshl(&rb),
+                LShr => ra.bvlshr(&rb),
+                AShr => ra.bvashr(&rb),
+            }
+        }
+        TermNode::Cmp(op, a, b) => {
+            use bf4_smt::term::CmpOp::*;
+            let (ra, rb) = (reverse_commutative(a), reverse_commutative(b));
+            match op {
+                Ult => ra.bvult(&rb),
+                Ule => ra.bvule(&rb),
+                Ugt => ra.bvugt(&rb),
+                Uge => ra.bvuge(&rb),
+                Slt => ra.bvslt(&rb),
+                Sle => ra.bvsle(&rb),
+                Sgt => ra.bvsgt(&rb),
+                Sge => ra.bvsge(&rb),
+            }
+        }
+        TermNode::BvNot(a) => reverse_commutative(a).bvnot(),
+        TermNode::BvNeg(a) => reverse_commutative(a).bvneg(),
+        TermNode::Concat(a, b) => reverse_commutative(a).concat(&reverse_commutative(b)),
+        TermNode::Extract { hi, lo, arg } => reverse_commutative(arg).extract(*hi, *lo),
+        TermNode::ZeroExt { add, arg } => reverse_commutative(arg).zero_ext(*add),
+        TermNode::SignExt { add, arg } => reverse_commutative(arg).sign_ext(*add),
+    }
+}
+
+/// Apply a bijective variable renaming (a rotation of each name pool).
+fn rename(t: &Term, rot: usize) -> Term {
+    let mut map: HashMap<Arc<str>, Term> = HashMap::new();
+    for (i, v) in BOOL_VARS.iter().enumerate() {
+        let to = BOOL_VARS[(i + rot) % BOOL_VARS.len()];
+        map.insert(Arc::from(*v), Term::var(format!("{to}#renamed"), Sort::Bool));
+    }
+    for (i, v) in BV_VARS.iter().enumerate() {
+        let to = BV_VARS[(i + rot) % BV_VARS.len()];
+        map.insert(Arc::from(*v), Term::var(format!("{to}#renamed"), Sort::Bv(8)));
+    }
+    bf4_smt::substitute(t, &map)
+}
+
+fn verdict(t: &Term) -> SatResult {
+    let mut s = BitBlastSolver::new();
+    s.solve(t).result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn commutative_shuffle_preserves_key_and_verdict(seed: u64) {
+        let mut rng = Rng(seed | 1);
+        let t = gen_bool(&mut rng, 3);
+        let shuffled = reverse_commutative(&t);
+        prop_assert_eq!(
+            query_key(std::slice::from_ref(&t)),
+            query_key(std::slice::from_ref(&shuffled)),
+            "commutative shuffle must not change the canonical key: {} vs {}", t, shuffled
+        );
+        prop_assert_eq!(verdict(&t), verdict(&shuffled));
+    }
+
+    #[test]
+    fn canonical_equal_terms_are_equivalid(seed: u64) {
+        let mut rng = Rng(seed | 1);
+        let t = gen_bool(&mut rng, 3);
+        // Candidate cache collisions: a scrambled/renamed variant (usually
+        // key-equal) and an independent random term (usually not).
+        let variant = rename(&reverse_commutative(&t), 1 + rng.below(2) as usize);
+        let unrelated = gen_bool(&mut rng, 3);
+        for other in [&variant, &unrelated] {
+            if query_key(std::slice::from_ref(&t)) == query_key(std::slice::from_ref(other)) {
+                prop_assert_eq!(
+                    verdict(&t),
+                    verdict(other),
+                    "key-equal terms with different verdicts: {} vs {}", t, other
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_key_insensitive_to_assertion_order(seed: u64) {
+        let mut rng = Rng(seed | 1);
+        let a = gen_bool(&mut rng, 2);
+        let b = gen_bool(&mut rng, 2);
+        let c = gen_bool(&mut rng, 2);
+        let k1 = query_key(&[a.clone(), b.clone(), c.clone()]);
+        let k2 = query_key(&[c, a, b]);
+        prop_assert_eq!(k1, k2);
+    }
+}
