@@ -47,16 +47,36 @@ cargo test -q -p bf4-engine --offline --test engine_integration \
     panicking_job_degrades_one_program_without_wedging_the_pool \
     -- --exact panicking_job_degrades_one_program_without_wedging_the_pool
 
-echo "==> sequential-vs-parallel corpus differential"
-# Normalized corpus reports (sorted bug/degraded lines, no timings) must
-# be byte-identical between --jobs 1 and a parallel cached run.
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
+
+echo "==> tracing smoke test (--trace-out + trace-lint)"
+# A traced run must emit schema-valid spans covering every instrumented
+# layer; trace-lint validates each JSONL line and requires the layers,
+# so a silently un-instrumented stage fails here instead of shrinking
+# the trace.
+out=$(cargo run -q --release --offline -p bf4-engine --bin bf4 -- \
+    crates/corpus/programs/simple_nat.p4 crates/corpus/programs/multi_tenant.p4 \
+    --jobs 4 --cache-cap 4096 --trace-out "$tmpdir/trace.jsonl" --quiet) \
+    || [ $? -eq 1 ]
+cargo run -q --release --offline -p bf4-bench --bin report -- \
+    trace-lint "$tmpdir/trace.jsonl" --require-layers frontend,ir,smt,core,engine
+cargo run -q --release --offline -p bf4-bench --bin report -- \
+    profile "$tmpdir/trace.jsonl" | head -3
+
+echo "==> sequential-vs-parallel corpus differential"
+# Normalized corpus reports (sorted bug/degraded lines, no timings) must
+# be byte-identical between --jobs 1 and a parallel cached run — the
+# parallel run with tracing enabled, so observability provably cannot
+# perturb reports.
 cargo run -q --release --offline -p bf4-bench --bin report -- corpus \
     > "$tmpdir/seq.txt" 2>/dev/null
 cargo run -q --release --offline -p bf4-bench --bin report -- corpus \
-    --jobs 4 --cache-cap 65536 > "$tmpdir/par.txt" 2>/dev/null
+    --jobs 4 --cache-cap 65536 --trace-out "$tmpdir/corpus-trace.jsonl" \
+    > "$tmpdir/par.txt" 2>/dev/null
 diff -u "$tmpdir/seq.txt" "$tmpdir/par.txt"
+cargo run -q --release --offline -p bf4-bench --bin report -- \
+    trace-lint "$tmpdir/corpus-trace.jsonl" --require-layers frontend,ir,smt,engine
 echo "differential OK ($(wc -l < "$tmpdir/seq.txt") report lines identical)"
 
 echo "CI OK"

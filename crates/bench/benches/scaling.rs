@@ -39,13 +39,15 @@ fn main() {
                 "    {{\"jobs\": {jobs}, \"cache_cap\": {cache_cap}, \
                  \"wall_seconds\": {:.6}, \"programs\": {}, \"degraded\": {degraded}, \
                  \"jobs_run\": {}, \"steals\": {}, \"cache_hits\": {}, \
-                 \"cache_misses\": {}, \"cache_evictions\": {}, \"cache_hit_rate\": {:.4}}}",
+                 \"cache_misses\": {}, \"cache_insertions\": {}, \
+                 \"cache_evictions\": {}, \"cache_hit_rate\": {:.4}}}",
                 stats.wall.as_secs_f64(),
                 reports.len(),
                 stats.jobs_run,
                 stats.steals,
                 stats.cache.hits,
                 stats.cache.misses,
+                stats.cache.insertions,
                 stats.cache.evictions,
                 stats.cache.hit_rate(),
             );

@@ -12,12 +12,18 @@
 //! report vera          §5.2: Vera-approximation concrete vs symbolic entries
 //! report shim          §5.3: shim validation latency over a 2000-update trace
 //! report casestudies   §5.1: the three interesting-bug case studies
-//! report corpus [--jobs N] [--cache-cap N]
+//! report corpus [--jobs N] [--cache-cap N] [--trace-out FILE]
 //!                      normalized corpus reports on stdout (stable across
 //!                      worker counts; engine stats go to stderr) — the
 //!                      basis of ci.sh's sequential-vs-parallel diff
 //! report engine        speedup-vs-jobs table (jobs ∈ {1,2,4}, cache
 //!                      on/off) with per-stage latencies and cache stats
+//! report profile <trace.jsonl>
+//!                      aggregate a bf4 --trace-out file into a per-stage /
+//!                      per-program time table
+//! report trace-lint <trace.jsonl> [--require-layers a,b,...]
+//!                      validate every line against the bf4-obs span
+//!                      schema; exit 1 on the first violation
 //! report all           everything above except `corpus`
 //! ```
 
@@ -40,6 +46,8 @@ fn main() {
         "casestudies" => casestudies(),
         "corpus" => corpus(),
         "engine" => engine(),
+        "profile" => profile(),
+        "trace-lint" => trace_lint(),
         "all" => {
             table1();
             slicing();
@@ -340,9 +348,18 @@ fn corpus_programs() -> Vec<(String, String)> {
 fn corpus() {
     let args: Vec<String> = std::env::args().skip(2).collect();
     let mut config = EngineConfig::default();
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace-out" => {
+                i += 1;
+                trace_out = args.get(i).cloned();
+                if trace_out.is_none() {
+                    eprintln!("report corpus: --trace-out expects an output path");
+                    std::process::exit(2);
+                }
+            }
             "--jobs" => {
                 i += 1;
                 config.jobs = args
@@ -368,12 +385,105 @@ fn corpus() {
         }
         i += 1;
     }
+    if trace_out.is_some() {
+        bf4_obs::set_enabled(true);
+    }
     let programs = corpus_programs();
     let (reports, stats) = verify_corpus(&programs, &VerifyOptions::default(), &config);
     for ((name, _), report) in programs.iter().zip(&reports) {
         print!("{}", normalized_report(name, report));
     }
     eprint!("{stats}");
+    if let Some(path) = trace_out {
+        let jsonl = bf4_obs::render_jsonl(&bf4_obs::take_spans());
+        if let Err(e) = std::fs::write(&path, jsonl) {
+            eprintln!("report corpus: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Read a `--trace-out` JSONL file into validated spans, exiting with the
+/// offending line number on the first schema violation.
+fn read_trace(path: &str) -> Vec<bf4_obs::TraceSpan> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut spans = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        match bf4_obs::parse_line(line) {
+            Ok(Some(s)) => spans.push(s),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("{path}:{}: {e}", lineno + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    spans
+}
+
+/// Aggregate a trace file into the per-program / per-stage time table.
+fn profile() {
+    let Some(path) = std::env::args().nth(2) else {
+        eprintln!("usage: report profile <trace.jsonl>");
+        std::process::exit(2);
+    };
+    let spans = read_trace(&path);
+    print!("{}", bf4_obs::stage_table(&spans));
+}
+
+/// Validate a trace file against the span schema; optionally require a
+/// set of layers to actually appear (so a silently un-instrumented stage
+/// fails CI instead of shrinking the trace).
+fn trace_lint() {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut path: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--require-layers" => {
+                i += 1;
+                match args.get(i) {
+                    Some(list) => {
+                        required.extend(list.split(',').map(|s| s.trim().to_string()))
+                    }
+                    None => {
+                        eprintln!("report trace-lint: --require-layers expects a,b,...");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string())
+            }
+            other => {
+                eprintln!("report trace-lint: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("usage: report trace-lint <trace.jsonl> [--require-layers a,b,...]");
+        std::process::exit(2);
+    };
+    let spans = read_trace(&path);
+    let layers: std::collections::BTreeSet<&str> =
+        spans.iter().map(|s| s.layer.as_str()).collect();
+    for want in &required {
+        if !layers.contains(want.as_str()) {
+            eprintln!("{path}: no span with layer `{want}` (have: {layers:?})");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "trace-lint: {} span(s) OK, layers: {}",
+        spans.len(),
+        layers.into_iter().collect::<Vec<_>>().join(",")
+    );
 }
 
 /// Speedup-vs-jobs table over the corpus, with per-stage latencies and

@@ -175,6 +175,11 @@ pub struct Report {
     pub bugs_undecided: usize,
     /// Stages that failed or ran out of budget; empty for a clean run.
     pub degraded: Vec<StageFailure>,
+    /// Observability counters accumulated during this run (solver queries,
+    /// retries, cache traffic). Populated by [`verify`] only while
+    /// `bf4_obs` metrics collection is enabled — `None` otherwise, so
+    /// normalized report output is unaffected by default.
+    pub obs_metrics: Option<bf4_obs::MetricsSnapshot>,
 }
 
 impl Report {
@@ -206,6 +211,7 @@ impl Report {
                 queries_used: 0,
                 duration,
             }],
+            obs_metrics: None,
         }
     }
 }
@@ -229,14 +235,25 @@ pub fn verify_isolated(source: &str, options: &VerifyOptions) -> Report {
     let t0 = Instant::now();
     match catch_unwind(AssertUnwindSafe(|| verify(source, options))) {
         Ok(Ok(report)) => report,
-        Ok(Err(e)) => Report::failed("frontend", e.to_string(), t0.elapsed()),
-        Err(payload) => Report::failed("pipeline", panic_message(&*payload), t0.elapsed()),
+        Ok(Err(e)) => {
+            bf4_obs::error("core", &format!("frontend rejected program: {e}"));
+            Report::failed("frontend", e.to_string(), t0.elapsed())
+        }
+        Err(payload) => {
+            let msg = panic_message(&*payload);
+            bf4_obs::error("core", &format!("pipeline panicked: {msg}"));
+            Report::failed("pipeline", msg, t0.elapsed())
+        }
     }
 }
 
 /// Verify a P4 source program through the full bf4 pipeline.
 pub fn verify(source: &str, options: &VerifyOptions) -> Result<Report, bf4_p4::Error> {
     let t_total = Instant::now();
+    // Metrics are process-global; attributing them to this run via a
+    // before/after counter delta is exact only while runs don't overlap
+    // (the parallel engine leaves `obs_metrics` unset for that reason).
+    let metrics_before = bf4_obs::metrics_enabled().then(bf4_obs::snapshot);
     let program = bf4_p4::frontend(source)?;
     let solver_cfg = options.solver.clone();
     let factory: &SolverFactory =
@@ -250,6 +267,7 @@ pub fn verify(source: &str, options: &VerifyOptions) -> Result<Report, bf4_p4::E
         merge_reports(&mut report, egress_report);
     }
     report.timings.total = t_total.elapsed();
+    report.obs_metrics = metrics_before.map(|before| bf4_obs::snapshot().delta_since(&before));
     Ok(report)
 }
 
@@ -347,6 +365,7 @@ pub fn prepare_round(
     program: &Program,
     options: &VerifyOptions,
 ) -> Result<RoundPrep, bf4_p4::Error> {
+    let _sp = bf4_obs::span("core", "prepare");
     let t0 = Instant::now();
     let (cfg, metrics) = build_cfg(program, options)?;
     let transform_time = t0.elapsed();
@@ -511,6 +530,7 @@ pub fn finish_round(
         reach.queries_used,
         find_bugs_time,
     ) {
+        bf4_obs::warn("core", &format!("find-bugs degraded: {}", failure.error));
         state.degraded.push(failure);
     }
     state.timings.find_bugs += find_bugs_time;
@@ -519,21 +539,28 @@ pub fn finish_round(
     // Isolated: a panic inside inference degrades the run to "no
     // annotations inferred" instead of taking down the whole pipeline.
     let t_inf = Instant::now();
+    let sp_inf = bf4_obs::span("core", "inference");
     let inference = catch_unwind(AssertUnwindSafe(|| {
         run_inference(&cfg, &ra, &mut bugs, solver.as_mut(), &state.options)
     }));
+    drop(sp_inf);
     let (spec_terms, specs) = match inference {
         Ok((spec_terms, specs, inf_timings, inf_degraded)) => {
             state.timings.fast_infer += inf_timings.0;
             state.timings.infer += inf_timings.1;
             state.timings.multi_table += inf_timings.2;
+            for d in &inf_degraded {
+                bf4_obs::warn("core", &format!("inference degraded: {}", d.error));
+            }
             state.degraded.extend(inf_degraded);
             (spec_terms, specs)
         }
         Err(payload) => {
+            let msg = panic_message(&*payload);
+            bf4_obs::error("core", &format!("inference panicked: {msg}"));
             state.degraded.push(StageFailure {
                 stage: "inference".to_string(),
-                error: panic_message(&*payload),
+                error: msg,
                 queries_used: solver.queries_used(),
                 duration: t_inf.elapsed(),
             });
@@ -567,6 +594,7 @@ pub fn finish_round(
         state.round == 1 && state.options.fixes && !reachable_bugs.is_empty();
     if run_fixes {
         let t0 = Instant::now();
+        let _sp = bf4_obs::span("core", "fixes");
         // Isolated like inference: a panic while computing fixes means
         // "no fixes proposed", not a crashed run.
         let proposed = catch_unwind(AssertUnwindSafe(|| {
@@ -612,9 +640,11 @@ pub fn finish_round(
                 state.egress_spec_fix |= egress;
             }
             Err(payload) => {
+                let msg = panic_message(&*payload);
+                bf4_obs::error("core", &format!("fixes panicked: {msg}"));
                 state.degraded.push(StageFailure {
                     stage: "fixes".to_string(),
-                    error: panic_message(&*payload),
+                    error: msg,
                     queries_used: 0,
                     duration: t0.elapsed(),
                 });
@@ -627,6 +657,14 @@ pub fn finish_round(
             state.fix_description =
                 crate::fixes::describe_fixes(&state.program, &state.fixes);
             state.options.lower.egress_spec_default_drop = state.egress_spec_fix;
+            bf4_obs::info(
+                "core",
+                &format!(
+                    "round {}: {} fix(es) applied, re-verifying",
+                    state.round,
+                    state.fixes.len()
+                ),
+            );
             return RoundResult::Continue; // round 2
         }
     }
@@ -636,6 +674,7 @@ pub fn finish_round(
     // set).
     let mut unsafe_defaults: Vec<(String, String)> = Vec::new();
     {
+        let _sp = bf4_obs::span("core", "unsafe-defaults");
         let mut s2 = factory();
         for bug in bugs.iter() {
             if matches!(bug.status, BugStatus::Unreachable) {
@@ -689,6 +728,7 @@ pub fn finish_round(
         fix_description: std::mem::take(&mut state.fix_description),
         bugs_undecided,
         degraded: std::mem::take(&mut state.degraded),
+        obs_metrics: None,
     }))
 }
 

@@ -1,10 +1,11 @@
 //! `bf4` — command-line front end to the verifier, mirroring the paper's
-//! p4c-backend workflow: read a P4 program, run the full pipeline, and
-//! write the controller annotations plus the proposed fixes.
+//! p4c-backend workflow: read one or more P4 programs, run the full
+//! pipeline, and write the controller annotations plus the proposed fixes.
 //!
 //! ```text
-//! bf4 <program.p4> [options]
-//!   --annotations <file>   write the controller annotations (default: stdout)
+//! bf4 <program.p4> [more.p4 ...] [options]
+//!   --annotations <file>   write the controller annotations (default: stdout;
+//!                          single-program runs only)
 //!   --no-fixes             stop after inference (report-only mode)
 //!   --no-infer             only find reachable bugs (p4v-like mode)
 //!   --egress               also analyze the egress pipeline (in separation)
@@ -14,25 +15,30 @@
 //!                          fallback solver (`off` disables the fallback)
 //!   --jobs <n>             worker threads (default 1: the sequential path)
 //!   --cache-cap <n>        SMT query-cache capacity in entries (default 0: off)
+//!   --trace-out <file>     write the run's spans as JSONL (bf4-obs schema)
+//!   --profile              print a flame-style span breakdown to stderr
 //!   --quiet                suppress the per-bug listing
 //! ```
 //!
-//! With `--jobs 1` and `--cache-cap 0` (the defaults) verification runs
-//! the classic sequential pipeline; any other combination routes through
-//! the parallel engine (identical results, plus engine statistics).
+//! With `--jobs 1`, `--cache-cap 0` and a single program (the defaults)
+//! verification runs the classic sequential pipeline; any other
+//! combination routes through the parallel engine (identical results,
+//! plus engine statistics and a cache summary line).
 //!
 //! Exit code: 0 when every bug is controlled/fixed, 1 when dataplane bugs
 //! remain, 2 on usage or frontend errors.
 
-use bf4_core::driver::{verify, VerifyOptions};
-use bf4_engine::{verify_one, EngineConfig};
+use bf4_core::driver::{verify, Report, VerifyOptions};
+use bf4_engine::{verify_corpus, EngineConfig, EngineStats};
 use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut path: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
     let mut annotations_out: Option<String> = None;
     let mut dump_cfg: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut profile = false;
     let mut quiet = false;
     let mut options = VerifyOptions::default();
     let mut engine = EngineConfig::default();
@@ -48,6 +54,15 @@ fn main() {
                 i += 1;
                 dump_cfg = args.get(i).cloned();
             }
+            "--trace-out" => {
+                i += 1;
+                trace_out = args.get(i).cloned();
+                if trace_out.is_none() {
+                    eprintln!("bf4: --trace-out expects an output path");
+                    std::process::exit(2);
+                }
+            }
+            "--profile" => profile = true,
             "--timeout-ms" => {
                 i += 1;
                 let ms: u64 = match args.get(i).map(|v| v.parse()) {
@@ -109,12 +124,10 @@ fn main() {
             "--egress" => options.include_egress = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
-                eprintln!("usage: bf4 <program.p4> [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--timeout-ms N] [--solver-fallback N|off] [--jobs N] [--cache-cap N] [--quiet]");
+                eprintln!("usage: bf4 <program.p4> [more.p4 ...] [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--timeout-ms N] [--solver-fallback N|off] [--jobs N] [--cache-cap N] [--trace-out FILE] [--profile] [--quiet]");
                 std::process::exit(0);
             }
-            other if path.is_none() && !other.starts_with('-') => {
-                path = Some(other.to_string())
-            }
+            other if !other.starts_with('-') => paths.push(other.to_string()),
             other => {
                 eprintln!("bf4: unknown argument `{other}`");
                 std::process::exit(2);
@@ -123,20 +136,32 @@ fn main() {
         i += 1;
     }
 
-    let Some(path) = path else {
+    if paths.is_empty() {
         eprintln!("bf4: missing input program (try --help)");
         std::process::exit(2);
-    };
-    let source = match std::fs::read_to_string(&path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("bf4: cannot read {path}: {e}");
-            std::process::exit(2);
+    }
+    if annotations_out.is_some() && paths.len() > 1 {
+        eprintln!("bf4: --annotations only works with a single input program");
+        std::process::exit(2);
+    }
+
+    let mut programs: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(s) => programs.push((path.clone(), s)),
+            Err(e) => {
+                eprintln!("bf4: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
         }
-    };
+    }
+
+    if trace_out.is_some() || profile {
+        bf4_obs::set_enabled(true);
+    }
 
     if let Some(dot_path) = &dump_cfg {
-        match dump_dot(&source, &options) {
+        match dump_dot(&programs[0].1, &options) {
             Ok(dot) => {
                 if let Err(e) = std::fs::write(dot_path, dot) {
                     eprintln!("bf4: cannot write {dot_path}: {e}");
@@ -150,33 +175,89 @@ fn main() {
         }
     }
 
-    let use_engine = engine.jobs > 1 || engine.cache_cap > 0;
-    let (report, engine_stats) = if use_engine {
+    let use_engine = engine.jobs > 1 || engine.cache_cap > 0 || programs.len() > 1;
+    let (reports, engine_stats): (Vec<Report>, Option<EngineStats>) = if use_engine {
         // Frontend errors become degraded reports inside the engine; parse
         // here first so they keep the classic exit-code-2 CLI behavior.
-        if let Err(e) = bf4_p4::frontend(&source) {
-            eprintln!("bf4: {path}: {e}");
-            std::process::exit(2);
-        }
-        let (report, stats) = verify_one(&path, &source, &options, &engine);
-        if report.bugs.is_empty() && report.degraded.iter().any(|d| d.stage == "frontend") {
-            eprintln!(
-                "bf4: {path}: {}",
-                report.degraded.first().map(|d| d.error.as_str()).unwrap_or("frontend error")
-            );
-            std::process::exit(2);
-        }
-        (report, Some(stats))
-    } else {
-        match verify(&source, &options) {
-            Ok(r) => (r, None),
-            Err(e) => {
+        for (path, source) in &programs {
+            if let Err(e) = bf4_p4::frontend(source) {
                 eprintln!("bf4: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        let (reports, stats) = verify_corpus(&programs, &options, &engine);
+        for ((path, _), report) in programs.iter().zip(&reports) {
+            if report.bugs.is_empty() && report.degraded.iter().any(|d| d.stage == "frontend") {
+                eprintln!(
+                    "bf4: {path}: {}",
+                    report
+                        .degraded
+                        .first()
+                        .map(|d| d.error.as_str())
+                        .unwrap_or("frontend error")
+                );
+                std::process::exit(2);
+            }
+        }
+        (reports, Some(stats))
+    } else {
+        match verify(&programs[0].1, &options) {
+            Ok(r) => (vec![r], None),
+            Err(e) => {
+                eprintln!("bf4: {}: {e}", programs[0].0);
                 std::process::exit(2);
             }
         }
     };
 
+    for ((path, _), report) in programs.iter().zip(&reports) {
+        print_report(path, report, quiet);
+    }
+    if let Some(stats) = &engine_stats {
+        // Satellite of the observability PR: the cache's effectiveness in
+        // the standard summary, not only in the verbose stats dump.
+        println!(
+            "summary: {} program(s); cache hit-rate {:.1}% ({} hit(s) / {} miss(es)), {} eviction(s)",
+            programs.len(),
+            100.0 * stats.cache.hit_rate(),
+            stats.cache.hits,
+            stats.cache.misses,
+            stats.cache.evictions
+        );
+        if !quiet {
+            print!("{stats}");
+        }
+    }
+
+    if programs.len() == 1 {
+        let text = reports[0].annotations.to_string();
+        match annotations_out {
+            Some(f) => {
+                if let Err(e) = std::fs::write(&f, &text) {
+                    eprintln!("bf4: cannot write {f}: {e}");
+                    std::process::exit(2);
+                }
+                println!(
+                    "wrote {} annotation(s) over {} table(s) to {f}",
+                    reports[0].annotations.specs.len(),
+                    reports[0].annotations.tables.len()
+                );
+            }
+            None => {
+                println!("--- controller annotations ---");
+                let mut stdout = std::io::stdout().lock();
+                let _ = stdout.write_all(text.as_bytes());
+            }
+        }
+    }
+
+    finish_tracing(trace_out.as_deref(), profile);
+
+    let any_bugs = reports.iter().any(|r| r.bugs_after_fixes > 0);
+    std::process::exit(if any_bugs { 1 } else { 0 });
+}
+
+fn print_report(path: &str, report: &Report, quiet: bool) {
     println!(
         "{path}: {} bug(s) with all rules possible; {} after annotations; {} after fixes",
         report.bugs_total, report.bugs_after_infer, report.bugs_after_fixes
@@ -211,33 +292,26 @@ fn main() {
             d.stage, d.duration, d.queries_used, d.error
         );
     }
-    if let Some(stats) = &engine_stats {
-        if !quiet {
-            print!("{stats}");
+}
+
+/// Drain collected spans into `--trace-out` JSONL and/or the `--profile`
+/// flame rendering (stderr, so stdout stays script-stable).
+fn finish_tracing(trace_out: Option<&str>, profile: bool) {
+    if trace_out.is_none() && !profile {
+        return;
+    }
+    let records = bf4_obs::take_spans();
+    if let Some(path) = trace_out {
+        let jsonl = bf4_obs::render_jsonl(&records);
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("bf4: cannot write {path}: {e}");
+            std::process::exit(2);
         }
     }
-
-    let text = report.annotations.to_string();
-    match annotations_out {
-        Some(f) => {
-            if let Err(e) = std::fs::write(&f, &text) {
-                eprintln!("bf4: cannot write {f}: {e}");
-                std::process::exit(2);
-            }
-            println!(
-                "wrote {} annotation(s) over {} table(s) to {f}",
-                report.annotations.specs.len(),
-                report.annotations.tables.len()
-            );
-        }
-        None => {
-            println!("--- controller annotations ---");
-            let mut stdout = std::io::stdout().lock();
-            let _ = stdout.write_all(text.as_bytes());
-        }
+    if profile {
+        let spans: Vec<bf4_obs::TraceSpan> = records.iter().map(Into::into).collect();
+        eprint!("{}", bf4_obs::render_flame(&spans));
     }
-
-    std::process::exit(if report.bugs_after_fixes == 0 { 0 } else { 1 });
 }
 
 fn dump_dot(source: &str, options: &VerifyOptions) -> Result<String, String> {

@@ -61,10 +61,12 @@ impl QueryCache {
             Some(e) => {
                 e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                bf4_obs::counter_add("cache.hits", 1);
                 Some(e.result)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                bf4_obs::counter_add("cache.misses", 1);
                 None
             }
         }
@@ -86,6 +88,7 @@ impl QueryCache {
             {
                 map.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                bf4_obs::counter_add("cache.evictions", 1);
             }
         }
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
@@ -100,6 +103,7 @@ impl QueryCache {
             .is_none()
         {
             self.insertions.fetch_add(1, Ordering::Relaxed);
+            bf4_obs::counter_add("cache.insertions", 1);
         }
     }
 
@@ -116,6 +120,14 @@ impl QueryCache {
                 .unwrap_or_else(PoisonError::into_inner)
                 .len(),
         }
+    }
+}
+
+fn verdict_label(r: SatResult) -> &'static str {
+    match r {
+        SatResult::Sat => "sat",
+        SatResult::Unsat => "unsat",
+        SatResult::Unknown => "unknown",
     }
 }
 
@@ -203,14 +215,26 @@ impl Solver for CachedSolver<'_> {
     }
 
     fn check(&mut self) -> SatResult {
+        // The one span that sees both the cache outcome and the verdict;
+        // on a miss the governed solver's own `smt/check` span nests
+        // underneath with backend/retry detail.
+        let mut sp = bf4_obs::span("smt", "query");
         let key = self.stack_key();
         if let Some(r) = self.cache.get(key) {
             self.answered_from_cache = true;
+            if sp.is_active() {
+                sp.add_tag("cache", "hit");
+                sp.add_tag("verdict", verdict_label(r));
+            }
             return r;
+        }
+        if sp.is_active() {
+            sp.add_tag("cache", if self.cache.capacity() == 0 { "off" } else { "miss" });
         }
         let r = self.inner().check();
         self.answered_from_cache = false;
         self.cache.insert(key, r);
+        sp.add_tag("verdict", verdict_label(r));
         r
     }
 

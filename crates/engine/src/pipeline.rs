@@ -97,6 +97,19 @@ fn lock(chain: &Chain) -> MutexGuard<'_, ChainState> {
     chain.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Open an engine-layer span for one scheduler job, tagged with the
+/// program it belongs to and whether the job was stolen.
+fn job_span(ctx: &WorkerCtx, name: &'static str, prog: &Prog) -> bf4_obs::Span {
+    let mut sp = bf4_obs::span("engine", name);
+    if sp.is_active() {
+        sp.add_tag("program", prog.name.clone());
+        if ctx.current_job_stolen() {
+            sp.add_tag("stolen", "true");
+        }
+    }
+    sp
+}
+
 /// Run `f`; a panic becomes this chain's `pipeline`-failed report (the
 /// [`bf4_core::driver::verify_isolated`] semantics) and the worker solver
 /// is rebuilt in case the panic left it mid-query.
@@ -107,6 +120,10 @@ fn guarded(ctx: &mut WorkerCtx, chain: &Arc<Chain>, f: impl FnOnce(&mut WorkerCt
             ctx.reset_solver();
             ctx.record_panic();
             let msg = panic_message(&*payload);
+            bf4_obs::error(
+                "engine",
+                &format!("job panicked in `{}`: {msg}", chain.task.prog.name),
+            );
             {
                 let mut st = lock(chain);
                 if st.failed.is_none() && !st.completed {
@@ -145,6 +162,7 @@ pub(crate) fn spawn_program(
 }
 
 fn frontend_job(ctx: &mut WorkerCtx, prog: Arc<Prog>, options: VerifyOptions) {
+    let _sp = job_span(ctx, "frontend", &prog);
     let t0 = Instant::now();
     let parsed = catch_unwind(AssertUnwindSafe(|| {
         prog.inject_panic("frontend");
@@ -203,6 +221,7 @@ fn frontend_job(ctx: &mut WorkerCtx, prog: Arc<Prog>, options: VerifyOptions) {
 fn round_job(ctx: &mut WorkerCtx, chain: Arc<Chain>) {
     let c = chain.clone();
     guarded(ctx, &c, move |ctx| {
+        let _sp = job_span(ctx, "prepare", &chain.task.prog);
         let t0 = Instant::now();
         chain.task.prog.inject_panic("prepare");
         let mut round = {
@@ -256,6 +275,7 @@ fn round_job(ctx: &mut WorkerCtx, chain: Arc<Chain>) {
 fn bug_job(ctx: &mut WorkerCtx, chain: Arc<Chain>, i: usize) {
     let c = chain.clone();
     guarded(ctx, &c, move |ctx| {
+        let _sp = job_span(ctx, "reach", &chain.task.prog);
         let t0 = Instant::now();
         let bug = {
             let st = lock(&chain);
@@ -301,6 +321,7 @@ fn bug_job(ctx: &mut WorkerCtx, chain: Arc<Chain>, i: usize) {
 fn finish_job(ctx: &mut WorkerCtx, chain: Arc<Chain>) {
     let c = chain.clone();
     guarded(ctx, &c, move |ctx| {
+        let _sp = job_span(ctx, "finish", &chain.task.prog);
         let t0 = Instant::now();
         chain.task.prog.inject_panic("finish");
         let (mut round, prep, reach) = {

@@ -35,6 +35,9 @@ struct Node {
     deps_left: usize,
     dependents: Vec<JobId>,
     done: bool,
+    /// When the job became ready (landed on a deque); drives the
+    /// `engine.queue_wait` latency metric.
+    enqueued: Option<Instant>,
 }
 
 struct State {
@@ -74,6 +77,7 @@ impl Shared {
             deps_left,
             dependents: Vec::new(),
             done: false,
+            enqueued: None,
         });
         st.pending += 1;
         if deps_left == 0 {
@@ -85,6 +89,7 @@ impl Shared {
                     q
                 }
             };
+            st.nodes[id].enqueued = Some(Instant::now());
             st.queues[q].push_back(id);
         }
         drop(st);
@@ -120,6 +125,9 @@ pub struct WorkerCtx {
     pub cache: Arc<QueryCache>,
     shared: Arc<Shared>,
     stages: BTreeMap<String, Histogram>,
+    /// Whether the job currently executing on this worker was stolen from
+    /// another worker's deque.
+    current_stolen: bool,
 }
 
 impl WorkerCtx {
@@ -151,6 +159,13 @@ impl WorkerCtx {
     /// guard) so it still shows up in [`PoolStats::panics`].
     pub fn record_panic(&self) {
         self.shared.lock().panics += 1;
+        bf4_obs::counter_add("engine.panics", 1);
+    }
+
+    /// Whether the job currently running on this worker was stolen from
+    /// another worker's deque (job spans tag themselves with this).
+    pub fn current_job_stolen(&self) -> bool {
+        self.current_stolen
     }
 }
 
@@ -235,15 +250,22 @@ fn worker_loop(
         cache,
         shared: shared.clone(),
         stages: BTreeMap::new(),
+        current_stolen: false,
     };
     loop {
         // Find a job: own deque from the back, then steal from the front
         // of the others; otherwise sleep unless everything is done.
-        let (id, task) = {
+        let (id, task, stolen, enqueued) = {
             let mut st = shared.lock();
             loop {
                 if let Some(id) = st.queues[worker].pop_back() {
-                    break (id, st.nodes[id].task.take().expect("queued job has task"));
+                    let enq = st.nodes[id].enqueued.take();
+                    break (
+                        id,
+                        st.nodes[id].task.take().expect("queued job has task"),
+                        false,
+                        enq,
+                    );
                 }
                 let n = st.queues.len();
                 let stolen = (1..n)
@@ -251,7 +273,13 @@ fn worker_loop(
                     .find_map(|v| st.queues[v].pop_front());
                 if let Some(id) = stolen {
                     st.steals += 1;
-                    break (id, st.nodes[id].task.take().expect("queued job has task"));
+                    let enq = st.nodes[id].enqueued.take();
+                    break (
+                        id,
+                        st.nodes[id].task.take().expect("queued job has task"),
+                        true,
+                        enq,
+                    );
                 }
                 if st.pending == 0 {
                     return ctx.stages;
@@ -262,13 +290,22 @@ fn worker_loop(
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        if let Some(t) = enqueued {
+            bf4_obs::hist_record("engine.queue_wait", t.elapsed());
+        }
+        if stolen {
+            bf4_obs::counter_add("engine.steals", 1);
+        }
+        ctx.current_stolen = stolen;
 
         if catch_unwind(AssertUnwindSafe(|| (task)(&mut ctx))).is_err() {
             // Backstop: pipeline jobs catch their own panics; a raw job
             // that panicked may have wedged the worker solver.
             ctx.reset_solver();
             shared.lock().panics += 1;
+            bf4_obs::counter_add("engine.panics", 1);
         }
+        bf4_obs::counter_add("engine.jobs", 1);
 
         // Complete the node and release dependents onto our own deque.
         let mut st = shared.lock();
@@ -279,6 +316,7 @@ fn worker_loop(
         for d in dependents {
             st.nodes[d].deps_left -= 1;
             if st.nodes[d].deps_left == 0 {
+                st.nodes[d].enqueued = Some(Instant::now());
                 st.queues[worker].push_back(d);
             }
         }

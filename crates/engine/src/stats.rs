@@ -1,93 +1,15 @@
 //! Observability for the parallel engine: per-stage latency histograms,
 //! cache counters, and the roll-up [`EngineStats`] printed by the report
 //! binary.
+//!
+//! The histogram type itself lives in `bf4-obs` (it is shared with the
+//! shim's latency stats and the global metrics registry) and is
+//! re-exported here for compatibility.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-/// A log2-bucketed latency histogram over microseconds: bucket `i` counts
-/// samples with `2^i <= micros < 2^(i+1)` (bucket 0 also takes sub-µs
-/// samples). 40 buckets cover up to ~12 days, far beyond any stage.
-#[derive(Clone, Debug)]
-pub struct Histogram {
-    buckets: [u64; 40],
-    count: u64,
-    total_micros: u128,
-    max_micros: u128,
-}
-
-impl Default for Histogram {
-    fn default() -> Histogram {
-        Histogram {
-            buckets: [0; 40],
-            count: 0,
-            total_micros: 0,
-            max_micros: 0,
-        }
-    }
-}
-
-impl Histogram {
-    /// Record one sample.
-    pub fn record(&mut self, d: Duration) {
-        let micros = d.as_micros();
-        let idx = (128 - u128::leading_zeros(micros.max(1)) - 1).min(39) as usize;
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.total_micros += micros;
-        self.max_micros = self.max_micros.max(micros);
-    }
-
-    /// Fold another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.total_micros += other.total_micros;
-        self.max_micros = self.max_micros.max(other.max_micros);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sum of all samples.
-    pub fn total(&self) -> Duration {
-        Duration::from_micros(self.total_micros.min(u64::MAX as u128) as u64)
-    }
-
-    /// Mean sample, zero when empty.
-    pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_micros((self.total_micros / self.count as u128) as u64)
-    }
-
-    /// Largest sample seen.
-    pub fn max(&self) -> Duration {
-        Duration::from_micros(self.max_micros.min(u64::MAX as u128) as u64)
-    }
-
-    /// Upper bound (exclusive, in µs) of the smallest bucket prefix holding
-    /// at least `q` (0..=1) of the samples — a coarse quantile.
-    pub fn quantile_bound_micros(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = (q * self.count as f64).ceil() as u64;
-        let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b;
-            if seen >= target {
-                return 1u64 << (i as u32 + 1).min(63);
-            }
-        }
-        1u64 << 40
-    }
-}
+pub use bf4_obs::Histogram;
 
 /// Counters of the normalized SMT query cache.
 #[derive(Clone, Copy, Debug, Default)]
@@ -182,24 +104,6 @@ impl std::fmt::Display for EngineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_buckets_and_moments() {
-        let mut h = Histogram::default();
-        h.record(Duration::from_micros(3));
-        h.record(Duration::from_micros(5));
-        h.record(Duration::from_micros(1000));
-        assert_eq!(h.count(), 3);
-        assert_eq!(h.total(), Duration::from_micros(1008));
-        assert_eq!(h.mean(), Duration::from_micros(336));
-        assert_eq!(h.max(), Duration::from_micros(1000));
-        // Two of three samples are <= 8us.
-        assert!(h.quantile_bound_micros(0.5) <= 8);
-        let mut h2 = Histogram::default();
-        h2.record(Duration::from_micros(7));
-        h.merge(&h2);
-        assert_eq!(h.count(), 4);
-    }
 
     #[test]
     fn hit_rate_handles_empty() {

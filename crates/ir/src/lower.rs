@@ -96,6 +96,7 @@ pub struct Lowered {
 
 /// Lower a checked program.
 pub fn lower(program: &Program, options: &LowerOptions) -> Result<Lowered, Error> {
+    let _sp = bf4_obs::span("ir", "lower");
     let mut lw = Lowerer::new(program, options.clone());
     lw.run()?;
     let cfg = lw.finish();
@@ -554,6 +555,7 @@ impl<'p> Lowerer<'p> {
         self.seal(body_end, Terminator::Jump(end_of_ingress));
 
         // Parser.
+        let _sp = bf4_obs::span("ir", "unroll");
         let reject = self.terminal(BlockKind::Reject, "reject");
         let parser_env = self.parser_env(parser);
         let start = self.lower_parser_state(

@@ -213,6 +213,7 @@ pub fn simplify_cfg(cfg: &mut Cfg) -> usize {
 
 /// Run the standard optimization pipeline to a fixed point (bounded).
 pub fn optimize(cfg: &mut Cfg) {
+    let _sp = bf4_obs::span("ir", "optimize");
     for _ in 0..4 {
         let a = propagate(cfg);
         let b = dce(cfg);

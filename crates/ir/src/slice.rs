@@ -36,6 +36,7 @@ pub struct SliceInfo {
 
 /// Compute the backward slice of `cfg` with respect to `roots`.
 pub fn compute_slice(cfg: &Cfg, roots: &[BlockId]) -> SliceInfo {
+    let _sp = bf4_obs::span("ir", "slice");
     // Def map over SSA names; merge variables are defined once per
     // incoming edge block, so this is a multimap.
     let mut def_site: HashMap<Arc<str>, Vec<(BlockId, usize)>> = HashMap::new();

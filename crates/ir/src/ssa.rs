@@ -21,6 +21,7 @@ use std::sync::Arc;
 /// Convert a CFG to SSA form in place. Returns the number of merge copies
 /// inserted (a useful metric and test hook).
 pub fn to_ssa(cfg: &mut Cfg) -> usize {
+    let _sp = bf4_obs::span("ir", "ssa");
     // Count definitions per base variable; single-def havocs stay stable.
     let mut def_count: HashMap<Arc<str>, (usize, bool)> = HashMap::new(); // (count, all_havoc)
     for b in &cfg.blocks {

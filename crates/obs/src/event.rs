@@ -1,0 +1,107 @@
+//! Leveled diagnostic events on stderr, filtered by `BF4_LOG`.
+//!
+//! The pipeline's internal diagnostics (solver degradation, panic
+//! isolation, round fallbacks) go through [`event`] instead of bare
+//! `eprintln!`. The filter defaults to **off**, so the default stderr
+//! stream stays byte-stable for CI diffs; setting `BF4_LOG=warn` (or
+//! `error`/`info`/`debug`) turns the matching levels on.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Severity of a diagnostic event, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The pipeline lost work or produced a degraded result.
+    Error = 1,
+    /// Something recoverable went wrong (retry, fallback, eviction storm).
+    Warn = 2,
+    /// Coarse progress and configuration notes.
+    Info = 3,
+    /// Chatty per-item detail.
+    Debug = 4,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// 0 = off; otherwise the numeric value of the most verbose enabled level.
+static FILTER: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn filter() -> u8 {
+    let f = FILTER.load(Ordering::Relaxed);
+    if f != u8::MAX {
+        return f;
+    }
+    static FROM_ENV: OnceLock<u8> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| match std::env::var("BF4_LOG").as_deref() {
+        Ok("error") => Level::Error as u8,
+        Ok("warn") => Level::Warn as u8,
+        Ok("info") => Level::Info as u8,
+        Ok("debug") => Level::Debug as u8,
+        _ => 0,
+    })
+}
+
+/// Override the `BF4_LOG` filter programmatically; `None` silences all
+/// events.
+pub fn set_log_filter(max: Option<Level>) {
+    FILTER.store(max.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Whether an event at `level` would currently be emitted.
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= filter()
+}
+
+/// Emit a structured diagnostic line on stderr if `level` passes the
+/// filter: `bf4[<level>] <layer>: <message>`.
+pub fn event(level: Level, layer: &str, message: &str) {
+    if log_enabled(level) {
+        eprintln!("bf4[{}] {layer}: {message}", level.label());
+    }
+}
+
+/// [`event`] at [`Level::Error`].
+pub fn error(layer: &str, message: &str) {
+    event(Level::Error, layer, message);
+}
+
+/// [`event`] at [`Level::Warn`].
+pub fn warn(layer: &str, message: &str) {
+    event(Level::Warn, layer, message);
+}
+
+/// [`event`] at [`Level::Info`].
+pub fn info(layer: &str, message: &str) {
+    event(Level::Info, layer, message);
+}
+
+/// [`event`] at [`Level::Debug`].
+pub fn debug(layer: &str, message: &str) {
+    event(Level::Debug, layer, message);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_orders_levels() {
+        set_log_filter(Some(Level::Warn));
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        set_log_filter(None);
+        assert!(!log_enabled(Level::Error));
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # bf4-obs — unified tracing & metrics for the bf4 pipeline
+//!
+//! Every layer of the reproduction (frontend, IR, SMT, engine, shim)
+//! reports what it does through this crate, so that a single run can be
+//! profiled end to end instead of each crate keeping its own incompatible
+//! counters:
+//!
+//! * [`span`]/[`Span`] — RAII span-scoped timers with parent/child nesting
+//!   per thread. Closed spans flow through a cheap per-thread buffer into
+//!   a global registry ([`take_spans`] drains it);
+//! * [`counter_add`]/[`gauge_set`]/[`hist_record`] — typed counters,
+//!   gauges and latency histograms, snapshotted by [`snapshot`];
+//! * [`Histogram`] — the shared log2-bucketed latency histogram (promoted
+//!   from `bf4-engine`), used both here and by the engine/shim roll-ups;
+//! * [`event`] and friends — leveled diagnostics on stderr, filtered by
+//!   the `BF4_LOG` environment variable (silent by default, so default
+//!   stderr output is byte-stable);
+//! * [`trace`] — the machine-readable JSONL schema: render, parse,
+//!   validate;
+//! * [`profile`] — human renderings: a flame-style breakdown of a span
+//!   forest and a per-program/per-stage time table for BENCH files.
+//!
+//! ## Overhead contract
+//!
+//! Tracing and metrics are **disabled by default**. A span site while
+//! disabled costs one relaxed atomic load and returns an inert guard —
+//! no clock read, no allocation. When enabled, a span costs two
+//! [`std::time::Instant`] reads plus one buffered record; the pipeline
+//! only opens spans around work in the microsecond-and-up range
+//! (solver queries, CFG passes, scheduler jobs), keeping whole-corpus
+//! overhead under the 5% budget documented in DESIGN.md §9.
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod span;
+pub mod trace;
+
+pub use event::{debug, error, event, info, log_enabled, set_log_filter, warn, Level};
+pub use hist::Histogram;
+pub use metrics::{
+    counter_add, gauge_set, hist_record, metrics_enabled, reset_metrics, set_metrics, snapshot,
+    HistSummary, MetricsSnapshot,
+};
+pub use profile::{render_flame, stage_table};
+pub use span::{
+    current_thread_id, enabled, reset_spans, set_enabled, span, take_spans, Span, SpanRecord,
+};
+pub use trace::{parse_line, render_jsonl, validate_line, TraceSpan};

@@ -1,0 +1,234 @@
+//! Typed counters, gauges and latency histograms.
+//!
+//! Metric sites are keyed by `&'static str` names (dots as namespace
+//! separators, e.g. `smt.queries`). Like spans, they are off by default:
+//! a disabled site costs one relaxed atomic load. When enabled, updates
+//! take a global mutex — metric sites sit on coarse paths (per query,
+//! per job, per insertion), not inner loops, so contention is negligible
+//! next to the work being measured.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(Registry::default()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Turn metric collection on or off (off by default).
+pub fn set_metrics(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric collection is currently on.
+pub fn metrics_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clear every counter, gauge and histogram.
+pub fn reset_metrics() {
+    let mut r = registry();
+    r.counters.clear();
+    r.gauges.clear();
+    r.hists.clear();
+}
+
+/// Add to a named counter (no-op while metrics are off).
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    *registry().counters.entry(name).or_insert(0) += delta;
+}
+
+/// Set a named gauge to its latest value (no-op while metrics are off).
+pub fn gauge_set(name: &'static str, value: i64) {
+    if !metrics_enabled() {
+        return;
+    }
+    registry().gauges.insert(name, value);
+}
+
+/// Record a latency sample into a named histogram (no-op while metrics
+/// are off).
+pub fn hist_record(name: &'static str, sample: Duration) {
+    if !metrics_enabled() {
+        return;
+    }
+    registry().hists.entry(name).or_default().record(sample);
+}
+
+/// Point-in-time summary of one latency histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean sample in microseconds.
+    pub mean_micros: u64,
+    /// Coarse p50 upper bound in microseconds.
+    pub p50_micros: u64,
+    /// Coarse p99 upper bound in microseconds.
+    pub p99_micros: u64,
+    /// Largest sample in microseconds.
+    pub max_micros: u64,
+}
+
+impl HistSummary {
+    fn of(h: &Histogram) -> HistSummary {
+        HistSummary {
+            count: h.count(),
+            mean_micros: h.mean().as_micros() as u64,
+            p50_micros: h.quantile_bound_micros(0.5),
+            p99_micros: h.quantile_bound_micros(0.99),
+            max_micros: h.max().as_micros() as u64,
+        }
+    }
+}
+
+/// A point-in-time copy of every metric, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<&'static str, i64>,
+    /// Histogram summaries by name.
+    pub hists: BTreeMap<&'static str, HistSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Counters accumulated since `earlier` (gauges and histograms keep
+    /// their current values — only counters difference meaningfully).
+    /// Used to attribute the global registry to one program's report.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for (name, v) in out.counters.iter_mut() {
+            *v -= earlier.counters.get(name).copied().unwrap_or(0);
+        }
+        out.counters.retain(|_, v| *v != 0);
+        out
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "counter {name} = {v}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "gauge {name} = {v}")?;
+        }
+        for (name, h) in &self.hists {
+            writeln!(
+                f,
+                "hist {name}: n={} mean={}us p50<{}us p99<{}us max={}us",
+                h.count, h.mean_micros, h.p50_micros, h.p99_micros, h.max_micros
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Copy out the current state of every metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let r = registry();
+    MetricsSnapshot {
+        counters: r.counters.clone(),
+        gauges: r.gauges.clone(),
+        hists: r.hists.iter().map(|(k, h)| (*k, HistSummary::of(h))).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Metric tests share the process-global registry; serialize them.
+    fn lock() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let _g = lock();
+        set_metrics(false);
+        reset_metrics();
+        counter_add("t.off", 1);
+        gauge_set("t.off_g", 7);
+        hist_record("t.off_h", Duration::from_micros(5));
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_hists_round_trip() {
+        let _g = lock();
+        set_metrics(true);
+        reset_metrics();
+        counter_add("t.c", 2);
+        counter_add("t.c", 3);
+        gauge_set("t.g", -1);
+        gauge_set("t.g", 9);
+        hist_record("t.h", Duration::from_micros(100));
+        set_metrics(false);
+        let s = snapshot();
+        assert_eq!(s.counters.get("t.c"), Some(&5));
+        assert_eq!(s.gauges.get("t.g"), Some(&9));
+        let h = s.hists.get("t.h").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.p50_micros, 128);
+        reset_metrics();
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn delta_keeps_only_new_counter_activity() {
+        let _g = lock();
+        set_metrics(true);
+        reset_metrics();
+        counter_add("t.d", 4);
+        let before = snapshot();
+        counter_add("t.d", 6);
+        counter_add("t.e", 1);
+        set_metrics(false);
+        let delta = snapshot().delta_since(&before);
+        assert_eq!(delta.counters.get("t.d"), Some(&6));
+        assert_eq!(delta.counters.get("t.e"), Some(&1));
+        reset_metrics();
+    }
+
+    #[test]
+    fn snapshot_display_is_deterministic() {
+        let _g = lock();
+        set_metrics(true);
+        reset_metrics();
+        counter_add("t.z", 1);
+        counter_add("t.a", 2);
+        gauge_set("t.m", 3);
+        set_metrics(false);
+        let text = snapshot().to_string();
+        assert_eq!(text, "counter t.a = 2\ncounter t.z = 1\ngauge t.m = 3\n");
+        reset_metrics();
+    }
+}

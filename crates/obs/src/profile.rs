@@ -1,0 +1,223 @@
+//! Human renderings of a span forest: a flame-style breakdown for
+//! `--profile` and a per-program/per-stage time table for
+//! `report profile`.
+
+use crate::span::SpanRecord;
+use crate::trace::TraceSpan;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+impl From<&SpanRecord> for TraceSpan {
+    fn from(s: &SpanRecord) -> TraceSpan {
+        TraceSpan {
+            ts: s.ts_micros,
+            dur: s.dur_micros,
+            id: s.id,
+            parent: s.parent,
+            layer: s.layer.to_string(),
+            name: s.name.clone(),
+            thread: s.thread,
+            tags: s
+                .tags
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+fn fmt_micros(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// Render a flame-style breakdown: each root span and its descendants,
+/// indented by depth, ordered by start time, with durations and tags.
+/// Spans whose parent is missing from the slice are treated as roots.
+pub fn render_flame(spans: &[TraceSpan]) -> String {
+    let mut children: BTreeMap<u64, Vec<&TraceSpan>> = BTreeMap::new();
+    let mut roots: Vec<&TraceSpan> = Vec::new();
+    let known: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+    for s in spans {
+        match s.parent {
+            Some(p) if known.contains(&p) => children.entry(p).or_default().push(s),
+            _ => roots.push(s),
+        }
+    }
+    let by_start = |a: &&TraceSpan, b: &&TraceSpan| a.ts.cmp(&b.ts).then(a.id.cmp(&b.id));
+    roots.sort_by(by_start);
+    for v in children.values_mut() {
+        v.sort_by(by_start);
+    }
+
+    let total: u64 = roots.iter().map(|s| s.dur).sum();
+    let mut out = format!(
+        "profile: {} spans, {} roots, {} total\n",
+        spans.len(),
+        roots.len(),
+        fmt_micros(total)
+    );
+    let mut stack: Vec<(&TraceSpan, usize)> = roots.iter().rev().map(|s| (*s, 0)).collect();
+    while let Some((s, depth)) = stack.pop() {
+        let _ = write!(
+            out,
+            "{:indent$}{}/{} {}",
+            "",
+            s.layer,
+            s.name,
+            fmt_micros(s.dur),
+            indent = 2 * depth
+        );
+        for (k, v) in &s.tags {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+        if let Some(kids) = children.get(&s.id) {
+            stack.extend(kids.iter().rev().map(|k| (*k, depth + 1)));
+        }
+    }
+    out
+}
+
+/// Aggregate a span forest into a per-program, per-stage time table.
+///
+/// A span's program is the value of its nearest ancestor-or-self
+/// `program` tag; spans with none are grouped under `-`. Stages are
+/// `layer/name` pairs. The table reports count, total and mean duration
+/// per cell, then per-stage totals across programs.
+pub fn stage_table(spans: &[TraceSpan]) -> String {
+    let by_id: BTreeMap<u64, &TraceSpan> = spans.iter().map(|s| (s.id, s)).collect();
+    fn program_of<'a>(by_id: &BTreeMap<u64, &'a TraceSpan>, mut s: &'a TraceSpan) -> String {
+        loop {
+            if let Some(p) = s.tags.get("program") {
+                return p.clone();
+            }
+            match s.parent.and_then(|p| by_id.get(&p)) {
+                Some(parent) => s = parent,
+                None => return "-".to_string(),
+            }
+        }
+    }
+
+    // (program, stage) -> (count, total_micros)
+    let mut cells: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+    let mut stages: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for s in spans {
+        let stage = format!("{}/{}", s.layer, s.name);
+        let cell = cells
+            .entry((program_of(&by_id, s), stage.clone()))
+            .or_insert((0, 0));
+        cell.0 += 1;
+        cell.1 += s.dur;
+        let agg = stages.entry(stage).or_insert((0, 0));
+        agg.0 += 1;
+        agg.1 += s.dur;
+    }
+
+    let width = cells
+        .keys()
+        .map(|(p, s)| p.len().max(s.len()))
+        .chain(["program".len()])
+        .max()
+        .unwrap_or(8);
+    let mut out = format!(
+        "{:<width$}  {:<width$}  {:>8}  {:>12}  {:>12}\n",
+        "program", "stage", "count", "total", "mean"
+    );
+    for ((program, stage), (count, total)) in &cells {
+        let _ = writeln!(
+            out,
+            "{program:<width$}  {stage:<width$}  {count:>8}  {:>12}  {:>12}",
+            fmt_micros(*total),
+            fmt_micros(total / count.max(&1))
+        );
+    }
+    let _ = writeln!(out, "-- per-stage totals --");
+    for (stage, (count, total)) in &stages {
+        let _ = writeln!(
+            out,
+            "{:<width$}  {stage:<width$}  {count:>8}  {:>12}  {:>12}",
+            "*",
+            fmt_micros(*total),
+            fmt_micros(total / count.max(&1))
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, layer: &str, name: &str, ts: u64, dur: u64) -> TraceSpan {
+        TraceSpan {
+            ts,
+            dur,
+            id,
+            parent,
+            layer: layer.to_string(),
+            name: name.to_string(),
+            thread: 1,
+            tags: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn flame_indents_children_under_parents() {
+        let mut root = span(1, None, "engine", "job", 0, 100);
+        root.tags.insert("program".to_string(), "a.p4".to_string());
+        let child = span(2, Some(1), "smt", "query", 10, 20);
+        let text = render_flame(&[child.clone(), root.clone()]);
+        assert!(text.contains("1 roots"));
+        assert!(text.contains("engine/job 100us program=a.p4"));
+        assert!(text.contains("\n  smt/query 20us"));
+    }
+
+    #[test]
+    fn flame_treats_orphans_as_roots() {
+        let orphan = span(5, Some(999), "ir", "lower", 0, 7);
+        let text = render_flame(&[orphan]);
+        assert!(text.contains("1 roots"));
+        assert!(text.contains("ir/lower 7us"));
+    }
+
+    #[test]
+    fn stage_table_attributes_children_to_ancestor_program() {
+        let mut root = span(1, None, "engine", "job", 0, 100);
+        root.tags.insert("program".to_string(), "a.p4".to_string());
+        let child = span(2, Some(1), "smt", "query", 10, 20);
+        let loose = span(3, None, "frontend", "parse", 0, 5);
+        let text = stage_table(&[root, child, loose]);
+        assert!(text.contains("a.p4"), "{text}");
+        // The child inherits the program tag from its ancestor.
+        let query_line = text.lines().find(|l| l.contains("smt/query")).unwrap();
+        assert!(query_line.starts_with("a.p4"), "{query_line}");
+        // Untagged roots fall into the '-' bucket.
+        let parse_line = text.lines().find(|l| l.contains("frontend/parse")).unwrap();
+        assert!(parse_line.starts_with('-'), "{parse_line}");
+        assert!(text.contains("-- per-stage totals --"));
+    }
+
+    #[test]
+    fn record_conversion_preserves_fields() {
+        let r = SpanRecord {
+            id: 4,
+            parent: None,
+            layer: "shim",
+            name: "insert".to_string(),
+            thread: 3,
+            ts_micros: 11,
+            dur_micros: 5,
+            tags: vec![("table", "acl".to_string())],
+        };
+        let t = TraceSpan::from(&r);
+        assert_eq!(t.id, 4);
+        assert_eq!(t.layer, "shim");
+        assert_eq!(t.tags["table"], "acl");
+    }
+}

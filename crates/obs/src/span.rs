@@ -1,0 +1,293 @@
+//! Span-scoped timers with parent/child nesting.
+//!
+//! A [`span`] call returns an RAII guard; dropping it records a
+//! [`SpanRecord`]. Nesting is tracked per thread: the innermost open span
+//! on the calling thread becomes the parent of a newly opened one, so the
+//! records of one thread always form a forest (every exit matches an
+//! enter, and a child's `[ts, ts+dur]` interval lies inside its
+//! parent's).
+//!
+//! Closed spans are buffered thread-locally and flushed into a global
+//! registry when the thread's span stack empties, when the buffer grows
+//! past a fixed bound, or when the thread exits — so a worker pool's
+//! spans are all visible once its threads are joined, without any
+//! per-span lock traffic.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// One closed span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Process-unique span id (nonzero).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Pipeline layer (`frontend`, `ir`, `smt`, `core`, `engine`, `shim`).
+    pub layer: &'static str,
+    /// Stage or operation name within the layer.
+    pub name: String,
+    /// Process-unique id of the recording thread.
+    pub thread: u64,
+    /// Start time in microseconds since the trace epoch.
+    pub ts_micros: u64,
+    /// Duration in microseconds (`end_micros - ts_micros`, so a child's
+    /// interval nests exactly inside its parent's even after truncation).
+    pub dur_micros: u64,
+    /// Key/value annotations (verdict, cache hit/miss, program name, ...).
+    pub tags: Vec<(&'static str, String)>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn registry() -> &'static Mutex<Vec<SpanRecord>> {
+    static REGISTRY: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Turn span collection on or off (off by default). Enabling also pins
+/// the trace epoch if this is the first use.
+pub fn set_enabled(on: bool) {
+    if on {
+        epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span collection is currently on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drop all buffered spans (current thread and global registry).
+pub fn reset_spans() {
+    TLS.with(|b| b.borrow_mut().done.clear());
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+}
+
+/// Flush the calling thread's buffer and drain every span recorded so
+/// far. Spans of pool threads are present once those threads have been
+/// joined (thread exit flushes); spans still open anywhere are not.
+pub fn take_spans() -> Vec<SpanRecord> {
+    TLS.with(|b| b.borrow_mut().flush());
+    std::mem::take(&mut *registry().lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+/// The calling thread's process-unique id, as recorded in
+/// [`SpanRecord::thread`].
+pub fn current_thread_id() -> u64 {
+    TLS.with(|b| b.borrow().thread_id)
+}
+
+struct ThreadBuf {
+    thread_id: u64,
+    /// Ids of the open spans on this thread, outermost first.
+    stack: Vec<u64>,
+    done: Vec<SpanRecord>,
+}
+
+impl ThreadBuf {
+    fn flush(&mut self) {
+        if self.done.is_empty() {
+            return;
+        }
+        registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .append(&mut self.done);
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadBuf> = RefCell::new(ThreadBuf {
+        thread_id: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+        stack: Vec::new(),
+        done: Vec::with_capacity(64),
+    });
+}
+
+/// Flush once the local buffer holds this many closed spans, even while
+/// spans are still open (bounds memory on span-heavy jobs).
+const FLUSH_AT: usize = 256;
+
+/// Open a span. While collection is disabled this is one atomic load and
+/// an inert guard. `layer` names the pipeline layer, `name` the stage or
+/// operation; see the JSONL schema in DESIGN.md §9 for the vocabulary.
+pub fn span(layer: &'static str, name: impl Into<String>) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = TLS.with(|b| {
+        let mut b = b.borrow_mut();
+        let parent = b.stack.last().copied();
+        b.stack.push(id);
+        parent
+    });
+    let now = Instant::now();
+    Span(Some(ActiveSpan {
+        id,
+        parent,
+        layer,
+        name: name.into(),
+        start: now,
+        ts_micros: now.duration_since(epoch()).as_micros() as u64,
+        tags: Vec::new(),
+    }))
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    layer: &'static str,
+    name: String,
+    start: Instant,
+    ts_micros: u64,
+    tags: Vec<(&'static str, String)>,
+}
+
+/// RAII guard for an open span; dropping it records the span. Obtained
+/// from [`span`]; inert when collection was disabled at open time.
+pub struct Span(Option<ActiveSpan>);
+
+impl Span {
+    /// Attach a tag (builder style).
+    pub fn tag(mut self, key: &'static str, value: impl Into<String>) -> Span {
+        self.add_tag(key, value);
+        self
+    }
+
+    /// Attach a tag to an already-bound guard (for values only known
+    /// later, e.g. a solver verdict).
+    pub fn add_tag(&mut self, key: &'static str, value: impl Into<String>) {
+        if let Some(a) = &mut self.0 {
+            a.tags.push((key, value.into()));
+        }
+    }
+
+    /// Whether this guard is live (collection was enabled at open time).
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.0.take() else { return };
+        // end - start in whole µs of the same epoch-relative clock, so
+        // truncation keeps child intervals inside parent intervals.
+        let end_micros = (a.start + a.start.elapsed())
+            .duration_since(epoch())
+            .as_micros() as u64;
+        let record = SpanRecord {
+            id: a.id,
+            parent: a.parent,
+            layer: a.layer,
+            name: a.name,
+            thread: current_thread_id(),
+            ts_micros: a.ts_micros,
+            dur_micros: end_micros.saturating_sub(a.ts_micros),
+            tags: a.tags,
+        };
+        TLS.with(|b| {
+            let mut b = b.borrow_mut();
+            // Guards drop in reverse open order on a thread, so the top of
+            // the stack is this span; tolerate a forgotten guard by
+            // popping down to it.
+            while let Some(top) = b.stack.pop() {
+                if top == a.id {
+                    break;
+                }
+            }
+            b.done.push(record);
+            if b.stack.is_empty() || b.done.len() >= FLUSH_AT {
+                b.flush();
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Span tests share the process-global registry; serialize them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = lock();
+        set_enabled(false);
+        reset_spans();
+        {
+            let _s = span("test", "outer");
+        }
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn nesting_sets_parents() {
+        let _g = lock();
+        set_enabled(true);
+        reset_spans();
+        {
+            let _a = span("test", "a");
+            {
+                let _b = span("test", "b").tag("k", "v");
+            }
+        }
+        set_enabled(false);
+        let mut spans = take_spans();
+        spans.retain(|s| s.layer == "test");
+        assert_eq!(spans.len(), 2);
+        let b = spans.iter().find(|s| s.name == "b").unwrap();
+        let a = spans.iter().find(|s| s.name == "a").unwrap();
+        assert_eq!(b.parent, Some(a.id));
+        assert_eq!(a.parent, None);
+        assert_eq!(b.tags, vec![("k", "v".to_string())]);
+        assert!(b.ts_micros >= a.ts_micros);
+        assert!(b.ts_micros + b.dur_micros <= a.ts_micros + a.dur_micros);
+    }
+
+    #[test]
+    fn siblings_share_a_parent() {
+        let _g = lock();
+        set_enabled(true);
+        reset_spans();
+        {
+            let _a = span("test2", "root");
+            let _b = span("test2", "s1");
+            drop(_b);
+            let _c = span("test2", "s2");
+        }
+        set_enabled(false);
+        let mut spans = take_spans();
+        spans.retain(|s| s.layer == "test2");
+        let root = spans.iter().find(|s| s.name == "root").unwrap();
+        for child in ["s1", "s2"] {
+            let c = spans.iter().find(|s| s.name == child).unwrap();
+            assert_eq!(c.parent, Some(root.id));
+        }
+    }
+}

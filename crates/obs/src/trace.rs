@@ -1,0 +1,240 @@
+//! The machine-readable trace format: one JSON object per line.
+//!
+//! Schema (all eight keys required, no others allowed):
+//!
+//! ```json
+//! {"ts":1042,"dur":311,"id":7,"parent":3,"layer":"smt","name":"query",
+//!  "thread":2,"tags":{"cache":"miss","verdict":"unsat"}}
+//! ```
+//!
+//! * `ts` — span start, whole microseconds since the trace epoch;
+//! * `dur` — span duration in microseconds;
+//! * `id` — process-unique span id (nonzero); `parent` — enclosing span's
+//!   id, or `null` for a root;
+//! * `layer`/`name` — where and what; `thread` — recording thread id;
+//! * `tags` — string-to-string annotations, possibly empty.
+//!
+//! [`validate_line`] is the single source of truth for the schema: the
+//! `trace-lint` tool, the `profile` aggregator and the tests all go
+//! through it.
+
+use crate::json::{self, Value};
+use crate::span::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed trace line, owned (unlike [`SpanRecord`], whose layer and
+/// tag keys are `&'static str`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Start in microseconds since the trace epoch.
+    pub ts: u64,
+    /// Duration in microseconds.
+    pub dur: u64,
+    /// Process-unique span id.
+    pub id: u64,
+    /// Enclosing span's id, if any.
+    pub parent: Option<u64>,
+    /// Pipeline layer.
+    pub layer: String,
+    /// Stage or operation name.
+    pub name: String,
+    /// Recording thread id.
+    pub thread: u64,
+    /// Annotations, sorted by key.
+    pub tags: BTreeMap<String, String>,
+}
+
+/// Render span records as JSONL, one line per span, in registry order.
+pub fn render_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        let _ = write!(
+            out,
+            "{{\"ts\":{},\"dur\":{},\"id\":{},\"parent\":",
+            s.ts_micros, s.dur_micros, s.id
+        );
+        match s.parent {
+            Some(p) => {
+                let _ = write!(out, "{p}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"layer\":{},\"name\":{},\"thread\":{},\"tags\":{{",
+            json::escape(s.layer),
+            json::escape(&s.name),
+            s.thread
+        );
+        // Sort tags so the line is independent of tag insertion order.
+        let mut tags: Vec<_> = s.tags.iter().collect();
+        tags.sort();
+        for (i, (k, v)) in tags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json::escape(k), json::escape(v));
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+const REQUIRED_KEYS: [&str; 8] = ["ts", "dur", "id", "parent", "layer", "name", "thread", "tags"];
+
+/// Check one line against the schema and return it parsed. `Err` carries
+/// a human-readable reason (used verbatim by `trace-lint`).
+pub fn validate_line(line: &str) -> Result<TraceSpan, String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    let obj = v.as_obj().ok_or("line is not a JSON object")?;
+    for key in REQUIRED_KEYS {
+        if !obj.contains_key(key) {
+            return Err(format!("missing key \"{key}\""));
+        }
+    }
+    for key in obj.keys() {
+        if !REQUIRED_KEYS.contains(&key.as_str()) {
+            return Err(format!("unknown key \"{key}\""));
+        }
+    }
+    let num = |key: &str| -> Result<u64, String> {
+        obj[key]
+            .as_u64()
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer"))
+    };
+    let string = |key: &str| -> Result<String, String> {
+        obj[key]
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("\"{key}\" must be a string"))
+    };
+    let id = num("id")?;
+    if id == 0 {
+        return Err("\"id\" must be nonzero".to_string());
+    }
+    let parent = match &obj["parent"] {
+        Value::Null => None,
+        v => Some(
+            v.as_u64()
+                .ok_or("\"parent\" must be null or a non-negative integer")?,
+        ),
+    };
+    if parent == Some(id) {
+        return Err("span cannot be its own parent".to_string());
+    }
+    let layer = string("layer")?;
+    if layer.is_empty() {
+        return Err("\"layer\" must be non-empty".to_string());
+    }
+    let name = string("name")?;
+    if name.is_empty() {
+        return Err("\"name\" must be non-empty".to_string());
+    }
+    let mut tags = BTreeMap::new();
+    for (k, v) in obj["tags"].as_obj().ok_or("\"tags\" must be an object")? {
+        let v = v
+            .as_str()
+            .ok_or_else(|| format!("tag \"{k}\" must be a string"))?;
+        tags.insert(k.clone(), v.to_string());
+    }
+    Ok(TraceSpan {
+        ts: num("ts")?,
+        dur: num("dur")?,
+        id,
+        parent,
+        layer,
+        name,
+        thread: num("thread")?,
+        tags,
+    })
+}
+
+/// [`validate_line`], tolerating a trailing newline and skipping blank
+/// lines (returns `Ok(None)` for those).
+pub fn parse_line(line: &str) -> Result<Option<TraceSpan>, String> {
+    let line = line.trim_end_matches(['\n', '\r']);
+    if line.trim().is_empty() {
+        return Ok(None);
+    }
+    validate_line(line).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> SpanRecord {
+        SpanRecord {
+            id: 7,
+            parent: Some(3),
+            layer: "smt",
+            name: "query".to_string(),
+            thread: 2,
+            ts_micros: 1042,
+            dur_micros: 311,
+            tags: vec![("verdict", "unsat".to_string()), ("cache", "miss".to_string())],
+        }
+    }
+
+    #[test]
+    fn render_then_validate_round_trips() {
+        let line = render_jsonl(&[record()]);
+        let span = validate_line(line.trim_end()).unwrap();
+        assert_eq!(span.id, 7);
+        assert_eq!(span.parent, Some(3));
+        assert_eq!(span.layer, "smt");
+        assert_eq!(span.ts, 1042);
+        assert_eq!(span.dur, 311);
+        assert_eq!(span.tags["cache"], "miss");
+        assert_eq!(span.tags["verdict"], "unsat");
+    }
+
+    #[test]
+    fn roots_render_null_parents() {
+        let mut r = record();
+        r.parent = None;
+        let line = render_jsonl(&[r]);
+        assert!(line.contains("\"parent\":null"));
+        assert_eq!(validate_line(line.trim_end()).unwrap().parent, None);
+    }
+
+    #[test]
+    fn tag_order_is_normalized_and_escaped() {
+        let mut r = record();
+        r.tags = vec![("z", "with \"quote\"".to_string()), ("a", "1".to_string())];
+        let line = render_jsonl(&[r]);
+        assert!(line.find("\"a\":\"1\"").unwrap() < line.find("\"z\":").unwrap());
+        assert_eq!(
+            validate_line(line.trim_end()).unwrap().tags["z"],
+            "with \"quote\""
+        );
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        let good = render_jsonl(&[record()]);
+        let good = good.trim_end();
+        for (bad, why) in [
+            ("not json", "parse failure"),
+            ("[1]", "non-object"),
+            (&good.replace("\"ts\":1042", "\"ts\":-1"), "negative ts"),
+            (&good.replace("\"id\":7", "\"id\":0"), "zero id"),
+            (&good.replace("\"parent\":3", "\"parent\":7"), "self parent"),
+            (&good.replace("\"layer\":\"smt\"", "\"layer\":\"\""), "empty layer"),
+            (&good.replace("\"thread\":2", "\"thread\":\"x\""), "string thread"),
+            (&good.replace("\"cache\":\"miss\"", "\"cache\":1"), "non-string tag"),
+            (&good.replace("\"dur\":311", "\"dur\":311,\"extra\":1"), "unknown key"),
+            (&good.replace("\"dur\":311,", ""), "missing dur"),
+        ] {
+            assert!(validate_line(bad).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn parse_line_skips_blanks() {
+        assert_eq!(parse_line("\n").unwrap(), None);
+        assert_eq!(parse_line("  ").unwrap(), None);
+        assert!(parse_line(&render_jsonl(&[record()])).unwrap().is_some());
+    }
+}

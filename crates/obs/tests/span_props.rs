@@ -1,0 +1,138 @@
+//! Span nesting always yields a well-formed forest: random open/close
+//! programs (executed with real RAII guards on the calling thread) must
+//! produce records where every close matches an open, parents exist and
+//! precede their children on the same thread, and every child's time
+//! interval nests inside its parent's. The `profile` aggregator and the
+//! JSONL export both assume this shape.
+
+use bf4_obs::{
+    current_thread_id, render_jsonl, reset_spans, set_enabled, span, take_spans, validate_line,
+    Span, SpanRecord,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Tiny deterministic RNG so each proptest case is reproducible from its
+/// seed argument alone.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The span registry is process-global; serialize every test that
+/// enables collection so concurrent test threads don't mix records.
+fn lock() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+const LAYERS: [&str; 5] = ["frontend", "ir", "smt", "engine", "shim"];
+
+/// Run a random well-bracketed open/close program with real guards and
+/// return (records of this thread, number of spans opened).
+fn run_random_program(seed: u64) -> (Vec<SpanRecord>, usize) {
+    let mut rng = Rng(seed | 1);
+    set_enabled(true);
+    reset_spans();
+    let mut stack: Vec<Span> = Vec::new();
+    let mut opened = 0usize;
+    for step in 0..(8 + rng.below(40)) {
+        let open = stack.is_empty() || (stack.len() < 6 && rng.below(2) == 0);
+        if open {
+            let mut s = span(LAYERS[rng.below(5) as usize], format!("op{step}"));
+            if rng.below(3) == 0 {
+                s.add_tag("program", format!("p{}.p4", rng.below(3)));
+            }
+            stack.push(s);
+            opened += 1;
+        } else {
+            drop(stack.pop());
+        }
+    }
+    // Close remaining guards innermost-first, as scope exit would (a
+    // plain `drop(stack)` would drop the Vec front-to-back, i.e.
+    // parents before children — not a shape RAII scoping can produce).
+    while let Some(s) = stack.pop() {
+        drop(s);
+    }
+    set_enabled(false);
+    let me = current_thread_id();
+    let mut records = take_spans();
+    records.retain(|r| r.thread == me);
+    (records, opened)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn span_records_form_a_well_formed_forest(seed: u64) {
+        let _g = lock();
+        let (records, opened) = run_random_program(seed);
+
+        // Every open produced exactly one close.
+        prop_assert_eq!(records.len(), opened);
+
+        let by_id: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+        prop_assert_eq!(by_id.len(), records.len(), "span ids must be unique");
+
+        for r in &records {
+            prop_assert!(r.id != 0);
+            if let Some(pid) = r.parent {
+                let parent = by_id.get(&pid);
+                prop_assert!(parent.is_some(), "parent {} of {} missing", pid, r.id);
+                let parent = parent.unwrap();
+                // Children open after their parent and close no later:
+                // the child's interval nests inside the parent's, so
+                // child duration cannot exceed the parent's.
+                prop_assert!(r.ts_micros >= parent.ts_micros);
+                prop_assert!(
+                    r.ts_micros + r.dur_micros <= parent.ts_micros + parent.dur_micros,
+                    "child {} [{}, +{}] escapes parent {} [{}, +{}]",
+                    r.id, r.ts_micros, r.dur_micros,
+                    parent.id, parent.ts_micros, parent.dur_micros
+                );
+                prop_assert!(r.dur_micros <= parent.dur_micros);
+            }
+        }
+
+        // No cycles: walking parents always terminates at a root.
+        for r in &records {
+            let mut hops = 0;
+            let mut cur = r.parent;
+            while let Some(pid) = cur {
+                hops += 1;
+                prop_assert!(hops <= records.len(), "parent chain of {} cycles", r.id);
+                cur = by_id[&pid].parent;
+            }
+        }
+    }
+
+    #[test]
+    fn every_record_renders_to_a_schema_valid_line(seed: u64) {
+        let _g = lock();
+        let (records, _) = run_random_program(seed);
+        let jsonl = render_jsonl(&records);
+        let mut lines = 0;
+        for line in jsonl.lines() {
+            let parsed = validate_line(line);
+            prop_assert!(parsed.is_ok(), "invalid line {:?}: {:?}", line, parsed.err());
+            lines += 1;
+        }
+        prop_assert_eq!(lines, records.len());
+    }
+}

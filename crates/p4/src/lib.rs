@@ -39,6 +39,10 @@ pub use typecheck::{check, Program};
 
 /// Parse and type-check a P4 source string in one call.
 pub fn frontend(source: &str) -> Result<Program> {
-    let ast = parse_program(source)?;
+    let ast = {
+        let _sp = bf4_obs::span("frontend", "parse");
+        parse_program(source)?
+    };
+    let _sp = bf4_obs::span("frontend", "typecheck");
     typecheck::check(&ast)
 }

@@ -85,9 +85,18 @@ impl Journal {
     }
 
     /// Write the journal to a file (full rewrite; callers appending
-    /// incrementally can write `bytes()` deltas themselves).
+    /// incrementally can write `bytes()` deltas themselves). The write is
+    /// fsynced — a persisted journal that a crash can lose defeats its
+    /// purpose — and the fsync time is traced separately from the write.
     pub fn persist(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, &self.buf)
+        use std::io::Write;
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.buf)?;
+        let _sp = bf4_obs::span("shim", "journal_fsync");
+        let t0 = std::time::Instant::now();
+        f.sync_all()?;
+        bf4_obs::hist_record("shim.journal_fsync", t0.elapsed());
+        Ok(())
     }
 
     /// Parse journal bytes, tolerating a truncated or corrupt tail: the
@@ -159,7 +168,10 @@ impl JournaledShim {
     /// Validate and apply one update; accepted updates are journaled.
     pub fn apply(&mut self, update: &Update) -> Result<Decision, ShimError> {
         let decision = self.shim.apply(update)?;
-        self.journal.append(update, decision.rule_id);
+        {
+            let _sp = bf4_obs::span("shim", "journal_append");
+            self.journal.append(update, decision.rule_id);
+        }
         Ok(decision)
     }
 

@@ -223,6 +223,32 @@ impl Shim {
     /// Process one update: validate and, when accepted, apply to shadow
     /// state.
     pub fn apply(&mut self, update: &Update) -> Result<Decision, ShimError> {
+        let mut sp = bf4_obs::span("shim", "apply");
+        if sp.is_active() {
+            let (kind, table) = match update {
+                Update::Insert { table, .. } => ("insert", table),
+                Update::Delete { table, .. } => ("delete", table),
+                Update::SetDefault { table, .. } => ("set-default", table),
+            };
+            sp.add_tag("kind", kind);
+            sp.add_tag("table", table.clone());
+        }
+        let result = self.apply_inner(update);
+        match &result {
+            Ok(d) => {
+                bf4_obs::counter_add("shim.accepted", 1);
+                bf4_obs::hist_record("shim.apply", d.latency);
+                sp.add_tag("outcome", "accepted");
+            }
+            Err(_) => {
+                bf4_obs::counter_add("shim.rejected", 1);
+                sp.add_tag("outcome", "rejected");
+            }
+        }
+        result
+    }
+
+    fn apply_inner(&mut self, update: &Update) -> Result<Decision, ShimError> {
         let t0 = Instant::now();
         match update {
             Update::Insert { table, rule } => {
@@ -693,6 +719,49 @@ mod tests {
                 .unwrap_err();
             assert!(matches!(err, ShimError::UnsafeDefault { .. }));
         }
+    }
+
+    #[test]
+    fn insertions_emit_shim_spans() {
+        let (_, report) = nat_shim();
+        let mut shim = JournaledShim::new(&report.annotations);
+        let table = nat_table(shim.shim());
+        let rule = RuleUpdate {
+            key_values: vec![1, 0x0a000001],
+            key_masks: vec![u128::MAX, 0xffffffff],
+            action: "drop_".into(),
+            params: vec![],
+        };
+        bf4_obs::set_enabled(true);
+        shim.apply(&Update::Insert {
+            table: table.clone(),
+            rule: rule.clone(),
+        })
+        .unwrap();
+        // Same rule again: rejected as a duplicate.
+        let _ = shim.apply(&Update::Insert { table, rule }).unwrap_err();
+        bf4_obs::set_enabled(false);
+        // The registry is process-global; keep only this thread's shim
+        // spans so parallel tests cannot interfere.
+        let me = bf4_obs::current_thread_id();
+        let records: Vec<bf4_obs::SpanRecord> = bf4_obs::take_spans()
+            .into_iter()
+            .filter(|r| r.thread == me && r.layer == "shim")
+            .collect();
+        let outcome = |r: &bf4_obs::SpanRecord| {
+            r.tags
+                .iter()
+                .find(|(k, _)| *k == "outcome")
+                .map(|(_, v)| v.clone())
+        };
+        assert!(records
+            .iter()
+            .any(|r| r.name == "apply" && outcome(r).as_deref() == Some("accepted")));
+        assert!(records
+            .iter()
+            .any(|r| r.name == "apply" && outcome(r).as_deref() == Some("rejected")));
+        // Accepted updates are journaled under their own span.
+        assert!(records.iter().any(|r| r.name == "journal_append"));
     }
 
     #[test]

@@ -1,6 +1,13 @@
-//! Latency statistics for the §5.3 evaluation: median / p90 / max over
-//! per-update validation times.
+//! Latency statistics for the §5.3 evaluation: median / p90 / p99 / max
+//! over per-update validation times.
+//!
+//! Percentiles come from the shared [`bf4_obs::Histogram`] — the same
+//! log2-bucket quantile code path the engine's per-stage roll-ups use —
+//! so `p50`/`p90`/`p99` are exclusive bucket upper bounds, not exact
+//! order statistics. `max` and `mean` remain exact (the histogram tracks
+//! true moments alongside the buckets).
 
+use bf4_obs::Histogram;
 use std::time::Duration;
 
 /// Aggregated latency percentiles.
@@ -8,37 +15,40 @@ use std::time::Duration;
 pub struct LatencyStats {
     /// Number of samples.
     pub count: usize,
-    /// Median.
+    /// Median upper bound.
     pub p50: Duration,
-    /// 90th percentile.
+    /// 90th-percentile upper bound.
     pub p90: Duration,
-    /// 99th percentile.
+    /// 99th-percentile upper bound.
     pub p99: Duration,
-    /// Maximum.
+    /// Maximum (exact).
     pub max: Duration,
-    /// Mean.
+    /// Mean (exact).
     pub mean: Duration,
 }
 
-/// Compute percentiles over a set of latency samples.
+/// Compute latency stats over a set of samples by folding them into a
+/// shared histogram.
 pub fn latency_stats(samples: &[Duration]) -> LatencyStats {
-    if samples.is_empty() {
+    let mut h = Histogram::default();
+    for &s in samples {
+        h.record(s);
+    }
+    from_histogram(&h)
+}
+
+/// Read the stats out of an already-populated histogram.
+pub fn from_histogram(h: &Histogram) -> LatencyStats {
+    if h.count() == 0 {
         return LatencyStats::default();
     }
-    let mut sorted: Vec<Duration> = samples.to_vec();
-    sorted.sort_unstable();
-    let pct = |p: f64| -> Duration {
-        let idx = ((sorted.len() as f64 - 1.0) * p).floor() as usize;
-        sorted[idx.min(sorted.len() - 1)]
-    };
-    let total: Duration = sorted.iter().sum();
     LatencyStats {
-        count: sorted.len(),
-        p50: pct(0.50),
-        p90: pct(0.90),
-        p99: pct(0.99),
-        max: *sorted.last().unwrap(),
-        mean: total / (sorted.len() as u32),
+        count: h.count() as usize,
+        p50: h.quantile_bound(0.50),
+        p90: h.quantile_bound(0.90),
+        p99: h.quantile_bound(0.99),
+        max: h.max(),
+        mean: h.mean(),
     }
 }
 
@@ -46,7 +56,7 @@ impl std::fmt::Display for LatencyStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} p50={:?} p90={:?} p99={:?} max={:?} mean={:?}",
+            "n={} p50<{:?} p90<{:?} p99<{:?} max={:?} mean={:?}",
             self.count, self.p50, self.p90, self.p99, self.max, self.mean
         )
     }
@@ -57,13 +67,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_on_known_distribution() {
+    fn percentile_bounds_on_known_distribution() {
         let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
         let s = latency_stats(&samples);
         assert_eq!(s.count, 100);
-        assert_eq!(s.p50, Duration::from_millis(50));
-        assert_eq!(s.p90, Duration::from_millis(90));
-        assert_eq!(s.max, Duration::from_millis(100));
+        // Bucket bounds: the reported quantile must bound the exact order
+        // statistic from above, within one log2 bucket.
+        assert!(s.p50 >= Duration::from_millis(50), "p50={:?}", s.p50);
+        assert_eq!(s.p50, Duration::from_micros(1 << 16)); // 50ms in 32.8..65.5ms
+        assert!(s.p90 >= Duration::from_millis(90), "p90={:?}", s.p90);
+        assert_eq!(s.p90, Duration::from_micros(1 << 17)); // 90ms in 65.5..131ms
+        assert_eq!(s.max, Duration::from_millis(100)); // moments stay exact
+        assert_eq!(s.mean, Duration::from_micros(50_500));
     }
 
     #[test]
@@ -71,12 +86,34 @@ mod tests {
         let s = latency_stats(&[]);
         assert_eq!(s.count, 0);
         assert_eq!(s.max, Duration::ZERO);
+        assert_eq!(s.p50, Duration::ZERO);
     }
 
     #[test]
-    fn single_sample() {
+    fn single_sample_bounded_at_every_quantile() {
         let s = latency_stats(&[Duration::from_micros(42)]);
-        assert_eq!(s.p50, Duration::from_micros(42));
-        assert_eq!(s.p90, Duration::from_micros(42));
+        // 42µs lives in bucket 5 (32..64): every quantile reports its
+        // exclusive upper bound.
+        for q in [s.p50, s.p90, s.p99] {
+            assert_eq!(q, Duration::from_micros(64));
+            assert!(q > Duration::from_micros(42));
+        }
+        assert_eq!(s.max, Duration::from_micros(42));
+    }
+
+    #[test]
+    fn matches_engine_quantile_code_path() {
+        // The dedup contract: a histogram fed the same samples yields the
+        // same bounds latency_stats reports.
+        let samples: Vec<Duration> = (0..500).map(|i| Duration::from_micros(i * 7)).collect();
+        let mut h = Histogram::default();
+        for &x in &samples {
+            h.record(x);
+        }
+        let s = latency_stats(&samples);
+        assert_eq!(s.p50, h.quantile_bound(0.50));
+        assert_eq!(s.p90, h.quantile_bound(0.90));
+        assert_eq!(s.p99, h.quantile_bound(0.99));
+        assert_eq!(s.max, h.max());
     }
 }

@@ -222,18 +222,29 @@ impl GovernedSolver {
         self.invalidate_fallback();
         self.last_error = None;
         self.stats.queries += 1;
+        bf4_obs::counter_add("smt.queries", 1);
+        let mut sp = bf4_obs::span("smt", "check");
+        if sp.is_active() {
+            sp.add_tag("backend", backend_label(self.backend_kind()));
+        }
         if self
             .budget
             .max_queries
             .is_some_and(|cap| self.stats.queries > cap)
         {
             self.stats.budget_exhausted += 1;
+            bf4_obs::counter_add("smt.budget_exhausted", 1);
+            sp.add_tag("verdict", "unknown");
+            sp.add_tag("budget", "queries");
             self.last_error = Some(SolverError::Budget(BudgetKind::Queries));
             return SatResult::Unknown;
         }
         let size = self.formula_size(assumptions);
         if self.budget.max_formula_size.is_some_and(|cap| size > cap) {
             self.stats.budget_exhausted += 1;
+            bf4_obs::counter_add("smt.budget_exhausted", 1);
+            sp.add_tag("verdict", "unknown");
+            sp.add_tag("budget", "formula_size");
             self.last_error = Some(SolverError::Budget(BudgetKind::FormulaSize));
             return SatResult::Unknown;
         }
@@ -288,6 +299,8 @@ impl GovernedSolver {
             && deadline.is_none_or(|d| Instant::now() < d)
         {
             self.stats.fallbacks += 1;
+            bf4_obs::counter_add("smt.fallbacks", 1);
+            sp.add_tag("fallback", "internal");
             let mut fb = self.rebuilt_fallback();
             fb.set_budget(self.query_budget(deadline));
             result = if assumptions.is_empty() {
@@ -300,6 +313,7 @@ impl GovernedSolver {
 
         if result == SatResult::Unknown {
             self.stats.budget_exhausted += 1;
+            bf4_obs::counter_add("smt.budget_exhausted", 1);
             // Prefer the answering backend's own reason; otherwise report
             // the deadline, the usual cause.
             self.last_error = self
@@ -309,7 +323,32 @@ impl GovernedSolver {
                 .or_else(|| self.primary.last_error().cloned())
                 .or(Some(SolverError::Budget(BudgetKind::Timeout)));
         }
+        if sp.is_active() {
+            sp.add_tag("verdict", verdict_label(result));
+            if retries > 0 {
+                sp.add_tag("retries", retries.to_string());
+            }
+        }
+        if retries > 0 {
+            bf4_obs::counter_add("smt.retries", retries as u64);
+        }
         result
+    }
+}
+
+fn backend_label(kind: BackendKind) -> &'static str {
+    match kind {
+        BackendKind::Internal => "internal",
+        BackendKind::Z3 => "z3",
+        BackendKind::Auto => "auto",
+    }
+}
+
+fn verdict_label(r: SatResult) -> &'static str {
+    match r {
+        SatResult::Sat => "sat",
+        SatResult::Unsat => "unsat",
+        SatResult::Unknown => "unknown",
     }
 }
 
