@@ -47,6 +47,26 @@ cargo test -q -p bf4-engine --offline --test engine_integration \
     panicking_job_degrades_one_program_without_wedging_the_pool \
     -- --exact panicking_job_degrades_one_program_without_wedging_the_pool
 
+echo "==> fault-injection + persistence test suites"
+# The chaos/fault suites live in their own test binaries (the fault plan
+# is process-global); run the load-bearing ones by name so a rename or
+# filter-out fails loudly here.
+cargo test -q -p bf4-engine --offline --test chaos \
+    seeded_schedules_only_degrade_conservatively \
+    -- --exact seeded_schedules_only_degrade_conservatively
+cargo test -q -p bf4-engine --offline --test chaos \
+    cache_persistence_faults_never_flip_verdicts \
+    -- --exact cache_persistence_faults_never_flip_verdicts
+cargo test -q -p bf4-engine --offline --test persist_props \
+    mutated_record_is_dropped_never_returned_altered \
+    -- --exact mutated_record_is_dropped_never_returned_altered
+cargo test -q -p bf4-smt --offline --test fault_inject \
+    same_seed_replays_the_same_schedule \
+    -- --exact same_seed_replays_the_same_schedule
+cargo test -q -p bf4-shim --offline --test journal_fault \
+    fsync_fault_mid_persist_then_reopen_loses_nothing \
+    -- --exact fsync_fault_mid_persist_then_reopen_loses_nothing
+
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
@@ -78,5 +98,32 @@ diff -u "$tmpdir/seq.txt" "$tmpdir/par.txt"
 cargo run -q --release --offline -p bf4-bench --bin report -- \
     trace-lint "$tmpdir/corpus-trace.jsonl" --require-layers frontend,ir,smt,engine
 echo "differential OK ($(wc -l < "$tmpdir/seq.txt") report lines identical)"
+
+echo "==> chaos gate (seeded fault schedules, conservative degradation only)"
+# Three seeded schedules over the whole corpus: every report must be
+# identical to the fault-free run or degraded toward Undecided/degraded —
+# the gate exits 1 on any flipped verdict (and on a schedule that never
+# fired). 2>/dev/null drops the injected-panic backtraces the engine
+# catches by design.
+cargo run -q --release --offline -p bf4-bench --bin report -- chaos \
+    --seeds 11,23,37 2>/dev/null
+
+echo "==> warm-vs-cold persistent cache smoke"
+# Two corpus runs against one --cache-dir: the second must warm-start
+# from the store, strictly beat the first run's hit rate, and leave every
+# report byte-identical; exits 1 otherwise.
+cargo run -q --release --offline -p bf4-bench --bin report -- cachebench \
+    --dir "$tmpdir/cache-store" --out "$tmpdir/BENCH_cache.json"
+grep -q '"preloaded": 0' "$tmpdir/BENCH_cache.json"  # cold run starts empty
+
+echo "==> BF4_FAULTS CLI smoke + fault audit"
+# The CLI must honor a BF4_FAULTS schedule end to end: same exit-code
+# contract, and the injected sites auditable from the trace afterwards.
+out=$(BF4_FAULTS="seed=5,smt.backend_error=p0.2" \
+    cargo run -q --release --offline -p bf4-engine --bin bf4 -- \
+    crates/corpus/programs/simple_nat.p4 --jobs 2 --cache-cap 4096 \
+    --trace-out "$tmpdir/faults.jsonl" --quiet 2>/dev/null) || [ $? -eq 1 ]
+cargo run -q --release --offline -p bf4-bench --bin report -- \
+    faults "$tmpdir/faults.jsonl" | tail -2
 
 echo "CI OK"

@@ -24,11 +24,26 @@
 //! report trace-lint <trace.jsonl> [--require-layers a,b,...]
 //!                      validate every line against the bf4-obs span
 //!                      schema; exit 1 on the first violation
-//! report all           everything above except `corpus`
+//! report faults <trace.jsonl>
+//!                      audit a chaos run's `--trace-out` file: per-site
+//!                      injection counts plus the solver degradations the
+//!                      schedule caused
+//! report chaos [--seeds a,b,c] [--jobs N]
+//!                      run the corpus fault-free, re-run it under each
+//!                      seeded chaos schedule and check every report
+//!                      degrades only conservatively; exit 1 on any
+//!                      verdict flip
+//! report cachebench [--dir DIR] [--out FILE] [--jobs N]
+//!                      cold-vs-warm persistent-cache run over the corpus
+//!                      (optionally written as BENCH_cache.json); exit 1
+//!                      unless the warm hit rate strictly beats the cold
+//!                      one and the reports stay identical
+//! report all           everything above except `corpus`, `chaos` and
+//!                      `cachebench`
 //! ```
 
 use bf4_core::driver::{verify_isolated, VerifyOptions};
-use bf4_engine::{normalized_report, verify_corpus, EngineConfig};
+use bf4_engine::{check_conservative, normalized_report, verify_corpus, EngineConfig};
 use std::time::Instant;
 
 fn main() {
@@ -48,6 +63,9 @@ fn main() {
         "engine" => engine(),
         "profile" => profile(),
         "trace-lint" => trace_lint(),
+        "faults" => faults(),
+        "chaos" => chaos(),
+        "cachebench" => cachebench(),
         "all" => {
             table1();
             slicing();
@@ -484,6 +502,291 @@ fn trace_lint() {
         spans.len(),
         layers.into_iter().collect::<Vec<_>>().join(",")
     );
+}
+
+/// Audit a chaos run from its `--trace-out` file: every injected fault
+/// leaves a `fault`-layer span, and every solver query it degraded an
+/// `injected=fault` tag, so the schedule's footprint is fully
+/// reconstructible offline.
+fn faults() {
+    let Some(path) = std::env::args().nth(2) else {
+        eprintln!("usage: report faults <trace.jsonl>");
+        std::process::exit(2);
+    };
+    let spans = read_trace(&path);
+    let mut sites: std::collections::BTreeMap<&str, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for s in &spans {
+        if s.layer != "fault" {
+            continue;
+        }
+        let e = sites.entry(s.name.as_str()).or_default();
+        e.0 += 1;
+        // The `hit` tag is the 1-based hit index at fire time; the max
+        // over all fires bounds how often the site was reached.
+        if let Some(hit) = s.tags.get("hit").and_then(|h| h.parse::<u64>().ok()) {
+            e.1 = e.1.max(hit);
+        }
+    }
+    let degraded = spans
+        .iter()
+        .filter(|s| s.layer == "smt" && s.tags.get("injected").map(String::as_str) == Some("fault"))
+        .count();
+    println!("== injected faults in {path} ==");
+    if sites.is_empty() {
+        println!("no injected faults recorded (clean run, or tracing was off)");
+        return;
+    }
+    println!("{:<24} {:>8} {:>10}", "site", "injected", "hits-seen");
+    let mut total = 0u64;
+    for (site, (fires, max_hit)) in &sites {
+        println!("{site:<24} {fires:>8} {:>10}", if *max_hit > 0 { max_hit.to_string() } else { "?".into() });
+        total += fires;
+    }
+    println!(
+        "total: {total} injection(s) across {} site(s); {degraded} solver quer(ies) degraded to Unknown",
+        sites.len()
+    );
+}
+
+/// The standard chaos schedule shared with the engine's chaos suite and
+/// the ci.sh gate: solver failures, worker panics and scheduler wedges.
+fn chaos_plan(seed: u64) -> bf4_obs::FaultPlan {
+    bf4_obs::FaultPlan::parse(&format!(
+        "seed={seed},smt.backend_error=p0.05,smt.timeout=p0.05,\
+         engine.job_panic=p0.02,engine.queue_wedge=p0.1"
+    ))
+    .expect("chaos plan parses")
+}
+
+/// Chaos gate: the corpus under seeded fault schedules must produce
+/// reports identical to the fault-free run or conservatively degraded —
+/// never a flipped verdict. Exit 1 on any violation.
+fn chaos() {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut seeds: Vec<u64> = vec![11, 23, 37];
+    let mut config = EngineConfig {
+        jobs: 4,
+        cache_cap: 65536,
+        ..EngineConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                seeds = args
+                    .get(i)
+                    .map(|list| {
+                        list.split(',')
+                            .map(|s| s.trim().parse())
+                            .collect::<Result<Vec<u64>, _>>()
+                    })
+                    .and_then(Result::ok)
+                    .unwrap_or_else(|| {
+                        eprintln!("report chaos: --seeds expects a,b,c");
+                        std::process::exit(2);
+                    });
+            }
+            "--jobs" => {
+                i += 1;
+                config.jobs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("report chaos: --jobs expects a count >= 1");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("report chaos: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    println!("== chaos gate: corpus under seeded fault schedules ==");
+    let programs = corpus_programs();
+    let options = VerifyOptions::default();
+    let (base, _) = verify_corpus(&programs, &options, &config);
+    let mut violations = 0usize;
+    for seed in seeds {
+        bf4_obs::fault::install(chaos_plan(seed));
+        let (faulty, _) = verify_corpus(&programs, &options, &config);
+        let stats = bf4_obs::fault::clear();
+        let fires: u64 = stats.iter().map(|s| s.fires).sum();
+        let mut identical = 0usize;
+        let mut degraded = 0usize;
+        for (i, (name, _)) in programs.iter().enumerate() {
+            if let Err(e) = check_conservative(&base[i], &faulty[i]) {
+                eprintln!("seed {seed}, {name}: VERDICT FLIP: {e}");
+                violations += 1;
+            } else if normalized_report(name, &base[i]) == normalized_report(name, &faulty[i]) {
+                identical += 1;
+            } else {
+                degraded += 1;
+            }
+        }
+        println!(
+            "seed {seed}: {fires} fault(s) injected; {identical}/{} reports identical, {degraded} degraded conservatively",
+            programs.len()
+        );
+        if fires == 0 {
+            eprintln!("seed {seed}: the schedule never fired — the gate proved nothing");
+            violations += 1;
+        }
+    }
+    if violations > 0 {
+        eprintln!("chaos gate FAILED: {violations} violation(s)");
+        std::process::exit(1);
+    }
+    println!("chaos gate OK: faults only ever cost confidence, never invented it");
+}
+
+/// One cachebench run's cache-facing numbers, JSON-ready.
+fn cache_run_json(label: &str, wall: f64, stats: &bf4_engine::EngineStats) -> String {
+    format!(
+        "  \"{label}\": {{\"wall_seconds\": {wall:.6}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"preloaded\": {}, \"insertions\": {}, \"corrupt_records\": {}}}",
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.hit_rate(),
+        stats.cache.preloaded,
+        stats.cache.insertions,
+        stats.cache.corrupt_records,
+    )
+}
+
+/// Cold-vs-warm persistent-cache comparison: run the corpus twice against
+/// the same `--cache-dir`; the second run must warm-start from the store
+/// and strictly beat the first run's hit rate with identical reports.
+fn cachebench() {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut out: Option<String> = None;
+    let mut jobs = 4usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => {
+                i += 1;
+                dir = args.get(i).map(Into::into);
+                if dir.is_none() {
+                    eprintln!("report cachebench: --dir expects a directory");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+                if out.is_none() {
+                    eprintln!("report cachebench: --out expects a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("report cachebench: --jobs expects a count >= 1");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("report cachebench: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let (dir, scratch) = match dir {
+        Some(d) => (d, false),
+        None => (
+            std::env::temp_dir().join(format!("bf4-cachebench-{}", std::process::id())),
+            true,
+        ),
+    };
+    // Always start cold: a stale store would fake the warm-start delta.
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = EngineConfig {
+        jobs,
+        cache_cap: 65536,
+        cache_dir: Some(dir.clone()),
+        cache_persist: true,
+        ..EngineConfig::default()
+    };
+    println!("== cachebench: cold vs warm persistent query cache ==");
+    let programs = corpus_programs();
+    let options = VerifyOptions::default();
+    let t0 = Instant::now();
+    let (cold_reports, cold) = verify_corpus(&programs, &options, &config);
+    let cold_wall = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let (warm_reports, warm) = verify_corpus(&programs, &options, &config);
+    let warm_wall = t1.elapsed().as_secs_f64();
+    for (label, wall, stats) in [("cold", cold_wall, &cold), ("warm", warm_wall, &warm)] {
+        println!(
+            "{label}: wall={wall:.3}s hit-rate={:.1}% ({} hit(s) / {} miss(es), {} preloaded)",
+            100.0 * stats.cache.hit_rate(),
+            stats.cache.hits,
+            stats.cache.misses,
+            stats.cache.preloaded,
+        );
+    }
+    let store = warm.persist.unwrap_or_default();
+    println!(
+        "store: generation {}, {} loaded, {} corrupt, {} stale file(s), {} io error(s)",
+        store.generation, store.loaded, store.corrupt_records, store.stale_files, store.io_errors
+    );
+    if let Some(path) = out {
+        let json = format!(
+            "{{\n  \"bench\": \"cache\",\n  \"programs\": {},\n  \"jobs\": {jobs},\n{},\n{},\n  \"store\": {{\"generation\": {}, \"loaded\": {}, \"corrupt_records\": {}, \"stale_files\": {}, \"io_errors\": {}}}\n}}\n",
+            programs.len(),
+            cache_run_json("cold", cold_wall, &cold),
+            cache_run_json("warm", warm_wall, &warm),
+            store.generation,
+            store.loaded,
+            store.corrupt_records,
+            store.stale_files,
+            store.io_errors,
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("report cachebench: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path}");
+    }
+    if scratch {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // The gates: a warm start must visibly pay off and must not change a
+    // single report.
+    let mut failed = false;
+    for (i, (name, _)) in programs.iter().enumerate() {
+        if normalized_report(name, &cold_reports[i]) != normalized_report(name, &warm_reports[i]) {
+            eprintln!("cachebench: {name}: warm-start changed the report");
+            failed = true;
+        }
+    }
+    if warm.cache.preloaded == 0 {
+        eprintln!("cachebench: the warm run preloaded nothing — the store did not round-trip");
+        failed = true;
+    }
+    if warm.cache.hit_rate() <= cold.cache.hit_rate() {
+        eprintln!(
+            "cachebench: warm hit rate {:.4} must strictly exceed cold {:.4}",
+            warm.cache.hit_rate(),
+            cold.cache.hit_rate()
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("cachebench OK: warm-start hit rate strictly exceeds cold");
 }
 
 /// Speedup-vs-jobs table over the corpus, with per-stage latencies and

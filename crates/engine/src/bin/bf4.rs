@@ -15,6 +15,10 @@
 //!                          fallback solver (`off` disables the fallback)
 //!   --jobs <n>             worker threads (default 1: the sequential path)
 //!   --cache-cap <n>        SMT query-cache capacity in entries (default 0: off)
+//!   --cache-dir <dir>      warm-start the query cache from a durable store in
+//!                          <dir> (implies --cache-cap 65536 unless set)
+//!   --cache-persist        write the session's new cache entries back to
+//!                          --cache-dir on exit (append + atomic compaction)
 //!   --trace-out <file>     write the run's spans as JSONL (bf4-obs schema)
 //!   --profile              print a flame-style span breakdown to stderr
 //!   --quiet                suppress the per-bug listing
@@ -42,6 +46,7 @@ fn main() {
     let mut quiet = false;
     let mut options = VerifyOptions::default();
     let mut engine = EngineConfig::default();
+    let mut cache_cap_set = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -107,13 +112,27 @@ fn main() {
             "--cache-cap" => {
                 i += 1;
                 match args.get(i).map(|v| v.parse::<usize>()) {
-                    Some(Ok(n)) => engine.cache_cap = n,
+                    Some(Ok(n)) => {
+                        engine.cache_cap = n;
+                        cache_cap_set = true;
+                    }
                     _ => {
                         eprintln!("bf4: --cache-cap expects a number of entries");
                         std::process::exit(2);
                     }
                 }
             }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => engine.cache_dir = Some(dir.into()),
+                    None => {
+                        eprintln!("bf4: --cache-dir expects a directory path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--cache-persist" => engine.cache_persist = true,
             "--no-fixes" => options.fixes = false,
             "--no-infer" => {
                 options.fast_infer = false;
@@ -124,7 +143,7 @@ fn main() {
             "--egress" => options.include_egress = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
-                eprintln!("usage: bf4 <program.p4> [more.p4 ...] [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--timeout-ms N] [--solver-fallback N|off] [--jobs N] [--cache-cap N] [--trace-out FILE] [--profile] [--quiet]");
+                eprintln!("usage: bf4 <program.p4> [more.p4 ...] [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--timeout-ms N] [--solver-fallback N|off] [--jobs N] [--cache-cap N] [--cache-dir DIR] [--cache-persist] [--trace-out FILE] [--profile] [--quiet]");
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => paths.push(other.to_string()),
@@ -139,6 +158,15 @@ fn main() {
     if paths.is_empty() {
         eprintln!("bf4: missing input program (try --help)");
         std::process::exit(2);
+    }
+    if engine.cache_persist && engine.cache_dir.is_none() {
+        eprintln!("bf4: --cache-persist needs --cache-dir");
+        std::process::exit(2);
+    }
+    // A durable store without an in-memory cache would have nothing to
+    // warm: give --cache-dir a working default capacity.
+    if engine.cache_dir.is_some() && !cache_cap_set && engine.cache_cap == 0 {
+        engine.cache_cap = 65536;
     }
     if annotations_out.is_some() && paths.len() > 1 {
         eprintln!("bf4: --annotations only works with a single input program");
@@ -175,7 +203,10 @@ fn main() {
         }
     }
 
-    let use_engine = engine.jobs > 1 || engine.cache_cap > 0 || programs.len() > 1;
+    let use_engine = engine.jobs > 1
+        || engine.cache_cap > 0
+        || engine.cache_dir.is_some()
+        || programs.len() > 1;
     let (reports, engine_stats): (Vec<Report>, Option<EngineStats>) = if use_engine {
         // Frontend errors become degraded reports inside the engine; parse
         // here first so they keep the classic exit-code-2 CLI behavior.
@@ -215,17 +246,41 @@ fn main() {
     }
     if let Some(stats) = &engine_stats {
         // Satellite of the observability PR: the cache's effectiveness in
-        // the standard summary, not only in the verbose stats dump.
+        // the standard summary, not only in the verbose stats dump. A
+        // warm start (--cache-dir) shows up as preloaded entries feeding
+        // the hit rate.
         println!(
-            "summary: {} program(s); cache hit-rate {:.1}% ({} hit(s) / {} miss(es)), {} eviction(s)",
+            "summary: {} program(s); cache hit-rate {:.1}% ({} hit(s) / {} miss(es), {} preloaded), {} eviction(s)",
             programs.len(),
             100.0 * stats.cache.hit_rate(),
             stats.cache.hits,
             stats.cache.misses,
+            stats.cache.preloaded,
             stats.cache.evictions
         );
+        if let Some(p) = &stats.persist {
+            println!(
+                "cache store: generation {}; loaded {} entr(ies), {} corrupt record(s) dropped, {} stale file(s); saved {} ({} appended, compacted: {}), {} I/O error(s)",
+                p.generation,
+                p.loaded,
+                p.corrupt_records,
+                p.stale_files,
+                p.saved,
+                p.appended,
+                p.compacted,
+                p.io_errors
+            );
+        }
         if !quiet {
             print!("{stats}");
+        }
+    }
+    // A BF4_FAULTS chaos run audits itself: which sites were reached and
+    // how often the schedule actually injected (stderr keeps stdout
+    // script-stable).
+    if bf4_obs::fault::active() {
+        for s in bf4_obs::fault::stats() {
+            eprintln!("fault site {}: {} hit(s), {} injected", s.site, s.hits, s.fires);
         }
     }
 

@@ -17,6 +17,9 @@ use std::sync::{Arc, Mutex, PoisonError};
 struct Entry {
     result: SatResult,
     last_used: u64,
+    /// Inserted by this session (as opposed to warm-started from a
+    /// persistent store). Only fresh entries need appending to the WAL.
+    fresh: bool,
 }
 
 /// Concurrent result cache for satisfiability checks, shared by every
@@ -30,6 +33,8 @@ pub struct QueryCache {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    preloaded: AtomicU64,
+    corrupt: AtomicU64,
 }
 
 impl QueryCache {
@@ -43,6 +48,8 @@ impl QueryCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            preloaded: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
         })
     }
 
@@ -98,6 +105,7 @@ impl QueryCache {
                 Entry {
                     result,
                     last_used: tick,
+                    fresh: true,
                 },
             )
             .is_none()
@@ -105,6 +113,63 @@ impl QueryCache {
             self.insertions.fetch_add(1, Ordering::Relaxed);
             bf4_obs::counter_add("cache.insertions", 1);
         }
+    }
+
+    /// Warm-start an entry from a persistent store. Counted separately
+    /// from session insertions, never overwrites a session entry, and
+    /// stops silently at capacity (the store may hold more than `cap`).
+    /// `Unknown` is refused like in [`QueryCache::insert`].
+    pub fn preload(&self, key: u128, result: SatResult) {
+        if self.cap == 0 || result == SatResult::Unknown {
+            return;
+        }
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        if map.contains_key(&key) || map.len() >= self.cap {
+            return;
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        map.insert(
+            key,
+            Entry {
+                result,
+                last_used: tick,
+                fresh: false,
+            },
+        );
+        self.preloaded.fetch_add(1, Ordering::Relaxed);
+        bf4_obs::counter_add("cache.preloaded", 1);
+    }
+
+    /// Record persisted records dropped as corrupt during a load, so the
+    /// poisoning defense is visible in stats and metrics.
+    pub fn note_corrupt(&self, n: u64) {
+        if n > 0 {
+            self.corrupt.fetch_add(n, Ordering::Relaxed);
+            bf4_obs::counter_add("cache_corrupt_records", n);
+        }
+    }
+
+    /// Entries this session computed itself (not warm-started) — the set
+    /// a persistent store appends to its log on save.
+    pub fn session_entries(&self) -> Vec<(u128, SatResult)> {
+        let map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out: Vec<(u128, SatResult)> = map
+            .iter()
+            .filter(|(_, e)| e.fresh)
+            .map(|(&k, e)| (k, e.result))
+            .collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Every resident entry, for snapshot compaction. Sorted by key so
+    /// snapshots are deterministic.
+    pub fn all_entries(&self) -> Vec<(u128, SatResult)> {
+        let map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out: Vec<(u128, SatResult)> =
+            map.iter().map(|(&k, e)| (k, e.result)).collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
     }
 
     /// Snapshot of the counters.
@@ -119,6 +184,8 @@ impl QueryCache {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .len(),
+            preloaded: self.preloaded.load(Ordering::Relaxed),
+            corrupt_records: self.corrupt.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,0 +1,194 @@
+//! The chaos invariant: injected faults may *degrade* a report, never
+//! *flip* it.
+//!
+//! Every failure-handling path in the pipeline answers a fault the same
+//! way — conservatively. A solver error or timeout turns a definite
+//! verdict into `Undecided` ("possible bug"); a worker panic turns a
+//! whole program into a `Report.degraded` entry; a cache I/O error costs
+//! cache misses. What must **never** happen is a flip between "bug" and
+//! "no bug": an injected fault silently making bf4 report a buggy program
+//! clean (or the reverse) would void the paper's core promise.
+//!
+//! [`check_conservative`] encodes that as an order on [`BugStatus`]:
+//!
+//! ```text
+//! Unreachable (0)  <  Controlled (1)  <  Reachable / Uncontrolled (2)  <  Undecided (3)
+//! ```
+//!
+//! Rank 0–2 climbs with how loudly the bug is reported; `Undecided` sits
+//! on top because "could not decide, treat as possible bug" is the most
+//! conservative claim of all — it is what every fault path degrades to.
+//! A faulty run's status may stay equal or climb in rank, never descend:
+//! descending means an injected fault manufactured confidence.
+//!
+//! The chaos test suite and the `report chaos` CI gate run the corpus
+//! under seeded fault schedules and apply this check to every program.
+
+use bf4_core::driver::Report;
+use bf4_core::reach::BugStatus;
+use std::collections::BTreeMap;
+
+/// Conservativeness rank of a status (see the module docs). `Reachable`
+/// and `Uncontrolled` share a rank: both report the bug at full volume,
+/// and an injected fault that aborts inference legitimately leaves a bug
+/// at `Reachable` where the clean run refined it to `Uncontrolled`.
+fn rank(status: BugStatus) -> u8 {
+    match status {
+        BugStatus::Unreachable => 0,
+        BugStatus::Controlled => 1,
+        BugStatus::Reachable | BugStatus::Uncontrolled => 2,
+        BugStatus::Undecided => 3,
+    }
+}
+
+/// A whole-program failure: the run died (panic, frontend abort) and
+/// reported that instead of bug verdicts.
+fn whole_run_failed(r: &Report) -> bool {
+    r.bugs.is_empty()
+        && r.bugs_total == 0
+        && r.degraded
+            .iter()
+            .any(|d| d.stage == "pipeline" || d.stage == "frontend")
+}
+
+/// Verify that `faulty` (a report produced under fault injection) is a
+/// conservative degradation of `base` (the fault-free report of the same
+/// program). Returns `Err` with a human-readable violation otherwise.
+///
+/// Accepted degradations:
+///
+/// * byte-identical verdicts (the fault was absorbed);
+/// * any bug's status climbing in conservativeness rank (typically to
+///   `Undecided`);
+/// * the whole run collapsing into a `Report.degraded` entry with no
+///   verdicts claimed at all.
+///
+/// Rejected flips:
+///
+/// * a bug present in `base` missing from `faulty`;
+/// * any bug's status descending in rank (e.g. `Reachable` →
+///   `Unreachable`: a fault manufactured a "no bug" claim).
+pub fn check_conservative(base: &Report, faulty: &Report) -> Result<(), String> {
+    if whole_run_failed(faulty) {
+        return Ok(());
+    }
+
+    // Identity: (kind, line, description) — stable across runs because
+    // instrumentation is deterministic; status deliberately excluded.
+    let identity = |b: &bf4_core::driver::BugReport| {
+        (b.kind.to_string(), b.line, b.description.clone())
+    };
+    let mut faulty_bugs: BTreeMap<_, Vec<BugStatus>> = BTreeMap::new();
+    for b in &faulty.bugs {
+        faulty_bugs.entry(identity(b)).or_default().push(b.status);
+    }
+
+    for b in &base.bugs {
+        let key = identity(b);
+        let Some(statuses) = faulty_bugs.get_mut(&key) else {
+            return Err(format!(
+                "bug [{}] line {} `{}` present fault-free ({:?}) but missing \
+                 under faults",
+                b.kind, b.line, b.description, b.status
+            ));
+        };
+        let Some(status) = statuses.pop() else {
+            return Err(format!(
+                "bug [{}] line {} `{}` reported fewer times under faults",
+                b.kind, b.line, b.description
+            ));
+        };
+        if rank(status) < rank(b.status) {
+            return Err(format!(
+                "bug [{}] line {} `{}` flipped {:?} → {:?}: an injected fault \
+                 must never increase confidence",
+                b.kind, b.line, b.description, b.status, status
+            ));
+        }
+    }
+    // Extra bugs in `faulty` (none today — instrumentation is fault
+    // independent) would be over-reporting: conservative, accepted.
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf4_core::driver::{BugReport, StageFailure};
+    use bf4_ir::BugKind;
+    use std::time::Duration;
+
+    fn bug(line: u32, status: BugStatus) -> BugReport {
+        BugReport {
+            kind: BugKind::InvalidHeaderAccess,
+            description: format!("bug at {line}"),
+            line,
+            table: None,
+            status,
+        }
+    }
+
+    fn report(bugs: Vec<BugReport>) -> Report {
+        let mut r = Report::failed("none", String::new(), Duration::ZERO);
+        r.degraded.clear();
+        r.bugs_total = bugs.len();
+        r.bugs = bugs;
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(vec![bug(3, BugStatus::Uncontrolled), bug(7, BugStatus::Unreachable)]);
+        assert!(check_conservative(&r, &r).is_ok());
+    }
+
+    #[test]
+    fn degradation_to_undecided_passes() {
+        let base = report(vec![bug(3, BugStatus::Uncontrolled), bug(7, BugStatus::Controlled)]);
+        let faulty = report(vec![bug(3, BugStatus::Undecided), bug(7, BugStatus::Undecided)]);
+        assert!(check_conservative(&base, &faulty).is_ok());
+    }
+
+    #[test]
+    fn inference_abort_leaving_reachable_passes() {
+        let base = report(vec![bug(3, BugStatus::Uncontrolled)]);
+        let faulty = report(vec![bug(3, BugStatus::Reachable)]);
+        assert!(check_conservative(&base, &faulty).is_ok());
+    }
+
+    #[test]
+    fn unreachable_flip_is_rejected() {
+        let base = report(vec![bug(3, BugStatus::Reachable)]);
+        let faulty = report(vec![bug(3, BugStatus::Unreachable)]);
+        let err = check_conservative(&base, &faulty).unwrap_err();
+        assert!(err.contains("flipped"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn controlled_descending_to_unreachable_is_rejected() {
+        let base = report(vec![bug(3, BugStatus::Controlled)]);
+        let faulty = report(vec![bug(3, BugStatus::Unreachable)]);
+        assert!(check_conservative(&base, &faulty).is_err());
+    }
+
+    #[test]
+    fn missing_bug_is_rejected() {
+        let base = report(vec![bug(3, BugStatus::Uncontrolled)]);
+        let faulty = report(vec![]);
+        let err = check_conservative(&base, &faulty).unwrap_err();
+        assert!(err.contains("missing"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn whole_run_failure_is_accepted() {
+        let base = report(vec![bug(3, BugStatus::Uncontrolled)]);
+        let mut faulty = report(vec![]);
+        faulty.degraded.push(StageFailure {
+            stage: "pipeline".into(),
+            error: "injected panic".into(),
+            queries_used: 0,
+            duration: Duration::ZERO,
+        });
+        assert!(check_conservative(&base, &faulty).is_ok());
+    }
+}

@@ -25,15 +25,20 @@
 //! cannot change any report field other than wall-clock timings.
 
 pub mod cache;
+pub mod chaos;
+pub mod persist;
 pub mod pipeline;
 pub mod scheduler;
 pub mod stats;
 
 pub use cache::{CachedSolver, QueryCache};
+pub use chaos::check_conservative;
+pub use persist::{LoadReport, SaveReport, Store};
 pub use scheduler::{JobId, Pool, PoolStats, WorkerCtx};
-pub use stats::{CacheStats, EngineStats, Histogram};
+pub use stats::{CacheStats, EngineStats, Histogram, PersistStats};
 
 use bf4_core::driver::{verify_isolated, Report, VerifyOptions};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
@@ -46,6 +51,12 @@ pub struct EngineConfig {
     pub jobs: usize,
     /// Query-cache capacity in entries; `0` disables caching.
     pub cache_cap: usize,
+    /// Directory of the persistent cache store: warm-start the cache
+    /// from it before the run. Requires `cache_cap > 0` to have effect.
+    pub cache_dir: Option<PathBuf>,
+    /// Save the cache back to `cache_dir` after the run. Persistence
+    /// failures degrade to a stats entry, never to a wrong verdict.
+    pub cache_persist: bool,
     /// Test hook: panic inside the named `(program, stage)` job, where
     /// stage is one of `frontend`, `prepare`, `reach`, `finish`.
     #[doc(hidden)]
@@ -57,6 +68,8 @@ impl Default for EngineConfig {
         EngineConfig {
             jobs: 1,
             cache_cap: 0,
+            cache_dir: None,
+            cache_persist: false,
             inject_panic: None,
         }
     }
@@ -71,7 +84,11 @@ pub fn verify_corpus(
     config: &EngineConfig,
 ) -> (Vec<Report>, EngineStats) {
     let started = Instant::now();
-    if config.jobs <= 1 && config.cache_cap == 0 && config.inject_panic.is_none() {
+    if config.jobs <= 1
+        && config.cache_cap == 0
+        && config.cache_dir.is_none()
+        && config.inject_panic.is_none()
+    {
         // The preserved sequential path.
         let reports: Vec<Report> = programs
             .iter()
@@ -87,6 +104,26 @@ pub fn verify_corpus(
     }
 
     let cache = QueryCache::new(config.cache_cap);
+    // Warm-start from the persistent store before any job runs. Open
+    // failures (including injected ones) degrade to a stats entry and a
+    // cold cache — never to a failed run or a wrong verdict.
+    let mut store = None;
+    let mut persist_stats = None;
+    if let Some(dir) = &config.cache_dir {
+        match persist::Store::open(dir, &cache) {
+            Ok((s, load)) => {
+                store = Some(s);
+                persist_stats = Some(PersistStats::from_load(&load));
+            }
+            Err(e) => {
+                bf4_obs::error("cache", &format!("cache store open failed: {e}"));
+                persist_stats = Some(PersistStats {
+                    io_errors: 1,
+                    ..PersistStats::default()
+                });
+            }
+        }
+    }
     let pool = Pool::new(config.jobs, options.solver.clone(), cache.clone());
     let results: Arc<Mutex<Vec<Option<Report>>>> =
         Arc::new(Mutex::new(vec![None; programs.len()]));
@@ -102,6 +139,18 @@ pub fn verify_corpus(
         );
     }
     let pool_stats = pool.run();
+
+    if config.cache_persist {
+        if let (Some(s), Some(ps)) = (&mut store, &mut persist_stats) {
+            match s.save(&cache) {
+                Ok(saved) => ps.note_save(&saved),
+                Err(e) => {
+                    bf4_obs::error("cache", &format!("cache store save failed: {e}"));
+                    ps.io_errors += 1;
+                }
+            }
+        }
+    }
 
     let reports = results
         .lock()
@@ -121,6 +170,7 @@ pub fn verify_corpus(
         steals: pool_stats.steals,
         panics: pool_stats.panics,
         cache: cache.stats(),
+        persist: persist_stats,
         stages: pool_stats.stages,
         wall: started.elapsed(),
     };

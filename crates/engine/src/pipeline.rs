@@ -57,6 +57,12 @@ impl Prog {
                 panic!("injected panic in stage `{stage}` of `{p}`");
             }
         }
+        // Chaos hook: same panic, driven by the seeded fault schedule
+        // instead of an exact (program, stage) address. The guarded-job
+        // machinery must degrade it to a `Report.degraded` entry.
+        if bf4_obs::fault::fire("engine.job_panic") {
+            panic!("injected fault: worker panic in stage `{stage}` of `{}`", self.name);
+        }
     }
 }
 

@@ -298,6 +298,13 @@ fn worker_loop(
         }
         ctx.current_stolen = stolen;
 
+        // Chaos hook: wedge this worker between claiming the job and
+        // running it. A wedge perturbs scheduling order and steal
+        // patterns, which determinism says must not change any verdict.
+        if bf4_obs::fault::fire("engine.queue_wedge") {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+
         if catch_unwind(AssertUnwindSafe(|| (task)(&mut ctx))).is_err() {
             // Backstop: pipeline jobs catch their own panics; a raw job
             // that panicked may have wedged the worker solver.

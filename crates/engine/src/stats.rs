@@ -24,6 +24,11 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries resident when the stats were taken.
     pub entries: usize,
+    /// Entries warm-started from a persistent store.
+    pub preloaded: u64,
+    /// Persisted records dropped on load because a checksum, key or
+    /// payload failed validation. They are never returned as verdicts.
+    pub corrupt_records: u64,
 }
 
 impl CacheStats {
@@ -35,6 +40,50 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+/// What the persistent cache store did over one run: the warm-start
+/// outcome plus, when `--cache-persist` is on, the save outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Valid entries warm-started from disk.
+    pub loaded: u64,
+    /// Persisted lines dropped for failing checksum/syntax validation.
+    pub corrupt_records: u64,
+    /// Store files rejected wholesale (bad header, schema-fingerprint
+    /// mismatch, generation mismatch).
+    pub stale_files: u64,
+    /// Store generation after the run.
+    pub generation: u64,
+    /// Whether a save ran and succeeded.
+    pub saved: bool,
+    /// Entries appended to the log by the save (0 when it compacted).
+    pub appended: u64,
+    /// Whether the save compacted into a fresh snapshot.
+    pub compacted: bool,
+    /// Open/save failures absorbed (run continues, cold or unsaved).
+    pub io_errors: u64,
+}
+
+impl PersistStats {
+    /// Stats describing a completed warm-start load.
+    pub fn from_load(load: &crate::persist::LoadReport) -> PersistStats {
+        PersistStats {
+            loaded: load.loaded,
+            corrupt_records: load.corrupt_records,
+            stale_files: load.stale_files,
+            generation: load.generation,
+            ..PersistStats::default()
+        }
+    }
+
+    /// Fold a completed save into the stats.
+    pub fn note_save(&mut self, saved: &crate::persist::SaveReport) {
+        self.saved = true;
+        self.generation = saved.generation;
+        self.appended = saved.appended;
+        self.compacted = saved.compacted;
     }
 }
 
@@ -52,6 +101,8 @@ pub struct EngineStats {
     pub panics: u64,
     /// Query-cache counters.
     pub cache: CacheStats,
+    /// Persistent-store outcome, when a `--cache-dir` was configured.
+    pub persist: Option<PersistStats>,
     /// Per-stage latency histograms, keyed by stage name
     /// (`frontend`, `prepare`, `reach`, `finish`).
     pub stages: BTreeMap<String, Histogram>,
@@ -85,6 +136,25 @@ impl std::fmt::Display for EngineStats {
             self.cache.evictions,
             self.cache.entries
         )?;
+        if let Some(p) = &self.persist {
+            writeln!(
+                f,
+                "cache store: gen {} — {} loaded, {} corrupt dropped, {} stale file(s), \
+                 saved={} ({}{}), {} io error(s)",
+                p.generation,
+                p.loaded,
+                p.corrupt_records,
+                p.stale_files,
+                p.saved,
+                if p.compacted { "compacted" } else { "appended " },
+                if p.compacted {
+                    String::new()
+                } else {
+                    format!("{}", p.appended)
+                },
+                p.io_errors
+            )?;
+        }
         for (name, h) in &self.stages {
             writeln!(
                 f,

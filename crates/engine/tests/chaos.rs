@@ -1,0 +1,193 @@
+//! Chaos suite: seeded fault schedules across the pipeline, asserting the
+//! verdicts-never-flip invariant.
+//!
+//! Each test runs a corpus subset fault-free, re-runs it under an armed
+//! [`bf4_obs::FaultPlan`], and applies [`check_conservative`]: every
+//! program's report must be byte-identical to the clean run or degraded
+//! toward `Undecided`/`Report.degraded` — a fault may cost confidence,
+//! never manufacture it.
+//!
+//! Own integration-test binary (the fault plan is process-global), with
+//! every test serialized on one lock.
+
+use bf4_core::driver::{Report, VerifyOptions};
+use bf4_engine::{check_conservative, normalized_report, verify_corpus, EngineConfig};
+use bf4_obs::FaultPlan;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn locked() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn subset() -> Vec<(String, String)> {
+    ["arp", "heavy_hitter_1", "issue894", "flowlet"]
+        .iter()
+        .map(|n| {
+            let p = bf4_corpus::by_name(n).expect("corpus program present");
+            (p.name.to_string(), p.source.to_string())
+        })
+        .collect()
+}
+
+fn run(programs: &[(String, String)], config: &EngineConfig) -> Vec<Report> {
+    verify_corpus(programs, &VerifyOptions::default(), config).0
+}
+
+/// The standard chaos schedule: solver failures, worker panics and
+/// scheduler wedges, all probabilistic under one seed.
+fn plan(seed: u64) -> FaultPlan {
+    FaultPlan::parse(&format!(
+        "seed={seed},smt.backend_error=p0.05,smt.timeout=p0.05,\
+         engine.job_panic=p0.02,engine.queue_wedge=p0.1"
+    ))
+    .expect("chaos plan parses")
+}
+
+#[test]
+fn seeded_schedules_only_degrade_conservatively() {
+    let _g = locked();
+    let programs = subset();
+    let config = EngineConfig {
+        jobs: 2,
+        cache_cap: 4096,
+        ..EngineConfig::default()
+    };
+    let base = run(&programs, &config);
+
+    for seed in [11, 23, 37] {
+        bf4_obs::fault::install(plan(seed));
+        let faulty = run(&programs, &config);
+        let stats = bf4_obs::fault::clear();
+        let fires: u64 = stats.iter().map(|s| s.fires).sum();
+        assert!(
+            fires > 0,
+            "seed {seed}: the schedule never fired — the run proved nothing"
+        );
+        for (i, (name, _)) in programs.iter().enumerate() {
+            check_conservative(&base[i], &faulty[i]).unwrap_or_else(|e| {
+                panic!("seed {seed}, program {name}: verdict flip under faults: {e}")
+            });
+        }
+    }
+}
+
+#[test]
+fn same_seed_replays_the_same_chaos_run() {
+    let _g = locked();
+    let programs = subset();
+    // One worker: hit order is deterministic, so the whole injected
+    // schedule — and with it every report — must replay exactly.
+    let config = EngineConfig {
+        jobs: 1,
+        cache_cap: 4096,
+        ..EngineConfig::default()
+    };
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        bf4_obs::fault::install(plan(23));
+        let reports = run(&programs, &config);
+        let stats = bf4_obs::fault::clear();
+        let rendered: Vec<String> = programs
+            .iter()
+            .zip(&reports)
+            .map(|((name, _), r)| normalized_report(name, r))
+            .collect();
+        let fires: Vec<(String, u64, u64)> = stats
+            .into_iter()
+            .map(|s| (s.site, s.hits, s.fires))
+            .collect();
+        runs.push((rendered, fires));
+    }
+    assert_eq!(
+        runs[0], runs[1],
+        "same seed + one worker must replay reports and fire counts exactly"
+    );
+}
+
+#[test]
+fn scheduler_wedges_change_nothing_at_all() {
+    let _g = locked();
+    let programs = subset();
+    let config = EngineConfig {
+        jobs: 3,
+        cache_cap: 4096,
+        ..EngineConfig::default()
+    };
+    let base = run(&programs, &config);
+    // Wedges only perturb timing/stealing; determinism promises verdicts
+    // are schedule-independent, so reports must be byte-identical.
+    bf4_obs::fault::install(FaultPlan::parse("seed=7,engine.queue_wedge=%2").unwrap());
+    let wedged = run(&programs, &config);
+    let stats = bf4_obs::fault::clear();
+    assert!(
+        stats.iter().any(|s| s.site == "engine.queue_wedge" && s.fires > 0),
+        "wedges must actually have fired"
+    );
+    for (i, (name, _)) in programs.iter().enumerate() {
+        assert_eq!(
+            normalized_report(name, &base[i]),
+            normalized_report(name, &wedged[i]),
+            "{name}: a pure scheduling perturbation changed the report"
+        );
+    }
+}
+
+#[test]
+fn cache_persistence_faults_never_flip_verdicts() {
+    let _g = locked();
+    let programs = subset();
+    let dir = std::env::temp_dir().join(format!("bf4-chaos-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = run(
+        &programs,
+        &EngineConfig {
+            jobs: 2,
+            cache_cap: 4096,
+            ..EngineConfig::default()
+        },
+    );
+
+    // Warm the store, then reload it under injected load corruption and
+    // an injected save failure: verdicts must match the clean run
+    // exactly (cache damage costs misses, not answers).
+    let persist = EngineConfig {
+        jobs: 2,
+        cache_cap: 4096,
+        cache_dir: Some(dir.clone()),
+        cache_persist: true,
+        ..EngineConfig::default()
+    };
+    let (warm_reports, _) = verify_corpus(&programs, &VerifyOptions::default(), &persist);
+    for (i, (name, _)) in programs.iter().enumerate() {
+        assert_eq!(
+            normalized_report(name, &base[i]),
+            normalized_report(name, &warm_reports[i]),
+            "{name}: enabling persistence changed the report"
+        );
+    }
+
+    bf4_obs::fault::install(
+        FaultPlan::parse("seed=3,cache.load_corrupt=on,cache.persist_io=@1").unwrap(),
+    );
+    let (faulty_reports, stats) =
+        verify_corpus(&programs, &VerifyOptions::default(), &persist);
+    let fault_stats = bf4_obs::fault::clear();
+    assert!(
+        fault_stats.iter().any(|s| s.site == "cache.load_corrupt" && s.fires > 0),
+        "load corruption must have fired"
+    );
+    let p = stats.persist.expect("persistence was configured");
+    assert!(
+        p.io_errors > 0,
+        "the injected save failure must be absorbed into io_errors, got {p:?}"
+    );
+    for (i, (name, _)) in programs.iter().enumerate() {
+        assert_eq!(
+            normalized_report(name, &base[i]),
+            normalized_report(name, &faulty_reports[i]),
+            "{name}: cache corruption/IO faults changed a verdict"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

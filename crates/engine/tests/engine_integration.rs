@@ -92,6 +92,7 @@ fn panicking_job_degrades_one_program_without_wedging_the_pool() {
             jobs: 2,
             cache_cap: 0,
             inject_panic: Some((victim.clone(), stage.to_string())),
+            ..EngineConfig::default()
         };
         let (reports, stats) = verify_corpus(&programs, &options, &config);
         assert_eq!(reports.len(), programs.len());

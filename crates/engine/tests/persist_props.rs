@@ -1,0 +1,96 @@
+//! Satellite: property test of the cache-poisoning defenses.
+//!
+//! For arbitrary cache contents and an arbitrary single-byte mutation of
+//! the persisted store — hitting a key, a payload verdict, or a checksum,
+//! wherever the byte lands — the load must drop the damaged record,
+//! count it in `cache_corrupt_records`, and return every *other* record
+//! with its original verdict. A mutated record may disappear; it may
+//! never come back altered.
+
+use bf4_engine::{QueryCache, Store};
+use bf4_smt::SatResult;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "bf4-persist-props-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// xorshift64*: enough randomness to derive keys/verdicts from one seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mutated_record_is_dropped_never_returned_altered(seed: u64, flip_bit in 0u8..8) {
+        let dir = scratch();
+        let mut rng = Rng(seed);
+        let n = 8 + (rng.next() % 56) as usize;
+        let mut original: HashMap<u128, SatResult> = HashMap::new();
+        let cache = QueryCache::new(4096);
+        while original.len() < n {
+            let key = ((rng.next() as u128) << 64) | rng.next() as u128;
+            let verdict = if rng.next().is_multiple_of(2) { SatResult::Sat } else { SatResult::Unsat };
+            if key != 0 && original.insert(key, verdict).is_none() {
+                cache.insert(key, verdict);
+            }
+        }
+        let (mut store, _) = Store::open(&dir, &cache).unwrap();
+        store.save(&cache).unwrap();
+
+        // Flip one bit somewhere in the snapshot, header included.
+        let snap = dir.join("snap-1.bf4q");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let pos = (rng.next() % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << flip_bit;
+        std::fs::write(&snap, &bytes).unwrap();
+
+        let warm = QueryCache::new(4096);
+        let (_, load) = Store::open(&dir, &warm).unwrap();
+        let loaded = warm.all_entries();
+
+        // Whatever was hit: every loaded verdict must match the original.
+        for (key, verdict) in &loaded {
+            prop_assert_eq!(
+                original.get(key).copied(),
+                Some(*verdict),
+                "a mutated record was returned as a verdict"
+            );
+        }
+        if load.stale_files > 0 {
+            // The bit landed in the header: the file is rejected wholesale.
+            prop_assert_eq!(loaded.len(), 0);
+        } else {
+            // The bit landed in (or created) a record line: the damaged
+            // line is gone and counted. A flip that destroys a newline
+            // merges two records into one corrupt line, so each counted
+            // corruption accounts for at most two lost records.
+            prop_assert!(loaded.len() < original.len());
+            prop_assert!(load.corrupt_records >= 1);
+            prop_assert_eq!(warm.stats().corrupt_records, load.corrupt_records);
+            prop_assert!(
+                loaded.len() + 2 * load.corrupt_records as usize >= original.len()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,369 @@
+//! Deterministic, seeded fault injection for chaos testing.
+//!
+//! Every failure-handling path in the pipeline (solver backend errors,
+//! worker panics, cache I/O errors, journal fsync failures) is guarded by
+//! a **named fault site**: a `fault::fire("layer.what")` call that is a
+//! single relaxed atomic load while injection is off. A chaos run arms a
+//! [`FaultPlan`] — parsed from the `BF4_FAULTS` environment variable or
+//! installed programmatically — and each site then decides *per hit*
+//! whether to fire, from a pure function of `(seed, site, hit index)`.
+//! Two runs that hit a site the same number of times therefore inject
+//! exactly the same faults, regardless of wall-clock timing; with a
+//! single worker the whole schedule is bit-reproducible.
+//!
+//! Plan syntax (comma-separated, e.g. in `BF4_FAULTS`):
+//!
+//! ```text
+//! seed=7,smt.backend_error=p0.05,engine.job_panic=@3,smt.*=p0.01
+//! ```
+//!
+//! * `seed=N` — schedule seed (default 0);
+//! * `site=pF` — fire each hit independently with probability `F`,
+//!   decided by hashing `(seed, site, hit)`;
+//! * `site=@N` — fire exactly on the N-th hit (1-based);
+//! * `site=%N` — fire on every N-th hit;
+//! * `site=on` — fire on every hit;
+//! * a site key ending in `*` matches any site with that prefix; exact
+//!   rules win over prefix rules.
+//!
+//! A firing site emits a `fault`-layer span (so `report faults` can audit
+//! a `--trace-out` file), a `fault.fired` counter tick and a
+//! `BF4_LOG=warn` event. Fire decisions never depend on whether tracing
+//! is enabled.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// How a matched site decides whether a given hit fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Trigger {
+    /// Fire each hit independently with this probability (seeded, so the
+    /// set of firing hit indices is a deterministic function of the plan).
+    Probability(f64),
+    /// Fire exactly on this 1-based hit index.
+    Nth(u64),
+    /// Fire on every N-th hit.
+    Every(u64),
+    /// Fire on every hit.
+    Always,
+}
+
+/// A parsed fault schedule: a seed plus `(site pattern, trigger)` rules.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every probabilistic fire decision.
+    pub seed: u64,
+    rules: Vec<(String, Trigger)>,
+}
+
+impl FaultPlan {
+    /// Parse a plan from the `BF4_FAULTS` syntax (see the module docs).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault rule `{part}` is not key=value"))?;
+            if key == "seed" {
+                plan.seed = value
+                    .parse()
+                    .map_err(|_| format!("seed `{value}` is not a u64"))?;
+                continue;
+            }
+            let trigger = match value.as_bytes().first() {
+                Some(b'p') => {
+                    let p: f64 = value[1..]
+                        .parse()
+                        .map_err(|_| format!("probability `{value}` is not pF"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("probability `{value}` outside [0,1]"));
+                    }
+                    Trigger::Probability(p)
+                }
+                Some(b'@') => Trigger::Nth(
+                    value[1..]
+                        .parse()
+                        .map_err(|_| format!("hit index `{value}` is not @N"))?,
+                ),
+                Some(b'%') => {
+                    let n: u64 = value[1..]
+                        .parse()
+                        .map_err(|_| format!("period `{value}` is not %N"))?;
+                    if n == 0 {
+                        return Err("period %0 is invalid".to_string());
+                    }
+                    Trigger::Every(n)
+                }
+                _ if value == "on" => Trigger::Always,
+                _ => return Err(format!("unknown trigger `{value}` for site `{key}`")),
+            };
+            plan.rules.push((key.to_string(), trigger));
+        }
+        Ok(plan)
+    }
+
+    /// Whether the plan has no site rules (and so can never fire).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The trigger governing `site`: an exact rule if present, otherwise
+    /// the first matching `prefix*` rule.
+    fn trigger_for(&self, site: &str) -> Option<Trigger> {
+        if let Some((_, t)) = self.rules.iter().find(|(pat, _)| pat == site) {
+            return Some(*t);
+        }
+        self.rules
+            .iter()
+            .find(|(pat, _)| {
+                pat.ends_with('*') && site.starts_with(&pat[..pat.len() - 1])
+            })
+            .map(|(_, t)| *t)
+    }
+}
+
+/// Hit/fire counters of one site, as returned by [`stats`] and [`clear`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteStats {
+    /// The site name as passed to [`fire`].
+    pub site: String,
+    /// How many times the site was reached while a plan was armed.
+    pub hits: u64,
+    /// How many of those hits injected the fault.
+    pub fires: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: u64,
+    fires: u64,
+}
+
+struct Active {
+    plan: FaultPlan,
+    sites: BTreeMap<&'static str, Counters>,
+}
+
+/// 0 = not yet initialized from the environment, 1 = disarmed, 2 = armed.
+static ARMED: AtomicU8 = AtomicU8::new(0);
+
+fn active_state() -> MutexGuard<'static, Option<Active>> {
+    static ACTIVE: OnceLock<Mutex<Option<Active>>> = OnceLock::new();
+    ACTIVE
+        .get_or_init(|| Mutex::new(None))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One-time arm-from-environment, so any binary honors `BF4_FAULTS`
+/// without explicit wiring. [`install`]/[`clear`] override the result.
+fn ensure_env_init() {
+    if ARMED.load(Ordering::Relaxed) != 0 {
+        return;
+    }
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| {
+        let plan = std::env::var("BF4_FAULTS")
+            .ok()
+            .and_then(|spec| match FaultPlan::parse(&spec) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    crate::error("fault", &format!("ignoring BF4_FAULTS: {e}"));
+                    None
+                }
+            });
+        match plan {
+            Some(p) if !p.is_empty() => install(p),
+            _ => ARMED.store(1, Ordering::Relaxed),
+        }
+    });
+}
+
+/// Arm a fault plan (replacing any previous one; counters reset).
+pub fn install(plan: FaultPlan) {
+    let armed = !plan.is_empty();
+    *active_state() = Some(Active {
+        plan,
+        sites: BTreeMap::new(),
+    });
+    ARMED.store(if armed { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Disarm injection and return the per-site statistics of the run.
+pub fn clear() -> Vec<SiteStats> {
+    let taken = active_state().take();
+    ARMED.store(1, Ordering::Relaxed);
+    taken.map_or_else(Vec::new, |a| site_stats(&a))
+}
+
+/// Whether a non-empty plan is currently armed.
+pub fn active() -> bool {
+    ensure_env_init();
+    ARMED.load(Ordering::Relaxed) == 2
+}
+
+/// Per-site hit/fire counters of the armed plan (empty when disarmed).
+pub fn stats() -> Vec<SiteStats> {
+    active_state().as_ref().map_or_else(Vec::new, site_stats)
+}
+
+fn site_stats(a: &Active) -> Vec<SiteStats> {
+    a.sites
+        .iter()
+        .map(|(site, c)| SiteStats {
+            site: (*site).to_string(),
+            hits: c.hits,
+            fires: c.fires,
+        })
+        .collect()
+}
+
+/// splitmix64 finalizer — the same mixer the canonical query hash uses.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn hash_site(site: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in site.as_bytes() {
+        h = mix(h ^ u64::from(b));
+    }
+    h
+}
+
+/// Pure fire decision: depends only on the plan seed, the site name and
+/// the 1-based hit index — never on time, threads or prior decisions.
+fn decide(seed: u64, site: &str, hit: u64, trigger: Trigger) -> bool {
+    match trigger {
+        Trigger::Always => true,
+        Trigger::Nth(n) => hit == n,
+        Trigger::Every(n) => hit.is_multiple_of(n),
+        Trigger::Probability(p) => {
+            let h = mix(seed ^ hash_site(site) ^ mix(hit));
+            ((h >> 11) as f64 / (1u64 << 53) as f64) < p
+        }
+    }
+}
+
+/// Should the fault at `site` be injected now? One relaxed atomic load
+/// while injection is off. While armed, every call counts a hit (rule or
+/// not), so chaos runs audit which sites a workload actually reaches.
+pub fn fire(site: &'static str) -> bool {
+    ensure_env_init();
+    if ARMED.load(Ordering::Relaxed) != 2 {
+        return false;
+    }
+    let (fired, hit) = {
+        let mut guard = active_state();
+        let Some(active) = guard.as_mut() else {
+            return false;
+        };
+        let trigger = active.plan.trigger_for(site);
+        let seed = active.plan.seed;
+        let c = active.sites.entry(site).or_default();
+        c.hits += 1;
+        let fired = trigger.is_some_and(|t| decide(seed, site, c.hits, t));
+        if fired {
+            c.fires += 1;
+        }
+        (fired, c.hits)
+    };
+    if fired {
+        // Visible in all three observability channels: the trace (a
+        // `fault`-layer span nested inside whatever job hit the site),
+        // the metrics registry, and the leveled event stream.
+        let mut sp = crate::span("fault", site);
+        if sp.is_active() {
+            sp.add_tag("hit", hit.to_string());
+        }
+        drop(sp);
+        crate::counter_add("fault.fired", 1);
+        crate::warn("fault", &format!("injected fault at `{site}` (hit {hit})"));
+    }
+    fired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global plan is process state; every test in this module locks
+    // it so cargo's parallel test threads cannot interleave plans.
+    fn locked() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn parse_accepts_every_trigger_form() {
+        let p = FaultPlan::parse("seed=9, a.b=p0.25, c.d=@3, e.f=%4, g.h=on, smt.*=p0.5")
+            .unwrap();
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.trigger_for("a.b"), Some(Trigger::Probability(0.25)));
+        assert_eq!(p.trigger_for("c.d"), Some(Trigger::Nth(3)));
+        assert_eq!(p.trigger_for("e.f"), Some(Trigger::Every(4)));
+        assert_eq!(p.trigger_for("g.h"), Some(Trigger::Always));
+        // Prefix rule catches unmatched smt sites; exact rules win.
+        assert_eq!(p.trigger_for("smt.timeout"), Some(Trigger::Probability(0.5)));
+        assert_eq!(p.trigger_for("other.site"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_rules() {
+        for bad in ["a.b", "a.b=p1.5", "a.b=@x", "a.b=%0", "a.b=maybe", "seed=no"] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn decisions_are_a_pure_function_of_seed_site_and_hit() {
+        let picks = |seed: u64| -> Vec<u64> {
+            (1..=1000)
+                .filter(|&h| decide(seed, "x.y", h, Trigger::Probability(0.1)))
+                .collect()
+        };
+        assert_eq!(picks(7), picks(7), "same seed must replay identically");
+        assert_ne!(picks(7), picks(8), "different seeds must differ");
+        let n = picks(7).len();
+        assert!((50..200).contains(&n), "p0.1 over 1000 hits fired {n} times");
+    }
+
+    #[test]
+    fn fire_counts_hits_and_fires_deterministically() {
+        let _g = locked();
+        install(FaultPlan::parse("seed=1,test.every=%3").unwrap());
+        let fired: Vec<bool> = (0..9).map(|_| fire("test.every")).collect();
+        assert_eq!(
+            fired,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        let stats = clear();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].hits, 9);
+        assert_eq!(stats[0].fires, 3);
+        assert!(!fire("test.every"), "cleared plan must not fire");
+    }
+
+    #[test]
+    fn unmatched_sites_count_hits_but_never_fire() {
+        let _g = locked();
+        install(FaultPlan::parse("seed=1,some.site=on").unwrap());
+        assert!(!fire("test.unmatched"));
+        let stats = clear();
+        let s = stats.iter().find(|s| s.site == "test.unmatched").unwrap();
+        assert_eq!((s.hits, s.fires), (1, 0));
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let _g = locked();
+        install(FaultPlan::parse("test.nth=@2").unwrap());
+        let fired: Vec<bool> = (0..5).map(|_| fire("test.nth")).collect();
+        assert_eq!(fired, [false, true, false, false, false]);
+        clear();
+    }
+}

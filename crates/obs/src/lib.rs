@@ -20,7 +20,10 @@
 //! * [`trace`] — the machine-readable JSONL schema: render, parse,
 //!   validate;
 //! * [`profile`] — human renderings: a flame-style breakdown of a span
-//!   forest and a per-program/per-stage time table for BENCH files.
+//!   forest and a per-program/per-stage time table for BENCH files;
+//! * [`fault`] — deterministic seeded fault injection: named fault sites
+//!   throughout the pipeline fire per a replayable schedule
+//!   (`BF4_FAULTS`), and every injected fault is itself traced.
 //!
 //! ## Overhead contract
 //!
@@ -33,6 +36,7 @@
 //! overhead under the 5% budget documented in DESIGN.md §9.
 
 pub mod event;
+pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod metrics;
@@ -41,6 +45,7 @@ pub mod span;
 pub mod trace;
 
 pub use event::{debug, error, event, info, log_enabled, set_log_filter, warn, Level};
+pub use fault::{FaultPlan, SiteStats, Trigger};
 pub use hist::Histogram;
 pub use metrics::{
     counter_add, gauge_set, hist_record, metrics_enabled, reset_metrics, set_metrics, snapshot,

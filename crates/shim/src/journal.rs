@@ -91,6 +91,15 @@ impl Journal {
     pub fn persist(&self, path: &std::path::Path) -> std::io::Result<()> {
         use std::io::Write;
         let mut f = std::fs::File::create(path)?;
+        // Chaos hook: an injected fsync failure that leaves a torn write
+        // behind (half the bytes landed before the error) — exactly the
+        // on-disk state a crash mid-persist produces, which `parse` must
+        // salvage as a valid prefix on reopen.
+        if bf4_obs::fault::fire("shim.journal_fsync") {
+            let _ = f.write_all(&self.buf[..self.buf.len() / 2]);
+            let _ = f.sync_all();
+            return Err(std::io::Error::other("injected fault: shim.journal_fsync"));
+        }
         f.write_all(&self.buf)?;
         let _sp = bf4_obs::span("shim", "journal_fsync");
         let t0 = std::time::Instant::now();

@@ -1,0 +1,121 @@
+//! Satellite: an fsync error injected mid-`persist`, then reopen.
+//!
+//! Proves the journal's two crash-safety promises under a *failed*
+//! persist that left a torn file behind:
+//!
+//! * **no torn record is replayed** — recovery salvages exactly the valid
+//!   prefix, with zero mismatches;
+//! * **no acknowledged rule is lost** — the in-memory journal still holds
+//!   every acknowledged update, so retrying the persist (the fault is a
+//!   one-shot) lands the full state, and a reopen from that file
+//!   reconstructs a state digest identical to the original shim's.
+//!
+//! Own integration-test binary: the fault plan is process-global.
+
+use bf4_core::driver::{verify, VerifyOptions};
+use bf4_obs::FaultPlan;
+use bf4_shim::controller::{Controller, WorkloadConfig};
+use bf4_shim::journal::JournaledShim;
+
+#[test]
+fn fsync_fault_mid_persist_then_reopen_loses_nothing() {
+    let annotations = verify(bf4_core::testutil::NAT_SOURCE, &VerifyOptions::default())
+        .unwrap()
+        .annotations;
+    let updates = Controller::new(
+        &annotations,
+        WorkloadConfig {
+            updates: 60,
+            faulty_fraction: 0.2,
+            delete_fraction: 0.2,
+            seed: 5,
+            ..WorkloadConfig::default()
+        },
+    )
+    .workload();
+
+    let mut shim = JournaledShim::new(&annotations);
+    let mut accepted = 0usize;
+    for u in &updates {
+        if shim.apply(u).is_ok() {
+            accepted += 1;
+        }
+    }
+    assert!(accepted > 10, "workload produced too few accepted updates");
+
+    let path = std::env::temp_dir().join(format!(
+        "bf4-journal-fault-{}.jnl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    // First persist: the injected fsync fault tears the write midway.
+    bf4_obs::fault::install(FaultPlan::parse("shim.journal_fsync=@1").unwrap());
+    let err = shim.persist_err(&path);
+    assert!(
+        err.to_string().contains("injected"),
+        "persist must surface the injected error, got: {err}"
+    );
+    let torn = std::fs::read(&path).unwrap();
+    assert!(
+        !torn.is_empty() && torn.len() < shim.journal().bytes().len(),
+        "the torn file must hold a strict prefix of the journal"
+    );
+
+    // Reopen from the torn file: a clean prefix, nothing invented.
+    let (recovered, report) = JournaledShim::recover(&annotations, &torn);
+    assert_eq!(report.mismatched, 0, "no torn record may be replayed");
+    assert!(
+        report.truncated_tail,
+        "the cut record must be detected and dropped"
+    );
+    assert!(
+        report.replayed + report.skipped < accepted,
+        "the torn file cannot already hold every acknowledged update"
+    );
+    assert!(recovered.journal().bytes().len() <= torn.len());
+
+    // The acknowledged state was never lost: it lives in the original
+    // shim's journal, and the retry (fault exhausted after @1) persists
+    // it all. A reopen then reconstructs the exact same shadow state.
+    shim.persist_ok(&path);
+    let stats = bf4_obs::fault::clear();
+    let site = stats.iter().find(|s| s.site == "shim.journal_fsync").unwrap();
+    assert_eq!((site.fires, site.hits), (1, 2));
+
+    let full = std::fs::read(&path).unwrap();
+    let (reopened, report) = JournaledShim::recover(&annotations, &full);
+    assert_eq!(report.mismatched, 0);
+    assert!(!report.truncated_tail);
+    assert_eq!(
+        report.replayed + report.skipped,
+        accepted,
+        "every acknowledged update must survive the failed persist + retry"
+    );
+    assert_eq!(
+        reopened.shim().state_digest(),
+        shim.shim().state_digest(),
+        "reopened shadow state must match the original"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Small helpers keeping the test body readable.
+trait PersistExt {
+    fn persist_err(&self, path: &std::path::Path) -> std::io::Error;
+    fn persist_ok(&self, path: &std::path::Path);
+}
+
+impl PersistExt for JournaledShim {
+    fn persist_err(&self, path: &std::path::Path) -> std::io::Error {
+        self.journal()
+            .persist(path)
+            .expect_err("armed fsync fault must fail the persist")
+    }
+
+    fn persist_ok(&self, path: &std::path::Path) {
+        self.journal()
+            .persist(path)
+            .expect("retry after the one-shot fault must succeed");
+    }
+}

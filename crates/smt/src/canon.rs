@@ -247,6 +247,37 @@ pub fn canon_key(t: &Term) -> u128 {
     query_key(std::slice::from_ref(t))
 }
 
+/// Fingerprint of the canonical hashing scheme itself.
+///
+/// Computed by running [`query_key`] over a fixed battery of probe
+/// queries exercising every hashing ingredient (operator tags, sorts,
+/// constants, commutativity, alpha renaming, multi-term combination) and
+/// folding the results. Any change to the canonicalization — new tags,
+/// different mixing, reordered passes — shifts this value, which the
+/// persistent query cache stores in its header: a cache written under a
+/// different scheme is discarded as stale instead of matching fresh
+/// queries against keys that no longer mean the same formula.
+pub fn schema_fingerprint() -> u64 {
+    let p = Term::var("p", Sort::Bool);
+    let q = Term::var("q", Sort::Bool);
+    let x = Term::var("x", Sort::Bv(16));
+    let y = Term::var("y", Sort::Bv(16));
+    let c = Term::bv(16, 0xbf4);
+    let probes: [Vec<Term>; 4] = [
+        vec![p.or(&q.not()), p.implies(&q)],
+        vec![x.bvadd(&y).eq_term(&c), x.bvult(&y)],
+        vec![Term::and_all([p.clone(), q.clone(), x.eq_term(&y)])],
+        vec![x.bvmul(&c).bvsub(&y).eq_term(&Term::bv(16, 1)), p],
+    ];
+    let mut h = mix(0xf19e_1234);
+    for probe in &probes {
+        let k = query_key(probe);
+        h = combine(h, k as u64);
+        h = combine(h, (k >> 64) as u64);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -112,11 +112,19 @@ pub struct GovernanceStats {
     pub queries: u64,
     /// Fresh-context retries performed after transient `Unknown`s.
     pub retries: u64,
+    /// Retries abandoned because the remaining deadline was smaller than
+    /// the minimum retry backoff — the query returned `Unknown` at once
+    /// instead of burning a doomed attempt.
+    pub retries_skipped: u64,
     /// Queries answered by the internal fallback solver.
     pub fallbacks: u64,
     /// Queries refused or aborted because a budget limit fired.
     pub budget_exhausted: u64,
 }
+
+/// Smallest backoff a retry would sleep (the first retry's backoff). A
+/// deadline with less than this remaining cannot fit a useful retry.
+const MIN_RETRY_BACKOFF: Duration = Duration::from_millis(2);
 
 /// A [`Solver`] wrapper enforcing [`ResourceBudget`] with retry and
 /// fallback. See the module docs for the exact policy.
@@ -250,6 +258,25 @@ impl GovernedSolver {
         }
         let deadline = self.budget.timeout.map(|t| Instant::now() + t);
 
+        // Chaos hooks: an injected backend failure or timeout degrades this
+        // query to `Unknown` — the same conservative answer a real one
+        // produces — and is reported through `last_error` like a real one.
+        let injected = if bf4_obs::fault::fire("smt.backend_error") {
+            Some(SolverError::Backend("injected fault: backend failure".into()))
+        } else if bf4_obs::fault::fire("smt.timeout") {
+            Some(SolverError::Budget(BudgetKind::Timeout))
+        } else {
+            None
+        };
+        if let Some(err) = injected {
+            self.stats.budget_exhausted += 1;
+            bf4_obs::counter_add("smt.budget_exhausted", 1);
+            sp.add_tag("verdict", "unknown");
+            sp.add_tag("injected", "fault");
+            self.last_error = Some(err);
+            return SatResult::Unknown;
+        }
+
         self.primary.set_budget(self.query_budget(deadline));
         let mut result = if assumptions.is_empty() {
             self.primary.check()
@@ -261,10 +288,26 @@ impl GovernedSolver {
         // between attempts is deliberately tiny: the point is to yield and
         // decorrelate, not to wait for an external service.
         let mut retries = 0;
-        while result == SatResult::Unknown
-            && retries < self.budget.max_retries
-            && deadline.is_none_or(|d| Instant::now() < d)
-        {
+        while result == SatResult::Unknown && retries < self.budget.max_retries {
+            // A retry needs at least its minimum backoff worth of deadline
+            // to have any chance; with less remaining, return `Unknown`
+            // now instead of burning a doomed attempt.
+            if let Some(d) = deadline {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining < MIN_RETRY_BACKOFF {
+                    self.stats.retries_skipped += 1;
+                    bf4_obs::counter_add("smt.retries_skipped", 1);
+                    bf4_obs::warn(
+                        "smt",
+                        &format!(
+                            "skipping retry: {remaining:?} of deadline left, \
+                             below minimum backoff {MIN_RETRY_BACKOFF:?}"
+                        ),
+                    );
+                    sp.add_tag("retries_skipped", "1");
+                    break;
+                }
+            }
             retries += 1;
             self.stats.retries += 1;
             // Backoff capped to the remaining deadline: a pooled worker
@@ -508,13 +551,10 @@ mod tests {
         }
     }
 
-    #[test]
-    fn retry_backoff_never_sleeps_past_the_deadline() {
-        // Force every attempt to come back Unknown fast (conflict cap 0 on
-        // pigeonhole 5-into-4, whose refutation needs search, not just
-        // propagation) and allow a huge retry count: the retry backoff must
-        // stay inside the per-query deadline instead of sleeping
-        // unconditionally between attempts.
+    /// Pigeonhole 5-into-4: unsatisfiable, but the refutation needs
+    /// search, so a conflict cap of 0 forces every attempt to `Unknown`
+    /// fast — the standard rig for exercising the retry machinery.
+    fn pigeonhole_5_into_4() -> Term {
         let p = |i: usize, j: usize| Term::var(format!("p{i}_{j}"), Sort::Bool);
         let mut clauses = Vec::new();
         for i in 0..5 {
@@ -527,7 +567,15 @@ mod tests {
                 }
             }
         }
-        let f = Term::and_all(clauses);
+        Term::and_all(clauses)
+    }
+
+    #[test]
+    fn retry_backoff_never_sleeps_past_the_deadline() {
+        // Allow a huge retry count: the retry backoff must stay inside the
+        // per-query deadline instead of sleeping unconditionally between
+        // attempts.
+        let f = pigeonhole_5_into_4();
         let timeout = Duration::from_millis(150);
         let mut s = governed();
         s.set_budget(ResourceBudget {
@@ -546,6 +594,28 @@ mod tests {
         );
         assert!(s.stats().retries > 0, "retries must actually have run");
     }
+
+    #[test]
+    fn retry_skipped_when_deadline_cannot_fit_the_backoff() {
+        // With a 1ms deadline the remaining time after the first attempt is
+        // always below the 2ms minimum backoff: the solver must return
+        // Unknown immediately and count a skipped retry, not sleep.
+        let f = pigeonhole_5_into_4();
+        let mut s = governed();
+        s.set_budget(ResourceBudget {
+            timeout: Some(Duration::from_millis(1)),
+            max_conflicts: Some(0),
+            max_retries: 10,
+            ..ResourceBudget::default()
+        });
+        assert_eq!(s.solve(&f).result, SatResult::Unknown);
+        assert_eq!(s.stats().retries, 0, "no retry fits a 1ms deadline");
+        assert_eq!(s.stats().retries_skipped, 1);
+    }
+
+    // Injected-fault behavior is tested in `tests/fault_inject.rs`, which
+    // runs in its own process: arming the global fault plan here would
+    // race the other unit tests' solver queries.
 
     #[test]
     fn push_pop_mirrored_across_rebuilds() {

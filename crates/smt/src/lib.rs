@@ -43,7 +43,7 @@ pub mod visit;
 #[cfg(feature = "z3")]
 pub mod z3backend;
 
-pub use canon::{canon_key, query_key};
+pub use canon::{canon_key, query_key, schema_fingerprint};
 pub use eval::{eval, Assignment, EvalError};
 pub use governed::{default_solver, new_solver, BackendKind, GovernedSolver, SolverConfig};
 pub use sexpr::{parse_sexpr, to_sexpr};

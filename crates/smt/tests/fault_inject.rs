@@ -1,0 +1,75 @@
+//! Fault injection through the governed solver.
+//!
+//! Lives in its own integration-test binary (its own process) because the
+//! fault plan is process-global: arming it next to unrelated unit tests
+//! would feed their solver queries into the site hit counters.
+
+use bf4_obs::FaultPlan;
+use bf4_smt::{default_solver, SatResult, Solver, SolverError, Sort, Term};
+use std::sync::{Mutex, PoisonError};
+
+/// All tests in this binary arm the global plan; serialize them.
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn injected_backend_fault_degrades_to_unknown_then_recovers() {
+    let _g = locked();
+    bf4_obs::fault::install(FaultPlan::parse("smt.backend_error=@2").unwrap());
+    let x = Term::var("x", Sort::Bool);
+    let mut s = default_solver();
+    s.assert(&x);
+    assert_eq!(s.check(), SatResult::Sat, "hit 1 must not fire");
+    assert_eq!(s.check(), SatResult::Unknown, "hit 2 must inject");
+    assert!(matches!(
+        s.last_error(),
+        Some(SolverError::Backend(msg)) if msg.contains("injected")
+    ));
+    assert_eq!(s.check(), SatResult::Sat, "fault exhausted after hit 2");
+    let stats = bf4_obs::fault::clear();
+    let site = stats
+        .iter()
+        .find(|s| s.site == "smt.backend_error")
+        .expect("site must have been reached");
+    assert_eq!(site.fires, 1);
+    assert!(site.hits >= 3);
+}
+
+#[test]
+fn injected_timeout_reports_a_budget_error() {
+    let _g = locked();
+    bf4_obs::fault::install(FaultPlan::parse("smt.timeout=on").unwrap());
+    let x = Term::var("x", Sort::Bool);
+    let mut s = default_solver();
+    s.assert(&x);
+    assert_eq!(s.check(), SatResult::Unknown);
+    assert!(matches!(
+        s.last_error(),
+        Some(SolverError::Budget(bf4_smt::BudgetKind::Timeout))
+    ));
+    bf4_obs::fault::clear();
+    assert_eq!(s.check(), SatResult::Sat, "disarmed plan must not inject");
+}
+
+#[test]
+fn same_seed_injects_the_same_schedule() {
+    let _g = locked();
+    let run = || -> Vec<SatResult> {
+        bf4_obs::fault::install(
+            FaultPlan::parse("seed=42,smt.backend_error=p0.3").unwrap(),
+        );
+        let x = Term::var("x", Sort::Bool);
+        let mut s = default_solver();
+        s.assert(&x);
+        let results = (0..20).map(|_| s.check()).collect();
+        bf4_obs::fault::clear();
+        results
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must replay the same fault schedule");
+    assert!(a.contains(&SatResult::Unknown), "p0.3 over 20 hits fired never");
+    assert!(a.contains(&SatResult::Sat), "p0.3 over 20 hits fired always");
+}
