@@ -68,7 +68,8 @@ cargo test -q -p bf4-shim --offline --test journal_fault \
     -- --exact fsync_fault_mid_persist_then_reopen_loses_nothing
 
 tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
+bf4d_pid=""
+trap '[ -n "$bf4d_pid" ] && kill "$bf4d_pid" 2>/dev/null; rm -rf "$tmpdir"' EXIT
 
 echo "==> tracing smoke test (--trace-out + trace-lint)"
 # A traced run must emit schema-valid spans covering every instrumented
@@ -81,8 +82,12 @@ out=$(cargo run -q --release --offline -p bf4-engine --bin bf4 -- \
     || [ $? -eq 1 ]
 cargo run -q --release --offline -p bf4-bench --bin report -- \
     trace-lint "$tmpdir/trace.jsonl" --require-layers frontend,ir,smt,core,engine
+# To a file first: piping straight into `head` races report's later
+# writes against head's exit (EPIPE panic).
 cargo run -q --release --offline -p bf4-bench --bin report -- \
-    profile "$tmpdir/trace.jsonl" | head -3
+    profile "$tmpdir/trace.jsonl" > "$tmpdir/profile.txt"
+head -3 "$tmpdir/profile.txt"
+grep '^cache:' "$tmpdir/profile.txt"  # the unified cache-hit accounting line
 
 echo "==> sequential-vs-parallel corpus differential"
 # Normalized corpus reports (sorted bug/degraded lines, no timings) must
@@ -115,6 +120,51 @@ echo "==> warm-vs-cold persistent cache smoke"
 cargo run -q --release --offline -p bf4-bench --bin report -- cachebench \
     --dir "$tmpdir/cache-store" --out "$tmpdir/BENCH_cache.json"
 grep -q '"preloaded": 0' "$tmpdir/BENCH_cache.json"  # cold run starts empty
+
+echo "==> daemon test suites (incremental soundness, impact property, chaos)"
+# The daemon's load-bearing suites by name, so a rename or filter-out
+# fails loudly here.
+cargo test -q -p bf4-daemon --offline --test daemon_integration \
+    scripted_edit_sequence_matches_one_shot \
+    -- --exact scripted_edit_sequence_matches_one_shot
+cargo test -q -p bf4-daemon --offline --test impact_props \
+    single_action_edit_impact_is_sound \
+    -- --exact single_action_edit_impact_is_sound
+cargo test -q -p bf4-daemon --offline --test daemon_chaos \
+    faults_degrade_one_request_without_poisoning_state \
+    -- --exact faults_degrade_one_request_without_poisoning_state
+
+echo "==> daemon smoke (bf4d + bf4 client, incremental re-verify)"
+# Start bf4d on a temp socket, submit a corpus program, edit it, and
+# resubmit: the second response must be incremental (skips > 0 in the
+# client summary) and its normalized report byte-identical both to the
+# first verdict and to a one-shot run of the edited source.
+sock="$tmpdir/bf4d.sock"
+./target/release/bf4d --socket "$sock" --quiet &
+bf4d_pid=$!
+for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ]
+cp crates/corpus/programs/simple_nat.p4 "$tmpdir/watched.p4"
+./target/release/bf4 client --socket "$sock" submit "$tmpdir/watched.p4" \
+    --program nat --normalized \
+    > "$tmpdir/daemon-v1.txt" 2> "$tmpdir/daemon-v1.log" || [ $? -eq 1 ]
+printf '\n// ci daemon smoke edit\n' >> "$tmpdir/watched.p4"
+./target/release/bf4 client --socket "$sock" submit "$tmpdir/watched.p4" \
+    --program nat --normalized \
+    > "$tmpdir/daemon-v2.txt" 2> "$tmpdir/daemon-v2.log" || [ $? -eq 1 ]
+grep -Eq 'skips=[1-9]' "$tmpdir/daemon-v2.log"  # second submit was incremental
+./target/release/report normalize "$tmpdir/watched.p4" --name nat \
+    > "$tmpdir/daemon-oneshot.txt"
+diff -u "$tmpdir/daemon-oneshot.txt" "$tmpdir/daemon-v2.txt"
+diff -u "$tmpdir/daemon-v1.txt" "$tmpdir/daemon-v2.txt"
+./target/release/bf4 client --socket "$sock" shutdown
+wait "$bf4d_pid"
+bf4d_pid=""
+echo "daemon smoke OK"
+
+echo "==> daemonbench gate (warm incremental strictly faster, verdicts identical)"
+cargo run -q --release --offline -p bf4-bench --bin report -- daemonbench \
+    --out "$tmpdir/BENCH_daemon.json"
 
 echo "==> BF4_FAULTS CLI smoke + fault audit"
 # The CLI must honor a BF4_FAULTS schedule end to end: same exit-code

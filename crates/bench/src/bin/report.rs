@@ -38,8 +38,18 @@
 //!                      (optionally written as BENCH_cache.json); exit 1
 //!                      unless the warm hit rate strictly beats the cold
 //!                      one and the reports stay identical
-//! report all           everything above except `corpus`, `chaos` and
-//!                      `cachebench`
+//! report daemonbench [--out FILE]
+//!                      cold full-verify vs warm incremental re-verify over
+//!                      a scripted edit of every corpus program, through an
+//!                      in-process bf4d daemon (optionally written as
+//!                      BENCH_daemon.json); exit 1 unless the warm pass is
+//!                      strictly faster, skips bugs, and every verdict is
+//!                      byte-identical to a one-shot run
+//! report normalize <file.p4> [--name N]
+//!                      one-shot normalized report of a single program on
+//!                      stdout (what ci.sh diffs a daemon verdict against)
+//! report all           everything above except `corpus`, `chaos`,
+//!                      `cachebench` and `daemonbench`
 //! ```
 
 use bf4_core::driver::{verify_isolated, VerifyOptions};
@@ -66,6 +76,8 @@ fn main() {
         "faults" => faults(),
         "chaos" => chaos(),
         "cachebench" => cachebench(),
+        "daemonbench" => daemonbench(),
+        "normalize" => normalize_cmd(),
         "all" => {
             table1();
             slicing();
@@ -442,7 +454,8 @@ fn read_trace(path: &str) -> Vec<bf4_obs::TraceSpan> {
     spans
 }
 
-/// Aggregate a trace file into the per-program / per-stage time table.
+/// Aggregate a trace file into the per-program / per-stage time table,
+/// plus the cache's effectiveness as seen by the solver spans.
 fn profile() {
     let Some(path) = std::env::args().nth(2) else {
         eprintln!("usage: report profile <trace.jsonl>");
@@ -450,6 +463,33 @@ fn profile() {
     };
     let spans = read_trace(&path);
     print!("{}", bf4_obs::stage_table(&spans));
+    // Cache accounting from `smt/query` spans, on the one definition all
+    // surfaces share (DESIGN.md §11): a lookup answered from the cache is
+    // a hit whether the entry was computed this session or warm-started
+    // from a persistent store; `warm` breaks out the latter. This matches
+    // the CLI summary line and the daemon's `stats` response.
+    let (mut hits, mut warm, mut misses) = (0u64, 0u64, 0u64);
+    for s in &spans {
+        if s.layer != "smt" || s.name != "query" {
+            continue;
+        }
+        match s.tags.get("cache").map(String::as_str) {
+            Some("hit") => {
+                hits += 1;
+                if s.tags.get("warm").map(String::as_str) == Some("true") {
+                    warm += 1;
+                }
+            }
+            Some("miss") => misses += 1,
+            _ => {}
+        }
+    }
+    if hits + misses > 0 {
+        println!(
+            "cache: {hits} hit(s) [{warm} warm] / {misses} miss(es), hit-rate {:.1}%",
+            100.0 * hits as f64 / (hits + misses) as f64
+        );
+    }
 }
 
 /// Validate a trace file against the span schema; optionally require a
@@ -787,6 +827,163 @@ fn cachebench() {
         std::process::exit(1);
     }
     println!("cachebench OK: warm-start hit rate strictly exceeds cold");
+}
+
+/// Cold full-verify vs warm incremental re-verify through an in-process
+/// daemon: submit every corpus program cold, apply a scripted edit to
+/// each, resubmit (incremental), and compare against a cold one-shot
+/// verification of the same edited sources. The gates are the PR's
+/// incremental soundness criteria: every daemon verdict byte-identical to
+/// the one-shot normalized report, the skip counter proving not every bug
+/// re-verified, and the warm pass strictly faster than the cold one.
+fn daemonbench() {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+                if out.is_none() {
+                    eprintln!("report daemonbench: --out expects a file path");
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!("report daemonbench: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!("== daemonbench: cold full-verify vs warm incremental re-verify ==");
+    let programs = corpus_programs();
+    let options = VerifyOptions::default();
+    // The scripted edit: a trailing comment — the IR is unchanged, which
+    // is the watch-mode hot path (save, re-verify, nothing moved).
+    let edited: Vec<(String, String)> = programs
+        .iter()
+        .map(|(name, source)| (name.clone(), format!("{source}\n// daemonbench edit\n")))
+        .collect();
+
+    let mut daemon = bf4_daemon::Daemon::new(bf4_daemon::DaemonConfig::default());
+    let t0 = Instant::now();
+    for (name, source) in &programs {
+        daemon.submit(name, source);
+    }
+    let cold_wall = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let warm: Vec<bf4_daemon::SubmitOutcome> = edited
+        .iter()
+        .map(|(name, source)| daemon.submit(name, source))
+        .collect();
+    let warm_wall = t1.elapsed().as_secs_f64();
+    let skips: u64 = warm.iter().map(|o| o.skips).sum();
+    let reverified: u64 = warm.iter().map(|o| o.reverified).sum();
+
+    // The baseline the warm pass must beat: verifying the edited sources
+    // from scratch, exactly what a non-incremental `bf4` run would do.
+    let t2 = Instant::now();
+    let baseline: Vec<String> = edited
+        .iter()
+        .map(|(name, source)| normalized_report(name, &verify_isolated(source, &options)))
+        .collect();
+    let baseline_wall = t2.elapsed().as_secs_f64();
+
+    println!("cold submit (all programs):        {cold_wall:.3}s");
+    println!(
+        "warm incremental resubmit (edits): {warm_wall:.3}s ({skips} skip(s), {reverified} re-verified)"
+    );
+    println!("cold one-shot of the same edits:   {baseline_wall:.3}s");
+
+    let mut failed = false;
+    for (o, expect) in warm.iter().zip(&baseline) {
+        if &o.normalized != expect {
+            eprintln!("daemonbench: {}: incremental verdict differs from one-shot", o.program);
+            failed = true;
+        }
+    }
+    if skips == 0 {
+        eprintln!("daemonbench: the warm pass skipped nothing — it was not incremental");
+        failed = true;
+    }
+    if warm_wall >= baseline_wall {
+        eprintln!(
+            "daemonbench: warm incremental {warm_wall:.3}s must be strictly faster than the \
+             cold one-shot {baseline_wall:.3}s"
+        );
+        failed = true;
+    }
+
+    if let Some(path) = out {
+        let json = format!(
+            "{{\n  \"bench\": \"daemon\",\n  \"programs\": {},\n  \"cold\": {{\"wall_seconds\": {cold_wall:.6}}},\n  \"warm_incremental\": {{\"wall_seconds\": {warm_wall:.6}, \"skips\": {skips}, \"reverified\": {reverified}}},\n  \"cold_one_shot_of_edits\": {{\"wall_seconds\": {baseline_wall:.6}}},\n  \"verdicts_identical\": {},\n  \"speedup\": {:.2}\n}}\n",
+            programs.len(),
+            !failed,
+            baseline_wall / warm_wall.max(1e-9),
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("report daemonbench: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path}");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "daemonbench OK: warm incremental strictly faster ({:.1}x), verdicts identical",
+        baseline_wall / warm_wall.max(1e-9)
+    );
+}
+
+/// One-shot normalized report of a single program file — the reference a
+/// daemon verdict must be byte-identical to (ci.sh diffs the two).
+fn normalize_cmd() {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut path: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--name" => {
+                i += 1;
+                name = args.get(i).cloned();
+                if name.is_none() {
+                    eprintln!("report normalize: --name expects a program name");
+                    std::process::exit(2);
+                }
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("report normalize: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("usage: report normalize <file.p4> [--name N]");
+        std::process::exit(2);
+    };
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("report normalize: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let name = name.unwrap_or_else(|| {
+        std::path::Path::new(&path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(&path)
+            .to_string()
+    });
+    print!(
+        "{}",
+        normalized_report(&name, &verify_isolated(&source, &VerifyOptions::default()))
+    );
 }
 
 /// Speedup-vs-jobs table over the corpus, with per-stage latencies and

@@ -1,0 +1,172 @@
+//! `bf4d` — the incremental verification daemon.
+//!
+//! ```text
+//! bf4d --socket <path> | --tcp <addr> [options]
+//!   --socket <path>        listen on a unix-domain socket (stale files are
+//!                          replaced)
+//!   --tcp <addr>           listen on a TCP address, e.g. 127.0.0.1:9944
+//!   --cache-cap <n>        SMT query-cache capacity in entries (default 65536)
+//!   --cache-dir <dir>      warm-start the query cache from a durable store in
+//!                          <dir> once at startup (implies --cache-persist)
+//!   --no-cache-persist     do not save the cache back to --cache-dir at
+//!                          shutdown
+//!   --timeout-ms <n>       per-query solver deadline in milliseconds
+//!   --egress               also analyze the egress pipeline (in separation)
+//!   --trace-out <file>     append each request's span tree as JSONL
+//!   --quiet                suppress per-request log lines
+//! ```
+//!
+//! The daemon serves the length-prefixed JSON protocol documented in
+//! `bf4_daemon::proto` until a `shutdown` request, then persists the
+//! cache (unless `--no-cache-persist`) and exits 0. Talk to it with
+//! `bf4 client` or any client that speaks the protocol.
+
+use bf4_daemon::server::{serve, Listener, ServeOptions};
+use bf4_daemon::{Daemon, DaemonConfig};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket: Option<PathBuf> = None;
+    let mut tcp: Option<String> = None;
+    let mut config = DaemonConfig::default();
+    let mut no_cache_persist = false;
+    let mut opts = ServeOptions::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => socket = Some(p.into()),
+                    None => usage_error("--socket expects a path"),
+                }
+            }
+            "--tcp" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => tcp = Some(a.clone()),
+                    None => usage_error("--tcp expects an address like 127.0.0.1:9944"),
+                }
+            }
+            "--cache-cap" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) => config.cache_cap = n,
+                    _ => usage_error("--cache-cap expects a number of entries"),
+                }
+            }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => config.cache_dir = Some(dir.into()),
+                    None => usage_error("--cache-dir expects a directory path"),
+                }
+            }
+            "--no-cache-persist" => no_cache_persist = true,
+            "--timeout-ms" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse::<u64>()) {
+                    Some(Ok(ms)) => {
+                        config.options.solver.budget.timeout =
+                            Some(std::time::Duration::from_millis(ms));
+                    }
+                    _ => usage_error("--timeout-ms expects a number of milliseconds"),
+                }
+            }
+            "--egress" => config.options.include_egress = true,
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => opts.trace_out = Some(p.into()),
+                    None => usage_error("--trace-out expects an output path"),
+                }
+            }
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bf4d --socket PATH | --tcp ADDR [--cache-cap N] [--cache-dir DIR] \
+                     [--no-cache-persist] [--timeout-ms N] [--egress] [--trace-out FILE] [--quiet]"
+                );
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    match (&socket, &tcp) {
+        (None, None) => usage_error("one of --socket or --tcp is required"),
+        (Some(_), Some(_)) => usage_error("--socket and --tcp are mutually exclusive"),
+        _ => {}
+    }
+    // A durable store is pointless without saving back to it: --cache-dir
+    // implies persistence, with --no-cache-persist as the escape hatch.
+    config.cache_persist = config.cache_dir.is_some() && !no_cache_persist;
+
+    if opts.trace_out.is_some() {
+        bf4_obs::set_enabled(true);
+    }
+
+    let listener = match (&socket, &tcp) {
+        (Some(path), None) => {
+            // Replace a stale socket file from a previous run; a live
+            // daemon on the same path would have to be stopped first.
+            let _ = std::fs::remove_file(path);
+            match UnixListener::bind(path) {
+                Ok(l) => {
+                    if !opts.quiet {
+                        eprintln!("bf4d: listening on {}", path.display());
+                    }
+                    Listener::Unix(l)
+                }
+                Err(e) => {
+                    eprintln!("bf4d: cannot bind {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        (None, Some(addr)) => match TcpListener::bind(addr) {
+            Ok(l) => {
+                if !opts.quiet {
+                    eprintln!("bf4d: listening on tcp {addr}");
+                }
+                Listener::Tcp(l)
+            }
+            Err(e) => {
+                eprintln!("bf4d: cannot bind {addr}: {e}");
+                std::process::exit(2);
+            }
+        },
+        _ => unreachable!("validated above"),
+    };
+
+    let mut daemon = Daemon::new(config);
+    match serve(listener, &mut daemon, &opts) {
+        Ok(requests) => {
+            if !opts.quiet {
+                let stats = daemon.stats();
+                eprintln!(
+                    "bf4d: shutdown after {requests} request(s) ({} submit(s), \
+                     {} incremental skip(s), {} re-verification(s))",
+                    stats.submits, stats.incremental_skips, stats.full_reverifies
+                );
+            }
+            if let Some(path) = &socket {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        Err(e) => {
+            eprintln!("bf4d: service loop failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("bf4d: {msg} (try --help)");
+    std::process::exit(2);
+}

@@ -1,0 +1,208 @@
+//! Incremental re-verification: the sequential driver's round loop with
+//! slice-based verdict reuse.
+//!
+//! The driver mirrors [`bf4_core::driver::verify_program_with`] — same
+//! building blocks (`prepare_round` → per-bug reachability checks →
+//! `finish_round`), same degradation accounting — with one change: on
+//! round 1, a bug whose [`BugPrint`] fingerprint matches a verdict stored
+//! from the previous version of the same program takes the stored
+//! `Sat`/`Unsat` answer instead of running the solver. Rounds ≥ 2 (the
+//! re-verification of a *fixed* program) always check everything, and
+//! `Unknown` verdicts are never stored or reused, exactly like the query
+//! cache.
+//!
+//! Soundness: a matching fingerprint implies the reachability condition
+//! has the same canonical key (see [`crate::impact`]), and definite
+//! verdicts are deterministic functions of that key — the same argument
+//! that makes the shared query cache report-preserving, enforced here by
+//! the byte-identical-normalized-report gate in the daemon tests and
+//! `ci.sh`.
+
+use crate::impact::bug_prints;
+use bf4_core::driver::{
+    finish_round, merge_reports, prepare_round, ReachInfo, Report, RoundResult, RoundState,
+    SolverFactory, VerifyOptions,
+};
+use bf4_core::reach::{check_bugs, BugCheckStats, BugStatus};
+use bf4_engine::{CachedSolver, QueryCache};
+use bf4_p4::typecheck::Program;
+use bf4_smt::{new_solver, SatResult, Solver};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A reachability verdict remembered across program versions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoredVerdict {
+    /// Fingerprint of the bug's slice + condition when the verdict ran.
+    pub fingerprint: u64,
+    /// The definite round-1 verdict (`Sat` or `Unsat`, never `Unknown`).
+    pub verdict: SatResult,
+}
+
+/// Verdict store of one program, keyed by bug identity.
+pub type VerdictMap = HashMap<String, StoredVerdict>;
+
+/// What one incremental verification produced.
+pub struct IncrementalOutcome {
+    /// The report, identical (normalized) to a one-shot run.
+    pub report: Report,
+    /// Round-1 verdicts to remember for the next version.
+    pub verdicts: VerdictMap,
+    /// Round-1 bugs answered from stored verdicts.
+    pub skips: u64,
+    /// Round-1 bugs re-verified with the solver.
+    pub reverified: u64,
+}
+
+/// Verify `source` incrementally against `prior` verdicts, mirroring
+/// [`bf4_core::driver::verify`] (ingress, plus egress in separation when
+/// `options.include_egress`). Frontend errors surface as `Err`, exactly
+/// like the one-shot path; the caller is responsible for panic isolation.
+pub fn verify_incremental(
+    source: &str,
+    options: &VerifyOptions,
+    prior: &VerdictMap,
+    cache: &Arc<QueryCache>,
+) -> Result<IncrementalOutcome, bf4_p4::Error> {
+    let t_total = Instant::now();
+    let program = bf4_p4::frontend(source)?;
+    let mut out = verify_part(&program, options, source, "ingress", prior, cache)?;
+    if options.include_egress {
+        let mut egress_opts = options.clone();
+        egress_opts.lower.part = bf4_ir::lower::PipelinePart::Egress;
+        egress_opts.include_egress = false;
+        let egress = verify_part(&program, &egress_opts, source, "egress", prior, cache)?;
+        merge_reports(&mut out.report, egress.report);
+        out.verdicts.extend(egress.verdicts);
+        out.skips += egress.skips;
+        out.reverified += egress.reverified;
+    }
+    out.report.timings.total = t_total.elapsed();
+    Ok(out)
+}
+
+/// One pipeline part of [`verify_incremental`]: the round loop of
+/// `verify_program_with` with round-1 verdict reuse.
+fn verify_part(
+    program: &Program,
+    options: &VerifyOptions,
+    source: &str,
+    part: &str,
+    prior: &VerdictMap,
+    cache: &Arc<QueryCache>,
+) -> Result<IncrementalOutcome, bf4_p4::Error> {
+    let solver_cfg = options.solver.clone();
+    let cache_for_factory = cache.clone();
+    let factory: &SolverFactory = &move || {
+        Box::new(CachedSolver::owned(
+            Box::new(new_solver(&solver_cfg)),
+            cache_for_factory.clone(),
+        )) as Box<dyn Solver>
+    };
+
+    let mut state = RoundState::new(program, options, source);
+    let mut verdicts: VerdictMap = HashMap::new();
+    let mut skips = 0u64;
+    let mut reverified = 0u64;
+    loop {
+        let prep = prepare_round(&state.program, &state.options)?;
+        state.begin_round(&prep);
+        let mut prep = prep;
+        let t0 = Instant::now();
+        let mut solver = factory();
+        let mut stats = BugCheckStats::default();
+        // Highest-index undecided detail wins, mirroring the parallel
+        // engine's per-bug accounting (pipeline.rs).
+        let mut details: Vec<(usize, String)> = Vec::new();
+        if state.round == 1 {
+            let prints = bug_prints(part, &prep.cfg, &prep.bugs);
+            for (i, bug) in prep.bugs.iter_mut().enumerate() {
+                let reused = prior
+                    .get(&prints[i].identity)
+                    .filter(|s| s.fingerprint == prints[i].fingerprint)
+                    .map(|s| s.verdict);
+                match reused {
+                    Some(SatResult::Sat) => {
+                        bug.status = BugStatus::Reachable;
+                        stats.reachable += 1;
+                        skips += 1;
+                    }
+                    Some(SatResult::Unsat) => {
+                        bug.status = BugStatus::Unreachable;
+                        skips += 1;
+                    }
+                    _ => {
+                        let s = check_bugs(
+                            solver.as_mut(),
+                            std::slice::from_mut(bug),
+                            &[],
+                            BugStatus::Reachable,
+                        );
+                        if s.undecided > 0 {
+                            if let Some(e) = solver.last_error() {
+                                details.push((i, e.to_string()));
+                            }
+                        }
+                        stats.reachable += s.reachable;
+                        stats.undecided += s.undecided;
+                        reverified += 1;
+                    }
+                }
+                // Remember the definite verdict (reused or fresh) for the
+                // next version; `Undecided` is a budget artifact and is
+                // never stored, like in the query cache.
+                let verdict = match bug.status {
+                    BugStatus::Reachable => Some(SatResult::Sat),
+                    BugStatus::Unreachable => Some(SatResult::Unsat),
+                    _ => None,
+                };
+                if let Some(verdict) = verdict {
+                    verdicts.insert(
+                        prints[i].identity.clone(),
+                        StoredVerdict {
+                            fingerprint: prints[i].fingerprint,
+                            verdict,
+                        },
+                    );
+                }
+            }
+        } else {
+            // Rounds after a fix re-verify the *fixed* program: no stored
+            // verdict applies, run the checks like the sequential driver.
+            for (i, bug) in prep.bugs.iter_mut().enumerate() {
+                let s = check_bugs(
+                    solver.as_mut(),
+                    std::slice::from_mut(bug),
+                    &[],
+                    BugStatus::Reachable,
+                );
+                if s.undecided > 0 {
+                    if let Some(e) = solver.last_error() {
+                        details.push((i, e.to_string()));
+                    }
+                }
+                stats.reachable += s.reachable;
+                stats.undecided += s.undecided;
+            }
+        }
+        details.sort_by_key(|d| d.0);
+        let reach = ReachInfo {
+            stats,
+            queries_used: solver.queries_used(),
+            detail: details.pop().map(|d| d.1),
+            duration: t0.elapsed(),
+        };
+        match finish_round(&mut state, prep, reach, solver, factory) {
+            RoundResult::Continue => continue,
+            RoundResult::Done(report) => {
+                return Ok(IncrementalOutcome {
+                    report: *report,
+                    verdicts,
+                    skips,
+                    reverified,
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,385 @@
+#![warn(missing_docs)]
+
+//! # bf4-daemon — `bf4d`, the incremental verification service
+//!
+//! A long-running server that accepts program submissions and
+//! re-verification requests over a length-prefixed JSON protocol (unix
+//! socket, or TCP with `--tcp`) and answers each by running the existing
+//! pipeline **incrementally**:
+//!
+//! * [`impact`] — per-bug identity + slice/condition fingerprints, the
+//!   change-impact oracle built on `bf4-ir`'s slicer;
+//! * [`incremental`] — the sequential driver's round loop with round-1
+//!   verdict reuse for bugs whose fingerprint is unchanged;
+//! * [`proto`] — the wire protocol (4-byte big-endian length prefix +
+//!   one JSON object per frame);
+//! * [`server`] — the accept loop over a unix or TCP listener.
+//!
+//! Per-program state (version counter, last report, stored verdicts) is
+//! kept in memory; the shared [`QueryCache`] is warm-started once from a
+//! persistent [`Store`] at startup and saved back at shutdown, so repeat
+//! queries are warm across requests *and* daemon restarts.
+//!
+//! Failure model: each submission runs under `catch_unwind` with the
+//! same degraded-report semantics as `verify_isolated`. A degraded or
+//! failed run drops that program's stored verdicts (never reused) while
+//! every other program's state is untouched.
+
+pub mod impact;
+pub mod incremental;
+pub mod proto;
+pub mod server;
+
+use crate::incremental::{verify_incremental, IncrementalOutcome, VerdictMap};
+use bf4_core::driver::{Report, VerifyOptions};
+use bf4_engine::{normalized_report, PersistStats, QueryCache, Store};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a daemon is sized and where its cache persists.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Pipeline options every submission is verified with.
+    pub options: VerifyOptions,
+    /// Query-cache capacity in entries (0 disables caching).
+    pub cache_cap: usize,
+    /// Persistent store directory, warm-started once at startup.
+    pub cache_dir: Option<PathBuf>,
+    /// Save the cache back to `cache_dir` at shutdown.
+    pub cache_persist: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            options: VerifyOptions::default(),
+            cache_cap: 65536,
+            cache_dir: None,
+            cache_persist: false,
+        }
+    }
+}
+
+/// Per-program daemon state.
+struct ProgramState {
+    version: u64,
+    report: Report,
+    normalized: String,
+    verdicts: VerdictMap,
+    last_skips: u64,
+    last_reverified: u64,
+    last_wall: Duration,
+}
+
+/// Daemon-level request counters (the obs layer mirrors them as typed
+/// counters: `daemon.requests`, `daemon.incremental_skips`,
+/// `daemon.full_reverifies`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaemonStats {
+    /// Protocol requests handled (any op).
+    pub requests: u64,
+    /// Submissions verified (including degraded ones).
+    pub submits: u64,
+    /// Requests answered with a protocol-level error.
+    pub errors: u64,
+    /// Round-1 bug checks answered from stored verdicts.
+    pub incremental_skips: u64,
+    /// Round-1 bug checks that ran the solver.
+    pub full_reverifies: u64,
+}
+
+/// What one submission produced, for protocol encoding and benches.
+pub struct SubmitOutcome {
+    /// Program name the state is keyed under.
+    pub program: String,
+    /// Version counter after this submission (1-based).
+    pub version: u64,
+    /// The full report.
+    pub report: Report,
+    /// [`bf4_engine::normalized_report`] rendering of `report` — the
+    /// byte-comparable form the soundness gate diffs against one-shot
+    /// runs.
+    pub normalized: String,
+    /// Bugs answered from stored verdicts in this submission.
+    pub skips: u64,
+    /// Bugs re-verified with the solver in this submission.
+    pub reverified: u64,
+    /// Wall-clock time of the submission.
+    pub wall: Duration,
+}
+
+/// The daemon: program registry + shared query cache + counters. The
+/// service loop in [`server`] owns one and feeds it decoded requests;
+/// benches and tests drive it in-process.
+pub struct Daemon {
+    config: DaemonConfig,
+    cache: Arc<QueryCache>,
+    store: Option<Store>,
+    persist: Option<PersistStats>,
+    programs: HashMap<String, ProgramState>,
+    stats: DaemonStats,
+}
+
+impl Daemon {
+    /// Build a daemon, warm-starting the query cache from
+    /// `config.cache_dir` if set. Store open failures degrade to a cold
+    /// cache, never to a failed daemon.
+    pub fn new(config: DaemonConfig) -> Daemon {
+        let cache = QueryCache::new(config.cache_cap);
+        let mut store = None;
+        let mut persist = None;
+        if let Some(dir) = &config.cache_dir {
+            match Store::open(dir, &cache) {
+                Ok((s, load)) => {
+                    store = Some(s);
+                    persist = Some(PersistStats::from_load(&load));
+                }
+                Err(e) => {
+                    bf4_obs::error("daemon", &format!("cache store open failed: {e}"));
+                    persist = Some(PersistStats {
+                        io_errors: 1,
+                        ..PersistStats::default()
+                    });
+                }
+            }
+        }
+        Daemon {
+            config,
+            cache,
+            store,
+            persist,
+            programs: HashMap::new(),
+            stats: DaemonStats::default(),
+        }
+    }
+
+    /// The shared query cache (for stats surfaces).
+    pub fn cache(&self) -> &Arc<QueryCache> {
+        &self.cache
+    }
+
+    /// Persistent-store outcome so far, when a store is configured.
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.persist
+    }
+
+    /// Daemon-level counters.
+    pub fn stats(&self) -> DaemonStats {
+        self.stats
+    }
+
+    /// Names of programs with resident state, sorted.
+    pub fn program_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.programs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Verify a (new version of a) program. Mirrors `verify_isolated`'s
+    /// failure semantics: a frontend error or pipeline panic yields a
+    /// degraded report, recorded as the program's current state with its
+    /// stored verdicts dropped — a degraded run must never seed the next
+    /// version's reuse. Other programs' state is untouched either way.
+    pub fn submit(&mut self, name: &str, source: &str) -> SubmitOutcome {
+        let t0 = Instant::now();
+        self.stats.submits += 1;
+        let prior = self
+            .programs
+            .get(name)
+            .map(|p| p.verdicts.clone())
+            .unwrap_or_default();
+        let options = self.config.options.clone();
+        let cache = self.cache.clone();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            verify_incremental(source, &options, &prior, &cache)
+        }));
+        let (report, verdicts, skips, reverified) = match result {
+            Ok(Ok(IncrementalOutcome {
+                report,
+                verdicts,
+                skips,
+                reverified,
+            })) => {
+                // A degraded run may hold stale per-bug context; keep only
+                // the round-1 verdicts (always definite) when clean, drop
+                // everything when any stage degraded.
+                if report.degraded.is_empty() {
+                    (report, verdicts, skips, reverified)
+                } else {
+                    (report, VerdictMap::new(), skips, reverified)
+                }
+            }
+            Ok(Err(e)) => {
+                bf4_obs::error("daemon", &format!("frontend rejected {name}: {e}"));
+                (
+                    Report::failed("frontend", e.to_string(), t0.elapsed()),
+                    VerdictMap::new(),
+                    0,
+                    0,
+                )
+            }
+            Err(payload) => {
+                let msg = panic_message(&*payload);
+                bf4_obs::error("daemon", &format!("pipeline panicked on {name}: {msg}"));
+                (
+                    Report::failed("pipeline", msg, t0.elapsed()),
+                    VerdictMap::new(),
+                    0,
+                    0,
+                )
+            }
+        };
+        self.stats.incremental_skips += skips;
+        self.stats.full_reverifies += reverified;
+        bf4_obs::counter_add("daemon.incremental_skips", skips);
+        bf4_obs::counter_add("daemon.full_reverifies", reverified);
+        let normalized = normalized_report(name, &report);
+        let wall = t0.elapsed();
+        let version = self.programs.get(name).map(|p| p.version).unwrap_or(0) + 1;
+        self.programs.insert(
+            name.to_string(),
+            ProgramState {
+                version,
+                report: report.clone(),
+                normalized: normalized.clone(),
+                verdicts,
+                last_skips: skips,
+                last_reverified: reverified,
+                last_wall: wall,
+            },
+        );
+        SubmitOutcome {
+            program: name.to_string(),
+            version,
+            report,
+            normalized,
+            skips,
+            reverified,
+            wall,
+        }
+    }
+
+    /// The last verdict for `name`, if it was ever submitted.
+    pub fn status(&self, name: &str) -> Option<SubmitOutcome> {
+        self.programs.get(name).map(|p| SubmitOutcome {
+            program: name.to_string(),
+            version: p.version,
+            report: p.report.clone(),
+            normalized: p.normalized.clone(),
+            skips: p.last_skips,
+            reverified: p.last_reverified,
+            wall: p.last_wall,
+        })
+    }
+
+    /// Handle one decoded protocol request. Opens the `daemon.request`
+    /// span every engine span of the submission nests under, and keeps
+    /// the typed daemon counters. Returns the response and whether the
+    /// caller should shut the service down.
+    pub fn handle(&mut self, req: proto::Request) -> (proto::Response, bool) {
+        let mut sp = bf4_obs::span("daemon", "request");
+        self.stats.requests += 1;
+        bf4_obs::counter_add("daemon.requests", 1);
+        match req {
+            proto::Request::Ping => {
+                if sp.is_active() {
+                    sp.add_tag("op", "ping");
+                }
+                (proto::Response::Pong, false)
+            }
+            proto::Request::Submit { program, source } => {
+                if sp.is_active() {
+                    sp.add_tag("op", "submit");
+                    sp.add_tag("program", &program);
+                }
+                let out = self.submit(&program, &source);
+                if sp.is_active() {
+                    sp.add_tag("skips", out.skips.to_string());
+                    sp.add_tag("reverified", out.reverified.to_string());
+                }
+                (proto::Response::Verdict(Box::new(out)), false)
+            }
+            proto::Request::Status { program } => {
+                if sp.is_active() {
+                    sp.add_tag("op", "status");
+                    sp.add_tag("program", &program);
+                }
+                match self.status(&program) {
+                    Some(out) => (proto::Response::Verdict(Box::new(out)), false),
+                    None => {
+                        self.stats.errors += 1;
+                        (
+                            proto::Response::Error {
+                                error: format!("unknown program `{program}`"),
+                            },
+                            false,
+                        )
+                    }
+                }
+            }
+            proto::Request::Stats => {
+                if sp.is_active() {
+                    sp.add_tag("op", "stats");
+                }
+                (
+                    proto::Response::Stats {
+                        daemon: self.stats,
+                        programs: self.programs.len() as u64,
+                        cache: self.cache.stats(),
+                    },
+                    false,
+                )
+            }
+            proto::Request::Shutdown => {
+                if sp.is_active() {
+                    sp.add_tag("op", "shutdown");
+                }
+                self.persist();
+                (proto::Response::Shutdown, true)
+            }
+        }
+    }
+
+    /// Answer a malformed frame: counted as a request and an error.
+    pub fn handle_malformed(&mut self, error: String) -> proto::Response {
+        let mut sp = bf4_obs::span("daemon", "request");
+        if sp.is_active() {
+            sp.add_tag("op", "malformed");
+        }
+        self.stats.requests += 1;
+        self.stats.errors += 1;
+        bf4_obs::counter_add("daemon.requests", 1);
+        proto::Response::Error { error }
+    }
+
+    /// Save the query cache back to the persistent store, when
+    /// configured. Failures degrade to a stats entry.
+    pub fn persist(&mut self) {
+        if !self.config.cache_persist {
+            return;
+        }
+        if let (Some(store), Some(ps)) = (&mut self.store, &mut self.persist) {
+            match store.save(&self.cache) {
+                Ok(saved) => ps.note_save(&saved),
+                Err(e) => {
+                    bf4_obs::error("daemon", &format!("cache store save failed: {e}"));
+                    ps.io_errors += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Render a panic payload like the driver does.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}

@@ -1,0 +1,258 @@
+//! The `bf4d` wire protocol: one JSON object per frame, each frame
+//! preceded by a 4-byte big-endian length.
+//!
+//! Requests (`op` selects the variant):
+//!
+//! ```text
+//! {"op":"submit","program":"<name>","source":"<p4 source>"}
+//! {"op":"status","program":"<name>"}
+//! {"op":"stats"}
+//! {"op":"ping"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses are flat objects with `"ok"` first: verdicts carry the bug
+//! totals, the incremental counters and the normalized report text;
+//! errors carry `"error"`. Parsing uses the minimal JSON module from
+//! `bf4-obs` — no new dependencies.
+
+use crate::{DaemonStats, SubmitOutcome};
+use bf4_engine::CacheStats;
+use bf4_obs::json::{self, Value};
+use std::io::{self, Read, Write};
+
+/// Frames larger than this are rejected (a corrupt or hostile length
+/// prefix must not trigger a giant allocation).
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// A decoded client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Verify (a new version of) a named program.
+    Submit {
+        /// State key; versions of the same name verify incrementally.
+        program: String,
+        /// Full P4 source of this version.
+        source: String,
+    },
+    /// Fetch the last verdict of a program without re-verifying.
+    Status {
+        /// State key to look up.
+        program: String,
+    },
+    /// Daemon + cache counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Persist the cache and stop the service loop.
+    Shutdown,
+}
+
+/// A response to one request.
+pub enum Response {
+    /// Submission/status verdict.
+    Verdict(Box<SubmitOutcome>),
+    /// Counter snapshot.
+    Stats {
+        /// Daemon-level counters.
+        daemon: DaemonStats,
+        /// Programs with resident state.
+        programs: u64,
+        /// Shared query-cache counters.
+        cache: CacheStats,
+    },
+    /// Ping reply.
+    Pong,
+    /// Shutdown acknowledged; the connection closes after this frame.
+    Shutdown,
+    /// The request could not be served.
+    Error {
+        /// Human-readable reason.
+        error: String,
+    },
+}
+
+/// Encode a request as a JSON frame body.
+pub fn encode_request(req: &Request) -> String {
+    match req {
+        Request::Submit { program, source } => format!(
+            "{{\"op\":\"submit\",\"program\":{},\"source\":{}}}",
+            json::escape(program),
+            json::escape(source)
+        ),
+        Request::Status { program } => format!(
+            "{{\"op\":\"status\",\"program\":{}}}",
+            json::escape(program)
+        ),
+        Request::Stats => "{\"op\":\"stats\"}".to_string(),
+        Request::Ping => "{\"op\":\"ping\"}".to_string(),
+        Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+    }
+}
+
+/// Decode a request frame body.
+pub fn parse_request(body: &str) -> Result<Request, String> {
+    let v = json::parse(body).map_err(|e| format!("malformed request JSON: {e}"))?;
+    let obj = v.as_obj().ok_or("request must be a JSON object")?;
+    let op = obj
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("request needs a string `op` field")?;
+    let field = |name: &str| -> Result<String, String> {
+        obj.get(name)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("op `{op}` needs a string `{name}` field"))
+    };
+    match op {
+        "submit" => Ok(Request::Submit {
+            program: field("program")?,
+            source: field("source")?,
+        }),
+        "status" => Ok(Request::Status {
+            program: field("program")?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Encode a response as a JSON frame body.
+pub fn encode_response(resp: &Response) -> String {
+    match resp {
+        Response::Verdict(out) => {
+            let r = &out.report;
+            format!(
+                "{{\"ok\":true,\"program\":{},\"version\":{},\
+                 \"bugs_total\":{},\"bugs_after_infer\":{},\"bugs_after_fixes\":{},\
+                 \"bugs_undecided\":{},\"degraded\":{},\
+                 \"skips\":{},\"reverified\":{},\"wall_micros\":{},\
+                 \"exit_code\":{},\"report\":{}}}",
+                json::escape(&out.program),
+                out.version,
+                r.bugs_total,
+                r.bugs_after_infer,
+                r.bugs_after_fixes,
+                r.bugs_undecided,
+                r.degraded.len(),
+                out.skips,
+                out.reverified,
+                out.wall.as_micros(),
+                if r.bugs_after_fixes > 0 { 1 } else { 0 },
+                json::escape(&out.normalized)
+            )
+        }
+        Response::Stats {
+            daemon,
+            programs,
+            cache,
+        } => format!(
+            "{{\"ok\":true,\"requests\":{},\"submits\":{},\"errors\":{},\
+             \"programs\":{},\"skips\":{},\"reverified\":{},\
+             \"cache_hits\":{},\"cache_warm_hits\":{},\"cache_misses\":{},\
+             \"cache_preloaded\":{}}}",
+            daemon.requests,
+            daemon.submits,
+            daemon.errors,
+            programs,
+            daemon.incremental_skips,
+            daemon.full_reverifies,
+            cache.hits,
+            cache.warm_hits,
+            cache.misses,
+            cache.preloaded
+        ),
+        Response::Pong => "{\"ok\":true,\"pong\":true}".to_string(),
+        Response::Shutdown => "{\"ok\":true,\"shutdown\":true}".to_string(),
+        Response::Error { error } => {
+            format!("{{\"ok\":false,\"error\":{}}}", json::escape(error))
+        }
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. `Ok(None)` is a clean EOF before any
+/// length byte; a truncated frame is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Submit {
+                program: "p".into(),
+                source: "control c() { apply {} }\n// \"quoted\"\n".into(),
+            },
+            Request::Status { program: "p".into() },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let body = encode_request(&req);
+            assert_eq!(parse_request(&body).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"op\":\"ping\"}").unwrap();
+        write_frame(&mut buf, "{\"op\":\"stats\"}").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"op\":\"ping\"}"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"op\":\"stats\"}"));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_not_allocated() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn malformed_request_reports_the_field() {
+        let err = parse_request("{\"op\":\"submit\",\"program\":\"p\"}").unwrap_err();
+        assert!(err.contains("source"), "{err}");
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"op\":\"fly\"}").unwrap_err().contains("fly"));
+    }
+}

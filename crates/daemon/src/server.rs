@@ -1,0 +1,159 @@
+//! The `bf4d` service loop.
+//!
+//! Connections are served **sequentially**: one request runs the pipeline
+//! at a time, so verification stays deterministic, per-request span trees
+//! never interleave, and a `--trace-out` file is an ordered record of the
+//! daemon's life. Clients hold a connection for as many frames as they
+//! like; a clean disconnect moves on to the next connection.
+//!
+//! Failure model: a malformed frame gets an error response and the
+//! connection lives on; an I/O error on one connection drops only that
+//! connection; a `shutdown` request persists the cache, answers, and
+//! returns from [`serve`].
+
+use crate::proto::{self, Request};
+use crate::Daemon;
+use std::io::{self, Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+
+/// Where the daemon listens.
+pub enum Listener {
+    /// A unix-domain socket (the default transport).
+    Unix(UnixListener),
+    /// A TCP socket (`--tcp`).
+    Tcp(TcpListener),
+}
+
+/// Service-loop options.
+#[derive(Clone, Debug, Default)]
+pub struct ServeOptions {
+    /// Append each request's span tree (JSONL, bf4-obs schema) here. The
+    /// file is truncated when the loop starts.
+    pub trace_out: Option<PathBuf>,
+    /// Suppress per-request log lines on stderr.
+    pub quiet: bool,
+}
+
+/// Run the service loop until a `shutdown` request. Returns the number of
+/// requests served.
+pub fn serve(listener: Listener, daemon: &mut Daemon, opts: &ServeOptions) -> io::Result<u64> {
+    if let Some(path) = &opts.trace_out {
+        // Start a fresh trace; requests append to it as they complete.
+        std::fs::write(path, "")?;
+        flush_trace(opts); // startup spans (store warm-start) come first
+    }
+    loop {
+        let conn = match &listener {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        };
+        let mut conn = match conn {
+            Ok(c) => c,
+            Err(e) => {
+                bf4_obs::error("daemon", &format!("accept failed: {e}"));
+                continue;
+            }
+        };
+        match serve_connection(daemon, &mut conn, opts) {
+            Ok(true) => return Ok(daemon.stats().requests),
+            Ok(false) => {}
+            Err(e) => {
+                if !opts.quiet {
+                    eprintln!("bf4d: connection error: {e}");
+                }
+                bf4_obs::error("daemon", &format!("connection error: {e}"));
+            }
+        }
+    }
+}
+
+enum Conn {
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Serve one connection; `Ok(true)` means a shutdown was requested.
+fn serve_connection(
+    daemon: &mut Daemon,
+    conn: &mut Conn,
+    opts: &ServeOptions,
+) -> io::Result<bool> {
+    while let Some(body) = proto::read_frame(conn)? {
+        let (resp, stop) = match proto::parse_request(&body) {
+            Ok(req) => {
+                log_request(&req, opts);
+                daemon.handle(req)
+            }
+            Err(e) => (daemon.handle_malformed(e), false),
+        };
+        proto::write_frame(conn, &proto::encode_response(&resp))?;
+        flush_trace(opts);
+        if stop {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+fn log_request(req: &Request, opts: &ServeOptions) {
+    if opts.quiet {
+        return;
+    }
+    match req {
+        Request::Submit { program, source } => {
+            eprintln!("bf4d: submit {program} ({} byte(s))", source.len());
+        }
+        Request::Status { program } => eprintln!("bf4d: status {program}"),
+        Request::Stats => eprintln!("bf4d: stats"),
+        Request::Ping => eprintln!("bf4d: ping"),
+        Request::Shutdown => eprintln!("bf4d: shutdown"),
+    }
+}
+
+/// Drain finished spans and append them to the trace file. Sequential
+/// service means each drain holds exactly the frames completed since the
+/// last one, so the file interleaves requests in service order.
+fn flush_trace(opts: &ServeOptions) {
+    let Some(path) = &opts.trace_out else {
+        return;
+    };
+    let records = bf4_obs::take_spans();
+    if records.is_empty() {
+        return;
+    }
+    let jsonl = bf4_obs::render_jsonl(&records);
+    let res = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(jsonl.as_bytes()));
+    if let Err(e) = res {
+        bf4_obs::error("daemon", &format!("trace append failed: {e}"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Chaos coverage for the daemon: the PR-4 fault sites must degrade a
+//! single request conservatively — never wedge the daemon, never flip a
+//! verdict, never poison another program's state.
+//!
+//! Lives in its own test binary because the fault plan is process-global,
+//! and every test serializes on one lock for the same reason.
+
+use bf4_core::driver::{verify_isolated, VerifyOptions};
+use bf4_daemon::{Daemon, DaemonConfig};
+use bf4_engine::{check_conservative, normalized_report};
+use bf4_obs::fault::FaultPlan;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn locked() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+const V1: &str = bf4_core::testutil::NAT_SOURCE;
+
+fn one_shot(name: &str, source: &str) -> String {
+    normalized_report(name, &verify_isolated(source, &VerifyOptions::default()))
+}
+
+#[test]
+fn faults_degrade_one_request_without_poisoning_state() {
+    let _g = locked();
+    let v2 = V1.replace(
+        "action nat_miss_ext_to_int() { meta.meta.do_forward = 1w0; }",
+        "action nat_miss_ext_to_int() { meta.meta.do_forward = 1w1; }",
+    );
+    assert_ne!(v2, V1);
+    let clean_v2 = verify_isolated(&v2, &VerifyOptions::default());
+
+    let mut daemon = Daemon::new(DaemonConfig::default());
+    let nat1 = daemon.submit("nat", V1);
+    assert_eq!(nat1.normalized, one_shot("nat", V1));
+
+    // Inject solver faults for exactly one request: the edited version.
+    bf4_obs::fault::install(
+        FaultPlan::parse("seed=11,smt.timeout=p0.7,smt.backend_error=p0.2").unwrap(),
+    );
+    let faulty = daemon.submit("nat", &v2);
+    let fault_stats = bf4_obs::fault::clear();
+    assert!(
+        fault_stats.iter().any(|s| s.fires > 0),
+        "the schedule must actually inject"
+    );
+    // The faulted request may only degrade toward Undecided/degraded,
+    // never flip a verdict relative to the clean run of the same source.
+    check_conservative(&clean_v2, &faulty.report).expect("conservative degradation only");
+
+    // The daemon is not wedged and other programs are not poisoned.
+    let other = daemon.submit("other", V1);
+    assert_eq!(other.normalized, one_shot("other", V1));
+
+    // A clean resubmission of the same edited source recovers the exact
+    // one-shot verdict: nothing from the faulted run is ever reused
+    // (degraded runs drop their verdict store).
+    let recovered = daemon.submit("nat", &v2);
+    assert_eq!(recovered.normalized, normalized_report("nat", &clean_v2));
+}
+
+#[test]
+fn unknown_verdicts_are_never_reused_across_versions() {
+    let _g = locked();
+    let mut daemon = Daemon::new(DaemonConfig {
+        cache_cap: 0, // isolate verdict reuse from query caching
+        ..DaemonConfig::default()
+    });
+    // Every query times out: all bugs undecided, report degraded.
+    bf4_obs::fault::install(FaultPlan::parse("seed=3,smt.timeout=on").unwrap());
+    let degraded = daemon.submit("nat", V1);
+    bf4_obs::fault::clear();
+    assert!(degraded.report.bugs_undecided > 0);
+    assert!(!degraded.report.degraded.is_empty());
+
+    // The clean resubmission must re-verify everything from scratch and
+    // land on the fault-free verdict.
+    let clean = daemon.submit("nat", V1);
+    assert_eq!(clean.skips, 0, "nothing from a degraded run may be reused");
+    assert!(clean.reverified > 0);
+    assert_eq!(clean.normalized, one_shot("nat", V1));
+}
+
+#[test]
+fn cache_store_faults_leave_the_daemon_serving() {
+    let _g = locked();
+    let dir = std::env::temp_dir().join(format!("bf4d-chaos-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Seed a store with one clean daemon lifecycle.
+    {
+        let mut daemon = Daemon::new(DaemonConfig {
+            cache_dir: Some(dir.clone()),
+            cache_persist: true,
+            ..DaemonConfig::default()
+        });
+        daemon.submit("nat", V1);
+        daemon.persist();
+        assert!(daemon.persist_stats().is_some_and(|p| p.saved));
+    }
+
+    // A store that fails to load degrades to a cold cache — the daemon
+    // still starts, still serves, and still reports identically.
+    bf4_obs::fault::install(FaultPlan::parse("seed=5,cache.load_io=on").unwrap());
+    let mut daemon = Daemon::new(DaemonConfig {
+        cache_dir: Some(dir.clone()),
+        cache_persist: true,
+        ..DaemonConfig::default()
+    });
+    bf4_obs::fault::clear();
+    let out = daemon.submit("nat", V1);
+    assert_eq!(out.normalized, one_shot("nat", V1));
+
+    // A save that fails degrades to a stats entry, never a crash.
+    bf4_obs::fault::install(FaultPlan::parse("seed=5,cache.persist_io=on").unwrap());
+    daemon.persist();
+    bf4_obs::fault::clear();
+    let p = daemon.persist_stats().expect("store configured");
+    assert!(p.io_errors > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

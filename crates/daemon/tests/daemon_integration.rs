@@ -1,0 +1,222 @@
+//! End-to-end tests of the daemon's incremental soundness gate: for every
+//! scripted edit sequence, each version's verdict must be byte-identical
+//! (normalized report) to a one-shot run of the same source, while the
+//! skip counter proves not every bug was re-verified.
+
+use bf4_core::driver::{verify_isolated, VerifyOptions};
+use bf4_daemon::proto::{self, Request};
+use bf4_daemon::server::{serve, Listener, ServeOptions};
+use bf4_daemon::{Daemon, DaemonConfig};
+use bf4_engine::normalized_report;
+use bf4_obs::json::{self, Value};
+use std::io::Write as _;
+use std::os::unix::net::{UnixListener, UnixStream};
+
+const V1: &str = bf4_core::testutil::NAT_SOURCE;
+
+/// One-shot reference: what a plain `bf4` run reports for this source.
+fn one_shot(name: &str, source: &str) -> String {
+    normalized_report(name, &verify_isolated(source, &VerifyOptions::default()))
+}
+
+#[test]
+fn scripted_edit_sequence_matches_one_shot() {
+    let mut daemon = Daemon::new(DaemonConfig::default());
+
+    // v1: cold submit — everything re-verifies, nothing can be skipped.
+    let out1 = daemon.submit("nat", V1);
+    assert_eq!(out1.version, 1);
+    assert_eq!(out1.skips, 0);
+    assert!(out1.reverified > 0);
+    assert_eq!(out1.normalized, one_shot("nat", V1));
+
+    // v2: a comment-only edit — the IR is unchanged, so every bug's
+    // fingerprint matches and the whole round-1 check is skipped.
+    let v2 = format!("{V1}\n// reviewed: no dataplane change\n");
+    let out2 = daemon.submit("nat", &v2);
+    assert_eq!(out2.version, 2);
+    assert!(out2.skips > 0, "comment edit must skip bugs");
+    assert_eq!(out2.reverified, 0, "comment edit must re-verify nothing");
+    assert_eq!(out2.normalized, one_shot("nat", &v2));
+    assert_eq!(out2.normalized, out1.normalized);
+
+    // v3: a semantic edit inside one action — `do_forward` now set on the
+    // nat-miss path, changing reachability of everything the
+    // `do_forward == 1` branch guards. Bugs outside that slice keep their
+    // verdicts; impacted ones re-verify; the report still matches a
+    // one-shot run of the edited source byte for byte.
+    let v3 = V1.replace(
+        "action nat_miss_ext_to_int() { meta.meta.do_forward = 1w0; }",
+        "action nat_miss_ext_to_int() { meta.meta.do_forward = 1w1; }",
+    );
+    assert_ne!(v3, V1, "edit site must exist");
+    let out3 = daemon.submit("nat", &v3);
+    assert_eq!(out3.version, 3);
+    assert!(out3.reverified > 0, "impacted bugs must re-verify");
+    assert!(out3.skips > 0, "unimpacted bugs must be skipped");
+    assert_eq!(out3.normalized, one_shot("nat", &v3));
+
+    // v4: back to v1 — incremental against v3's verdicts, still correct.
+    let out4 = daemon.submit("nat", V1);
+    assert_eq!(out4.normalized, out1.normalized);
+
+    let stats = daemon.stats();
+    assert_eq!(stats.submits, 4);
+    assert_eq!(
+        stats.incremental_skips,
+        out1.skips + out2.skips + out3.skips + out4.skips
+    );
+}
+
+#[test]
+fn verification_irrelevant_constant_edit_skips_everything() {
+    // The TTL decrement amount feeds no branch and no bug condition:
+    // the slicer-based oracle proves no verdict can change, so the whole
+    // round is served from stored verdicts.
+    let mut daemon = Daemon::new(DaemonConfig::default());
+    let out1 = daemon.submit("nat", V1);
+    let v2 = V1.replace("hdr.ipv4.ttl = hdr.ipv4.ttl - 1;", "hdr.ipv4.ttl = hdr.ipv4.ttl - 2;");
+    assert_ne!(v2, V1, "edit site must exist");
+    let out2 = daemon.submit("nat", &v2);
+    assert!(out2.skips > 0);
+    assert_eq!(out2.normalized, one_shot("nat", &v2));
+    assert_eq!(out2.normalized, out1.normalized);
+}
+
+#[test]
+fn unchanged_resubmit_reverifies_nothing() {
+    let mut daemon = Daemon::new(DaemonConfig::default());
+    let out1 = daemon.submit("nat", V1);
+    let out2 = daemon.submit("nat", V1);
+    assert_eq!(out2.version, 2);
+    assert_eq!(out2.reverified, 0);
+    assert_eq!(out2.skips, out1.reverified + out1.skips);
+    assert_eq!(out2.normalized, out1.normalized);
+}
+
+#[test]
+fn bad_version_degrades_without_poisoning_other_programs() {
+    let mut daemon = Daemon::new(DaemonConfig::default());
+    let nat1 = daemon.submit("nat", V1);
+    let other1 = daemon.submit("other", V1);
+
+    // A version that does not parse: the daemon's report must equal the
+    // one-shot degraded report, and the failure must stay scoped to this
+    // program.
+    let bad = "control ingress( {";
+    let out_bad = daemon.submit("nat", bad);
+    assert_eq!(out_bad.version, 2);
+    assert_eq!(out_bad.normalized, one_shot("nat", bad));
+    assert!(out_bad.report.degraded.iter().any(|d| d.stage == "frontend"));
+
+    // The other program's state is untouched and still incremental.
+    let other2 = daemon.submit("other", V1);
+    assert_eq!(other2.reverified, 0);
+    assert_eq!(other2.normalized, other1.normalized);
+
+    // Recovery: a good version after a failed one re-verifies in full
+    // (a degraded run must never seed reuse) and reports correctly.
+    let nat3 = daemon.submit("nat", V1);
+    assert_eq!(nat3.version, 3);
+    assert_eq!(nat3.skips, 0, "degraded run must not seed verdict reuse");
+    assert!(nat3.reverified > 0);
+    assert_eq!(nat3.normalized, nat1.normalized);
+}
+
+#[test]
+fn status_returns_last_verdict_without_reverifying() {
+    let mut daemon = Daemon::new(DaemonConfig::default());
+    let out = daemon.submit("nat", V1);
+    let status = daemon.status("nat").expect("submitted program has status");
+    assert_eq!(status.version, out.version);
+    assert_eq!(status.normalized, out.normalized);
+    assert!(daemon.status("never-submitted").is_none());
+}
+
+/// Full protocol round trip over a real unix socket: submit, edited
+/// resubmit (incremental), stats, shutdown.
+#[test]
+fn server_end_to_end_over_unix_socket() {
+    let sock = std::env::temp_dir().join(format!("bf4d-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let listener = UnixListener::bind(&sock).expect("bind test socket");
+    let handle = std::thread::spawn(move || {
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        serve(
+            Listener::Unix(listener),
+            &mut daemon,
+            &ServeOptions {
+                quiet: true,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("service loop")
+    });
+
+    let request = |req: &Request| -> Value {
+        let mut conn = UnixStream::connect(&sock).expect("connect");
+        proto::write_frame(&mut conn, &proto::encode_request(req)).expect("send");
+        let body = proto::read_frame(&mut conn)
+            .expect("recv")
+            .expect("response frame");
+        json::parse(&body).expect("response JSON")
+    };
+    let num = |v: &Value, k: &str| -> u64 {
+        v.as_obj()
+            .and_then(|o| o.get(k))
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("field {k}"))
+    };
+
+    let r1 = request(&Request::Submit {
+        program: "nat".into(),
+        source: V1.into(),
+    });
+    assert_eq!(num(&r1, "version"), 1);
+    assert_eq!(num(&r1, "skips"), 0);
+
+    let v2 = format!("{V1}\n// watch-mode edit\n");
+    let r2 = request(&Request::Submit {
+        program: "nat".into(),
+        source: v2,
+    });
+    assert_eq!(num(&r2, "version"), 2);
+    assert!(num(&r2, "skips") > 0);
+    assert_eq!(num(&r2, "reverified"), 0);
+    let report = |v: &Value| {
+        v.as_obj()
+            .and_then(|o| o.get("report"))
+            .and_then(Value::as_str)
+            .expect("report field")
+            .to_string()
+    };
+    assert_eq!(report(&r2), report(&r1));
+    assert_eq!(report(&r1), one_shot("nat", V1));
+
+    let stats = request(&Request::Stats);
+    assert_eq!(num(&stats, "submits"), 2);
+    assert_eq!(num(&stats, "programs"), 1);
+    assert!(num(&stats, "skips") > 0);
+
+    // A malformed frame gets an error, not a dead daemon.
+    {
+        let mut conn = UnixStream::connect(&sock).expect("connect");
+        conn.write_all(&5u32.to_be_bytes()).unwrap();
+        conn.write_all(b"nope!").unwrap();
+        let body = proto::read_frame(&mut conn).expect("recv").expect("frame");
+        let v = json::parse(&body).expect("error JSON");
+        assert_eq!(
+            v.as_obj().and_then(|o| o.get("ok")),
+            Some(&Value::Bool(false))
+        );
+    }
+
+    let bye = request(&Request::Shutdown);
+    assert_eq!(
+        bye.as_obj().and_then(|o| o.get("shutdown")),
+        Some(&Value::Bool(true))
+    );
+    let served = handle.join().expect("server thread");
+    assert!(served >= 5);
+    let _ = std::fs::remove_file(&sock);
+}

@@ -16,9 +16,12 @@
 //!   --jobs <n>             worker threads (default 1: the sequential path)
 //!   --cache-cap <n>        SMT query-cache capacity in entries (default 0: off)
 //!   --cache-dir <dir>      warm-start the query cache from a durable store in
-//!                          <dir> (implies --cache-cap 65536 unless set)
-//!   --cache-persist        write the session's new cache entries back to
-//!                          --cache-dir on exit (append + atomic compaction)
+//!                          <dir> and persist new entries back on exit
+//!                          (implies --cache-cap 65536 unless set)
+//!   --no-cache-persist     load from --cache-dir but do not write the
+//!                          session's new entries back on exit
+//!   --cache-persist        accepted for compatibility (persistence is now
+//!                          the default whenever --cache-dir is given)
 //!   --trace-out <file>     write the run's spans as JSONL (bf4-obs schema)
 //!   --profile              print a flame-style span breakdown to stderr
 //!   --quiet                suppress the per-bug listing
@@ -31,6 +34,21 @@
 //!
 //! Exit code: 0 when every bug is controlled/fixed, 1 when dataplane bugs
 //! remain, 2 on usage or frontend errors.
+//!
+//! ```text
+//! bf4 client (--socket <path> | --tcp <addr>) <action>
+//!   submit <file.p4> [--program NAME] [--normalized]
+//!                          verify (a new version of) a program on the daemon;
+//!                          --normalized prints only the normalized report on
+//!                          stdout (summary goes to stderr)
+//!   status <name>          last verdict of a program, without re-verifying
+//!   watch <file.p4> [--program NAME] [--interval-ms N]
+//!                          submit, then re-submit whenever the file changes
+//!   stats | ping | shutdown
+//! ```
+//!
+//! Client exit code mirrors the daemon verdict: 0 clean, 1 when bugs
+//! remain after fixes, 2 on connection/usage errors.
 
 use bf4_core::driver::{verify, Report, VerifyOptions};
 use bf4_engine::{verify_corpus, EngineConfig, EngineStats};
@@ -38,6 +56,9 @@ use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("client") {
+        std::process::exit(client_main(&args[1..]));
+    }
     let mut paths: Vec<String> = Vec::new();
     let mut annotations_out: Option<String> = None;
     let mut dump_cfg: Option<String> = None;
@@ -47,6 +68,8 @@ fn main() {
     let mut options = VerifyOptions::default();
     let mut engine = EngineConfig::default();
     let mut cache_cap_set = false;
+    let mut cache_persist_flag = false;
+    let mut no_cache_persist = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -132,7 +155,8 @@ fn main() {
                     }
                 }
             }
-            "--cache-persist" => engine.cache_persist = true,
+            "--cache-persist" => cache_persist_flag = true,
+            "--no-cache-persist" => no_cache_persist = true,
             "--no-fixes" => options.fixes = false,
             "--no-infer" => {
                 options.fast_infer = false;
@@ -143,7 +167,8 @@ fn main() {
             "--egress" => options.include_egress = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
-                eprintln!("usage: bf4 <program.p4> [more.p4 ...] [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--timeout-ms N] [--solver-fallback N|off] [--jobs N] [--cache-cap N] [--cache-dir DIR] [--cache-persist] [--trace-out FILE] [--profile] [--quiet]");
+                eprintln!("usage: bf4 <program.p4> [more.p4 ...] [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--timeout-ms N] [--solver-fallback N|off] [--jobs N] [--cache-cap N] [--cache-dir DIR] [--no-cache-persist] [--trace-out FILE] [--profile] [--quiet]");
+                eprintln!("       bf4 client (--socket PATH | --tcp ADDR) submit FILE [--program NAME] [--normalized] | status NAME | watch FILE [--program NAME] [--interval-ms N] | stats | ping | shutdown");
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => paths.push(other.to_string()),
@@ -159,10 +184,17 @@ fn main() {
         eprintln!("bf4: missing input program (try --help)");
         std::process::exit(2);
     }
-    if engine.cache_persist && engine.cache_dir.is_none() {
+    if cache_persist_flag && engine.cache_dir.is_none() {
         eprintln!("bf4: --cache-persist needs --cache-dir");
         std::process::exit(2);
     }
+    if cache_persist_flag && no_cache_persist {
+        eprintln!("bf4: --cache-persist and --no-cache-persist are mutually exclusive");
+        std::process::exit(2);
+    }
+    // A durable store is pointless without saving back to it: --cache-dir
+    // implies persistence, with --no-cache-persist as the escape hatch.
+    engine.cache_persist = engine.cache_dir.is_some() && !no_cache_persist;
     // A durable store without an in-memory cache would have nothing to
     // warm: give --cache-dir a working default capacity.
     if engine.cache_dir.is_some() && !cache_cap_set && engine.cache_cap == 0 {
@@ -245,15 +277,17 @@ fn main() {
         print_report(path, report, quiet);
     }
     if let Some(stats) = &engine_stats {
-        // Satellite of the observability PR: the cache's effectiveness in
-        // the standard summary, not only in the verbose stats dump. A
-        // warm start (--cache-dir) shows up as preloaded entries feeding
-        // the hit rate.
+        // The cache's effectiveness in the standard summary, not only in
+        // the verbose stats dump. A lookup answered from the cache is a
+        // hit whether the entry was computed this session or warm-started
+        // from the store; `[N warm]` breaks out the latter and `preloaded`
+        // counts entries loaded, not lookups (DESIGN.md §11).
         println!(
-            "summary: {} program(s); cache hit-rate {:.1}% ({} hit(s) / {} miss(es), {} preloaded), {} eviction(s)",
+            "summary: {} program(s); cache hit-rate {:.1}% ({} hit(s) [{} warm] / {} miss(es), {} preloaded), {} eviction(s)",
             programs.len(),
             100.0 * stats.cache.hit_rate(),
             stats.cache.hits,
+            stats.cache.warm_hits,
             stats.cache.misses,
             stats.cache.preloaded,
             stats.cache.evictions
@@ -374,4 +408,335 @@ fn dump_dot(source: &str, options: &VerifyOptions) -> Result<String, String> {
     let (cfg, _) =
         bf4_core::driver::build_cfg(&program, options).map_err(|e| e.to_string())?;
     Ok(bf4_ir::cfg::to_dot(&cfg))
+}
+
+// ---------------------------------------------------------------------------
+// `bf4 client` — talk to a running `bf4d` over its length-prefixed JSON
+// protocol. The engine crate cannot depend on bf4-daemon (the daemon
+// depends on the engine), so the tiny frame + JSON encoding lives here;
+// the wire format is documented in `bf4_daemon::proto` and covered by the
+// ci.sh daemon smoke, which diffs a client round trip against a one-shot
+// run.
+
+/// Where the daemon listens; each request opens a fresh connection (the
+/// daemon serves connections sequentially).
+enum Endpoint {
+    Unix(std::path::PathBuf),
+    Tcp(String),
+}
+
+enum ClientConn {
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl std::io::Read for ClientConn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientConn::Unix(s) => s.read(buf),
+            ClientConn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientConn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientConn::Unix(s) => s.write(buf),
+            ClientConn::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientConn::Unix(s) => s.flush(),
+            ClientConn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+fn client_usage(msg: &str) -> ! {
+    eprintln!("bf4 client: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+/// One request/response round trip; connection and protocol failures are
+/// fatal with exit code 2 (the daemon is unreachable or broken, there is
+/// no verdict to report).
+fn client_request(endpoint: &Endpoint, body: &str) -> bf4_obs::json::Value {
+    let mut conn = match endpoint {
+        Endpoint::Unix(path) => match std::os::unix::net::UnixStream::connect(path) {
+            Ok(s) => ClientConn::Unix(s),
+            Err(e) => {
+                eprintln!("bf4 client: cannot connect to {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        },
+        Endpoint::Tcp(addr) => match std::net::TcpStream::connect(addr) {
+            Ok(s) => ClientConn::Tcp(s),
+            Err(e) => {
+                eprintln!("bf4 client: cannot connect to {addr}: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let fail = |what: &str, e: &dyn std::fmt::Display| -> ! {
+        eprintln!("bf4 client: {what}: {e}");
+        std::process::exit(2);
+    };
+    // 4-byte big-endian length prefix, then the JSON body.
+    let len = u32::try_from(body.len()).unwrap_or_else(|e| fail("request too large", &e));
+    conn.write_all(&len.to_be_bytes())
+        .and_then(|()| conn.write_all(body.as_bytes()))
+        .and_then(|()| conn.flush())
+        .unwrap_or_else(|e| fail("send failed", &e));
+    let mut len_buf = [0u8; 4];
+    std::io::Read::read_exact(&mut conn, &mut len_buf)
+        .unwrap_or_else(|e| fail("no response", &e));
+    let rlen = u32::from_be_bytes(len_buf);
+    if rlen > 64 * 1024 * 1024 {
+        fail("response frame too large", &rlen);
+    }
+    let mut rbody = vec![0u8; rlen as usize];
+    std::io::Read::read_exact(&mut conn, &mut rbody)
+        .unwrap_or_else(|e| fail("truncated response", &e));
+    let text = String::from_utf8(rbody).unwrap_or_else(|e| fail("response not UTF-8", &e));
+    bf4_obs::json::parse(&text).unwrap_or_else(|e| fail("response not JSON", &e))
+}
+
+fn response_u64(v: &bf4_obs::json::Value, key: &str) -> u64 {
+    v.as_obj()
+        .and_then(|o| o.get(key))
+        .and_then(bf4_obs::json::Value::as_u64)
+        .unwrap_or_else(|| {
+            eprintln!("bf4 client: response missing field `{key}`");
+            std::process::exit(2);
+        })
+}
+
+fn response_str<'v>(v: &'v bf4_obs::json::Value, key: &str) -> &'v str {
+    v.as_obj()
+        .and_then(|o| o.get(key))
+        .and_then(bf4_obs::json::Value::as_str)
+        .unwrap_or_else(|| {
+            eprintln!("bf4 client: response missing field `{key}`");
+            std::process::exit(2);
+        })
+}
+
+/// Exit early if the daemon answered `"ok": false`.
+fn check_ok(v: &bf4_obs::json::Value) {
+    let ok = v
+        .as_obj()
+        .and_then(|o| o.get("ok"))
+        .map(|b| b == &bf4_obs::json::Value::Bool(true))
+        .unwrap_or(false);
+    if !ok {
+        let err = v
+            .as_obj()
+            .and_then(|o| o.get("error"))
+            .and_then(bf4_obs::json::Value::as_str)
+            .unwrap_or("daemon reported an error");
+        eprintln!("bf4 client: {err}");
+        std::process::exit(2);
+    }
+}
+
+/// Print one verdict response. With `normalized`, stdout carries exactly
+/// the normalized report (diffable against a one-shot `bf4` run) and the
+/// incremental summary goes to stderr; otherwise both go to stdout.
+/// Returns the verdict's exit code.
+fn print_verdict(v: &bf4_obs::json::Value, normalized: bool) -> i32 {
+    check_ok(v);
+    let summary = format!(
+        "{} v{}: {} bug(s) with all rules possible; {} after annotations; {} after fixes; \
+         {} undecided; {} degraded stage(s); skips={} reverified={} wall={}us",
+        response_str(v, "program"),
+        response_u64(v, "version"),
+        response_u64(v, "bugs_total"),
+        response_u64(v, "bugs_after_infer"),
+        response_u64(v, "bugs_after_fixes"),
+        response_u64(v, "bugs_undecided"),
+        response_u64(v, "degraded"),
+        response_u64(v, "skips"),
+        response_u64(v, "reverified"),
+        response_u64(v, "wall_micros"),
+    );
+    if normalized {
+        eprintln!("{summary}");
+        print!("{}", response_str(v, "report"));
+    } else {
+        println!("{summary}");
+    }
+    i32::try_from(response_u64(v, "exit_code")).unwrap_or(1)
+}
+
+fn submit_body(program: &str, source: &str) -> String {
+    format!(
+        "{{\"op\":\"submit\",\"program\":{},\"source\":{}}}",
+        bf4_obs::json::escape(program),
+        bf4_obs::json::escape(source)
+    )
+}
+
+/// Derive the daemon-side program name from a path: file stem, falling
+/// back to the whole path.
+fn program_name(path: &str, explicit: Option<&str>) -> String {
+    if let Some(name) = explicit {
+        return name.to_string();
+    }
+    std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path)
+        .to_string()
+}
+
+fn client_main(args: &[String]) -> i32 {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut action: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut program: Option<String> = None;
+    let mut normalized = false;
+    let mut interval_ms: u64 = 500;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => endpoint = Some(Endpoint::Unix(p.into())),
+                    None => client_usage("--socket expects a path"),
+                }
+            }
+            "--tcp" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => endpoint = Some(Endpoint::Tcp(a.clone())),
+                    None => client_usage("--tcp expects an address"),
+                }
+            }
+            "--program" => {
+                i += 1;
+                match args.get(i) {
+                    Some(n) => program = Some(n.clone()),
+                    None => client_usage("--program expects a name"),
+                }
+            }
+            "--normalized" => normalized = true,
+            "--interval-ms" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse::<u64>()) {
+                    Some(Ok(ms)) if ms >= 1 => interval_ms = ms,
+                    _ => client_usage("--interval-ms expects a millisecond count >= 1"),
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bf4 client (--socket PATH | --tcp ADDR) submit FILE \
+                     [--program NAME] [--normalized] | status NAME | watch FILE \
+                     [--program NAME] [--interval-ms N] | stats | ping | shutdown"
+                );
+                std::process::exit(0);
+            }
+            other if action.is_none() && !other.starts_with('-') => {
+                action = Some(other.to_string());
+            }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => client_usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let Some(endpoint) = endpoint else {
+        client_usage("one of --socket or --tcp is required");
+    };
+    let action = action.unwrap_or_else(|| client_usage("missing action"));
+
+    match action.as_str() {
+        "submit" => {
+            let path = positional
+                .first()
+                .unwrap_or_else(|| client_usage("submit expects a .p4 file"));
+            let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("bf4 client: cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let name = program_name(path, program.as_deref());
+            let v = client_request(&endpoint, &submit_body(&name, &source));
+            print_verdict(&v, normalized)
+        }
+        "status" => {
+            let name = positional
+                .first()
+                .unwrap_or_else(|| client_usage("status expects a program name"));
+            let body = format!(
+                "{{\"op\":\"status\",\"program\":{}}}",
+                bf4_obs::json::escape(name)
+            );
+            let v = client_request(&endpoint, &body);
+            print_verdict(&v, normalized)
+        }
+        "watch" => {
+            let path = positional
+                .first()
+                .unwrap_or_else(|| client_usage("watch expects a .p4 file"));
+            let name = program_name(path, program.as_deref());
+            let mtime = |p: &str| {
+                std::fs::metadata(p).and_then(|m| m.modified()).ok()
+            };
+            let mut last = mtime(path);
+            loop {
+                match std::fs::read_to_string(path) {
+                    Ok(source) => {
+                        let v = client_request(&endpoint, &submit_body(&name, &source));
+                        print_verdict(&v, normalized);
+                    }
+                    Err(e) => eprintln!("bf4 client: cannot read {path}: {e}"),
+                }
+                // Poll the mtime; resubmit on any change (editors that
+                // replace the file change the inode, metadata still moves).
+                loop {
+                    std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                    let now = mtime(path);
+                    if now != last {
+                        last = now;
+                        break;
+                    }
+                }
+            }
+        }
+        "stats" => {
+            let v = client_request(&endpoint, "{\"op\":\"stats\"}");
+            check_ok(&v);
+            for key in [
+                "requests",
+                "submits",
+                "errors",
+                "programs",
+                "skips",
+                "reverified",
+                "cache_hits",
+                "cache_warm_hits",
+                "cache_misses",
+                "cache_preloaded",
+            ] {
+                println!("{key}: {}", response_u64(&v, key));
+            }
+            0
+        }
+        "ping" => {
+            let v = client_request(&endpoint, "{\"op\":\"ping\"}");
+            check_ok(&v);
+            println!("pong");
+            0
+        }
+        "shutdown" => {
+            let v = client_request(&endpoint, "{\"op\":\"shutdown\"}");
+            check_ok(&v);
+            println!("shutdown: ok");
+            0
+        }
+        other => client_usage(&format!("unknown action `{other}`")),
+    }
 }

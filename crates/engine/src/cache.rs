@@ -30,6 +30,7 @@ pub struct QueryCache {
     map: Mutex<HashMap<u128, Entry>>,
     tick: AtomicU64,
     hits: AtomicU64,
+    warm_hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
@@ -45,6 +46,7 @@ impl QueryCache {
             map: Mutex::new(HashMap::new()),
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -60,6 +62,15 @@ impl QueryCache {
 
     /// Look up a canonical key; counts a hit or miss.
     pub fn get(&self, key: u128) -> Option<SatResult> {
+        self.lookup(key).map(|(r, _)| r)
+    }
+
+    /// Like [`QueryCache::get`], additionally reporting whether the hit
+    /// was *warm* — answered by an entry warm-started from a persistent
+    /// store rather than computed this session. Both count as hits (the
+    /// one definition every reporting surface uses); warm ones are also
+    /// tallied in `warm_hits`.
+    pub fn lookup(&self, key: u128) -> Option<(SatResult, bool)> {
         if self.cap == 0 {
             return None;
         }
@@ -69,7 +80,12 @@ impl QueryCache {
                 e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 bf4_obs::counter_add("cache.hits", 1);
-                Some(e.result)
+                let warm = !e.fresh;
+                if warm {
+                    self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                    bf4_obs::counter_add("cache.warm_hits", 1);
+                }
+                Some((e.result, warm))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -176,6 +192,7 @@ impl QueryCache {
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -287,10 +304,13 @@ impl Solver for CachedSolver<'_> {
         // underneath with backend/retry detail.
         let mut sp = bf4_obs::span("smt", "query");
         let key = self.stack_key();
-        if let Some(r) = self.cache.get(key) {
+        if let Some((r, warm)) = self.cache.lookup(key) {
             self.answered_from_cache = true;
             if sp.is_active() {
                 sp.add_tag("cache", "hit");
+                if warm {
+                    sp.add_tag("warm", "true");
+                }
                 sp.add_tag("verdict", verdict_label(r));
             }
             return r;
@@ -387,6 +407,20 @@ mod tests {
         s2.assert(&bv("x").bvult(&bv("y")));
         assert_eq!(s2.check(), SatResult::Sat);
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn warm_hits_count_preloaded_answers_until_recomputed() {
+        let cache = QueryCache::new(16);
+        cache.preload(42, SatResult::Unsat);
+        assert_eq!(cache.lookup(42), Some((SatResult::Unsat, true)));
+        // A session insert over the same key makes later hits session-warm
+        // no longer: the entry was recomputed this session.
+        cache.insert(42, SatResult::Unsat);
+        assert_eq!(cache.lookup(42), Some((SatResult::Unsat, false)));
+        let st = cache.stats();
+        assert_eq!(st.hits, 2);
+        assert_eq!(st.warm_hits, 1);
     }
 
     #[test]

@@ -14,8 +14,14 @@ pub use bf4_obs::Histogram;
 /// Counters of the normalized SMT query cache.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
-    /// Checks answered from the cache.
+    /// Checks answered from the cache. A lookup answered from the cache
+    /// counts as a hit whether the entry was computed this session or
+    /// warm-started from a persistent store — `warm_hits` breaks out the
+    /// latter, `preloaded` counts entries loaded (not lookups).
     pub hits: u64,
+    /// The subset of `hits` answered by an entry warm-started from a
+    /// persistent store (not yet recomputed this session).
+    pub warm_hits: u64,
     /// Checks that went to a real solver.
     pub misses: u64,
     /// Results stored.
@@ -128,8 +134,9 @@ impl std::fmt::Display for EngineStats {
         )?;
         writeln!(
             f,
-            "cache: {} hit(s) / {} miss(es) ({:.1}% hit rate), {} insertion(s), {} eviction(s), {} resident",
+            "cache: {} hit(s) [{} warm] / {} miss(es) ({:.1}% hit rate), {} insertion(s), {} eviction(s), {} resident",
             self.cache.hits,
+            self.cache.warm_hits,
             self.cache.misses,
             100.0 * self.cache.hit_rate(),
             self.cache.insertions,

@@ -120,6 +120,94 @@ pub fn compute_slice(cfg: &Cfg, roots: &[BlockId]) -> SliceInfo {
     }
 }
 
+/// Content fingerprint of the backward slice of a single root block,
+/// used by the incremental daemon as a change-impact oracle: two program
+/// versions whose fingerprints agree for a bug node have byte-identical
+/// slices, so the bug's reachability condition cannot have changed.
+///
+/// The hash covers the kept instructions, the needed branch conditions
+/// and — per branch — which side can reach the root (the polarity that
+/// enters the reachability formula). Blocks are renumbered locally
+/// (sorted global order → 0..n) so edits *outside* the slice that shift
+/// global block ids do not perturb the fingerprint.
+pub fn slice_fingerprint(cfg: &Cfg, root: BlockId) -> u64 {
+    let info = compute_slice(cfg, &[root]);
+
+    // Local renumbering of every block that participates in the slice.
+    let mut blocks: Vec<BlockId> = info
+        .needed_instrs
+        .iter()
+        .map(|&(b, _)| b)
+        .chain(info.needed_branches.iter().copied())
+        .chain(std::iter::once(root))
+        .collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+    let local: HashMap<BlockId, usize> =
+        blocks.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+
+    // Which blocks can reach the root at all (reverse reachability):
+    // captures branch polarity without depending on global ids.
+    let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        for s in blk.term.successors() {
+            preds.entry(s).or_default().push(b);
+        }
+    }
+    let mut reaches: HashSet<BlockId> = HashSet::new();
+    let mut wl = vec![root];
+    reaches.insert(root);
+    while let Some(b) = wl.pop() {
+        for &p in preds.get(&b).map(|v| v.as_slice()).unwrap_or(&[]) {
+            if reaches.insert(p) {
+                wl.push(p);
+            }
+        }
+    }
+
+    // FNV-1a over a canonical rendering.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |s: &str| {
+        for &byte in s.as_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let mut instrs: Vec<(BlockId, usize)> = info.needed_instrs.iter().copied().collect();
+    instrs.sort_unstable();
+    for (b, i) in instrs {
+        match &cfg.blocks[b].instrs[i] {
+            Instr::Assign { var, sort, expr } => {
+                feed(&format!("i{}.{i} {var}:{sort:?}={expr};", local[&b]));
+            }
+            Instr::Havoc { var, sort } => {
+                feed(&format!("i{}.{i} {var}:{sort:?}=*;", local[&b]));
+            }
+        }
+    }
+    let mut branches: Vec<BlockId> = info.needed_branches.iter().copied().collect();
+    branches.sort_unstable();
+    for b in branches {
+        if let Terminator::Branch { cond, then_to, else_to } = &cfg.blocks[b].term {
+            let side = |t: &BlockId| {
+                let pol = if reaches.contains(t) { '+' } else { '-' };
+                match local.get(t) {
+                    Some(l) => format!("{pol}{l}"),
+                    None => format!("{pol}_"),
+                }
+            };
+            feed(&format!(
+                "b{} ({cond}) t{} e{};",
+                local[&b],
+                side(then_to),
+                side(else_to)
+            ));
+        }
+    }
+    feed(&format!("r{}", local[&root]));
+    h
+}
+
 /// Control dependences per FOW: for each edge `p → s` and each block `n` on
 /// the post-dominator chain from `s` up to (excluding) `ipdom(p)`, `n` is
 /// control-dependent on `p`.
@@ -236,6 +324,78 @@ mod tests {
         let sliced = apply_slice(&cfg, &info);
         assert_eq!(sliced.blocks[0].instrs.len(), 1);
         assert_eq!(sliced.blocks[0].instrs[0].target().as_ref(), "x");
+    }
+
+    #[test]
+    fn fingerprint_ignores_edits_outside_the_slice() {
+        let base = small();
+        // Appending an instruction that feeds nothing in the slice must
+        // not perturb the bug's fingerprint.
+        let mut edited = small();
+        edited.blocks[0]
+            .instrs
+            .push(assign("junk2", Term::bv(8, 7)));
+        assert_eq!(
+            slice_fingerprint(&base, 1),
+            slice_fingerprint(&edited, 1)
+        );
+    }
+
+    #[test]
+    fn fingerprint_survives_global_block_id_shift() {
+        let base = small();
+        // Prepend an unrelated entry block: every global id shifts by one,
+        // but the slice content is unchanged — the local renumbering must
+        // keep the fingerprint stable.
+        let mut shifted = small();
+        for blk in &mut shifted.blocks {
+            match &mut blk.term {
+                Terminator::Jump(t) => *t += 1,
+                Terminator::Branch { then_to, else_to, .. } => {
+                    *then_to += 1;
+                    *else_to += 1;
+                }
+                Terminator::End => {}
+            }
+        }
+        shifted.blocks.insert(
+            0,
+            Block {
+                instrs: vec![assign("pad", Term::bv(8, 9))],
+                term: Terminator::Jump(1),
+                kind: BlockKind::Normal,
+                label: "pad".into(),
+            },
+        );
+        shifted.entry = 0;
+        assert_eq!(
+            slice_fingerprint(&base, 1),
+            slice_fingerprint(&shifted, 2)
+        );
+    }
+
+    #[test]
+    fn fingerprint_sees_relevant_instr_change() {
+        let base = small();
+        let mut edited = small();
+        edited.blocks[0].instrs[0] = assign("x", Term::bv(8, 2));
+        assert_ne!(
+            slice_fingerprint(&base, 1),
+            slice_fingerprint(&edited, 1)
+        );
+    }
+
+    #[test]
+    fn fingerprint_sees_branch_polarity_swap() {
+        let base = small();
+        let mut edited = small();
+        if let Terminator::Branch { then_to, else_to, .. } = &mut edited.blocks[0].term {
+            std::mem::swap(then_to, else_to);
+        }
+        assert_ne!(
+            slice_fingerprint(&base, 1),
+            slice_fingerprint(&edited, 1)
+        );
     }
 
     #[test]
