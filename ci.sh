@@ -121,6 +121,12 @@ cargo run -q --release --offline -p bf4-bench --bin report -- cachebench \
     --dir "$tmpdir/cache-store" --out "$tmpdir/BENCH_cache.json"
 grep -q '"preloaded": 0' "$tmpdir/BENCH_cache.json"  # cold run starts empty
 
+echo "==> cache regress gate (fresh numbers vs committed baseline)"
+# Scale-free metrics (hit rates, preload/corruption counts) may not be
+# worse than bench/baselines/BENCH_cache.json beyond the tolerance band.
+cargo run -q --release --offline -p bf4-bench --bin report -- regress \
+    --fresh "$tmpdir/BENCH_cache.json" --baseline bench/baselines/BENCH_cache.json
+
 echo "==> daemon test suites (incremental soundness, impact property, chaos)"
 # The daemon's load-bearing suites by name, so a rename or filter-out
 # fails loudly here.
@@ -133,6 +139,12 @@ cargo test -q -p bf4-daemon --offline --test impact_props \
 cargo test -q -p bf4-daemon --offline --test daemon_chaos \
     faults_degrade_one_request_without_poisoning_state \
     -- --exact faults_degrade_one_request_without_poisoning_state
+cargo test -q -p bf4-daemon --offline --test telemetry \
+    tsdb_survives_restart_and_seeds_the_slo_window \
+    -- --exact tsdb_survives_restart_and_seeds_the_slo_window
+cargo test -q -p bf4-daemon --offline --test telemetry \
+    request_id_tags_flow_into_every_pipeline_span \
+    -- --exact request_id_tags_flow_into_every_pipeline_span
 
 echo "==> daemon smoke (bf4d + bf4 client, incremental re-verify)"
 # Start bf4d on a temp socket, submit a corpus program, edit it, and
@@ -162,9 +174,106 @@ wait "$bf4d_pid"
 bf4d_pid=""
 echo "daemon smoke OK"
 
+echo "==> operational telemetry smoke (metrics exposition, request profile, SLO, tsdb)"
+# One bf4d with the full telemetry surface on. The loop under test:
+# submit -> the metrics op and the HTTP endpoint serve the same parseable
+# exposition (the scrape is a curl-free raw TCP GET) -> the daemon trace
+# reconstructs one request's flame by ID and passes the daemon-aware
+# lint -> a BF4_FAULTS-degraded daemon writes a sample that trips the
+# `report slo` gate -> the time-series survives a restart.
+sock="$tmpdir/bf4d-telemetry.sock"
+obsdir="$tmpdir/telemetry-store"
+tsdb="$obsdir/tsdb.bf4t"
+metrics_port=$((19000 + RANDOM % 2000))
+./target/release/bf4d --socket "$sock" --cache-dir "$obsdir" \
+    --trace-out "$tmpdir/bf4d-trace.jsonl" \
+    --metrics-addr "127.0.0.1:$metrics_port" --slo degraded_rate=0.5 --quiet &
+bf4d_pid=$!
+for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ]
+./target/release/bf4 client --socket "$sock" submit \
+    crates/corpus/programs/simple_nat.p4 --program nat \
+    > "$tmpdir/telemetry-v1.txt" 2> "$tmpdir/telemetry-v1.log" || [ $? -eq 1 ]
+grep -q '\[req-1\]' "$tmpdir/telemetry-v1.txt"  # the verdict names its request
+./target/release/bf4 client --socket "$sock" metrics > "$tmpdir/exposition.txt"
+grep -q '^bf4_daemon_submits 1$' "$tmpdir/exposition.txt"
+./target/release/report expose-lint "$tmpdir/exposition.txt"
+# The HTTP endpoint must serve the same grammar; scrape it with nothing
+# but bash (/dev/tcp), strip the response head, and lint the body.
+exec 3<>"/dev/tcp/127.0.0.1/$metrics_port"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+cat <&3 > "$tmpdir/scrape.http"
+exec 3<&- 3>&-
+head -1 "$tmpdir/scrape.http" | grep -q '200 OK'
+sed '1,/^[[:space:]]*$/d' "$tmpdir/scrape.http" > "$tmpdir/scrape-body.txt"
+grep -q '^bf4_daemon_submits ' "$tmpdir/scrape-body.txt"
+./target/release/report expose-lint "$tmpdir/scrape-body.txt"
+# One bounded dashboard frame over the live daemon.
+./target/release/bf4 top --socket "$sock" --iterations 1 > "$tmpdir/top.txt"
+grep -q 'req/s' "$tmpdir/top.txt"
+grep -Eq 'latency +p50' "$tmpdir/top.txt"
+./target/release/bf4 client --socket "$sock" shutdown
+wait "$bf4d_pid"
+bf4d_pid=""
+# The trace is request-scoped: profile exactly request req-1 and hold
+# every pipeline span to the daemon lint (request span + inherited tags).
+cargo run -q --release --offline -p bf4-bench --bin report -- \
+    profile "$tmpdir/bf4d-trace.jsonl" --request req-1 > "$tmpdir/req1-flame.txt"
+grep -q 'req-1' "$tmpdir/req1-flame.txt"
+cargo run -q --release --offline -p bf4-bench --bin report -- \
+    trace-lint "$tmpdir/bf4d-trace.jsonl" --require-layers daemon,frontend,core,smt
+# A forced-degraded daemon (every solver query times out under
+# BF4_FAULTS) appends a degraded sample to the same series. The submit is
+# a program the warmed cache has never seen, so the injected timeouts
+# actually reach the solver; the SLO window seeds with the store's one
+# healthy sample, so the threshold sits below the resulting rate of 1/2.
+BF4_FAULTS="seed=7,smt.timeout=p1" ./target/release/bf4d --socket "$sock" \
+    --cache-dir "$obsdir" --no-cache-persist --slo degraded_rate=0.4 --quiet &
+bf4d_pid=$!
+for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ]
+./target/release/bf4 client --socket "$sock" submit \
+    crates/corpus/programs/multi_tenant.p4 --program mt \
+    > "$tmpdir/telemetry-degraded.log" 2>&1 || [ $? -eq 1 ]
+grep -Eq '[1-9] degraded stage' "$tmpdir/telemetry-degraded.log"
+./target/release/bf4 client --socket "$sock" stats > "$tmpdir/telemetry-stats.txt"
+grep -Eq '^alerts: [1-9]' "$tmpdir/telemetry-stats.txt"  # the daemon raised it live
+./target/release/bf4 client --socket "$sock" shutdown
+wait "$bf4d_pid"
+bf4d_pid=""
+# ...and the offline SLO gate over the persisted series must fire on it.
+if ./target/release/report slo "$tsdb" --slo degraded_rate=0.5 --window 1 \
+    > "$tmpdir/slo.txt"; then
+    echo "report slo failed to flag the degraded request"; exit 1
+fi
+grep -q '^VIOLATION' "$tmpdir/slo.txt"
+# The series survives a restart: a fresh daemon on the same store seeds
+# from it and appends exactly one more sample.
+lines_before=$(wc -l < "$tsdb")
+./target/release/bf4d --socket "$sock" --cache-dir "$obsdir" \
+    --no-cache-persist --quiet &
+bf4d_pid=$!
+for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ]
+./target/release/bf4 client --socket "$sock" submit \
+    crates/corpus/programs/simple_nat.p4 --program nat \
+    > /dev/null 2>&1 || [ $? -eq 1 ]
+./target/release/bf4 client --socket "$sock" shutdown
+wait "$bf4d_pid"
+bf4d_pid=""
+[ "$(wc -l < "$tsdb")" -eq $((lines_before + 1)) ]
+./target/release/report slo "$tsdb" --slo p99_ms=600000 --window 1 | grep -q '^slo OK'
+echo "telemetry smoke OK"
+
 echo "==> daemonbench gate (warm incremental strictly faster, verdicts identical)"
 cargo run -q --release --offline -p bf4-bench --bin report -- daemonbench \
     --out "$tmpdir/BENCH_daemon.json"
+
+echo "==> daemon regress gate (fresh numbers vs committed baseline)"
+# Verdict identity, speedup, skip counts and the telemetry overhead may
+# not be worse than bench/baselines/BENCH_daemon.json beyond the band.
+cargo run -q --release --offline -p bf4-bench --bin report -- regress \
+    --fresh "$tmpdir/BENCH_daemon.json" --baseline bench/baselines/BENCH_daemon.json
 
 echo "==> BF4_FAULTS CLI smoke + fault audit"
 # The CLI must honor a BF4_FAULTS schedule end to end: same exit-code

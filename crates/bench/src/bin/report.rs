@@ -18,12 +18,17 @@
 //!                      basis of ci.sh's sequential-vs-parallel diff
 //! report engine        speedup-vs-jobs table (jobs ∈ {1,2,4}, cache
 //!                      on/off) with per-stage latencies and cache stats
-//! report profile <trace.jsonl>
+//! report profile <trace.jsonl> [--request ID]
 //!                      aggregate a bf4 --trace-out file into a per-stage /
-//!                      per-program time table
+//!                      per-program time table; with --request, reconstruct
+//!                      one daemon request's flame from a bf4d trace
 //! report trace-lint <trace.jsonl> [--require-layers a,b,...]
 //!                      validate every line against the bf4-obs span
-//!                      schema; exit 1 on the first violation
+//!                      schema; exit 1 on the first violation. Requiring
+//!                      the `daemon` layer additionally validates the
+//!                      `daemon.request` span tree: every request span
+//!                      carries its request-ID tag and every pipeline span
+//!                      under it carries the matching tag
 //! report faults <trace.jsonl>
 //!                      audit a chaos run's `--trace-out` file: per-site
 //!                      injection counts plus the solver degradations the
@@ -48,6 +53,20 @@
 //! report normalize <file.p4> [--name N]
 //!                      one-shot normalized report of a single program on
 //!                      stdout (what ci.sh diffs a daemon verdict against)
+//! report slo <tsdb.bf4t> --slo SPEC [--window N]
+//!                      evaluate service-level objectives over the tail of
+//!                      a daemon's persistent time-series; exit 1 when any
+//!                      objective is violated
+//! report expose-lint <file>
+//!                      validate a Prometheus text exposition (e.g. one
+//!                      scraped from bf4d --metrics-addr); exit 1 on any
+//!                      grammar violation
+//! report regress --fresh FILE --baseline FILE [--tolerance T]
+//!                      compare a freshly written BENCH_*.json against a
+//!                      committed baseline on its scale-free metrics (hit
+//!                      rates, speedups, skip counts, verdict identity)
+//!                      with a relative tolerance band; exit 1 on any
+//!                      regression beyond the band
 //! report all           everything above except `corpus`, `chaos`,
 //!                      `cachebench` and `daemonbench`
 //! ```
@@ -78,6 +97,9 @@ fn main() {
         "cachebench" => cachebench(),
         "daemonbench" => daemonbench(),
         "normalize" => normalize_cmd(),
+        "slo" => slo_cmd(),
+        "expose-lint" => expose_lint(),
+        "regress" => regress_cmd(),
         "all" => {
             table1();
             slicing();
@@ -455,13 +477,51 @@ fn read_trace(path: &str) -> Vec<bf4_obs::TraceSpan> {
 }
 
 /// Aggregate a trace file into the per-program / per-stage time table,
-/// plus the cache's effectiveness as seen by the solver spans.
+/// plus the cache's effectiveness as seen by the solver spans. With
+/// `--request ID`, reconstruct one daemon request's flame instead: the
+/// request-ID context tag every span under a `daemon.request` span
+/// carries makes the subtree selectable without walking parent chains.
 fn profile() {
-    let Some(path) = std::env::args().nth(2) else {
-        eprintln!("usage: report profile <trace.jsonl>");
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut path: Option<String> = None;
+    let mut request: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--request" => {
+                i += 1;
+                request = args.get(i).cloned();
+                if request.is_none() {
+                    eprintln!("report profile: --request expects a request ID like req-3");
+                    std::process::exit(2);
+                }
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("report profile: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("usage: report profile <trace.jsonl> [--request ID]");
         std::process::exit(2);
     };
     let spans = read_trace(&path);
+    if let Some(id) = request {
+        let selected: Vec<bf4_obs::TraceSpan> = spans
+            .into_iter()
+            .filter(|s| s.tags.get("request").map(String::as_str) == Some(id.as_str()))
+            .collect();
+        if selected.is_empty() {
+            eprintln!("report profile: no span tagged request={id} in {path}");
+            std::process::exit(1);
+        }
+        println!("== request {id}: {} span(s) ==", selected.len());
+        print!("{}", bf4_obs::render_flame(&selected));
+        return;
+    }
     print!("{}", bf4_obs::stage_table(&spans));
     // Cache accounting from `smt/query` spans, on the one definition all
     // surfaces share (DESIGN.md §11): a lookup answered from the cache is
@@ -537,11 +597,75 @@ fn trace_lint() {
             std::process::exit(1);
         }
     }
+    if required.iter().any(|l| l == "daemon") {
+        lint_daemon_requests(&path, &spans);
+    }
     println!(
         "trace-lint: {} span(s) OK, layers: {}",
         spans.len(),
         layers.into_iter().collect::<Vec<_>>().join(",")
     );
+}
+
+/// The daemon-mode lint: every `daemon.request` span must carry its
+/// request-ID tag, and every pipeline span nested under one must carry
+/// the *matching* tag — i.e. the context propagation that makes
+/// `report profile --request` work never silently broke.
+fn lint_daemon_requests(path: &str, spans: &[bf4_obs::TraceSpan]) {
+    const PIPELINE_LAYERS: [&str; 5] = ["frontend", "ir", "core", "engine", "smt"];
+    let by_id: std::collections::HashMap<u64, &bf4_obs::TraceSpan> =
+        spans.iter().map(|s| (s.id, s)).collect();
+    let mut requests = 0u64;
+    for s in spans {
+        if s.layer == "daemon" && s.name == "request" {
+            if s.tags.get("request").map(String::is_empty).unwrap_or(true) {
+                eprintln!("{path}: daemon.request span id={} has no request tag", s.id);
+                std::process::exit(1);
+            }
+            requests += 1;
+        }
+    }
+    if requests == 0 {
+        eprintln!("{path}: layer `daemon` present but no daemon.request span");
+        std::process::exit(1);
+    }
+    for s in spans {
+        if !PIPELINE_LAYERS.contains(&s.layer.as_str()) {
+            continue;
+        }
+        // Walk up to the enclosing request span, if any; spans outside a
+        // request (e.g. startup warm-start work) are exempt.
+        let mut cur = s.parent;
+        let mut owner: Option<&bf4_obs::TraceSpan> = None;
+        while let Some(pid) = cur {
+            let Some(p) = by_id.get(&pid) else { break };
+            if p.layer == "daemon" && p.name == "request" {
+                owner = Some(p);
+                break;
+            }
+            cur = p.parent;
+        }
+        let Some(req_span) = owner else { continue };
+        let want = req_span.tags.get("request");
+        match s.tags.get("request") {
+            Some(got) if Some(got) == want => {}
+            Some(got) => {
+                eprintln!(
+                    "{path}: span id={} ({}/{}) carries request={got} under request span {:?}",
+                    s.id, s.layer, s.name, want
+                );
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!(
+                    "{path}: span id={} ({}/{}) under request {:?} has no request tag",
+                    s.id, s.layer, s.name, want
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("trace-lint: {requests} daemon request(s), request-ID propagation OK");
 }
 
 /// Audit a chaos run from its `--trace-out` file: every injected fault
@@ -899,7 +1023,74 @@ fn daemonbench() {
     );
     println!("cold one-shot of the same edits:   {baseline_wall:.3}s");
 
+    // Telemetry overhead: the same cold+warm pass through the full
+    // request path (`handle`, which mints request IDs and records the
+    // per-request telemetry), once with the stack disabled and once with
+    // metrics + persistent time-series + SLO evaluation all on. The
+    // design target is 5% (DESIGN.md §14); the CI gate is lenient so
+    // scheduler noise on short warm passes cannot flake the build.
+    let warm_pass = |telemetry: bool| -> f64 {
+        let dir = std::env::temp_dir().join(format!(
+            "bf4-daemonbench-telemetry-{}-{}",
+            std::process::id(),
+            telemetry
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = if telemetry {
+            let _ = std::fs::create_dir_all(&dir);
+            bf4_daemon::DaemonConfig {
+                cache_dir: Some(dir.clone()),
+                // Thresholds no healthy run crosses: the evaluation cost
+                // is measured, the alert path stays quiet.
+                slo: Some(
+                    bf4_obs::slo::SloSpec::parse(
+                        "p99_ms=600000,unknown_rate=1,degraded_rate=1",
+                    )
+                    .expect("static spec parses"),
+                ),
+                ..bf4_daemon::DaemonConfig::default()
+            }
+        } else {
+            bf4_daemon::DaemonConfig::default()
+        };
+        bf4_obs::set_metrics(telemetry);
+        let mut d = bf4_daemon::Daemon::new(config);
+        let submit = |d: &mut bf4_daemon::Daemon, name: &str, source: &str| {
+            d.handle(bf4_daemon::proto::Request::Submit {
+                program: name.to_string(),
+                source: source.to_string(),
+            });
+        };
+        for (name, source) in &programs {
+            submit(&mut d, name, source);
+        }
+        let t = Instant::now();
+        for (name, source) in &edited {
+            submit(&mut d, name, source);
+        }
+        let wall = t.elapsed().as_secs_f64();
+        bf4_obs::set_metrics(false);
+        let _ = std::fs::remove_dir_all(&dir);
+        wall
+    };
+    // Best of two per mode: the warm pass is short, so one scheduler
+    // hiccup would otherwise dominate the ratio.
+    let telemetry_off = warm_pass(false).min(warm_pass(false));
+    let telemetry_on = warm_pass(true).min(warm_pass(true));
+    let overhead = telemetry_on / telemetry_off.max(1e-9);
+    println!(
+        "telemetry overhead: warm pass {telemetry_off:.3}s off vs {telemetry_on:.3}s on \
+         ({overhead:.3}x; design target 1.05x)"
+    );
+
     let mut failed = false;
+    if overhead > 1.25 {
+        eprintln!(
+            "daemonbench: telemetry overhead {overhead:.3}x exceeds the 1.25x gate \
+             (design target is 1.05x)"
+        );
+        failed = true;
+    }
     for (o, expect) in warm.iter().zip(&baseline) {
         if &o.normalized != expect {
             eprintln!("daemonbench: {}: incremental verdict differs from one-shot", o.program);
@@ -920,7 +1111,7 @@ fn daemonbench() {
 
     if let Some(path) = out {
         let json = format!(
-            "{{\n  \"bench\": \"daemon\",\n  \"programs\": {},\n  \"cold\": {{\"wall_seconds\": {cold_wall:.6}}},\n  \"warm_incremental\": {{\"wall_seconds\": {warm_wall:.6}, \"skips\": {skips}, \"reverified\": {reverified}}},\n  \"cold_one_shot_of_edits\": {{\"wall_seconds\": {baseline_wall:.6}}},\n  \"verdicts_identical\": {},\n  \"speedup\": {:.2}\n}}\n",
+            "{{\n  \"bench\": \"daemon\",\n  \"programs\": {},\n  \"cold\": {{\"wall_seconds\": {cold_wall:.6}}},\n  \"warm_incremental\": {{\"wall_seconds\": {warm_wall:.6}, \"skips\": {skips}, \"reverified\": {reverified}}},\n  \"cold_one_shot_of_edits\": {{\"wall_seconds\": {baseline_wall:.6}}},\n  \"telemetry\": {{\"off_wall_seconds\": {telemetry_off:.6}, \"on_wall_seconds\": {telemetry_on:.6}, \"overhead\": {overhead:.4}}},\n  \"verdicts_identical\": {},\n  \"speedup\": {:.2}\n}}\n",
             programs.len(),
             !failed,
             baseline_wall / warm_wall.max(1e-9),
@@ -984,6 +1175,266 @@ fn normalize_cmd() {
         "{}",
         normalized_report(&name, &verify_isolated(&source, &VerifyOptions::default()))
     );
+}
+
+/// Evaluate SLOs over the tail of a daemon's persistent time-series: the
+/// offline twin of the daemon's own in-flight evaluation, for postmortems
+/// and CI gates. Exit 1 when any objective is violated.
+fn slo_cmd() {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut path: Option<String> = None;
+    let mut spec: Option<bf4_obs::slo::SloSpec> = None;
+    let mut window = 64usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--slo" => {
+                i += 1;
+                match args.get(i).map(|v| bf4_obs::slo::SloSpec::parse(v)) {
+                    Some(Ok(s)) => spec = Some(s),
+                    Some(Err(e)) => {
+                        eprintln!("report slo: bad --slo spec: {e}");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("report slo: --slo expects a spec like p99_ms=500");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--window" => {
+                i += 1;
+                window = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("report slo: --window expects a count >= 1");
+                        std::process::exit(2);
+                    });
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("report slo: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let (Some(path), Some(spec)) = (path, spec) else {
+        eprintln!("usage: report slo <tsdb.bf4t> --slo SPEC [--window N]");
+        std::process::exit(2);
+    };
+    let loaded = bf4_obs::tsdb::load(std::path::Path::new(&path)).unwrap_or_else(|e| {
+        eprintln!("report slo: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let skip = loaded.samples.len().saturating_sub(window);
+    let tail = &loaded.samples[skip..];
+    println!(
+        "== SLO over {path}: {} of {} sample(s) ({} corrupt line(s) dropped) ==",
+        tail.len(),
+        loaded.samples.len(),
+        loaded.corrupt_records
+    );
+    let mut hist = bf4_obs::Histogram::default();
+    for s in tail {
+        hist.record(std::time::Duration::from_micros(s.wall_micros));
+    }
+    if hist.count() > 0 {
+        println!(
+            "latency: p50<{}us p90<{}us p99<{}us over {} request(s)",
+            hist.quantile_bound_micros(0.5),
+            hist.quantile_bound_micros(0.9),
+            hist.quantile_bound_micros(0.99),
+            hist.count()
+        );
+        let degraded = tail.iter().filter(|s| s.degraded).count();
+        let (bugs, undecided): (u64, u64) =
+            tail.iter().fold((0, 0), |(b, u), s| (b + s.bugs, u + s.undecided));
+        println!(
+            "rates: degraded {degraded}/{}, undecided {undecided}/{bugs} bug check(s)",
+            tail.len()
+        );
+    }
+    let violations = spec.evaluate(tail);
+    if violations.is_empty() {
+        println!("slo OK: every objective holds over the window");
+        return;
+    }
+    for v in &violations {
+        println!("VIOLATION: {v}");
+    }
+    std::process::exit(1);
+}
+
+/// Validate a Prometheus text exposition — the gate behind the ci.sh
+/// metrics-endpoint smoke (whatever the HTTP responder served must parse
+/// under the same grammar `bf4_obs::expose::render` writes).
+fn expose_lint() {
+    let Some(path) = std::env::args().nth(2) else {
+        eprintln!("usage: report expose-lint <file>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("report expose-lint: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    match bf4_obs::expose::parse(&text) {
+        Ok(exp) => println!(
+            "expose-lint: {} sample(s) across {} metric(s) OK",
+            exp.samples.len(),
+            exp.types.len()
+        ),
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Look up a dotted path (`warm.hit_rate`) in a parsed bench JSON.
+fn bench_field(v: &bf4_obs::json::Value, path: &str) -> Option<f64> {
+    let mut cur = v;
+    for key in path.split('.') {
+        cur = cur.as_obj()?.get(key)?;
+    }
+    match cur {
+        bf4_obs::json::Value::Num(n) => Some(*n),
+        bf4_obs::json::Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+        _ => None,
+    }
+}
+
+/// Regression gate over BENCH_*.json files: fresh numbers may not be
+/// *worse* than the committed baseline beyond the tolerance band. Only
+/// scale-free metrics are compared — hit rates, speedups, skip counts and
+/// verdict identity travel across machines; raw wall-clock does not.
+fn regress_cmd() {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut fresh_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance = 0.25f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fresh" => {
+                i += 1;
+                fresh_path = args.get(i).cloned();
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = args.get(i).cloned();
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("report regress: --tolerance expects a non-negative number");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("report regress: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let (Some(fresh_path), Some(baseline_path)) = (fresh_path, baseline_path) else {
+        eprintln!("usage: report regress --fresh FILE --baseline FILE [--tolerance T]");
+        std::process::exit(2);
+    };
+    let read = |p: &str| -> bf4_obs::json::Value {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("report regress: cannot read {p}: {e}");
+            std::process::exit(2);
+        });
+        bf4_obs::json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("report regress: {p} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let fresh = read(&fresh_path);
+    let baseline = read(&baseline_path);
+    let kind = fresh
+        .as_obj()
+        .and_then(|o| o.get("bench"))
+        .and_then(bf4_obs::json::Value::as_str)
+        .unwrap_or_else(|| {
+            eprintln!("report regress: {fresh_path} has no \"bench\" kind");
+            std::process::exit(2);
+        })
+        .to_string();
+    let base_kind = baseline
+        .as_obj()
+        .and_then(|o| o.get("bench"))
+        .and_then(bf4_obs::json::Value::as_str);
+    if base_kind != Some(kind.as_str()) {
+        eprintln!("report regress: baseline {baseline_path} is not a \"{kind}\" bench");
+        std::process::exit(2);
+    }
+    // (metric path, direction): `Lower` fails when fresh drops below
+    // baseline*(1-tol) - eps, `Upper` when it rises above
+    // baseline*(1+tol) + eps. Booleans encode as 0/1 and use `Lower`.
+    enum Dir {
+        Lower,
+        Upper,
+    }
+    let checks: Vec<(&str, Dir)> = match kind.as_str() {
+        "cache" => vec![
+            ("cold.hit_rate", Dir::Lower),
+            ("warm.hit_rate", Dir::Lower),
+            ("warm.preloaded", Dir::Lower),
+            ("store.corrupt_records", Dir::Upper),
+            ("store.io_errors", Dir::Upper),
+        ],
+        "daemon" => vec![
+            ("verdicts_identical", Dir::Lower),
+            ("speedup", Dir::Lower),
+            ("warm_incremental.skips", Dir::Lower),
+            ("telemetry.overhead", Dir::Upper),
+        ],
+        other => {
+            eprintln!("report regress: unknown bench kind `{other}`");
+            std::process::exit(2);
+        }
+    };
+    println!("== regress: {fresh_path} vs baseline {baseline_path} (tolerance {tolerance}) ==");
+    let mut failed = false;
+    for (path, dir) in checks {
+        let Some(base) = bench_field(&baseline, path) else {
+            // An older baseline simply predates the metric; nothing to
+            // compare against.
+            println!("  {path:<28} (not in baseline, skipped)");
+            continue;
+        };
+        let Some(now) = bench_field(&fresh, path) else {
+            eprintln!("  {path:<28} MISSING from the fresh bench");
+            failed = true;
+            continue;
+        };
+        // The additive epsilon keeps zero baselines meaningful (a purely
+        // relative band around 0 would reject any nonzero fresh value).
+        let eps = 1e-9;
+        let ok = match dir {
+            Dir::Lower => now >= base * (1.0 - tolerance) - eps,
+            Dir::Upper => now <= base * (1.0 + tolerance) + tolerance.max(eps),
+        };
+        let verdict = if ok { "ok" } else { "REGRESSED" };
+        println!("  {path:<28} fresh={now:.4} baseline={base:.4} {verdict}");
+        if !ok {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("regress gate FAILED");
+        std::process::exit(1);
+    }
+    println!("regress OK: no scale-free metric regressed beyond the band");
 }
 
 /// Speedup-vs-jobs table over the corpus, with per-stage latencies and

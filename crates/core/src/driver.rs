@@ -251,8 +251,11 @@ pub fn verify_isolated(source: &str, options: &VerifyOptions) -> Report {
 pub fn verify(source: &str, options: &VerifyOptions) -> Result<Report, bf4_p4::Error> {
     let t_total = Instant::now();
     // Metrics are process-global; attributing them to this run via a
-    // before/after counter delta is exact only while runs don't overlap
-    // (the parallel engine leaves `obs_metrics` unset for that reason).
+    // before/after counter delta is exact only while runs don't overlap.
+    // The parallel engine takes the same delta around its joined worker
+    // pool, so a single-program engine run attributes identically; only
+    // multi-program corpora (overlapping in the pool) leave per-report
+    // metrics unset.
     let metrics_before = bf4_obs::metrics_enabled().then(bf4_obs::snapshot);
     let program = bf4_p4::frontend(source)?;
     let solver_cfg = options.solver.clone();

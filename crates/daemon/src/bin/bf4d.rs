@@ -13,6 +13,17 @@
 //!   --timeout-ms <n>       per-query solver deadline in milliseconds
 //!   --egress               also analyze the egress pipeline (in separation)
 //!   --trace-out <file>     append each request's span tree as JSONL
+//!   --trace-cap-bytes <n>  rotate --trace-out past this size (default 64 MiB)
+//!   --metrics-addr <addr>  answer HTTP GETs on <addr> with the Prometheus
+//!                          text exposition of the latest metrics
+//!   --slo <spec>           service-level objectives, e.g.
+//!                          p99_ms=500,unknown_rate=0.05 — violations raise
+//!                          leveled alert events and the alerts counters
+//!   --slo-window <n>       requests per SLO evaluation window (default 64)
+//!   --tsdb-cap-bytes <n>   ring cap of the per-request time-series kept in
+//!                          --cache-dir (default 4 MiB)
+//!   --no-telemetry         disable metric collection (the metrics op then
+//!                          reports only the daemon's own counters)
 //!   --quiet                suppress per-request log lines
 //! ```
 //!
@@ -23,9 +34,12 @@
 
 use bf4_daemon::server::{serve, Listener, ServeOptions};
 use bf4_daemon::{Daemon, DaemonConfig};
+use bf4_obs::slo::SloSpec;
+use std::io::{Read, Write};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +47,8 @@ fn main() {
     let mut tcp: Option<String> = None;
     let mut config = DaemonConfig::default();
     let mut no_cache_persist = false;
+    let mut no_telemetry = false;
+    let mut metrics_addr: Option<String> = None;
     let mut opts = ServeOptions::default();
 
     let mut i = 0;
@@ -85,11 +101,50 @@ fn main() {
                     None => usage_error("--trace-out expects an output path"),
                 }
             }
+            "--trace-cap-bytes" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse::<u64>()) {
+                    Some(Ok(n)) => opts.trace_cap_bytes = n,
+                    _ => usage_error("--trace-cap-bytes expects a number of bytes"),
+                }
+            }
+            "--metrics-addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => metrics_addr = Some(a.clone()),
+                    None => usage_error("--metrics-addr expects an address like 127.0.0.1:9945"),
+                }
+            }
+            "--slo" => {
+                i += 1;
+                match args.get(i).map(|v| SloSpec::parse(v)) {
+                    Some(Ok(spec)) => config.slo = Some(spec),
+                    Some(Err(e)) => usage_error(&format!("bad --slo spec: {e}")),
+                    None => usage_error("--slo expects a spec like p99_ms=500,unknown_rate=0.05"),
+                }
+            }
+            "--slo-window" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) if n > 0 => config.slo_window = n,
+                    _ => usage_error("--slo-window expects a positive number of requests"),
+                }
+            }
+            "--tsdb-cap-bytes" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse::<u64>()) {
+                    Some(Ok(n)) => config.tsdb_cap_bytes = n,
+                    _ => usage_error("--tsdb-cap-bytes expects a number of bytes"),
+                }
+            }
+            "--no-telemetry" => no_telemetry = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: bf4d --socket PATH | --tcp ADDR [--cache-cap N] [--cache-dir DIR] \
-                     [--no-cache-persist] [--timeout-ms N] [--egress] [--trace-out FILE] [--quiet]"
+                     [--no-cache-persist] [--timeout-ms N] [--egress] [--trace-out FILE] \
+                     [--trace-cap-bytes N] [--metrics-addr ADDR] [--slo SPEC] [--slo-window N] \
+                     [--tsdb-cap-bytes N] [--no-telemetry] [--quiet]"
                 );
                 std::process::exit(0);
             }
@@ -110,6 +165,9 @@ fn main() {
     if opts.trace_out.is_some() {
         bf4_obs::set_enabled(true);
     }
+    // Metric collection is on by default for a long-running service; the
+    // escape hatch restores the inert-guard fast path end to end.
+    bf4_obs::set_metrics(!no_telemetry);
 
     let listener = match (&socket, &tcp) {
         (Some(path), None) => {
@@ -144,7 +202,31 @@ fn main() {
         _ => unreachable!("validated above"),
     };
 
+    if let Some(addr) = &metrics_addr {
+        let share = Arc::new(Mutex::new(String::new()));
+        match TcpListener::bind(addr) {
+            Ok(l) => {
+                if !opts.quiet {
+                    eprintln!("bf4d: metrics on http://{addr}/metrics");
+                }
+                opts.metrics_share = Some(share.clone());
+                std::thread::spawn(move || serve_metrics_http(l, &share));
+            }
+            Err(e) => {
+                eprintln!("bf4d: cannot bind metrics address {addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let mut daemon = Daemon::new(config);
+    if let Some(share) = &opts.metrics_share {
+        // Publish a first exposition so a scrape before the first request
+        // sees the daemon's startup state rather than an empty body.
+        if let Ok(mut slot) = share.lock() {
+            *slot = daemon.render_metrics();
+        }
+    }
     match serve(listener, &mut daemon, &opts) {
         Ok(requests) => {
             if !opts.quiet {
@@ -163,6 +245,43 @@ fn main() {
             eprintln!("bf4d: service loop failed: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+/// A minimal HTTP/1.0 GET responder for `--metrics-addr`: every request
+/// (any path) is answered with the latest published exposition. One
+/// connection at a time is plenty for a scrape endpoint, and a slow or
+/// broken scraper can never stall verification — the service loop only
+/// ever touches the shared slot under a short lock.
+fn serve_metrics_http(listener: TcpListener, share: &Arc<Mutex<String>>) {
+    for conn in listener.incoming() {
+        let Ok(mut conn) = conn else { continue };
+        let _ = conn.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+        // Read until the end of the request head; tolerate clients that
+        // send nothing but still want the body.
+        let mut head = Vec::new();
+        let mut buf = [0u8; 1024];
+        loop {
+            match conn.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    head.extend_from_slice(&buf[..n]);
+                    if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 16 * 1024 {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let body = share.lock().map(|s| s.clone()).unwrap_or_default();
+        let resp = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = conn.write_all(resp.as_bytes());
+        let _ = conn.flush();
     }
 }
 

@@ -33,11 +33,13 @@ pub mod server;
 use crate::incremental::{verify_incremental, IncrementalOutcome, VerdictMap};
 use bf4_core::driver::{Report, VerifyOptions};
 use bf4_engine::{normalized_report, PersistStats, QueryCache, Store};
-use std::collections::HashMap;
+use bf4_obs::slo::SloSpec;
+use bf4_obs::tsdb::{self, Tsdb};
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// How a daemon is sized and where its cache persists.
 #[derive(Clone, Debug)]
@@ -46,10 +48,19 @@ pub struct DaemonConfig {
     pub options: VerifyOptions,
     /// Query-cache capacity in entries (0 disables caching).
     pub cache_cap: usize,
-    /// Persistent store directory, warm-started once at startup.
+    /// Persistent store directory, warm-started once at startup. Also
+    /// hosts the per-request time-series (`tsdb.bf4t`) when set.
     pub cache_dir: Option<PathBuf>,
     /// Save the cache back to `cache_dir` at shutdown.
     pub cache_persist: bool,
+    /// Service-level objectives evaluated after every submission over
+    /// the sliding window of recent requests.
+    pub slo: Option<SloSpec>,
+    /// Requests per SLO evaluation window.
+    pub slo_window: usize,
+    /// Ring cap of the time-series file in bytes
+    /// (0 = [`tsdb::DEFAULT_CAP_BYTES`]).
+    pub tsdb_cap_bytes: u64,
 }
 
 impl Default for DaemonConfig {
@@ -59,6 +70,9 @@ impl Default for DaemonConfig {
             cache_cap: 65536,
             cache_dir: None,
             cache_persist: false,
+            slo: None,
+            slo_window: 64,
+            tsdb_cap_bytes: 0,
         }
     }
 }
@@ -89,6 +103,11 @@ pub struct DaemonStats {
     pub incremental_skips: u64,
     /// Round-1 bug checks that ran the solver.
     pub full_reverifies: u64,
+    /// Submissions whose report carried a degraded stage.
+    pub degraded_submits: u64,
+    /// SLO violations raised over the daemon's lifetime (each violating
+    /// objective per evaluation counts once).
+    pub alerts: u64,
 }
 
 /// What one submission produced, for protocol encoding and benches.
@@ -97,6 +116,10 @@ pub struct SubmitOutcome {
     pub program: String,
     /// Version counter after this submission (1-based).
     pub version: u64,
+    /// The protocol request ID this outcome answered (`req-<n>`, unique
+    /// within one daemon lifetime; empty for in-process [`Daemon::submit`]
+    /// calls that bypass [`Daemon::handle`]).
+    pub request: String,
     /// The full report.
     pub report: Report,
     /// [`bf4_engine::normalized_report`] rendering of `report` — the
@@ -121,6 +144,18 @@ pub struct Daemon {
     persist: Option<PersistStats>,
     programs: HashMap<String, ProgramState>,
     stats: DaemonStats,
+    /// Counter behind the `req-<n>` request IDs.
+    next_request: u64,
+    /// The persistent per-request series, when a `cache_dir` hosts one.
+    tsdb: Option<Tsdb>,
+    /// Sliding window of recent submissions for SLO evaluation (seeded
+    /// from the series tail at startup, so objectives see across
+    /// restarts).
+    window: VecDeque<tsdb::Sample>,
+    /// Series lines dropped as corrupt when the window was seeded.
+    tsdb_corrupt: u64,
+    /// Violations raised by the most recent SLO evaluation.
+    active_alerts: u64,
 }
 
 impl Daemon {
@@ -146,6 +181,26 @@ impl Daemon {
                 }
             }
         }
+        let mut db = None;
+        let mut window = VecDeque::new();
+        let mut tsdb_corrupt = 0;
+        if let Some(dir) = &config.cache_dir {
+            let t = Tsdb::open(dir.join(tsdb::TSDB_FILE), config.tsdb_cap_bytes);
+            // Seed the SLO window from the series tail so objectives
+            // evaluate across restarts; a corrupt or missing series
+            // degrades to an empty window, never a failed daemon.
+            match tsdb::load(t.path()) {
+                Ok(loaded) => {
+                    tsdb_corrupt = loaded.corrupt_records;
+                    let skip = loaded.samples.len().saturating_sub(config.slo_window.max(1));
+                    window.extend(loaded.samples.into_iter().skip(skip));
+                }
+                Err(e) => {
+                    bf4_obs::error("daemon", &format!("time-series load failed: {e}"));
+                }
+            }
+            db = Some(t);
+        }
         Daemon {
             config,
             cache,
@@ -153,6 +208,11 @@ impl Daemon {
             persist,
             programs: HashMap::new(),
             stats: DaemonStats::default(),
+            next_request: 0,
+            tsdb: db,
+            window,
+            tsdb_corrupt,
+            active_alerts: 0,
         }
     }
 
@@ -251,9 +311,13 @@ impl Daemon {
                 last_wall: wall,
             },
         );
+        if !report.degraded.is_empty() {
+            self.stats.degraded_submits += 1;
+        }
         SubmitOutcome {
             program: name.to_string(),
             version,
+            request: String::new(),
             report,
             normalized,
             skips,
@@ -267,6 +331,7 @@ impl Daemon {
         self.programs.get(name).map(|p| SubmitOutcome {
             program: name.to_string(),
             version: p.version,
+            request: String::new(),
             report: p.report.clone(),
             normalized: p.normalized.clone(),
             skips: p.last_skips,
@@ -275,12 +340,21 @@ impl Daemon {
         })
     }
 
-    /// Handle one decoded protocol request. Opens the `daemon.request`
-    /// span every engine span of the submission nests under, and keeps
-    /// the typed daemon counters. Returns the response and whether the
-    /// caller should shut the service down.
+    /// Handle one decoded protocol request. Mints the request ID, opens
+    /// the `daemon.request` span every pipeline span of the submission
+    /// nests under (all carrying the ID via an ambient context tag — the
+    /// service loop is sequential, so the whole pipeline runs on this
+    /// thread), and keeps the typed daemon counters plus the per-request
+    /// telemetry record. Returns the response and whether the caller
+    /// should shut the service down.
     pub fn handle(&mut self, req: proto::Request) -> (proto::Response, bool) {
+        self.next_request += 1;
+        let request_id = format!("req-{}", self.next_request);
         let mut sp = bf4_obs::span("daemon", "request");
+        if sp.is_active() {
+            sp.add_tag("request", &request_id);
+        }
+        let _ctx = bf4_obs::ctx_tag("request", &request_id);
         self.stats.requests += 1;
         bf4_obs::counter_add("daemon.requests", 1);
         match req {
@@ -295,11 +369,14 @@ impl Daemon {
                     sp.add_tag("op", "submit");
                     sp.add_tag("program", &program);
                 }
-                let out = self.submit(&program, &source);
+                let cache_before = self.cache.stats();
+                let mut out = self.submit(&program, &source);
+                out.request = request_id.clone();
                 if sp.is_active() {
                     sp.add_tag("skips", out.skips.to_string());
                     sp.add_tag("reverified", out.reverified.to_string());
                 }
+                self.record_submit(&out, &cache_before);
                 (proto::Response::Verdict(Box::new(out)), false)
             }
             proto::Request::Status { program } => {
@@ -308,7 +385,10 @@ impl Daemon {
                     sp.add_tag("program", &program);
                 }
                 match self.status(&program) {
-                    Some(out) => (proto::Response::Verdict(Box::new(out)), false),
+                    Some(mut out) => {
+                        out.request = request_id.clone();
+                        (proto::Response::Verdict(Box::new(out)), false)
+                    }
                     None => {
                         self.stats.errors += 1;
                         (
@@ -329,6 +409,18 @@ impl Daemon {
                         daemon: self.stats,
                         programs: self.programs.len() as u64,
                         cache: self.cache.stats(),
+                        active_alerts: self.active_alerts,
+                    },
+                    false,
+                )
+            }
+            proto::Request::Metrics => {
+                if sp.is_active() {
+                    sp.add_tag("op", "metrics");
+                }
+                (
+                    proto::Response::Metrics {
+                        text: self.render_metrics(),
                     },
                     false,
                 )
@@ -341,6 +433,107 @@ impl Daemon {
                 (proto::Response::Shutdown, true)
             }
         }
+    }
+
+    /// Record one submission into the telemetry surfaces: the request
+    /// latency histogram, the SLO window, the persistent time-series,
+    /// and — when objectives are configured — the alert pipeline.
+    fn record_submit(&mut self, out: &SubmitOutcome, cache_before: &bf4_engine::CacheStats) {
+        bf4_obs::hist_record("daemon.request_micros", out.wall);
+        let cache_now = self.cache.stats();
+        let sample = tsdb::Sample {
+            ts_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+                .unwrap_or(0),
+            req: out.request.clone(),
+            program: out.program.clone(),
+            wall_micros: out.wall.as_micros().min(u64::MAX as u128) as u64,
+            bugs: out.report.bugs_total as u64,
+            after_fixes: out.report.bugs_after_fixes as u64,
+            undecided: out.report.bugs_undecided as u64,
+            skips: out.skips,
+            reverified: out.reverified,
+            cache_hits: cache_now.hits.saturating_sub(cache_before.hits),
+            warm_hits: cache_now.warm_hits.saturating_sub(cache_before.warm_hits),
+            degraded: !out.report.degraded.is_empty(),
+        };
+        if sample.degraded {
+            bf4_obs::counter_add("daemon.degraded_submits", 1);
+        }
+        if let Some(db) = &self.tsdb {
+            match db.append(&sample) {
+                Ok(compacted) => {
+                    if compacted {
+                        bf4_obs::counter_add("tsdb.compactions", 1);
+                    }
+                }
+                Err(e) => {
+                    bf4_obs::error("daemon", &format!("time-series append failed: {e}"));
+                    bf4_obs::counter_add("tsdb.io_errors", 1);
+                }
+            }
+        }
+        self.window.push_back(sample);
+        while self.window.len() > self.config.slo_window.max(1) {
+            self.window.pop_front();
+        }
+        if let Some(spec) = &self.config.slo {
+            let window: Vec<tsdb::Sample> = self.window.iter().cloned().collect();
+            let violations = spec.evaluate(&window);
+            for v in &violations {
+                bf4_obs::warn("slo", &format!("{v} (at {})", out.request));
+            }
+            self.stats.alerts += violations.len() as u64;
+            bf4_obs::counter_add("slo.alerts", violations.len() as u64);
+            self.active_alerts = violations.len() as u64;
+            bf4_obs::gauge_set("slo.active_alerts", self.active_alerts as i64);
+        }
+    }
+
+    /// Violations raised by the most recent SLO evaluation.
+    pub fn active_alerts(&self) -> u64 {
+        self.active_alerts
+    }
+
+    /// The SLO window currently held in memory (oldest first).
+    pub fn slo_window(&self) -> Vec<tsdb::Sample> {
+        self.window.iter().cloned().collect()
+    }
+
+    /// Render the Prometheus text exposition: the global metrics
+    /// registry overlaid with the daemon's own authoritative counters
+    /// (request/cache/SLO state), so the exposition is meaningful even
+    /// while global metric collection is off.
+    pub fn render_metrics(&self) -> String {
+        let mut snap = bf4_obs::snapshot();
+        let s = self.stats;
+        let overlay: [(&'static str, u64); 8] = [
+            ("daemon.requests", s.requests),
+            ("daemon.submits", s.submits),
+            ("daemon.errors", s.errors),
+            ("daemon.incremental_skips", s.incremental_skips),
+            ("daemon.full_reverifies", s.full_reverifies),
+            ("daemon.degraded_submits", s.degraded_submits),
+            ("slo.alerts", s.alerts),
+            ("tsdb.corrupt_records", self.tsdb_corrupt),
+        ];
+        for (name, v) in overlay {
+            snap.counters.insert(name, v);
+        }
+        let c = self.cache.stats();
+        snap.counters.insert("cache.hits", c.hits);
+        snap.counters.insert("cache.warm_hits", c.warm_hits);
+        snap.counters.insert("cache.misses", c.misses);
+        snap.counters.insert("cache.insertions", c.insertions);
+        snap.counters.insert("cache.evictions", c.evictions);
+        snap.counters.insert("cache.preloaded", c.preloaded);
+        snap.gauges.insert("cache.entries", c.entries as i64);
+        snap.gauges
+            .insert("daemon.programs", self.programs.len() as i64);
+        snap.gauges
+            .insert("slo.active_alerts", self.active_alerts as i64);
+        bf4_obs::expose::render(&snap)
     }
 
     /// Answer a malformed frame: counted as a request and an error.

@@ -7,14 +7,16 @@
 //! {"op":"submit","program":"<name>","source":"<p4 source>"}
 //! {"op":"status","program":"<name>"}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! ```
 //!
-//! Responses are flat objects with `"ok"` first: verdicts carry the bug
-//! totals, the incremental counters and the normalized report text;
-//! errors carry `"error"`. Parsing uses the minimal JSON module from
-//! `bf4-obs` — no new dependencies.
+//! Responses are flat objects with `"ok"` first: verdicts carry the
+//! request ID, the bug totals, the incremental counters and the
+//! normalized report text; `metrics` carries the full Prometheus text
+//! exposition; errors carry `"error"`. Parsing uses the minimal JSON
+//! module from `bf4-obs` — no new dependencies.
 
 use crate::{DaemonStats, SubmitOutcome};
 use bf4_engine::CacheStats;
@@ -42,6 +44,8 @@ pub enum Request {
     },
     /// Daemon + cache counters.
     Stats,
+    /// Prometheus text exposition of the metrics registry.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Persist the cache and stop the service loop.
@@ -60,6 +64,13 @@ pub enum Response {
         programs: u64,
         /// Shared query-cache counters.
         cache: CacheStats,
+        /// SLO violations active after the most recent evaluation.
+        active_alerts: u64,
+    },
+    /// The metrics exposition text.
+    Metrics {
+        /// Prometheus text-exposition body (`bf4_obs::expose::render`).
+        text: String,
     },
     /// Ping reply.
     Pong,
@@ -85,6 +96,7 @@ pub fn encode_request(req: &Request) -> String {
             json::escape(program)
         ),
         Request::Stats => "{\"op\":\"stats\"}".to_string(),
+        Request::Metrics => "{\"op\":\"metrics\"}".to_string(),
         Request::Ping => "{\"op\":\"ping\"}".to_string(),
         Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
     }
@@ -113,6 +125,7 @@ pub fn parse_request(body: &str) -> Result<Request, String> {
             program: field("program")?,
         }),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op `{other}`")),
@@ -125,13 +138,14 @@ pub fn encode_response(resp: &Response) -> String {
         Response::Verdict(out) => {
             let r = &out.report;
             format!(
-                "{{\"ok\":true,\"program\":{},\"version\":{},\
+                "{{\"ok\":true,\"program\":{},\"version\":{},\"request\":{},\
                  \"bugs_total\":{},\"bugs_after_infer\":{},\"bugs_after_fixes\":{},\
                  \"bugs_undecided\":{},\"degraded\":{},\
                  \"skips\":{},\"reverified\":{},\"wall_micros\":{},\
                  \"exit_code\":{},\"report\":{}}}",
                 json::escape(&out.program),
                 out.version,
+                json::escape(&out.request),
                 r.bugs_total,
                 r.bugs_after_infer,
                 r.bugs_after_fixes,
@@ -148,11 +162,13 @@ pub fn encode_response(resp: &Response) -> String {
             daemon,
             programs,
             cache,
+            active_alerts,
         } => format!(
             "{{\"ok\":true,\"requests\":{},\"submits\":{},\"errors\":{},\
              \"programs\":{},\"skips\":{},\"reverified\":{},\
              \"cache_hits\":{},\"cache_warm_hits\":{},\"cache_misses\":{},\
-             \"cache_preloaded\":{}}}",
+             \"cache_preloaded\":{},\"degraded_submits\":{},\"alerts\":{},\
+             \"active_alerts\":{}}}",
             daemon.requests,
             daemon.submits,
             daemon.errors,
@@ -162,8 +178,14 @@ pub fn encode_response(resp: &Response) -> String {
             cache.hits,
             cache.warm_hits,
             cache.misses,
-            cache.preloaded
+            cache.preloaded,
+            daemon.degraded_submits,
+            daemon.alerts,
+            active_alerts
         ),
+        Response::Metrics { text } => {
+            format!("{{\"ok\":true,\"metrics\":{}}}", json::escape(text))
+        }
         Response::Pong => "{\"ok\":true,\"pong\":true}".to_string(),
         Response::Shutdown => "{\"ok\":true,\"shutdown\":true}".to_string(),
         Response::Error { error } => {
@@ -220,6 +242,7 @@ mod tests {
             },
             Request::Status { program: "p".into() },
             Request::Stats,
+            Request::Metrics,
             Request::Ping,
             Request::Shutdown,
         ];
@@ -246,6 +269,97 @@ mod tests {
         buf.extend_from_slice(&u32::MAX.to_be_bytes());
         let err = read_frame(&mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frame_cap_edge_accepts_exactly_max_and_rejects_one_more() {
+        // Accept side: a frame of exactly MAX_FRAME bytes round-trips.
+        let body = "x".repeat(MAX_FRAME as usize);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        let got = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(got.len(), MAX_FRAME as usize);
+        // Reject side, writer: one byte more must fail before any bytes
+        // hit the wire.
+        let over = "x".repeat(MAX_FRAME as usize + 1);
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &over).is_err());
+        assert!(sink.is_empty());
+        // Reject side, reader: a MAX_FRAME+1 length prefix is refused
+        // before allocation.
+        let mut prefix = Vec::new();
+        prefix.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let err = read_frame(&mut prefix.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn stats_and_metrics_responses_round_trip_through_json() {
+        let stats = Response::Stats {
+            daemon: DaemonStats {
+                requests: 11,
+                submits: 5,
+                errors: 1,
+                incremental_skips: 9,
+                full_reverifies: 3,
+                degraded_submits: 2,
+                alerts: 4,
+            },
+            programs: 2,
+            cache: CacheStats {
+                hits: 20,
+                warm_hits: 6,
+                misses: 7,
+                preloaded: 8,
+                ..CacheStats::default()
+            },
+            active_alerts: 1,
+        };
+        let body = encode_response(&stats);
+        let v = json::parse(&body).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj["ok"], Value::Bool(true));
+        let get = |k: &str| obj[k].as_u64().unwrap();
+        assert_eq!(get("requests"), 11);
+        assert_eq!(get("skips"), 9);
+        assert_eq!(get("cache_warm_hits"), 6);
+        assert_eq!(get("degraded_submits"), 2);
+        assert_eq!(get("alerts"), 4);
+        assert_eq!(get("active_alerts"), 1);
+
+        // A metrics response must carry an exposition that still parses
+        // after the JSON round trip (quotes in quantile labels survive
+        // the escaping).
+        let mut snap = bf4_obs::MetricsSnapshot::default();
+        snap.counters.insert("daemon.requests", 11);
+        let mut h = bf4_obs::Histogram::default();
+        h.record(std::time::Duration::from_micros(250));
+        snap.hists
+            .insert("daemon.request_micros", bf4_obs::HistSummary::of(&h));
+        let text = bf4_obs::expose::render(&snap);
+        let body = encode_response(&Response::Metrics { text: text.clone() });
+        let v = json::parse(&body).unwrap();
+        let decoded = v.as_obj().unwrap()["metrics"].as_str().unwrap().to_string();
+        assert_eq!(decoded, text);
+        let exp = bf4_obs::expose::parse(&decoded).unwrap();
+        assert_eq!(exp.value("bf4_daemon_requests", &[]), Some(11.0));
+        assert_eq!(
+            exp.value("bf4_daemon_request_micros", &[("quantile", "0.5")]),
+            Some(256.0)
+        );
+    }
+
+    #[test]
+    fn malformed_metrics_and_stats_frames_are_parse_errors_not_panics() {
+        for bad in [
+            "{\"op\":\"metrics\",}",
+            "{\"op\":\"metric\"}",
+            "{\"op\":42}",
+            "{\"op\":\"stats\"",
+            "",
+        ] {
+            assert!(parse_request(bad).is_err(), "should reject {bad:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! The daemon's operational telemetry end to end, in process: request
+//! IDs minted by `handle`, the `metrics` op's exposition, the persistent
+//! time-series surviving a restart, and SLO violations raised by a
+//! degraded submission.
+//!
+//! Metric collection and span tracing are process-global, so this suite
+//! lives in its own test binary and serializes every test on one gate.
+
+use bf4_daemon::proto::{Request, Response};
+use bf4_daemon::{Daemon, DaemonConfig};
+use bf4_obs::slo::SloSpec;
+use bf4_obs::tsdb;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bf4-telemetry-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn submit(program: &str, source: &str) -> Request {
+    Request::Submit {
+        program: program.to_string(),
+        source: source.to_string(),
+    }
+}
+
+fn corpus_source(name: &str) -> String {
+    bf4_corpus::by_name(name)
+        .expect("corpus program present")
+        .source
+        .to_string()
+}
+
+#[test]
+fn handle_mints_request_ids_and_metrics_op_exposes_the_daemon() {
+    let _g = lock();
+    bf4_obs::set_metrics(true);
+    bf4_obs::reset_metrics();
+    let mut daemon = Daemon::new(DaemonConfig::default());
+    let arp = corpus_source("arp");
+
+    let (resp, stop) = daemon.handle(submit("arp", &arp));
+    assert!(!stop);
+    let Response::Verdict(out) = resp else {
+        panic!("submit must answer with a verdict");
+    };
+    assert_eq!(out.request, "req-1");
+    let (resp, _) = daemon.handle(submit("arp", &arp));
+    let Response::Verdict(out) = resp else {
+        panic!("submit must answer with a verdict");
+    };
+    assert_eq!(out.request, "req-2", "request IDs are sequential per daemon");
+
+    let (resp, _) = daemon.handle(Request::Metrics);
+    bf4_obs::set_metrics(false);
+    let Response::Metrics { text } = resp else {
+        panic!("metrics must answer with the exposition");
+    };
+    let exp = bf4_obs::expose::parse(&text).expect("the exposition parses under its own grammar");
+    // The metrics request itself is request #3.
+    assert_eq!(exp.value("bf4_daemon_requests", &[]), Some(3.0));
+    assert_eq!(exp.value("bf4_daemon_submits", &[]), Some(2.0));
+    // The latency summary carries both submissions.
+    assert_eq!(
+        exp.value("bf4_daemon_request_micros_count", &[]),
+        Some(2.0)
+    );
+    assert!(exp
+        .value("bf4_daemon_request_micros", &[("quantile", "0.99")])
+        .is_some());
+    bf4_obs::reset_metrics();
+}
+
+#[test]
+fn stats_op_reports_alert_state_and_degraded_counts() {
+    let _g = lock();
+    let config = DaemonConfig {
+        slo: Some(SloSpec::parse("degraded_rate=0.0").unwrap()),
+        ..DaemonConfig::default()
+    };
+    let mut daemon = Daemon::new(config);
+    // A frontend reject degrades the report, which trips degraded_rate=0.
+    let (resp, _) = daemon.handle(submit("broken", "not a p4 program"));
+    let Response::Verdict(out) = resp else {
+        panic!("degraded submits still answer with a verdict");
+    };
+    assert!(!out.report.degraded.is_empty());
+    assert!(daemon.active_alerts() > 0, "the violation must raise an alert");
+    assert!(daemon.stats().alerts > 0);
+    assert_eq!(daemon.stats().degraded_submits, 1);
+
+    let (resp, _) = daemon.handle(Request::Stats);
+    let Response::Stats {
+        daemon: stats,
+        active_alerts,
+        ..
+    } = resp
+    else {
+        panic!("stats must answer with counters");
+    };
+    assert_eq!(stats.degraded_submits, 1);
+    assert!(active_alerts > 0);
+
+    // A healthy window clears the active alerts again (history stays in
+    // the lifetime counter).
+    let arp = corpus_source("arp");
+    let window = daemon.slo_window().len();
+    for i in 0..window {
+        daemon.handle(submit(&format!("p{i}"), &arp));
+    }
+    // One more wave pushes the degraded sample out of the window.
+    for i in 0..64 {
+        if daemon.active_alerts() == 0 {
+            break;
+        }
+        daemon.handle(submit(&format!("q{i}"), &arp));
+    }
+    assert_eq!(daemon.active_alerts(), 0, "healthy requests clear the alert");
+    assert!(daemon.stats().alerts > 0, "the lifetime counter remembers");
+}
+
+#[test]
+fn tsdb_survives_restart_and_seeds_the_slo_window() {
+    let _g = lock();
+    let dir = scratch("restart");
+    let config = DaemonConfig {
+        cache_dir: Some(dir.clone()),
+        ..DaemonConfig::default()
+    };
+    let arp = corpus_source("arp");
+    {
+        let mut daemon = Daemon::new(config.clone());
+        daemon.handle(submit("arp", &arp));
+        daemon.handle(submit("arp", &arp));
+        assert_eq!(daemon.slo_window().len(), 2);
+    }
+    // The series is on disk, one line per submission.
+    let loaded = tsdb::load(&dir.join(tsdb::TSDB_FILE)).unwrap();
+    assert_eq!(loaded.corrupt_records, 0);
+    assert_eq!(loaded.samples.len(), 2);
+    assert_eq!(loaded.samples[0].req, "req-1");
+    assert_eq!(loaded.samples[1].req, "req-2");
+    assert_eq!(loaded.samples[1].program, "arp");
+    assert!(loaded.samples[1].wall_micros > 0);
+
+    // A restarted daemon seeds its SLO window from the series tail and
+    // keeps appending after its own requests.
+    let mut daemon = Daemon::new(config);
+    assert_eq!(daemon.slo_window().len(), 2, "window seeded across restart");
+    daemon.handle(submit("arp", &arp));
+    let loaded = tsdb::load(&dir.join(tsdb::TSDB_FILE)).unwrap();
+    assert_eq!(loaded.samples.len(), 3);
+    // Request IDs restart per daemon lifetime; the series keeps both
+    // generations in order.
+    assert_eq!(loaded.samples[2].req, "req-1");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn request_id_tags_flow_into_every_pipeline_span() {
+    let _g = lock();
+    bf4_obs::set_enabled(true);
+    let _ = bf4_obs::take_spans();
+    let mut daemon = Daemon::new(DaemonConfig::default());
+    daemon.handle(submit("arp", &corpus_source("arp")));
+    bf4_obs::set_enabled(false);
+    let records = bf4_obs::take_spans();
+    let spans: Vec<bf4_obs::TraceSpan> = records.iter().map(Into::into).collect();
+
+    let request = spans
+        .iter()
+        .find(|s| s.layer == "daemon" && s.name == "request")
+        .expect("the request span is recorded");
+    assert_eq!(request.tags.get("request").map(String::as_str), Some("req-1"));
+    assert_eq!(request.tags.get("op").map(String::as_str), Some("submit"));
+
+    // Every solver span of this (sequential) submission inherits the ID
+    // through the ambient context tag.
+    let smt: Vec<_> = spans.iter().filter(|s| s.layer == "smt").collect();
+    assert!(!smt.is_empty(), "verifying arp must query the solver");
+    for s in &smt {
+        assert_eq!(
+            s.tags.get("request").map(String::as_str),
+            Some("req-1"),
+            "span {}/{} lost the request tag",
+            s.layer,
+            s.name
+        );
+    }
+}

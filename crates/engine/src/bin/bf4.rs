@@ -44,11 +44,20 @@
 //!   status <name>          last verdict of a program, without re-verifying
 //!   watch <file.p4> [--program NAME] [--interval-ms N]
 //!                          submit, then re-submit whenever the file changes
-//!   stats | ping | shutdown
+//!   stats | metrics | ping | shutdown
 //! ```
 //!
 //! Client exit code mirrors the daemon verdict: 0 clean, 1 when bugs
 //! remain after fixes, 2 on connection/usage errors.
+//!
+//! ```text
+//! bf4 top (--socket <path> | --tcp <addr>) [--interval-ms N] [--iterations N]
+//! ```
+//!
+//! A live terminal dashboard over a running daemon: polls the `stats`
+//! and `metrics` ops and renders request rate, latency quantiles, cache
+//! hit rate, incremental skips, degradations and active SLO alerts.
+//! `--iterations 0` (the default) runs until interrupted.
 
 use bf4_core::driver::{verify, Report, VerifyOptions};
 use bf4_engine::{verify_corpus, EngineConfig, EngineStats};
@@ -58,6 +67,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("client") {
         std::process::exit(client_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("top") {
+        std::process::exit(top_main(&args[1..]));
     }
     let mut paths: Vec<String> = Vec::new();
     let mut annotations_out: Option<String> = None;
@@ -168,7 +180,8 @@ fn main() {
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 eprintln!("usage: bf4 <program.p4> [more.p4 ...] [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--timeout-ms N] [--solver-fallback N|off] [--jobs N] [--cache-cap N] [--cache-dir DIR] [--no-cache-persist] [--trace-out FILE] [--profile] [--quiet]");
-                eprintln!("       bf4 client (--socket PATH | --tcp ADDR) submit FILE [--program NAME] [--normalized] | status NAME | watch FILE [--program NAME] [--interval-ms N] | stats | ping | shutdown");
+                eprintln!("       bf4 client (--socket PATH | --tcp ADDR) submit FILE [--program NAME] [--normalized] | status NAME | watch FILE [--program NAME] [--interval-ms N] | stats | metrics | ping | shutdown");
+                eprintln!("       bf4 top (--socket PATH | --tcp ADDR) [--interval-ms N] [--iterations N]");
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => paths.push(other.to_string()),
@@ -547,9 +560,21 @@ fn check_ok(v: &bf4_obs::json::Value) {
 /// Returns the verdict's exit code.
 fn print_verdict(v: &bf4_obs::json::Value, normalized: bool) -> i32 {
     check_ok(v);
+    // The request ID ties this verdict to the daemon's trace/time-series
+    // records (`report profile --request <id>`); old daemons omit it.
+    let request = v
+        .as_obj()
+        .and_then(|o| o.get("request"))
+        .and_then(bf4_obs::json::Value::as_str)
+        .unwrap_or("");
     let summary = format!(
-        "{} v{}: {} bug(s) with all rules possible; {} after annotations; {} after fixes; \
+        "{}{} v{}: {} bug(s) with all rules possible; {} after annotations; {} after fixes; \
          {} undecided; {} degraded stage(s); skips={} reverified={} wall={}us",
+        if request.is_empty() {
+            String::new()
+        } else {
+            format!("[{request}] ")
+        },
         response_str(v, "program"),
         response_u64(v, "version"),
         response_u64(v, "bugs_total"),
@@ -635,7 +660,7 @@ fn client_main(args: &[String]) -> i32 {
                 eprintln!(
                     "usage: bf4 client (--socket PATH | --tcp ADDR) submit FILE \
                      [--program NAME] [--normalized] | status NAME | watch FILE \
-                     [--program NAME] [--interval-ms N] | stats | ping | shutdown"
+                     [--program NAME] [--interval-ms N] | stats | metrics | ping | shutdown"
                 );
                 std::process::exit(0);
             }
@@ -720,9 +745,18 @@ fn client_main(args: &[String]) -> i32 {
                 "cache_warm_hits",
                 "cache_misses",
                 "cache_preloaded",
+                "degraded_submits",
+                "alerts",
+                "active_alerts",
             ] {
                 println!("{key}: {}", response_u64(&v, key));
             }
+            0
+        }
+        "metrics" => {
+            let v = client_request(&endpoint, "{\"op\":\"metrics\"}");
+            check_ok(&v);
+            print!("{}", response_str(&v, "metrics"));
             0
         }
         "ping" => {
@@ -738,5 +772,165 @@ fn client_main(args: &[String]) -> i32 {
             0
         }
         other => client_usage(&format!("unknown action `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `bf4 top` — a live dashboard over a running daemon, built from the same
+// two protocol ops any monitoring stack would scrape (`stats` for the
+// authoritative counters, `metrics` for the latency quantiles).
+
+/// One polled snapshot of the daemon, as rendered by `bf4 top`.
+struct TopSnapshot {
+    requests: u64,
+    submits: u64,
+    skips: u64,
+    reverified: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    degraded: u64,
+    active_alerts: u64,
+    programs: u64,
+    /// `daemon.request_micros` quantile bounds from the exposition, when
+    /// the daemon has served at least one submission.
+    p50: Option<f64>,
+    p90: Option<f64>,
+    p99: Option<f64>,
+}
+
+fn top_poll(endpoint: &Endpoint) -> TopSnapshot {
+    let v = client_request(endpoint, "{\"op\":\"stats\"}");
+    check_ok(&v);
+    let m = client_request(endpoint, "{\"op\":\"metrics\"}");
+    check_ok(&m);
+    let quantile = |q: &str| -> Option<f64> {
+        let text = m.as_obj()?.get("metrics")?.as_str()?;
+        let exp = bf4_obs::expose::parse(text).ok()?;
+        exp.value("bf4_daemon_request_micros", &[("quantile", q)])
+    };
+    TopSnapshot {
+        requests: response_u64(&v, "requests"),
+        submits: response_u64(&v, "submits"),
+        skips: response_u64(&v, "skips"),
+        reverified: response_u64(&v, "reverified"),
+        cache_hits: response_u64(&v, "cache_hits"),
+        cache_misses: response_u64(&v, "cache_misses"),
+        degraded: response_u64(&v, "degraded_submits"),
+        active_alerts: response_u64(&v, "active_alerts"),
+        programs: response_u64(&v, "programs"),
+        p50: quantile("0.5"),
+        p90: quantile("0.9"),
+        p99: quantile("0.99"),
+    }
+}
+
+fn top_render(now: &TopSnapshot, prev: Option<&TopSnapshot>, interval: std::time::Duration) {
+    let rate = match prev {
+        Some(p) if interval.as_secs_f64() > 0.0 => {
+            (now.requests.saturating_sub(p.requests)) as f64 / interval.as_secs_f64()
+        }
+        _ => 0.0,
+    };
+    let lookups = now.cache_hits + now.cache_misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        100.0 * now.cache_hits as f64 / lookups as f64
+    };
+    let us = |q: Option<f64>| match q {
+        Some(v) => format!("<{}us", v as u64),
+        None => "-".to_string(),
+    };
+    println!("bf4d — {} program(s), {} request(s) total", now.programs, now.requests);
+    println!("  req/s     {rate:>8.1}");
+    println!(
+        "  latency   p50 {} / p90 {} / p99 {}",
+        us(now.p50),
+        us(now.p90),
+        us(now.p99)
+    );
+    println!(
+        "  cache     {hit_rate:>7.1}% hit rate ({} hit(s) / {} miss(es))",
+        now.cache_hits, now.cache_misses
+    );
+    println!(
+        "  increment {} skip(s), {} re-verification(s), {} submit(s)",
+        now.skips, now.reverified, now.submits
+    );
+    println!("  degraded  {}", now.degraded);
+    if now.active_alerts > 0 {
+        println!("  ALERTS    {} active SLO violation(s)", now.active_alerts);
+    } else {
+        println!("  alerts    none");
+    }
+}
+
+fn top_main(args: &[String]) -> i32 {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut interval_ms: u64 = 1000;
+    let mut iterations: u64 = 0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => endpoint = Some(Endpoint::Unix(p.into())),
+                    None => client_usage("--socket expects a path"),
+                }
+            }
+            "--tcp" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => endpoint = Some(Endpoint::Tcp(a.clone())),
+                    None => client_usage("--tcp expects an address"),
+                }
+            }
+            "--interval-ms" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse::<u64>()) {
+                    Some(Ok(ms)) if ms >= 1 => interval_ms = ms,
+                    _ => client_usage("--interval-ms expects a millisecond count >= 1"),
+                }
+            }
+            "--iterations" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse::<u64>()) {
+                    Some(Ok(n)) => iterations = n,
+                    _ => client_usage("--iterations expects a count (0 = until interrupted)"),
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bf4 top (--socket PATH | --tcp ADDR) [--interval-ms N] \
+                     [--iterations N]"
+                );
+                std::process::exit(0);
+            }
+            other => client_usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    let Some(endpoint) = endpoint else {
+        client_usage("one of --socket or --tcp is required");
+    };
+    let interval = std::time::Duration::from_millis(interval_ms);
+    let mut prev: Option<TopSnapshot> = None;
+    let mut n = 0u64;
+    loop {
+        let snap = top_poll(&endpoint);
+        // Redraw in place on a terminal; pipelines get appended frames. A
+        // bounded --iterations run never clears, so tests see every frame.
+        if prev.is_some() && iterations == 0 {
+            print!("\x1b[2J\x1b[H");
+        }
+        top_render(&snap, prev.as_ref(), interval);
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        prev = Some(snap);
+        n += 1;
+        if iterations > 0 && n >= iterations {
+            return 0;
+        }
+        std::thread::sleep(interval);
     }
 }

@@ -90,6 +90,7 @@ pub fn verify_corpus(
         && config.inject_panic.is_none()
     {
         // The preserved sequential path.
+        let metrics_before = bf4_obs::metrics_enabled().then(bf4_obs::snapshot);
         let reports: Vec<Report> = programs
             .iter()
             .map(|(_, source)| verify_isolated(source, options))
@@ -97,12 +98,20 @@ pub fn verify_corpus(
         let stats = EngineStats {
             workers: 1,
             jobs_run: programs.len() as u64,
+            obs_metrics: metrics_before
+                .map(|before| bf4_obs::snapshot().delta_since(&before)),
             wall: started.elapsed(),
             ..EngineStats::default()
         };
         return (reports, stats);
     }
 
+    // Metric updates land in the process-global registry from every
+    // worker thread; `pool.run()` joins the workers, so an after-join
+    // snapshot has every per-worker update merged and the before/after
+    // counter delta attributes exactly the run — same contract as the
+    // sequential driver's `Report::obs_metrics`.
+    let metrics_before = bf4_obs::metrics_enabled().then(bf4_obs::snapshot);
     let cache = QueryCache::new(config.cache_cap);
     // Warm-start from the persistent store before any job runs. Open
     // failures (including injected ones) degrade to a stats entry and a
@@ -152,7 +161,8 @@ pub fn verify_corpus(
         }
     }
 
-    let reports = results
+    let obs_metrics = metrics_before.map(|before| bf4_obs::snapshot().delta_since(&before));
+    let mut reports: Vec<Report> = results
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .drain(..)
@@ -164,6 +174,13 @@ pub fn verify_corpus(
             })
         })
         .collect();
+    // With one program in flight the run-wide delta is that program's
+    // delta; multi-program corpora overlap in the pool, so per-report
+    // attribution stays `None` there and the roll-up lives in
+    // `EngineStats::obs_metrics`.
+    if let (1, Some(delta)) = (programs.len(), &obs_metrics) {
+        reports[0].obs_metrics = Some(delta.clone());
+    }
     let stats = EngineStats {
         workers: config.jobs.max(1),
         jobs_run: pool_stats.jobs_run,
@@ -172,6 +189,7 @@ pub fn verify_corpus(
         cache: cache.stats(),
         persist: persist_stats,
         stages: pool_stats.stages,
+        obs_metrics,
         wall: started.elapsed(),
     };
     (reports, stats)

@@ -112,6 +112,10 @@ pub struct EngineStats {
     /// Per-stage latency histograms, keyed by stage name
     /// (`frontend`, `prepare`, `reach`, `finish`).
     pub stages: BTreeMap<String, Histogram>,
+    /// Run-wide metrics counter delta when metrics were enabled: the
+    /// global registry snapshotted before the run and after every worker
+    /// joined, so per-worker updates are merged before the subtraction.
+    pub obs_metrics: Option<bf4_obs::MetricsSnapshot>,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
 }

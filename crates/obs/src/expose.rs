@@ -1,0 +1,293 @@
+//! Prometheus text-exposition rendering of a [`MetricsSnapshot`].
+//!
+//! The daemon serves this both as a `metrics` op on its framed protocol
+//! and over the optional `--metrics-addr` HTTP responder; `bf4 top` and
+//! the ci.sh smoke parse it back with [`parse`], which is also the lint
+//! (`report expose-lint`) — render and parse share one name grammar, so
+//! an invalid exposition can never ship silently.
+//!
+//! Mapping (documented in DESIGN.md §14): a counter renders as a
+//! `counter`, a gauge as a `gauge`, and a histogram as a `summary` with
+//! `quantile` labels 0.5/0.9/0.99 plus `_sum`/`_count` series and a
+//! `_max` gauge. All durations are **microseconds** — the registry's
+//! native unit; the `_micros` suffix in histogram names keeps that
+//! visible. Metric names are the registry names with `.` (and any other
+//! charset violation) mapped to `_`, under a `bf4_` prefix.
+
+use crate::metrics::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Map a registry name (`smt.queries`) onto the exposition charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`) under the `bf4_` prefix.
+pub fn metric_name(registry_name: &str) -> String {
+    let mut out = String::with_capacity(registry_name.len() + 4);
+    out.push_str("bf4_");
+    for c in registry_name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render a snapshot in Prometheus text-exposition format (version
+/// 0.0.4). Deterministic: series are emitted in registry (sorted name)
+/// order.
+pub fn render(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &s.counters {
+        let n = metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &s.gauges {
+        let n = metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in &s.hists {
+        let n = metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        let _ = writeln!(out, "{n}{{quantile=\"0.5\"}} {}", h.p50_micros);
+        let _ = writeln!(out, "{n}{{quantile=\"0.9\"}} {}", h.p90_micros);
+        let _ = writeln!(out, "{n}{{quantile=\"0.99\"}} {}", h.p99_micros);
+        let _ = writeln!(out, "{n}_sum {}", h.sum_micros);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+        let _ = writeln!(out, "# TYPE {n}_max gauge");
+        let _ = writeln!(out, "{n}_max {}", h.max_micros);
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (for summary series, includes `_sum`/`_count` etc.).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A parsed exposition: the `# TYPE` declarations and every sample.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    /// Declared metric types by name.
+    pub types: BTreeMap<String, String>,
+    /// Samples in source order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The value of the sample with `name` whose labels contain every
+    /// pair of `want` (for label-free series pass `&[]`).
+    pub fn value(&self, name: &str, want: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && want.iter().all(|(k, v)| {
+                        s.labels.iter().any(|(lk, lv)| lk == k && lv == v)
+                    })
+            })
+            .map(|s| s.value)
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parse (and thereby validate) a text exposition. Every sample's metric
+/// must have a preceding `# TYPE` declaration — a summary's `_sum`,
+/// `_count` and `_max` series resolve to their base declaration — names
+/// must match the exposition grammar, and values must be finite numbers.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        let err = |msg: &str| format!("line {}: {msg}: {line}", i + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (Some(name), Some(ty), None) = (it.next(), it.next(), it.next()) else {
+                return Err(err("malformed TYPE line"));
+            };
+            if !valid_name(name) {
+                return Err(err("invalid metric name in TYPE"));
+            }
+            if !matches!(ty, "counter" | "gauge" | "summary" | "histogram" | "untyped") {
+                return Err(err("unknown metric type"));
+            }
+            if out.types.insert(name.to_string(), ty.to_string()).is_some() {
+                return Err(err("duplicate TYPE declaration"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let sample = parse_sample(line).map_err(|m| err(&m))?;
+        let declared = out.types.contains_key(&sample.name)
+            || ["_sum", "_count", "_max"].iter().any(|suf| {
+                sample
+                    .name
+                    .strip_suffix(suf)
+                    .is_some_and(|base| out.types.contains_key(base))
+            });
+        if !declared {
+            return Err(err("sample without TYPE declaration"));
+        }
+        out.samples.push(sample);
+    }
+    if out.samples.is_empty() {
+        return Err("exposition holds no samples".to_string());
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}').ok_or("unterminated label set")?;
+            if close < open {
+                return Err("unterminated label set".to_string());
+            }
+            (
+                (&line[..open], parse_labels(&line[open + 1..close])?),
+                line[close + 1..].trim(),
+            )
+        }
+        None => {
+            let mut it = line.split_whitespace();
+            let (Some(name), Some(v), None) = (it.next(), it.next(), it.next()) else {
+                return Err("expected `name value`".to_string());
+            };
+            ((name, Vec::new()), v)
+        }
+    };
+    let (name, labels) = head;
+    if !valid_name(name) {
+        return Err("invalid metric name".to_string());
+    }
+    let value: f64 = value.parse().map_err(|_| "bad sample value".to_string())?;
+    if !value.is_finite() {
+        return Err("non-finite sample value".to_string());
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').ok_or("label without `=`")?;
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or("unquoted label value")?;
+        if !valid_name(k) {
+            return Err("invalid label name".to_string());
+        }
+        labels.push((k.to_string(), v.replace("\\\"", "\"")));
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::metrics::HistSummary;
+    use std::time::Duration;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut h = Histogram::default();
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(900));
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("daemon.requests", 7);
+        s.counters.insert("smt.queries", 42);
+        s.gauges.insert("slo.active_alerts", 1);
+        s.hists.insert("daemon.request_micros", HistSummary::of(&h));
+        s
+    }
+
+    #[test]
+    fn render_parses_back_with_every_series_present() {
+        let text = render(&sample_snapshot());
+        let exp = parse(&text).unwrap();
+        assert_eq!(exp.types.get("bf4_daemon_requests").unwrap(), "counter");
+        assert_eq!(exp.types.get("bf4_slo_active_alerts").unwrap(), "gauge");
+        assert_eq!(
+            exp.types.get("bf4_daemon_request_micros").unwrap(),
+            "summary"
+        );
+        assert_eq!(exp.value("bf4_daemon_requests", &[]), Some(7.0));
+        assert_eq!(exp.value("bf4_smt_queries", &[]), Some(42.0));
+        assert_eq!(
+            exp.value("bf4_daemon_request_micros", &[("quantile", "0.5")]),
+            Some(128.0)
+        );
+        assert_eq!(
+            exp.value("bf4_daemon_request_micros", &[("quantile", "0.99")]),
+            Some(1024.0)
+        );
+        assert_eq!(exp.value("bf4_daemon_request_micros_count", &[]), Some(2.0));
+        assert_eq!(
+            exp.value("bf4_daemon_request_micros_sum", &[]),
+            Some(1000.0)
+        );
+        assert_eq!(exp.value("bf4_daemon_request_micros_max", &[]), Some(900.0));
+    }
+
+    #[test]
+    fn metric_names_are_sanitized_deterministically() {
+        assert_eq!(metric_name("smt.queries"), "bf4_smt_queries");
+        assert_eq!(metric_name("a-b c.d"), "bf4_a_b_c_d");
+        assert!(valid_name(&metric_name("9starts.with.digit")));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_expositions() {
+        for bad in [
+            "",                                  // no samples
+            "bf4_x 1\n",                         // sample without TYPE
+            "# TYPE bf4_x counter\nbf4_x one\n", // non-numeric value
+            "# TYPE bf4_x counter\nbf4_x\n",     // missing value
+            "# TYPE bf4_x wat\nbf4_x 1\n",       // unknown type
+            "# TYPE 9x counter\n9x 1\n",         // bad name
+            "# TYPE bf4_x counter\nbf4_x{q=\"1\" 1\n", // unterminated labels
+            "# TYPE bf4_x counter\n# TYPE bf4_x counter\nbf4_x 1\n", // dup TYPE
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn untyped_samples_of_a_summary_resolve_to_the_base_declaration() {
+        let text = "# TYPE bf4_h summary\nbf4_h{quantile=\"0.5\"} 3\nbf4_h_sum 9\nbf4_h_count 2\n";
+        let exp = parse(text).unwrap();
+        assert_eq!(exp.value("bf4_h_sum", &[]), Some(9.0));
+        assert_eq!(exp.value("bf4_h", &[("quantile", "0.5")]), Some(3.0));
+        assert_eq!(exp.value("bf4_h", &[("quantile", "0.9")]), None);
+    }
+}

@@ -23,7 +23,16 @@
 //!   forest and a per-program/per-stage time table for BENCH files;
 //! * [`fault`] — deterministic seeded fault injection: named fault sites
 //!   throughout the pipeline fire per a replayable schedule
-//!   (`BF4_FAULTS`), and every injected fault is itself traced.
+//!   (`BF4_FAULTS`), and every injected fault is itself traced;
+//! * [`expose`] — Prometheus text-exposition rendering (and the matching
+//!   parser/lint) of a metrics snapshot, served by `bf4d`;
+//! * [`tsdb`] — the persistent per-request time-series (`tsdb.bf4t`):
+//!   checksummed append-only records with per-line salvage and
+//!   size-capped ring compaction;
+//! * [`slo`] — declarative service-level objectives evaluated over a
+//!   sliding window of that series;
+//! * [`ctx_tag`] — ambient per-thread context tags (request IDs) that
+//!   attach to every span opened under the guard.
 //!
 //! ## Overhead contract
 //!
@@ -36,13 +45,16 @@
 //! overhead under the 5% budget documented in DESIGN.md §9.
 
 pub mod event;
+pub mod expose;
 pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod slo;
 pub mod span;
 pub mod trace;
+pub mod tsdb;
 
 pub use event::{debug, error, event, info, log_enabled, set_log_filter, warn, Level};
 pub use fault::{FaultPlan, SiteStats, Trigger};
@@ -52,7 +64,9 @@ pub use metrics::{
     HistSummary, MetricsSnapshot,
 };
 pub use profile::{render_flame, stage_table};
+pub use slo::{SloKind, SloSpec, Violation};
 pub use span::{
-    current_thread_id, enabled, reset_spans, set_enabled, span, take_spans, Span, SpanRecord,
+    ctx_tag, current_thread_id, enabled, reset_spans, set_enabled, span, take_spans, CtxGuard,
+    Span, SpanRecord,
 };
 pub use trace::{parse_line, render_jsonl, validate_line, TraceSpan};

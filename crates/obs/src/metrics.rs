@@ -83,20 +83,28 @@ pub struct HistSummary {
     pub mean_micros: u64,
     /// Coarse p50 upper bound in microseconds.
     pub p50_micros: u64,
+    /// Coarse p90 upper bound in microseconds.
+    pub p90_micros: u64,
     /// Coarse p99 upper bound in microseconds.
     pub p99_micros: u64,
     /// Largest sample in microseconds.
     pub max_micros: u64,
+    /// Sum of all samples in microseconds (the exposition `_sum` series).
+    pub sum_micros: u64,
 }
 
 impl HistSummary {
-    fn of(h: &Histogram) -> HistSummary {
+    /// Summarize one histogram (the only place summaries are built, so
+    /// every surface reports the same quantile bounds).
+    pub fn of(h: &Histogram) -> HistSummary {
         HistSummary {
             count: h.count(),
             mean_micros: h.mean().as_micros() as u64,
             p50_micros: h.quantile_bound_micros(0.5),
+            p90_micros: h.quantile_bound_micros(0.9),
             p99_micros: h.quantile_bound_micros(0.99),
             max_micros: h.max().as_micros() as u64,
+            sum_micros: h.total().as_micros() as u64,
         }
     }
 }
@@ -142,8 +150,8 @@ impl fmt::Display for MetricsSnapshot {
         for (name, h) in &self.hists {
             writeln!(
                 f,
-                "hist {name}: n={} mean={}us p50<{}us p99<{}us max={}us",
-                h.count, h.mean_micros, h.p50_micros, h.p99_micros, h.max_micros
+                "hist {name}: n={} mean={}us p50<{}us p90<{}us p99<{}us max={}us",
+                h.count, h.mean_micros, h.p50_micros, h.p90_micros, h.p99_micros, h.max_micros
             )?;
         }
         Ok(())

@@ -1,0 +1,249 @@
+//! Declarative service-level objectives over the request time-series.
+//!
+//! A spec like `p99_ms=500,unknown_rate=0.05` is parsed once
+//! ([`SloSpec::parse`]) and evaluated over a sliding window of
+//! [`tsdb::Sample`]s ([`SloSpec::evaluate`]): latency objectives run the
+//! window's wall times through the shared [`Histogram`] (same coarse
+//! quantile bounds as every other surface), rate objectives are ratios
+//! over the window. Each objective whose observed value exceeds its
+//! threshold yields a [`Violation`]; the daemon turns those into leveled
+//! `warn` events plus the `slo.alerts` counter and `slo.active_alerts`
+//! gauge, and `report slo` replays them offline from `tsdb.bf4t`.
+
+use crate::hist::Histogram;
+use crate::tsdb::Sample;
+use std::fmt;
+use std::time::Duration;
+
+/// One objective kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SloKind {
+    /// p50 request latency upper bound, milliseconds.
+    P50Ms,
+    /// p90 request latency upper bound, milliseconds.
+    P90Ms,
+    /// p99 request latency upper bound, milliseconds.
+    P99Ms,
+    /// Undecided bugs / total bugs over the window (0..=1).
+    UnknownRate,
+    /// Degraded requests / requests over the window (0..=1).
+    DegradedRate,
+}
+
+impl SloKind {
+    /// The spec key (`p99_ms`, `unknown_rate`, ...).
+    pub fn key(self) -> &'static str {
+        match self {
+            SloKind::P50Ms => "p50_ms",
+            SloKind::P90Ms => "p90_ms",
+            SloKind::P99Ms => "p99_ms",
+            SloKind::UnknownRate => "unknown_rate",
+            SloKind::DegradedRate => "degraded_rate",
+        }
+    }
+}
+
+const ALL_KINDS: [SloKind; 5] = [
+    SloKind::P50Ms,
+    SloKind::P90Ms,
+    SloKind::P99Ms,
+    SloKind::UnknownRate,
+    SloKind::DegradedRate,
+];
+
+/// A parsed `--slo` spec: objective thresholds in spec order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SloSpec {
+    /// `(objective, threshold)` pairs.
+    pub rules: Vec<(SloKind, f64)>,
+}
+
+impl SloSpec {
+    /// Parse `key=value[,key=value...]`. Unknown keys, unparsable or
+    /// negative values, and duplicate keys are errors — a mistyped
+    /// objective must fail startup, not silently never fire.
+    pub fn parse(spec: &str) -> Result<SloSpec, String> {
+        let mut rules = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("SLO rule `{part}` is not key=value"))?;
+            let kind = ALL_KINDS
+                .into_iter()
+                .find(|k| k.key() == key.trim())
+                .ok_or_else(|| {
+                    format!(
+                        "unknown SLO key `{}` (expected one of: {})",
+                        key.trim(),
+                        ALL_KINDS.map(SloKind::key).join(", ")
+                    )
+                })?;
+            let threshold: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("SLO threshold `{value}` is not a number"))?;
+            if !threshold.is_finite() || threshold < 0.0 {
+                return Err(format!("SLO threshold `{value}` must be finite and >= 0"));
+            }
+            if rules.iter().any(|(k, _)| *k == kind) {
+                return Err(format!("duplicate SLO key `{}`", kind.key()));
+            }
+            rules.push((kind, threshold));
+        }
+        if rules.is_empty() {
+            return Err("empty SLO spec".to_string());
+        }
+        Ok(SloSpec { rules })
+    }
+
+    /// Evaluate every objective over one window of samples. An empty
+    /// window never violates (no data is not bad data).
+    pub fn evaluate(&self, window: &[Sample]) -> Vec<Violation> {
+        if window.is_empty() {
+            return Vec::new();
+        }
+        let mut lat = Histogram::default();
+        let (mut bugs, mut undecided, mut degraded) = (0u64, 0u64, 0u64);
+        for s in window {
+            lat.record(Duration::from_micros(s.wall_micros));
+            bugs += s.bugs;
+            undecided += s.undecided;
+            degraded += u64::from(s.degraded);
+        }
+        let mut out = Vec::new();
+        for (kind, threshold) in &self.rules {
+            let actual = match kind {
+                SloKind::P50Ms => lat.quantile_bound_micros(0.5) as f64 / 1000.0,
+                SloKind::P90Ms => lat.quantile_bound_micros(0.9) as f64 / 1000.0,
+                SloKind::P99Ms => lat.quantile_bound_micros(0.99) as f64 / 1000.0,
+                SloKind::UnknownRate => {
+                    if bugs == 0 {
+                        0.0
+                    } else {
+                        undecided as f64 / bugs as f64
+                    }
+                }
+                SloKind::DegradedRate => degraded as f64 / window.len() as f64,
+            };
+            if actual > *threshold {
+                out.push(Violation {
+                    kind: *kind,
+                    actual,
+                    threshold: *threshold,
+                    window: window.len(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One objective exceeded over one window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Which objective.
+    pub kind: SloKind,
+    /// The observed value (same unit as the threshold).
+    pub actual: f64,
+    /// The configured threshold.
+    pub threshold: f64,
+    /// Number of samples in the window evaluated.
+    pub window: usize,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} = {:.3} exceeds {:.3} over last {} request(s)",
+            self.kind.key(),
+            self.actual,
+            self.threshold,
+            self.window
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(wall_ms: u64, bugs: u64, undecided: u64, degraded: bool) -> Sample {
+        Sample {
+            ts_ms: 0,
+            req: "req-1".to_string(),
+            program: "p".to_string(),
+            wall_micros: wall_ms * 1000,
+            bugs,
+            after_fixes: 0,
+            undecided,
+            skips: 0,
+            reverified: bugs,
+            cache_hits: 0,
+            warm_hits: 0,
+            degraded,
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar_and_rejects_the_rest() {
+        let spec = SloSpec::parse("p99_ms=500, unknown_rate=0.05").unwrap();
+        assert_eq!(
+            spec.rules,
+            vec![(SloKind::P99Ms, 500.0), (SloKind::UnknownRate, 0.05)]
+        );
+        for bad in [
+            "",
+            "p99_ms",
+            "p42_ms=1",
+            "p99_ms=fast",
+            "p99_ms=-1",
+            "p99_ms=1,p99_ms=2",
+        ] {
+            assert!(SloSpec::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn latency_objective_fires_only_when_the_bound_exceeds_the_threshold() {
+        let spec = SloSpec::parse("p99_ms=500").unwrap();
+        // 100ms lands in the 65..131ms bucket: bound 131.072ms < 500ms.
+        let quiet: Vec<Sample> = (0..10).map(|_| sample(100, 1, 0, false)).collect();
+        assert!(spec.evaluate(&quiet).is_empty());
+        // One 900ms tail in ten samples pushes p99 past 500ms.
+        let mut noisy = quiet.clone();
+        noisy.push(sample(900, 1, 0, false));
+        let v = spec.evaluate(&noisy);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, SloKind::P99Ms);
+        assert!(v[0].actual > 500.0);
+    }
+
+    #[test]
+    fn rate_objectives_are_ratios_over_the_window() {
+        let spec = SloSpec::parse("unknown_rate=0.2,degraded_rate=0.0").unwrap();
+        let window = vec![
+            sample(1, 4, 0, false),
+            sample(1, 4, 2, false),
+            sample(1, 2, 1, true),
+        ];
+        let v = spec.evaluate(&window);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].kind, SloKind::UnknownRate);
+        assert!((v[0].actual - 0.3).abs() < 1e-9);
+        assert_eq!(v[1].kind, SloKind::DegradedRate);
+        assert!((v[1].actual - 1.0 / 3.0).abs() < 1e-9);
+        assert!(v[1].to_string().contains("degraded_rate"));
+    }
+
+    #[test]
+    fn empty_window_and_zero_bugs_never_divide_or_fire() {
+        let spec = SloSpec::parse("unknown_rate=0.0,degraded_rate=0.5").unwrap();
+        assert!(spec.evaluate(&[]).is_empty());
+        assert!(spec.evaluate(&[sample(1, 0, 0, false)]).is_empty());
+    }
+}

@@ -122,6 +122,39 @@ thread_local! {
         stack: Vec::new(),
         done: Vec::with_capacity(64),
     });
+
+    /// Ambient context tags: every span opened on this thread while a
+    /// [`ctx_tag`] guard is live starts with the guard's tag attached.
+    static CTX: RefCell<Vec<(&'static str, String)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Push an ambient context tag for the calling thread: every span opened
+/// on this thread before the returned guard drops starts with
+/// `key = value` attached (the request-ID propagation path — a service
+/// opens one guard per request and every pipeline span below inherits
+/// it). Inert while span collection is disabled, preserving the
+/// one-atomic-load overhead contract.
+pub fn ctx_tag(key: &'static str, value: impl Into<String>) -> CtxGuard {
+    if !enabled() {
+        return CtxGuard { pushed: false };
+    }
+    CTX.with(|c| c.borrow_mut().push((key, value.into())));
+    CtxGuard { pushed: true }
+}
+
+/// RAII guard from [`ctx_tag`]; dropping it pops the tag.
+pub struct CtxGuard {
+    pushed: bool,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        if self.pushed {
+            CTX.with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
 }
 
 /// Flush once the local buffer holds this many closed spans, even while
@@ -142,6 +175,10 @@ pub fn span(layer: &'static str, name: impl Into<String>) -> Span {
         b.stack.push(id);
         parent
     });
+    // Ambient context tags (e.g. a service's request ID) attach at open,
+    // before any manual `tag`/`add_tag` call, so callers never collide
+    // with them by key.
+    let tags = CTX.with(|c| c.borrow().clone());
     let now = Instant::now();
     Span(Some(ActiveSpan {
         id,
@@ -150,7 +187,7 @@ pub fn span(layer: &'static str, name: impl Into<String>) -> Span {
         name: name.into(),
         start: now,
         ts_micros: now.duration_since(epoch()).as_micros() as u64,
-        tags: Vec::new(),
+        tags,
     }))
 }
 
@@ -268,6 +305,63 @@ mod tests {
         assert_eq!(b.tags, vec![("k", "v".to_string())]);
         assert!(b.ts_micros >= a.ts_micros);
         assert!(b.ts_micros + b.dur_micros <= a.ts_micros + a.dur_micros);
+    }
+
+    #[test]
+    fn ctx_tags_attach_to_spans_opened_under_the_guard() {
+        let _g = lock();
+        set_enabled(true);
+        reset_spans();
+        {
+            let _before = span("ctxt", "before");
+        }
+        {
+            let _req = ctx_tag("request", "req-9");
+            let _inner = span("ctxt", "inner");
+        }
+        {
+            let _after = span("ctxt", "after");
+        }
+        set_enabled(false);
+        let mut spans = take_spans();
+        spans.retain(|s| s.layer == "ctxt");
+        let tag_of = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap()
+                .tags
+                .iter()
+                .find(|(k, _)| *k == "request")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(tag_of("before"), None);
+        assert_eq!(tag_of("inner"), Some("req-9".to_string()));
+        assert_eq!(tag_of("after"), None);
+    }
+
+    #[test]
+    fn ctx_tag_while_disabled_is_inert() {
+        let _g = lock();
+        set_enabled(false);
+        reset_spans();
+        let g = ctx_tag("request", "req-1");
+        // Enabling afterwards must not resurrect a tag the guard never
+        // pushed; dropping the inert guard must not pop anything.
+        set_enabled(true);
+        {
+            let _live = ctx_tag("request", "req-2");
+            drop(g);
+            let _s = span("ctxt2", "inner");
+        }
+        set_enabled(false);
+        let mut spans = take_spans();
+        spans.retain(|s| s.layer == "ctxt2");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0].tags,
+            vec![("request", "req-2".to_string())]
+        );
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! `tsdb.bf4t` — a persistent per-request time-series.
+//!
+//! The daemon appends one record per submission so latency / verdict /
+//! cache / degradation trends survive restarts. The file format follows
+//! the persistent query cache's WAL discipline (DESIGN.md §10), re-stated
+//! here because `bf4-obs` sits below `bf4-engine`:
+//!
+//! * one record per line: a JSON object (fixed key set, parsed with
+//!   [`crate::json`]) followed by ` #<16 lowercase hex>` — an FNV-1a
+//!   checksum of the payload. Verification is canonical-strict: anything
+//!   but exactly that shape is corrupt;
+//! * loads salvage per line — a torn tail, a bit flip or a truncated
+//!   record drops that line (counted), never the file;
+//! * appends are plain `O_APPEND` writes (no fsync per request — the
+//!   checksum makes torn tails detectable, and losing the last samples
+//!   of a crashed daemon is acceptable for telemetry);
+//! * a size cap turns the file into a ring: when an append pushes the
+//!   file past `cap_bytes`, the newest records are rewritten into a
+//!   fresh file (tmp + fsync + atomic rename) down to half the cap, so
+//!   the series is bounded but always ends "now".
+
+use crate::json::{self, Value};
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The time-series file name inside `--cache-dir`.
+pub const TSDB_FILE: &str = "tsdb.bf4t";
+
+/// Default ring cap in bytes (~4 MiB ≈ tens of thousands of requests).
+pub const DEFAULT_CAP_BYTES: u64 = 4 * 1024 * 1024;
+
+/// One per-request record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// Wall-clock milliseconds since the unix epoch (set by the daemon).
+    pub ts_ms: u64,
+    /// The request ID minted by the daemon (`req-<n>`).
+    pub req: String,
+    /// Program name submitted.
+    pub program: String,
+    /// Request wall time in microseconds.
+    pub wall_micros: u64,
+    /// Bugs found (round 1).
+    pub bugs: u64,
+    /// Bugs remaining after fixes.
+    pub after_fixes: u64,
+    /// Bugs left undecided (solver Unknown) — the unknown-rate numerator.
+    pub undecided: u64,
+    /// Round-1 verdicts reused from the store.
+    pub skips: u64,
+    /// Round-1 verdicts re-verified.
+    pub reverified: u64,
+    /// Query-cache hits during this request.
+    pub cache_hits: u64,
+    /// Cache hits answered by warm-started entries.
+    pub warm_hits: u64,
+    /// Whether any pipeline stage degraded.
+    pub degraded: bool,
+}
+
+impl Sample {
+    /// Render the record's JSON payload (no checksum, no newline).
+    /// Key order is fixed so a record's bytes — and hence its checksum —
+    /// are deterministic for a given sample.
+    pub fn render(&self) -> String {
+        let mut s = String::with_capacity(160);
+        let _ = write!(
+            s,
+            "{{\"ts_ms\":{},\"req\":{},\"program\":{},\"wall_micros\":{},\"bugs\":{},\
+             \"after_fixes\":{},\"undecided\":{},\"skips\":{},\"reverified\":{},\
+             \"cache_hits\":{},\"warm_hits\":{},\"degraded\":{}}}",
+            self.ts_ms,
+            json::escape(&self.req),
+            json::escape(&self.program),
+            self.wall_micros,
+            self.bugs,
+            self.after_fixes,
+            self.undecided,
+            self.skips,
+            self.reverified,
+            self.cache_hits,
+            self.warm_hits,
+            self.degraded,
+        );
+        s
+    }
+
+    /// Parse one checksummed line back; `None` for anything corrupt.
+    pub fn parse_line(line: &str) -> Option<Sample> {
+        let payload = verify_line(line)?;
+        let v = json::parse(payload).ok()?;
+        let obj = v.as_obj()?;
+        if obj.len() != 12 {
+            return None;
+        }
+        let num = |k: &str| obj.get(k).and_then(Value::as_u64);
+        Some(Sample {
+            ts_ms: num("ts_ms")?,
+            req: obj.get("req")?.as_str()?.to_string(),
+            program: obj.get("program")?.as_str()?.to_string(),
+            wall_micros: num("wall_micros")?,
+            bugs: num("bugs")?,
+            after_fixes: num("after_fixes")?,
+            undecided: num("undecided")?,
+            skips: num("skips")?,
+            reverified: num("reverified")?,
+            cache_hits: num("cache_hits")?,
+            warm_hits: num("warm_hits")?,
+            degraded: match obj.get("degraded")? {
+                Value::Bool(b) => *b,
+                _ => return None,
+            },
+        })
+    }
+}
+
+/// FNV-1a over the payload bytes (same constants as the engine's WAL).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Checksum a payload into its on-disk line (with trailing newline).
+fn checksummed(payload: &str) -> String {
+    format!("{payload} #{:016x}\n", fnv1a(payload.as_bytes()))
+}
+
+/// Split a line into its payload iff the checksum verifies
+/// canonically (exactly 16 lowercase hex digits after ` #`).
+fn verify_line(line: &str) -> Option<&str> {
+    let (payload, sum) = line.rsplit_once(" #")?;
+    if sum.len() != 16 || !sum.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()) {
+        return None;
+    }
+    (u64::from_str_radix(sum, 16).ok()? == fnv1a(payload.as_bytes())).then_some(payload)
+}
+
+/// What a load salvaged.
+#[derive(Clone, Debug, Default)]
+pub struct LoadOutcome {
+    /// Records recovered, oldest first.
+    pub samples: Vec<Sample>,
+    /// Lines dropped as torn / flipped / malformed.
+    pub corrupt_records: u64,
+}
+
+/// Load every valid record from a time-series file. A missing file is an
+/// empty series; each bad line is dropped and counted, never fatal.
+pub fn load(path: &Path) -> io::Result<LoadOutcome> {
+    let mut out = LoadOutcome::default();
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    }
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        match Sample::parse_line(line) {
+            Some(s) => out.samples.push(s),
+            None => out.corrupt_records += 1,
+        }
+    }
+    Ok(out)
+}
+
+/// The append handle: one file, one cap.
+#[derive(Debug)]
+pub struct Tsdb {
+    path: PathBuf,
+    cap_bytes: u64,
+}
+
+impl Tsdb {
+    /// Open (lazily — the file is created on first append) a series at
+    /// `path` with ring cap `cap_bytes` (0 means [`DEFAULT_CAP_BYTES`]).
+    pub fn open(path: impl Into<PathBuf>, cap_bytes: u64) -> Tsdb {
+        Tsdb {
+            path: path.into(),
+            cap_bytes: if cap_bytes == 0 {
+                DEFAULT_CAP_BYTES
+            } else {
+                cap_bytes
+            },
+        }
+    }
+
+    /// The series path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record; compacts the ring first when the file is at
+    /// cap. Returns whether a compaction ran.
+    pub fn append(&self, sample: &Sample) -> io::Result<bool> {
+        let mut line = checksummed(&sample.render());
+        let compacted = match std::fs::metadata(&self.path) {
+            Ok(m) if m.len() + line.len() as u64 > self.cap_bytes => {
+                self.compact()?;
+                true
+            }
+            _ => false,
+        };
+        // A crash can leave the file ending mid-line; gluing the new
+        // record onto that torn tail would corrupt *this* record too, so
+        // terminate the tail first (the fragment then salvages away as
+        // one corrupt line instead of two).
+        if !self.ends_with_newline()? {
+            line.insert(0, '\n');
+        }
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        f.write_all(line.as_bytes())?;
+        Ok(compacted)
+    }
+
+    /// Whether the file is absent, empty, or ends in a record terminator.
+    fn ends_with_newline(&self) -> io::Result<bool> {
+        use std::io::Seek as _;
+        let mut f = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(true),
+            Err(e) => return Err(e),
+        };
+        let len = f.metadata()?.len();
+        if len == 0 {
+            return Ok(true);
+        }
+        f.seek(io::SeekFrom::End(-1))?;
+        let mut last = [0u8; 1];
+        f.read_exact(&mut last)?;
+        Ok(last[0] == b'\n')
+    }
+
+    /// Rewrite the file keeping only the newest records that fit in half
+    /// the cap: tmp + fsync + atomic rename, so a crash mid-compaction
+    /// leaves either the old file or the new one, never a torn mix.
+    fn compact(&self) -> io::Result<()> {
+        let keep_budget = self.cap_bytes / 2;
+        let loaded = load(&self.path)?;
+        let mut kept: Vec<String> = Vec::new();
+        let mut bytes = 0u64;
+        for s in loaded.samples.iter().rev() {
+            let line = checksummed(&s.render());
+            if bytes + line.len() as u64 > keep_budget {
+                break;
+            }
+            bytes += line.len() as u64;
+            kept.push(line);
+        }
+        kept.reverse();
+        let tmp = self.path.with_extension("bf4t.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            for line in &kept {
+                f.write_all(line.as_bytes())?;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> Sample {
+        Sample {
+            ts_ms: 1_700_000_000_000 + n,
+            req: format!("req-{n}"),
+            program: "nat".to_string(),
+            wall_micros: 1000 + n,
+            bugs: 5,
+            after_fixes: 0,
+            undecided: u64::from(n.is_multiple_of(7)),
+            skips: n % 3,
+            reverified: 5 - n % 3,
+            cache_hits: 2 * n,
+            warm_hits: n,
+            degraded: n.is_multiple_of(5),
+        }
+    }
+
+    #[test]
+    fn append_then_load_round_trips_in_order() {
+        let dir = std::env::temp_dir().join("bf4-tsdb-rt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = Tsdb::open(dir.join(TSDB_FILE), 0);
+        for n in 1..=5 {
+            db.append(&sample(n)).unwrap();
+        }
+        let out = load(db.path()).unwrap();
+        assert_eq!(out.corrupt_records, 0);
+        assert_eq!(
+            out.samples,
+            (1..=5).map(sample).collect::<Vec<_>>()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_and_flipped_lines_are_dropped_and_counted() {
+        let dir = std::env::temp_dir().join("bf4-tsdb-salvage");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(TSDB_FILE);
+        let db = Tsdb::open(&path, 0);
+        db.append(&sample(1)).unwrap();
+        db.append(&sample(2)).unwrap();
+        // Flip one byte of the second record, then tear a third append
+        // mid-line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let idx = text.rfind("req-2").unwrap();
+        text.replace_range(idx..idx + 5, "req-9");
+        text.push_str(&checksummed(&sample(3).render())[..20]);
+        std::fs::write(&path, &text).unwrap();
+        let out = load(&path).unwrap();
+        assert_eq!(out.corrupt_records, 2);
+        assert_eq!(out.samples, vec![sample(1)]);
+        // The series keeps accepting appends after salvage.
+        db.append(&sample(4)).unwrap();
+        let out = load(&path).unwrap();
+        assert_eq!(out.samples.last().unwrap().req, "req-4");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ring_compaction_bounds_the_file_and_keeps_the_newest() {
+        let dir = std::env::temp_dir().join("bf4-tsdb-ring");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let line_len = checksummed(&sample(1).render()).len() as u64;
+        let cap = line_len * 6;
+        let db = Tsdb::open(dir.join(TSDB_FILE), cap);
+        let mut compactions = 0;
+        for n in 1..=40 {
+            if db.append(&sample(n)).unwrap() {
+                compactions += 1;
+            }
+        }
+        assert!(compactions > 0, "the ring never compacted");
+        assert!(std::fs::metadata(db.path()).unwrap().len() <= cap);
+        let out = load(db.path()).unwrap();
+        assert_eq!(out.corrupt_records, 0);
+        assert_eq!(out.samples.last().unwrap().req, "req-40");
+        // Contiguous newest suffix: strictly increasing reqs ending at 40.
+        let first = 41 - out.samples.len() as u64;
+        assert_eq!(
+            out.samples,
+            (first..=40).map(sample).collect::<Vec<_>>()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaped_program_names_survive_the_round_trip() {
+        let mut s = sample(1);
+        s.program = "we\"ird\nname\t∆".to_string();
+        let line = checksummed(&s.render());
+        assert_eq!(Sample::parse_line(line.trim_end()), Some(s));
+    }
+
+    #[test]
+    fn uppercase_hex_checksum_is_rejected_as_noncanonical() {
+        let payload = sample(1).render();
+        let line = format!("{payload} #{:016X}", fnv1a(payload.as_bytes()));
+        if line.contains(|c: char| c.is_ascii_uppercase() && c.is_ascii_hexdigit()) {
+            assert_eq!(Sample::parse_line(&line), None);
+        }
+        assert!(Sample::parse_line(checksummed(&payload).trim_end()).is_some());
+    }
+}

@@ -1,0 +1,125 @@
+//! Merging histograms recorded on different threads must preserve the
+//! quantile story: for every q, the merged coarse quantile bound lies
+//! between the smallest and largest per-thread bound (the merged
+//! distribution can be no tighter than its tightest shard and no looser
+//! than its loosest), and the exact moments (count/sum/max) are the sums
+//! and max of the shards. This is what makes one pool-wide
+//! `daemon.request_micros` summary trustworthy when workers record into
+//! thread-local histograms that are merged at a join barrier.
+
+use bf4_obs::Histogram;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Tiny deterministic RNG so each case reproduces from its seed alone
+/// (the vendored proptest has no collection strategies).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// `n_shards` sample vectors (1..=39 samples each, spread over six
+/// decades of microseconds so buckets both collide and separate).
+fn gen_shards(seed: u64, n_shards: usize) -> Vec<Vec<u64>> {
+    let mut rng = Rng(seed | 1);
+    (0..n_shards)
+        .map(|_| {
+            let n = (rng.next() % 39 + 1) as usize;
+            (0..n)
+                .map(|_| {
+                    let decade = rng.next() % 7;
+                    rng.next() % 10u64.pow(decade as u32).max(2)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn build(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &m in samples {
+        h.record(Duration::from_micros(m));
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merged_quantiles_bracket_per_thread_quantiles(
+        seed in 1u64..u64::MAX,
+        n_shards in 1usize..6,
+    ) {
+        let shards = gen_shards(seed, n_shards);
+        // Record each shard on its own OS thread (the real engine shape:
+        // per-worker histograms merged after join).
+        let built: Vec<Histogram> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|s| scope.spawn(move || build(s)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut merged = Histogram::default();
+        for h in &built {
+            merged.merge(h);
+        }
+
+        let total: u64 = shards.iter().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(merged.count(), total);
+        let sum: u128 = shards.iter().flatten().map(|&m| m as u128).sum();
+        prop_assert_eq!(merged.total().as_micros(), sum);
+        let max = shards.iter().flatten().copied().max().unwrap_or(0);
+        prop_assert_eq!(merged.max(), Duration::from_micros(max));
+
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let bounds: Vec<u64> = built
+                .iter()
+                .map(|h| h.quantile_bound_micros(q))
+                .collect();
+            let lo = bounds.iter().copied().min().unwrap();
+            let hi = bounds.iter().copied().max().unwrap();
+            let m = merged.quantile_bound_micros(q);
+            prop_assert!(
+                lo <= m && m <= hi,
+                "q={}: merged bound {} outside per-thread bracket [{}, {}]",
+                q, m, lo, hi
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_agrees_with_recording_everything_once(
+        seed in 1u64..u64::MAX,
+    ) {
+        let shards = gen_shards(seed, 2);
+        let (a, b) = (&shards[0], &shards[1]);
+        let (ha, hb) = (build(a), build(b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        let mut all = a.clone();
+        all.extend_from_slice(b);
+        let direct = build(&all);
+        for h in [&ba, &direct] {
+            prop_assert_eq!(ab.count(), h.count());
+            prop_assert_eq!(ab.total(), h.total());
+            prop_assert_eq!(ab.max(), h.max());
+            for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+                prop_assert_eq!(
+                    ab.quantile_bound_micros(q),
+                    h.quantile_bound_micros(q)
+                );
+            }
+        }
+    }
+}
