@@ -67,6 +67,24 @@ cargo test -q -p bf4-shim --offline --test journal_fault \
     fsync_fault_mid_persist_then_reopen_loses_nothing \
     -- --exact fsync_fault_mid_persist_then_reopen_loses_nothing
 
+echo "==> sharded-shim batch suites (shard parity, crash atomicity, torn commits)"
+# The line-rate shim's load-bearing properties by name: verdicts and
+# digests independent of the shard count, batch apply all-or-nothing
+# under a crash at any journal byte offset, and a torn group commit
+# never splitting or acknowledging a batch.
+cargo test -q -p bf4-shim --offline --test shard_pool \
+    verdicts_and_digest_independent_of_shard_count \
+    -- --exact verdicts_and_digest_independent_of_shard_count
+cargo test -q -p bf4-shim --offline --test shard_pool \
+    joint_specs_enforced_across_shard_boundaries \
+    -- --exact joint_specs_enforced_across_shard_boundaries
+cargo test -q -p bf4-shim --offline --test batch_props \
+    batch_boundaries_and_neighbors_are_exact \
+    -- --exact batch_boundaries_and_neighbors_are_exact
+cargo test -q -p bf4-shim --offline --test batch_fault \
+    torn_group_commit_never_splits_or_acks_a_batch \
+    -- --exact torn_group_commit_never_splits_or_acks_a_batch
+
 tmpdir=$(mktemp -d)
 bf4d_pid=""
 trap '[ -n "$bf4d_pid" ] && kill "$bf4d_pid" 2>/dev/null; rm -rf "$tmpdir"' EXIT
@@ -126,6 +144,32 @@ echo "==> cache regress gate (fresh numbers vs committed baseline)"
 # worse than bench/baselines/BENCH_cache.json beyond the tolerance band.
 cargo run -q --release --offline -p bf4-bench --bin report -- regress \
     --fresh "$tmpdir/BENCH_cache.json" --baseline bench/baselines/BENCH_cache.json
+
+echo "==> shim stress campaign (BF4_FAULTS torn commits mid-burst, crash/reopen gates)"
+# The staged-load campaign under an ambient chaos plan — armed from
+# warmup on, strictly harsher than the fault-stage-only default. Gates
+# (exit 1): zero acknowledged batches lost across the mid-campaign
+# crash/reopen, zero invalid rules admitted under any injected fault,
+# and group commit strictly beating one fsync per update. 2>/dev/null
+# drops the injected shard-poison backtraces the shim catches by design.
+BF4_FAULTS="seed=13,shim.batch_torn=%5,shim.shard_poison=%9,shim.overload=%11" \
+    ./target/release/bf4 controller crates/corpus/programs/simple_nat.p4 \
+    --campaign --dir "$tmpdir" --out "$tmpdir/BENCH_shim_campaign.json" \
+    2>/dev/null | tail -4
+grep -q '"acked_lost": 0' "$tmpdir/BENCH_shim_campaign.json"
+grep -q '"invalid_admitted": 0' "$tmpdir/BENCH_shim_campaign.json"
+
+echo "==> shimbench gate + shim regress (fresh numbers vs committed baseline)"
+# The full campaign on the largest program writes BENCH_shim.json; the
+# regress gate holds its scale-free metrics (group-commit speedup,
+# recovery losses, audit violations, fault fires) to the committed
+# baseline. Fire counts wobble with thread interleaving, hence the
+# wider band.
+cargo run -q --release --offline -p bf4-bench --bin report -- shimbench \
+    --dir "$tmpdir" --out "$tmpdir/BENCH_shim.json" 2>/dev/null | tail -4
+cargo run -q --release --offline -p bf4-bench --bin report -- regress \
+    --fresh "$tmpdir/BENCH_shim.json" --baseline bench/baselines/BENCH_shim.json \
+    --tolerance 0.5
 
 echo "==> daemon test suites (incremental soundness, impact property, chaos)"
 # The daemon's load-bearing suites by name, so a rename or filter-out

@@ -11,6 +11,13 @@
 //! report p4v           §5.2: p4v-approximation monolithic query
 //! report vera          §5.2: Vera-approximation concrete vs symbolic entries
 //! report shim          §5.3: shim validation latency over a 2000-update trace
+//! report shimbench [--out FILE] [--dir DIR]
+//!                      staged-load stress campaign on the sharded shim
+//!                      (warmup → burst → fault-mid-burst → drain) with a
+//!                      crash/reopen check, assertion audit and the
+//!                      group-commit vs per-update-fsync comparison
+//!                      (optionally written as BENCH_shim.json); exit 1 on
+//!                      any gate violation
 //! report casestudies   §5.1: the three interesting-bug case studies
 //! report corpus [--jobs N] [--cache-cap N] [--trace-out FILE]
 //!                      normalized corpus reports on stdout (stable across
@@ -87,6 +94,7 @@ fn main() {
         "p4v" => p4v(),
         "vera" => vera(),
         "shim" => shim(),
+        "shimbench" => shimbench(),
         "casestudies" => casestudies(),
         "corpus" => corpus(),
         "engine" => engine(),
@@ -371,7 +379,7 @@ fn shim() {
         &r.annotations,
         bf4_shim::controller::WorkloadConfig::default(),
     );
-    let mut latencies = Vec::new();
+    let mut hist = bf4_obs::Histogram::default();
     let mut accepted = 0usize;
     let mut rejected = 0usize;
     for u in ctrl.workload() {
@@ -380,12 +388,70 @@ fn shim() {
             Ok(_) => accepted += 1,
             Err(_) => rejected += 1,
         }
-        latencies.push(t0.elapsed());
+        hist.record(t0.elapsed());
     }
-    let stats = bf4_shim::stats::latency_stats(&latencies);
+    let stats = bf4_shim::stats::from_histogram(&hist);
     println!("updates: {} accepted, {} rejected", accepted, rejected);
     println!("per-update validation latency: {stats}");
     println!();
+}
+
+/// The sharded shim's staged-load stress campaign, with its own gates:
+/// zero acknowledged batches lost across the mid-campaign crash/reopen,
+/// zero invalid rules admitted under any injected fault, and group-commit
+/// journaling strictly beating one fsync per update.
+fn shimbench() {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut out: Option<String> = None;
+    let mut config = bf4_shim::campaign::CampaignConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+                if out.is_none() {
+                    eprintln!("report shimbench: --out expects a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--dir" => {
+                i += 1;
+                config.dir = args.get(i).map(Into::into).unwrap_or_else(|| {
+                    eprintln!("report shimbench: --dir expects a directory");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("report shimbench: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let p = bf4_corpus::largest();
+    println!("== shimbench: sharded-shim stress campaign ({}) ==", p.name);
+    let r = verify_isolated(p.source, &VerifyOptions::default());
+    let report = bf4_shim::campaign::run_campaign(&r.annotations, &config).unwrap_or_else(|e| {
+        eprintln!("report shimbench: campaign failed: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", report.render_text());
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("report shimbench: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path}");
+    }
+    let gates = report.gate_violations();
+    if !gates.is_empty() {
+        for g in &gates {
+            eprintln!("shimbench gate: {g}");
+        }
+        std::process::exit(1);
+    }
+    println!("shimbench OK: nothing acknowledged was lost, nothing invalid admitted, group commit pays");
 }
 
 fn corpus_programs() -> Vec<(String, String)> {
@@ -548,6 +614,24 @@ fn profile() {
         println!(
             "cache: {hits} hit(s) [{warm} warm] / {misses} miss(es), hit-rate {:.1}%",
             100.0 * hits as f64 / (hits + misses) as f64
+        );
+    }
+    // Group-commit accounting from `shim/journal_fsync` spans: each span
+    // is one fsync covering `updates` journal appends, so everything past
+    // the first rode along for free — the `shim.journal_fsync_amortized`
+    // counter, reconstructed offline.
+    let (mut fsyncs, mut amortized) = (0u64, 0u64);
+    for s in &spans {
+        if s.layer == "shim" && s.name == "journal_fsync" {
+            fsyncs += 1;
+            if let Some(n) = s.tags.get("updates").and_then(|v| v.parse::<u64>().ok()) {
+                amortized += n.saturating_sub(1);
+            }
+        }
+    }
+    if fsyncs > 0 {
+        println!(
+            "shim: {fsyncs} journal fsync(s), {amortized} append(s) amortized onto a group commit"
         );
     }
 }
@@ -1397,6 +1481,14 @@ fn regress_cmd() {
             ("speedup", Dir::Lower),
             ("warm_incremental.skips", Dir::Lower),
             ("telemetry.overhead", Dir::Upper),
+        ],
+        "shim" => vec![
+            ("throughput.speedup", Dir::Lower),
+            ("recovery.acked_lost", Dir::Upper),
+            ("recovery.mismatched", Dir::Upper),
+            ("recovery.digest_match", Dir::Lower),
+            ("audit.invalid_admitted", Dir::Upper),
+            ("faults.fires", Dir::Lower),
         ],
         other => {
             eprintln!("report regress: unknown bench kind `{other}`");

@@ -58,6 +58,22 @@
 //! and `metrics` ops and renders request rate, latency quantiles, cache
 //! hit rate, incremental skips, degradations and active SLO alerts.
 //! `--iterations 0` (the default) runs until interrupted.
+//!
+//! ```text
+//! bf4 controller <file.p4> [--updates N] [--batch-size N] [--shards N]
+//!                [--threads N] [--seed N] [--faulty F] [--journal FILE]
+//!                [--campaign] [--out FILE] [--dir DIR]
+//! ```
+//!
+//! Controller mode: verify the program, then push a synthetic update
+//! workload through the sharded line-rate shim in batches (group-commit
+//! journaled when `--journal` is given; `BF4_FAULTS` plans apply). With
+//! `--campaign`, run the full staged-load stress campaign instead —
+//! warmup → burst → fault-mid-burst → drain plus the crash/reopen,
+//! assertion-audit and group-commit-vs-per-update-fsync gates — and
+//! optionally write the `BENCH_shim.json` report to `--out`. Exit code:
+//! 0 when every gate holds, 1 on a gate violation (or, in plain mode, an
+//! audit violation), 2 on usage or frontend errors.
 
 use bf4_core::driver::{verify, Report, VerifyOptions};
 use bf4_engine::{verify_corpus, EngineConfig, EngineStats};
@@ -70,6 +86,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("top") {
         std::process::exit(top_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("controller") {
+        std::process::exit(controller_main(&args[1..]));
     }
     let mut paths: Vec<String> = Vec::new();
     let mut annotations_out: Option<String> = None;
@@ -932,5 +951,176 @@ fn top_main(args: &[String]) -> i32 {
             return 0;
         }
         std::thread::sleep(interval);
+    }
+}
+
+/// `bf4 controller` — drive a synthetic update workload through the
+/// sharded line-rate shim, or (with `--campaign`) the full staged-load
+/// stress campaign with its gates.
+fn controller_main(args: &[String]) -> i32 {
+    let mut path: Option<String> = None;
+    let mut updates = 2000usize;
+    let mut campaign = false;
+    let mut out: Option<String> = None;
+    let mut journal: Option<String> = None;
+    let mut config = bf4_shim::campaign::CampaignConfig::default();
+    let usage = || {
+        eprintln!(
+            "usage: bf4 controller <file.p4> [--updates N] [--batch-size N] [--shards N] \
+             [--threads N] [--seed N] [--faulty F] [--journal FILE] [--campaign] [--out FILE] [--dir DIR]"
+        );
+        2
+    };
+    let mut i = 0;
+    while i < args.len() {
+        // Numeric flags share one parse-or-die shape.
+        macro_rules! num {
+            ($what:literal) => {{
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("bf4 controller: {} expects a number", $what);
+                        return 2;
+                    }
+                }
+            }};
+        }
+        match args[i].as_str() {
+            "--updates" => updates = num!("--updates"),
+            "--batch-size" => config.batch_size = num!("--batch-size"),
+            "--shards" => config.shards = num!("--shards"),
+            "--threads" => config.threads = num!("--threads"),
+            "--seed" => config.seed = num!("--seed"),
+            "--faulty" => config.faulty_fraction = num!("--faulty"),
+            "--campaign" => campaign = true,
+            "--journal" => {
+                i += 1;
+                journal = args.get(i).cloned();
+                if journal.is_none() {
+                    return usage();
+                }
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+                if out.is_none() {
+                    return usage();
+                }
+            }
+            "--dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => config.dir = d.into(),
+                    None => return usage(),
+                }
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let Some(path) = path else { return usage() };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bf4 controller: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let report = match verify(&source, &VerifyOptions::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bf4 controller: {path}: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "controller: {path}: {} table(s), {} assertion(s)",
+        report.annotations.tables.len(),
+        report.annotations.specs.len()
+    );
+
+    if campaign {
+        let campaign_report =
+            match bf4_shim::campaign::run_campaign(&report.annotations, &config) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("bf4 controller: campaign failed: {e}");
+                    return 2;
+                }
+            };
+        print!("{}", campaign_report.render_text());
+        if let Some(out) = out {
+            if let Err(e) = std::fs::write(&out, campaign_report.to_json()) {
+                eprintln!("bf4 controller: cannot write {out}: {e}");
+                return 2;
+            }
+            println!("wrote {out}");
+        }
+        let gates = campaign_report.gate_violations();
+        for g in &gates {
+            eprintln!("gate: {g}");
+        }
+        return i32::from(!gates.is_empty());
+    }
+
+    // Plain mode: one batched stage over the whole workload, through the
+    // same worker pool the campaign uses.
+    let shim = match bf4_shim::ShardedShim::new(
+        &report.annotations,
+        &bf4_shim::ShimConfig {
+            shards: config.shards,
+            max_inflight: config.max_inflight,
+            journal_path: journal.as_ref().map(Into::into),
+            fsync_per_update: false,
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bf4 controller: cannot open journal: {e}");
+            return 2;
+        }
+    };
+    let workload = bf4_shim::controller::Controller::new(
+        &report.annotations,
+        bf4_shim::controller::WorkloadConfig {
+            updates,
+            faulty_fraction: config.faulty_fraction,
+            delete_fraction: 0.05,
+            seed: config.seed,
+            ..bf4_shim::controller::WorkloadConfig::default()
+        },
+    )
+    .workload();
+    let batches = bf4_shim::campaign::chunk(workload, config.batch_size);
+    let stage = bf4_shim::campaign::run_stage(&shim, "serve", &batches, config.threads);
+    println!(
+        "offered {} batch(es) ({updates} updates, batch={}) on {} thread(s) over {} shard(s)",
+        stage.batches, config.batch_size, config.threads, shim.shard_count()
+    );
+    println!(
+        "acked {} ({} updates), rejected {}, shed {}, journal-failed {}, poisoned {}",
+        stage.acked, stage.updates_acked, stage.rejected, stage.shed, stage.journal_failed,
+        stage.poisoned
+    );
+    println!("batch latency: {}", stage.latency);
+    let stats = shim.stats();
+    println!(
+        "journal: {} byte(s), {} fsync(s), {} append(s) amortized{}",
+        shim.journal_bytes().len(),
+        stats.fsyncs,
+        stats.fsync_amortized,
+        journal.map(|j| format!(" -> {j}")).unwrap_or_default()
+    );
+    let violations = shim.audit_violations();
+    if violations.is_empty() {
+        println!("audit: clean — no live rule violates an inferred assertion");
+        0
+    } else {
+        for v in &violations {
+            eprintln!("audit violation: {v}");
+        }
+        1
     }
 }

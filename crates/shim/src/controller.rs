@@ -381,6 +381,11 @@ mod tests {
                     crate::ShimError::UnsafeDefault { .. } => "UnsafeDefault",
                     crate::ShimError::Duplicate => "Duplicate",
                     crate::ShimError::NoSuchRule => "NoSuchRule",
+                    // batch-path errors; unreachable through a monolithic
+                    // Shim but kept exhaustive so new variants are heard
+                    crate::ShimError::Overloaded { .. } => "Overloaded",
+                    crate::ShimError::ShardPoisoned { .. } => "ShardPoisoned",
+                    crate::ShimError::JournalFailed(_) => "JournalFailed",
                 });
             }
         }

@@ -90,22 +90,17 @@ impl Journal {
     /// purpose — and the fsync time is traced separately from the write.
     pub fn persist(&self, path: &std::path::Path) -> std::io::Result<()> {
         use std::io::Write;
-        let mut f = std::fs::File::create(path)?;
         // Chaos hook: an injected fsync failure that leaves a torn write
         // behind (half the bytes landed before the error) — exactly the
         // on-disk state a crash mid-persist produces, which `parse` must
         // salvage as a valid prefix on reopen.
         if bf4_obs::fault::fire("shim.journal_fsync") {
+            let mut f = std::fs::File::create(path)?;
             let _ = f.write_all(&self.buf[..self.buf.len() / 2]);
             let _ = f.sync_all();
             return Err(std::io::Error::other("injected fault: shim.journal_fsync"));
         }
-        f.write_all(&self.buf)?;
-        let _sp = bf4_obs::span("shim", "journal_fsync");
-        let t0 = std::time::Instant::now();
-        f.sync_all()?;
-        bf4_obs::hist_record("shim.journal_fsync", t0.elapsed());
-        Ok(())
+        persist_bytes(&self.buf, path)
     }
 
     /// Parse journal bytes, tolerating a truncated or corrupt tail: the
@@ -248,12 +243,45 @@ const FNV_PRIME: u64 = 0x100000001b3;
 
 /// FNV-1a over `bytes` — also used for [`Shim::state_digest`].
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+/// Fold more bytes into a running FNV-1a state (streaming frame payloads).
+pub(crate) fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(FNV_PRIME);
     }
     h
+}
+
+/// Crash-safe full rewrite of `buf` to `path`: write a temp file in the
+/// same directory, fsync the file, rename it over the destination, then
+/// fsync the containing directory — the rename is not durable on all
+/// filesystems until the directory's metadata itself reaches disk.
+pub(crate) fn persist_bytes(buf: &[u8], path: &std::path::Path) -> std::io::Result<()> {
+    use std::io::Write;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("journal");
+    let tmp = dir.join(format!(".{name}.tmp-{}", std::process::id()));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(buf)?;
+    {
+        let _sp = bf4_obs::span("shim", "journal_fsync");
+        let t0 = std::time::Instant::now();
+        f.sync_all()?;
+        bf4_obs::hist_record("shim.journal_fsync", t0.elapsed());
+    }
+    std::fs::rename(&tmp, path)?;
+    #[cfg(unix)]
+    std::fs::File::open(&dir)?.sync_all()?;
+    Ok(())
 }
 
 fn csv(vals: &[u128]) -> String {
@@ -273,7 +301,7 @@ fn parse_csv(s: &str) -> Option<Vec<u128>> {
     s.split(',').map(|v| u128::from_str_radix(v, 16).ok()).collect()
 }
 
-fn encode(update: &Update, rule_id: Option<usize>) -> String {
+pub(crate) fn encode(update: &Update, rule_id: Option<usize>) -> String {
     let payload = match update {
         Update::Insert { table, rule } => format!(
             "I {table} {} {} {} {} {}",
@@ -343,6 +371,172 @@ fn decode(line: &str) -> Option<JournalEntry> {
             })
         }
         _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// batch frames (group commit)
+// ---------------------------------------------------------------------
+//
+// A batch frame is the atomic commit unit of the sharded shim:
+//
+// ```text
+// B <seq> <n> #<fnv>          header: sequence number, entry count
+// <entry line> × n            the same per-line format as above
+// C <seq> <payload_fnv> #<fnv> trailer: seals the payload bytes
+// ```
+//
+// Every line carries the canonical-strict FNV-1a checksum; the trailer
+// additionally commits the FNV-1a of the n payload lines (bytes including
+// newlines), so a frame is valid only when header, every entry, and the
+// trailer all verify *and* the trailer's payload hash matches. Anything
+// less — a missing trailer, a short entry list, a corrupt byte — makes
+// the whole frame torn: recovery drops it whole, never a split batch.
+// Bare entry lines outside a frame are legacy single-update commits
+// (what `JournaledShim` and the per-update-fsync baseline write) and
+// parse as single-entry frames.
+
+/// One commit unit recovered from journal bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Batch sequence number; `None` for legacy bare-line entries.
+    pub seq: Option<u64>,
+    /// The committed updates, in apply order.
+    pub entries: Vec<JournalEntry>,
+}
+
+/// Result of frame-aware parsing.
+#[derive(Clone, Debug)]
+pub struct ParsedFrames {
+    /// Fully committed frames of the valid prefix, in append order.
+    pub frames: Vec<Frame>,
+    /// Bytes of the valid prefix (ends at the last committed frame).
+    pub valid_len: usize,
+    /// Whether a torn trailing frame (or corrupt tail) was dropped whole.
+    pub torn: bool,
+}
+
+/// Encode one batch as a frame (header + entry lines + sealing trailer).
+pub(crate) fn encode_frame(seq: u64, entries: &[(Update, Option<usize>)]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    for (update, rule_id) in entries {
+        payload.extend_from_slice(encode(update, *rule_id).as_bytes());
+        payload.push(b'\n');
+    }
+    let header = format!("B {seq} {}", entries.len());
+    let trailer = format!("C {seq} {:016x}", fnv1a(&payload));
+    let mut out = Vec::new();
+    out.extend_from_slice(format!("{header} #{:016x}\n", fnv1a(header.as_bytes())).as_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(format!("{trailer} #{:016x}\n", fnv1a(trailer.as_bytes())).as_bytes());
+    out
+}
+
+/// Strip and verify the per-line checksum, returning the payload.
+fn checked_payload(line: &str) -> Option<&str> {
+    let (payload, sum) = line.rsplit_once(" #")?;
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    (sum == fnv1a(payload.as_bytes())).then_some(payload)
+}
+
+fn decode_frame_header(line: &str) -> Option<(u64, usize)> {
+    let payload = checked_payload(line)?;
+    let mut p = payload.split(' ');
+    if p.next()? != "B" {
+        return None;
+    }
+    let seq = p.next()?.parse().ok()?;
+    let n = p.next()?.parse().ok()?;
+    if p.next().is_some() {
+        return None;
+    }
+    Some((seq, n))
+}
+
+fn decode_frame_trailer(line: &str) -> Option<(u64, u64)> {
+    let payload = checked_payload(line)?;
+    let mut p = payload.split(' ');
+    if p.next()? != "C" {
+        return None;
+    }
+    let seq = p.next()?.parse().ok()?;
+    let payload_fnv = u64::from_str_radix(p.next()?, 16).ok()?;
+    if p.next().is_some() {
+        return None;
+    }
+    Some((seq, payload_fnv))
+}
+
+/// Parse journal bytes into commit units, tolerating a torn tail. Frames
+/// commit all-or-nothing: the valid prefix ends at the last frame whose
+/// trailer verifies (or last valid bare line), and a torn trailing frame
+/// is dropped whole — acknowledged batches are never split by recovery.
+pub fn parse_frames(bytes: &[u8]) -> ParsedFrames {
+    let mut frames = Vec::new();
+    let mut valid_len = 0usize;
+    let mut pos = 0usize;
+    let mut torn = false;
+    'outer: while pos < bytes.len() {
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            torn = true;
+            break;
+        };
+        let Ok(line) = std::str::from_utf8(&bytes[pos..pos + nl]) else {
+            torn = true;
+            break;
+        };
+        if let Some((seq, n)) = decode_frame_header(line) {
+            let mut fpos = pos + nl + 1;
+            let mut entries = Vec::with_capacity(n.min(4096));
+            let mut payload_fnv = FNV_OFFSET;
+            for _ in 0..n {
+                let Some(enl) = bytes[fpos..].iter().position(|&b| b == b'\n') else {
+                    torn = true;
+                    break 'outer;
+                };
+                let eline = &bytes[fpos..fpos + enl];
+                let Some(entry) = std::str::from_utf8(eline).ok().and_then(decode) else {
+                    torn = true;
+                    break 'outer;
+                };
+                payload_fnv = fnv1a_update(payload_fnv, eline);
+                payload_fnv = fnv1a_update(payload_fnv, b"\n");
+                entries.push(entry);
+                fpos += enl + 1;
+            }
+            let Some(tnl) = bytes[fpos..].iter().position(|&b| b == b'\n') else {
+                torn = true;
+                break;
+            };
+            let trailer = std::str::from_utf8(&bytes[fpos..fpos + tnl])
+                .ok()
+                .and_then(decode_frame_trailer);
+            if trailer != Some((seq, payload_fnv)) {
+                torn = true;
+                break;
+            }
+            pos = fpos + tnl + 1;
+            valid_len = pos;
+            frames.push(Frame {
+                seq: Some(seq),
+                entries,
+            });
+        } else if let Some(entry) = decode(line) {
+            pos += nl + 1;
+            valid_len = pos;
+            frames.push(Frame {
+                seq: None,
+                entries: vec![entry],
+            });
+        } else {
+            torn = true;
+            break;
+        }
+    }
+    ParsedFrames {
+        frames,
+        valid_len,
+        torn,
     }
 }
 
@@ -609,5 +803,57 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let (rec, _) = JournaledShim::recover(&annotations, &bytes);
         assert_eq!(rec.shim().state_digest(), shim.shim().state_digest());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_mix_with_bare_lines() {
+        let u1 = Update::Delete {
+            table: "a.b".into(),
+            rule_id: 0,
+        };
+        let u2 = Update::SetDefault {
+            table: "a.b".into(),
+            action: "x".into(),
+        };
+        let mut bytes = encode_frame(7, &[(u1.clone(), None), (u2.clone(), None)]);
+        bytes.extend_from_slice(encode(&u1, None).as_bytes());
+        bytes.push(b'\n');
+        let parsed = parse_frames(&bytes);
+        assert!(!parsed.torn);
+        assert_eq!(parsed.valid_len, bytes.len());
+        assert_eq!(parsed.frames.len(), 2);
+        assert_eq!(parsed.frames[0].seq, Some(7));
+        assert_eq!(parsed.frames[0].entries.len(), 2);
+        assert_eq!(parsed.frames[1].seq, None);
+        assert_eq!(parsed.frames[1].entries.len(), 1);
+    }
+
+    #[test]
+    fn torn_frame_dropped_whole_at_every_cut() {
+        let u1 = Update::Delete {
+            table: "a.b".into(),
+            rule_id: 0,
+        };
+        let u2 = Update::SetDefault {
+            table: "a.b".into(),
+            action: "x".into(),
+        };
+        let mut bytes = encode_frame(1, &[(u1.clone(), None)]);
+        let committed = bytes.len();
+        bytes.extend_from_slice(&encode_frame(2, &[(u2, None), (u1, None)]));
+        // A crash at any byte inside the second frame must drop it whole:
+        // never a partial batch, and the first frame stays intact.
+        for cut in committed + 1..bytes.len() {
+            let p = parse_frames(&bytes[..cut]);
+            assert_eq!(p.frames.len(), 1, "cut at {cut}");
+            assert_eq!(p.valid_len, committed, "cut at {cut}");
+            assert!(p.torn, "cut at {cut}");
+        }
+        // corrupting any single byte of the second frame also tears it
+        let mut evil = bytes.clone();
+        evil[committed + 3] ^= 0x40;
+        let p = parse_frames(&evil);
+        assert_eq!(p.frames.len(), 1);
+        assert!(p.torn);
     }
 }

@@ -22,11 +22,14 @@
 //! generates update workloads for the §5.3 latency evaluation, and
 //! [`stats`] computes the reported percentiles.
 
+pub mod campaign;
 pub mod controller;
 pub mod journal;
+pub mod shard;
 pub mod stats;
 
 pub use journal::{Journal, JournaledShim, RecoveryReport};
+pub use shard::{Batch, BatchDecision, BatchRecovery, BatchReject, ShardedShim, ShimConfig};
 
 use bf4_core::specs::{AnnotationFile, TableDescriptor, TableSpec};
 use bf4_smt::{eval, Assignment, Sort, Value};
@@ -104,6 +107,24 @@ pub enum ShimError {
     Duplicate,
     /// Deleting a rule that does not exist.
     NoSuchRule,
+    /// Admission control shed the batch: too many batches in flight (the
+    /// journal is lagging behind the offered load).
+    Overloaded {
+        /// Batches in flight when the batch was shed.
+        inflight: usize,
+        /// Configured in-flight bound.
+        limit: usize,
+    },
+    /// A shard worker panicked mid-batch; the batch was rolled back and
+    /// rejected conservatively.
+    ShardPoisoned {
+        /// Index of the poisoned shard.
+        shard: usize,
+    },
+    /// The group-commit journal write/fsync failed; the batch was rolled
+    /// back (never acknowledged) so shadow state still equals the replay
+    /// of the durable journal.
+    JournalFailed(String),
 }
 
 impl std::fmt::Display for ShimError {
@@ -126,6 +147,13 @@ impl std::fmt::Display for ShimError {
             }
             ShimError::Duplicate => write!(f, "duplicate rule"),
             ShimError::NoSuchRule => write!(f, "no such rule"),
+            ShimError::Overloaded { inflight, limit } => {
+                write!(f, "overloaded: {inflight} batches in flight (limit {limit})")
+            }
+            ShimError::ShardPoisoned { shard } => {
+                write!(f, "shard {shard} poisoned mid-batch; batch rolled back")
+            }
+            ShimError::JournalFailed(e) => write!(f, "journal write failed: {e}"),
         }
     }
 }
@@ -261,18 +289,8 @@ impl Shim {
                 })
             }
             Update::Delete { table, rule_id } => {
-                let shadow = self
-                    .tables
-                    .get_mut(table)
-                    .ok_or_else(|| ShimError::UnknownTable(table.clone()))?;
-                let r = shadow
-                    .rules
-                    .get_mut(*rule_id)
-                    .ok_or(ShimError::NoSuchRule)?;
-                if !r.live {
-                    return Err(ShimError::NoSuchRule);
-                }
-                r.live = false;
+                self.validate_delete(table, *rule_id)?;
+                self.delete_shadow(table, *rule_id);
                 Ok(Decision {
                     rule_id: None,
                     latency: t0.elapsed(),
@@ -280,23 +298,7 @@ impl Shim {
                 })
             }
             Update::SetDefault { table, action } => {
-                let shadow = self
-                    .tables
-                    .get(table)
-                    .ok_or_else(|| ShimError::UnknownTable(table.clone()))?;
-                if !shadow.desc.actions.iter().any(|a| &a.name == action) {
-                    return Err(ShimError::UnknownAction(action.clone()));
-                }
-                if self
-                    .unsafe_defaults
-                    .iter()
-                    .any(|(t, a)| t == table && a == action)
-                {
-                    return Err(ShimError::UnsafeDefault {
-                        table: table.clone(),
-                        action: action.clone(),
-                    });
-                }
+                self.validate_set_default(table, action)?;
                 self.tables.get_mut(table).unwrap().default_action = Some(action.clone());
                 Ok(Decision {
                     rule_id: None,
@@ -420,7 +422,41 @@ impl Shim {
         })
     }
 
-    fn insert_shadow(&mut self, table: &str, rule: RuleUpdate) -> usize {
+    /// Validate a delete without applying it.
+    pub(crate) fn validate_delete(&self, table: &str, rule_id: usize) -> Result<(), ShimError> {
+        let shadow = self
+            .tables
+            .get(table)
+            .ok_or_else(|| ShimError::UnknownTable(table.to_string()))?;
+        match shadow.rules.get(rule_id) {
+            Some(r) if r.live => Ok(()),
+            _ => Err(ShimError::NoSuchRule),
+        }
+    }
+
+    /// Validate a default-action change without applying it.
+    pub(crate) fn validate_set_default(&self, table: &str, action: &str) -> Result<(), ShimError> {
+        let shadow = self
+            .tables
+            .get(table)
+            .ok_or_else(|| ShimError::UnknownTable(table.to_string()))?;
+        if !shadow.desc.actions.iter().any(|a| a.name == action) {
+            return Err(ShimError::UnknownAction(action.to_string()));
+        }
+        if self
+            .unsafe_defaults
+            .iter()
+            .any(|(t, a)| t == table && a == action)
+        {
+            return Err(ShimError::UnsafeDefault {
+                table: table.to_string(),
+                action: action.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn insert_shadow(&mut self, table: &str, rule: RuleUpdate) -> usize {
         let shadow = self.tables.get_mut(table).expect("validated");
         let id = shadow.rules.len();
         for (&ki, idx) in shadow.indexes.iter_mut() {
@@ -429,6 +465,97 @@ impl Shim {
         }
         shadow.rules.push(StoredRule { rule, live: true });
         id
+    }
+
+    /// Tombstone a validated delete.
+    pub(crate) fn delete_shadow(&mut self, table: &str, rule_id: usize) {
+        if let Some(r) = self
+            .tables
+            .get_mut(table)
+            .and_then(|s| s.rules.get_mut(rule_id))
+        {
+            r.live = false;
+        }
+    }
+
+    /// Undo the most recent [`insert_shadow`](Self::insert_shadow) into
+    /// `table`: pops the rule and its index postings. Only sound while the
+    /// caller still holds exclusive access (batch rollback under locks).
+    pub(crate) fn undo_insert(&mut self, table: &str) {
+        let Some(shadow) = self.tables.get_mut(table) else {
+            return;
+        };
+        let Some(stored) = shadow.rules.pop() else {
+            return;
+        };
+        let id = shadow.rules.len();
+        for (&ki, idx) in shadow.indexes.iter_mut() {
+            let v = stored.rule.key_values.get(ki).copied().unwrap_or(0);
+            if let Some(ids) = idx.get_mut(&v) {
+                if ids.last() == Some(&id) {
+                    ids.pop();
+                }
+                if ids.is_empty() {
+                    idx.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// Undo a tombstone set by [`delete_shadow`](Self::delete_shadow).
+    pub(crate) fn undo_delete(&mut self, table: &str, rule_id: usize) {
+        if let Some(r) = self
+            .tables
+            .get_mut(table)
+            .and_then(|s| s.rules.get_mut(rule_id))
+        {
+            r.live = true;
+        }
+    }
+
+    /// Current default action of a table (for batch rollback).
+    pub(crate) fn default_action(&self, table: &str) -> Option<String> {
+        self.tables.get(table).and_then(|s| s.default_action.clone())
+    }
+
+    /// Set a table's default action without validation (batch staging and
+    /// rollback paths; validation happened separately).
+    pub(crate) fn set_default_raw(&mut self, table: &str, action: Option<String>) {
+        if let Some(s) = self.tables.get_mut(table) {
+            s.default_action = action;
+        }
+    }
+
+    /// Snapshot one table's full shadow (rules including tombstones plus
+    /// the default action), for mirroring into another shard.
+    pub(crate) fn clone_table(&self, table: &str) -> Option<(Vec<StoredRule>, Option<String>)> {
+        self.tables
+            .get(table)
+            .map(|s| (s.rules.clone(), s.default_action.clone()))
+    }
+
+    /// Replace one table's shadow with a snapshot, rebuilding the exact-key
+    /// indexes. Used to refresh cross-shard mirrors at batch start.
+    pub(crate) fn overwrite_table(
+        &mut self,
+        table: &str,
+        rules: Vec<StoredRule>,
+        default_action: Option<String>,
+    ) {
+        let Some(shadow) = self.tables.get_mut(table) else {
+            return;
+        };
+        for idx in shadow.indexes.values_mut() {
+            idx.clear();
+        }
+        for (id, stored) in rules.iter().enumerate() {
+            for (&ki, idx) in shadow.indexes.iter_mut() {
+                let v = stored.rule.key_values.get(ki).copied().unwrap_or(0);
+                idx.entry(v).or_default().push(id);
+            }
+        }
+        shadow.rules = rules;
+        shadow.default_action = default_action;
     }
 
     /// Translate a rule into the control-variable assignment of its table
@@ -504,26 +631,88 @@ impl Shim {
     /// tombstones — rule ids are positional — plus default actions). Two
     /// shims with equal digests decide every future update identically.
     pub fn state_digest(&self) -> u64 {
-        use std::fmt::Write;
         let mut names: Vec<&String> = self.tables.keys().collect();
         names.sort();
         let mut render = String::new();
         for name in names {
-            let shadow = &self.tables[name];
-            let _ = writeln!(
-                render,
-                "T {name} default={}",
-                shadow.default_action.as_deref().unwrap_or("-")
-            );
-            for (id, r) in shadow.rules.iter().enumerate() {
-                let _ = writeln!(
-                    render,
-                    "R {id} {} {} {:x?} {:x?} {:x?}",
-                    r.live, r.rule.action, r.rule.key_values, r.rule.key_masks, r.rule.params
-                );
-            }
+            self.render_table_into(name, &mut render);
         }
         journal::fnv1a(render.as_bytes())
+    }
+
+    /// Render one table's shadow into the canonical digest format. The
+    /// sharded shim digests by concatenating per-table renders from each
+    /// table's owner shard, so a sharded digest equals the monolithic one.
+    pub(crate) fn render_table_into(&self, name: &str, render: &mut String) {
+        use std::fmt::Write;
+        let Some(shadow) = self.tables.get(name) else {
+            return;
+        };
+        let _ = writeln!(
+            render,
+            "T {name} default={}",
+            shadow.default_action.as_deref().unwrap_or("-")
+        );
+        for (id, r) in shadow.rules.iter().enumerate() {
+            let _ = writeln!(
+                render,
+                "R {id} {} {} {:x?} {:x?} {:x?}",
+                r.live, r.rule.action, r.rule.key_values, r.rule.key_masks, r.rule.params
+            );
+        }
+    }
+
+    /// Audit the shadow state against every inferred assertion: each live
+    /// rule must satisfy its table's single-table specs, and every live
+    /// pair across a multi-table spec must satisfy the joint formula.
+    /// Returns rendered violations (empty = the safety invariant holds).
+    /// This is the campaign's ground truth that no invalid rule was ever
+    /// admitted, independent of the accept/reject decision path.
+    pub fn audit_violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort();
+        for name in names {
+            let shadow = &self.tables[name];
+            for &si in &shadow.spec_ids {
+                let spec = &self.specs[si];
+                for (rid, stored) in shadow.rules.iter().enumerate() {
+                    if !stored.live {
+                        continue;
+                    }
+                    let assignment = self.rule_assignment(&shadow.desc, &stored.rule);
+                    match &spec.with_table {
+                        None => {
+                            if !holds(&spec.formula, &assignment) {
+                                out.push(format!(
+                                    "{name} rule {rid} violates {}",
+                                    bf4_smt::to_sexpr(&spec.formula)
+                                ));
+                            }
+                        }
+                        Some(partner) => {
+                            let Some(pshadow) = self.tables.get(partner) else {
+                                continue;
+                            };
+                            for (pid, pstored) in pshadow.rules.iter().enumerate() {
+                                if !pstored.live {
+                                    continue;
+                                }
+                                let mut joint = assignment.clone();
+                                joint.extend(self.rule_assignment(&pshadow.desc, &pstored.rule));
+                                if !holds(&spec.formula, &joint) {
+                                    out.push(format!(
+                                        "{name} rule {rid} with {partner} rule {pid} violates {}",
+                                        bf4_smt::to_sexpr(&spec.formula)
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

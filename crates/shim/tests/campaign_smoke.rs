@@ -1,0 +1,88 @@
+//! End-to-end smoke of the staged-load stress campaign: all four stages
+//! run, faults fire mid-burst, the crash/reopen loses nothing, the audit
+//! finds no invalid rule, group commit beats per-update fsync, and the
+//! JSON report round-trips through the minimal parser `report regress`
+//! uses.
+//!
+//! Own integration-test binary: the campaign installs a process-global
+//! fault plan for its fault stage.
+
+use bf4_core::driver::{verify, VerifyOptions};
+use bf4_shim::campaign::{run_campaign, CampaignConfig};
+
+#[test]
+fn campaign_passes_its_own_gates() {
+    let annotations = verify(bf4_core::testutil::NAT_SOURCE, &VerifyOptions::default())
+        .unwrap()
+        .annotations;
+    let config = CampaignConfig {
+        threads: 3,
+        warmup: 80,
+        burst: 240,
+        fault: 240,
+        drain: 120,
+        throughput_updates: 160,
+        dir: std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")),
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&annotations, &config).expect("campaign must run");
+
+    let gates = report.gate_violations();
+    assert!(gates.is_empty(), "campaign gate violations: {gates:?}");
+
+    assert_eq!(
+        report.stages.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+        ["warmup", "burst", "fault", "drain"]
+    );
+    for s in &report.stages {
+        assert!(s.acked > 0, "stage {} acknowledged nothing", s.name);
+        assert!(s.latency.p50 <= s.latency.p90 && s.latency.p90 <= s.latency.p99);
+    }
+    assert!(report.faults_armed);
+    assert!(report.fault_fires > 0, "the fault stage must actually fire faults");
+    let fault_stage = &report.stages[2];
+    assert!(
+        fault_stage.journal_failed + fault_stage.poisoned + fault_stage.shed > 0,
+        "injected faults must surface as batch outcomes"
+    );
+    assert_eq!(report.recovery.acked_lost, 0);
+    assert!(report.recovery.digest_match);
+    assert_eq!(report.audit.invalid_admitted, 0);
+    assert!(report.audit.live_rules > 0);
+    assert!(
+        report.throughput.speedup > 1.0,
+        "group commit must beat per-update fsync (got {:.2}x)",
+        report.throughput.speedup
+    );
+    assert!(report.throughput.group_fsyncs < report.throughput.per_update_fsyncs);
+
+    // The human rendering mentions every stage and the gate lines.
+    let text = report.render_text();
+    for needle in ["warmup", "drain", "recovery:", "audit:", "throughput:"] {
+        assert!(text.contains(needle), "render_text missing {needle:?}:\n{text}");
+    }
+
+    // The JSON report parses with the in-tree minimal parser and carries
+    // the fields `report regress` gates on.
+    let json = report.to_json();
+    let v = bf4_obs::json::parse(&json).expect("BENCH_shim.json must parse");
+    let root = v.as_obj().expect("top-level object");
+    assert_eq!(root.get("bench").and_then(|b| b.as_str()), Some("shim"));
+    let num = |path: &[&str]| -> f64 {
+        let mut cur = &v;
+        for p in path {
+            cur = cur
+                .as_obj()
+                .and_then(|o| o.get(*p))
+                .unwrap_or_else(|| panic!("missing {path:?}"));
+        }
+        match cur {
+            bf4_obs::json::Value::Num(n) => *n,
+            _ => panic!("{path:?} not numeric"),
+        }
+    };
+    assert_eq!(num(&["recovery", "acked_lost"]), 0.0);
+    assert_eq!(num(&["audit", "invalid_admitted"]), 0.0);
+    assert!(num(&["throughput", "speedup"]) > 1.0);
+    assert!(num(&["stages", "burst", "p99_us"]) >= num(&["stages", "burst", "p50_us"]));
+}

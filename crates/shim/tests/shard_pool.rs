@@ -1,0 +1,377 @@
+//! Shard-pool concurrency properties of the sharded shim.
+//!
+//! * Validation verdicts and the state digest are independent of the
+//!   shard count — the monolithic shim is the reference semantics and
+//!   every pool size must reproduce it byte for byte.
+//! * Multi-table assertions hold across shard boundaries: a violating
+//!   pair is rejected even when the two tables live on different shards
+//!   (the two-phase lock + mirror path).
+//! * Verdict *counts*, journal recovery, and the assertion audit are
+//!   independent of thread interleaving.
+//! * Admission control sheds deterministically with `Overloaded` and
+//!   leaves no trace in shadow state or journal.
+
+use bf4_core::driver::{verify, VerifyOptions};
+use bf4_core::specs::AnnotationFile;
+use bf4_shim::controller::{Controller, WorkloadConfig};
+use bf4_shim::{
+    Batch, BatchReject, RuleUpdate, ShardedShim, Shim, ShimConfig, ShimError, Update,
+};
+
+fn nat_annotations() -> AnnotationFile {
+    verify(bf4_core::testutil::NAT_SOURCE, &VerifyOptions::default())
+        .unwrap()
+        .annotations
+}
+
+fn sharded(annotations: &AnnotationFile, shards: usize) -> ShardedShim {
+    ShardedShim::new(
+        annotations,
+        &ShimConfig {
+            shards,
+            max_inflight: usize::MAX,
+            journal_path: None,
+            fsync_per_update: false,
+        },
+    )
+    .unwrap()
+}
+
+/// Render a batch outcome into a comparable verdict string.
+fn verdict(r: &Result<bf4_shim::BatchDecision, BatchReject>) -> String {
+    match r {
+        Ok(d) => format!("ok ids={:?}", d.rule_ids),
+        Err(rej) => format!("reject at {:?}: {}", rej.index, rej.error),
+    }
+}
+
+#[test]
+fn verdicts_and_digest_independent_of_shard_count() {
+    let annotations = nat_annotations();
+    let updates = Controller::new(
+        &annotations,
+        WorkloadConfig {
+            updates: 240,
+            faulty_fraction: 0.15,
+            delete_fraction: 0.1,
+            seed: 21,
+            ..WorkloadConfig::default()
+        },
+    )
+    .workload();
+    let batches = bf4_shim::campaign::chunk(updates.clone(), 5);
+
+    let mut reference: Option<(Vec<String>, u64)> = None;
+    for shards in [1usize, 2, 4, 7] {
+        let shim = sharded(&annotations, shards);
+        let verdicts: Vec<String> = batches
+            .iter()
+            .map(|b| verdict(&shim.apply_batch(b)))
+            .collect();
+        let digest = shim.state_digest();
+        match &reference {
+            None => reference = Some((verdicts, digest)),
+            Some((ref_verdicts, ref_digest)) => {
+                assert_eq!(
+                    &verdicts, ref_verdicts,
+                    "verdict sequence diverged at {shards} shards"
+                );
+                assert_eq!(digest, *ref_digest, "state digest diverged at {shards} shards");
+            }
+        }
+    }
+
+    // At batch size 1 the sharded shim must agree with the monolithic
+    // shim update for update: same ok/err, same rule ids, same digest.
+    let shim = sharded(&annotations, 4);
+    let mut mono = Shim::new(&annotations);
+    for u in &updates {
+        let sharded_out = shim.apply_batch(&Batch {
+            updates: vec![u.clone()],
+        });
+        let mono_out = mono.apply(u);
+        match (&sharded_out, &mono_out) {
+            (Ok(d), Ok(m)) => assert_eq!(d.rule_ids, vec![m.rule_id]),
+            (Err(rej), Err(e)) => {
+                assert_eq!(rej.index, Some(0));
+                assert_eq!(rej.error.to_string(), e.to_string());
+            }
+            _ => panic!(
+                "sharded and monolithic verdicts diverged: {:?} vs {:?}",
+                sharded_out.as_ref().map(|d| &d.rule_ids),
+                mono_out.as_ref().map(|d| d.rule_id)
+            ),
+        }
+    }
+    assert_eq!(shim.state_digest(), mono.state_digest());
+}
+
+/// Two single-key tables tied by a multi-table assertion: no live pair
+/// may have key value 1 in both tables at once.
+const JOINT_ANNOTATIONS: &str = "\
+TABLE ig.alpha SITE pcn.alpha#0
+  KEY 0 exact f.a bv8
+  ACTION 0 act 0
+;
+TABLE ig.beta SITE pcn.beta#0
+  KEY 0 exact f.b bv8
+  ACTION 0 act 0
+;
+ASSERT ON ig.alpha WITH ig.beta ORIGIN multi-table
+  WHERE (not (and (= (var pcn.alpha#0.key0.value bv8) (bv 8 1)) (= (var pcn.beta#0.key0.value bv8) (bv 8 1))))
+;
+";
+
+fn insert(table: &str, k: u128) -> Update {
+    Update::Insert {
+        table: table.to_string(),
+        rule: RuleUpdate {
+            key_values: vec![k],
+            key_masks: vec![0],
+            action: "act".to_string(),
+            params: vec![],
+        },
+    }
+}
+
+#[test]
+fn joint_specs_enforced_across_shard_boundaries() {
+    let annotations = AnnotationFile::parse(JOINT_ANNOTATIONS).unwrap();
+
+    // Find a pool size that actually separates the two tables — the
+    // cross-shard lock + mirror path is what this test is about.
+    let shards = (2..=8)
+        .find(|&n| {
+            let s = sharded(&annotations, n);
+            s.owner_shard("ig.alpha") != s.owner_shard("ig.beta")
+        })
+        .expect("some pool size must split the two tables");
+    let shim = sharded(&annotations, shards);
+    assert_ne!(shim.owner_shard("ig.alpha"), shim.owner_shard("ig.beta"));
+
+    // alpha k=1 alone is fine; beta k=2 is fine; beta k=1 joins alpha
+    // k=1 into a violating pair and must be rejected whole-batch.
+    let d = shim
+        .apply_batch(&Batch {
+            updates: vec![insert("ig.alpha", 1), insert("ig.beta", 2)],
+        })
+        .expect("benign batch");
+    assert_eq!(d.rule_ids, vec![Some(0), Some(0)]);
+    let pre = shim.state_digest();
+
+    let rej = shim
+        .apply_batch(&Batch {
+            updates: vec![insert("ig.beta", 1)],
+        })
+        .expect_err("violating pair must be rejected");
+    assert_eq!(rej.index, Some(0));
+    match &rej.error {
+        ShimError::AssertionViolated { table, partner, .. } => {
+            assert_eq!(table, "ig.beta");
+            assert_eq!(partner.as_deref_pair(), Some(("ig.alpha", 0)));
+        }
+        e => panic!("expected AssertionViolated, got {e}"),
+    }
+    assert_eq!(shim.state_digest(), pre, "rejected batch must leave no trace");
+
+    // The same violation caught from the other side: a fresh shim with
+    // beta k=1 live rejects alpha k=1 via the primary-spec path.
+    let other = sharded(&annotations, shards);
+    other
+        .apply_batch(&Batch {
+            updates: vec![insert("ig.beta", 1)],
+        })
+        .expect("beta alone is fine");
+    let rej = other
+        .apply_batch(&Batch {
+            updates: vec![insert("ig.alpha", 1)],
+        })
+        .expect_err("violating pair must be rejected from either side");
+    match &rej.error {
+        ShimError::AssertionViolated { table, partner, .. } => {
+            assert_eq!(table, "ig.alpha");
+            assert_eq!(partner.as_deref_pair(), Some(("ig.beta", 0)));
+        }
+        e => panic!("expected AssertionViolated, got {e}"),
+    }
+
+    // Deleting the alpha rule dissolves the pair; beta k=1 now passes.
+    // A *single batch* staging both (delete then insert) must also pass:
+    // the mirror sees the staged delete.
+    shim.apply_batch(&Batch {
+        updates: vec![
+            Update::Delete {
+                table: "ig.alpha".to_string(),
+                rule_id: 0,
+            },
+            insert("ig.beta", 1),
+        ],
+    })
+    .expect("staged delete must free the partner slot within the batch");
+    assert_eq!(shim.shadow_size("ig.alpha"), 0);
+    assert_eq!(shim.shadow_size("ig.beta"), 2);
+    assert!(shim.audit_violations().is_empty());
+
+    // Verdict parity for the full scenario against a single-shard pool.
+    let single = sharded(&annotations, 1);
+    for b in [
+        Batch {
+            updates: vec![insert("ig.alpha", 1), insert("ig.beta", 2)],
+        },
+        Batch {
+            updates: vec![insert("ig.beta", 1)],
+        },
+        Batch {
+            updates: vec![
+                Update::Delete {
+                    table: "ig.alpha".to_string(),
+                    rule_id: 0,
+                },
+                insert("ig.beta", 1),
+            ],
+        },
+    ] {
+        let _ = single.apply_batch(&b);
+    }
+    assert_eq!(single.state_digest(), shim.state_digest());
+}
+
+trait PartnerExt {
+    fn as_deref_pair(&self) -> Option<(&str, usize)>;
+}
+
+impl PartnerExt for Option<(String, usize)> {
+    fn as_deref_pair(&self) -> Option<(&str, usize)> {
+        self.as_ref().map(|(t, i)| (t.as_str(), *i))
+    }
+}
+
+#[test]
+fn verdict_counts_independent_of_thread_interleaving() {
+    let annotations = nat_annotations();
+    let updates = Controller::new(
+        &annotations,
+        WorkloadConfig {
+            updates: 300,
+            faulty_fraction: 0.3,
+            delete_fraction: 0.0,
+            seed: 33,
+            ..WorkloadConfig::default()
+        },
+    )
+    .workload();
+
+    // Reference: sequential monolithic verdicts. With inserts only and
+    // pairwise assertions, acceptance of each benign rule is independent
+    // of which subset of the other benign rules is present, so the
+    // accept/reject *counts* are interleaving-invariant.
+    let mut mono = Shim::new(&annotations);
+    let expect_accepted = updates.iter().filter(|u| mono.apply(u).is_ok()).count();
+    let expect_rejected = updates.len() - expect_accepted;
+    assert!(expect_accepted > 0 && expect_rejected > 0, "workload must mix");
+
+    let path = std::env::temp_dir().join(format!(
+        "bf4-shard-interleave-{}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let shim = ShardedShim::new(
+        &annotations,
+        &ShimConfig {
+            shards: 4,
+            max_inflight: usize::MAX,
+            journal_path: Some(path.clone()),
+            fsync_per_update: false,
+        },
+    )
+    .unwrap();
+
+    // Single-update batches pulled by 4 threads from a shared cursor —
+    // the interleaving is whatever the scheduler gives us.
+    let batches: Vec<Batch> = updates
+        .iter()
+        .map(|u| Batch {
+            updates: vec![u.clone()],
+        })
+        .collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let accepted = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(b) = batches.get(i) else { break };
+                if shim.apply_batch(b).is_ok() {
+                    accepted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let accepted = accepted.into_inner();
+    assert_eq!(accepted, expect_accepted, "accept count depends on interleaving");
+    let stats = shim.stats();
+    assert_eq!(stats.batches_acked as usize, expect_accepted);
+    assert_eq!(stats.batches_rejected as usize, expect_rejected);
+    assert_eq!(stats.batches_shed, 0);
+
+    // Nothing invalid got through under any interleaving, and the
+    // journal reproduces exactly the live state.
+    assert!(shim.audit_violations().is_empty());
+    let disk = std::fs::read(&path).unwrap();
+    let (recovered, rec) = ShardedShim::recover(
+        &annotations,
+        &disk,
+        &ShimConfig {
+            shards: 3,
+            max_inflight: usize::MAX,
+            journal_path: None,
+            fsync_per_update: false,
+        },
+    )
+    .unwrap();
+    assert_eq!(rec.frames, expect_accepted);
+    assert_eq!(rec.mismatched, 0);
+    assert!(!rec.torn_tail);
+    assert_eq!(recovered.state_digest(), shim.state_digest());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn overload_sheds_whole_batches_without_trace() {
+    let annotations = nat_annotations();
+    let updates = Controller::new(
+        &annotations,
+        WorkloadConfig {
+            updates: 30,
+            faulty_fraction: 0.0,
+            delete_fraction: 0.0,
+            seed: 7,
+            ..WorkloadConfig::default()
+        },
+    )
+    .workload();
+    let shim = ShardedShim::new(
+        &annotations,
+        &ShimConfig {
+            shards: 2,
+            max_inflight: 0,
+            journal_path: None,
+            fsync_per_update: false,
+        },
+    )
+    .unwrap();
+    for b in bf4_shim::campaign::chunk(updates, 4) {
+        let rej = shim.apply_batch(&b).expect_err("max_inflight=0 sheds all");
+        assert_eq!(rej.index, None);
+        assert!(
+            matches!(rej.error, ShimError::Overloaded { limit: 0, .. }),
+            "expected Overloaded, got {}",
+            rej.error
+        );
+    }
+    let stats = shim.stats();
+    assert_eq!(stats.batches_acked, 0);
+    assert_eq!(stats.batches_shed, 8);
+    assert!(shim.journal_bytes().is_empty(), "shed batches must not journal");
+    assert_eq!(shim.state_digest(), sharded(&annotations, 2).state_digest());
+}
