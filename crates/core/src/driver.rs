@@ -504,9 +504,10 @@ pub enum RoundResult {
 ///
 /// `reach` describes the reachability checks the caller already ran over
 /// `prep.bugs`; `solver` is the solver they ran on (or a fresh
-/// equivalent — every query is a self-contained push/assert/check/pop, so
-/// no assertion state carries over) and `factory` rebuilds it after a
-/// panic.
+/// equivalent — every query is a push/assert/check/pop over the solver's
+/// base frame, so no assertion state carries over between queries even
+/// when the solver keeps an incremental context) and `factory` rebuilds
+/// it after a panic.
 pub fn finish_round(
     state: &mut RoundState,
     prep: RoundPrep,
@@ -848,8 +849,18 @@ fn run_inference(
                 .and(&ra.node_cond[site.entry_block])
                 .and(&Term::and_all(spec_terms.clone()));
             let t_site = Instant::now();
-            let mut direct = new_solver(&options.solver);
-            let mut dual = new_solver(&options.solver);
+            // Infer's counterexample loop consumes models and unsat cores,
+            // and an incremental context's model choice depends on what it
+            // learned from earlier queries. Pinning these solvers to
+            // oneshot keeps inferred annotations — and therefore reports —
+            // byte-identical across `--solver-mode`s. The verdict-only
+            // reach/recheck paths keep the configured mode.
+            let infer_cfg = bf4_smt::SolverConfig {
+                mode: bf4_smt::SolverMode::Oneshot,
+                ..options.solver.clone()
+            };
+            let mut direct = new_solver(&infer_cfg);
+            let mut dual = new_solver(&infer_cfg);
             let res = infer(
                 &mut direct,
                 &mut dual,

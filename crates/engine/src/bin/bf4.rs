@@ -11,6 +11,11 @@
 //!   --egress               also analyze the egress pipeline (in separation)
 //!   --dump-cfg <file>      write the instrumented CFG in Graphviz DOT form
 //!   --timeout-ms <n>       per-query solver deadline in milliseconds
+//!   --solver-mode <m>      oneshot (default), incremental (persistent
+//!                          per-solver contexts discharging queries via
+//!                          assumption literals) or portfolio (incremental
+//!                          primary raced against a fresh-context
+//!                          challenger per query)
 //!   --solver-fallback <n|off>  max formula size routed to the internal
 //!                          fallback solver (`off` disables the fallback)
 //!   --jobs <n>             worker threads (default 1: the sequential path)
@@ -134,6 +139,16 @@ fn main() {
                 options.solver.budget.timeout =
                     Some(std::time::Duration::from_millis(ms));
             }
+            "--solver-mode" => {
+                i += 1;
+                match args.get(i).and_then(|v| bf4_smt::SolverMode::parse(v)) {
+                    Some(mode) => options.solver.mode = mode,
+                    None => {
+                        eprintln!("bf4: --solver-mode expects oneshot, incremental or portfolio");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--solver-fallback" => {
                 i += 1;
                 match args.get(i).map(|s| s.as_str()) {
@@ -198,7 +213,7 @@ fn main() {
             "--egress" => options.include_egress = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
-                eprintln!("usage: bf4 <program.p4> [more.p4 ...] [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--timeout-ms N] [--solver-fallback N|off] [--jobs N] [--cache-cap N] [--cache-dir DIR] [--no-cache-persist] [--trace-out FILE] [--profile] [--quiet]");
+                eprintln!("usage: bf4 <program.p4> [more.p4 ...] [--annotations FILE] [--no-fixes] [--no-infer] [--egress] [--dump-cfg FILE] [--timeout-ms N] [--solver-mode oneshot|incremental|portfolio] [--solver-fallback N|off] [--jobs N] [--cache-cap N] [--cache-dir DIR] [--no-cache-persist] [--trace-out FILE] [--profile] [--quiet]");
                 eprintln!("       bf4 client (--socket PATH | --tcp ADDR) submit FILE [--program NAME] [--normalized] | status NAME | watch FILE [--program NAME] [--interval-ms N] | stats | metrics | ping | shutdown");
                 eprintln!("       bf4 top (--socket PATH | --tcp ADDR) [--interval-ms N] [--iterations N]");
                 std::process::exit(0);

@@ -292,10 +292,13 @@ impl Solver for CachedSolver<'_> {
 
     fn pop(&mut self) {
         self.answered_from_cache = false;
+        // Unified pop-underflow contract (see `Solver::pop`): on underflow
+        // neither the key mirror nor the inner solver pops.
+        debug_assert!(self.frames.len() > 1, "pop on base assertion frame");
         if self.frames.len() > 1 {
             self.frames.pop();
+            self.inner().pop();
         }
-        self.inner().pop();
     }
 
     fn check(&mut self) -> SatResult {

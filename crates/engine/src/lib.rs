@@ -37,7 +37,7 @@ pub use persist::{LoadReport, SaveReport, Store};
 pub use scheduler::{JobId, Pool, PoolStats, WorkerCtx};
 pub use stats::{CacheStats, EngineStats, Histogram, PersistStats};
 
-use bf4_core::driver::{verify_isolated, Report, VerifyOptions};
+use bf4_core::driver::{Report, VerifyOptions};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
@@ -45,9 +45,8 @@ use std::time::Instant;
 /// How an engine run is sized.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
-    /// Worker threads. `1` with the cache disabled is the exact
-    /// sequential driver path ([`bf4_core::driver::verify_isolated`] per
-    /// program, no pool).
+    /// Worker threads (`1` = a pool of one worker; the job decomposition
+    /// is the same at every width).
     pub jobs: usize,
     /// Query-cache capacity in entries; `0` disables caching.
     pub cache_cap: usize,
@@ -76,35 +75,20 @@ impl Default for EngineConfig {
 }
 
 /// Verify a corpus of `(name, source)` programs. Reports come back in
-/// input order and are identical to what [`verify_isolated`] produces per
-/// program, modulo timings.
+/// input order and are identical to what
+/// [`bf4_core::driver::verify_isolated`] produces per program, modulo
+/// timings.
 pub fn verify_corpus(
     programs: &[(String, String)],
     options: &VerifyOptions,
     config: &EngineConfig,
 ) -> (Vec<Report>, EngineStats) {
     let started = Instant::now();
-    if config.jobs <= 1
-        && config.cache_cap == 0
-        && config.cache_dir.is_none()
-        && config.inject_panic.is_none()
-    {
-        // The preserved sequential path.
-        let metrics_before = bf4_obs::metrics_enabled().then(bf4_obs::snapshot);
-        let reports: Vec<Report> = programs
-            .iter()
-            .map(|(_, source)| verify_isolated(source, options))
-            .collect();
-        let stats = EngineStats {
-            workers: 1,
-            jobs_run: programs.len() as u64,
-            obs_metrics: metrics_before
-                .map(|before| bf4_obs::snapshot().delta_since(&before)),
-            wall: started.elapsed(),
-            ..EngineStats::default()
-        };
-        return (reports, stats);
-    }
+    // Every configuration runs through the pool — `jobs: 1` is a pool of
+    // one worker, not a separate code path. This keeps the job
+    // decomposition (and therefore `EngineStats::jobs_run`) invariant
+    // across jobs/cache configurations; reports are identical either way
+    // by the determinism contract above.
 
     // Metric updates land in the process-global registry from every
     // worker thread; `pool.run()` joins the workers, so an after-join

@@ -23,13 +23,13 @@ use std::time::Instant;
 
 /// A lowered term: one literal per bit (LSB first) or a single boolean.
 #[derive(Clone, Debug)]
-enum Bits {
+pub(crate) enum Bits {
     B(Lit),
     V(Vec<Lit>),
 }
 
 impl Bits {
-    fn b(&self) -> Lit {
+    pub(crate) fn b(&self) -> Lit {
         match self {
             Bits::B(l) => *l,
             _ => panic!("expected bool bits"),
@@ -44,15 +44,15 @@ impl Bits {
 }
 
 /// Bit-blasting context.
-struct Blaster {
-    cnf: CnfBuilder,
+pub(crate) struct Blaster {
+    pub(crate) cnf: CnfBuilder,
     memo: HashMap<u64, Bits>,
-    vars: HashMap<Arc<str>, Bits>,
+    pub(crate) vars: HashMap<Arc<str>, Bits>,
     lit_true: Option<Lit>,
 }
 
 impl Blaster {
-    fn new() -> Blaster {
+    pub(crate) fn new() -> Blaster {
         Blaster {
             cnf: CnfBuilder::new(),
             memo: HashMap::new(),
@@ -228,7 +228,7 @@ impl Blaster {
         (q, r)
     }
 
-    fn blast(&mut self, t: &Term) -> Bits {
+    pub(crate) fn blast(&mut self, t: &Term) -> Bits {
         if let Some(b) = self.memo.get(&t.id()) {
             return b.clone();
         }
@@ -367,6 +367,10 @@ pub struct BitBlastSolver {
     last: Option<LastSolve>,
     /// Resource limits applied to every check (default: unlimited).
     budget: ResourceBudget,
+    /// Cooperative cancellation flag handed to every CDCL call. Set by a
+    /// portfolio race when the other solver answered first, so a losing
+    /// challenger stops burning CPU mid-search.
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     /// Why the last check returned `Unknown`, when it did.
     last_error: Option<SolverError>,
 }
@@ -386,8 +390,15 @@ impl BitBlastSolver {
             frames: vec![Vec::new()],
             last: None,
             budget: ResourceBudget::default(),
+            cancel: None,
             last_error: None,
         }
+    }
+
+    /// Make every subsequent check poll `flag` and abort with `Unknown`
+    /// once it reads `true` (polled at the deadline cadence).
+    pub fn set_cancel(&mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        self.cancel = Some(flag);
     }
 
     /// Current formula size (term DAG nodes over the assertion stack plus
@@ -425,6 +436,7 @@ impl BitBlastSolver {
         let limits = SolveLimits {
             deadline,
             max_conflicts: self.budget.max_conflicts,
+            cancel: self.cancel.clone(),
         };
         let mut solver = CdclSolver::new(blaster.cnf.num_vars, blaster.cnf.clauses.clone());
         let result = match solver.solve_limited(&assumption_lits, &limits) {
@@ -460,9 +472,12 @@ impl Solver for BitBlastSolver {
     }
 
     fn pop(&mut self) {
-        self.frames.pop();
-        if self.frames.is_empty() {
-            self.frames.push(Vec::new());
+        // Unified pop-underflow contract (see `Solver::pop`): the base frame
+        // is never popped. Underflow is a caller bug — loud in debug builds,
+        // a no-op in release so backends cannot desync assertion state.
+        debug_assert!(self.frames.len() > 1, "pop on base assertion frame");
+        if self.frames.len() > 1 {
+            self.frames.pop();
         }
     }
 
@@ -485,6 +500,7 @@ impl Solver for BitBlastSolver {
         let limits = SolveLimits {
             deadline: self.budget.timeout.map(|t| Instant::now() + t),
             max_conflicts: self.budget.max_conflicts,
+            cancel: self.cancel.clone(),
         };
         let all = last.assumption_lits.clone();
         let mut kept: Vec<usize> = (0..all.len()).collect();

@@ -19,11 +19,12 @@
 //! context retries and the fallback possible at all.
 
 use crate::bitblast::BitBlastSolver;
+use crate::incremental::IncrementalSolver;
 use crate::simplify::simplify;
 use crate::solver::{BudgetKind, ResourceBudget, SatResult, Solver, SolverError};
 use crate::term::{Sort, Term};
 use crate::Assignment;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Which backend a [`GovernedSolver`] (or the [`new_solver`] factory) runs.
@@ -57,9 +58,17 @@ impl BackendKind {
         }
     }
 
-    fn build(self) -> Box<dyn Solver> {
+    fn build(self, mode: SolverMode) -> Box<dyn Solver> {
         match self.resolve() {
-            BackendKind::Internal => Box::new(BitBlastSolver::new()),
+            // The internal backend is context-per-check in oneshot mode and
+            // a persistent assumption-literal context otherwise; Z3 is
+            // natively incremental, so mode does not change its shape.
+            BackendKind::Internal => match mode {
+                SolverMode::Oneshot => Box::new(BitBlastSolver::new()),
+                SolverMode::Incremental | SolverMode::Portfolio => {
+                    Box::new(IncrementalSolver::new())
+                }
+            },
             #[cfg(feature = "z3")]
             BackendKind::Z3 => Box::new(crate::z3backend::Z3Backend::new()),
             #[cfg(not(feature = "z3"))]
@@ -69,24 +78,76 @@ impl BackendKind {
     }
 }
 
+/// How a [`GovernedSolver`] discharges queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SolverMode {
+    /// Every check blasts the full assertion stack on a fresh context —
+    /// the historical behavior and the byte-identical default.
+    #[default]
+    Oneshot,
+    /// One persistent context per solver: the assertion stack is encoded
+    /// once and each query is discharged via assumption literals, keeping
+    /// learned clauses and bit-blast structure across checks
+    /// ([`IncrementalSolver`]).
+    Incremental,
+    /// Incremental primary, plus a per-query challenger on its own thread
+    /// racing a fresh context; the first definite verdict wins (primary
+    /// preferred on ties, so reports stay deterministic).
+    Portfolio,
+}
+
+impl SolverMode {
+    /// Parse a `--solver-mode` value.
+    pub fn parse(s: &str) -> Option<SolverMode> {
+        match s {
+            "oneshot" => Some(SolverMode::Oneshot),
+            "incremental" => Some(SolverMode::Incremental),
+            "portfolio" => Some(SolverMode::Portfolio),
+            _ => None,
+        }
+    }
+}
+
+/// Smallest formula size (term DAG nodes) for which portfolio mode spawns
+/// a challenger thread. Racing a trivial query costs more in thread setup
+/// than the query itself; small queries run on the primary alone. The
+/// default sits just above the corpus's 90th-percentile query size
+/// (~2.3k nodes), so only the queries that dominate wall-clock race.
+pub const DEFAULT_RACE_MIN_SIZE: usize = 2048;
+
 /// Configuration for [`new_solver`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SolverConfig {
     /// Backend selection.
     pub backend: BackendKind,
+    /// Query discharge strategy (see [`SolverMode`]).
+    pub mode: SolverMode,
+    /// Portfolio only: formula size below which no challenger is spawned.
+    pub race_min_size: usize,
     /// Budget enforced by the governing wrapper.
     pub budget: ResourceBudget,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            backend: BackendKind::default(),
+            mode: SolverMode::default(),
+            race_min_size: DEFAULT_RACE_MIN_SIZE,
+            budget: ResourceBudget::default(),
+        }
+    }
 }
 
 impl SolverConfig {
     /// Config with the default backend and the given per-query timeout.
     pub fn with_timeout(timeout: Duration) -> SolverConfig {
         SolverConfig {
-            backend: BackendKind::Auto,
             budget: ResourceBudget {
                 timeout: Some(timeout),
                 ..ResourceBudget::bounded_default()
             },
+            ..SolverConfig::default()
         }
     }
 }
@@ -94,7 +155,8 @@ impl SolverConfig {
 /// Build the standard governed solver for the pipeline: the configured
 /// backend wrapped in a [`GovernedSolver`] enforcing the configured budget.
 pub fn new_solver(config: &SolverConfig) -> GovernedSolver {
-    let mut s = GovernedSolver::with_backend(config.backend);
+    let mut s = GovernedSolver::with_mode(config.backend, config.mode);
+    s.race_min_size = config.race_min_size;
     s.set_budget(config.budget.clone());
     s
 }
@@ -130,6 +192,10 @@ const MIN_RETRY_BACKOFF: Duration = Duration::from_millis(2);
 /// fallback. See the module docs for the exact policy.
 pub struct GovernedSolver {
     kind: BackendKind,
+    mode: SolverMode,
+    /// Portfolio only: spawn a challenger when the formula is at least
+    /// this many term DAG nodes.
+    race_min_size: usize,
     primary: Box<dyn Solver>,
     /// Fallback solver that answered the most recent query, if any. Kept
     /// until the next state mutation so `model`/`unsat_core` read from the
@@ -150,17 +216,29 @@ impl Default for GovernedSolver {
 
 impl GovernedSolver {
     /// Governed solver over the given backend with the bounded default
-    /// budget.
+    /// budget, in the default (oneshot) mode.
     pub fn with_backend(kind: BackendKind) -> GovernedSolver {
+        GovernedSolver::with_mode(kind, SolverMode::default())
+    }
+
+    /// Governed solver over the given backend in the given mode.
+    pub fn with_mode(kind: BackendKind, mode: SolverMode) -> GovernedSolver {
         GovernedSolver {
             kind,
-            primary: kind.build(),
+            mode,
+            race_min_size: DEFAULT_RACE_MIN_SIZE,
+            primary: kind.build(mode),
             fallback: None,
             frames: vec![Vec::new()],
             budget: ResourceBudget::bounded_default(),
             stats: GovernanceStats::default(),
             last_error: None,
         }
+    }
+
+    /// The query discharge mode this solver runs.
+    pub fn mode(&self) -> SolverMode {
+        self.mode
     }
 
     /// Counters for reporting.
@@ -194,7 +272,7 @@ impl GovernedSolver {
     /// Rebuild a backend of the primary kind from the mirrored stack,
     /// optionally with simplified assertions.
     fn rebuilt_primary(&self, simplified: bool) -> Box<dyn Solver> {
-        let mut s = self.kind.build();
+        let mut s = self.kind.build(self.mode);
         for frame in &self.frames {
             s.push();
             for t in frame {
@@ -234,6 +312,9 @@ impl GovernedSolver {
         let mut sp = bf4_obs::span("smt", "check");
         if sp.is_active() {
             sp.add_tag("backend", backend_label(self.backend_kind()));
+            if self.mode != SolverMode::Oneshot {
+                sp.add_tag("mode", mode_label(self.mode));
+            }
         }
         if self
             .budget
@@ -277,12 +358,67 @@ impl GovernedSolver {
             return SatResult::Unknown;
         }
 
+        // Portfolio: race a challenger on its own thread while the primary
+        // runs. The challenger is a fresh oneshot context of the *other*
+        // backend (which resolves to a fresh internal context when the z3
+        // feature is off) — independent search order is the point. Its
+        // start is staggered: on a healthy query the primary answers
+        // within the stagger and cancels a challenger that is still
+        // asleep, so racing costs one thread spawn, not a duplicated
+        // solve; only a slow (likely stuck) primary lets the challenger
+        // start searching at all.
+        let race = if self.mode == SolverMode::Portfolio && size >= self.race_min_size {
+            bf4_obs::counter_add("smt.race.spawned", 1);
+            let stagger = deadline.map_or(RACE_STAGGER, |d| {
+                RACE_STAGGER.min(d.saturating_duration_since(Instant::now()) / 4)
+            });
+            Some(spawn_challenger(
+                self.frames.clone(),
+                assumptions.to_vec(),
+                self.query_budget(deadline),
+                stagger,
+            ))
+        } else {
+            None
+        };
+
         self.primary.set_budget(self.query_budget(deadline));
         let mut result = if assumptions.is_empty() {
             self.primary.check()
         } else {
             self.primary.check_assumptions(assumptions)
         };
+
+        // Race arbitration: a definite primary verdict always wins (both
+        // solvers are sound and complete on QF_BV, so verdicts agree and
+        // preferring the primary keeps results deterministic). Only when
+        // the primary came back Unknown do we wait out the challenger for
+        // the remaining deadline and adopt its verdict — stored as the
+        // answering solver so model/unsat_core stay consistent.
+        if let Some((rx, cancel)) = race {
+            if result != SatResult::Unknown {
+                bf4_obs::counter_add("smt.race.primary_win", 1);
+            } else {
+                let got = match deadline {
+                    Some(d) => rx
+                        .recv_timeout(d.saturating_duration_since(Instant::now()))
+                        .ok(),
+                    None => rx.recv().ok(),
+                };
+                if let Some((r, challenger)) = got {
+                    if r != SatResult::Unknown {
+                        bf4_obs::counter_add("smt.race.challenger_win", 1);
+                        sp.add_tag("race", "challenger");
+                        result = r;
+                        self.fallback = Some(challenger);
+                    }
+                }
+            }
+            // The race is decided either way: tell a still-running
+            // challenger to stop so it releases its CPU mid-search
+            // instead of solving to completion for a dropped receiver.
+            cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
 
         // Bounded fresh-context retries with simplified formulas. Backoff
         // between attempts is deliberately tiny: the point is to yield and
@@ -379,11 +515,73 @@ impl GovernedSolver {
     }
 }
 
+/// How long a portfolio challenger sleeps before it starts solving.
+/// Sized well above the corpus's per-query solve times, so a healthy
+/// primary wins (and cancels the race) while the challenger is still
+/// asleep and has consumed no CPU; a primary that overruns the stagger is
+/// the stuck case the challenger exists for.
+const RACE_STAGGER: Duration = Duration::from_millis(25);
+
+/// Spawn a detached challenger: a fresh oneshot internal context replaying
+/// the mirrored stack, solving under the same per-query budget. The result
+/// (and the solver itself, for model/unsat_core extraction) comes back on
+/// the channel. The returned flag cancels the challenger cooperatively —
+/// the arbiter sets it once the race is decided — at two points: during
+/// the stagger sleep (the healthy-primary case, where the challenger then
+/// exits having done no work) and at the CDCL loop's limit poll (the
+/// mid-search case).
+fn spawn_challenger(
+    frames: Vec<Vec<Term>>,
+    assumptions: Vec<Term>,
+    budget: ResourceBudget,
+    stagger: Duration,
+) -> (
+    mpsc::Receiver<(SatResult, BitBlastSolver)>,
+    Arc<std::sync::atomic::AtomicBool>,
+) {
+    let (tx, rx) = mpsc::channel();
+    let cancel = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flag = Arc::clone(&cancel);
+    std::thread::spawn(move || {
+        let start = Instant::now();
+        while start.elapsed() < stagger {
+            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1).min(stagger - start.elapsed()));
+        }
+        let mut s = BitBlastSolver::new();
+        s.set_budget(budget);
+        s.set_cancel(flag);
+        for frame in &frames {
+            s.push();
+            for t in frame {
+                s.assert(t);
+            }
+        }
+        let r = if assumptions.is_empty() {
+            s.check()
+        } else {
+            s.check_assumptions(&assumptions)
+        };
+        let _ = tx.send((r, s));
+    });
+    (rx, cancel)
+}
+
 fn backend_label(kind: BackendKind) -> &'static str {
     match kind {
         BackendKind::Internal => "internal",
         BackendKind::Z3 => "z3",
         BackendKind::Auto => "auto",
+    }
+}
+
+fn mode_label(mode: SolverMode) -> &'static str {
+    match mode {
+        SolverMode::Oneshot => "oneshot",
+        SolverMode::Incremental => "incremental",
+        SolverMode::Portfolio => "portfolio",
     }
 }
 
@@ -398,7 +596,10 @@ fn verdict_label(r: SatResult) -> &'static str {
 impl Solver for GovernedSolver {
     fn assert(&mut self, t: &Term) {
         self.invalidate_fallback();
-        self.frames.last_mut().expect("frame stack non-empty").push(t.clone());
+        self.frames
+            .last_mut()
+            .expect("frame stack non-empty (base frame is never popped)")
+            .push(t.clone());
         self.primary.assert(t);
     }
 
@@ -410,10 +611,13 @@ impl Solver for GovernedSolver {
 
     fn pop(&mut self) {
         self.invalidate_fallback();
+        // Unified pop-underflow contract (see `Solver::pop`): on underflow
+        // neither the mirror nor the primary pops, so they cannot desync.
+        debug_assert!(self.frames.len() > 1, "pop on base assertion frame");
         if self.frames.len() > 1 {
             self.frames.pop();
+            self.primary.pop();
         }
-        self.primary.pop();
     }
 
     fn check(&mut self) -> SatResult {
@@ -639,6 +843,127 @@ mod tests {
         let core = s.unsat_core();
         assert!(core.contains(&0));
         assert!(core.contains(&2));
+    }
+
+    #[test]
+    fn incremental_mode_matches_oneshot_verdicts() {
+        let x = Term::var("x", Sort::Bv(8));
+        let prefix = x.bvugt(&Term::bv(8, 10));
+        let conds = [
+            x.bvult(&Term::bv(8, 5)),
+            x.bvult(&Term::bv(8, 12)),
+            x.eq_term(&Term::bv(8, 11)),
+        ];
+        let mut inc = GovernedSolver::with_mode(BackendKind::Internal, SolverMode::Incremental);
+        let mut one = GovernedSolver::with_mode(BackendKind::Internal, SolverMode::Oneshot);
+        for s in [&mut inc, &mut one] {
+            s.assert(&prefix);
+        }
+        for c in &conds {
+            for s in [&mut inc, &mut one] {
+                s.push();
+                s.assert(c);
+            }
+            assert_eq!(inc.check(), one.check(), "diverged on {c:?}");
+            for s in [&mut inc, &mut one] {
+                s.pop();
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_races_every_query_and_stays_correct() {
+        // race_min_size 0 spawns a challenger on every check; verdicts and
+        // push/pop behavior must be unchanged by the race.
+        let x = Term::var("x", Sort::Bv(8));
+        let mut s = new_solver(&SolverConfig {
+            backend: BackendKind::Internal,
+            mode: SolverMode::Portfolio,
+            race_min_size: 0,
+            budget: ResourceBudget::bounded_default(),
+        });
+        s.assert(&x.bvugt(&Term::bv(8, 10)));
+        assert_eq!(s.check(), SatResult::Sat);
+        s.push();
+        s.assert(&x.bvult(&Term::bv(8, 5)));
+        assert_eq!(s.check(), SatResult::Unsat);
+        s.pop();
+        assert_eq!(s.mode(), SolverMode::Portfolio);
+    }
+
+    /// A stub primary that can never decide anything — the rig for forcing
+    /// the portfolio challenger to answer.
+    struct AlwaysUnknown;
+
+    impl Solver for AlwaysUnknown {
+        fn assert(&mut self, _: &Term) {}
+        fn push(&mut self) {}
+        fn pop(&mut self) {}
+        fn check(&mut self) -> SatResult {
+            SatResult::Unknown
+        }
+        fn check_assumptions(&mut self, _: &[Term]) -> SatResult {
+            SatResult::Unknown
+        }
+        fn unsat_core(&mut self) -> Vec<usize> {
+            Vec::new()
+        }
+        fn model(&mut self, _: &[(Arc<str>, Sort)]) -> Result<Assignment, SolverError> {
+            Err(SolverError::NoModel)
+        }
+    }
+
+    #[test]
+    fn portfolio_adopts_challenger_verdict_when_primary_is_stuck() {
+        let x = Term::var("x", Sort::Bv(8));
+        let mut s = new_solver(&SolverConfig {
+            backend: BackendKind::Internal,
+            mode: SolverMode::Portfolio,
+            race_min_size: 0,
+            budget: ResourceBudget {
+                max_retries: 0,
+                ..ResourceBudget::bounded_default()
+            },
+        });
+        s.assert(&x.bvmul(&Term::bv(8, 3)).eq_term(&Term::bv(8, 30)));
+        // Swap in a primary that always returns Unknown: with retries off
+        // and an Internal backend (no governed fallback stage), a definite
+        // verdict can only come from the raced challenger.
+        s.primary = Box::new(AlwaysUnknown);
+        assert_eq!(s.check(), SatResult::Sat);
+        // model() must read the challenger, which answered the query.
+        let m = s
+            .model(&[(Arc::from("x"), Sort::Bv(8))])
+            .expect("challenger model");
+        assert_eq!(m.get("x" as &str), Some(&crate::term::Value::bv(8, 10)));
+    }
+
+    #[test]
+    fn pop_underflow_is_a_noop_in_release_and_never_desyncs() {
+        // The governed mirror and its primary must agree after an
+        // unbalanced pop (debug builds assert instead — this test runs
+        // the release-contract path explicitly via catch_unwind in debug).
+        let x = Term::var("x", Sort::Bool);
+        let underflow = |s: &mut GovernedSolver| {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.pop()));
+            if cfg!(debug_assertions) {
+                assert!(r.is_err(), "debug builds must assert on underflow");
+            } else {
+                assert!(r.is_ok());
+            }
+        };
+        for mode in [SolverMode::Oneshot, SolverMode::Incremental] {
+            let mut s = GovernedSolver::with_mode(BackendKind::Internal, mode);
+            s.assert(&x);
+            underflow(&mut s);
+            // Base-frame assertions must survive the underflow attempt.
+            assert_eq!(s.check(), SatResult::Sat);
+            s.push();
+            s.assert(&x.not());
+            assert_eq!(s.check(), SatResult::Unsat);
+            s.pop();
+            assert_eq!(s.check(), SatResult::Sat);
+        }
     }
 
     #[cfg(feature = "z3")]

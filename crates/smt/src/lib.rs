@@ -34,6 +34,7 @@ pub mod canon;
 pub mod cnf;
 pub mod eval;
 pub mod governed;
+pub mod incremental;
 pub mod sat;
 pub mod sexpr;
 pub mod simplify;
@@ -45,7 +46,10 @@ pub mod z3backend;
 
 pub use canon::{canon_key, query_key, schema_fingerprint};
 pub use eval::{eval, Assignment, EvalError};
-pub use governed::{default_solver, new_solver, BackendKind, GovernedSolver, SolverConfig};
+pub use governed::{
+    default_solver, new_solver, BackendKind, GovernedSolver, SolverConfig, SolverMode,
+};
+pub use incremental::IncrementalSolver;
 pub use sexpr::{parse_sexpr, to_sexpr};
 pub use solver::{
     BudgetKind, ResourceBudget, SatResult, SolveOutcome, Solver, SolverError,

@@ -7,6 +7,8 @@
 //! tuned for the modest formula sizes that role requires.
 
 use crate::cnf::{Clause, Lit};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Ternary assignment value.
@@ -39,7 +41,7 @@ pub enum SolveResult {
 }
 
 /// Resource limits for a single [`CdclSolver::solve_limited`] call.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SolveLimits {
     /// Abort with [`SolveResult::Unknown`] once this instant passes. The
     /// clock is polled every few hundred conflicts/decisions, so overshoot
@@ -47,6 +49,11 @@ pub struct SolveLimits {
     pub deadline: Option<Instant>,
     /// Abort with [`SolveResult::Unknown`] after this many conflicts.
     pub max_conflicts: Option<u64>,
+    /// Cooperative cancellation: abort with [`SolveResult::Unknown`] once
+    /// this flag reads `true`. Polled at the deadline cadence; a portfolio
+    /// race sets it so the losing solver releases its CPU as soon as a
+    /// winner is known.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 const CLAUSE_UNDEF: usize = usize::MAX;
@@ -60,6 +67,111 @@ struct VarState {
     seen: bool,
 }
 
+/// `a` is picked before `b`: higher activity wins, ties go to the lower
+/// variable index. The index tie-break reproduces the historical linear
+/// scan (which kept the first maximum), so decision order — and therefore
+/// models — are unchanged by the heap.
+fn better(vars: &[VarState], a: u32, b: u32) -> bool {
+    let (aa, ab) = (vars[a as usize].activity, vars[b as usize].activity);
+    aa > ab || (aa == ab && a < b)
+}
+
+/// Indexed max-heap over variable activities, MiniSat-style: `pos[v]` maps a
+/// variable to its heap slot (or `ABSENT`). Deletion is lazy — assigned
+/// variables surface in [`OrderHeap::pop_max`] and are simply skipped by the
+/// caller; [`CdclSolver::backtrack`] re-inserts variables it unassigns, so
+/// every undefined variable is always present.
+struct OrderHeap {
+    heap: Vec<u32>,
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl OrderHeap {
+    /// Heap over variables `1..=num_vars`, all inserted. With equal (zero)
+    /// activities the ascending layout already satisfies the heap property.
+    fn full(num_vars: u32) -> OrderHeap {
+        OrderHeap {
+            heap: (1..=num_vars).collect(),
+            pos: (0..=num_vars).map(|v| v.wrapping_sub(1)).collect(),
+        }
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != ABSENT
+    }
+
+    /// Extend the variable range to `num_vars`, inserting the new variables.
+    fn grow(&mut self, num_vars: u32, vars: &[VarState]) {
+        while self.pos.len() <= num_vars as usize {
+            self.pos.push(ABSENT);
+            self.insert((self.pos.len() - 1) as u32, vars);
+        }
+    }
+
+    fn insert(&mut self, v: u32, vars: &[VarState]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len() as u32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, vars);
+    }
+
+    /// Restore the heap property after `v`'s activity increased.
+    fn on_bump(&mut self, v: u32, vars: &[VarState]) {
+        if self.contains(v) {
+            self.sift_up(self.pos[v as usize] as usize, vars);
+        }
+    }
+
+    fn pop_max(&mut self, vars: &[VarState]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        self.pos[top as usize] = ABSENT;
+        let last = self.heap.pop().unwrap();
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, vars);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, vars: &[VarState]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !better(vars, self.heap[i], self.heap[parent]) {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, vars: &[VarState]) {
+        loop {
+            let mut best = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < self.heap.len() && better(vars, self.heap[child], self.heap[best]) {
+                    best = child;
+                }
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32;
+        self.pos[self.heap[j] as usize] = j as u32;
+    }
+}
+
 /// The CDCL solver.
 pub struct CdclSolver {
     vars: Vec<VarState>, // index 0 unused
@@ -70,7 +182,13 @@ pub struct CdclSolver {
     trail_lim: Vec<usize>,
     qhead: usize,
     var_inc: f64,
-    num_original: usize,
+    /// Decision order: activity max-heap over unassigned variables.
+    order: OrderHeap,
+    /// Parallel to `clauses`: true for clauses learned by conflict
+    /// analysis (candidates for [`CdclSolver::drop_learned`]), false for
+    /// clauses asserted by the caller.
+    learned_mark: Vec<bool>,
+    num_learned: usize,
     conflicts_since_restart: u64,
     restart_idx: u64,
     /// Failed assumptions from the last unsat assumption solve.
@@ -123,7 +241,9 @@ impl CdclSolver {
             trail_lim: Vec::new(),
             qhead: 0,
             var_inc: 1.0,
-            num_original: 0,
+            order: OrderHeap::full(num_vars),
+            learned_mark: Vec::new(),
+            num_learned: 0,
             conflicts_since_restart: 0,
             restart_idx: 1,
             failed_assumptions: Vec::new(),
@@ -134,7 +254,6 @@ impl CdclSolver {
                 s.ok = false;
             }
         }
-        s.num_original = s.clauses.len();
         s
     }
 
@@ -175,6 +294,7 @@ impl CdclSolver {
                 self.watches[lit_code(c[0])].push(ci);
                 self.watches[lit_code(c[1])].push(ci);
                 self.clauses.push(c);
+                self.learned_mark.push(false);
                 true
             }
         }
@@ -237,11 +357,13 @@ impl CdclSolver {
     fn bump_var(&mut self, v: usize) {
         self.vars[v].activity += self.var_inc;
         if self.vars[v].activity > 1e100 {
+            // Uniform rescale preserves the heap order — no fix-up needed.
             for vs in self.vars.iter_mut() {
                 vs.activity *= 1e-100;
             }
             self.var_inc *= 1e-100;
         }
+        self.order.on_bump(v as u32, &self.vars);
     }
 
     /// First-UIP conflict analysis. Returns (learnt clause, backtrack level).
@@ -318,27 +440,26 @@ impl CdclSolver {
                 self.vars[v].phase = self.vars[v].val == Val::True;
                 self.vars[v].val = Val::Undef;
                 self.vars[v].reason = CLAUSE_UNDEF;
+                self.order.insert(l.var(), &self.vars);
             }
         }
         self.qhead = self.trail.len();
     }
 
-    fn pick_branch(&self) -> Option<Lit> {
-        let mut best: Option<usize> = None;
-        for v in 1..self.vars.len() {
-            if self.vars[v].val == Val::Undef
-                && best.is_none_or(|b| self.vars[v].activity > self.vars[b].activity)
-            {
-                best = Some(v);
+    fn pick_branch(&mut self) -> Option<Lit> {
+        // Lazy deletion: assigned variables surfacing here are stale heap
+        // entries (they were assigned by propagation after insertion) and
+        // are dropped; `backtrack` re-inserts anything it unassigns.
+        while let Some(v) = self.order.pop_max(&self.vars) {
+            if self.vars[v as usize].val == Val::Undef {
+                return Some(if self.vars[v as usize].phase {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                });
             }
         }
-        best.map(|v| {
-            if self.vars[v].phase {
-                Lit::pos(v as u32)
-            } else {
-                Lit::neg(v as u32)
-            }
-        })
+        None
     }
 
     fn learn(&mut self, learnt: Clause) {
@@ -351,6 +472,8 @@ impl CdclSolver {
         self.watches[lit_code(learnt[1])].push(ci);
         let assert_lit = learnt[0];
         self.clauses.push(learnt);
+        self.learned_mark.push(true);
+        self.num_learned += 1;
         self.enqueue(assert_lit, ci);
     }
 
@@ -386,6 +509,10 @@ impl CdclSolver {
                         self.backtrack(0);
                         return SolveResult::Unknown;
                     }
+                }
+                if limits.cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed)) {
+                    self.backtrack(0);
+                    return SolveResult::Unknown;
                 }
             }
             let conflict = self.propagate();
@@ -484,6 +611,99 @@ impl CdclSolver {
     /// Number of clauses including learnt ones.
     pub fn num_clauses(&self) -> usize {
         self.clauses.len()
+    }
+
+    /// Highest variable index the solver knows about.
+    pub fn num_vars(&self) -> u32 {
+        self.vars.len() as u32 - 1
+    }
+
+    /// Extend the variable space to `num_vars` (no-op when already that
+    /// large). New variables start unassigned with zero activity and join
+    /// the decision order.
+    pub fn grow_vars(&mut self, num_vars: u32) {
+        while self.vars.len() <= num_vars as usize {
+            self.vars.push(VarState {
+                val: Val::Undef,
+                level: 0,
+                reason: CLAUSE_UNDEF,
+                activity: 0.0,
+                phase: false,
+                seen: false,
+            });
+        }
+        if self.watches.len() < 2 * (num_vars as usize + 1) {
+            self.watches.resize(2 * (num_vars as usize + 1), Vec::new());
+        }
+        self.order.grow(num_vars, &self.vars);
+    }
+
+    /// Add clauses after construction, growing the solver in place: learned
+    /// clauses and activities are retained, which is what makes reusing one
+    /// solver across queries cheaper than rebuilding it.
+    ///
+    /// Backtracks to level 0 first. A new clause may be momentarily
+    /// inconsistent with the two-watched-literal invariant (both watches
+    /// false at level 0); that is safe because `solve_limited` re-propagates
+    /// the entire level-0 trail (`qhead = 0`) on entry, which revisits the
+    /// new clause before any search happens.
+    pub fn add_clauses<I: IntoIterator<Item = Clause>>(&mut self, clauses: I) {
+        self.backtrack(0);
+        for c in clauses {
+            if !self.add_clause(c) {
+                self.ok = false;
+            }
+        }
+    }
+
+    /// Number of learned clauses currently in the database.
+    pub fn num_learned(&self) -> usize {
+        self.num_learned
+    }
+
+    /// Delete every learned clause, compacting the database in place.
+    /// Caller-asserted clauses and all level-0 facts survive — both are
+    /// implied by the asserted formula, so subsequent solves stay sound
+    /// and complete. A long-lived incremental context calls this between
+    /// checks to bound the propagation weight stale lemmas accumulate; it
+    /// is never called mid-solve, so single-query (oneshot) behavior is
+    /// untouched.
+    pub fn drop_learned(&mut self) {
+        if self.num_learned == 0 {
+            return;
+        }
+        self.backtrack(0);
+        // Compact `clauses`, recording where each kept clause moved.
+        let mut remap: Vec<usize> = Vec::with_capacity(self.clauses.len());
+        let mut kept = 0usize;
+        for &learned in &self.learned_mark {
+            remap.push(if learned { CLAUSE_UNDEF } else { kept });
+            kept += usize::from(!learned);
+        }
+        let mut i = 0;
+        let marks = std::mem::take(&mut self.learned_mark);
+        self.clauses.retain(|_| {
+            let keep = !marks[i];
+            i += 1;
+            keep
+        });
+        self.learned_mark = vec![false; self.clauses.len()];
+        self.num_learned = 0;
+        for w in self.watches.iter_mut() {
+            w.retain_mut(|ci| {
+                *ci = remap[*ci];
+                *ci != CLAUSE_UNDEF
+            });
+        }
+        // Level-0 facts propagated out of a deleted lemma keep their
+        // truth (lemmas are implied) but lose the reason index; conflict
+        // analysis never walks level-0 reasons, so `CLAUSE_UNDEF` is fine.
+        for l in &self.trail {
+            let r = &mut self.vars[l.var() as usize].reason;
+            if *r != CLAUSE_UNDEF {
+                *r = remap[*r];
+            }
+        }
     }
 }
 
@@ -607,6 +827,49 @@ mod tests {
     }
 
     #[test]
+    fn drop_learned_preserves_verdicts_and_models() {
+        // Pigeonhole 4-into-3 forces real conflict learning; flushing the
+        // lemmas must leave the solver sound, complete and reusable.
+        let v = |i: i32, j: i32| (i - 1) * 3 + j;
+        let mut cs: Vec<Clause> = Vec::new();
+        for i in 1..=4 {
+            cs.push((1..=3).map(|j| Lit(v(i, j))).collect());
+        }
+        for j in 1..=3 {
+            for a in 1..=4 {
+                for b in (a + 1)..=4 {
+                    cs.push(vec![Lit(-v(a, j)), Lit(-v(b, j))]);
+                }
+            }
+        }
+        let mut s = CdclSolver::new(12, cs);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.num_learned() > 0);
+        s.drop_learned();
+        assert_eq!(s.num_learned(), 0);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+
+        // A satisfiable instance: flush between solves, then grow it and
+        // keep going — watches and reasons must survive the compaction.
+        let mut s = CdclSolver::new(
+            3,
+            vec![
+                vec![Lit(1), Lit(2)],
+                vec![Lit(-1), Lit(3)],
+                vec![Lit(-2), Lit(3)],
+            ],
+        );
+        assert_eq!(s.solve(&[Lit(-3)]), SolveResult::Unsat);
+        s.drop_learned();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(s.value(3) || (s.value(1) || s.value(2)));
+        s.grow_vars(4);
+        s.add_clauses(vec![vec![Lit(-3), Lit(4)]]);
+        assert_eq!(s.solve(&[Lit(3)]), SolveResult::Sat);
+        assert!(s.value(4));
+    }
+
+    #[test]
     fn expired_deadline_yields_unknown() {
         let mut cs: Vec<Clause> = vec![vec![Lit(1), Lit(2)]];
         for i in 1..=8i32 {
@@ -615,12 +878,75 @@ mod tests {
         let mut s = CdclSolver::new(8, cs);
         let limits = SolveLimits {
             deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
-            max_conflicts: None,
+            ..SolveLimits::default()
         };
         // An already-expired deadline must abort (possibly after one cheap
         // propagation burst) rather than hang or panic.
         let r = s.solve_limited(&[], &limits);
         assert!(r == SolveResult::Unknown || r == SolveResult::Sat);
+    }
+
+    #[test]
+    fn grown_solver_matches_fresh_on_random_instances() {
+        // Feed random 3-SAT instances in two increments to one solver and
+        // all at once to a fresh one: verdicts must agree at every step,
+        // including after an Unsat (ok=false is permanent by design).
+        let mut seed = 0xdeadbeefu64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _case in 0..40 {
+            let nv_a = 4 + (rng() % 5);
+            let nv_b = nv_a + (rng() % 4);
+            let mk = |rng: &mut dyn FnMut() -> u32, n: usize, nv: u32| -> Vec<Clause> {
+                (0..n)
+                    .map(|_| {
+                        (0..3)
+                            .map(|_| {
+                                let v = 1 + (rng() % nv);
+                                if rng().is_multiple_of(2) {
+                                    Lit::pos(v)
+                                } else {
+                                    Lit::neg(v)
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect()
+            };
+            let n1 = 3 + (rng() % 10) as usize;
+            let first = mk(&mut rng, n1, nv_a);
+            let n2 = 3 + (rng() % 10) as usize;
+            let second = mk(&mut rng, n2, nv_b);
+
+            let mut grown = CdclSolver::new(nv_a, first.clone());
+            let r1 = grown.solve(&[]);
+            let f1 = CdclSolver::new(nv_a, first.clone()).solve(&[]);
+            assert_eq!(r1, f1);
+
+            grown.grow_vars(nv_b);
+            grown.add_clauses(second.clone());
+            let r2 = grown.solve(&[]);
+            let mut all = first.clone();
+            all.extend(second.clone());
+            let f2 = CdclSolver::new(nv_b, all).solve(&[]);
+            assert_eq!(r2, f2, "grown vs fresh mismatch: {first:?} + {second:?}");
+        }
+    }
+
+    #[test]
+    fn grown_solver_assumptions_still_work() {
+        // (x1 | x2); grow with (x3 -> !x2); assume x3 & !x1 forces conflict
+        // with x2, so check the model path and the failed-assumption path.
+        let mut s = CdclSolver::new(2, vec![vec![Lit(1), Lit(2)]]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.grow_vars(3);
+        s.add_clauses([vec![Lit(-3), Lit(-2)]]);
+        assert_eq!(s.solve(&[Lit(3), Lit(-1)]), SolveResult::Unsat);
+        assert!(!s.failed_assumptions().is_empty());
+        assert_eq!(s.solve(&[Lit(3)]), SolveResult::Sat);
+        assert!(s.value(1) && !s.value(2));
     }
 
     #[test]

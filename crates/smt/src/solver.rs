@@ -165,6 +165,12 @@ pub trait Solver {
     fn push(&mut self);
 
     /// Pop the most recent backtracking point.
+    ///
+    /// Pop-underflow contract (uniform across all backends, so incremental
+    /// callers can never desync assertion state between them): the base
+    /// assertion frame is never popped. Popping with no open backtracking
+    /// point is a caller bug — it trips a `debug_assert` in debug builds
+    /// and is a no-op in release builds.
     fn pop(&mut self);
 
     /// Check satisfiability of the asserted formulas.
